@@ -1,0 +1,115 @@
+// Ablation: meta-learning hyper-parameters (DESIGN.md §5, item 2).
+//
+// Sweeps the inner (sample-level) learning rate alpha and the number of
+// inner SGD steps, measuring three things for each setting:
+//   * theta-quality  — MAE of the meta-trained initial parameters on the
+//     original training data (does theta itself stay meaningful?)
+//   * adapt@3        — MAE on the held-out (subject, movement) pair after 3
+//     fine-tuning epochs (the fast-adaptation property)
+//   * query loss     — final meta query loss
+//
+// This sweep is what motivated the repo's default alpha = 0.02 (the paper's
+// alpha = 0.1 in its own gradient scale degenerates here: theta becomes
+// "good only after adaptation" — visible in the theta-quality column).
+//
+// Usage: ablation_meta [--scale=1.0] [--out=DIR]
+
+#include <cstdio>
+
+#include "core/finetune.h"
+#include "core/meta.h"
+#include "core/metrics.h"
+#include "core/trainer.h"
+#include "data/builder.h"
+#include "data/featurize.h"
+#include "data/fusion.h"
+#include "data/split.h"
+#include "nn/model.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const fuse::util::Cli cli(argc, argv);
+  const double scale = cli.paper() ? 1.0 : cli.scale();
+
+  fuse::data::BuilderConfig bcfg;
+  bcfg.frames_per_sequence = fuse::util::scaled(120, scale, 40);
+  bcfg.seed = cli.seed();
+  const std::size_t warmup_epochs = fuse::util::scaled(6, scale, 2);
+  const std::size_t meta_iters = fuse::util::scaled(60, scale, 10);
+
+  std::printf("Ablation — meta-learning inner step (alpha, steps); "
+              "%zu frames/seq, %zu meta-iterations\n",
+              bcfg.frames_per_sequence, meta_iters);
+
+  const auto dataset = fuse::data::build_dataset(bcfg);
+  const fuse::data::FusedDataset fused(dataset, 1);
+  const auto split = fuse::data::leave_out_split(dataset);
+  fuse::data::Featurizer feat;
+  feat.fit(dataset, split.train);
+  const auto [ft, ev] = fuse::data::finetune_eval_split(
+      split.test, (split.test.size() * 3) / 5);
+
+  struct Case {
+    float alpha;
+    std::size_t inner_steps;
+  };
+  const Case cases[] = {{0.005f, 1}, {0.02f, 1}, {0.1f, 1}, {0.02f, 2}};
+
+  fuse::util::Table table("\nMeta-learning ablation");
+  table.set_header({"alpha", "inner steps", "query loss", "theta MAE (cm)",
+                    "adapt@3 (cm)"});
+  fuse::util::CsvWriter csv(cli.out_dir() + "/ablation_meta.csv");
+  csv.row("alpha", "inner_steps", "query_loss", "theta_mae_cm",
+          "adapt3_mae_cm");
+
+  for (const Case& c : cases) {
+    fuse::util::Stopwatch sw;
+    fuse::util::Rng rng(cli.seed() + 17);
+    fuse::nn::MarsCnn model(fuse::data::kChannelsPerFrame, rng);
+
+    fuse::core::TrainConfig wcfg;
+    wcfg.epochs = warmup_epochs;
+    wcfg.seed = cli.seed() + 18;
+    fuse::core::Trainer warmup(&model, wcfg);
+    warmup.fit(fused, feat, split.train);
+
+    fuse::core::MetaConfig mcfg;
+    mcfg.iterations = meta_iters;
+    mcfg.tasks_per_iteration = 4;
+    mcfg.support_size = 128;
+    mcfg.query_size = 128;
+    mcfg.alpha = c.alpha;
+    mcfg.inner_steps = c.inner_steps;
+    mcfg.seed = cli.seed() + 19;
+    fuse::core::MetaTrainer meta(&model, mcfg);
+    const auto hist = meta.run(fused, feat, split.train);
+
+    const auto theta_mae =
+        fuse::core::evaluate(model, fused, feat, split.train, 512);
+
+    fuse::core::FineTuneConfig fcfg;
+    fcfg.epochs = 3;
+    fcfg.seed = cli.seed() + 20;
+    fuse::nn::MarsCnn copy = model;
+    const auto curve = fuse::core::fine_tune(copy, fused, feat, ft, ev,
+                                             split.train, fcfg);
+
+    table.add_row({fuse::util::Table::num(c.alpha, 3),
+                   std::to_string(c.inner_steps),
+                   fuse::util::Table::num(hist.query_loss.back(), 4),
+                   fuse::util::Table::num(theta_mae.average()),
+                   fuse::util::Table::num(curve.new_data_cm.back())});
+    csv.row(c.alpha, c.inner_steps, hist.query_loss.back(),
+            theta_mae.average(), curve.new_data_cm.back());
+    std::printf("  alpha=%.3f steps=%zu done [%.1f s]\n", c.alpha,
+                c.inner_steps, sw.seconds());
+  }
+  table.print();
+  std::printf("\nExpected: alpha=0.1 shows degenerate theta (huge theta "
+              "MAE); alpha=0.02 gives the best\nquery loss with meaningful "
+              "theta; extra inner steps trade compute for little gain.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Ablation: point-cloud sparsity x fusion window (DESIGN.md §5, items 1+3).
+//
+// The paper's central motivation is that mmWave clouds are sparse and that
+// frame fusion compensates.  This ablation makes that quantitative: sweep
+// the sensor's effective density (via the detection threshold — a weaker
+// link budget detects fewer cells) against the fusion window M, and report
+// baseline-CNN MAE for each combination.  The fusion benefit should grow as
+// single frames get sparser, and overly wide windows should stop helping.
+//
+// Usage: ablation_sparsity [--scale=1.0] [--out=DIR]
+
+#include <array>
+#include <cstdio>
+
+#include "core/metrics.h"
+#include "core/trainer.h"
+#include "data/builder.h"
+#include "data/featurize.h"
+#include "data/fusion.h"
+#include "data/split.h"
+#include "nn/model.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const fuse::util::Cli cli(argc, argv);
+  const double scale = cli.paper() ? 1.0 : cli.scale();
+
+  const std::size_t frames = fuse::util::scaled(120, scale, 40);
+  const std::size_t epochs = fuse::util::scaled(12, scale, 3);
+
+  struct Density {
+    const char* name;
+    double detect_threshold_db;  // higher threshold = sparser clouds
+  };
+  // Body cells sit at ~20-35 dB post-processing SNR, so meaningfully
+  // thinning the cloud needs thresholds well into that band.
+  const Density densities[] = {
+      {"dense", 12.0}, {"sparse", 22.0}, {"very sparse", 28.0}};
+  const std::size_t fusion_windows[] = {0, 1, 2};
+
+  std::printf("Ablation — sparsity x fusion window "
+              "(%zu frames/seq, %zu epochs)\n",
+              frames, epochs);
+
+  fuse::util::Table table("\nBaseline-CNN MAE (cm) per density x fusion");
+  table.set_header({"density", "pts/frame", "M=0 (single)", "M=1 (fuse 3)",
+                    "M=2 (fuse 5)", "fuse-3 gain"});
+  fuse::util::CsvWriter csv(cli.out_dir() + "/ablation_sparsity.csv");
+  csv.row("density", "points_per_frame", "mae_m0", "mae_m1", "mae_m2");
+
+  for (const Density& d : densities) {
+    fuse::data::BuilderConfig bcfg;
+    bcfg.frames_per_sequence = frames;
+    bcfg.seed = cli.seed();
+    // Density is controlled through the fast radar model's detection
+    // threshold — a weaker link budget detects fewer resolution cells.
+    bcfg.fast_model.detect_threshold_db = d.detect_threshold_db;
+
+    const auto dataset = fuse::data::build_dataset(bcfg);
+    const auto split = fuse::data::chrono_split(dataset);
+
+    std::array<double, 3> mae{};
+    for (const std::size_t m : fusion_windows) {
+      fuse::util::Stopwatch sw;
+      const fuse::data::FusedDataset fused(dataset, m);
+      fuse::data::Featurizer feat;
+      feat.fit(dataset, split.train);
+      fuse::util::Rng rng(cli.seed() + m);
+      fuse::nn::MarsCnn model(fuse::data::kChannelsPerFrame, rng);
+      fuse::core::TrainConfig tcfg;
+      tcfg.epochs = epochs;
+      tcfg.seed = cli.seed() + 10 * m;
+      fuse::core::Trainer trainer(&model, tcfg);
+      trainer.fit(fused, feat, split.train);
+      mae[m] = fuse::core::evaluate(model, fused, feat, split.test).average();
+      std::printf("  %s M=%zu: %.1f cm [%.1f s]\n", d.name, m, mae[m],
+                  sw.seconds());
+    }
+
+    const double gain = 100.0 * (mae[0] - mae[1]) / mae[0];
+    table.add_row({d.name,
+                   fuse::util::Table::num(dataset.mean_points_per_frame()),
+                   fuse::util::Table::num(mae[0]),
+                   fuse::util::Table::num(mae[1]),
+                   fuse::util::Table::num(mae[2]),
+                   fuse::util::Table::num(gain, 0) + "%"});
+    csv.row(d.name, dataset.mean_points_per_frame(), mae[0], mae[1], mae[2]);
+  }
+  table.print();
+  std::printf("\nObserved on the synthetic substrate: fusion helps most in "
+              "the mid/dense regime, where\nthe 64-slot feature map gets "
+              "filled with better (stronger, fresher) points; at extreme\n"
+              "sparsity the CNN falls back to its motion-phase prior and the "
+              "MAE saturates, so extra\npooled points move it less.  The "
+              "fuse-5 column shows the window widening past M=1 buys\n"
+              "little once staleness enters — consistent with Table 1.\n");
+  return 0;
+}

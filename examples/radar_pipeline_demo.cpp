@@ -1,0 +1,111 @@
+// Full-physics radar walkthrough: one frame of a moving human, end to end
+// through the FMCW signal chain, with every intermediate product printed.
+//
+//   scene -> IF-signal cube -> range FFT -> Doppler FFT (clutter removed)
+//         -> CA-CFAR -> angle estimation -> point cloud
+//
+// Run: ./radar_pipeline_demo [--seed=N]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "human/movements.h"
+#include "human/surface.h"
+#include "radar/processing.h"
+#include "radar/simulator.h"
+#include "util/cli.h"
+#include "util/stopwatch.h"
+
+int main(int argc, char** argv) {
+  const fuse::util::Cli cli(argc, argv);
+  fuse::util::Rng rng(cli.seed());
+
+  // --- configuration ------------------------------------------------------
+  const auto cfg = fuse::radar::default_iwr1443_config();
+  std::printf("IWR1443-class FMCW configuration\n");
+  std::printf("  carrier            %.1f GHz (lambda %.2f mm)\n",
+              cfg.start_freq_hz * 1e-9, cfg.wavelength() * 1e3);
+  std::printf("  sampled bandwidth  %.2f GHz -> range resolution %.1f cm, "
+              "max range %.1f m\n",
+              cfg.sampled_bandwidth_hz() * 1e-9,
+              cfg.range_resolution_m() * 100.0, cfg.max_range_m());
+  std::printf("  chirps/frame       %zu -> velocity resolution %.2f m/s, "
+              "max +-%.1f m/s\n",
+              cfg.chirps_per_frame, cfg.velocity_resolution_mps(),
+              cfg.max_velocity_mps());
+  std::printf("  virtual array      %zu azimuth + %zu elevation elements\n\n",
+              cfg.n_virtual_azimuth(), cfg.n_rx);
+
+  // --- scene: subject mid-squat ------------------------------------------
+  const auto subject = fuse::human::make_subject(1);
+  fuse::human::MovementGenerator gen(subject, fuse::human::Movement::kSquat,
+                                     rng.fork());
+  const double t = 0.3 * subject.style.period_s;  // descending
+  const auto pose = gen.pose_at(t);
+  const auto pose_next = gen.pose_at(t + 0.02);
+  fuse::human::SurfaceSamplerConfig scfg;
+  scfg.radar_position = {0.0f, 0.0f, static_cast<float>(cfg.radar_height_m)};
+  const auto scene = fuse::human::sample_body_surface(
+      pose, pose_next, 0.02f, subject.body, scfg, rng);
+  std::printf("scene: %zu body scatterers (subject %zu, squat, t=%.2f s)\n",
+              scene.size(), subject.id, t);
+
+  // --- IF-signal synthesis -------------------------------------------------
+  fuse::util::Stopwatch sw;
+  const auto cube = fuse::radar::simulate_frame(cfg, scene, rng);
+  std::printf("IF cube: %zu channels x %zu chirps x %zu samples  [%.1f ms]\n",
+              cube.n_virtual(), cube.n_chirps(), cube.n_samples(),
+              sw.millis());
+
+  // --- range-Doppler processing -------------------------------------------
+  const fuse::radar::Processor proc(cfg);
+  sw.reset();
+  const auto rd = proc.range_doppler(cube);
+  const auto power = proc.power_map(rd);
+  std::printf("range-Doppler map: %zu x %zu bins  [%.1f ms]\n",
+              rd.n_range(), rd.n_doppler(), sw.millis());
+
+  // Strongest range gates.
+  std::vector<std::pair<float, std::size_t>> gates(rd.n_range());
+  for (std::size_t r = 0; r < rd.n_range(); ++r) {
+    float acc = 0.0f;
+    for (std::size_t d = 0; d < rd.n_doppler(); ++d)
+      acc += power[r * rd.n_doppler() + d];
+    gates[r] = {acc, r};
+  }
+  std::sort(gates.rbegin(), gates.rend());
+  std::printf("strongest range gates: ");
+  for (int i = 0; i < 5; ++i)
+    std::printf("%.2fm ", static_cast<double>(gates[i].second) *
+                              cfg.max_range_m() /
+                              static_cast<double>(rd.n_range()));
+  std::printf(" (subject stands at %.2f m)\n", subject.style.distance_m);
+
+  // --- detection + angles ---------------------------------------------------
+  sw.reset();
+  const auto frame = proc.detect(rd);
+  std::printf("CFAR: %zu detections -> %zu points  [%.1f ms]\n\n",
+              frame.detections.size(), frame.cloud.size(), sw.millis());
+
+  std::printf("point cloud (x, y, z, doppler, SNR):\n");
+  const std::size_t n_show = std::min<std::size_t>(12, frame.cloud.size());
+  for (std::size_t i = 0; i < n_show; ++i) {
+    const auto& p = frame.cloud.points[i];
+    std::printf("  %+5.2f  %5.2f  %+5.2f   %+5.2f m/s   %4.1f dB\n", p.x,
+                p.y, p.z, p.doppler, p.intensity);
+  }
+  if (frame.cloud.size() > n_show)
+    std::printf("  ... and %zu more\n", frame.cloud.size() - n_show);
+
+  // Sanity: points on the body.
+  const auto centroid = frame.cloud.centroid();
+  std::printf("\ncloud centroid (%.2f, %.2f, %.2f) vs body centroid "
+              "(%.2f, %.2f, %.2f)\n",
+              centroid.x, centroid.y, centroid.z, pose.centroid().x,
+              pose.centroid().y, pose.centroid().z);
+  std::printf("note: with static clutter removal enabled, only the MOVING "
+              "parts of the body return\npoints — this frame catches the "
+              "descending torso and thighs.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "core/finetune.h"
+
+#include <algorithm>
+
+#include "nn/loss.h"
+#include "nn/optim.h"
+#include "util/log.h"
+
+namespace fuse::core {
+
+using fuse::data::IndexSet;
+
+FineTuneCurve fine_tune(fuse::nn::MarsCnn& model,
+                        const fuse::data::FusedDataset& fused,
+                        const fuse::data::Featurizer& feat,
+                        const IndexSet& finetune_indices,
+                        const IndexSet& eval_new,
+                        const IndexSet& eval_original,
+                        const FineTuneConfig& cfg) {
+  FineTuneCurve curve;
+  curve.new_data_cm.reserve(cfg.epochs + 1);
+  curve.original_cm.reserve(cfg.epochs + 1);
+
+  auto record = [&] {
+    curve.new_data_cm.push_back(
+        evaluate(model, fused, feat, eval_new, cfg.eval_batch).average());
+    curve.original_cm.push_back(
+        evaluate(model, fused, feat, eval_original, cfg.eval_batch)
+            .average());
+  };
+  record();  // epoch 0: before fine-tuning
+
+  const auto params =
+      cfg.last_layer_only ? model.last_layer_params() : model.params();
+  const auto grads =
+      cfg.last_layer_only ? model.last_layer_grads() : model.grads();
+  fuse::nn::Sgd sgd(cfg.lr);
+  fuse::nn::Adam adam(cfg.adam_lr);
+  fuse::util::Rng rng(cfg.seed);
+
+  IndexSet indices = finetune_indices;
+  for (std::size_t e = 0; e < cfg.epochs; ++e) {
+    rng.shuffle(indices);
+    for (std::size_t pos = 0; pos < indices.size(); pos += cfg.batch_size) {
+      const std::size_t hi = std::min(indices.size(), pos + cfg.batch_size);
+      const IndexSet batch(
+          indices.begin() + static_cast<std::ptrdiff_t>(pos),
+          indices.begin() + static_cast<std::ptrdiff_t>(hi));
+      const auto x = feat.make_inputs(fused, batch);
+      const auto y = feat.make_labels(fused, batch);
+      const auto pred = model.forward(x);
+      fuse::nn::Tensor dpred;
+      (void)fuse::nn::l1_loss(pred, y, &dpred);
+      model.zero_grad();
+      model.backward(dpred);
+      if (cfg.grad_clip > 0.0f)
+        fuse::nn::clip_grad_norm(grads, cfg.grad_clip);
+      if (cfg.use_sgd) {
+        sgd.step(params, grads);
+      } else {
+        adam.step(params, grads);
+      }
+    }
+    record();
+  }
+  return curve;
+}
+
+}  // namespace fuse::core

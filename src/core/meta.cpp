@@ -1,0 +1,118 @@
+#include "core/meta.h"
+
+#include <map>
+#include <utility>
+
+#include "nn/loss.h"
+#include "util/log.h"
+
+namespace fuse::core {
+
+using fuse::data::IndexSet;
+using fuse::nn::Tensor;
+
+float MetaTrainer::task_adapt_and_query(fuse::nn::MarsCnn& clone,
+                                        const fuse::data::FusedDataset& fused,
+                                        const fuse::data::Featurizer& feat,
+                                        const IndexSet& support,
+                                        const IndexSet& query) const {
+  const fuse::nn::Sgd inner(cfg_.alpha);
+  const auto params = clone.params();
+  const auto grads = clone.grads();
+
+  // Inner loop (lines 5-7 of Algorithm 1): adapt on the support set.
+  for (std::size_t step = 0; step < cfg_.inner_steps; ++step) {
+    const auto xs = feat.make_inputs(fused, support);
+    const auto ys = feat.make_labels(fused, support);
+    const auto pred = clone.forward(xs);
+    Tensor dpred;
+    (void)fuse::nn::l1_loss(pred, ys, &dpred);
+    clone.zero_grad();
+    clone.backward(dpred);
+    if (cfg_.grad_clip > 0.0f) fuse::nn::clip_grad_norm(grads, cfg_.grad_clip);
+    inner.step(params, grads);
+  }
+
+  // Query evaluation at the adapted parameters (lines 8-9): leaves the
+  // first-order meta-gradient in the clone's grad tensors.
+  const auto xq = feat.make_inputs(fused, query);
+  const auto yq = feat.make_labels(fused, query);
+  const auto pred = clone.forward(xq);
+  Tensor dpred;
+  const float qloss = fuse::nn::l1_loss(pred, yq, &dpred);
+  clone.zero_grad();
+  clone.backward(dpred);
+  return qloss;
+}
+
+MetaHistory MetaTrainer::run(const fuse::data::FusedDataset& fused,
+                             const fuse::data::Featurizer& feat,
+                             const IndexSet& train_pool) {
+  MetaHistory hist;
+  hist.query_loss.reserve(cfg_.iterations);
+  fuse::data::TaskSampler uniform_sampler(train_pool, rng_.fork());
+
+  // Per-sequence task pools: frames grouped by (subject, movement).
+  std::vector<IndexSet> groups;
+  if (cfg_.task_mode == TaskMode::kPerSequence) {
+    std::map<std::pair<std::size_t, std::size_t>, IndexSet> by_key;
+    for (const std::size_t idx : train_pool) {
+      const auto& f = fused.dataset().frames[idx];
+      by_key[{f.subject, static_cast<std::size_t>(f.movement)}].push_back(
+          idx);
+    }
+    for (auto& [key, set] : by_key) groups.push_back(std::move(set));
+  }
+
+  const auto params = model_->params();
+  const auto grads = model_->grads();
+
+  for (std::size_t it = 0; it < cfg_.iterations; ++it) {
+    // Meta-gradient accumulator (Eq. 6 sums query-task losses).
+    std::vector<Tensor> meta_grad;
+    meta_grad.reserve(params.size());
+    for (const Tensor* p : params) meta_grad.emplace_back(p->shape());
+
+    double qloss_acc = 0.0;
+    for (std::size_t t = 0; t < cfg_.tasks_per_iteration; ++t) {
+      // Line 3: sample a task; lines 5 & 8: support / query subsets.
+      IndexSet support, query;
+      if (cfg_.task_mode == TaskMode::kPerSequence) {
+        const IndexSet& group = groups[rng_.uniform_int(groups.size())];
+        fuse::data::TaskSampler task_sampler(group, rng_.fork());
+        support = task_sampler.sample_task(cfg_.support_size);
+        query = task_sampler.sample_task(cfg_.query_size);
+      } else {
+        support = uniform_sampler.sample_task(cfg_.support_size);
+        query = uniform_sampler.sample_task(cfg_.query_size);
+      }
+
+      fuse::nn::MarsCnn clone = *model_;
+      qloss_acc +=
+          task_adapt_and_query(clone, fused, feat, support, query);
+      const auto clone_grads = clone.grads();
+      for (std::size_t i = 0; i < meta_grad.size(); ++i)
+        meta_grad[i] += *clone_grads[i];
+    }
+
+    // Line 11: single outer update from the summed query gradients
+    // (averaged over tasks to keep beta scale-independent).
+    const float inv_tasks =
+        1.0f / static_cast<float>(cfg_.tasks_per_iteration);
+    for (std::size_t i = 0; i < meta_grad.size(); ++i) {
+      meta_grad[i] *= inv_tasks;
+      *grads[i] = meta_grad[i];
+    }
+    if (cfg_.grad_clip > 0.0f) fuse::nn::clip_grad_norm(grads, cfg_.grad_clip);
+    outer_.step(params, grads);
+
+    hist.query_loss.push_back(
+        static_cast<float>(qloss_acc * inv_tasks));
+    if (cfg_.verbose && (it + 1) % 10 == 0)
+      FUSE_LOG_INFO("meta-iter %zu/%zu  query loss %.4f", it + 1,
+                    cfg_.iterations, hist.query_loss.back());
+  }
+  return hist;
+}
+
+}  // namespace fuse::core

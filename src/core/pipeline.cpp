@@ -1,0 +1,82 @@
+#include "core/pipeline.h"
+
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace fuse::core {
+
+using fuse::data::kChannelsPerFrame;
+
+FusePipeline::FusePipeline(PipelineConfig cfg) : cfg_(std::move(cfg)) {}
+
+void FusePipeline::prepare_data() {
+  dataset_ = fuse::data::build_dataset(cfg_.data);
+  fused_ = std::make_unique<fuse::data::FusedDataset>(dataset_,
+                                                      cfg_.fusion_m);
+  split_ = fuse::data::chrono_split(dataset_);
+  featurizer_.fit(dataset_, split_.train);
+
+  // Fusion pools points before featurization, so the CNN input is 8x8x5
+  // regardless of M (the paper keeps the model identical across settings).
+  fuse::util::Rng rng(cfg_.seed);
+  model_ = std::make_unique<fuse::nn::MarsCnn>(kChannelsPerFrame, rng);
+  prepared_ = true;
+}
+
+void FusePipeline::require_prepared() const {
+  if (!prepared_)
+    throw std::logic_error("FusePipeline: call prepare_data() first");
+}
+
+TrainHistory FusePipeline::train_baseline() {
+  require_prepared();
+  Trainer trainer(model_.get(), cfg_.train);
+  return trainer.fit(*fused_, featurizer_, split_.train);
+}
+
+MetaHistory FusePipeline::train_meta() {
+  require_prepared();
+  MetaTrainer meta(model_.get(), cfg_.meta);
+  return meta.run(*fused_, featurizer_, split_.train);
+}
+
+MaeCm FusePipeline::evaluate_test() {
+  require_prepared();
+  return evaluate(*model_, *fused_, featurizer_, split_.test);
+}
+
+fuse::human::Pose
+FusePipeline::predict_window(const std::vector<fuse::radar::PointCloud>& window) {
+  require_prepared();
+  const std::size_t blocks = 2 * cfg_.fusion_m + 1;
+  if (window.empty())
+    throw std::invalid_argument("predict_window: empty window");
+
+  // Pool up to 2M+1 frames into one cloud (Eq. 3), then featurize.
+  fuse::radar::PointCloud pool;
+  for (std::size_t b = 0; b < std::min(blocks, window.size()); ++b)
+    pool.append(window[b]);
+  fuse::tensor::Tensor x({1, kChannelsPerFrame, fuse::data::kGridH,
+                          fuse::data::kGridW});
+  featurizer_.frame_block(pool, x.data());
+
+  const auto pred = model_->predict(x);
+  const auto denorm = featurizer_.denormalize_labels(pred);
+  fuse::human::Pose pose;
+  for (std::size_t j = 0; j < fuse::human::kNumJoints; ++j) {
+    pose.joints[j] = {denorm[j * 3 + 0], denorm[j * 3 + 1],
+                      denorm[j * 3 + 2]};
+  }
+  return pose;
+}
+
+fuse::human::Pose FusePipeline::push_frame(const fuse::radar::PointCloud& cloud) {
+  require_prepared();
+  const std::size_t blocks = 2 * cfg_.fusion_m + 1;
+  stream_buffer_.push_back(cloud);
+  while (stream_buffer_.size() > blocks) stream_buffer_.pop_front();
+  return predict_window({stream_buffer_.begin(), stream_buffer_.end()});
+}
+
+}  // namespace fuse::core

@@ -1,0 +1,80 @@
+#pragma once
+// FusePipeline — the high-level public API of the library.
+//
+// Wraps the full FUSE flow for application code (the examples use only this
+// facade): synthesize/ingest a dataset, fit featurization, train either the
+// supervised baseline or the meta-learned FUSE model, and run streaming
+// pose inference on incoming radar point clouds with multi-frame fusion.
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "core/finetune.h"
+#include "core/meta.h"
+#include "core/metrics.h"
+#include "core/trainer.h"
+#include "data/builder.h"
+#include "data/featurize.h"
+#include "data/fusion.h"
+#include "data/split.h"
+#include "human/skeleton.h"
+#include "nn/model.h"
+
+namespace fuse::core {
+
+struct PipelineConfig {
+  fuse::data::BuilderConfig data;
+  std::size_t fusion_m = 1;  ///< the paper's choice (fuse 3 frames)
+  TrainConfig train;
+  MetaConfig meta;
+  std::uint64_t seed = 0x22050097ULL;
+};
+
+class FusePipeline {
+ public:
+  explicit FusePipeline(PipelineConfig cfg);
+
+  /// Builds the synthetic MARS-like dataset and fits featurization on the
+  /// chrono-split training portion.
+  void prepare_data();
+
+  /// Supervised baseline training on the chrono-split train set.
+  TrainHistory train_baseline();
+
+  /// Meta-training (Algorithm 1) on the chrono-split train set.
+  MetaHistory train_meta();
+
+  /// MAE on the chrono-split test set, in cm.
+  MaeCm evaluate_test();
+
+  /// Streaming inference: push one radar frame; returns the estimated pose
+  /// once enough frames are buffered for the fusion window (always after
+  /// the first frame — the window is clamped like the dataset pipeline).
+  fuse::human::Pose push_frame(const fuse::radar::PointCloud& cloud);
+
+  /// Estimates a pose from an explicit window of 2M+1 frames.
+  fuse::human::Pose
+  predict_window(const std::vector<fuse::radar::PointCloud>& window);
+
+  const fuse::data::Dataset& dataset() const { return dataset_; }
+  const fuse::data::FusedDataset& fused() const { return *fused_; }
+  const fuse::data::Featurizer& featurizer() const { return featurizer_; }
+  const fuse::data::ChronoSplit& split() const { return split_; }
+  fuse::nn::MarsCnn& model() { return *model_; }
+  const PipelineConfig& config() const { return cfg_; }
+
+ private:
+  void require_prepared() const;
+
+  PipelineConfig cfg_;
+  fuse::data::Dataset dataset_;
+  std::unique_ptr<fuse::data::FusedDataset> fused_;
+  fuse::data::Featurizer featurizer_;
+  fuse::data::ChronoSplit split_;
+  std::unique_ptr<fuse::nn::MarsCnn> model_;
+  std::deque<fuse::radar::PointCloud> stream_buffer_;
+  bool prepared_ = false;
+};
+
+}  // namespace fuse::core

@@ -1,0 +1,96 @@
+#include "core/tracking.h"
+
+#include <cmath>
+
+namespace fuse::core {
+
+using fuse::human::Joint;
+using fuse::human::Pose;
+using fuse::util::Vec3;
+
+float ScalarKalman::step(float z, float dt, float accel_sigma,
+                         float meas_sigma) {
+  if (!initialized_) {
+    reset(z);
+    return x_;
+  }
+  // Predict (constant velocity, white-accel process noise).
+  x_ += v_ * dt;
+  const float q = accel_sigma * accel_sigma;
+  const float dt2 = dt * dt;
+  // Discrete white-noise-acceleration covariance.
+  p_xx_ += 2.0f * dt * p_xv_ + dt2 * p_vv_ + 0.25f * dt2 * dt2 * q;
+  p_xv_ += dt * p_vv_ + 0.5f * dt * dt2 * q;
+  p_vv_ += dt2 * q;
+
+  // Update.
+  const float r = meas_sigma * meas_sigma;
+  const float s = p_xx_ + r;
+  const float k_x = p_xx_ / s;
+  const float k_v = p_xv_ / s;
+  const float innov = z - x_;
+  x_ += k_x * innov;
+  v_ += k_v * innov;
+  const float p_xx0 = p_xx_, p_xv0 = p_xv_;
+  p_xx_ = (1.0f - k_x) * p_xx0;
+  p_xv_ = (1.0f - k_x) * p_xv0;
+  p_vv_ -= k_v * p_xv0;
+  return x_;
+}
+
+Pose PoseTracker::update(const Pose& measurement) {
+  Pose out;
+  for (std::size_t j = 0; j < fuse::human::kNumJoints; ++j) {
+    const Vec3& m = measurement.joints[j];
+    const std::array<float, 3> coords = {m.x, m.y, m.z};
+    std::array<float, 3> filtered{};
+    for (std::size_t a = 0; a < 3; ++a) {
+      filtered[a] = filters_[j][a].step(coords[a], cfg_.dt,
+                                        cfg_.process_accel,
+                                        cfg_.measurement_noise);
+    }
+    out.joints[j] = {filtered[0], filtered[1], filtered[2]};
+  }
+  if (cfg_.enforce_bone_lengths) project_bone_lengths(out);
+  ++frames_;
+  return out;
+}
+
+void PoseTracker::project_bone_lengths(Pose& pose) {
+  const auto& bones = fuse::human::bones();
+  for (std::size_t b = 0; b < bones.size(); ++b) {
+    const Vec3 parent = pose[bones[b].parent];
+    Vec3& child = pose[bones[b].child];
+    const Vec3 diff = child - parent;
+    const float len = diff.norm();
+    if (len < 1e-6f) continue;
+    if (frames_ == 0) {
+      bone_lengths_[b] = len;
+      continue;
+    }
+    bone_lengths_[b] =
+        (1.0f - cfg_.bone_length_ema) * bone_lengths_[b] +
+        cfg_.bone_length_ema * len;
+    // Nudge the child halfway towards the consistent length (a full
+    // projection over-constrains a tree when applied greedily).
+    const float target = 0.5f * (len + bone_lengths_[b]);
+    child = parent + diff * (target / len);
+  }
+}
+
+void PoseTracker::reset() {
+  for (auto& joint : filters_)
+    for (auto& f : joint) f = ScalarKalman{};
+  bone_lengths_.fill(0.0f);
+  frames_ = 0;
+}
+
+float PoseTracker::joint_speed(Joint j) const {
+  const auto& f = filters_[static_cast<std::size_t>(j)];
+  const float vx = f[0].velocity();
+  const float vy = f[1].velocity();
+  const float vz = f[2].velocity();
+  return std::sqrt(vx * vx + vy * vy + vz * vz);
+}
+
+}  // namespace fuse::core

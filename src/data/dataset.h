@@ -1,0 +1,48 @@
+#pragma once
+// Labeled mmWave pose dataset (the synthetic analogue of MARS).
+//
+// A dataset is a flat list of frames grouped into sequences, one sequence
+// per (subject, movement) pair, sampled at the radar frame rate (10 Hz).
+// Every frame pairs the radar point cloud with the ground-truth 19-joint
+// pose (the "Kinect label").
+
+#include <cstddef>
+#include <vector>
+
+#include "human/movements.h"
+#include "human/skeleton.h"
+#include "radar/point_cloud.h"
+
+namespace fuse::data {
+
+struct LabeledFrame {
+  fuse::radar::PointCloud cloud;
+  fuse::human::Pose label;
+  std::size_t subject = 0;
+  fuse::human::Movement movement = fuse::human::Movement::kSquat;
+  std::size_t sequence = 0;     ///< sequence index within the dataset
+  std::size_t time_index = 0;   ///< frame index within its sequence
+};
+
+struct Dataset {
+  std::vector<LabeledFrame> frames;
+  /// [sequence] -> (first frame index, frame count); frames of a sequence
+  /// are stored contiguously and time-ordered.
+  std::vector<std::pair<std::size_t, std::size_t>> sequences;
+
+  std::size_t size() const { return frames.size(); }
+  bool empty() const { return frames.empty(); }
+
+  /// Mean point count per frame (sparsity statistic).
+  double mean_points_per_frame() const {
+    if (frames.empty()) return 0.0;
+    std::size_t total = 0;
+    for (const auto& f : frames) total += f.cloud.size();
+    return static_cast<double>(total) / static_cast<double>(frames.size());
+  }
+};
+
+/// A subset of a dataset, as frame indices (into Dataset::frames).
+using IndexSet = std::vector<std::size_t>;
+
+}  // namespace fuse::data

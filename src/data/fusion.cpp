@@ -1,0 +1,42 @@
+#include "data/fusion.h"
+
+#include <algorithm>
+
+namespace fuse::data {
+
+FusedDataset::FusedDataset(const Dataset& dataset, std::size_t m)
+    : dataset_(&dataset), m_(m) {
+  samples_.reserve(dataset.size());
+  for (const auto& [first, count] : dataset.sequences) {
+    for (std::size_t k = 0; k < count; ++k) {
+      FusedSample s;
+      s.centre = first + k;
+      s.constituents.reserve(2 * m_ + 1);
+      for (std::ptrdiff_t off = -static_cast<std::ptrdiff_t>(m_);
+           off <= static_cast<std::ptrdiff_t>(m_); ++off) {
+        std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(k) + off;
+        idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                         static_cast<std::ptrdiff_t>(count) -
+                                             1);
+        s.constituents.push_back(first + static_cast<std::size_t>(idx));
+      }
+      samples_.push_back(std::move(s));
+    }
+  }
+}
+
+std::size_t FusedDataset::fused_point_count(std::size_t i) const {
+  std::size_t n = 0;
+  for (const std::size_t f : samples_[i].constituents)
+    n += dataset_->frames[f].cloud.size();
+  return n;
+}
+
+fuse::radar::PointCloud FusedDataset::fused_cloud(std::size_t i) const {
+  fuse::radar::PointCloud cloud;
+  for (const std::size_t f : samples_[i].constituents)
+    cloud.append(dataset_->frames[f].cloud);
+  return cloud;
+}
+
+}  // namespace fuse::data

@@ -1,0 +1,51 @@
+#pragma once
+// Multi-frame point-cloud fusion — the paper's first contribution (Eq. 3).
+//
+// The fused sample F[k] concatenates the point clouds of frames
+// k-M .. k+M of the same sequence; the label stays the centre frame's
+// pose.  At sequence boundaries the window is clamped (edge frames are
+// repeated) so every frame of the dataset yields a fused sample and the
+// split sizes are independent of M.
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace fuse::data {
+
+/// One fused sample: the centre frame plus the (2M+1) constituent frame
+/// indices, oldest first.
+struct FusedSample {
+  std::size_t centre = 0;
+  std::vector<std::size_t> constituents;  ///< size 2M+1, clamped at edges
+};
+
+/// View over a dataset with fusion window M (M = 0 reduces to single-frame).
+class FusedDataset {
+ public:
+  FusedDataset(const Dataset& dataset, std::size_t m);
+
+  const Dataset& dataset() const { return *dataset_; }
+  std::size_t fusion_m() const { return m_; }
+  std::size_t frames_per_sample() const { return 2 * m_ + 1; }
+  std::size_t size() const { return samples_.size(); }
+
+  const FusedSample& sample(std::size_t i) const { return samples_[i]; }
+  const LabeledFrame& centre_frame(std::size_t i) const {
+    return dataset_->frames[samples_[i].centre];
+  }
+
+  /// Total number of points across the constituents of sample i.
+  std::size_t fused_point_count(std::size_t i) const;
+
+  /// Concatenated point cloud of sample i (for visualisation / metrics).
+  fuse::radar::PointCloud fused_cloud(std::size_t i) const;
+
+ private:
+  const Dataset* dataset_;
+  std::size_t m_;
+  std::vector<FusedSample> samples_;
+};
+
+}  // namespace fuse::data

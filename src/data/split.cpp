@@ -1,0 +1,74 @@
+#include "data/split.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fuse::data {
+
+ChronoSplit chrono_split(const Dataset& dataset, double train_frac,
+                         double val_frac) {
+  if (train_frac <= 0.0 || val_frac < 0.0 || train_frac + val_frac >= 1.0)
+    throw std::invalid_argument("chrono_split: bad fractions");
+  ChronoSplit split;
+  for (const auto& [first, count] : dataset.sequences) {
+    const auto n_train = static_cast<std::size_t>(
+        static_cast<double>(count) * train_frac);
+    const auto n_val =
+        static_cast<std::size_t>(static_cast<double>(count) * val_frac);
+    for (std::size_t k = 0; k < count; ++k) {
+      if (k < n_train)
+        split.train.push_back(first + k);
+      else if (k < n_train + n_val)
+        split.val.push_back(first + k);
+      else
+        split.test.push_back(first + k);
+    }
+  }
+  return split;
+}
+
+LeaveOutSplit leave_out_split(const Dataset& dataset,
+                              std::size_t held_out_subject,
+                              fuse::human::Movement held_out_movement) {
+  LeaveOutSplit split;
+  split.held_out_subject = held_out_subject;
+  split.held_out_movement = held_out_movement;
+  for (std::size_t i = 0; i < dataset.frames.size(); ++i) {
+    const LabeledFrame& f = dataset.frames[i];
+    const bool subj_held = f.subject == held_out_subject;
+    const bool mov_held = f.movement == held_out_movement;
+    if (!subj_held && !mov_held) {
+      split.train.push_back(i);
+    } else if (subj_held && mov_held) {
+      split.test.push_back(i);
+    }
+    // Frames touching only one held-out factor are discarded, per the paper.
+  }
+  return split;
+}
+
+std::pair<IndexSet, IndexSet> finetune_eval_split(const IndexSet& test,
+                                                  std::size_t n_finetune) {
+  n_finetune = std::min(n_finetune, test.size());
+  IndexSet ft(test.begin(), test.begin() + static_cast<std::ptrdiff_t>(
+                                               n_finetune));
+  IndexSet ev(test.begin() + static_cast<std::ptrdiff_t>(n_finetune),
+              test.end());
+  return {std::move(ft), std::move(ev)};
+}
+
+IndexSet TaskSampler::sample_task(std::size_t n) {
+  if (pool_.empty()) throw std::logic_error("TaskSampler: empty pool");
+  IndexSet task;
+  task.reserve(n);
+  if (n <= pool_.size()) {
+    const auto picks = rng_.sample_indices(pool_.size(), n);
+    for (const auto p : picks) task.push_back(pool_[p]);
+  } else {
+    for (std::size_t i = 0; i < n; ++i)
+      task.push_back(pool_[rng_.uniform_int(pool_.size())]);
+  }
+  return task;
+}
+
+}  // namespace fuse::data

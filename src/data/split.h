@@ -1,0 +1,70 @@
+#pragma once
+// Dataset splits and meta-learning task sampling.
+//
+// Two split schemes from the paper:
+//  * chrono_split — Section 4.1/4.2: each (subject, movement) sequence is
+//    individually split 60% / 20% / 20% into train / validation / test by
+//    time order (time-ordered, so fused windows never straddle splits'
+//    information boundary the way a random frame shuffle would).
+//  * leave_out_split — Section 4.3.1: the worst-case adaptation split.
+//    D_train holds the nine seen movements of the three seen subjects;
+//    D_test holds exactly the held-out (subject, movement) pair; all other
+//    frames touching the held-out subject or movement are discarded.
+//
+// Task sampling follows Definitions 1-2: a task is a uniformly sampled set
+// of fused-sample indices from D_train.
+
+#include <cstddef>
+
+#include "data/dataset.h"
+#include "human/movements.h"
+#include "util/rng.h"
+
+namespace fuse::data {
+
+struct ChronoSplit {
+  IndexSet train, val, test;
+};
+
+/// Per-sequence 60/20/20 time-ordered split.
+ChronoSplit chrono_split(const Dataset& dataset, double train_frac = 0.6,
+                         double val_frac = 0.2);
+
+struct LeaveOutSplit {
+  IndexSet train;      ///< seen subjects x seen movements
+  IndexSet test;       ///< the held-out (subject, movement) pair
+  std::size_t held_out_subject = 3;
+  fuse::human::Movement held_out_movement =
+      fuse::human::Movement::kRightLimbExtension;
+};
+
+/// The paper's adaptation split (defaults: user 4 / "right limb extension").
+LeaveOutSplit leave_out_split(
+    const Dataset& dataset, std::size_t held_out_subject = 3,
+    fuse::human::Movement held_out_movement =
+        fuse::human::Movement::kRightLimbExtension);
+
+/// Splits an index set into (fine-tune, eval): the first n_finetune indices
+/// in time order fine-tune the model, the rest evaluate it (Section 4.1
+/// uses 200 fine-tune frames).
+std::pair<IndexSet, IndexSet> finetune_eval_split(const IndexSet& test,
+                                                  std::size_t n_finetune);
+
+/// Task sampler over a pool of fused-sample indices (Definition 2).
+class TaskSampler {
+ public:
+  TaskSampler(IndexSet pool, fuse::util::Rng rng)
+      : pool_(std::move(pool)), rng_(rng) {}
+
+  /// Samples a task: n indices drawn uniformly (without replacement when
+  /// n <= pool size, with replacement otherwise).
+  IndexSet sample_task(std::size_t n);
+
+  std::size_t pool_size() const { return pool_.size(); }
+
+ private:
+  IndexSet pool_;
+  fuse::util::Rng rng_;
+};
+
+}  // namespace fuse::data

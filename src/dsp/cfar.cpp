@@ -1,0 +1,171 @@
+#include "dsp/cfar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fuse::dsp {
+
+float cfar_scale_for_pfa(std::size_t n_train, double pfa) {
+  if (n_train == 0 || pfa <= 0.0 || pfa >= 1.0)
+    throw std::invalid_argument("cfar_scale_for_pfa: bad arguments");
+  const double n = static_cast<double>(n_train);
+  return static_cast<float>(n * (std::pow(pfa, -1.0 / n) - 1.0));
+}
+
+namespace {
+
+// Mean of training cells around index i (1-D), skipping guards and clipping
+// at the array edges.  Returns the number of cells actually used.
+std::size_t training_mean(std::span<const float> p, std::size_t i,
+                          const CfarConfig& cfg, float* mean_out) {
+  const std::size_t n = p.size();
+  double acc = 0.0;
+  std::size_t count = 0;
+  const std::size_t g = cfg.guard_cells, t = cfg.train_cells;
+  // Leading side.
+  for (std::size_t k = 1; k <= t; ++k) {
+    const std::size_t off = g + k;
+    if (i >= off) {
+      acc += p[i - off];
+      ++count;
+    }
+    if (i + off < n) {
+      acc += p[i + off];
+      ++count;
+    }
+  }
+  *mean_out = count > 0 ? static_cast<float>(acc / count) : 0.0f;
+  return count;
+}
+
+}  // namespace
+
+std::vector<Detection1d> ca_cfar_1d(std::span<const float> power,
+                                    const CfarConfig& cfg) {
+  std::vector<Detection1d> out;
+  const std::size_t n = power.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    float noise = 0.0f;
+    if (training_mean(power, i, cfg, &noise) == 0) continue;
+    const float threshold = cfg.threshold_scale * noise;
+    if (power[i] > threshold && noise > 0.0f) {
+      // Local-maximum gate: one detection per peak.
+      const bool left_ok = i == 0 || power[i] >= power[i - 1];
+      const bool right_ok = i + 1 == n || power[i] > power[i + 1];
+      if (left_ok && right_ok)
+        out.push_back({i, power[i], threshold, power[i] / noise});
+    }
+  }
+  return out;
+}
+
+std::vector<Detection1d> os_cfar_1d(std::span<const float> power,
+                                    const CfarConfig& cfg) {
+  std::vector<Detection1d> out;
+  const std::size_t n = power.size();
+  std::vector<float> train;
+  train.reserve(2 * cfg.train_cells);
+  for (std::size_t i = 0; i < n; ++i) {
+    train.clear();
+    const std::size_t g = cfg.guard_cells, t = cfg.train_cells;
+    for (std::size_t k = 1; k <= t; ++k) {
+      const std::size_t off = g + k;
+      if (i >= off) train.push_back(power[i - off]);
+      if (i + off < n) train.push_back(power[i + off]);
+    }
+    if (train.empty()) continue;
+    const std::size_t rank = std::min(
+        train.size() - 1,
+        static_cast<std::size_t>(cfg.os_rank_fraction *
+                                 static_cast<float>(train.size())));
+    std::nth_element(train.begin(), train.begin() + rank, train.end());
+    const float noise = train[rank];
+    const float threshold = cfg.threshold_scale * noise;
+    if (power[i] > threshold && noise > 0.0f) {
+      const bool left_ok = i == 0 || power[i] >= power[i - 1];
+      const bool right_ok = i + 1 == n || power[i] > power[i + 1];
+      if (left_ok && right_ok)
+        out.push_back({i, power[i], threshold, power[i] / noise});
+    }
+  }
+  return out;
+}
+
+std::vector<Detection2d> ca_cfar_2d(std::span<const float> power_map,
+                                    std::size_t n_range,
+                                    std::size_t n_doppler,
+                                    const CfarConfig& cfg) {
+  if (power_map.size() != n_range * n_doppler)
+    throw std::invalid_argument("ca_cfar_2d: map size mismatch");
+  std::vector<Detection2d> out;
+  auto at = [&](std::size_t r, std::size_t d) -> float {
+    return power_map[r * n_doppler + d];
+  };
+
+  for (std::size_t r = 0; r < n_range; ++r) {
+    for (std::size_t d = 0; d < n_doppler; ++d) {
+      const float cut = at(r, d);
+      if (cut <= 0.0f) continue;
+
+      // Doppler-axis training window (wraps: Doppler spectrum is circular).
+      double acc_d = 0.0;
+      std::size_t cnt_d = 0;
+      for (std::size_t k = 1; k <= cfg.train_cells; ++k) {
+        const std::size_t off = (cfg.guard_cells + k) % n_doppler;
+        acc_d += at(r, (d + off) % n_doppler);
+        acc_d += at(r, (d + n_doppler - off) % n_doppler);
+        cnt_d += 2;
+      }
+      if (cnt_d == 0) continue;
+      const float noise_d = static_cast<float>(acc_d / cnt_d);
+      if (cut <= cfg.threshold_scale * noise_d) continue;
+
+      float noise = noise_d;
+      if (cfg.mode_2d == Cfar2dMode::kCross) {
+        // Range-axis training window (clipped at the edges).
+        double acc_r = 0.0;
+        std::size_t cnt_r = 0;
+        for (std::size_t k = 1; k <= cfg.train_cells; ++k) {
+          const std::size_t off = cfg.guard_cells + k;
+          if (r >= off) { acc_r += at(r - off, d); ++cnt_r; }
+          if (r + off < n_range) { acc_r += at(r + off, d); ++cnt_r; }
+        }
+        if (cnt_r == 0) continue;
+        const float noise_r = static_cast<float>(acc_r / cnt_r);
+        if (cut <= cfg.threshold_scale * noise_r) continue;
+        noise = 0.5f * (noise_r + noise_d);
+      }
+
+      // Local-maximum gating.
+      bool is_peak = true;
+      const int r_lo = cfg.local_max_2d == CfarLocalMax::kFull ? -1 : 0;
+      const int r_hi = cfg.local_max_2d == CfarLocalMax::kFull ? 1 : 0;
+      if (cfg.local_max_2d != CfarLocalMax::kNone) {
+        for (int dr = r_lo; dr <= r_hi && is_peak; ++dr) {
+          for (int dd = -1; dd <= 1; ++dd) {
+            if (dr == 0 && dd == 0) continue;
+            const std::ptrdiff_t rr = static_cast<std::ptrdiff_t>(r) + dr;
+            if (rr < 0 || rr >= static_cast<std::ptrdiff_t>(n_range))
+              continue;
+            const std::size_t dd_idx =
+                (d + n_doppler + static_cast<std::size_t>(dd + 1) - 1) %
+                n_doppler;
+            const float nb = at(static_cast<std::size_t>(rr), dd_idx);
+            // Strict inequality on "later" cells breaks plateau ties.
+            if (nb > cut || (nb == cut && (dr > 0 || (dr == 0 && dd > 0)))) {
+              is_peak = false;
+              break;
+            }
+          }
+        }
+      }
+      if (!is_peak) continue;
+
+      out.push_back({r, d, cut, noise > 0.0f ? cut / noise : 0.0f});
+    }
+  }
+  return out;
+}
+
+}  // namespace fuse::dsp

@@ -1,0 +1,89 @@
+#pragma once
+// Constant false alarm rate (CFAR) detectors.
+//
+// The IWR1443 firmware runs CFAR on the range profile and on the
+// range-Doppler map to pick out real reflections against thermal noise.  We
+// implement cell-averaging (CA) CFAR in 1-D and 2-D and ordered-statistic
+// (OS) CFAR in 1-D; the 2-D CA variant is what the radar point-cloud
+// pipeline uses, the others support tests/ablations.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fuse::dsp {
+
+/// Which axes the 2-D detector thresholds against.
+enum class Cfar2dMode {
+  /// CUT must exceed the threshold on both the range-axis and Doppler-axis
+  /// training windows (conservative; good for point targets in clutter).
+  kCross,
+  /// CUT must exceed the Doppler-axis threshold only.  This is what the TI
+  /// demo firmware effectively does for extended targets: an extended body
+  /// contaminates the range-axis training cells, so range-axis CFAR would
+  /// suppress most of the body's cells.
+  kDopplerAxis,
+};
+
+/// Local-maximum gating applied after thresholding.
+enum class CfarLocalMax {
+  kNone,     ///< emit every cell that passes the threshold
+  kDoppler,  ///< emit only cells that are maxima along the Doppler axis
+             ///< (dedupes Doppler mainlobe smearing, keeps extended-range
+             ///< bodies intact)
+  kFull,     ///< emit only 3x3 local maxima (one point per isolated target)
+};
+
+struct CfarConfig {
+  std::size_t guard_cells = 2;  ///< guard cells on each side of the CUT
+  std::size_t train_cells = 8;  ///< training cells on each side
+  /// Scaling of the noise estimate; threshold = scale * mean(train cells).
+  /// For CA-CFAR with N training cells and desired false-alarm rate Pfa,
+  /// scale = N * (Pfa^(-1/N) - 1); see cfar_scale_for_pfa().
+  float threshold_scale = 8.0f;
+  /// OS-CFAR: rank of the order statistic as a fraction of the training
+  /// window (0.75 == 3rd quartile).
+  float os_rank_fraction = 0.75f;
+  /// 2-D detector behaviour (see enum docs).
+  Cfar2dMode mode_2d = Cfar2dMode::kCross;
+  CfarLocalMax local_max_2d = CfarLocalMax::kFull;
+};
+
+/// Computes the CA-CFAR threshold multiplier achieving false-alarm
+/// probability pfa with n training cells (square-law detector).
+float cfar_scale_for_pfa(std::size_t n_train, double pfa);
+
+struct Detection1d {
+  std::size_t index = 0;
+  float power = 0.0f;      ///< CUT power
+  float threshold = 0.0f;  ///< threshold it exceeded
+  float snr = 0.0f;        ///< power / noise-estimate
+};
+
+/// 1-D cell-averaging CFAR over a power profile.
+std::vector<Detection1d> ca_cfar_1d(std::span<const float> power,
+                                    const CfarConfig& cfg);
+
+/// 1-D ordered-statistic CFAR (robust to clutter edges / multiple targets).
+std::vector<Detection1d> os_cfar_1d(std::span<const float> power,
+                                    const CfarConfig& cfg);
+
+struct Detection2d {
+  std::size_t row = 0;  ///< range bin
+  std::size_t col = 0;  ///< Doppler bin
+  float power = 0.0f;
+  float snr = 0.0f;
+};
+
+/// 2-D cell-averaging CFAR over a range-Doppler power map (row-major
+/// [n_range, n_doppler]).  Runs a cross-shaped training window (CFAR along
+/// both axes, CUT must pass both), matching the cascaded range-then-Doppler
+/// scheme in the TI demo firmware.  Detections are additionally required to
+/// be local maxima in their 3x3 neighbourhood so each target yields one
+/// peak per lobe.
+std::vector<Detection2d> ca_cfar_2d(std::span<const float> power_map,
+                                    std::size_t n_range,
+                                    std::size_t n_doppler,
+                                    const CfarConfig& cfg);
+
+}  // namespace fuse::dsp

@@ -1,0 +1,62 @@
+#include "human/anthropometrics.h"
+
+#include <stdexcept>
+
+namespace fuse::human {
+
+Anthropometrics make_anthropometrics(float height, float build) {
+  if (height < 1.2f || height > 2.2f)
+    throw std::invalid_argument("make_anthropometrics: implausible height");
+  Anthropometrics a;
+  a.height = height;
+  // Drillis & Contini segment fractions of standing height.
+  a.shoulder_half_w = 0.129f * height * build;
+  a.hip_half_w = 0.055f * height * build;
+  a.torso_len = 0.288f * height;
+  a.neck_len = 0.052f * height;
+  a.head_len = 0.070f * height;
+  a.upper_arm = 0.186f * height;
+  a.forearm = 0.146f * height;
+  a.thigh = 0.245f * height;
+  a.shank = 0.246f * height;
+  a.foot_len = 0.152f * height;
+  a.ankle_height = 0.039f * height;
+  a.torso_radius = 0.075f * height * build;
+  a.limb_radius = 0.028f * height * build;
+  a.head_radius = 0.058f * height;
+  return a;
+}
+
+Subject make_subject(std::size_t id) {
+  if (id >= kNumSubjects)
+    throw std::invalid_argument("make_subject: id out of range");
+  Subject s;
+  s.id = id;
+  switch (id) {
+    case 0:  // tall, average build, slow deliberate movements
+      s.body = make_anthropometrics(1.84f, 1.00f);
+      s.style = {0.95f, 3.8f, 0.8f, 2.25f, 0.05f};
+      break;
+    case 1:  // average height, broad build, energetic
+      s.body = make_anthropometrics(1.75f, 1.12f);
+      s.style = {1.10f, 2.6f, 1.1f, 2.10f, -0.08f};
+      break;
+    case 2:  // shorter, light build
+      s.body = make_anthropometrics(1.62f, 0.90f);
+      s.style = {1.00f, 3.1f, 1.3f, 2.35f, 0.00f};
+      break;
+    case 3:  // the held-out subject (leave-out split): deliberately outside
+             // the others' envelope — short, broad, fast-moving, and much
+             // closer to the radar.  Section 4.3.1 calls this split "the
+             // worst-case scenario"; a genuine distribution shift is what
+             // makes the adaptation experiment meaningful.
+      s.body = make_anthropometrics(1.58f, 1.15f);
+      s.style = {1.35f, 2.2f, 1.4f, 1.70f, 0.15f};
+      break;
+    default:
+      break;
+  }
+  return s;
+}
+
+}  // namespace fuse::human

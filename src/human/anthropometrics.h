@@ -1,0 +1,61 @@
+#pragma once
+// Per-subject body dimensions.
+//
+// Segment lengths follow the Drillis & Contini anthropometric proportions
+// (fractions of standing height), so a single height parameter produces a
+// consistent skeleton.  The MARS dataset has four subjects; make_subject()
+// provides four fixed, distinct parameter sets (different heights, builds
+// and movement styles) so the leave-one-subject-out experiment has a real
+// inter-subject distribution shift to generalise across.
+
+#include <cstddef>
+
+namespace fuse::human {
+
+struct Anthropometrics {
+  float height = 1.75f;          ///< standing height (m)
+  float shoulder_half_w = 0.20f; ///< half shoulder width (m)
+  float hip_half_w = 0.10f;      ///< half hip width (m)
+  float torso_len = 0.49f;       ///< spine base -> spine shoulder
+  float neck_len = 0.09f;        ///< spine shoulder -> head base
+  float head_len = 0.12f;        ///< neck -> head centre
+  float upper_arm = 0.33f;
+  float forearm = 0.26f;         ///< elbow -> wrist
+  float thigh = 0.43f;
+  float shank = 0.43f;           ///< knee -> ankle
+  float foot_len = 0.20f;
+  float ankle_height = 0.08f;
+  float torso_radius = 0.13f;    ///< capsule radius for surface sampling
+  float limb_radius = 0.05f;
+  float head_radius = 0.10f;
+
+  /// Standing pelvis (spine base) height.
+  float pelvis_height() const { return thigh + shank + ankle_height; }
+};
+
+/// Derives all segment lengths from height and a build factor
+/// (1.0 = average build; > 1 broader/heavier).
+Anthropometrics make_anthropometrics(float height, float build = 1.0f);
+
+/// Movement style: per-subject multipliers applied by the movement
+/// generators so the same exercise looks different across subjects.
+struct MovementStyle {
+  float amplitude = 1.0f;   ///< range-of-motion multiplier
+  float period_s = 3.2f;    ///< seconds per repetition
+  float sway = 1.0f;        ///< postural sway multiplier
+  float distance_m = 2.2f;  ///< standing distance from the radar
+  float lateral_m = 0.0f;   ///< lateral offset from boresight
+};
+
+struct Subject {
+  std::size_t id = 0;
+  Anthropometrics body;
+  MovementStyle style;
+};
+
+inline constexpr std::size_t kNumSubjects = 4;
+
+/// The four MARS-like subjects (id in [0, 4)).
+Subject make_subject(std::size_t id);
+
+}  // namespace fuse::human

@@ -1,0 +1,100 @@
+#include "human/kinematics.h"
+
+#include <cmath>
+
+namespace fuse::human {
+
+using fuse::util::Vec3;
+using fuse::util::rotate_axis_angle;
+
+BodyState standing_state(const Subject& subject) {
+  BodyState s;
+  s.pelvis = {subject.style.lateral_m, subject.style.distance_m,
+              subject.body.pelvis_height()};
+  return s;
+}
+
+Pose forward_kinematics(const BodyState& st, const Anthropometrics& b) {
+  Pose pose;
+
+  // Body frame.  The subject faces the radar: forward f = -y (after yaw),
+  // anatomical left l = +x, up = +z.
+  const Vec3 world_up{0.0f, 0.0f, 1.0f};
+  Vec3 fwd = rotate_axis_angle({0.0f, -1.0f, 0.0f}, world_up, st.torso_yaw);
+  Vec3 left = world_up.cross(fwd);  // (+x when yaw == 0)
+
+  // Torso axis: up-vector pitched about the lateral axis (lean forward)
+  // then rolled about the forward axis (lean sideways).
+  Vec3 torso_up = rotate_axis_angle(world_up, left, st.torso_pitch);
+  torso_up = rotate_axis_angle(torso_up, fwd, -st.torso_roll);
+  // Forward direction that stays orthogonal to the leaned torso.
+  const Vec3 torso_fwd = left.cross(torso_up).normalized() * -1.0f;
+
+  // --- spine -----------------------------------------------------------
+  pose[Joint::kSpineBase] = st.pelvis;
+  pose[Joint::kSpineMid] = st.pelvis + torso_up * (0.5f * b.torso_len);
+  const Vec3 spine_shoulder = st.pelvis + torso_up * b.torso_len;
+  pose[Joint::kSpineShoulder] = spine_shoulder;
+  pose[Joint::kNeck] = spine_shoulder + torso_up * b.neck_len;
+  pose[Joint::kHead] = pose[Joint::kNeck] + torso_up * b.head_len;
+
+  // --- arms --------------------------------------------------------------
+  // Hanging arm direction is -torso_up; abduction rotates it away from the
+  // midline around the torso-forward axis, flexion rotates it forward
+  // around the lateral axis.
+  auto arm_chain = [&](const ArmState& arm, float side) {
+    // side = +1 for left (towards +x), -1 for right.
+    Vec3 dir = torso_up * -1.0f;
+    dir = rotate_axis_angle(dir, torso_fwd, -side * arm.shoulder_abduction);
+    dir = rotate_axis_angle(dir, left, -arm.shoulder_flexion);
+    const Vec3 shoulder =
+        spine_shoulder + left * (side * b.shoulder_half_w) -
+        torso_up * 0.02f;
+    const Vec3 elbow = shoulder + dir * b.upper_arm;
+    // Elbow hinge axis: perpendicular to the upper arm, close to lateral.
+    Vec3 hinge = dir.cross(torso_fwd);
+    if (hinge.norm() < 1e-4f) hinge = left;
+    hinge = hinge.normalized();
+    const Vec3 fore_dir = rotate_axis_angle(dir, hinge, -arm.elbow_flexion);
+    const Vec3 wrist = elbow + fore_dir * b.forearm;
+    return std::array<Vec3, 3>{shoulder, elbow, wrist};
+  };
+  const auto la = arm_chain(st.left_arm, +1.0f);
+  pose[Joint::kShoulderLeft] = la[0];
+  pose[Joint::kElbowLeft] = la[1];
+  pose[Joint::kWristLeft] = la[2];
+  const auto ra = arm_chain(st.right_arm, -1.0f);
+  pose[Joint::kShoulderRight] = ra[0];
+  pose[Joint::kElbowRight] = ra[1];
+  pose[Joint::kWristRight] = ra[2];
+
+  // --- legs --------------------------------------------------------------
+  auto leg_chain = [&](const LegState& leg, float side) {
+    const Vec3 hip = st.pelvis + left * (side * b.hip_half_w) -
+                     world_up * 0.02f;
+    Vec3 dir{0.0f, 0.0f, -1.0f};
+    dir = rotate_axis_angle(dir, fwd, -side * leg.hip_abduction);
+    dir = rotate_axis_angle(dir, left, -leg.hip_flexion);
+    const Vec3 knee = hip + dir * b.thigh;
+    // Knee flexion folds the shank backwards about the lateral axis.
+    const Vec3 shank_dir = rotate_axis_angle(dir, left, leg.knee_flexion);
+    const Vec3 ankle = knee + shank_dir * b.shank;
+    const Vec3 foot = ankle + fwd * (0.7f * b.foot_len) -
+                      world_up * (0.6f * b.ankle_height);
+    return std::array<Vec3, 4>{hip, knee, ankle, foot};
+  };
+  const auto ll = leg_chain(st.left_leg, +1.0f);
+  pose[Joint::kHipLeft] = ll[0];
+  pose[Joint::kKneeLeft] = ll[1];
+  pose[Joint::kAnkleLeft] = ll[2];
+  pose[Joint::kFootLeft] = ll[3];
+  const auto rl = leg_chain(st.right_leg, -1.0f);
+  pose[Joint::kHipRight] = rl[0];
+  pose[Joint::kKneeRight] = rl[1];
+  pose[Joint::kAnkleRight] = rl[2];
+  pose[Joint::kFootRight] = rl[3];
+
+  return pose;
+}
+
+}  // namespace fuse::human

@@ -1,0 +1,41 @@
+#pragma once
+// Forward kinematics: BodyState (joint angles + root placement) -> Pose.
+//
+// The body is a simple articulated chain rooted at the pelvis.  The subject
+// faces the radar, i.e. their "forward" is the -y world direction and their
+// anatomical left is +x.  Angles are radians; zero state is upright standing
+// with arms hanging at the sides.
+
+#include "human/anthropometrics.h"
+#include "human/skeleton.h"
+
+namespace fuse::human {
+
+struct ArmState {
+  float shoulder_abduction = 0.0f;  ///< raise arm sideways (0 = hanging)
+  float shoulder_flexion = 0.0f;    ///< raise arm forward
+  float elbow_flexion = 0.0f;       ///< 0 = straight arm
+};
+
+struct LegState {
+  float hip_flexion = 0.0f;    ///< thigh forward
+  float hip_abduction = 0.0f;  ///< thigh sideways (away from midline)
+  float knee_flexion = 0.0f;   ///< 0 = straight leg
+};
+
+struct BodyState {
+  fuse::util::Vec3 pelvis;      ///< spine-base world position
+  float torso_pitch = 0.0f;     ///< forward lean (> 0 towards the radar)
+  float torso_roll = 0.0f;      ///< lateral lean (> 0 to subject's left)
+  float torso_yaw = 0.0f;       ///< rotation about vertical
+  ArmState left_arm, right_arm;
+  LegState left_leg, right_leg;
+};
+
+/// Standing BodyState for a subject at their configured position.
+BodyState standing_state(const Subject& subject);
+
+/// Computes all 19 joint positions.
+Pose forward_kinematics(const BodyState& state, const Anthropometrics& body);
+
+}  // namespace fuse::human

@@ -1,0 +1,171 @@
+#include "human/movements.h"
+
+#include <cmath>
+
+namespace fuse::human {
+
+using fuse::util::deg2rad;
+using fuse::util::kPi;
+
+std::string_view movement_name(Movement m) {
+  switch (m) {
+    case Movement::kLeftUpperLimbExtension: return "left upper limb extension";
+    case Movement::kRightUpperLimbExtension:
+      return "right upper limb extension";
+    case Movement::kBothUpperLimbExtension: return "both upper limb extension";
+    case Movement::kLeftFrontLunge: return "left front lunge";
+    case Movement::kRightFrontLunge: return "right front lunge";
+    case Movement::kLeftSideLunge: return "left side lunge";
+    case Movement::kRightSideLunge: return "right side lunge";
+    case Movement::kSquat: return "squat";
+    case Movement::kLeftLimbExtension: return "left limb extension";
+    case Movement::kRightLimbExtension: return "right limb extension";
+  }
+  return "?";
+}
+
+MovementGenerator::MovementGenerator(Subject subject, Movement movement,
+                                     fuse::util::Rng rng)
+    : subject_(std::move(subject)),
+      movement_(movement),
+      rng_(rng),
+      period_(subject_.style.period_s) {
+  sway_phase_x_ = rng_.uniformf(0.0f, 2.0f * kPi);
+  sway_phase_y_ = rng_.uniformf(0.0f, 2.0f * kPi);
+}
+
+float MovementGenerator::envelope(double t, std::size_t* cycle) const {
+  const double phase = t / period_;
+  *cycle = static_cast<std::size_t>(phase);
+  const double frac = phase - std::floor(phase);
+  // Raised cosine: 0 at rest, 1 at the extreme, with a short hold at the top
+  // (real exercises pause at full extension).
+  const double hold_lo = 0.42, hold_hi = 0.58;
+  double e;
+  if (frac < hold_lo) {
+    e = 0.5 * (1.0 - std::cos(kPi * frac / hold_lo));
+  } else if (frac < hold_hi) {
+    e = 1.0;
+  } else {
+    e = 0.5 * (1.0 - std::cos(kPi * (1.0 - frac) / (1.0 - hold_hi)));
+  }
+  return static_cast<float>(e);
+}
+
+void MovementGenerator::apply_movement(BodyState& st, float e) const {
+  const float amp = subject_.style.amplitude * cycle_amp_ * e;
+  const Anthropometrics& b = subject_.body;
+
+  auto raise_arm = [&](ArmState& arm) {
+    arm.shoulder_abduction = amp * deg2rad(155.0f);
+    arm.elbow_flexion = amp * deg2rad(8.0f);
+  };
+  auto front_lunge = [&](LegState& front, LegState& back) {
+    front.hip_flexion = amp * deg2rad(55.0f);
+    front.knee_flexion = amp * deg2rad(70.0f);
+    back.knee_flexion = amp * deg2rad(25.0f);
+    st.pelvis.y -= amp * 0.28f;  // step towards the radar
+    st.pelvis.z -= amp * 0.16f;
+    st.torso_pitch += amp * deg2rad(10.0f);
+  };
+  auto side_lunge = [&](float side) {
+    LegState& bend = side > 0 ? st.left_leg : st.right_leg;
+    LegState& straight = side > 0 ? st.right_leg : st.left_leg;
+    bend.hip_abduction = amp * deg2rad(35.0f);
+    bend.knee_flexion = amp * deg2rad(55.0f);
+    straight.hip_abduction = amp * deg2rad(12.0f);
+    st.pelvis.x += side * amp * 0.22f;
+    st.pelvis.z -= amp * 0.12f;
+    st.torso_roll += side * amp * deg2rad(6.0f);
+  };
+  auto limb_extension = [&](float side) {
+    // Arm raised forward while the same-side leg extends backwards —
+    // the "limb extension" balance exercise.
+    ArmState& arm = side > 0 ? st.left_arm : st.right_arm;
+    LegState& leg = side > 0 ? st.left_leg : st.right_leg;
+    arm.shoulder_flexion = amp * deg2rad(140.0f);
+    leg.hip_flexion = -amp * deg2rad(30.0f);
+    leg.knee_flexion = amp * deg2rad(10.0f);
+    st.torso_pitch += amp * deg2rad(14.0f);
+    st.pelvis.y += amp * 0.04f;
+  };
+
+  switch (movement_) {
+    case Movement::kLeftUpperLimbExtension:
+      raise_arm(st.left_arm);
+      break;
+    case Movement::kRightUpperLimbExtension:
+      raise_arm(st.right_arm);
+      break;
+    case Movement::kBothUpperLimbExtension:
+      raise_arm(st.left_arm);
+      raise_arm(st.right_arm);
+      break;
+    case Movement::kLeftFrontLunge:
+      front_lunge(st.left_leg, st.right_leg);
+      break;
+    case Movement::kRightFrontLunge:
+      front_lunge(st.right_leg, st.left_leg);
+      break;
+    case Movement::kLeftSideLunge:
+      side_lunge(+1.0f);
+      break;
+    case Movement::kRightSideLunge:
+      side_lunge(-1.0f);
+      break;
+    case Movement::kSquat: {
+      const float knee = amp * deg2rad(95.0f);
+      const float hip = amp * deg2rad(80.0f);
+      st.left_leg.knee_flexion = st.right_leg.knee_flexion = knee;
+      st.left_leg.hip_flexion = st.right_leg.hip_flexion = hip;
+      // Pelvis drop consistent with the leg geometry.
+      const float drop = b.thigh * (1.0f - std::cos(hip)) +
+                         b.shank * (1.0f - std::cos(knee - hip));
+      st.pelvis.z -= drop;
+      st.pelvis.y += amp * 0.06f;  // hips shift back
+      st.torso_pitch += amp * deg2rad(18.0f);
+      // Arms raised forward for balance.
+      st.left_arm.shoulder_flexion = st.right_arm.shoulder_flexion =
+          amp * deg2rad(85.0f);
+      break;
+    }
+    case Movement::kLeftLimbExtension:
+      limb_extension(+1.0f);
+      break;
+    case Movement::kRightLimbExtension:
+      limb_extension(-1.0f);
+      break;
+  }
+}
+
+BodyState MovementGenerator::state_at(double t) {
+  std::size_t cycle = 0;
+  const float e = envelope(t, &cycle);
+  if (cycle != current_cycle_) {
+    current_cycle_ = cycle;
+    // Cycle-to-cycle variability: each repetition differs a little.
+    cycle_amp_ = 1.0f + 0.08f * static_cast<float>(rng_.gauss());
+    cycle_amp_ = fuse::util::clampf(cycle_amp_, 0.7f, 1.3f);
+  }
+
+  BodyState st = standing_state(subject_);
+  // Low-frequency postural sway (always present, even "standing still").
+  const float sway = 0.008f * subject_.style.sway;
+  st.pelvis.x +=
+      sway * std::sin(2.0f * kPi * 0.31f * static_cast<float>(t) +
+                      sway_phase_x_);
+  st.pelvis.y +=
+      sway * std::sin(2.0f * kPi * 0.23f * static_cast<float>(t) +
+                      sway_phase_y_);
+  st.torso_pitch += 0.3f * sway *
+                    std::sin(2.0f * kPi * 0.17f * static_cast<float>(t));
+
+  apply_movement(st, e);
+  return st;
+}
+
+Pose MovementGenerator::pose_at(double t) {
+  return forward_kinematics(state_at(t), subject_.body);
+}
+
+}  // namespace fuse::human

@@ -1,0 +1,74 @@
+#pragma once
+// Procedural generators for the 10 MARS rehabilitation movements.
+//
+// Each movement is a periodic exercise; a repetition follows a smooth
+// raised-cosine envelope between the standing pose and the exercise's
+// extreme pose.  Subjects modulate amplitude, period, standing position and
+// postural sway through their MovementStyle, and a small amount of cycle-to-
+// cycle variability is injected so no two repetitions are identical — this
+// variability is what the ML problem has to average over.
+
+#include <cstddef>
+#include <string_view>
+
+#include "human/anthropometrics.h"
+#include "human/kinematics.h"
+#include "human/skeleton.h"
+#include "util/rng.h"
+
+namespace fuse::human {
+
+/// The ten MARS exercises.  The FUSE leave-out experiment (Section 4.3.1)
+/// holds out kRightLimbExtension together with subject 3 (user 4).
+enum class Movement : std::size_t {
+  kLeftUpperLimbExtension = 0,
+  kRightUpperLimbExtension,
+  kBothUpperLimbExtension,
+  kLeftFrontLunge,
+  kRightFrontLunge,
+  kLeftSideLunge,
+  kRightSideLunge,
+  kSquat,
+  kLeftLimbExtension,   ///< left arm + left leg extension
+  kRightLimbExtension,  ///< right arm + right leg extension (held out)
+};
+
+inline constexpr std::size_t kNumMovements = 10;
+
+std::string_view movement_name(Movement m);
+
+/// Generates poses for one subject performing one movement.
+class MovementGenerator {
+ public:
+  /// rng drives cycle-to-cycle variability (amplitude/timing jitter and
+  /// postural sway); generators with equal seeds produce equal sequences.
+  MovementGenerator(Subject subject, Movement movement, fuse::util::Rng rng);
+
+  /// Pose at time t (seconds from sequence start).  Call with increasing t;
+  /// per-cycle variability advances when a new repetition begins.
+  Pose pose_at(double t);
+
+  /// BodyState at time t (exposed for tests).
+  BodyState state_at(double t);
+
+  const Subject& subject() const { return subject_; }
+  Movement movement() const { return movement_; }
+
+ private:
+  /// Envelope value in [0, 1] plus the repetition index at time t.
+  float envelope(double t, std::size_t* cycle) const;
+  /// Applies the movement-specific extreme pose scaled by e in [0, 1].
+  void apply_movement(BodyState& st, float e) const;
+
+  Subject subject_;
+  Movement movement_;
+  fuse::util::Rng rng_;
+  double period_;
+  // Per-cycle variability, refreshed when the repetition index changes.
+  std::size_t current_cycle_ = static_cast<std::size_t>(-1);
+  float cycle_amp_ = 1.0f;
+  float sway_phase_x_ = 0.0f;
+  float sway_phase_y_ = 0.0f;
+};
+
+}  // namespace fuse::human

@@ -1,0 +1,54 @@
+#include "human/skeleton.h"
+
+namespace fuse::human {
+
+std::string_view joint_name(Joint j) {
+  switch (j) {
+    case Joint::kSpineBase: return "SpineBase";
+    case Joint::kSpineMid: return "SpineMid";
+    case Joint::kSpineShoulder: return "SpineShoulder";
+    case Joint::kNeck: return "Neck";
+    case Joint::kHead: return "Head";
+    case Joint::kShoulderLeft: return "ShoulderLeft";
+    case Joint::kElbowLeft: return "ElbowLeft";
+    case Joint::kWristLeft: return "WristLeft";
+    case Joint::kShoulderRight: return "ShoulderRight";
+    case Joint::kElbowRight: return "ElbowRight";
+    case Joint::kWristRight: return "WristRight";
+    case Joint::kHipLeft: return "HipLeft";
+    case Joint::kKneeLeft: return "KneeLeft";
+    case Joint::kAnkleLeft: return "AnkleLeft";
+    case Joint::kFootLeft: return "FootLeft";
+    case Joint::kHipRight: return "HipRight";
+    case Joint::kKneeRight: return "KneeRight";
+    case Joint::kAnkleRight: return "AnkleRight";
+    case Joint::kFootRight: return "FootRight";
+  }
+  return "?";
+}
+
+const std::array<Bone, 18>& bones() {
+  static const std::array<Bone, 18> kBones = {{
+      {Joint::kSpineBase, Joint::kSpineMid},
+      {Joint::kSpineMid, Joint::kSpineShoulder},
+      {Joint::kSpineShoulder, Joint::kNeck},
+      {Joint::kNeck, Joint::kHead},
+      {Joint::kSpineShoulder, Joint::kShoulderLeft},
+      {Joint::kShoulderLeft, Joint::kElbowLeft},
+      {Joint::kElbowLeft, Joint::kWristLeft},
+      {Joint::kSpineShoulder, Joint::kShoulderRight},
+      {Joint::kShoulderRight, Joint::kElbowRight},
+      {Joint::kElbowRight, Joint::kWristRight},
+      {Joint::kSpineBase, Joint::kHipLeft},
+      {Joint::kHipLeft, Joint::kKneeLeft},
+      {Joint::kKneeLeft, Joint::kAnkleLeft},
+      {Joint::kAnkleLeft, Joint::kFootLeft},
+      {Joint::kSpineBase, Joint::kHipRight},
+      {Joint::kHipRight, Joint::kKneeRight},
+      {Joint::kKneeRight, Joint::kAnkleRight},
+      {Joint::kAnkleRight, Joint::kFootRight},
+  }};
+  return kBones;
+}
+
+}  // namespace fuse::human

@@ -1,0 +1,84 @@
+#pragma once
+// 19-joint human skeleton matching the MARS / FUSE label set.
+//
+// MARS labels 19 of the Kinect V2's 25 joints (hands, thumbs and foot tips
+// are dropped); the network regresses their x/y/z coordinates, i.e. 57
+// outputs.  World frame: x lateral, y depth (away from the radar), z up
+// from the floor.
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+#include "util/geometry.h"
+
+namespace fuse::human {
+
+inline constexpr std::size_t kNumJoints = 19;
+inline constexpr std::size_t kNumCoords = kNumJoints * 3;  // 57, the CNN output
+
+enum class Joint : std::size_t {
+  kSpineBase = 0,
+  kSpineMid,
+  kSpineShoulder,
+  kNeck,
+  kHead,
+  kShoulderLeft,
+  kElbowLeft,
+  kWristLeft,
+  kShoulderRight,
+  kElbowRight,
+  kWristRight,
+  kHipLeft,
+  kKneeLeft,
+  kAnkleLeft,
+  kFootLeft,
+  kHipRight,
+  kKneeRight,
+  kAnkleRight,
+  kFootRight,
+};
+
+std::string_view joint_name(Joint j);
+
+/// A bone is an ordered pair of joints; used for drawing and for the body
+/// surface model.
+struct Bone {
+  Joint parent;
+  Joint child;
+};
+
+/// Skeleton connectivity (18 bones for 19 joints — a tree).
+const std::array<Bone, 18>& bones();
+
+/// One body pose: a world-frame position per joint.
+struct Pose {
+  std::array<fuse::util::Vec3, kNumJoints> joints{};
+
+  fuse::util::Vec3& operator[](Joint j) {
+    return joints[static_cast<std::size_t>(j)];
+  }
+  const fuse::util::Vec3& operator[](Joint j) const {
+    return joints[static_cast<std::size_t>(j)];
+  }
+
+  /// Mean of all joint positions.
+  fuse::util::Vec3 centroid() const {
+    fuse::util::Vec3 c;
+    for (const auto& p : joints) c += p;
+    return c / static_cast<float>(kNumJoints);
+  }
+
+  /// Mean absolute per-axis difference to another pose (metres).
+  fuse::util::Vec3 mean_abs_error(const Pose& other) const {
+    fuse::util::Vec3 e;
+    for (std::size_t i = 0; i < kNumJoints; ++i) {
+      e.x += std::fabs(joints[i].x - other.joints[i].x);
+      e.y += std::fabs(joints[i].y - other.joints[i].y);
+      e.z += std::fabs(joints[i].z - other.joints[i].z);
+    }
+    return e / static_cast<float>(kNumJoints);
+  }
+};
+
+}  // namespace fuse::human

@@ -1,0 +1,127 @@
+#include "human/surface.h"
+
+#include <cmath>
+
+namespace fuse::human {
+
+using fuse::util::Vec3;
+using fuse::util::kPi;
+
+std::vector<BodyCapsule> build_capsules(const Pose& pose,
+                                        const Pose& pose_next, float dt,
+                                        const Anthropometrics& body) {
+  auto vel = [&](Joint j) {
+    return (pose_next[j] - pose[j]) / dt;
+  };
+  auto cap = [&](Joint j0, Joint j1, float r) {
+    return BodyCapsule{pose[j0], pose[j1], vel(j0), vel(j1), r};
+  };
+
+  std::vector<BodyCapsule> caps;
+  caps.reserve(14);
+  // Torso: one wide capsule spine-base -> spine-shoulder plus the shoulder
+  // and hip girdles.
+  caps.push_back(cap(Joint::kSpineBase, Joint::kSpineShoulder,
+                     body.torso_radius));
+  caps.push_back(cap(Joint::kShoulderLeft, Joint::kShoulderRight,
+                     0.6f * body.torso_radius));
+  caps.push_back(cap(Joint::kHipLeft, Joint::kHipRight,
+                     0.8f * body.torso_radius));
+  // Head.
+  caps.push_back(cap(Joint::kNeck, Joint::kHead, body.head_radius));
+  // Arms.
+  caps.push_back(cap(Joint::kShoulderLeft, Joint::kElbowLeft,
+                     body.limb_radius));
+  caps.push_back(cap(Joint::kElbowLeft, Joint::kWristLeft,
+                     0.8f * body.limb_radius));
+  caps.push_back(cap(Joint::kShoulderRight, Joint::kElbowRight,
+                     body.limb_radius));
+  caps.push_back(cap(Joint::kElbowRight, Joint::kWristRight,
+                     0.8f * body.limb_radius));
+  // Legs.
+  caps.push_back(cap(Joint::kHipLeft, Joint::kKneeLeft,
+                     1.4f * body.limb_radius));
+  caps.push_back(cap(Joint::kKneeLeft, Joint::kAnkleLeft, body.limb_radius));
+  caps.push_back(cap(Joint::kHipRight, Joint::kKneeRight,
+                     1.4f * body.limb_radius));
+  caps.push_back(cap(Joint::kKneeRight, Joint::kAnkleRight,
+                     body.limb_radius));
+  // Feet.
+  caps.push_back(cap(Joint::kAnkleLeft, Joint::kFootLeft,
+                     0.8f * body.limb_radius));
+  caps.push_back(cap(Joint::kAnkleRight, Joint::kFootRight,
+                     0.8f * body.limb_radius));
+  return caps;
+}
+
+fuse::radar::Scene sample_body_surface(const Pose& pose,
+                                       const Pose& pose_next, float dt,
+                                       const Anthropometrics& body,
+                                       const SurfaceSamplerConfig& cfg,
+                                       fuse::util::Rng& rng) {
+  const auto caps = build_capsules(pose, pose_next, dt, body);
+
+  // Area-proportional allocation of the sample budget.
+  std::vector<float> areas(caps.size());
+  float total_area = 0.0f;
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    const float len = (caps[i].b - caps[i].a).norm();
+    areas[i] = 2.0f * kPi * caps[i].radius * std::max(len, 0.02f);
+    total_area += areas[i];
+  }
+
+  fuse::radar::Scene scene;
+  scene.reserve(cfg.target_samples);
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    const BodyCapsule& c = caps[i];
+    const Vec3 axis_raw = c.b - c.a;
+    const float len = axis_raw.norm();
+    if (len < 1e-5f) continue;
+    const Vec3 axis = axis_raw / len;
+    // Orthonormal frame around the axis.
+    Vec3 ref = std::fabs(axis.z) < 0.9f ? Vec3{0.0f, 0.0f, 1.0f}
+                                        : Vec3{1.0f, 0.0f, 0.0f};
+    const Vec3 n1 = axis.cross(ref).normalized();
+    const Vec3 n2 = axis.cross(n1);
+
+    const auto n_samples = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(cfg.target_samples) * areas[i] /
+                  total_area));
+    // Half the surface faces away from the radar; sample double and reject.
+    const float patch_area = areas[i] / static_cast<float>(
+                                            std::max<std::size_t>(1,
+                                                                  n_samples));
+    for (std::size_t s = 0; s < 2 * n_samples; ++s) {
+      const float t = rng.uniformf(0.0f, 1.0f);
+      const float phi = rng.uniformf(0.0f, 2.0f * kPi);
+      const Vec3 normal = n1 * std::cos(phi) + n2 * std::sin(phi);
+      const Vec3 on_axis = c.a + axis_raw * t;
+      const Vec3 world = on_axis + normal * c.radius;
+      // Self-occlusion: keep only patches whose outward normal faces the
+      // radar.
+      const Vec3 to_radar = (cfg.radar_position - world).normalized();
+      if (normal.dot(to_radar) < 0.15f) continue;
+
+      fuse::radar::Scatterer sc;
+      sc.position = world - cfg.radar_position;  // radar frame
+      sc.velocity = fuse::util::lerp(c.va, c.vb, t);
+      if (cfg.micro_motion_sigma > 0.0f) {
+        sc.velocity += Vec3{
+            cfg.micro_motion_sigma * static_cast<float>(rng.gauss()),
+            cfg.micro_motion_sigma * static_cast<float>(rng.gauss()),
+            cfg.micro_motion_sigma * static_cast<float>(rng.gauss())};
+      }
+      // Log-normal speckle around the mean patch RCS.
+      const float mean_rcs = cfg.reflectivity * patch_area;
+      const float speckle = std::exp(
+          cfg.speckle_sigma * static_cast<float>(rng.gauss()) -
+          0.5f * cfg.speckle_sigma * cfg.speckle_sigma);
+      sc.rcs = mean_rcs * speckle;
+      scene.push_back(sc);
+      if (scene.size() >= 2 * cfg.target_samples) break;
+    }
+  }
+  return scene;
+}
+
+}  // namespace fuse::human

@@ -1,0 +1,34 @@
+#include "nn/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fuse::nn {
+
+GradCheckResult check_gradient(const std::function<float()>& loss_fn,
+                               Tensor& param, const Tensor& analytic_grad,
+                               float epsilon, std::size_t max_elements) {
+  GradCheckResult res;
+  const std::size_t n = param.numel();
+  const std::size_t stride = std::max<std::size_t>(1, n / max_elements);
+  for (std::size_t i = 0; i < n; i += stride) {
+    const float orig = param[i];
+    param[i] = orig + epsilon;
+    const float lp = loss_fn();
+    param[i] = orig - epsilon;
+    const float lm = loss_fn();
+    param[i] = orig;
+    const float numeric = (lp - lm) / (2.0f * epsilon);
+    const float analytic = analytic_grad[i];
+    const float abs_err = std::fabs(numeric - analytic);
+    const float denom =
+        std::max({std::fabs(numeric), std::fabs(analytic), 1e-4f});
+    res.max_abs_err = std::max(res.max_abs_err, abs_err);
+    res.max_rel_err = std::max(res.max_rel_err, abs_err / denom);
+    res.rel_errors.push_back(abs_err / denom);
+    ++res.checked;
+  }
+  return res;
+}
+
+}  // namespace fuse::nn

@@ -1,0 +1,49 @@
+#pragma once
+// Finite-difference gradient verification.
+//
+// The whole reproduction stands on hand-written backward passes, so the
+// test suite numerically checks every layer's analytic gradients with
+// central differences.  This header exposes the generic checker.
+
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fuse::nn {
+
+using fuse::tensor::Tensor;
+
+struct GradCheckResult {
+  float max_abs_err = 0.0f;
+  float max_rel_err = 0.0f;
+  std::size_t checked = 0;
+  /// Per-coordinate relative errors (same order as probed coordinates).
+  std::vector<float> rel_errors;
+
+  bool ok(float tol = 2e-2f) const { return max_rel_err < tol; }
+
+  /// Fraction of probed coordinates within the tolerance.  Useful for
+  /// networks with ReLU kinks, where a finite-difference probe occasionally
+  /// steps across an activation boundary and disagrees with the (correct)
+  /// subgradient.
+  float fraction_within(float tol) const {
+    if (rel_errors.empty()) return 1.0f;
+    std::size_t n = 0;
+    for (const float e : rel_errors) n += e < tol;
+    return static_cast<float>(n) / static_cast<float>(rel_errors.size());
+  }
+};
+
+/// Checks d(loss)/d(param) for a scalar-valued function.
+///
+/// `loss_fn` must recompute the loss from scratch (forward pass included) at
+/// the current value of *param.  `analytic_grad` is the gradient claimed by
+/// backward().  Up to `max_elements` coordinates are probed (deterministic
+/// stride over the tensor).
+GradCheckResult check_gradient(const std::function<float()>& loss_fn,
+                               Tensor& param, const Tensor& analytic_grad,
+                               float epsilon = 1e-3f,
+                               std::size_t max_elements = 64);
+
+}  // namespace fuse::nn

@@ -1,0 +1,172 @@
+#include "nn/layers.h"
+
+#include <stdexcept>
+
+#include "tensor/init.h"
+#include "util/thread_pool.h"
+
+namespace fuse::nn {
+
+using fuse::tensor::Trans;
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t pad, fuse::util::Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      pad_(pad),
+      w_({out_channels, in_channels * kernel * kernel}),
+      b_({out_channels}),
+      gw_({out_channels, in_channels * kernel * kernel}),
+      gb_({out_channels}) {
+  fuse::tensor::init_he_normal(w_, in_channels * kernel * kernel, rng);
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  if (x.ndim() != 4 || x.dim(1) != in_channels_)
+    throw std::invalid_argument("Conv2d::forward: bad input shape");
+  n_ = x.dim(0);
+  h_ = x.dim(2);
+  w_in_ = x.dim(3);
+  const std::size_t oh = fuse::tensor::conv_out_size(h_, kernel_, 1, pad_);
+  const std::size_t ow = fuse::tensor::conv_out_size(w_in_, kernel_, 1, pad_);
+
+  col_ = fuse::tensor::im2col(x, kernel_, kernel_, 1, pad_);
+  Tensor y({n_, out_channels_, oh, ow});
+  const std::size_t k = in_channels_ * kernel_ * kernel_;
+  const std::size_t hw = oh * ow;
+
+  // Per-sample GEMM y_n = W * col_n; parallel over the batch (the inner
+  // gemm serialises automatically inside pool workers).
+  fuse::util::parallel_for(0, n_, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t nidx = lo; nidx < hi; ++nidx) {
+      const float* colp = col_.data() + nidx * k * hw;
+      float* yp = y.data() + nidx * out_channels_ * hw;
+      for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+        const float* wrow = w_.data() + oc * k;
+        float* yrow = yp + oc * hw;
+        const float bias = b_[oc];
+        for (std::size_t p = 0; p < hw; ++p) yrow[p] = bias;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const float wv = wrow[kk];
+          const float* crow = colp + kk * hw;
+          for (std::size_t p = 0; p < hw; ++p) yrow[p] += wv * crow[p];
+        }
+      }
+    }
+  }, 4);
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& dy) {
+  const std::size_t oh = fuse::tensor::conv_out_size(h_, kernel_, 1, pad_);
+  const std::size_t ow = fuse::tensor::conv_out_size(w_in_, kernel_, 1, pad_);
+  const std::size_t hw = oh * ow;
+  const std::size_t k = in_channels_ * kernel_ * kernel_;
+  if (dy.ndim() != 4 || dy.dim(0) != n_ || dy.dim(1) != out_channels_ ||
+      dy.dim(2) != oh || dy.dim(3) != ow)
+    throw std::invalid_argument("Conv2d::backward: bad gradient shape");
+
+  // Gradients are accumulated into partials per chunk, then reduced, so the
+  // batch loop can run in parallel without atomics.
+  const std::size_t n_workers = 8;
+  const std::size_t chunk = (n_ + n_workers - 1) / n_workers;
+  std::vector<Tensor> gw_part;
+  std::vector<Tensor> gb_part;
+  for (std::size_t i = 0; i < n_workers; ++i) {
+    gw_part.emplace_back(fuse::tensor::Shape{out_channels_, k});
+    gb_part.emplace_back(fuse::tensor::Shape{out_channels_});
+  }
+
+  Tensor dcol({n_, k, hw});
+  fuse::util::parallel_for(0, n_workers, [&](std::size_t w0, std::size_t w1) {
+    for (std::size_t wk = w0; wk < w1; ++wk) {
+      const std::size_t lo = wk * chunk;
+      const std::size_t hi = std::min(n_, lo + chunk);
+      Tensor& gw = gw_part[wk];
+      Tensor& gb = gb_part[wk];
+      for (std::size_t nidx = lo; nidx < hi; ++nidx) {
+        const float* dyp = dy.data() + nidx * out_channels_ * hw;
+        const float* colp = col_.data() + nidx * k * hw;
+        float* dcolp = dcol.data() + nidx * k * hw;
+        // gw += dy_n * col_n^T ; gb += row sums; dcol_n = W^T * dy_n.
+        for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+          const float* dyrow = dyp + oc * hw;
+          float* gwrow = gw.data() + oc * k;
+          double brow = 0.0;
+          for (std::size_t p = 0; p < hw; ++p) brow += dyrow[p];
+          gb[oc] += static_cast<float>(brow);
+          const float* wrow = w_.data() + oc * k;
+          for (std::size_t kk = 0; kk < k; ++kk) {
+            const float* crow = colp + kk * hw;
+            float* dcrow = dcolp + kk * hw;
+            const float wv = wrow[kk];
+            double acc = 0.0;
+            for (std::size_t p = 0; p < hw; ++p) {
+              acc += static_cast<double>(dyrow[p]) * crow[p];
+              dcrow[p] += wv * dyrow[p];
+            }
+            gwrow[kk] += static_cast<float>(acc);
+          }
+        }
+      }
+    }
+  });
+  for (std::size_t i = 0; i < n_workers; ++i) {
+    gw_ += gw_part[i];
+    gb_ += gb_part[i];
+  }
+  return fuse::tensor::col2im(dcol, n_, in_channels_, h_, w_in_, kernel_,
+                              kernel_, 1, pad_);
+}
+
+Linear::Linear(std::size_t in_features, std::size_t out_features,
+               fuse::util::Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      w_({out_features, in_features}),
+      b_({out_features}),
+      gw_({out_features, in_features}),
+      gb_({out_features}) {
+  fuse::tensor::init_he_normal(w_, in_features, rng);
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  if (x.ndim() != 2 || x.dim(1) != in_features_)
+    throw std::invalid_argument("Linear::forward: bad input shape");
+  x_ = x;
+  Tensor y = fuse::tensor::matmul(x, w_, Trans::kNo, Trans::kYes);
+  fuse::tensor::add_row_bias(y, b_);
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& dy) {
+  if (dy.ndim() != 2 || dy.dim(0) != x_.dim(0) || dy.dim(1) != out_features_)
+    throw std::invalid_argument("Linear::backward: bad gradient shape");
+  // gw += dy^T x ; gb += column sums of dy ; dx = dy W.
+  fuse::tensor::gemm(Trans::kYes, Trans::kNo, 1.0f, dy, x_, 1.0f, gw_);
+  gb_ += fuse::tensor::sum_rows(dy);
+  return fuse::tensor::matmul(dy, w_, Trans::kNo, Trans::kNo);
+}
+
+Tensor ReLU::forward(const Tensor& x) {
+  x_ = x;
+  return fuse::tensor::relu(x);
+}
+
+Tensor ReLU::backward(const Tensor& dy) {
+  return fuse::tensor::relu_backward(dy, x_);
+}
+
+Tensor Flatten::forward(const Tensor& x) {
+  in_shape_ = x.shape();
+  std::size_t features = 1;
+  for (std::size_t d = 1; d < x.ndim(); ++d) features *= x.dim(d);
+  return x.reshaped({x.dim(0), features});
+}
+
+Tensor Flatten::backward(const Tensor& dy) {
+  return dy.reshaped(in_shape_);
+}
+
+}  // namespace fuse::nn

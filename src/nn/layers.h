@@ -1,0 +1,100 @@
+#pragma once
+// Neural-network layers with explicit forward/backward passes.
+//
+// There is intentionally no tape-based autograd: each layer caches what its
+// backward pass needs and exposes its parameters and gradients directly.
+// This makes the MAML inner/outer-loop parameter bookkeeping (clone, adapt,
+// evaluate at adapted parameters, apply outer gradient) completely explicit
+// — the core subtlety of the paper's Algorithm 1.
+//
+// All layers operate on batches: Conv2d on [N, C, H, W], Linear on [N, F].
+// Layers are value types; copying a layer deep-copies parameters, gradients
+// and caches (Tensor is value-semantic), which is exactly what model
+// cloning for meta-learning needs.
+
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace fuse::nn {
+
+using fuse::tensor::Tensor;
+
+/// 2-D convolution, square kernel, stride 1, symmetric zero padding.
+class Conv2d {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::size_t pad, fuse::util::Rng& rng);
+
+  Tensor forward(const Tensor& x);
+  /// dy: [N, out_channels, H, W]; accumulates weight/bias gradients and
+  /// returns dx.
+  Tensor backward(const Tensor& dy);
+
+  std::vector<Tensor*> params() { return {&w_, &b_}; }
+  std::vector<Tensor*> grads() { return {&gw_, &gb_}; }
+  std::size_t in_channels() const { return in_channels_; }
+  std::size_t out_channels() const { return out_channels_; }
+  std::size_t kernel() const { return kernel_; }
+
+  Tensor& weight() { return w_; }
+  Tensor& bias() { return b_; }
+
+ private:
+  std::size_t in_channels_, out_channels_, kernel_, pad_;
+  Tensor w_;   ///< [out_channels, in_channels * k * k]
+  Tensor b_;   ///< [out_channels]
+  Tensor gw_, gb_;
+  // forward cache
+  Tensor col_;  ///< im2col of the last input
+  std::size_t n_ = 0, h_ = 0, w_in_ = 0;
+};
+
+/// Fully connected layer y = x W^T + b.
+class Linear {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features,
+         fuse::util::Rng& rng);
+
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& dy);
+
+  std::vector<Tensor*> params() { return {&w_, &b_}; }
+  std::vector<Tensor*> grads() { return {&gw_, &gb_}; }
+  std::size_t in_features() const { return in_features_; }
+  std::size_t out_features() const { return out_features_; }
+
+  Tensor& weight() { return w_; }
+  Tensor& bias() { return b_; }
+
+ private:
+  std::size_t in_features_, out_features_;
+  Tensor w_;  ///< [out_features, in_features]
+  Tensor b_;  ///< [out_features]
+  Tensor gw_, gb_;
+  Tensor x_;  ///< forward cache
+};
+
+/// Elementwise rectifier.
+class ReLU {
+ public:
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& dy);
+
+ private:
+  Tensor x_;
+};
+
+/// [N, C, H, W] <-> [N, C*H*W].
+class Flatten {
+ public:
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& dy);
+
+ private:
+  fuse::tensor::Shape in_shape_;
+};
+
+}  // namespace fuse::nn

@@ -1,0 +1,79 @@
+#pragma once
+// The MARS baseline CNN used (unchanged) by FUSE.
+//
+// Architecture (Section 4.1 of the paper): two 3x3 convolution layers with
+// ReLU activations (16 and 32 filters), then two fully connected layers of
+// 512 and 57 neurons; the 57 outputs are the x/y/z coordinates of 19 human
+// joints.  On an 8x8 input grid this totals ~1.08 M parameters, matching
+// the paper's 1,095,115 up to bias bookkeeping.  The input channel count is
+// 5 * (2M + 1): frame fusion stacks constituent frames along channels and
+// leaves the rest of the network untouched — which is exactly the paper's
+// claim that fusion is a pure pre-processing step.
+//
+// The model is a value type: copying it deep-copies all parameters, which
+// is what the MAML inner loop uses to adapt a per-task clone.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace fuse::nn {
+
+class MarsCnn {
+ public:
+  /// in_channels = 5 * (2M + 1); grid is the 8x8 MARS feature map.
+  MarsCnn(std::size_t in_channels, fuse::util::Rng& rng,
+          std::size_t grid_h = 8, std::size_t grid_w = 8,
+          std::size_t conv1_filters = 16, std::size_t conv2_filters = 32,
+          std::size_t hidden = 512, std::size_t outputs = 57);
+
+  /// Forward pass: x [N, in_channels, H, W] -> [N, outputs].
+  /// Caches activations for backward().
+  Tensor forward(const Tensor& x);
+
+  /// Backward pass from dL/dy; accumulates parameter gradients.
+  void backward(const Tensor& dy);
+
+  /// Inference without touching the backward caches' semantics (same code
+  /// path; provided for readability at call sites).
+  Tensor predict(const Tensor& x) { return forward(x); }
+
+  std::vector<Tensor*> params();
+  std::vector<Tensor*> grads();
+  /// Parameters/gradients of the last FC layer only (last-layer fine-tuning
+  /// regime of Section 4.3.2).
+  std::vector<Tensor*> last_layer_params();
+  std::vector<Tensor*> last_layer_grads();
+
+  void zero_grad();
+  std::size_t num_params();
+
+  /// Copies parameter values from another model of identical architecture.
+  void copy_params_from(MarsCnn& other);
+
+  std::size_t in_channels() const { return in_channels_; }
+  std::size_t outputs() const { return outputs_; }
+
+  /// Serialization of all parameters (architecture must match on load).
+  void save(std::ostream& os);
+  void load(std::istream& is);
+  void save_file(const std::string& path);
+  void load_file(const std::string& path);
+
+ private:
+  std::size_t in_channels_, grid_h_, grid_w_, outputs_;
+  Conv2d conv1_;
+  ReLU relu1_;
+  Conv2d conv2_;
+  ReLU relu2_;
+  Flatten flatten_;
+  Linear fc1_;
+  ReLU relu3_;
+  Linear fc2_;
+};
+
+}  // namespace fuse::nn

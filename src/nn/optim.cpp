@@ -1,0 +1,74 @@
+#include "nn/optim.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fuse::nn {
+
+void Sgd::step(const std::vector<Tensor*>& params,
+               const std::vector<Tensor*>& grads) const {
+  if (params.size() != grads.size())
+    throw std::invalid_argument("Sgd::step: list size mismatch");
+  for (std::size_t i = 0; i < params.size(); ++i)
+    params[i]->add_scaled(*grads[i], -lr_);
+}
+
+void Adam::step(const std::vector<Tensor*>& params,
+                const std::vector<Tensor*>& grads) {
+  if (params.size() != grads.size())
+    throw std::invalid_argument("Adam::step: list size mismatch");
+  if (m_.empty()) {
+    for (const Tensor* p : params) {
+      m_.emplace_back(p->shape());
+      v_.emplace_back(p->shape());
+    }
+  }
+  if (m_.size() != params.size())
+    throw std::invalid_argument("Adam::step: parameter list changed size");
+
+  ++t_;
+  const float bc1 =
+      1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 =
+      1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    const Tensor& g = *grads[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    if (p.shape() != m.shape())
+      throw std::invalid_argument("Adam::step: parameter shape changed");
+    for (std::size_t k = 0; k < p.numel(); ++k) {
+      m[k] = beta1_ * m[k] + (1.0f - beta1_) * g[k];
+      v[k] = beta2_ * v[k] + (1.0f - beta2_) * g[k] * g[k];
+      const float mhat = m[k] / bc1;
+      const float vhat = v[k] / bc2;
+      p[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+void Adam::reset_state() {
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+}
+
+void zero_grads(const std::vector<Tensor*>& grads) {
+  for (Tensor* g : grads) g->zero();
+}
+
+float grad_norm(const std::vector<Tensor*>& grads) {
+  double acc = 0.0;
+  for (const Tensor* g : grads) acc += g->squared_norm();
+  return static_cast<float>(std::sqrt(acc));
+}
+
+void clip_grad_norm(const std::vector<Tensor*>& grads, float max_norm) {
+  const float norm = grad_norm(grads);
+  if (norm <= max_norm || norm <= 0.0f) return;
+  const float scale = max_norm / norm;
+  for (Tensor* g : grads) *g *= scale;
+}
+
+}  // namespace fuse::nn

@@ -1,0 +1,66 @@
+#pragma once
+// Gradient-descent optimizers operating on explicit parameter/gradient
+// tensor lists.
+//
+// Sgd is the MAML inner-loop update (theta' = theta - alpha * grad,
+// Eq. 5 in the paper); Adam is used for supervised training, the meta
+// (outer) update and fine-tuning, matching the paper's setup.
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fuse::nn {
+
+using fuse::tensor::Tensor;
+
+class Sgd {
+ public:
+  explicit Sgd(float lr) : lr_(lr) {}
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+  /// params[i] -= lr * grads[i]
+  void step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads) const;
+
+ private:
+  float lr_;
+};
+
+class Adam {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+  /// Adam update with bias correction; moment state is keyed by position in
+  /// the list and allocated lazily, so an optimizer must always be stepped
+  /// with the same parameter list.
+  void step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads);
+
+  /// Drops moment state (e.g. when re-using the optimizer after rewiring).
+  void reset_state();
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  std::size_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+/// Zeroes every gradient tensor in the list.
+void zero_grads(const std::vector<Tensor*>& grads);
+
+/// Global L2 norm across a gradient list (for logging / clipping).
+float grad_norm(const std::vector<Tensor*>& grads);
+
+/// Scales gradients so their global norm is at most max_norm.
+void clip_grad_norm(const std::vector<Tensor*>& grads, float max_norm);
+
+}  // namespace fuse::nn

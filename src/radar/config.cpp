@@ -1,0 +1,36 @@
+#include "radar/config.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace fuse::radar {
+
+void RadarConfig::validate() const {
+  auto fail = [](const std::string& msg) {
+    throw std::invalid_argument("RadarConfig: " + msg);
+  };
+  if (samples_per_chirp == 0) fail("samples_per_chirp must be > 0");
+  if (chirps_per_frame == 0) fail("chirps_per_frame must be > 0");
+  if (n_rx == 0) fail("n_rx must be > 0");
+  if (n_tx_azimuth == 0) fail("n_tx_azimuth must be > 0");
+  if (bandwidth_hz <= 0.0) fail("bandwidth must be positive");
+  if (sample_rate_hz <= 0.0) fail("sample rate must be positive");
+  if (chirp_time_s <= 0.0) fail("chirp time must be positive");
+  const double adc_window =
+      static_cast<double>(samples_per_chirp) / sample_rate_hz;
+  if (adc_window > chirp_time_s)
+    fail("ADC window (" + std::to_string(adc_window) +
+         " s) exceeds chirp ramp time");
+  const double frame_active =
+      doppler_chirp_period_s() * static_cast<double>(chirps_per_frame);
+  if (frame_active > frame_period_s)
+    fail("chirp burst does not fit in the frame period");
+}
+
+RadarConfig default_iwr1443_config() {
+  RadarConfig cfg;  // defaults above are the IWR1443-like preset
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace fuse::radar

@@ -1,0 +1,101 @@
+#pragma once
+// FMCW radar configuration modelled on the TI IWR1443 Boost used by the
+// MARS dataset (and therefore by the FUSE paper).
+//
+// The IWR1443 is a 76-81 GHz FMCW transceiver with 3 TX and 4 RX antennas.
+// Time-division MIMO over 2 azimuth TX yields an 8-element lambda/2 virtual
+// azimuth array; the third TX sits half a wavelength higher and provides
+// elevation sensitivity.  All derived resolutions below follow the standard
+// FMCW equations (TI application note SWRA553).
+
+#include <cstddef>
+
+namespace fuse::radar {
+
+inline constexpr double kSpeedOfLight = 299792458.0;  // m/s
+
+struct RadarConfig {
+  // --- RF front end -------------------------------------------------------
+  double start_freq_hz = 77.0e9;   ///< chirp start frequency
+  double bandwidth_hz = 3.5e9;     ///< swept bandwidth per chirp
+  double chirp_time_s = 64.0e-6;   ///< active ramp time
+  double idle_time_s = 7.0e-6;     ///< inter-chirp idle
+  double sample_rate_hz = 4.0e6;   ///< ADC complex sample rate
+
+  // --- frame geometry ------------------------------------------------------
+  std::size_t samples_per_chirp = 256;
+  std::size_t chirps_per_frame = 64;   ///< chirps per TX (Doppler dimension)
+  double frame_period_s = 0.1;         ///< 10 Hz frames, as in MARS
+
+  // --- antenna array -------------------------------------------------------
+  std::size_t n_rx = 4;
+  std::size_t n_tx_azimuth = 2;  ///< TDM TX for the azimuth virtual array
+  bool has_elevation_tx = true;  ///< third TX, lambda/2 above the others
+
+  // --- noise / detection ---------------------------------------------------
+  /// Thermal noise power per complex ADC sample.  Chosen so that typical
+  /// human-body returns (rcs ~ 1e-3..1e-2 m^2 at ~2 m) land at 15-30 dB
+  /// post-processing SNR — the detection-limited regime a real indoor
+  /// mmWave deployment operates in.
+  double noise_power = 1.0e-3;
+  double cfar_pfa = 1.0e-4;       ///< CFAR false-alarm probability
+  /// Subtract the per-range-bin mean across chirps before the Doppler FFT
+  /// (the TI demo's "static clutter removal", enabled in the MARS capture
+  /// config).  Removes walls/furniture AND the stationary parts of the
+  /// body, which is the main reason single mmWave frames are so sparse.
+  bool static_clutter_removal = true;
+  double radar_height_m = 1.0;    ///< mount height above the floor
+  std::size_t max_points = 128;   ///< cap on points emitted per frame
+
+  // --- derived quantities ---------------------------------------------------
+  double wavelength() const { return kSpeedOfLight / start_freq_hz; }
+  double slope_hz_per_s() const { return bandwidth_hz / chirp_time_s; }
+  double chirp_repeat_s() const { return chirp_time_s + idle_time_s; }
+  /// Chirp repetition per TX in TDM-MIMO (TXs alternate).
+  double doppler_chirp_period_s() const {
+    const std::size_t n_tx = n_tx_azimuth + (has_elevation_tx ? 1 : 0);
+    return chirp_repeat_s() * static_cast<double>(n_tx);
+  }
+
+  /// Swept bandwidth actually sampled by the ADC window.
+  double sampled_bandwidth_hz() const {
+    return slope_hz_per_s() * static_cast<double>(samples_per_chirp) /
+           sample_rate_hz;
+  }
+  /// Range resolution c / (2 B_sampled).
+  double range_resolution_m() const {
+    return kSpeedOfLight / (2.0 * sampled_bandwidth_hz());
+  }
+  /// Maximum unambiguous range (complex sampling).
+  double max_range_m() const {
+    return sample_rate_hz * kSpeedOfLight / (2.0 * slope_hz_per_s());
+  }
+  /// Velocity resolution lambda / (2 N Tc).
+  double velocity_resolution_mps() const {
+    return wavelength() / (2.0 * static_cast<double>(chirps_per_frame) *
+                           doppler_chirp_period_s());
+  }
+  /// Maximum unambiguous velocity lambda / (4 Tc).
+  double max_velocity_mps() const {
+    return wavelength() / (4.0 * doppler_chirp_period_s());
+  }
+  /// Number of azimuth virtual elements (lambda/2 spaced ULA).
+  std::size_t n_virtual_azimuth() const { return n_tx_azimuth * n_rx; }
+  /// Total virtual channels.
+  std::size_t n_virtual() const {
+    return n_virtual_azimuth() + (has_elevation_tx ? n_rx : 0);
+  }
+  /// Half-power azimuth beamwidth (radians) of the virtual ULA, ~2/N.
+  double azimuth_beamwidth_rad() const {
+    return 2.0 / static_cast<double>(n_virtual_azimuth());
+  }
+
+  /// Configuration sanity check; throws std::invalid_argument on nonsense
+  /// (zero sizes, ADC window longer than the ramp, etc.).
+  void validate() const;
+};
+
+/// The IWR1443-like default used across FUSE experiments.
+RadarConfig default_iwr1443_config();
+
+}  // namespace fuse::radar

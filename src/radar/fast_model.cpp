@@ -1,0 +1,163 @@
+#include "radar/fast_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dsp/fft.h"
+
+namespace fuse::radar {
+
+namespace {
+
+/// Accumulator for one occupied range x Doppler resolution cell.
+struct CellAccum {
+  double power = 0.0;              // sum of rcs / R^4
+  double ux = 0.0, uz = 0.0;       // power-weighted direction cosines
+  double range = 0.0;              // power-weighted range
+  double doppler = 0.0;            // power-weighted radial velocity
+};
+
+}  // namespace
+
+FastPointCloudModel::FastPointCloudModel(const RadarConfig& cfg,
+                                         FastModelParams params)
+    : cfg_(cfg), params_(params) {
+  cfg_.validate();
+  const std::size_t n_range = fuse::dsp::next_pow2(cfg_.samples_per_chirp);
+  const std::size_t n_doppler = fuse::dsp::next_pow2(cfg_.chirps_per_frame);
+  range_res_ = cfg_.max_range_m() / static_cast<double>(n_range);
+  v_res_ = cfg_.wavelength() /
+           (2.0 * static_cast<double>(n_doppler) *
+            cfg_.doppler_chirp_period_s());
+}
+
+PointCloud FastPointCloudModel::generate(const Scene& scene,
+                                         fuse::util::Rng& rng) const {
+  // 1. Bin scatterers into range x Doppler resolution cells.
+  std::unordered_map<std::uint64_t, CellAccum> cells;
+  const double v_max = cfg_.max_velocity_mps();
+  for (const Scatterer& sc : scene) {
+    const double range = sc.position.norm();
+    if (range < 1e-3 || range >= cfg_.max_range_m()) continue;
+    const fuse::util::Vec3 u = sc.position / static_cast<float>(range);
+    double v_r = u.dot(sc.velocity);
+    // Doppler aliasing outside the unambiguous interval.
+    while (v_r > v_max) v_r -= 2.0 * v_max;
+    while (v_r < -v_max) v_r += 2.0 * v_max;
+
+    const auto r_bin = static_cast<std::int64_t>(range / range_res_);
+    const auto d_bin =
+        static_cast<std::int64_t>(std::floor(v_r / v_res_ + 0.5));
+    // Azimuth sub-binning at half the array beamwidth: the angle FFT can
+    // separate returns in the same range-Doppler cell when they sit in
+    // different beams, so they become distinct points.
+    const double az_cell = cfg_.azimuth_beamwidth_rad() / 2.0;
+    const auto a_bin =
+        static_cast<std::int64_t>(std::floor(u.x / az_cell + 0.5));
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(r_bin))
+         << 40) ^
+        (static_cast<std::uint64_t>(static_cast<std::uint16_t>(d_bin))
+         << 20) ^
+        static_cast<std::uint64_t>(static_cast<std::uint16_t>(a_bin));
+
+    const double p = static_cast<double>(sc.rcs) / (range * range * range *
+                                                    range);
+    CellAccum& cell = cells[key];
+    cell.power += p;
+    cell.ux += p * u.x;
+    cell.uz += p * u.z;
+    cell.range += p * range;
+    cell.doppler += p * v_r;
+  }
+
+  // 2. Detection + estimation noise per occupied cell.
+  std::vector<RadarPoint> pts;
+  pts.reserve(cells.size());
+  for (const auto& [key, cell] : cells) {
+    (void)key;
+    if (cell.power <= 0.0) continue;
+    const double inv_p0 = 1.0 / cell.power;
+    // Static clutter removal notches the DC Doppler bin: cells whose mean
+    // radial velocity is inside the notch are suppressed (smoothly, since
+    // the chirp-mean filter has a sinc-like transition).
+    double notch_gain = 1.0;
+    if (cfg_.static_clutter_removal) {
+      const double v_over_res = std::fabs(cell.doppler * inv_p0) / v_res_;
+      const double x = v_over_res / 0.75;
+      notch_gain = x >= 1.0 ? 1.0 : x * x;
+    }
+    const double snr_lin =
+        params_.system_constant * cell.power * notch_gain;
+    const double snr_db = 10.0 * std::log10(std::max(snr_lin, 1e-12));
+    const double p_det =
+        1.0 / (1.0 + std::exp(-(snr_db - params_.detect_threshold_db) /
+                              params_.detect_slope_db));
+    if (!rng.bernoulli(p_det)) continue;
+
+    const double inv_p = 1.0 / cell.power;
+    double range = cell.range * inv_p;
+    double ux = cell.ux * inv_p;
+    double uz = cell.uz * inv_p;
+    double doppler = cell.doppler * inv_p;
+
+    // Estimator noise: angle error scales as 1/sqrt(SNR) (CRLB-like), range
+    // error is sub-bin (parabolic interpolation), Doppler snaps to bins.
+    const double snr_ratio = std::sqrt(std::max(1.0, snr_lin) / 100.0);
+    const double angle_sigma = params_.angle_noise_ref / snr_ratio;
+    ux += rng.gauss(0.0, angle_sigma);
+    uz += rng.gauss(0.0, angle_sigma * params_.elevation_noise_factor);
+    ux = std::clamp(ux, -1.0, 1.0);
+    uz = std::clamp(uz, -1.0, 1.0);
+    range += rng.gauss(0.0, range_res_ / 4.0);
+    doppler = std::floor(doppler / v_res_ + 0.5) * v_res_ +
+              rng.gauss(0.0, v_res_ / 6.0);
+
+    const double uy2 = 1.0 - ux * ux - uz * uz;
+    const double uy = uy2 > 0.0 ? std::sqrt(uy2) : 0.0;
+
+    RadarPoint p;
+    p.x = static_cast<float>(range * ux);
+    p.y = static_cast<float>(range * uy);
+    p.z = static_cast<float>(range * uz + cfg_.radar_height_m);
+    p.doppler = static_cast<float>(doppler);
+    p.intensity = static_cast<float>(snr_db);
+    pts.push_back(p);
+
+    // 3. Occasional multipath ghost: same direction, extended range.
+    if (rng.bernoulli(params_.ghost_probability)) {
+      RadarPoint g = p;
+      const double extra =
+          params_.ghost_range_offset * (0.75 + 0.5 * rng.uniform());
+      g.x = static_cast<float>((range + extra) * ux);
+      g.y = static_cast<float>((range + extra) * uy);
+      g.z = static_cast<float>((range + extra) * uz + cfg_.radar_height_m);
+      g.intensity = p.intensity - 6.0f;  // ghosts are weaker
+      pts.push_back(g);
+    }
+  }
+
+  // 4. Frame-level fading: occasionally most of the frame is lost.
+  if (rng.bernoulli(params_.fade_probability)) {
+    std::vector<RadarPoint> kept;
+    for (const auto& p : pts)
+      if (rng.bernoulli(params_.fade_keep_fraction)) kept.push_back(p);
+    pts = std::move(kept);
+  }
+
+  // 5. Strongest-first cap, as the firmware's point budget does.
+  std::sort(pts.begin(), pts.end(), [](const RadarPoint& a,
+                                       const RadarPoint& b) {
+    return a.intensity > b.intensity;
+  });
+  if (pts.size() > cfg_.max_points) pts.resize(cfg_.max_points);
+
+  PointCloud cloud;
+  cloud.points = std::move(pts);
+  return cloud;
+}
+
+}  // namespace fuse::radar

@@ -1,0 +1,78 @@
+#pragma once
+// Fast statistical point-cloud generator.
+//
+// The full IF-signal simulator + FFT/CFAR chain (simulator.h, processing.h)
+// costs tens of milliseconds per frame, which is fine for examples and
+// calibration tests but too slow to synthesize the ~40k-frame MARS-scale
+// dataset the learning experiments need.  FastPointCloudModel reproduces the
+// *output statistics* of that chain directly from the scene geometry:
+//
+//  * scatterers are binned into the radar's range x Doppler x half-beam
+//    resolution cells — the granularity at which CFAR + the angle FFT can
+//    emit distinct points, which is the physical reason mmWave clouds are
+//    so sparse;
+//  * per-cell SNR follows the radar equation (sum of rcs / R^4 within the
+//    cell, times a system constant calibrated against the full chain);
+//  * detection is a smooth thresholding of SNR (CFAR ROC approximation);
+//  * the emitted point gets the power-weighted mean direction of the cell's
+//    scatterers plus SNR-dependent angle noise, sub-bin range jitter, and
+//    Doppler quantisation, mirroring estimator behaviour;
+//  * occasional multipath ghost points are appended.
+//
+// tests/test_radar_calibration.cpp holds this model to the full pipeline on
+// identical scenes (point counts, spatial error, SNR trends).
+
+#include <cstddef>
+
+#include "radar/config.h"
+#include "radar/point_cloud.h"
+#include "radar/scene.h"
+#include "util/rng.h"
+
+namespace fuse::radar {
+
+struct FastModelParams {
+  /// System constant k in snr_linear = k * rcs / R^4; calibrated so the fast
+  /// model's SNR matches the full chain for a reference target.
+  double system_constant = 1.0e6;
+  /// CFAR ROC approximation: P(detect) = sigmoid((snr_db - threshold) / slope).
+  double detect_threshold_db = 12.0;
+  double detect_slope_db = 3.0;
+  /// Frame-level fading: with this probability a frame suffers destructive
+  /// multipath / interference and only `fade_keep_fraction` of its points
+  /// survive.  This is the "some frames are nearly empty" behaviour of real
+  /// indoor mmWave captures — exactly the sparsity problem multi-frame
+  /// fusion (Section 3.2) is designed to absorb.
+  double fade_probability = 0.12;
+  double fade_keep_fraction = 0.2;
+  /// Angle noise scale (direction cosine units) at 20 dB SNR.
+  double angle_noise_ref = 0.02;
+  /// Elevation (monopulse) noise is this factor worse than azimuth.
+  double elevation_noise_factor = 1.6;
+  /// Probability of a multipath ghost per emitted point.
+  double ghost_probability = 0.02;
+  /// Ghost range extension (m): ghosts appear this much farther, +- jitter.
+  double ghost_range_offset = 0.35;
+};
+
+class FastPointCloudModel {
+ public:
+  explicit FastPointCloudModel(const RadarConfig& cfg,
+                               FastModelParams params = {});
+
+  /// Generates the point cloud for one frame.  Scene positions/velocities
+  /// are in the radar frame (radar at origin); the returned cloud is in the
+  /// world frame (z measured from the floor), matching Processor output.
+  PointCloud generate(const Scene& scene, fuse::util::Rng& rng) const;
+
+  const RadarConfig& config() const { return cfg_; }
+  const FastModelParams& params() const { return params_; }
+
+ private:
+  RadarConfig cfg_;
+  FastModelParams params_;
+  double range_res_;
+  double v_res_;
+};
+
+}  // namespace fuse::radar

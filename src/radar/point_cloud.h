@@ -1,0 +1,46 @@
+#pragma once
+// Radar point-cloud types — the interchange format between the radar
+// front end and the learning pipeline.  A point carries exactly the five
+// features of Eq. (1) in the paper: (x, y, z, doppler, intensity).
+
+#include <cstddef>
+#include <vector>
+
+#include "util/geometry.h"
+
+namespace fuse::radar {
+
+struct RadarPoint {
+  float x = 0.0f;        ///< lateral position (m)
+  float y = 0.0f;        ///< depth / boresight distance (m)
+  float z = 0.0f;        ///< height (m)
+  float doppler = 0.0f;  ///< radial velocity (m/s, positive = receding)
+  float intensity = 0.0f;  ///< SNR in dB
+
+  fuse::util::Vec3 position() const { return {x, y, z}; }
+  float range() const {
+    return fuse::util::Vec3{x, y, z}.norm();
+  }
+};
+
+struct PointCloud {
+  std::vector<RadarPoint> points;
+
+  std::size_t size() const { return points.size(); }
+  bool empty() const { return points.empty(); }
+
+  /// Centroid of the point positions (zero vector if empty).
+  fuse::util::Vec3 centroid() const {
+    fuse::util::Vec3 c;
+    if (points.empty()) return c;
+    for (const auto& p : points) c += p.position();
+    return c / static_cast<float>(points.size());
+  }
+
+  /// Appends all points of another cloud (used by multi-frame fusion).
+  void append(const PointCloud& other) {
+    points.insert(points.end(), other.points.begin(), other.points.end());
+  }
+};
+
+}  // namespace fuse::radar

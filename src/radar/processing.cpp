@@ -1,0 +1,256 @@
+#include "radar/processing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/fft.h"
+#include "dsp/window.h"
+#include "util/thread_pool.h"
+
+namespace fuse::radar {
+
+namespace {
+constexpr double kTau = 6.283185307179586476925286766559;
+}
+
+Processor::Processor(const RadarConfig& cfg)
+    : cfg_(cfg), elems_(make_virtual_array(cfg)) {
+  cfg_.validate();
+  n_range_ = fuse::dsp::next_pow2(cfg_.samples_per_chirp);
+  n_doppler_ = fuse::dsp::next_pow2(cfg_.chirps_per_frame);
+  range_window_ =
+      fuse::dsp::make_window(fuse::dsp::WindowType::kHann,
+                             cfg_.samples_per_chirp);
+  doppler_window_ =
+      fuse::dsp::make_window(fuse::dsp::WindowType::kHamming,
+                             cfg_.chirps_per_frame);
+  cfar_.guard_cells = 2;
+  cfar_.train_cells = 8;
+  cfar_.threshold_scale =
+      fuse::dsp::cfar_scale_for_pfa(2 * cfar_.train_cells, cfg_.cfar_pfa);
+  // Doppler-axis CFAR with Doppler-axis local-max gating: extended bodies
+  // occupy many contiguous range bins, so range-axis training would be
+  // contaminated and suppress them (see Cfar2dMode docs).
+  cfar_.mode_2d = fuse::dsp::Cfar2dMode::kDopplerAxis;
+  cfar_.local_max_2d = fuse::dsp::CfarLocalMax::kDoppler;
+}
+
+RangeDopplerCube Processor::range_doppler(const RadarCube& cube) const {
+  const std::size_t nv = cube.n_virtual();
+  const std::size_t nc = cube.n_chirps();
+  const std::size_t ns = cube.n_samples();
+  RangeDopplerCube rd(nv, n_range_, n_doppler_);
+
+  fuse::util::parallel_for(0, nv, [&](std::size_t v0, std::size_t v1) {
+    std::vector<cfloat> buf;
+    for (std::size_t v = v0; v < v1; ++v) {
+      // Range FFT per chirp; store range spectra transposed into the RD
+      // cube so the Doppler pass reads contiguously per range bin.
+      std::vector<std::vector<cfloat>> range_spectra(nc);
+      for (std::size_t c = 0; c < nc; ++c) {
+        buf.assign(cube.chirp_ptr(v, c), cube.chirp_ptr(v, c) + ns);
+        for (std::size_t s = 0; s < ns; ++s) buf[s] *= range_window_[s];
+        buf.resize(n_range_);
+        fuse::dsp::fft_inplace(buf);
+        range_spectra[c] = buf;
+      }
+      // Doppler FFT per range bin across chirps, with optional static
+      // clutter removal (subtract the chirp-mean so the DC bin vanishes).
+      std::vector<cfloat> dop(n_doppler_);
+      for (std::size_t r = 0; r < n_range_; ++r) {
+        cfloat mean{};
+        if (cfg_.static_clutter_removal) {
+          for (std::size_t c = 0; c < nc; ++c) mean += range_spectra[c][r];
+          mean *= 1.0f / static_cast<float>(nc);
+        }
+        std::fill(dop.begin(), dop.end(), cfloat{});
+        for (std::size_t c = 0; c < nc; ++c)
+          dop[c] = (range_spectra[c][r] - mean) * doppler_window_[c];
+        fuse::dsp::fft_inplace(dop);
+        fuse::dsp::fftshift(dop);
+        for (std::size_t d = 0; d < n_doppler_; ++d) rd.at(v, r, d) = dop[d];
+      }
+    }
+  });
+  return rd;
+}
+
+std::vector<float> Processor::power_map(const RangeDopplerCube& rd) const {
+  std::vector<float> p(rd.n_range() * rd.n_doppler(), 0.0f);
+  for (std::size_t v = 0; v < rd.n_virtual(); ++v)
+    for (std::size_t r = 0; r < rd.n_range(); ++r)
+      for (std::size_t d = 0; d < rd.n_doppler(); ++d)
+        p[r * rd.n_doppler() + d] += std::norm(rd.at(v, r, d));
+  return p;
+}
+
+void Processor::estimate_angles(const RangeDopplerCube& rd, std::size_t r,
+                                std::size_t d, float velocity,
+                                float* dir_cos_x, float* dir_cos_z,
+                                float* second_peak) const {
+  const double lambda = cfg_.wavelength();
+  const double f_doppler = 2.0 * static_cast<double>(velocity) / lambda;
+  const double t_rep = cfg_.chirp_repeat_s();
+
+  // TDM Doppler compensation: channel from TX slot k accumulated an extra
+  // phase 2 pi f_d k T_rep; remove it before beamforming.
+  const std::size_t n_az = cfg_.n_virtual_azimuth();
+  std::vector<cfloat> snapshot(elems_.size());
+  for (std::size_t v = 0; v < elems_.size(); ++v) {
+    const double phi =
+        kTau * f_doppler * static_cast<double>(elems_[v].tx_slot) * t_rep;
+    const cfloat comp(static_cast<float>(std::cos(phi)),
+                      static_cast<float>(-std::sin(phi)));
+    snapshot[v] = rd.at(v, r, d) * comp;
+  }
+
+  // Azimuth: zero-padded FFT across the lambda/2 ULA.
+  std::vector<cfloat> az(kAngleFftSize, cfloat{});
+  for (std::size_t v = 0; v < n_az; ++v) az[v] = snapshot[v];
+  fuse::dsp::fft_inplace(az);
+  std::size_t best = 0;
+  float best_pow = 0.0f;
+  for (std::size_t k = 0; k < kAngleFftSize; ++k) {
+    const float p = std::norm(az[k]);
+    if (p > best_pow) {
+      best_pow = p;
+      best = k;
+    }
+  }
+  if (second_peak != nullptr) {
+    // Strongest azimuth peak at least one beamwidth away from the main one
+    // (beamwidth = kAngleFftSize / n_az FFT bins).
+    const std::size_t min_sep = kAngleFftSize / n_az;
+    std::size_t b2 = kAngleFftSize;
+    float p2 = 0.0f;
+    for (std::size_t k = 0; k < kAngleFftSize; ++k) {
+      const std::size_t d1 =
+          (k + kAngleFftSize - best) % kAngleFftSize;
+      const std::size_t dist = std::min(d1, kAngleFftSize - d1);
+      if (dist < min_sep) continue;
+      const float p = std::norm(az[k]);
+      if (p > p2) {
+        p2 = p;
+        b2 = k;
+      }
+    }
+    // Report only when it is a genuine secondary lobe-free peak: local max
+    // and within 9 dB of the main peak.
+    if (b2 < kAngleFftSize && p2 > 0.125f * best_pow) {
+      double k2 = static_cast<double>(b2);
+      if (k2 >= static_cast<double>(kAngleFftSize) / 2.0)
+        k2 -= static_cast<double>(kAngleFftSize);
+      *second_peak = static_cast<float>(std::clamp(
+          2.0 * k2 / static_cast<double>(kAngleFftSize), -1.0, 1.0));
+    } else {
+      *second_peak = 2.0f;  // sentinel: no secondary peak
+    }
+  }
+  // Signed spatial frequency bin -> sin(azimuth).  d_spacing = lambda/2 so
+  // sin(az) = 2 k / N with k in [-N/2, N/2).
+  const float pl = std::norm(az[(best + kAngleFftSize - 1) % kAngleFftSize]);
+  const float pr = std::norm(az[(best + 1) % kAngleFftSize]);
+  const float frac = fuse::dsp::parabolic_peak_offset(pl, best_pow, pr);
+  double k_signed = static_cast<double>(best) + frac;
+  if (k_signed >= static_cast<double>(kAngleFftSize) / 2.0)
+    k_signed -= static_cast<double>(kAngleFftSize);
+  // The FFT peak at signed bin k corresponds to direction cosine
+  // u_x = 2 k / N for the lambda/2 ULA (phase model e^{+j pi v u_x}).
+  double ux = 2.0 * k_signed / static_cast<double>(kAngleFftSize);
+  ux = std::clamp(ux, -1.0, 1.0);
+  *dir_cos_x = static_cast<float>(ux);
+
+  // Elevation: monopulse between the elevated row and the matching azimuth
+  // elements (same x positions, slot-compensated above).  The lambda/2
+  // height offset gives delta_phi = pi sin(el).
+  if (cfg_.has_elevation_tx) {
+    std::complex<double> acc(0.0, 0.0);
+    for (std::size_t i = 0; i < cfg_.n_rx; ++i) {
+      const cfloat lower = snapshot[i];           // azimuth element i
+      const cfloat upper = snapshot[n_az + i];    // elevated element i
+      acc += std::complex<double>(upper) *
+             std::conj(std::complex<double>(lower));
+    }
+    // Upper row leads the lower row by pi * u_z (lambda/2 height offset).
+    const double dphi = std::arg(acc);
+    double uz = dphi / (kTau / 2.0);
+    uz = std::clamp(uz, -1.0, 1.0);
+    *dir_cos_z = static_cast<float>(uz);
+  } else {
+    *dir_cos_z = 0.0f;
+  }
+}
+
+ProcessedFrame Processor::detect(const RangeDopplerCube& rd) const {
+  ProcessedFrame out;
+  out.n_range = rd.n_range();
+  out.n_doppler = rd.n_doppler();
+  out.power_map = power_map(rd);
+
+  auto dets =
+      fuse::dsp::ca_cfar_2d(out.power_map, out.n_range, out.n_doppler, cfar_);
+  // Strongest first; cap at the configured point budget.
+  std::sort(dets.begin(), dets.end(),
+            [](const auto& a, const auto& b) { return a.snr > b.snr; });
+  if (dets.size() > cfg_.max_points) dets.resize(cfg_.max_points);
+
+  const double range_res =
+      cfg_.max_range_m() / static_cast<double>(n_range_);
+  const double v_res = cfg_.wavelength() /
+                       (2.0 * static_cast<double>(n_doppler_) *
+                        cfg_.doppler_chirp_period_s());
+
+  for (const auto& det : dets) {
+    RadarDetection rdet;
+    rdet.range_bin = det.row;
+    rdet.doppler_bin = det.col;
+
+    // Sub-bin interpolation along range.
+    float off_r = 0.0f;
+    if (det.row > 0 && det.row + 1 < out.n_range) {
+      off_r = fuse::dsp::parabolic_peak_offset(
+          out.power_map[(det.row - 1) * out.n_doppler + det.col], det.power,
+          out.power_map[(det.row + 1) * out.n_doppler + det.col]);
+    }
+    rdet.range_m =
+        static_cast<float>((static_cast<double>(det.row) + off_r) * range_res);
+    if (rdet.range_m < 1e-3f) continue;
+
+    // Doppler bin -> signed velocity (bin n_doppler/2 == 0 after fftshift).
+    const double k_dop = static_cast<double>(det.col) -
+                         static_cast<double>(out.n_doppler) / 2.0;
+    rdet.velocity_mps = static_cast<float>(k_dop * v_res);
+    rdet.snr_db = 10.0f * std::log10(std::max(det.snr, 1e-6f));
+
+    float second_ux = 2.0f;
+    estimate_angles(rd, det.row, det.col, rdet.velocity_mps, &rdet.dir_cos_x,
+                    &rdet.dir_cos_z, &second_ux);
+    out.detections.push_back(rdet);
+
+    // Cartesian reconstruction from direction cosines: u_y follows from
+    // |u| = 1 (targets are in front of the array, u_y >= 0).
+    auto emit_point = [&](float ux, float uz, float snr_db) {
+      RadarPoint p;
+      const float uy2 = 1.0f - ux * ux - uz * uz;
+      const float uy = uy2 > 0.0f ? std::sqrt(uy2) : 0.0f;
+      p.x = rdet.range_m * ux;
+      p.y = rdet.range_m * uy;
+      p.z = rdet.range_m * uz + static_cast<float>(cfg_.radar_height_m);
+      p.doppler = rdet.velocity_mps;
+      p.intensity = snr_db;
+      out.cloud.points.push_back(p);
+    };
+    emit_point(rdet.dir_cos_x, rdet.dir_cos_z, rdet.snr_db);
+    // Secondary azimuth peak in the same range-Doppler cell becomes its own
+    // point (the firmware behaviour that makes body clouds denser).
+    if (second_ux <= 1.0f)
+      emit_point(second_ux, rdet.dir_cos_z, rdet.snr_db - 4.0f);
+  }
+  return out;
+}
+
+ProcessedFrame Processor::process(const RadarCube& cube) const {
+  return detect(range_doppler(cube));
+}
+
+}  // namespace fuse::radar

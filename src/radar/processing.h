@@ -1,0 +1,123 @@
+#pragma once
+// Range-Doppler-angle processing chain: turns a raw RadarCube into the
+// point cloud of Eq. (1) in the paper, mirroring the TI demo firmware:
+//
+//   1. range FFT per chirp (Hann window)
+//   2. Doppler FFT per range bin (Hamming window), fftshift
+//   3. non-coherent power sum across virtual channels
+//   4. 2-D CA-CFAR on the range-Doppler map
+//   5. per-detection azimuth FFT over the 8-element virtual ULA
+//      (after TDM Doppler compensation) and elevation monopulse
+//   6. conversion to Cartesian (x, y, z) + Doppler velocity + SNR
+//
+// Every stage is exposed so tests can probe intermediate products.
+
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "dsp/cfar.h"
+#include "radar/config.h"
+#include "radar/point_cloud.h"
+#include "radar/simulator.h"
+
+namespace fuse::radar {
+
+/// Complex range-Doppler cube after both FFTs:
+/// [virtual_channel][range_bin][doppler_bin] (Doppler fftshifted so bin
+/// n_doppler/2 is zero velocity).
+class RangeDopplerCube {
+ public:
+  RangeDopplerCube(std::size_t n_virtual, std::size_t n_range,
+                   std::size_t n_doppler)
+      : n_virtual_(n_virtual),
+        n_range_(n_range),
+        n_doppler_(n_doppler),
+        data_(n_virtual * n_range * n_doppler) {}
+
+  std::size_t n_virtual() const { return n_virtual_; }
+  std::size_t n_range() const { return n_range_; }
+  std::size_t n_doppler() const { return n_doppler_; }
+
+  cfloat& at(std::size_t v, std::size_t r, std::size_t d) {
+    return data_[(v * n_range_ + r) * n_doppler_ + d];
+  }
+  cfloat at(std::size_t v, std::size_t r, std::size_t d) const {
+    return data_[(v * n_range_ + r) * n_doppler_ + d];
+  }
+
+ private:
+  std::size_t n_virtual_, n_range_, n_doppler_;
+  std::vector<cfloat> data_;
+};
+
+/// One fully-resolved radar detection, before Cartesian conversion.
+struct RadarDetection {
+  float range_m = 0.0f;
+  float velocity_mps = 0.0f;
+  /// Direction cosines of the arrival direction: u_x (lateral) from the
+  /// azimuth FFT, u_z (vertical) from the elevation monopulse.  The depth
+  /// cosine is sqrt(1 - u_x^2 - u_z^2).
+  float dir_cos_x = 0.0f;
+  float dir_cos_z = 0.0f;
+  float snr_db = 0.0f;
+  std::size_t range_bin = 0;
+  std::size_t doppler_bin = 0;
+
+  float azimuth_rad() const { return std::asin(dir_cos_x); }
+  float elevation_rad() const { return std::asin(dir_cos_z); }
+};
+
+struct ProcessedFrame {
+  std::vector<float> power_map;  ///< [n_range * n_doppler] summed power
+  std::size_t n_range = 0;
+  std::size_t n_doppler = 0;
+  std::vector<RadarDetection> detections;
+  PointCloud cloud;
+};
+
+class Processor {
+ public:
+  explicit Processor(const RadarConfig& cfg);
+
+  /// Runs stages 1-2 (both FFTs, windowed, Doppler fftshifted).
+  RangeDopplerCube range_doppler(const RadarCube& cube) const;
+
+  /// Stage 3: non-coherent sum of |.|^2 across channels.
+  std::vector<float> power_map(const RangeDopplerCube& rd) const;
+
+  /// Stages 4-6 on a precomputed RD cube.
+  ProcessedFrame detect(const RangeDopplerCube& rd) const;
+
+  /// Full chain: cube -> point cloud.
+  ProcessedFrame process(const RadarCube& cube) const;
+
+  const RadarConfig& config() const { return cfg_; }
+  std::size_t n_range_bins() const { return n_range_; }
+  std::size_t n_doppler_bins() const { return n_doppler_; }
+  /// Azimuth FFT length used for angle estimation (zero-padded).
+  std::size_t angle_fft_size() const { return kAngleFftSize; }
+
+ private:
+  static constexpr std::size_t kAngleFftSize = 64;
+
+  /// Estimates arrival-direction cosines (u_x, u_z) for one detection from
+  /// the per-channel RD snapshot, compensating the TDM-MIMO Doppler phase.
+  /// If `second_peak` is non-null it receives the direction cosine of a
+  /// genuine secondary azimuth peak (two bodies/limbs in the same
+  /// range-Doppler cell), or the sentinel 2.0f when there is none.
+  void estimate_angles(const RangeDopplerCube& rd, std::size_t r,
+                       std::size_t d, float velocity, float* dir_cos_x,
+                       float* dir_cos_z, float* second_peak = nullptr) const;
+
+  RadarConfig cfg_;
+  std::vector<VirtualElement> elems_;
+  std::size_t n_range_;
+  std::size_t n_doppler_;
+  std::vector<float> range_window_;
+  std::vector<float> doppler_window_;
+  fuse::dsp::CfarConfig cfar_;
+};
+
+}  // namespace fuse::radar

@@ -1,0 +1,23 @@
+#pragma once
+// Scatterer scene description consumed by both the full IF-signal simulator
+// and the fast statistical point-cloud model.
+
+#include <vector>
+
+#include "util/geometry.h"
+
+namespace fuse::radar {
+
+/// A point scatterer: position/velocity in the *radar frame* (radar at the
+/// origin; subtract RadarConfig::radar_height_m from world z) plus radar
+/// cross section.  The human-body sampler emits one of these per sampled
+/// surface patch (see src/human/surface.h).
+struct Scatterer {
+  fuse::util::Vec3 position;  ///< metres, radar at origin
+  fuse::util::Vec3 velocity;  ///< metres/second
+  float rcs = 0.01f;          ///< radar cross section (m^2)
+};
+
+using Scene = std::vector<Scatterer>;
+
+}  // namespace fuse::radar

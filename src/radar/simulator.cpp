@@ -1,0 +1,118 @@
+#include "radar/simulator.h"
+
+#include <cmath>
+
+#include "util/thread_pool.h"
+
+namespace fuse::radar {
+
+namespace {
+constexpr double kTau = 6.283185307179586476925286766559;
+}
+
+std::vector<VirtualElement> make_virtual_array(const RadarConfig& cfg) {
+  std::vector<VirtualElement> elems;
+  const double half_lambda = cfg.wavelength() / 2.0;
+  // Azimuth ULA: TX t contributes n_rx elements offset by t * n_rx * d so
+  // the full set is a contiguous lambda/2 ULA (standard TI arrangement).
+  for (std::size_t t = 0; t < cfg.n_tx_azimuth; ++t) {
+    for (std::size_t r = 0; r < cfg.n_rx; ++r) {
+      VirtualElement e;
+      const double idx = static_cast<double>(t * cfg.n_rx + r);
+      e.position = {static_cast<float>(idx * half_lambda), 0.0f, 0.0f};
+      e.tx_slot = t;
+      e.elevated = false;
+      elems.push_back(e);
+    }
+  }
+  if (cfg.has_elevation_tx) {
+    for (std::size_t r = 0; r < cfg.n_rx; ++r) {
+      VirtualElement e;
+      const double idx = static_cast<double>(r);
+      e.position = {static_cast<float>(idx * half_lambda), 0.0f,
+                    static_cast<float>(half_lambda)};
+      e.tx_slot = cfg.n_tx_azimuth;  // last TDM slot
+      e.elevated = true;
+      elems.push_back(e);
+    }
+  }
+  return elems;
+}
+
+RadarCube simulate_frame(const RadarConfig& cfg, const Scene& scene,
+                         fuse::util::Rng& rng) {
+  cfg.validate();
+  const auto elems = make_virtual_array(cfg);
+  RadarCube cube(elems.size(), cfg.chirps_per_frame, cfg.samples_per_chirp);
+
+  const double lambda = cfg.wavelength();
+  const double slope = cfg.slope_hz_per_s();
+  const double t_rep = cfg.chirp_repeat_s();
+  const double t_doppler = cfg.doppler_chirp_period_s();
+  const double fs = cfg.sample_rate_hz;
+
+  // Scatterer contributions.  Parallelise over virtual channels: each task
+  // owns disjoint cube rows, so no synchronisation is needed.
+  fuse::util::parallel_for(0, elems.size(), [&](std::size_t v0,
+                                                std::size_t v1) {
+    for (std::size_t v = v0; v < v1; ++v) {
+      const VirtualElement& elem = elems[v];
+      for (const Scatterer& sc : scene) {
+        const fuse::util::Vec3 pos = sc.position;
+        const double range = pos.norm();
+        if (range < 1e-3) continue;  // degenerate: scatterer on the antenna
+        const fuse::util::Vec3 u = pos / static_cast<float>(range);
+        // Radial velocity (positive = receding).
+        const double v_r = u.dot(sc.velocity);
+        const double f_beat = 2.0 * range * slope / kSpeedOfLight;
+        const double f_doppler = 2.0 * v_r / lambda;
+        const double amp =
+            std::sqrt(static_cast<double>(sc.rcs)) / (range * range);
+        // Geometric phase from the element offset (far field).
+        const double phi_geom =
+            kTau * (u.x * elem.position.x + u.z * elem.position.z) / lambda;
+        const double phi0 = 2.0 * kTau * range / lambda;
+        const double tdm_delay = static_cast<double>(elem.tx_slot) * t_rep;
+
+        // Per-sample phase increment as a unit phasor; per-chirp initial
+        // phase advances by the Doppler term.
+        const double dphi = kTau * f_beat / fs;
+        const cfloat step(static_cast<float>(std::cos(dphi)),
+                          static_cast<float>(std::sin(dphi)));
+        for (std::size_t c = 0; c < cube.n_chirps(); ++c) {
+          const double t_chirp =
+              static_cast<double>(c) * t_doppler + tdm_delay;
+          const double phi_start =
+              phi0 + phi_geom + kTau * f_doppler * t_chirp;
+          cfloat phasor(
+              static_cast<float>(amp * std::cos(phi_start)),
+              static_cast<float>(amp * std::sin(phi_start)));
+          cfloat* dst = cube.chirp_ptr(v, c);
+          for (std::size_t s = 0; s < cube.n_samples(); ++s) {
+            dst[s] += phasor;
+            phasor *= step;
+          }
+        }
+      }
+    }
+  });
+
+  // Thermal noise: i.i.d. complex Gaussian, variance noise_power per channel
+  // (I and Q each noise_power / 2).
+  const float sigma =
+      static_cast<float>(std::sqrt(cfg.noise_power / 2.0));
+  if (sigma > 0.0f) {
+    for (std::size_t v = 0; v < cube.n_virtual(); ++v) {
+      for (std::size_t c = 0; c < cube.n_chirps(); ++c) {
+        cfloat* dst = cube.chirp_ptr(v, c);
+        for (std::size_t s = 0; s < cube.n_samples(); ++s) {
+          dst[s] += cfloat(sigma * static_cast<float>(rng.gauss()),
+                           sigma * static_cast<float>(rng.gauss()));
+        }
+      }
+    }
+  }
+  return cube;
+}
+
+}  // namespace fuse::radar

@@ -1,0 +1,81 @@
+#pragma once
+// FMCW IF-signal synthesis for a TDM-MIMO radar.
+//
+// For every scatterer in the scene the simulator adds the de-chirped
+// (beat) signal observed by each virtual channel:
+//
+//   s_v(c, t) = A exp{ j [ 2 pi f_b t + 2 pi f_d (c T_d + k_v T_r)
+//                          + phi_geom(v) + phi_0 ] }
+//
+//   f_b  = 2 R S / c0            beat frequency     (range)
+//   f_d  = 2 v_r / lambda        Doppler frequency  (radial velocity)
+//   phi_geom(v) = 2 pi (u . p_v) / lambda           (angle of arrival)
+//   phi_0 = 4 pi R / lambda                          (absolute phase)
+//
+// where k_v is the TDM slot of the TX behind virtual channel v and T_r the
+// chirp repetition time — the TDM term is what real MIMO radars must
+// compensate during angle processing, and our processing chain does.
+// Complex white Gaussian noise of configured power is added per sample.
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "radar/config.h"
+#include "radar/scene.h"
+#include "util/geometry.h"
+#include "util/rng.h"
+
+namespace fuse::radar {
+
+using cfloat = std::complex<float>;
+
+/// Raw de-chirped ADC data: [virtual_channel][chirp][sample], row-major.
+class RadarCube {
+ public:
+  RadarCube(std::size_t n_virtual, std::size_t n_chirps,
+            std::size_t n_samples)
+      : n_virtual_(n_virtual),
+        n_chirps_(n_chirps),
+        n_samples_(n_samples),
+        data_(n_virtual * n_chirps * n_samples) {}
+
+  std::size_t n_virtual() const { return n_virtual_; }
+  std::size_t n_chirps() const { return n_chirps_; }
+  std::size_t n_samples() const { return n_samples_; }
+
+  cfloat& at(std::size_t v, std::size_t c, std::size_t s) {
+    return data_[(v * n_chirps_ + c) * n_samples_ + s];
+  }
+  cfloat at(std::size_t v, std::size_t c, std::size_t s) const {
+    return data_[(v * n_chirps_ + c) * n_samples_ + s];
+  }
+  cfloat* chirp_ptr(std::size_t v, std::size_t c) {
+    return data_.data() + (v * n_chirps_ + c) * n_samples_;
+  }
+  const cfloat* chirp_ptr(std::size_t v, std::size_t c) const {
+    return data_.data() + (v * n_chirps_ + c) * n_samples_;
+  }
+
+ private:
+  std::size_t n_virtual_, n_chirps_, n_samples_;
+  std::vector<cfloat> data_;
+};
+
+/// Geometry of one virtual channel.
+struct VirtualElement {
+  fuse::util::Vec3 position;  ///< element position (m) in the array plane
+  std::size_t tx_slot = 0;    ///< TDM slot index of the transmitting TX
+  bool elevated = false;      ///< true for the elevation row
+};
+
+/// Builds the virtual array for a config: n_tx_azimuth * n_rx lambda/2-spaced
+/// azimuth elements (slots 0..n_tx_azimuth-1), plus an elevated row of n_rx
+/// elements half a wavelength above the first RX group (last TDM slot).
+std::vector<VirtualElement> make_virtual_array(const RadarConfig& cfg);
+
+/// Synthesizes one frame of de-chirped ADC data for the scene.
+RadarCube simulate_frame(const RadarConfig& cfg, const Scene& scene,
+                         fuse::util::Rng& rng);
+
+}  // namespace fuse::radar

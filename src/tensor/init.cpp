@@ -1,0 +1,25 @@
+#include "tensor/init.h"
+
+#include <cmath>
+
+namespace fuse::tensor {
+
+void init_he_normal(Tensor& t, std::size_t fan_in, fuse::util::Rng& rng) {
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.gauss(0.0, stddev));
+}
+
+void init_xavier_uniform(Tensor& t, std::size_t fan_in, std::size_t fan_out,
+                         fuse::util::Rng& rng) {
+  const double a = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.uniform(-a, a));
+}
+
+void init_uniform(Tensor& t, float bound, fuse::util::Rng& rng) {
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    t[i] = rng.uniformf(-bound, bound);
+}
+
+}  // namespace fuse::tensor

@@ -1,0 +1,21 @@
+#pragma once
+// Weight initialisation schemes (He/Kaiming and Xavier/Glorot) used by the
+// NN layers.  Kept in tensor/ so tests can exercise them without pulling in
+// the layer machinery.
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace fuse::tensor {
+
+/// He-normal init: N(0, sqrt(2 / fan_in)); the standard choice before ReLU.
+void init_he_normal(Tensor& t, std::size_t fan_in, fuse::util::Rng& rng);
+
+/// Xavier-uniform init: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+void init_xavier_uniform(Tensor& t, std::size_t fan_in, std::size_t fan_out,
+                         fuse::util::Rng& rng);
+
+/// Uniform init in [-bound, bound].
+void init_uniform(Tensor& t, float bound, fuse::util::Rng& rng);
+
+}  // namespace fuse::tensor

@@ -1,0 +1,316 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/thread_pool.h"
+
+namespace fuse::tensor {
+
+namespace {
+
+// Cache-blocking parameters.  The micro-kernel accumulates a 4x16 tile of C
+// in registers; panels of A/B are walked in K-blocks that fit L1/L2.
+constexpr std::size_t kBlockM = 64;
+constexpr std::size_t kBlockN = 256;
+constexpr std::size_t kBlockK = 256;
+
+struct MatView {
+  const float* p;
+  std::size_t rows, cols;   // logical (post-transpose) dims
+  std::size_t ld;           // leading dimension of the *storage*
+  bool trans;               // storage is [cols, rows] if true
+
+  float at(std::size_t r, std::size_t c) const {
+    return trans ? p[c * ld + r] : p[r * ld + c];
+  }
+};
+
+// Packs a [mb x kb] panel of op(A) into contiguous row-major storage.
+void pack_panel(const MatView& m, std::size_t r0, std::size_t c0,
+                std::size_t mb, std::size_t kb, float* dst) {
+  if (!m.trans) {
+    for (std::size_t r = 0; r < mb; ++r)
+      std::memcpy(dst + r * kb, m.p + (r0 + r) * m.ld + c0, kb * sizeof(float));
+  } else {
+    for (std::size_t r = 0; r < mb; ++r)
+      for (std::size_t c = 0; c < kb; ++c)
+        dst[r * kb + c] = m.p[(c0 + c) * m.ld + (r0 + r)];
+  }
+}
+
+// C[r, :] over a row-block: C (row-major, ldc) += Apanel * Bpanel.
+// Apanel: [mb, kb] packed row-major, Bpanel: [kb, nb] packed row-major.
+void micro_gemm(std::size_t mb, std::size_t nb, std::size_t kb,
+                const float* a, const float* b, float* c, std::size_t ldc) {
+  // 4-row unrolled kernel; the inner loop over n vectorizes (-O3).
+  std::size_t r = 0;
+  for (; r + 4 <= mb; r += 4) {
+    float* c0 = c + (r + 0) * ldc;
+    float* c1 = c + (r + 1) * ldc;
+    float* c2 = c + (r + 2) * ldc;
+    float* c3 = c + (r + 3) * ldc;
+    for (std::size_t k = 0; k < kb; ++k) {
+      const float a0 = a[(r + 0) * kb + k];
+      const float a1 = a[(r + 1) * kb + k];
+      const float a2 = a[(r + 2) * kb + k];
+      const float a3 = a[(r + 3) * kb + k];
+      const float* bk = b + k * nb;
+      for (std::size_t n = 0; n < nb; ++n) {
+        const float bv = bk[n];
+        c0[n] += a0 * bv;
+        c1[n] += a1 * bv;
+        c2[n] += a2 * bv;
+        c3[n] += a3 * bv;
+      }
+    }
+  }
+  for (; r < mb; ++r) {
+    float* cr = c + r * ldc;
+    for (std::size_t k = 0; k < kb; ++k) {
+      const float av = a[r * kb + k];
+      const float* bk = b + k * nb;
+      for (std::size_t n = 0; n < nb; ++n) cr[n] += av * bk[n];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(Trans trans_a, Trans trans_b, float alpha, const Tensor& a,
+          const Tensor& b, float beta, Tensor& c) {
+  if (a.ndim() != 2 || b.ndim() != 2 || c.ndim() != 2)
+    throw std::invalid_argument("gemm: all operands must be 2-D");
+
+  const bool ta = trans_a == Trans::kYes;
+  const bool tb = trans_b == Trans::kYes;
+  const std::size_t m = ta ? a.dim(1) : a.dim(0);
+  const std::size_t k = ta ? a.dim(0) : a.dim(1);
+  const std::size_t kb_ = tb ? b.dim(1) : b.dim(0);
+  const std::size_t n = tb ? b.dim(0) : b.dim(1);
+  if (k != kb_)
+    throw std::invalid_argument("gemm: inner dimension mismatch " +
+                                std::to_string(k) + " vs " +
+                                std::to_string(kb_));
+  if (c.dim(0) != m || c.dim(1) != n)
+    throw std::invalid_argument("gemm: output shape mismatch");
+
+  // beta scaling of C.
+  if (beta == 0.0f) {
+    c.zero();
+  } else if (beta != 1.0f) {
+    c *= beta;
+  }
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
+
+  const MatView va{a.data(), m, k, a.dim(1), ta};
+  const MatView vb{b.data(), k, n, b.dim(1), tb};
+  float* cp = c.data();
+
+  // Parallelise over M row-blocks; each task packs its own A panels.  B
+  // panels are packed per (kblock, nblock) inside the task as well — for the
+  // sizes FUSE uses (M up to a few thousand) re-packing B is cheaper than
+  // synchronising a shared pack.
+  const std::size_t n_mblocks = (m + kBlockM - 1) / kBlockM;
+  fuse::util::parallel_for(0, n_mblocks, [&](std::size_t b0, std::size_t b1) {
+    std::vector<float> apack(kBlockM * kBlockK);
+    std::vector<float> bpack(kBlockK * kBlockN);
+    std::vector<float> cacc(kBlockM * kBlockN);
+    for (std::size_t mb_i = b0; mb_i < b1; ++mb_i) {
+      const std::size_t r0 = mb_i * kBlockM;
+      const std::size_t mb = std::min(kBlockM, m - r0);
+      for (std::size_t c0 = 0; c0 < n; c0 += kBlockN) {
+        const std::size_t nb = std::min(kBlockN, n - c0);
+        std::fill(cacc.begin(), cacc.begin() + mb * nb, 0.0f);
+        for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+          const std::size_t kb = std::min(kBlockK, k - k0);
+          pack_panel(va, r0, k0, mb, kb, apack.data());
+          // Pack op(B) block [kb, nb].
+          if (!vb.trans) {
+            for (std::size_t r = 0; r < kb; ++r)
+              std::memcpy(bpack.data() + r * nb,
+                          vb.p + (k0 + r) * vb.ld + c0, nb * sizeof(float));
+          } else {
+            for (std::size_t r = 0; r < kb; ++r)
+              for (std::size_t cc = 0; cc < nb; ++cc)
+                bpack[r * nb + cc] = vb.p[(c0 + cc) * vb.ld + (k0 + r)];
+          }
+          micro_gemm(mb, nb, kb, apack.data(), bpack.data(), cacc.data(), nb);
+        }
+        // C += alpha * acc
+        for (std::size_t r = 0; r < mb; ++r) {
+          float* crow = cp + (r0 + r) * n + c0;
+          const float* arow = cacc.data() + r * nb;
+          if (alpha == 1.0f) {
+            for (std::size_t cc = 0; cc < nb; ++cc) crow[cc] += arow[cc];
+          } else {
+            for (std::size_t cc = 0; cc < nb; ++cc)
+              crow[cc] += alpha * arow[cc];
+          }
+        }
+      }
+    }
+  });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, Trans trans_a, Trans trans_b) {
+  const std::size_t m =
+      trans_a == Trans::kYes ? a.dim(1) : a.dim(0);
+  const std::size_t n =
+      trans_b == Trans::kYes ? b.dim(0) : b.dim(1);
+  Tensor c({m, n});
+  gemm(trans_a, trans_b, 1.0f, a, b, 0.0f, c);
+  return c;
+}
+
+Tensor im2col(const Tensor& x, std::size_t kh, std::size_t kw,
+              std::size_t stride, std::size_t pad) {
+  if (x.ndim() != 4) throw std::invalid_argument("im2col: need NCHW");
+  const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = conv_out_size(h, kh, stride, pad);
+  const std::size_t ow = conv_out_size(w, kw, stride, pad);
+  Tensor col({n, c * kh * kw, oh * ow});
+  const std::size_t col_stride = c * kh * kw * oh * ow;
+
+  fuse::util::parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t img = lo; img < hi; ++img) {
+      const float* xp = x.data() + img * c * h * w;
+      float* cp = col.data() + img * col_stride;
+      std::size_t row = 0;
+      for (std::size_t ch = 0; ch < c; ++ch) {
+        for (std::size_t ky = 0; ky < kh; ++ky) {
+          for (std::size_t kx = 0; kx < kw; ++kx, ++row) {
+            float* out = cp + row * oh * ow;
+            for (std::size_t oy = 0; oy < oh; ++oy) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride + ky) -
+                  static_cast<std::ptrdiff_t>(pad);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) {
+                std::fill(out + oy * ow, out + (oy + 1) * ow, 0.0f);
+                continue;
+              }
+              const float* src = xp + (ch * h + iy) * w;
+              for (std::size_t ox = 0; ox < ow; ++ox) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                    static_cast<std::ptrdiff_t>(pad);
+                out[oy * ow + ox] =
+                    (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w))
+                        ? 0.0f
+                        : src[ix];
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+  return col;
+}
+
+Tensor col2im(const Tensor& col, std::size_t n, std::size_t c, std::size_t h,
+              std::size_t w, std::size_t kh, std::size_t kw,
+              std::size_t stride, std::size_t pad) {
+  const std::size_t oh = conv_out_size(h, kh, stride, pad);
+  const std::size_t ow = conv_out_size(w, kw, stride, pad);
+  if (col.ndim() != 3 || col.dim(0) != n || col.dim(1) != c * kh * kw ||
+      col.dim(2) != oh * ow)
+    throw std::invalid_argument("col2im: column tensor shape mismatch");
+  Tensor x({n, c, h, w});
+  const std::size_t col_stride = c * kh * kw * oh * ow;
+
+  fuse::util::parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t img = lo; img < hi; ++img) {
+      const float* cp = col.data() + img * col_stride;
+      float* xp = x.data() + img * c * h * w;
+      std::size_t row = 0;
+      for (std::size_t ch = 0; ch < c; ++ch) {
+        for (std::size_t ky = 0; ky < kh; ++ky) {
+          for (std::size_t kx = 0; kx < kw; ++kx, ++row) {
+            const float* src = cp + row * oh * ow;
+            for (std::size_t oy = 0; oy < oh; ++oy) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride + ky) -
+                  static_cast<std::ptrdiff_t>(pad);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              float* dst = xp + (ch * h + iy) * w;
+              for (std::size_t ox = 0; ox < ow; ++ox) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                    static_cast<std::ptrdiff_t>(pad);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                dst[ix] += src[oy * ow + ox];
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+  return x;
+}
+
+Tensor relu(const Tensor& x) {
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.numel(); ++i)
+    if (y[i] < 0.0f) y[i] = 0.0f;
+  return y;
+}
+
+Tensor relu_backward(const Tensor& dy, const Tensor& x) {
+  check_same_shape(dy, x, "relu_backward");
+  Tensor dx = dy;
+  for (std::size_t i = 0; i < dx.numel(); ++i)
+    if (x[i] <= 0.0f) dx[i] = 0.0f;
+  return dx;
+}
+
+Tensor hadamard(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "hadamard");
+  Tensor c = a;
+  for (std::size_t i = 0; i < c.numel(); ++i) c[i] *= b[i];
+  return c;
+}
+
+void add_row_bias(Tensor& x, const Tensor& bias) {
+  if (x.ndim() != 2 || bias.ndim() != 1 || bias.dim(0) != x.dim(1))
+    throw std::invalid_argument("add_row_bias: shape mismatch");
+  const std::size_t n = x.dim(0), f = x.dim(1);
+  for (std::size_t r = 0; r < n; ++r) {
+    float* row = x.data() + r * f;
+    for (std::size_t c = 0; c < f; ++c) row[c] += bias[c];
+  }
+}
+
+Tensor sum_rows(const Tensor& x) {
+  if (x.ndim() != 2) throw std::invalid_argument("sum_rows: need 2-D");
+  const std::size_t n = x.dim(0), f = x.dim(1);
+  Tensor out({f});
+  for (std::size_t r = 0; r < n; ++r) {
+    const float* row = x.data() + r * f;
+    for (std::size_t c = 0; c < f; ++c) out[c] += row[c];
+  }
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& x) {
+  if (x.ndim() != 2) throw std::invalid_argument("softmax_rows: need 2-D");
+  Tensor y = x;
+  const std::size_t n = x.dim(0), f = x.dim(1);
+  for (std::size_t r = 0; r < n; ++r) {
+    float* row = y.data() + r * f;
+    const float mx = *std::max_element(row, row + f);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < f; ++c) {
+      row[c] = std::exp(row[c] - mx);
+      denom += row[c];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::size_t c = 0; c < f; ++c) row[c] *= inv;
+  }
+  return y;
+}
+
+}  // namespace fuse::tensor

@@ -1,0 +1,67 @@
+#pragma once
+// Compute kernels on Tensors: blocked multi-threaded GEMM (all transpose
+// variants), im2col/col2im for convolution lowering, and a few elementwise
+// helpers used by the NN layers.
+//
+// GEMM is the performance backbone of the whole reproduction: the MARS CNN's
+// fully connected layers and the im2col-lowered convolutions all funnel into
+// it, so it is register-blocked, cache-blocked, and parallelised over row
+// panels with util::parallel_for.
+
+#include <cstddef>
+
+#include "tensor/tensor.h"
+
+namespace fuse::tensor {
+
+enum class Trans { kNo, kYes };
+
+/// C = alpha * op(A) * op(B) + beta * C
+/// op(A) is [M, K], op(B) is [K, N], C is [M, N] (all row-major, 2-D).
+/// Shapes are validated; throws std::invalid_argument on mismatch.
+void gemm(Trans trans_a, Trans trans_b, float alpha, const Tensor& a,
+          const Tensor& b, float beta, Tensor& c);
+
+/// Convenience: returns op(A) * op(B).
+Tensor matmul(const Tensor& a, const Tensor& b, Trans trans_a = Trans::kNo,
+              Trans trans_b = Trans::kNo);
+
+/// im2col for NCHW batches.
+///
+/// Input  x:   [N, C, H, W]
+/// Output col: [N, C*kh*kw, out_h*out_w]  (one column matrix per sample)
+/// out_h = (H + 2*pad - kh) / stride + 1, likewise out_w.
+Tensor im2col(const Tensor& x, std::size_t kh, std::size_t kw,
+              std::size_t stride, std::size_t pad);
+
+/// Inverse scatter-add of im2col: accumulates columns back into an
+/// [N, C, H, W] gradient image.
+Tensor col2im(const Tensor& col, std::size_t n, std::size_t c, std::size_t h,
+              std::size_t w, std::size_t kh, std::size_t kw,
+              std::size_t stride, std::size_t pad);
+
+/// y = relu(x), elementwise.
+Tensor relu(const Tensor& x);
+/// dx = dy where x > 0 else 0 (uses the forward input).
+Tensor relu_backward(const Tensor& dy, const Tensor& x);
+
+/// Elementwise a * b (Hadamard).
+Tensor hadamard(const Tensor& a, const Tensor& b);
+
+/// Adds bias[j] to every row j-column of a 2-D [N, F] tensor.
+void add_row_bias(Tensor& x, const Tensor& bias);
+
+/// Sums a 2-D [N, F] tensor over rows into a [F] tensor (bias gradient).
+Tensor sum_rows(const Tensor& x);
+
+/// Softmax over the last dimension of a 2-D tensor (used in tests and the
+/// activity-classification example).
+Tensor softmax_rows(const Tensor& x);
+
+/// Output spatial size of a convolution dimension.
+inline std::size_t conv_out_size(std::size_t in, std::size_t k,
+                                 std::size_t stride, std::size_t pad) {
+  return (in + 2 * pad - k) / stride + 1;
+}
+
+}  // namespace fuse::tensor

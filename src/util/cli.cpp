@@ -1,0 +1,68 @@
+#include "util/cli.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace fuse::util {
+
+Cli::Cli(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      opts_[arg] = "1";
+    } else {
+      opts_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return opts_.count(key) > 0; }
+
+std::string Cli::get(const std::string& key, const std::string& def) const {
+  const auto it = opts_.find(key);
+  return it == opts_.end() ? def : it->second;
+}
+
+double Cli::get_double(const std::string& key, double def) const {
+  const auto it = opts_.find(key);
+  if (it == opts_.end()) return def;
+  try {
+    return std::stod(it->second);
+  } catch (...) {
+    return def;
+  }
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t def) const {
+  const auto it = opts_.find(key);
+  if (it == opts_.end()) return def;
+  try {
+    return std::stoll(it->second);
+  } catch (...) {
+    return def;
+  }
+}
+
+double Cli::scale() const {
+  if (paper()) return -1.0;  // sentinel: callers switch to paper config
+  if (has("scale")) return get_double("scale", 1.0);
+  if (const char* env = std::getenv("FUSE_SCALE")) {
+    try {
+      return std::stod(env);
+    } catch (...) {
+    }
+  }
+  return 1.0;
+}
+
+std::size_t scaled(std::size_t base, double factor, std::size_t min_value) {
+  const double v = static_cast<double>(base) * factor;
+  const auto s = static_cast<std::size_t>(v + 0.5);
+  return std::max(min_value, s);
+}
+
+}  // namespace fuse::util

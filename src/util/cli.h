@@ -1,0 +1,49 @@
+#pragma once
+// Tiny command-line / environment option parser shared by all experiment
+// binaries.
+//
+// Every bench accepts:
+//   --scale=<float>   multiply dataset sizes and epoch counts (default 1.0,
+//                     or the FUSE_SCALE environment variable)
+//   --paper           run the full paper-sized configuration
+//   --seed=<u64>      master RNG seed
+//   --out=<dir>       directory for CSV artifacts (default ".")
+// plus arbitrary --key=value pairs query-able by the binary.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace fuse::util {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  /// True if --key or --key=value was passed.
+  bool has(const std::string& key) const;
+
+  std::string get(const std::string& key, const std::string& def = "") const;
+  double get_double(const std::string& key, double def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+
+  /// Experiment scale factor: --paper forces the paper-sized run; otherwise
+  /// --scale, then $FUSE_SCALE, then 1.0.
+  double scale() const;
+  bool paper() const { return has("paper"); }
+  std::uint64_t seed() const {
+    return static_cast<std::uint64_t>(get_int("seed", 0x22050097LL));
+  }
+  std::string out_dir() const { return get("out", "."); }
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> opts_;
+};
+
+/// Scales a count by factor, keeping at least min_value.
+std::size_t scaled(std::size_t base, double factor, std::size_t min_value = 1);
+
+}  // namespace fuse::util

@@ -1,0 +1,39 @@
+#pragma once
+// Small CSV writer used to dump experiment curves (e.g. MAE-vs-epoch series
+// behind Figures 3 and 4) next to the console output so they can be plotted.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace fuse::util {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) path.  ok() reports whether the stream is usable;
+  /// writes to a bad stream are silently dropped (benches still print to
+  /// stdout, the CSV is a convenience artifact).
+  explicit CsvWriter(const std::string& path) : out_(path) {}
+
+  bool ok() const { return out_.good(); }
+
+  void write_row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out_ << ',';
+      out_ << cells[i];
+    }
+    out_ << '\n';
+  }
+
+  template <typename... Args>
+  void row(const Args&... args) {
+    bool first = true;
+    ((out_ << (first ? (first = false, "") : ",") << args), ...);
+    out_ << '\n';
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace fuse::util

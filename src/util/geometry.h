@@ -1,0 +1,82 @@
+#pragma once
+// 3-D vector math shared by the human-body model and the radar simulator.
+//
+// Coordinate convention throughout FUSE (matches the TI/MARS setup):
+//   x — lateral (radar's right, subject's left when facing the radar)
+//   y — depth/boresight (away from the radar)
+//   z — height (up); radar mounted at z = radar_height.
+
+#include <cmath>
+
+namespace fuse::util {
+
+struct Vec3 {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+
+  Vec3() = default;
+  Vec3(float x_, float y_, float z_) : x(x_), y(y_), z(z_) {}
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+  Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x; y -= o.y; z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(float s) {
+    x *= s; y *= s; z *= s;
+    return *this;
+  }
+  Vec3 operator-() const { return {-x, -y, -z}; }
+
+  float dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  float norm2() const { return dot(*this); }
+  float norm() const { return std::sqrt(norm2()); }
+  Vec3 normalized() const {
+    const float n = norm();
+    return n > 0.0f ? *this / n : Vec3{};
+  }
+};
+
+inline Vec3 operator*(float s, const Vec3& v) { return v * s; }
+
+inline float distance(const Vec3& a, const Vec3& b) { return (a - b).norm(); }
+
+/// Linear interpolation a + t (b - a).
+inline Vec3 lerp(const Vec3& a, const Vec3& b, float t) {
+  return a + (b - a) * t;
+}
+
+/// Rotates v around unit axis by angle (radians), Rodrigues' formula.
+inline Vec3 rotate_axis_angle(const Vec3& v, const Vec3& axis, float angle) {
+  const float c = std::cos(angle);
+  const float s = std::sin(angle);
+  return v * c + axis.cross(v) * s + axis * (axis.dot(v) * (1.0f - c));
+}
+
+inline constexpr float kPi = 3.14159265358979323846f;
+inline constexpr float deg2rad(float d) { return d * kPi / 180.0f; }
+inline constexpr float rad2deg(float r) { return r * 180.0f / kPi; }
+
+/// Clamps x into [lo, hi].
+inline float clampf(float x, float lo, float hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/// Smoothstep easing in [0, 1].
+inline float smoothstep(float t) {
+  t = clampf(t, 0.0f, 1.0f);
+  return t * t * (3.0f - 2.0f * t);
+}
+
+}  // namespace fuse::util

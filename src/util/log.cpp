@@ -1,0 +1,59 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+
+namespace fuse::util {
+
+namespace {
+
+std::atomic<int> g_level{-1};
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("FUSE_LOG");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+std::mutex& log_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = static_cast<int>(level_from_env());
+    g_level.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace fuse::util

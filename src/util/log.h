@@ -1,0 +1,31 @@
+#pragma once
+// Minimal leveled logging.  Experiments log progress at Info; verbose kernels
+// log at Debug (off by default, enable with FUSE_LOG=debug).
+
+#include <cstdio>
+#include <string>
+
+namespace fuse::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Current threshold (from FUSE_LOG env on first use; default Info).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_message(LogLevel level, const std::string& msg);
+
+template <typename... Args>
+void logf(LogLevel level, const char* fmt, Args... args) {
+  if (level < log_level()) return;
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  log_message(level, buf);
+}
+
+#define FUSE_LOG_DEBUG(...) ::fuse::util::logf(::fuse::util::LogLevel::kDebug, __VA_ARGS__)
+#define FUSE_LOG_INFO(...) ::fuse::util::logf(::fuse::util::LogLevel::kInfo, __VA_ARGS__)
+#define FUSE_LOG_WARN(...) ::fuse::util::logf(::fuse::util::LogLevel::kWarn, __VA_ARGS__)
+#define FUSE_LOG_ERROR(...) ::fuse::util::logf(::fuse::util::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace fuse::util

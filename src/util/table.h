@@ -1,0 +1,43 @@
+#pragma once
+// Plain-text table formatting for experiment output.
+//
+// Every bench binary prints its reproduction of a paper table/figure through
+// Table, so the console output lines up with the rows the paper reports and
+// can be diffed between runs.
+
+#include <string>
+#include <vector>
+
+namespace fuse::util {
+
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  /// Sets the header row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row (stringified cells).
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with fixed precision.
+  static std::string num(double v, int precision = 1);
+
+  /// Renders the table with aligned columns and box-drawing rules.
+  std::string to_string() const;
+
+  /// Renders as CSV (header + rows).
+  std::string to_csv() const;
+
+  /// Prints to stdout.
+  void print() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fuse::util

@@ -1,0 +1,117 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace fuse::util {
+
+namespace {
+thread_local bool t_inside_pool_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t n) {
+  if (n == 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    n = hc > 1 ? hc : 1;
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  t_inside_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t min_chunk) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t max_chunks = size() * 4;
+  std::size_t chunk = std::max<std::size_t>(min_chunk, (n + max_chunks - 1) / max_chunks);
+  const std::size_t n_chunks = (n + chunk - 1) / chunk;
+  if (n_chunks <= 1) {
+    body(begin, end);
+    return;
+  }
+  // done is updated and signalled under the mutex: the waiter can only
+  // observe completion after the last worker has released the lock, so the
+  // stack-allocated mutex/cv cannot be destroyed while a worker still
+  // touches them.
+  std::size_t done = 0;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    const std::size_t lo = begin + c * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    submit([&, lo, hi] {
+      body(lo, hi);
+      {
+        std::lock_guard<std::mutex> lock(done_mu);
+        if (++done == n_chunks) done_cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return done == n_chunks; });
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t min_chunk) {
+  if (begin >= end) return;
+  // Nested parallelism from inside a worker would deadlock on wait; serialize.
+  if (t_inside_pool_worker || end - begin <= min_chunk) {
+    body(begin, end);
+    return;
+  }
+  global_pool().parallel_for(begin, end, body, min_chunk);
+}
+
+}  // namespace fuse::util

@@ -1,0 +1,63 @@
+#pragma once
+// Minimal work-stealing-free thread pool with a parallel_for helper.
+//
+// The tensor library parallelises GEMM and convolution over row blocks; the
+// dataset builder parallelises over sequences.  A single process-wide pool
+// (global_pool()) is shared so nested parallelism never oversubscribes.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fuse::util {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with n worker threads.  n == 0 uses hardware concurrency.
+  explicit ThreadPool(std::size_t n = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task.  Tasks must not throw.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Run fn(i) for i in [begin, end), split into contiguous chunks across the
+  /// pool plus the calling thread.  Blocks until complete.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t min_chunk = 1);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Process-wide shared pool.
+ThreadPool& global_pool();
+
+/// Convenience: parallel loop over [begin, end) using the global pool.
+/// body receives a [lo, hi) chunk.  Falls back to serial execution for tiny
+/// ranges or when invoked from inside a pool worker (avoids deadlock).
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t min_chunk = 1);
+
+}  // namespace fuse::util

@@ -1,0 +1,410 @@
+// Tests for the data pipeline: synthetic MARS builder, multi-frame fusion
+// (Eq. 3) including sequence-boundary clamping, MARS featurization,
+// normalization fit/apply, dataset splits and meta-task sampling.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/builder.h"
+#include "data/dataset.h"
+#include "data/featurize.h"
+#include "data/fusion.h"
+#include "data/split.h"
+#include "util/rng.h"
+
+namespace {
+
+using fuse::data::BuilderConfig;
+using fuse::data::Dataset;
+using fuse::data::Featurizer;
+using fuse::data::FusedDataset;
+using fuse::data::IndexSet;
+using fuse::human::Movement;
+
+BuilderConfig tiny_config(std::size_t frames = 30) {
+  BuilderConfig cfg;
+  cfg.frames_per_sequence = frames;
+  return cfg;
+}
+
+const Dataset& shared_dataset() {
+  static const Dataset ds = fuse::data::build_dataset(tiny_config(40));
+  return ds;
+}
+
+// --------------------------------------------------------------- builder --
+
+TEST(Builder, StructureMatchesConfig) {
+  const auto& ds = shared_dataset();
+  EXPECT_EQ(ds.sequences.size(), 40u);  // 4 subjects x 10 movements
+  EXPECT_EQ(ds.size(), 40u * 40u);
+  for (const auto& [first, count] : ds.sequences) {
+    EXPECT_EQ(count, 40u);
+    // Frames of a sequence are contiguous and time-ordered.
+    for (std::size_t k = 0; k < count; ++k) {
+      EXPECT_EQ(ds.frames[first + k].time_index, k);
+      EXPECT_EQ(ds.frames[first + k].sequence,
+                ds.frames[first].sequence);
+    }
+  }
+}
+
+TEST(Builder, CoversAllSubjectsAndMovements) {
+  const auto& ds = shared_dataset();
+  std::set<std::pair<std::size_t, std::size_t>> pairs;
+  for (const auto& f : ds.frames)
+    pairs.insert({f.subject, static_cast<std::size_t>(f.movement)});
+  EXPECT_EQ(pairs.size(), 40u);
+}
+
+TEST(Builder, DeterministicForEqualSeeds) {
+  const auto a = fuse::data::build_dataset(tiny_config(10));
+  const auto b = fuse::data::build_dataset(tiny_config(10));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.frames[i].cloud.size(), b.frames[i].cloud.size());
+    for (std::size_t p = 0; p < a.frames[i].cloud.size(); ++p) {
+      EXPECT_EQ(a.frames[i].cloud.points[p].x, b.frames[i].cloud.points[p].x);
+      EXPECT_EQ(a.frames[i].cloud.points[p].doppler,
+                b.frames[i].cloud.points[p].doppler);
+    }
+  }
+}
+
+TEST(Builder, DifferentSeedsDiffer) {
+  auto cfg = tiny_config(10);
+  cfg.seed = 1234;
+  const auto a = fuse::data::build_dataset(cfg);
+  cfg.seed = 5678;
+  const auto b = fuse::data::build_dataset(cfg);
+  // Same structure, different clouds.
+  ASSERT_EQ(a.size(), b.size());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size() && !any_diff; ++i)
+    any_diff = a.frames[i].cloud.size() != b.frames[i].cloud.size();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Builder, PointCloudsAreRealisticallySparse) {
+  const auto& ds = shared_dataset();
+  const double mean_pts = ds.mean_points_per_frame();
+  EXPECT_GT(mean_pts, 5.0);
+  EXPECT_LT(mean_pts, 80.0);
+}
+
+TEST(Builder, LabelsTrackBodyPosition) {
+  const auto& ds = shared_dataset();
+  for (const auto& f : ds.frames) {
+    const auto subj = fuse::human::make_subject(f.subject);
+    // Spine base near the subject's configured standing position.
+    EXPECT_NEAR(f.label[fuse::human::Joint::kSpineBase].y,
+                subj.style.distance_m, 0.6f);
+  }
+}
+
+TEST(Builder, MovementSubsetRespected) {
+  auto cfg = tiny_config(8);
+  cfg.movements = {Movement::kSquat};
+  cfg.subjects = {0, 2};
+  const auto ds = fuse::data::build_dataset(cfg);
+  EXPECT_EQ(ds.sequences.size(), 2u);
+  for (const auto& f : ds.frames) {
+    EXPECT_EQ(f.movement, Movement::kSquat);
+    EXPECT_TRUE(f.subject == 0 || f.subject == 2);
+  }
+}
+
+// ---------------------------------------------------------------- fusion --
+
+class FusionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FusionSweep, OneSamplePerFrameAndWindowShape) {
+  const std::size_t m = GetParam();
+  const auto& ds = shared_dataset();
+  const FusedDataset fused(ds, m);
+  EXPECT_EQ(fused.size(), ds.size());
+  EXPECT_EQ(fused.frames_per_sample(), 2 * m + 1);
+  for (std::size_t i = 0; i < fused.size(); i += 7) {
+    const auto& s = fused.sample(i);
+    EXPECT_EQ(s.constituents.size(), 2 * m + 1);
+    // All constituents belong to the centre's sequence.
+    const auto seq = ds.frames[s.centre].sequence;
+    for (const auto c : s.constituents)
+      EXPECT_EQ(ds.frames[c].sequence, seq);
+    // Time-ordered (non-decreasing, clamping may repeat edges).
+    for (std::size_t k = 1; k < s.constituents.size(); ++k)
+      EXPECT_LE(ds.frames[s.constituents[k - 1]].time_index,
+                ds.frames[s.constituents[k]].time_index);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, FusionSweep, ::testing::Values(0, 1, 2, 3));
+
+TEST(Fusion, CentreFrameIsMiddleConstituent) {
+  const auto& ds = shared_dataset();
+  const FusedDataset fused(ds, 1);
+  // A mid-sequence sample: constituents are k-1, k, k+1.
+  const auto& s = fused.sample(10);
+  EXPECT_EQ(s.constituents[1], s.centre);
+  EXPECT_EQ(s.constituents[0] + 1, s.centre);
+  EXPECT_EQ(s.constituents[2], s.centre + 1);
+}
+
+TEST(Fusion, BoundariesAreClamped) {
+  const auto& ds = shared_dataset();
+  const FusedDataset fused(ds, 2);
+  // First frame of the first sequence: left side clamps to itself.
+  const auto& first = fused.sample(0);
+  EXPECT_EQ(first.constituents[0], first.centre);
+  EXPECT_EQ(first.constituents[1], first.centre);
+  EXPECT_EQ(first.constituents[2], first.centre);
+  // Last frame of the first sequence: right side clamps.
+  const std::size_t last = ds.sequences[0].second - 1;
+  const auto& lastS = fused.sample(last);
+  EXPECT_EQ(lastS.constituents[4], lastS.centre);
+  EXPECT_EQ(lastS.constituents[3], lastS.centre);
+}
+
+TEST(Fusion, FusedCloudConcatenatesPoints) {
+  const auto& ds = shared_dataset();
+  const FusedDataset fused(ds, 1);
+  const std::size_t i = 15;
+  const auto cloud = fused.fused_cloud(i);
+  EXPECT_EQ(cloud.size(), fused.fused_point_count(i));
+  EXPECT_EQ(cloud.size(), ds.frames[i - 1].cloud.size() +
+                              ds.frames[i].cloud.size() +
+                              ds.frames[i + 1].cloud.size());
+}
+
+TEST(Fusion, MZeroIsSingleFrame) {
+  const auto& ds = shared_dataset();
+  const FusedDataset fused(ds, 0);
+  for (std::size_t i = 0; i < fused.size(); i += 13) {
+    EXPECT_EQ(fused.sample(i).constituents.size(), 1u);
+    EXPECT_EQ(fused.sample(i).constituents[0], i);
+  }
+}
+
+TEST(Fusion, MultiFrameEnrichesPointCount) {
+  // The paper's core observation: fusing 3 frames roughly triples the
+  // information content per sample.
+  const auto& ds = shared_dataset();
+  const FusedDataset single(ds, 0);
+  const FusedDataset fused3(ds, 1);
+  double s = 0.0, f = 0.0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    s += static_cast<double>(single.fused_point_count(i));
+    f += static_cast<double>(fused3.fused_point_count(i));
+  }
+  EXPECT_GT(f / s, 2.5);
+  EXPECT_LT(f / s, 3.5);
+}
+
+// ------------------------------------------------------------ featurizer --
+
+TEST(Featurizer, FitRequiresData) {
+  Featurizer feat;
+  EXPECT_THROW(feat.fit(shared_dataset(), {}), std::invalid_argument);
+}
+
+TEST(Featurizer, InputShapesFollowFusionWindow) {
+  const auto& ds = shared_dataset();
+  IndexSet all(ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) all[i] = i;
+  Featurizer feat;
+  feat.fit(ds, all);
+
+  // Fusion pools points; the feature-map shape is M-independent (the CNN
+  // is identical across fusion settings, per the paper).
+  for (const std::size_t m : {0u, 1u, 2u}) {
+    const FusedDataset fused(ds, m);
+    const IndexSet batch = {0, 5, 17};
+    const auto x = feat.make_inputs(fused, batch);
+    EXPECT_EQ(x.shape(), (fuse::tensor::Shape{3, 5, 8, 8}));
+    const auto y = feat.make_labels(fused, batch);
+    EXPECT_EQ(y.shape(), (fuse::tensor::Shape{3, 57}));
+  }
+}
+
+TEST(Featurizer, NormalizedChannelsHaveUnitScale) {
+  const auto& ds = shared_dataset();
+  IndexSet all(ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) all[i] = i;
+  Featurizer feat;
+  feat.fit(ds, all);
+
+  const FusedDataset fused(ds, 0);
+  const auto x = feat.make_inputs(fused, all);
+  // Over the whole set, non-padded entries are standardized; with padding
+  // zeros mixed in the std shrinks but must stay O(1).
+  const float std_all =
+      std::sqrt(x.squared_norm() / static_cast<float>(x.numel()));
+  EXPECT_GT(std_all, 0.2f);
+  EXPECT_LT(std_all, 1.5f);
+}
+
+TEST(Featurizer, LabelNormalizationRoundTrips) {
+  const auto& ds = shared_dataset();
+  IndexSet all(ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) all[i] = i;
+  Featurizer feat;
+  feat.fit(ds, all);
+
+  const FusedDataset fused(ds, 1);
+  const IndexSet batch = {3, 44};
+  const auto y = feat.make_labels(fused, batch);
+  const auto denorm = feat.denormalize_labels(y);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto& label = fused.centre_frame(batch[i]).label;
+    for (std::size_t j = 0; j < fuse::human::kNumJoints; ++j) {
+      EXPECT_NEAR(denorm[i * 57 + j * 3 + 0], label.joints[j].x, 1e-4f);
+      EXPECT_NEAR(denorm[i * 57 + j * 3 + 1], label.joints[j].y, 1e-4f);
+      EXPECT_NEAR(denorm[i * 57 + j * 3 + 2], label.joints[j].z, 1e-4f);
+    }
+  }
+}
+
+TEST(Featurizer, PaddingSlotsAreZero) {
+  // A frame with fewer than 64 points leaves trailing grid slots at exactly
+  // 0 (the normalized "no point" value).
+  const auto& ds = shared_dataset();
+  // Find a frame with < 30 points.
+  std::size_t idx = ds.size();
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (ds.frames[i].cloud.size() < 30 && !ds.frames[i].cloud.empty()) {
+      idx = i;
+      break;
+    }
+  }
+  ASSERT_LT(idx, ds.size());
+  IndexSet all(ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) all[i] = i;
+  Featurizer feat;
+  feat.fit(ds, all);
+  const FusedDataset fused(ds, 0);
+  const auto x = feat.make_inputs(fused, {idx});
+  const std::size_t n_pts = ds.frames[idx].cloud.size();
+  for (std::size_t c = 0; c < 5; ++c)
+    for (std::size_t slot = n_pts; slot < 64; ++slot)
+      EXPECT_EQ(x[c * 64 + slot], 0.0f);
+}
+
+TEST(Featurizer, MaePerAxisZeroForIdenticalBatches) {
+  const auto& ds = shared_dataset();
+  IndexSet all(ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) all[i] = i;
+  Featurizer feat;
+  feat.fit(ds, all);
+  const FusedDataset fused(ds, 0);
+  const auto y = feat.make_labels(fused, {1, 2, 3});
+  const auto mae = fuse::data::mae_per_axis_m(y, y, feat.label_stats());
+  EXPECT_EQ(mae[0], 0.0);
+  EXPECT_EQ(mae[1], 0.0);
+  EXPECT_EQ(mae[2], 0.0);
+}
+
+TEST(Featurizer, MaePerAxisMatchesHandComputedOffset) {
+  const auto& ds = shared_dataset();
+  IndexSet all(ds.size());
+  for (std::size_t i = 0; i < ds.size(); ++i) all[i] = i;
+  Featurizer feat;
+  feat.fit(ds, all);
+  const FusedDataset fused(ds, 0);
+  auto y = feat.make_labels(fused, {0});
+  auto y2 = y;
+  // Shift every x coordinate by exactly 0.10 m in normalized units.
+  const float dx = 0.10f / feat.label_stats().stddev[0];
+  for (std::size_t j = 0; j < 19; ++j) y2[j * 3] += dx;
+  const auto mae = fuse::data::mae_per_axis_m(y2, y, feat.label_stats());
+  EXPECT_NEAR(mae[0], 0.10, 1e-4);
+  EXPECT_NEAR(mae[1], 0.0, 1e-6);
+}
+
+// ---------------------------------------------------------------- splits --
+
+TEST(Split, ChronoProportionsPerSequence) {
+  const auto& ds = shared_dataset();
+  const auto split = fuse::data::chrono_split(ds, 0.6, 0.2);
+  EXPECT_EQ(split.train.size() + split.val.size() + split.test.size(),
+            ds.size());
+  // 40 frames per sequence -> 24 / 8 / 8.
+  EXPECT_EQ(split.train.size(), 40u * 24u);
+  EXPECT_EQ(split.val.size(), 40u * 8u);
+  EXPECT_EQ(split.test.size(), 40u * 8u);
+  // Train frames precede val frames within each sequence.
+  const auto& f0 = ds.frames[split.train[0]];
+  EXPECT_EQ(f0.time_index, 0u);
+}
+
+TEST(Split, ChronoRejectsBadFractions) {
+  EXPECT_THROW(fuse::data::chrono_split(shared_dataset(), 0.8, 0.4),
+               std::invalid_argument);
+  EXPECT_THROW(fuse::data::chrono_split(shared_dataset(), 0.0, 0.2),
+               std::invalid_argument);
+}
+
+TEST(Split, LeaveOutExcludesHeldOutFactors) {
+  const auto& ds = shared_dataset();
+  const auto split = fuse::data::leave_out_split(
+      ds, 3, Movement::kRightLimbExtension);
+  // Train: 3 subjects x 9 movements x 40 frames.
+  EXPECT_EQ(split.train.size(), 3u * 9u * 40u);
+  // Test: exactly the held-out pair.
+  EXPECT_EQ(split.test.size(), 40u);
+  for (const auto i : split.train) {
+    EXPECT_NE(ds.frames[i].subject, 3u);
+    EXPECT_NE(ds.frames[i].movement, Movement::kRightLimbExtension);
+  }
+  for (const auto i : split.test) {
+    EXPECT_EQ(ds.frames[i].subject, 3u);
+    EXPECT_EQ(ds.frames[i].movement, Movement::kRightLimbExtension);
+  }
+}
+
+TEST(Split, FinetuneEvalSplitOrdering) {
+  const IndexSet test = {10, 11, 12, 13, 14};
+  const auto [ft, ev] = fuse::data::finetune_eval_split(test, 2);
+  EXPECT_EQ(ft, (IndexSet{10, 11}));
+  EXPECT_EQ(ev, (IndexSet{12, 13, 14}));
+  // Oversized request clamps.
+  const auto [ft2, ev2] = fuse::data::finetune_eval_split(test, 99);
+  EXPECT_EQ(ft2.size(), 5u);
+  EXPECT_TRUE(ev2.empty());
+}
+
+TEST(TaskSampler, SamplesWithoutReplacementWithinPool) {
+  fuse::data::TaskSampler sampler({1, 2, 3, 4, 5, 6, 7, 8},
+                                  fuse::util::Rng(3));
+  const auto task = sampler.sample_task(5);
+  EXPECT_EQ(task.size(), 5u);
+  std::set<std::size_t> uniq(task.begin(), task.end());
+  EXPECT_EQ(uniq.size(), 5u);
+  for (const auto v : task) {
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 8u);
+  }
+}
+
+TEST(TaskSampler, OversizedTaskSamplesWithReplacement) {
+  fuse::data::TaskSampler sampler({1, 2, 3}, fuse::util::Rng(4));
+  const auto task = sampler.sample_task(10);
+  EXPECT_EQ(task.size(), 10u);
+}
+
+TEST(TaskSampler, EmptyPoolThrows) {
+  fuse::data::TaskSampler sampler({}, fuse::util::Rng(5));
+  EXPECT_THROW(sampler.sample_task(1), std::logic_error);
+}
+
+TEST(TaskSampler, TasksVaryAcrossDraws) {
+  IndexSet pool(100);
+  for (std::size_t i = 0; i < 100; ++i) pool[i] = i;
+  fuse::data::TaskSampler sampler(pool, fuse::util::Rng(6));
+  const auto a = sampler.sample_task(10);
+  const auto b = sampler.sample_task(10);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace

@@ -1,0 +1,337 @@
+// Tests for the DSP kernels: FFT against the O(N^2) DFT oracle, window
+// functions, fftshift, spectral-peak interpolation, and the CFAR detectors'
+// detection/false-alarm behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "dsp/cfar.h"
+#include "dsp/fft.h"
+#include "dsp/window.h"
+#include "util/rng.h"
+
+namespace {
+
+using fuse::dsp::cfloat;
+
+// ------------------------------------------------------------------- FFT --
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(fuse::dsp::next_pow2(1), 1u);
+  EXPECT_EQ(fuse::dsp::next_pow2(2), 2u);
+  EXPECT_EQ(fuse::dsp::next_pow2(3), 4u);
+  EXPECT_EQ(fuse::dsp::next_pow2(64), 64u);
+  EXPECT_EQ(fuse::dsp::next_pow2(65), 128u);
+}
+
+TEST(Fft, IsPow2) {
+  EXPECT_TRUE(fuse::dsp::is_pow2(1));
+  EXPECT_TRUE(fuse::dsp::is_pow2(256));
+  EXPECT_FALSE(fuse::dsp::is_pow2(0));
+  EXPECT_FALSE(fuse::dsp::is_pow2(48));
+}
+
+TEST(Fft, NonPow2Throws) {
+  std::vector<cfloat> v(6);
+  EXPECT_THROW(fuse::dsp::fft_inplace(v), std::invalid_argument);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<cfloat> v(16);
+  v[0] = {1.0f, 0.0f};
+  fuse::dsp::fft_inplace(v);
+  for (const auto& x : v) {
+    EXPECT_NEAR(x.real(), 1.0f, 1e-5f);
+    EXPECT_NEAR(x.imag(), 0.0f, 1e-5f);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 64;
+  const std::size_t k0 = 5;
+  std::vector<cfloat> v(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const double ang = 2.0 * M_PI * static_cast<double>(k0 * t) / n;
+    v[t] = {static_cast<float>(std::cos(ang)),
+            static_cast<float>(std::sin(ang))};
+  }
+  fuse::dsp::fft_inplace(v);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == k0) {
+      EXPECT_NEAR(std::abs(v[k]), static_cast<float>(n), 1e-3f);
+    } else {
+      EXPECT_NEAR(std::abs(v[k]), 0.0f, 1e-3f);
+    }
+  }
+}
+
+class FftVsDft : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftVsDft, MatchesReferenceDft) {
+  const std::size_t n = GetParam();
+  fuse::util::Rng rng(n);
+  std::vector<cfloat> v(n);
+  for (auto& x : v)
+    x = {rng.uniformf(-1.0f, 1.0f), rng.uniformf(-1.0f, 1.0f)};
+  const auto ref = fuse::dsp::dft_reference(v);
+  auto got = v;
+  fuse::dsp::fft_inplace(got);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(got[k].real(), ref[k].real(), 1e-3f * static_cast<float>(n));
+    EXPECT_NEAR(got[k].imag(), ref[k].imag(), 1e-3f * static_cast<float>(n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftVsDft,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128, 256));
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, InverseRecoversSignal) {
+  const std::size_t n = GetParam();
+  fuse::util::Rng rng(3 * n + 1);
+  std::vector<cfloat> v(n);
+  for (auto& x : v)
+    x = {rng.uniformf(-1.0f, 1.0f), rng.uniformf(-1.0f, 1.0f)};
+  auto w = v;
+  fuse::dsp::fft_inplace(w, false);
+  fuse::dsp::fft_inplace(w, true);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(w[i].real(), v[i].real(), 1e-4f);
+    EXPECT_NEAR(w[i].imag(), v[i].imag(), 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(2, 8, 64, 512));
+
+TEST(Fft, ParsevalEnergyConservation) {
+  const std::size_t n = 128;
+  fuse::util::Rng rng(99);
+  std::vector<cfloat> v(n);
+  double time_energy = 0.0;
+  for (auto& x : v) {
+    x = {rng.uniformf(-1.0f, 1.0f), rng.uniformf(-1.0f, 1.0f)};
+    time_energy += std::norm(x);
+  }
+  fuse::dsp::fft_inplace(v);
+  double freq_energy = 0.0;
+  for (const auto& x : v) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-3 * time_energy);
+}
+
+TEST(Fft, ZeroPaddingInFreeFunction) {
+  std::vector<cfloat> v(48, cfloat{1.0f, 0.0f});
+  const auto out = fuse::dsp::fft(v);
+  EXPECT_EQ(out.size(), 64u);
+}
+
+TEST(Fft, FftshiftEven) {
+  std::vector<int> v = {0, 1, 2, 3};
+  fuse::dsp::fftshift(v);
+  EXPECT_EQ(v, (std::vector<int>{2, 3, 0, 1}));
+}
+
+TEST(Fft, FftshiftOdd) {
+  std::vector<int> v = {0, 1, 2, 3, 4};
+  fuse::dsp::fftshift(v);
+  EXPECT_EQ(v, (std::vector<int>{3, 4, 0, 1, 2}));
+}
+
+TEST(Fft, ParabolicPeakOffsetExactForParabola) {
+  // Samples of y = 1 - (x - 0.3)^2 at x = -1, 0, 1.
+  const float d = 0.3f;
+  const auto y = [d](float x) { return 1.0f - (x - d) * (x - d); };
+  EXPECT_NEAR(fuse::dsp::parabolic_peak_offset(y(-1), y(0), y(1)), d, 1e-5f);
+}
+
+TEST(Fft, ParabolicPeakOffsetClamped) {
+  EXPECT_LE(std::fabs(fuse::dsp::parabolic_peak_offset(0.0f, 0.0f, 0.0f)),
+            0.5f);
+  EXPECT_LE(std::fabs(fuse::dsp::parabolic_peak_offset(1.0f, 1.0f, 1.01f)),
+            0.5f);
+}
+
+// --------------------------------------------------------------- windows --
+
+class WindowSweep : public ::testing::TestWithParam<fuse::dsp::WindowType> {};
+
+TEST_P(WindowSweep, SymmetricAndBounded) {
+  const auto w = fuse::dsp::make_window(GetParam(), 65);
+  ASSERT_EQ(w.size(), 65u);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_GE(w[i], -1e-6f);
+    EXPECT_LE(w[i], 1.0f + 1e-6f);
+    EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-5f) << "asymmetric at " << i;
+  }
+}
+
+TEST_P(WindowSweep, CoherentGainPositive) {
+  const auto w = fuse::dsp::make_window(GetParam(), 64);
+  const float g = fuse::dsp::coherent_gain(w);
+  EXPECT_GT(g, 0.0f);
+  EXPECT_LE(g, 1.0f + 1e-6f);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, WindowSweep,
+                         ::testing::Values(fuse::dsp::WindowType::kRect,
+                                           fuse::dsp::WindowType::kHann,
+                                           fuse::dsp::WindowType::kHamming,
+                                           fuse::dsp::WindowType::kBlackman));
+
+TEST(Window, HannEndpointsAreZero) {
+  const auto w = fuse::dsp::make_window(fuse::dsp::WindowType::kHann, 32);
+  EXPECT_NEAR(w.front(), 0.0f, 1e-6f);
+  EXPECT_NEAR(w.back(), 0.0f, 1e-6f);
+}
+
+TEST(Window, RectIsAllOnes) {
+  const auto w = fuse::dsp::make_window(fuse::dsp::WindowType::kRect, 16);
+  for (const float v : w) EXPECT_EQ(v, 1.0f);
+}
+
+TEST(Window, ApplyWindowMismatchThrows) {
+  std::vector<float> data(8, 1.0f);
+  const auto w = fuse::dsp::make_window(fuse::dsp::WindowType::kHann, 16);
+  EXPECT_THROW(fuse::dsp::apply_window(data, w), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ CFAR --
+
+TEST(Cfar, ScaleForPfaSanity) {
+  // More training cells -> smaller multiplier for the same Pfa; smaller Pfa
+  // -> larger multiplier.
+  const float s16 = fuse::dsp::cfar_scale_for_pfa(16, 1e-4);
+  const float s32 = fuse::dsp::cfar_scale_for_pfa(32, 1e-4);
+  const float s16_tight = fuse::dsp::cfar_scale_for_pfa(16, 1e-6);
+  EXPECT_GT(s16, s32);
+  EXPECT_GT(s16_tight, s16);
+  EXPECT_THROW(fuse::dsp::cfar_scale_for_pfa(0, 1e-4), std::invalid_argument);
+  EXPECT_THROW(fuse::dsp::cfar_scale_for_pfa(8, 1.5), std::invalid_argument);
+}
+
+std::vector<float> noise_profile(std::size_t n, fuse::util::Rng& rng,
+                                 float level = 1.0f) {
+  // Exponentially distributed power (square-law detected Gaussian noise).
+  std::vector<float> p(n);
+  for (auto& v : p)
+    v = -level * std::log(std::max(1e-12, 1.0 - rng.uniform()));
+  return p;
+}
+
+TEST(Cfar, DetectsStrongTargetInNoise) {
+  fuse::util::Rng rng(7);
+  auto p = noise_profile(256, rng);
+  p[100] = 200.0f;
+  fuse::dsp::CfarConfig cfg;
+  cfg.threshold_scale = fuse::dsp::cfar_scale_for_pfa(16, 1e-4);
+  const auto dets = fuse::dsp::ca_cfar_1d(p, cfg);
+  ASSERT_FALSE(dets.empty());
+  bool found = false;
+  for (const auto& d : dets) found |= d.index == 100;
+  EXPECT_TRUE(found);
+}
+
+TEST(Cfar, FalseAlarmRateIsControlled) {
+  // Pure noise: the empirical false-alarm rate should be near the design
+  // Pfa (local-max gating only reduces it).
+  fuse::util::Rng rng(11);
+  fuse::dsp::CfarConfig cfg;
+  cfg.threshold_scale = fuse::dsp::cfar_scale_for_pfa(16, 1e-2);
+  std::size_t alarms = 0, cells = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto p = noise_profile(512, rng);
+    alarms += fuse::dsp::ca_cfar_1d(p, cfg).size();
+    cells += p.size();
+  }
+  const double rate = static_cast<double>(alarms) / static_cast<double>(cells);
+  EXPECT_LT(rate, 3e-2);  // not wildly above design
+  EXPECT_GT(rate, 1e-4);  // not degenerate either
+}
+
+TEST(Cfar, WeakTargetBelowThresholdIgnored) {
+  fuse::util::Rng rng(13);
+  auto p = noise_profile(256, rng);
+  p[60] = 1.5f;  // barely above mean noise
+  fuse::dsp::CfarConfig cfg;
+  cfg.threshold_scale = fuse::dsp::cfar_scale_for_pfa(16, 1e-6);
+  for (const auto& d : fuse::dsp::ca_cfar_1d(p, cfg))
+    EXPECT_NE(d.index, 60u);
+}
+
+TEST(Cfar, SnrAndThresholdReported) {
+  std::vector<float> p(64, 1.0f);
+  p[32] = 100.0f;
+  fuse::dsp::CfarConfig cfg;
+  cfg.threshold_scale = 8.0f;
+  const auto dets = fuse::dsp::ca_cfar_1d(p, cfg);
+  ASSERT_EQ(dets.size(), 1u);
+  EXPECT_EQ(dets[0].index, 32u);
+  EXPECT_NEAR(dets[0].snr, 100.0f, 1.0f);
+  EXPECT_NEAR(dets[0].threshold, 8.0f, 0.5f);
+}
+
+TEST(Cfar, OsCfarHandlesInterferingTarget) {
+  // Two closely spaced strong targets: CA-CFAR's mean is dragged up by the
+  // neighbour inside the training window; OS-CFAR's order statistic is not.
+  std::vector<float> p(128, 1.0f);
+  p[60] = 400.0f;
+  p[66] = 380.0f;  // inside the other's training window
+  fuse::dsp::CfarConfig cfg;
+  cfg.guard_cells = 2;
+  cfg.train_cells = 8;
+  cfg.threshold_scale = 6.0f;
+  cfg.os_rank_fraction = 0.70f;
+  const auto os = fuse::dsp::os_cfar_1d(p, cfg);
+  bool os_60 = false, os_66 = false;
+  for (const auto& d : os) {
+    os_60 |= d.index == 60;
+    os_66 |= d.index == 66;
+  }
+  EXPECT_TRUE(os_60);
+  EXPECT_TRUE(os_66);
+}
+
+TEST(Cfar, TwoDimensionalDetectsTargetAndPosition) {
+  const std::size_t nr = 64, nd = 32;
+  fuse::util::Rng rng(17);
+  std::vector<float> map(nr * nd);
+  for (auto& v : map)
+    v = -std::log(std::max(1e-12, 1.0 - rng.uniform()));
+  map[20 * nd + 10] = 500.0f;
+  map[45 * nd + 3] = 300.0f;
+  fuse::dsp::CfarConfig cfg;
+  cfg.threshold_scale = fuse::dsp::cfar_scale_for_pfa(16, 1e-3);
+  const auto dets = fuse::dsp::ca_cfar_2d(map, nr, nd, cfg);
+  bool t1 = false, t2 = false;
+  for (const auto& d : dets) {
+    t1 |= d.row == 20 && d.col == 10;
+    t2 |= d.row == 45 && d.col == 3;
+  }
+  EXPECT_TRUE(t1);
+  EXPECT_TRUE(t2);
+}
+
+TEST(Cfar, TwoDimensionalMapSizeMismatchThrows) {
+  std::vector<float> map(10);
+  fuse::dsp::CfarConfig cfg;
+  EXPECT_THROW(fuse::dsp::ca_cfar_2d(map, 4, 4, cfg), std::invalid_argument);
+}
+
+TEST(Cfar, TwoDimensionalEmitsSinglePeakPerTarget) {
+  // A target smeared over a 2-cell plateau must yield exactly one detection
+  // (the local-max tie-breaking rule).
+  const std::size_t nr = 32, nd = 16;
+  std::vector<float> map(nr * nd, 1.0f);
+  map[10 * nd + 8] = 200.0f;
+  map[10 * nd + 9] = 200.0f;
+  fuse::dsp::CfarConfig cfg;
+  cfg.threshold_scale = 10.0f;
+  const auto dets = fuse::dsp::ca_cfar_2d(map, nr, nd, cfg);
+  EXPECT_EQ(dets.size(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,336 @@
+// Tests for the human body model: anthropometric proportions, forward-
+// kinematics invariants (bone lengths are pose-independent), movement
+// generator properties (continuity, periodic envelope, movement semantics)
+// and the capsule surface sampler.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "human/anthropometrics.h"
+#include "human/kinematics.h"
+#include "human/movements.h"
+#include "human/skeleton.h"
+#include "human/surface.h"
+#include "util/rng.h"
+
+namespace {
+
+using fuse::human::Anthropometrics;
+using fuse::human::BodyState;
+using fuse::human::Joint;
+using fuse::human::Movement;
+using fuse::human::MovementGenerator;
+using fuse::human::Pose;
+using fuse::human::Subject;
+using fuse::util::Vec3;
+
+// ---------------------------------------------------------------- basics --
+
+TEST(Skeleton, NineteenJointsFiftySevenCoords) {
+  EXPECT_EQ(fuse::human::kNumJoints, 19u);
+  EXPECT_EQ(fuse::human::kNumCoords, 57u);
+}
+
+TEST(Skeleton, BoneGraphIsATreeOverAllJoints) {
+  const auto& bones = fuse::human::bones();
+  EXPECT_EQ(bones.size(), fuse::human::kNumJoints - 1);
+  // Every joint except the root appears exactly once as a child.
+  std::array<int, fuse::human::kNumJoints> child_count{};
+  for (const auto& b : bones)
+    ++child_count[static_cast<std::size_t>(b.child)];
+  EXPECT_EQ(child_count[static_cast<std::size_t>(Joint::kSpineBase)], 0);
+  for (std::size_t j = 0; j < fuse::human::kNumJoints; ++j) {
+    if (j == static_cast<std::size_t>(Joint::kSpineBase)) continue;
+    EXPECT_EQ(child_count[j], 1) << "joint " << j;
+  }
+}
+
+TEST(Skeleton, JointNamesDistinct) {
+  for (std::size_t a = 0; a < fuse::human::kNumJoints; ++a)
+    for (std::size_t b = a + 1; b < fuse::human::kNumJoints; ++b)
+      EXPECT_NE(fuse::human::joint_name(static_cast<Joint>(a)),
+                fuse::human::joint_name(static_cast<Joint>(b)));
+}
+
+TEST(Anthro, ProportionsScaleWithHeight) {
+  const auto small = fuse::human::make_anthropometrics(1.5f);
+  const auto tall = fuse::human::make_anthropometrics(1.9f);
+  EXPECT_GT(tall.thigh, small.thigh);
+  EXPECT_GT(tall.upper_arm, small.upper_arm);
+  EXPECT_NEAR(tall.thigh / tall.height, small.thigh / small.height, 1e-6f);
+}
+
+TEST(Anthro, ImplausibleHeightThrows) {
+  EXPECT_THROW(fuse::human::make_anthropometrics(0.8f),
+               std::invalid_argument);
+  EXPECT_THROW(fuse::human::make_anthropometrics(2.5f),
+               std::invalid_argument);
+}
+
+TEST(Anthro, FourDistinctSubjects) {
+  for (std::size_t i = 0; i < fuse::human::kNumSubjects; ++i) {
+    const Subject s = fuse::human::make_subject(i);
+    EXPECT_EQ(s.id, i);
+    for (std::size_t j = i + 1; j < fuse::human::kNumSubjects; ++j) {
+      const Subject o = fuse::human::make_subject(j);
+      EXPECT_NE(s.body.height, o.body.height);
+    }
+  }
+  EXPECT_THROW(fuse::human::make_subject(4), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- FK -----
+
+float bone_length(const Pose& pose, Joint a, Joint b) {
+  return (pose[a] - pose[b]).norm();
+}
+
+TEST(Kinematics, StandingPoseIsUprightAndGrounded) {
+  const Subject s = fuse::human::make_subject(0);
+  const Pose pose =
+      fuse::human::forward_kinematics(fuse::human::standing_state(s), s.body);
+  // Head above spine above pelvis.
+  EXPECT_GT(pose[Joint::kHead].z, pose[Joint::kSpineShoulder].z);
+  EXPECT_GT(pose[Joint::kSpineShoulder].z, pose[Joint::kSpineBase].z);
+  // Feet near the floor.
+  EXPECT_LT(pose[Joint::kFootLeft].z, 0.15f);
+  EXPECT_GT(pose[Joint::kFootLeft].z, -0.05f);
+  // Left joints at larger x than right joints (subject faces the radar).
+  EXPECT_GT(pose[Joint::kShoulderLeft].x, pose[Joint::kShoulderRight].x);
+  EXPECT_GT(pose[Joint::kHipLeft].x, pose[Joint::kHipRight].x);
+  // Head roughly at anatomical height.
+  EXPECT_NEAR(pose[Joint::kHead].z, 0.93f * s.body.height,
+              0.08f * s.body.height);
+}
+
+struct MovementTimeCase {
+  std::size_t subject;
+  Movement movement;
+};
+
+class FkInvariantSweep : public ::testing::TestWithParam<MovementTimeCase> {};
+
+TEST_P(FkInvariantSweep, BoneLengthsConstantThroughMovement) {
+  const auto p = GetParam();
+  const Subject subj = fuse::human::make_subject(p.subject);
+  MovementGenerator gen(subj, p.movement, fuse::util::Rng(5));
+
+  const Pose ref = gen.pose_at(0.0);
+  // Limb bones have fixed length by construction; verify across the cycle.
+  const std::array<std::pair<Joint, Joint>, 8> limbs = {{
+      {Joint::kShoulderLeft, Joint::kElbowLeft},
+      {Joint::kElbowLeft, Joint::kWristLeft},
+      {Joint::kShoulderRight, Joint::kElbowRight},
+      {Joint::kElbowRight, Joint::kWristRight},
+      {Joint::kHipLeft, Joint::kKneeLeft},
+      {Joint::kKneeLeft, Joint::kAnkleLeft},
+      {Joint::kHipRight, Joint::kKneeRight},
+      {Joint::kKneeRight, Joint::kAnkleRight},
+  }};
+  std::array<float, 8> ref_len;
+  for (std::size_t i = 0; i < limbs.size(); ++i)
+    ref_len[i] = bone_length(ref, limbs[i].first, limbs[i].second);
+
+  for (double t = 0.1; t < 8.0; t += 0.23) {
+    const Pose pose = gen.pose_at(t);
+    for (std::size_t i = 0; i < limbs.size(); ++i) {
+      EXPECT_NEAR(bone_length(pose, limbs[i].first, limbs[i].second),
+                  ref_len[i], 1e-4f)
+          << "bone " << i << " at t=" << t;
+    }
+  }
+}
+
+TEST_P(FkInvariantSweep, MotionIsContinuous) {
+  const auto p = GetParam();
+  MovementGenerator gen(fuse::human::make_subject(p.subject), p.movement,
+                        fuse::util::Rng(6));
+  Pose prev = gen.pose_at(0.0);
+  for (double t = 0.02; t < 6.0; t += 0.02) {
+    const Pose cur = gen.pose_at(t);
+    for (std::size_t j = 0; j < fuse::human::kNumJoints; ++j) {
+      // No joint moves faster than ~6 m/s in a rehab exercise.
+      EXPECT_LT((cur.joints[j] - prev.joints[j]).norm(), 6.0f * 0.02f * 1.8f)
+          << "joint " << j << " at t=" << t;
+    }
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMovementsSubjects, FkInvariantSweep,
+    ::testing::Values(
+        MovementTimeCase{0, Movement::kLeftUpperLimbExtension},
+        MovementTimeCase{1, Movement::kRightUpperLimbExtension},
+        MovementTimeCase{2, Movement::kBothUpperLimbExtension},
+        MovementTimeCase{3, Movement::kLeftFrontLunge},
+        MovementTimeCase{0, Movement::kRightFrontLunge},
+        MovementTimeCase{1, Movement::kLeftSideLunge},
+        MovementTimeCase{2, Movement::kRightSideLunge},
+        MovementTimeCase{3, Movement::kSquat},
+        MovementTimeCase{0, Movement::kLeftLimbExtension},
+        MovementTimeCase{1, Movement::kRightLimbExtension}));
+
+// Movement semantics at the envelope peak (mid-cycle hold).
+TEST(Movements, LeftArmRaisesInLeftUpperLimbExtension) {
+  const Subject s = fuse::human::make_subject(1);
+  MovementGenerator gen(s, Movement::kLeftUpperLimbExtension,
+                        fuse::util::Rng(7));
+  const double peak = 0.5 * s.style.period_s;
+  const Pose rest = gen.pose_at(0.0);
+  MovementGenerator gen2(s, Movement::kLeftUpperLimbExtension,
+                         fuse::util::Rng(7));
+  const Pose up = gen2.pose_at(peak);
+  EXPECT_GT(up[Joint::kWristLeft].z, rest[Joint::kWristLeft].z + 0.5f);
+  // The right arm stays down.
+  EXPECT_NEAR(up[Joint::kWristRight].z, rest[Joint::kWristRight].z, 0.15f);
+}
+
+TEST(Movements, SquatLowersPelvisAndBendsKnees) {
+  const Subject s = fuse::human::make_subject(2);
+  MovementGenerator gen(s, Movement::kSquat, fuse::util::Rng(8));
+  const Pose rest = gen.pose_at(0.0);
+  const double peak = 0.5 * s.style.period_s;
+  MovementGenerator gen2(s, Movement::kSquat, fuse::util::Rng(8));
+  const Pose deep = gen2.pose_at(peak);
+  EXPECT_LT(deep[Joint::kSpineBase].z, rest[Joint::kSpineBase].z - 0.15f);
+  // Knee angle: thigh and shank no longer collinear.
+  const Vec3 thigh =
+      (deep[Joint::kKneeLeft] - deep[Joint::kHipLeft]).normalized();
+  const Vec3 shank =
+      (deep[Joint::kAnkleLeft] - deep[Joint::kKneeLeft]).normalized();
+  EXPECT_LT(thigh.dot(shank), 0.7f);
+}
+
+TEST(Movements, SideLungeShiftsPelvisLaterally) {
+  const Subject s = fuse::human::make_subject(0);
+  const double peak = 0.5 * s.style.period_s;
+  MovementGenerator left(s, Movement::kLeftSideLunge, fuse::util::Rng(9));
+  MovementGenerator right(s, Movement::kRightSideLunge, fuse::util::Rng(9));
+  const float rest_x = fuse::human::standing_state(s).pelvis.x;
+  EXPECT_GT(left.pose_at(peak)[Joint::kSpineBase].x, rest_x + 0.08f);
+  EXPECT_LT(right.pose_at(peak)[Joint::kSpineBase].x, rest_x - 0.08f);
+}
+
+TEST(Movements, FrontLungeStepsTowardRadar) {
+  const Subject s = fuse::human::make_subject(1);
+  MovementGenerator gen(s, Movement::kLeftFrontLunge, fuse::util::Rng(10));
+  const Pose rest = gen.pose_at(0.0);
+  MovementGenerator gen2(s, Movement::kLeftFrontLunge, fuse::util::Rng(10));
+  const Pose lunge = gen2.pose_at(0.5 * s.style.period_s);
+  EXPECT_LT(lunge[Joint::kSpineBase].y, rest[Joint::kSpineBase].y - 0.1f);
+}
+
+TEST(Movements, DeterministicForEqualSeeds) {
+  const Subject s = fuse::human::make_subject(3);
+  MovementGenerator a(s, Movement::kSquat, fuse::util::Rng(77));
+  MovementGenerator b(s, Movement::kSquat, fuse::util::Rng(77));
+  for (double t = 0.0; t < 4.0; t += 0.5) {
+    const Pose pa = a.pose_at(t);
+    const Pose pb = b.pose_at(t);
+    for (std::size_t j = 0; j < fuse::human::kNumJoints; ++j)
+      EXPECT_EQ((pa.joints[j] - pb.joints[j]).norm(), 0.0f);
+  }
+}
+
+TEST(Movements, NamesDistinct) {
+  for (std::size_t a = 0; a < fuse::human::kNumMovements; ++a)
+    for (std::size_t b = a + 1; b < fuse::human::kNumMovements; ++b)
+      EXPECT_NE(fuse::human::movement_name(static_cast<Movement>(a)),
+                fuse::human::movement_name(static_cast<Movement>(b)));
+}
+
+// --------------------------------------------------------------- surface --
+
+TEST(Surface, CapsulesCoverTheSkeleton) {
+  const Subject s = fuse::human::make_subject(0);
+  const Pose pose =
+      fuse::human::forward_kinematics(fuse::human::standing_state(s), s.body);
+  const auto caps = fuse::human::build_capsules(pose, pose, 1.0f, s.body);
+  EXPECT_GE(caps.size(), 12u);
+  for (const auto& c : caps) EXPECT_GT(c.radius, 0.0f);
+}
+
+TEST(Surface, ScatterersLieNearTheBody) {
+  const Subject s = fuse::human::make_subject(1);
+  const Pose pose =
+      fuse::human::forward_kinematics(fuse::human::standing_state(s), s.body);
+  fuse::human::SurfaceSamplerConfig cfg;
+  fuse::util::Rng rng(3);
+  const auto scene =
+      fuse::human::sample_body_surface(pose, pose, 1.0f, s.body, cfg, rng);
+  ASSERT_GT(scene.size(), 50u);
+  // All scatterers (radar frame) must be within the body bounding volume.
+  for (const auto& sc : scene) {
+    const Vec3 world = sc.position + cfg.radar_position;
+    EXPECT_NEAR(world.x, pose[Joint::kSpineBase].x, 1.2f);
+    EXPECT_NEAR(world.y, pose[Joint::kSpineBase].y, 0.8f);
+    EXPECT_GT(world.z, -0.1f);
+    EXPECT_LT(world.z, s.body.height + 0.15f);
+    EXPECT_GT(sc.rcs, 0.0f);
+  }
+}
+
+TEST(Surface, SelfOcclusionKeepsFrontFacingSide) {
+  // The subject stands at +y; kept scatterers should cluster on the radar-
+  // facing side, i.e. their mean y must be less than the torso-centre y.
+  const Subject s = fuse::human::make_subject(2);
+  const Pose pose =
+      fuse::human::forward_kinematics(fuse::human::standing_state(s), s.body);
+  fuse::human::SurfaceSamplerConfig cfg;
+  fuse::util::Rng rng(4);
+  const auto scene =
+      fuse::human::sample_body_surface(pose, pose, 1.0f, s.body, cfg, rng);
+  double mean_y = 0.0;
+  for (const auto& sc : scene) mean_y += sc.position.y + cfg.radar_position.y;
+  mean_y /= static_cast<double>(scene.size());
+  EXPECT_LT(mean_y, pose[Joint::kSpineBase].y);
+}
+
+TEST(Surface, VelocitiesFollowJointMotion) {
+  const Subject s = fuse::human::make_subject(1);
+  MovementGenerator gen(s, Movement::kLeftUpperLimbExtension,
+                        fuse::util::Rng(11));
+  // Mid-raise (quarter cycle): the left wrist is moving.
+  const double t = 0.25 * s.style.period_s;
+  const Pose p0 = gen.pose_at(t);
+  const Pose p1 = gen.pose_at(t + 0.02);
+  fuse::human::SurfaceSamplerConfig cfg;
+  fuse::util::Rng rng(12);
+  const auto scene =
+      fuse::human::sample_body_surface(p0, p1, 0.02f, s.body, cfg, rng);
+  float max_speed = 0.0f;
+  for (const auto& sc : scene) max_speed = std::max(max_speed,
+                                                    sc.velocity.norm());
+  // Somebody is moving (the arm), nobody at absurd speed.
+  EXPECT_GT(max_speed, 0.3f);
+  EXPECT_LT(max_speed, 10.0f);
+}
+
+TEST(Surface, StaticPoseHasOnlyMicroMotion) {
+  // Without micro-motion a frozen pose yields exactly zero velocities; with
+  // it, velocities are small but non-zero (the physiological jitter that
+  // survives static clutter removal).
+  const Subject s = fuse::human::make_subject(0);
+  const Pose pose =
+      fuse::human::forward_kinematics(fuse::human::standing_state(s), s.body);
+  fuse::human::SurfaceSamplerConfig cfg;
+  cfg.micro_motion_sigma = 0.0f;
+  fuse::util::Rng rng(13);
+  const auto frozen =
+      fuse::human::sample_body_surface(pose, pose, 1.0f, s.body, cfg, rng);
+  for (const auto& sc : frozen) EXPECT_EQ(sc.velocity.norm(), 0.0f);
+
+  cfg.micro_motion_sigma = 0.10f;
+  fuse::util::Rng rng2(14);
+  const auto breathing =
+      fuse::human::sample_body_surface(pose, pose, 1.0f, s.body, cfg, rng2);
+  float mean_speed = 0.0f;
+  for (const auto& sc : breathing) mean_speed += sc.velocity.norm();
+  mean_speed /= static_cast<float>(breathing.size());
+  EXPECT_GT(mean_speed, 0.05f);
+  EXPECT_LT(mean_speed, 0.6f);
+}
+
+}  // namespace

@@ -1,0 +1,381 @@
+// Tests for the NN library.  The critical ones are the finite-difference
+// gradient checks: every hand-written backward pass (Conv2d, Linear, ReLU,
+// the full MarsCnn, and all three losses) is verified against central
+// differences.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "nn/gradcheck.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/model.h"
+#include "nn/optim.h"
+#include "util/rng.h"
+
+namespace {
+
+using fuse::nn::Tensor;
+
+Tensor random_tensor(fuse::tensor::Shape shape, fuse::util::Rng& rng) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) t[i] = rng.uniformf(-1, 1);
+  return t;
+}
+
+// ---------------------------------------------------------------- shapes --
+
+TEST(Layers, Conv2dOutputShape) {
+  fuse::util::Rng rng(1);
+  fuse::nn::Conv2d conv(3, 8, 3, 1, rng);
+  const Tensor x = random_tensor({2, 3, 8, 8}, rng);
+  const Tensor y = conv.forward(x);
+  EXPECT_EQ(y.shape(), (fuse::tensor::Shape{2, 8, 8, 8}));
+}
+
+TEST(Layers, Conv2dRejectsWrongChannels) {
+  fuse::util::Rng rng(2);
+  fuse::nn::Conv2d conv(3, 8, 3, 1, rng);
+  const Tensor x = random_tensor({2, 4, 8, 8}, rng);
+  EXPECT_THROW(conv.forward(x), std::invalid_argument);
+}
+
+TEST(Layers, LinearShapes) {
+  fuse::util::Rng rng(3);
+  fuse::nn::Linear fc(10, 4, rng);
+  const Tensor x = random_tensor({5, 10}, rng);
+  const Tensor y = fc.forward(x);
+  EXPECT_EQ(y.shape(), (fuse::tensor::Shape{5, 4}));
+  EXPECT_THROW(fc.forward(random_tensor({5, 11}, rng)),
+               std::invalid_argument);
+}
+
+TEST(Layers, LinearMatchesHandComputation) {
+  fuse::util::Rng rng(4);
+  fuse::nn::Linear fc(2, 2, rng);
+  fc.weight() = Tensor({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  fc.bias() = Tensor({2}, {0.5f, -0.5f});
+  const Tensor x({1, 2}, {1.0f, 1.0f});
+  const Tensor y = fc.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 1.0f + 2.0f + 0.5f);
+  EXPECT_FLOAT_EQ(y[1], 3.0f + 4.0f - 0.5f);
+}
+
+TEST(Layers, FlattenRoundTrip) {
+  fuse::util::Rng rng(5);
+  fuse::nn::Flatten fl;
+  const Tensor x = random_tensor({3, 2, 4, 4}, rng);
+  const Tensor y = fl.forward(x);
+  EXPECT_EQ(y.shape(), (fuse::tensor::Shape{3, 32}));
+  const Tensor back = fl.backward(y);
+  EXPECT_EQ(back.shape(), x.shape());
+}
+
+TEST(Model, ParameterCountMatchesPaperScale) {
+  fuse::util::Rng rng(6);
+  // The MARS input is 8x8x5 regardless of the fusion setting.
+  fuse::nn::MarsCnn model(5, rng);
+  // Paper reports 1,095,115; our bookkeeping gives ~1.084M (see model.h).
+  EXPECT_NEAR(static_cast<double>(model.num_params()), 1.09e6, 2.5e4);
+}
+
+TEST(Model, ForwardShape) {
+  fuse::util::Rng rng(7);
+  fuse::nn::MarsCnn model(5, rng);
+  const Tensor x = random_tensor({4, 5, 8, 8}, rng);
+  const Tensor y = model.forward(x);
+  EXPECT_EQ(y.shape(), (fuse::tensor::Shape{4, 57}));
+}
+
+TEST(Model, LastLayerParamsAreSubset) {
+  fuse::util::Rng rng(8);
+  fuse::nn::MarsCnn model(5, rng);
+  EXPECT_EQ(model.last_layer_params().size(), 2u);
+  EXPECT_EQ(model.params().size(), 8u);
+}
+
+TEST(Model, CloneIsIndependent) {
+  fuse::util::Rng rng(9);
+  fuse::nn::MarsCnn a(5, rng);
+  fuse::nn::MarsCnn b = a;  // value semantics: deep copy
+  (*b.params()[0])[0] += 1.0f;
+  EXPECT_NE((*a.params()[0])[0], (*b.params()[0])[0]);
+}
+
+TEST(Model, CopyParamsFrom) {
+  fuse::util::Rng rng(10);
+  fuse::nn::MarsCnn a(5, rng);
+  fuse::nn::MarsCnn b(5, rng);
+  b.copy_params_from(a);
+  const auto pa = a.params(), pb = b.params();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    for (std::size_t k = 0; k < pa[i]->numel(); ++k)
+      ASSERT_EQ((*pa[i])[k], (*pb[i])[k]);
+}
+
+TEST(Model, SaveLoadRoundTrip) {
+  fuse::util::Rng rng(11);
+  fuse::nn::MarsCnn a(5, rng);
+  std::stringstream ss;
+  a.save(ss);
+  fuse::nn::MarsCnn b(5, rng);
+  b.load(ss);
+  const Tensor x = random_tensor({2, 5, 8, 8}, rng);
+  const Tensor ya = a.forward(x);
+  const Tensor yb = b.forward(x);
+  for (std::size_t i = 0; i < ya.numel(); ++i) EXPECT_EQ(ya[i], yb[i]);
+}
+
+// ------------------------------------------------------------ gradients --
+
+TEST(GradCheck, LinearWeightsBiasAndInput) {
+  fuse::util::Rng rng(20);
+  fuse::nn::Linear fc(6, 4, rng);
+  Tensor x = random_tensor({3, 6}, rng);
+  const Tensor target = random_tensor({3, 4}, rng);
+
+  auto loss_fn = [&] {
+    const Tensor y = fc.forward(x);
+    return fuse::nn::l2_loss(y, target, nullptr);
+  };
+  // Analytic gradients.
+  const Tensor y = fc.forward(x);
+  Tensor dy;
+  (void)fuse::nn::l2_loss(y, target, &dy);
+  fuse::nn::zero_grads(fc.grads());
+  const Tensor dx = fc.backward(dy);
+
+  EXPECT_TRUE(fuse::nn::check_gradient(loss_fn, fc.weight(),
+                                       *fc.grads()[0]).ok())
+      << "weight gradient";
+  EXPECT_TRUE(fuse::nn::check_gradient(loss_fn, fc.bias(),
+                                       *fc.grads()[1]).ok())
+      << "bias gradient";
+  EXPECT_TRUE(fuse::nn::check_gradient(loss_fn, x, dx).ok())
+      << "input gradient";
+}
+
+TEST(GradCheck, Conv2dWeightsBiasAndInput) {
+  fuse::util::Rng rng(21);
+  fuse::nn::Conv2d conv(2, 3, 3, 1, rng);
+  Tensor x = random_tensor({2, 2, 5, 5}, rng);
+  const Tensor target = random_tensor({2, 3, 5, 5}, rng);
+
+  auto loss_fn = [&] {
+    const Tensor y = conv.forward(x);
+    return fuse::nn::l2_loss(y, target, nullptr);
+  };
+  const Tensor y = conv.forward(x);
+  Tensor dy;
+  (void)fuse::nn::l2_loss(y, target, &dy);
+  fuse::nn::zero_grads(conv.grads());
+  const Tensor dx = conv.backward(dy);
+
+  EXPECT_TRUE(fuse::nn::check_gradient(loss_fn, conv.weight(),
+                                       *conv.grads()[0]).ok())
+      << "weight gradient";
+  EXPECT_TRUE(fuse::nn::check_gradient(loss_fn, conv.bias(),
+                                       *conv.grads()[1]).ok())
+      << "bias gradient";
+  EXPECT_TRUE(fuse::nn::check_gradient(loss_fn, x, dx).ok())
+      << "input gradient";
+}
+
+TEST(GradCheck, FullModelEndToEnd) {
+  // Small MarsCnn variant end-to-end: checks layer composition order.
+  fuse::util::Rng rng(22);
+  fuse::nn::MarsCnn model(2, rng, 4, 4, 3, 4, 16, 6);
+  Tensor x = random_tensor({2, 2, 4, 4}, rng);
+  const Tensor target = random_tensor({2, 6}, rng);
+
+  auto loss_fn = [&] {
+    const Tensor y = model.forward(x);
+    return fuse::nn::l2_loss(y, target, nullptr);
+  };
+  const Tensor y = model.forward(x);
+  Tensor dy;
+  (void)fuse::nn::l2_loss(y, target, &dy);
+  model.zero_grad();
+  model.backward(dy);
+
+  // ReLU kinks make isolated finite-difference probes step across
+  // activation boundaries, so require a large majority of coordinates to
+  // match rather than all of them (the kink-free per-layer checks above
+  // already pin down exactness).
+  const auto params = model.params();
+  const auto grads = model.grads();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const auto res =
+        fuse::nn::check_gradient(loss_fn, *params[i], *grads[i], 1e-3f, 24);
+    EXPECT_GE(res.fraction_within(5e-2f), 0.8f)
+        << "param " << i << " max_rel_err " << res.max_rel_err;
+  }
+}
+
+// ---------------------------------------------------------------- losses --
+
+TEST(Loss, L1ValueAndGradient) {
+  const Tensor pred({2}, {1.0f, -2.0f});
+  const Tensor target({2}, {0.0f, 0.0f});
+  Tensor grad;
+  const float loss = fuse::nn::l1_loss(pred, target, &grad);
+  EXPECT_FLOAT_EQ(loss, 1.5f);
+  EXPECT_FLOAT_EQ(grad[0], 0.5f);
+  EXPECT_FLOAT_EQ(grad[1], -0.5f);
+}
+
+TEST(Loss, L2ValueAndGradient) {
+  const Tensor pred({2}, {1.0f, -2.0f});
+  const Tensor target({2}, {0.0f, 0.0f});
+  Tensor grad;
+  const float loss = fuse::nn::l2_loss(pred, target, &grad);
+  EXPECT_FLOAT_EQ(loss, 2.5f);
+  EXPECT_FLOAT_EQ(grad[0], 1.0f);
+  EXPECT_FLOAT_EQ(grad[1], -2.0f);
+}
+
+TEST(Loss, HuberBlendsRegimes) {
+  const Tensor pred({2}, {0.5f, 3.0f});
+  const Tensor target({2}, {0.0f, 0.0f});
+  Tensor grad;
+  const float loss = fuse::nn::huber_loss(pred, target, 1.0f, &grad);
+  // Quadratic inside delta, linear outside: (0.125 + 2.5) / 2.
+  EXPECT_NEAR(loss, (0.125f + 2.5f) / 2.0f, 1e-6f);
+  EXPECT_FLOAT_EQ(grad[0], 0.25f);  // d/2 elements
+  EXPECT_FLOAT_EQ(grad[1], 0.5f);   // clipped at delta
+}
+
+struct LossCase {
+  const char* name;
+  float (*fn)(const Tensor&, const Tensor&, Tensor*);
+};
+
+class LossGradSweep : public ::testing::TestWithParam<LossCase> {};
+
+TEST_P(LossGradSweep, GradientMatchesFiniteDifference) {
+  fuse::util::Rng rng(30);
+  Tensor pred = random_tensor({4, 7}, rng);
+  const Tensor target = random_tensor({4, 7}, rng);
+  Tensor grad;
+  (void)GetParam().fn(pred, target, &grad);
+  auto loss_fn = [&] { return GetParam().fn(pred, target, nullptr); };
+  EXPECT_TRUE(fuse::nn::check_gradient(loss_fn, pred, grad, 1e-3f, 28).ok())
+      << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLosses, LossGradSweep,
+    ::testing::Values(LossCase{"l1", &fuse::nn::l1_loss},
+                      LossCase{"l2", &fuse::nn::l2_loss}));
+
+// ------------------------------------------------------------ optimizers --
+
+TEST(Optim, SgdStepDirection) {
+  Tensor p({2}, {1.0f, 1.0f});
+  Tensor g({2}, {0.5f, -0.5f});
+  fuse::nn::Sgd sgd(0.1f);
+  sgd.step({&p}, {&g});
+  EXPECT_FLOAT_EQ(p[0], 0.95f);
+  EXPECT_FLOAT_EQ(p[1], 1.05f);
+}
+
+TEST(Optim, SgdListMismatchThrows) {
+  Tensor p({2});
+  fuse::nn::Sgd sgd(0.1f);
+  EXPECT_THROW(sgd.step({&p}, {}), std::invalid_argument);
+}
+
+TEST(Optim, AdamConvergesOnQuadratic) {
+  // Minimise f(p) = 0.5 * ||p - target||^2.
+  Tensor p({3}, {5.0f, -3.0f, 2.0f});
+  const Tensor target({3}, {1.0f, 1.0f, 1.0f});
+  fuse::nn::Adam adam(0.1f);
+  for (int it = 0; it < 500; ++it) {
+    Tensor g = p - target;
+    adam.step({&p}, {&g});
+  }
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(p[i], 1.0f, 1e-2f);
+}
+
+TEST(Optim, AdamOutpacesSgdOnIllConditionedQuadratic) {
+  // f(p) = 0.5 (100 p0^2 + 0.01 p1^2): Adam's per-coordinate scaling wins.
+  auto run = [&](bool use_adam) {
+    Tensor p({2}, {1.0f, 1.0f});
+    fuse::nn::Adam adam(0.05f);
+    const fuse::nn::Sgd sgd(0.005f);  // larger would diverge on p0
+    for (int it = 0; it < 300; ++it) {
+      Tensor g({2}, {100.0f * p[0], 0.01f * p[1]});
+      if (use_adam) {
+        adam.step({&p}, {&g});
+      } else {
+        sgd.step({&p}, {&g});
+      }
+    }
+    return std::fabs(p[0]) + std::fabs(p[1]);
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+TEST(Optim, AdamStateResetAllowsRewiring) {
+  Tensor p({2});
+  Tensor g({2}, {1.0f, 1.0f});
+  fuse::nn::Adam adam(0.1f);
+  adam.step({&p}, {&g});
+  adam.reset_state();
+  Tensor p2({3});
+  Tensor g2({3}, {1.0f, 1.0f, 1.0f});
+  EXPECT_NO_THROW(adam.step({&p2}, {&g2}));
+}
+
+TEST(Optim, AdamShapeChangeThrows) {
+  Tensor p({2});
+  Tensor g({2}, {1.0f, 1.0f});
+  fuse::nn::Adam adam(0.1f);
+  adam.step({&p}, {&g});
+  Tensor p3({3});
+  Tensor g3({3});
+  EXPECT_THROW(adam.step({&p3}, {&g3}), std::invalid_argument);
+}
+
+TEST(Optim, GradClipScalesDown) {
+  Tensor g({2}, {3.0f, 4.0f});  // norm 5
+  fuse::nn::clip_grad_norm({&g}, 1.0f);
+  EXPECT_NEAR(std::sqrt(g.squared_norm()), 1.0f, 1e-5f);
+  // Already small: untouched.
+  Tensor h({2}, {0.3f, 0.4f});
+  fuse::nn::clip_grad_norm({&h}, 1.0f);
+  EXPECT_FLOAT_EQ(h[0], 0.3f);
+}
+
+TEST(Optim, ZeroGrads) {
+  Tensor g({3}, {1.0f, 2.0f, 3.0f});
+  fuse::nn::zero_grads({&g});
+  EXPECT_EQ(g.abs_sum(), 0.0f);
+}
+
+// ----------------------------------------------------- training property --
+
+TEST(Training, GradientStepReducesLossOnFixedBatch) {
+  fuse::util::Rng rng(40);
+  fuse::nn::MarsCnn model(5, rng, 8, 8, 4, 8, 32, 57);
+  const Tensor x = random_tensor({8, 5, 8, 8}, rng);
+  const Tensor target = random_tensor({8, 57}, rng);
+  fuse::nn::Adam adam(1e-3f);
+
+  Tensor dy;
+  float first = 0.0f, last = 0.0f;
+  for (int it = 0; it < 60; ++it) {
+    const Tensor y = model.forward(x);
+    const float loss = fuse::nn::l1_loss(y, target, &dy);
+    if (it == 0) first = loss;
+    last = loss;
+    model.zero_grad();
+    model.backward(dy);
+    adam.step(model.params(), model.grads());
+  }
+  EXPECT_LT(last, 0.7f * first);
+}
+
+}  // namespace

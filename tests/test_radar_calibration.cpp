@@ -1,0 +1,270 @@
+// Calibration tests: the fast statistical point-cloud model must reproduce
+// the output statistics of the full IF-signal + FFT/CFAR pipeline on
+// identical scenes.  These tests are the contract that justifies using the
+// fast model for dataset synthesis (see DESIGN.md, substitution table).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "human/anthropometrics.h"
+#include "human/movements.h"
+#include "human/surface.h"
+#include "radar/fast_model.h"
+#include "radar/processing.h"
+#include "radar/simulator.h"
+#include "util/rng.h"
+
+namespace {
+
+using fuse::radar::PointCloud;
+using fuse::radar::RadarConfig;
+using fuse::radar::Scene;
+using fuse::util::Vec3;
+
+RadarConfig test_config() {
+  // Clutter removal off: most calibration probes use static reference
+  // targets; the clutter notch gets its own dedicated test below.
+  RadarConfig cfg = fuse::radar::default_iwr1443_config();
+  cfg.samples_per_chirp = 128;
+  cfg.chirps_per_frame = 32;
+  cfg.static_clutter_removal = false;
+  return cfg;
+}
+
+Scene human_scene(const RadarConfig& cfg, double t, fuse::util::Rng& rng) {
+  auto subject = fuse::human::make_subject(1);
+  fuse::human::MovementGenerator gen(subject, fuse::human::Movement::kSquat,
+                                     fuse::util::Rng(99));
+  const auto pose = gen.pose_at(t);
+  const auto pose_next = gen.pose_at(t + 0.02);
+  fuse::human::SurfaceSamplerConfig scfg;
+  scfg.radar_position = {0.0f, 0.0f, static_cast<float>(cfg.radar_height_m)};
+  return fuse::human::sample_body_surface(pose, pose_next, 0.02f,
+                                          subject.body, scfg, rng);
+}
+
+Vec3 centroid(const PointCloud& c) { return c.centroid(); }
+
+TEST(Calibration, SingleTargetSnrTrendsMatch) {
+  // Fast-model SNR and full-chain SNR must both fall with range and rise
+  // with RCS, and agree within a (generous) systematic band.
+  const RadarConfig cfg = test_config();
+  const fuse::radar::FastPointCloudModel fast(cfg);
+  const fuse::radar::Processor proc(cfg);
+
+  // Averages over seeds: both detectors are stochastic near threshold.
+  auto full_snr = [&](float y, float rcs) {
+    double acc = 0.0;
+    int n = 0;
+    for (int i = 0; i < 5; ++i) {
+      fuse::util::Rng rng(21 + i);
+      fuse::radar::Scatterer sc;
+      sc.position = {0.0f, y, 0.0f};
+      sc.rcs = rcs;
+      const auto frame =
+          proc.process(fuse::radar::simulate_frame(cfg, {sc}, rng));
+      if (frame.cloud.empty()) continue;
+      acc += frame.cloud.points.front().intensity;
+      ++n;
+    }
+    EXPECT_GT(n, 0);
+    return static_cast<float>(acc / std::max(1, n));
+  };
+  auto fast_snr = [&](float y, float rcs) {
+    double acc = 0.0;
+    int n = 0;
+    for (int i = 0; i < 20; ++i) {
+      fuse::util::Rng rng(220 + i);
+      Scene scene = {{{0.0f, y, 0.0f}, {}, rcs}};
+      const auto cloud = fast.generate(scene, rng);
+      if (cloud.empty()) continue;
+      acc += cloud.points.front().intensity;
+      ++n;
+    }
+    EXPECT_GT(n, 0);
+    return static_cast<float>(acc / std::max(1, n));
+  };
+
+  const float f_near = full_snr(2.0f, 0.05f);
+  const float f_far = full_snr(4.0f, 0.05f);
+  const float m_near = fast_snr(2.0f, 0.05f);
+  const float m_far = fast_snr(4.0f, 0.05f);
+
+  // Same direction of the trend...
+  EXPECT_GT(f_near, f_far);
+  EXPECT_GT(m_near, m_far);
+  // ...same slope: r^4 law means ~12 dB from 2 m -> 4 m for both.
+  EXPECT_NEAR(f_near - f_far, m_near - m_far, 6.0f);
+  // Absolute levels within a systematic band (the fast model's constant is
+  // calibrated against this pipeline).
+  EXPECT_NEAR(m_near, f_near, 10.0f);
+}
+
+TEST(Calibration, HumanScenePointCountsComparable) {
+  const RadarConfig cfg = test_config();
+  const fuse::radar::FastPointCloudModel fast(cfg);
+  const fuse::radar::Processor proc(cfg);
+
+  double full_total = 0.0, fast_total = 0.0;
+  const int n_frames = 4;
+  for (int i = 0; i < n_frames; ++i) {
+    fuse::util::Rng rng(100 + i);
+    const double t = 0.4 * i;
+    const auto scene = human_scene(cfg, t, rng);
+
+    fuse::util::Rng rng_full(200 + i);
+    const auto full =
+        proc.process(fuse::radar::simulate_frame(cfg, scene, rng_full));
+    fuse::util::Rng rng_fast(300 + i);
+    const auto fastc = fast.generate(scene, rng_fast);
+
+    full_total += static_cast<double>(full.cloud.size());
+    fast_total += static_cast<double>(fastc.size());
+  }
+  const double full_mean = full_total / n_frames;
+  const double fast_mean = fast_total / n_frames;
+  ASSERT_GT(full_mean, 3.0);
+  ASSERT_GT(fast_mean, 3.0);
+  // Same sparsity regime: within a factor of ~3.5 of each other (the fast
+  // model resolves azimuth sub-cells slightly more often than the full
+  // chain's secondary-peak heuristic).
+  EXPECT_LT(fast_mean / full_mean, 3.5);
+  EXPECT_GT(fast_mean / full_mean, 0.3);
+}
+
+TEST(Calibration, HumanSceneCentroidsAgree) {
+  const RadarConfig cfg = test_config();
+  const fuse::radar::FastPointCloudModel fast(cfg);
+  const fuse::radar::Processor proc(cfg);
+
+  fuse::util::Rng rng(400);
+  const auto scene = human_scene(cfg, 0.8, rng);
+
+  fuse::util::Rng rng_full(500);
+  const auto full =
+      proc.process(fuse::radar::simulate_frame(cfg, scene, rng_full));
+  fuse::util::Rng rng_fast(600);
+  const auto fastc = fast.generate(scene, rng_fast);
+
+  ASSERT_FALSE(full.cloud.empty());
+  ASSERT_FALSE(fastc.empty());
+  const Vec3 cf = centroid(full.cloud);
+  const Vec3 cm = centroid(fastc);
+  // Both centroids sit on the body (subject 1 stands ~2.1 m out).
+  EXPECT_NEAR(cf.y, 2.1f, 0.5f);
+  EXPECT_NEAR(cm.y, 2.1f, 0.5f);
+  EXPECT_NEAR(cf.x, cm.x, 0.35f);
+  EXPECT_NEAR(cf.y, cm.y, 0.35f);
+  EXPECT_NEAR(cf.z, cm.z, 0.45f);
+}
+
+TEST(Calibration, FastModelQuantisesRangeLikeTheFft) {
+  // With noise disabled-ish (high SNR), fast-model points of a static
+  // target concentrate at the same range bin the full chain reports.
+  const RadarConfig cfg = test_config();
+  const fuse::radar::FastPointCloudModel fast(cfg);
+  fuse::util::Rng rng(700);
+  Scene scene = {{{0.0f, 2.5f, 0.0f}, {}, 0.1f}};
+  const auto cloud = fast.generate(scene, rng);
+  ASSERT_FALSE(cloud.empty());
+  // Range is measured from the radar (world z minus mount height).
+  const auto& pt = cloud.points.front();
+  const Vec3 rel = {pt.x, pt.y,
+                    pt.z - static_cast<float>(cfg.radar_height_m)};
+  EXPECT_NEAR(rel.norm(), 2.5f,
+              2.0f * static_cast<float>(cfg.range_resolution_m()));
+}
+
+TEST(Calibration, FastModelDropsOutOfRangeTargets) {
+  const RadarConfig cfg = test_config();
+  const fuse::radar::FastPointCloudModel fast(cfg);
+  fuse::util::Rng rng(800);
+  Scene scene = {{{0.0f, static_cast<float>(cfg.max_range_m()) + 5.0f, 0.0f},
+                  {},
+                  0.5f}};
+  const auto cloud = fast.generate(scene, rng);
+  EXPECT_TRUE(cloud.empty());
+}
+
+TEST(Calibration, FastModelDetectionProbabilityFallsWithRcs) {
+  const RadarConfig cfg = test_config();
+  fuse::radar::FastModelParams params;
+  params.fade_probability = 0.0;  // isolate the SNR-detection curve
+  const fuse::radar::FastPointCloudModel fast(cfg, params);
+  auto detect_rate = [&](float rcs) {
+    int hits = 0;
+    for (int i = 0; i < 200; ++i) {
+      fuse::util::Rng rng(900 + i);
+      Scene scene = {{{0.0f, 3.0f, 0.0f}, {}, rcs}};
+      hits += fast.generate(scene, rng).empty() ? 0 : 1;
+    }
+    return hits / 200.0;
+  };
+  const double strong = detect_rate(0.05f);
+  const double weak = detect_rate(1e-5f);
+  EXPECT_GT(strong, 0.95);
+  EXPECT_LT(weak, 0.3);
+}
+
+TEST(Calibration, FastModelRespectsPointBudget) {
+  RadarConfig cfg = test_config();
+  cfg.max_points = 8;
+  const fuse::radar::FastPointCloudModel fast(cfg);
+  fuse::util::Rng rng(1000);
+  const auto scene = human_scene(cfg, 1.2, rng);
+  fuse::util::Rng rng2(1001);
+  EXPECT_LE(fast.generate(scene, rng2).size(), 8u);
+}
+
+TEST(Calibration, ClutterNotchSuppressesStaticInBothModels) {
+  // With clutter removal enabled, both the full chain and the fast model
+  // must drop a perfectly static target while keeping a moving one.
+  RadarConfig cfg = test_config();
+  cfg.static_clutter_removal = true;
+  const fuse::radar::FastPointCloudModel fast(cfg);
+  const fuse::radar::Processor proc(cfg);
+
+  Scene static_scene = {{{0.0f, 2.5f, 0.0f}, {}, 0.1f}};
+  Scene moving_scene = {{{0.0f, 2.5f, 0.0f}, {0.0f, 1.0f, 0.0f}, 0.1f}};
+
+  int fast_static = 0, fast_moving = 0;
+  for (int i = 0; i < 20; ++i) {
+    fuse::util::Rng r1(3000 + i), r2(4000 + i);
+    fast_static += fast.generate(static_scene, r1).empty() ? 0 : 1;
+    fast_moving += fast.generate(moving_scene, r2).empty() ? 0 : 1;
+  }
+  EXPECT_LE(fast_static, 2);
+  EXPECT_GE(fast_moving, 18);
+
+  fuse::util::Rng r3(5000), r4(5001);
+  const auto full_static =
+      proc.process(fuse::radar::simulate_frame(cfg, static_scene, r3));
+  const auto full_moving =
+      proc.process(fuse::radar::simulate_frame(cfg, moving_scene, r4));
+  bool full_static_near = false, full_moving_near = false;
+  for (const auto& p : full_static.cloud.points)
+    full_static_near |= std::fabs(p.y - 2.5f) < 0.2f;
+  for (const auto& p : full_moving.cloud.points)
+    full_moving_near |= std::fabs(p.y - 2.5f) < 0.2f;
+  EXPECT_FALSE(full_static_near);
+  EXPECT_TRUE(full_moving_near);
+}
+
+TEST(Calibration, DopplerSignPreserved) {
+  const RadarConfig cfg = test_config();
+  const fuse::radar::FastPointCloudModel fast(cfg);
+  fuse::util::Rng rng(1100);
+  Scene scene = {{{0.0f, 2.5f, 0.0f}, {0.0f, 1.0f, 0.0f}, 0.1f}};
+  const auto cloud = fast.generate(scene, rng);
+  ASSERT_FALSE(cloud.empty());
+  EXPECT_GT(cloud.points.front().doppler, 0.4f);
+
+  fuse::util::Rng rng2(1101);
+  Scene scene2 = {{{0.0f, 2.5f, 0.0f}, {0.0f, -1.0f, 0.0f}, 0.1f}};
+  const auto cloud2 = fast.generate(scene2, rng2);
+  ASSERT_FALSE(cloud2.empty());
+  EXPECT_LT(cloud2.points.front().doppler, -0.4f);
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+// Tests for the pose tracker: Kalman filter convergence and noise
+// rejection, bone-length consistency, and end-to-end jitter reduction on a
+// synthetic movement.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/tracking.h"
+#include "human/kinematics.h"
+#include "human/movements.h"
+#include "util/rng.h"
+
+namespace {
+
+using fuse::core::PoseTracker;
+using fuse::core::ScalarKalman;
+using fuse::core::TrackerConfig;
+using fuse::human::Joint;
+using fuse::human::Pose;
+
+TEST(ScalarKalman, InitialisesOnFirstMeasurement) {
+  ScalarKalman f;
+  EXPECT_FALSE(f.initialized());
+  EXPECT_FLOAT_EQ(f.step(2.5f, 0.1f, 5.0f, 0.05f), 2.5f);
+  EXPECT_TRUE(f.initialized());
+}
+
+TEST(ScalarKalman, ConvergesToConstantSignal) {
+  ScalarKalman f;
+  for (int i = 0; i < 50; ++i) f.step(1.0f, 0.1f, 5.0f, 0.05f);
+  EXPECT_NEAR(f.position(), 1.0f, 1e-3f);
+  EXPECT_NEAR(f.velocity(), 0.0f, 1e-2f);
+}
+
+TEST(ScalarKalman, TracksRamp) {
+  // Position moving at 1 m/s; the filter should learn the velocity.
+  ScalarKalman f;
+  for (int i = 0; i < 80; ++i)
+    f.step(0.1f * static_cast<float>(i), 0.1f, 5.0f, 0.05f);
+  EXPECT_NEAR(f.velocity(), 1.0f, 0.15f);
+  EXPECT_NEAR(f.position(), 7.9f, 0.2f);
+}
+
+TEST(ScalarKalman, AttenuatesMeasurementNoise) {
+  fuse::util::Rng rng(3);
+  ScalarKalman f;
+  f.reset(0.0f);
+  double raw_var = 0.0, filt_var = 0.0;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    const float z = 0.1f * static_cast<float>(rng.gauss());
+    const float x = f.step(z, 0.1f, 2.0f, 0.1f);
+    raw_var += z * z;
+    filt_var += x * x;
+  }
+  EXPECT_LT(filt_var, 0.5 * raw_var);
+}
+
+TEST(PoseTracker, FirstFramePassesThrough) {
+  PoseTracker tracker;
+  const auto subject = fuse::human::make_subject(0);
+  const Pose pose = fuse::human::forward_kinematics(
+      fuse::human::standing_state(subject), subject.body);
+  const Pose out = tracker.update(pose);
+  for (std::size_t j = 0; j < fuse::human::kNumJoints; ++j)
+    EXPECT_LT((out.joints[j] - pose.joints[j]).norm(), 1e-4f);
+}
+
+TEST(PoseTracker, ReducesJitterOnNoisyMovement) {
+  const auto subject = fuse::human::make_subject(1);
+  fuse::human::MovementGenerator gen(subject, fuse::human::Movement::kSquat,
+                                     fuse::util::Rng(5));
+  fuse::util::Rng noise(6);
+  PoseTracker tracker;
+
+  double raw_err = 0.0, filt_err = 0.0;
+  std::size_t n = 0;
+  for (double t = 0.0; t < 8.0; t += 0.1) {
+    const Pose truth = gen.pose_at(t);
+    Pose noisy = truth;
+    for (auto& j : noisy.joints) {
+      j.x += 0.05f * static_cast<float>(noise.gauss());
+      j.y += 0.05f * static_cast<float>(noise.gauss());
+      j.z += 0.05f * static_cast<float>(noise.gauss());
+    }
+    const Pose filtered = tracker.update(noisy);
+    const auto re = noisy.mean_abs_error(truth);
+    const auto fe = filtered.mean_abs_error(truth);
+    // Skip the warm-up frames where the filter is still initialising.
+    if (t > 0.5) {
+      raw_err += (re.x + re.y + re.z) / 3.0;
+      filt_err += (fe.x + fe.y + fe.z) / 3.0;
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 0u);
+  EXPECT_LT(filt_err, 0.8 * raw_err)
+      << "filtered " << filt_err / n << " vs raw " << raw_err / n;
+}
+
+TEST(PoseTracker, BoneLengthsStabilise) {
+  const auto subject = fuse::human::make_subject(2);
+  fuse::human::MovementGenerator gen(
+      subject, fuse::human::Movement::kBothUpperLimbExtension,
+      fuse::util::Rng(7));
+  fuse::util::Rng noise(8);
+  TrackerConfig cfg;
+  cfg.enforce_bone_lengths = true;
+  PoseTracker tracker(cfg);
+
+  // Feed noisy poses; measure the variance of a limb bone's length with
+  // and without the consistency projection.
+  auto run = [&](bool enforce) {
+    TrackerConfig c;
+    c.enforce_bone_lengths = enforce;
+    PoseTracker tr(c);
+    fuse::util::Rng nz(9);
+    std::vector<float> lengths;
+    for (double t = 0.0; t < 6.0; t += 0.1) {
+      Pose noisy = gen.pose_at(t);
+      for (auto& j : noisy.joints) {
+        j.x += 0.04f * static_cast<float>(nz.gauss());
+        j.z += 0.04f * static_cast<float>(nz.gauss());
+      }
+      const Pose f = tr.update(noisy);
+      lengths.push_back(
+          (f[Joint::kElbowLeft] - f[Joint::kShoulderLeft]).norm());
+    }
+    double mean = 0.0;
+    for (const float l : lengths) mean += l;
+    mean /= static_cast<double>(lengths.size());
+    double var = 0.0;
+    for (const float l : lengths) var += (l - mean) * (l - mean);
+    return var / static_cast<double>(lengths.size());
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+TEST(PoseTracker, JointSpeedTracksMotion) {
+  const auto subject = fuse::human::make_subject(1);
+  fuse::human::MovementGenerator gen(
+      subject, fuse::human::Movement::kLeftUpperLimbExtension,
+      fuse::util::Rng(10));
+  PoseTracker tracker;
+  float max_wrist_speed = 0.0f;
+  for (double t = 0.0; t < 4.0; t += 0.1) {
+    tracker.update(gen.pose_at(t));
+    max_wrist_speed =
+        std::max(max_wrist_speed, tracker.joint_speed(Joint::kWristLeft));
+  }
+  // The raised arm's wrist peaks around 1-4 m/s.
+  EXPECT_GT(max_wrist_speed, 0.5f);
+  EXPECT_LT(max_wrist_speed, 8.0f);
+}
+
+TEST(PoseTracker, ResetClearsState) {
+  PoseTracker tracker;
+  const auto subject = fuse::human::make_subject(0);
+  const Pose pose = fuse::human::forward_kinematics(
+      fuse::human::standing_state(subject), subject.body);
+  tracker.update(pose);
+  EXPECT_EQ(tracker.frames_seen(), 1u);
+  tracker.reset();
+  EXPECT_EQ(tracker.frames_seen(), 0u);
+  // After reset the first frame passes through again.
+  const Pose out = tracker.update(pose);
+  EXPECT_LT((out[Joint::kHead] - pose[Joint::kHead]).norm(), 1e-4f);
+}
+
+}  // namespace

@@ -1,0 +1,289 @@
+// Tests for the utility layer: RNG statistics/determinism, the thread pool,
+// table/CSV formatting and CLI parsing.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "util/cli.h"
+#include "util/geometry.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using fuse::util::Rng;
+using fuse::util::Vec3;
+
+// ------------------------------------------------------------------- rng --
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(10);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, GaussMomentsApproximatelyStandard) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gauss();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, PoissonMeanMatchesLambda) {
+  Rng rng(12);
+  for (const double lambda : {0.5, 3.0, 50.0}) {
+    double acc = 0.0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) acc += rng.poisson(lambda);
+    EXPECT_NEAR(acc / n, lambda, 0.15 * lambda + 0.05);
+  }
+  EXPECT_EQ(rng.poisson(0.0), 0);
+  EXPECT_EQ(rng.poisson(-1.0), 0);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(14);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SampleIndicesDistinctAndBounded) {
+  Rng rng(15);
+  const auto idx = rng.sample_indices(20, 8);
+  EXPECT_EQ(idx.size(), 8u);
+  std::set<std::size_t> uniq(idx.begin(), idx.end());
+  EXPECT_EQ(uniq.size(), 8u);
+  for (const auto i : idx) EXPECT_LT(i, 20u);
+  // Oversized request clamps to n.
+  EXPECT_EQ(rng.sample_indices(5, 50).size(), 5u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(16);
+  Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+// ----------------------------------------------------------- thread pool --
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  fuse::util::parallel_for(0, hits.size(), [&](std::size_t lo,
+                                               std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  bool called = false;
+  fuse::util::parallel_for(5, 5, [&](std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, NestedParallelForSerializesSafely) {
+  std::atomic<int> total{0};
+  fuse::util::parallel_for(0, 8, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      fuse::util::parallel_for(0, 10, [&](std::size_t l2, std::size_t h2) {
+        total.fetch_add(static_cast<int>(h2 - l2));
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  fuse::util::ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 20);
+}
+
+// ----------------------------------------------------------------- table --
+
+TEST(Table, RendersHeaderAndRows) {
+  fuse::util::Table t("Demo");
+  t.set_header({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_NE(s.find("| a "), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  fuse::util::Table t;
+  t.set_header({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(fuse::util::Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(fuse::util::Table::num(5.0, 0), "5");
+}
+
+// ------------------------------------------------------------------- cli --
+
+TEST(Cli, ParsesFlagsAndValues) {
+  const char* argv[] = {"prog", "--scale=2.5", "--paper", "--seed=99",
+                        "--name=test"};
+  fuse::util::Cli cli(5, const_cast<char**>(argv));
+  EXPECT_TRUE(cli.has("paper"));
+  EXPECT_TRUE(cli.paper());
+  EXPECT_EQ(cli.get("name"), "test");
+  EXPECT_EQ(cli.get_int("seed", 0), 99);
+  EXPECT_EQ(cli.get("missing", "def"), "def");
+  EXPECT_EQ(cli.get_double("missing", 1.5), 1.5);
+}
+
+TEST(Cli, ScaleDefaultsToOne) {
+  const char* argv[] = {"prog"};
+  fuse::util::Cli cli(1, const_cast<char**>(argv));
+  EXPECT_EQ(cli.scale(), 1.0);
+}
+
+TEST(Cli, MalformedNumberFallsBack) {
+  const char* argv[] = {"prog", "--seed=abc"};
+  fuse::util::Cli cli(2, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("seed", 7), 7);
+}
+
+TEST(Cli, ScaledHelper) {
+  EXPECT_EQ(fuse::util::scaled(100, 0.5), 50u);
+  EXPECT_EQ(fuse::util::scaled(100, 0.001, 10), 10u);
+  EXPECT_EQ(fuse::util::scaled(3, 1.0), 3u);
+}
+
+// -------------------------------------------------------------- geometry --
+
+TEST(Geometry, VectorAlgebra) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_FLOAT_EQ((a + b).x, 5.0f);
+  EXPECT_FLOAT_EQ((b - a).z, 3.0f);
+  EXPECT_FLOAT_EQ(a.dot(b), 32.0f);
+  const Vec3 c = a.cross(b);
+  EXPECT_FLOAT_EQ(c.x, -3.0f);
+  EXPECT_FLOAT_EQ(c.y, 6.0f);
+  EXPECT_FLOAT_EQ(c.z, -3.0f);
+  EXPECT_FLOAT_EQ(Vec3(3, 4, 0).norm(), 5.0f);
+}
+
+TEST(Geometry, NormalizedHandlesZero) {
+  EXPECT_EQ(Vec3{}.normalized().norm(), 0.0f);
+  EXPECT_NEAR(Vec3(0, 0, 9).normalized().z, 1.0f, 1e-6f);
+}
+
+TEST(Geometry, RodriguesRotation) {
+  // Rotate x-axis 90 degrees around z: should give y-axis.
+  const Vec3 r = fuse::util::rotate_axis_angle(
+      {1, 0, 0}, {0, 0, 1}, fuse::util::deg2rad(90.0f));
+  EXPECT_NEAR(r.x, 0.0f, 1e-6f);
+  EXPECT_NEAR(r.y, 1.0f, 1e-6f);
+  EXPECT_NEAR(r.z, 0.0f, 1e-6f);
+}
+
+TEST(Geometry, RotationPreservesLength) {
+  fuse::util::Rng rng(17);
+  for (int i = 0; i < 20; ++i) {
+    const Vec3 v{rng.uniformf(-1, 1), rng.uniformf(-1, 1),
+                 rng.uniformf(-1, 1)};
+    const Vec3 axis =
+        Vec3{rng.uniformf(-1, 1), rng.uniformf(-1, 1), rng.uniformf(-1, 1)}
+            .normalized();
+    const Vec3 r =
+        fuse::util::rotate_axis_angle(v, axis, rng.uniformf(0, 6.28f));
+    EXPECT_NEAR(r.norm(), v.norm(), 1e-5f);
+  }
+}
+
+TEST(Geometry, LerpAndSmoothstep) {
+  const Vec3 m = fuse::util::lerp({0, 0, 0}, {2, 4, 6}, 0.5f);
+  EXPECT_FLOAT_EQ(m.y, 2.0f);
+  EXPECT_EQ(fuse::util::smoothstep(0.0f), 0.0f);
+  EXPECT_EQ(fuse::util::smoothstep(1.0f), 1.0f);
+  EXPECT_FLOAT_EQ(fuse::util::smoothstep(0.5f), 0.5f);
+  EXPECT_EQ(fuse::util::smoothstep(-1.0f), 0.0f);
+}
+
+TEST(Geometry, Clampf) {
+  EXPECT_EQ(fuse::util::clampf(5.0f, 0.0f, 1.0f), 1.0f);
+  EXPECT_EQ(fuse::util::clampf(-5.0f, 0.0f, 1.0f), 0.0f);
+  EXPECT_EQ(fuse::util::clampf(0.5f, 0.0f, 1.0f), 0.5f);
+}
+
+}  // namespace
