@@ -10,6 +10,19 @@ namespace fuse::core {
 
 using fuse::data::IndexSet;
 
+float sgd_step(fuse::nn::MarsCnn& model, const fuse::tensor::Tensor& x,
+               const fuse::tensor::Tensor& y, float lr, float grad_clip) {
+  const auto pred = model.forward(x);
+  fuse::nn::Tensor dpred;
+  const float loss = fuse::nn::l1_loss(pred, y, &dpred);
+  model.zero_grad();
+  model.backward(dpred);
+  const auto grads = model.grads();
+  if (grad_clip > 0.0f) fuse::nn::clip_grad_norm(grads, grad_clip);
+  fuse::nn::Sgd(lr).step(model.params(), grads);
+  return loss;
+}
+
 FineTuneCurve fine_tune(fuse::nn::MarsCnn& model,
                         const fuse::data::FusedDataset& fused,
                         const fuse::data::Featurizer& feat,

@@ -10,9 +10,20 @@
 #include "data/featurize.h"
 #include "data/fusion.h"
 #include "nn/model.h"
+#include "tensor/tensor.h"
 #include "util/rng.h"
 
 namespace fuse::core {
+
+/// One SGD step on an explicit featurized batch: forward, L1 loss against
+/// `y`, backward, clip, theta -= lr * grad.  Returns the pre-step batch
+/// loss.  This is the MAML inner update (Eq. 5) applied to deployment
+/// data; the serving runtime's per-session online adaptation
+/// (serve::Scheduler) is built on it.  fine_tune() below keeps its own
+/// step loop because it also supports Adam and last-layer-only updates.
+float sgd_step(fuse::nn::MarsCnn& model, const fuse::tensor::Tensor& x,
+               const fuse::tensor::Tensor& y, float lr,
+               float grad_clip = 10.0f);
 
 struct FineTuneConfig {
   std::size_t epochs = 50;      ///< the paper's curves run to 50

@@ -21,6 +21,7 @@ void FusePipeline::prepare_data() {
   // regardless of M (the paper keeps the model identical across settings).
   fuse::util::Rng rng(cfg_.seed);
   model_ = std::make_unique<fuse::nn::MarsCnn>(kChannelsPerFrame, rng);
+  predictor_ = Predictor(&featurizer_, cfg_.fusion_m);
   prepared_ = true;
 }
 
@@ -49,26 +50,9 @@ MaeCm FusePipeline::evaluate_test() {
 fuse::human::Pose
 FusePipeline::predict_window(const std::vector<fuse::radar::PointCloud>& window) {
   require_prepared();
-  const std::size_t blocks = 2 * cfg_.fusion_m + 1;
   if (window.empty())
     throw std::invalid_argument("predict_window: empty window");
-
-  // Pool up to 2M+1 frames into one cloud (Eq. 3), then featurize.
-  fuse::radar::PointCloud pool;
-  for (std::size_t b = 0; b < std::min(blocks, window.size()); ++b)
-    pool.append(window[b]);
-  fuse::tensor::Tensor x({1, kChannelsPerFrame, fuse::data::kGridH,
-                          fuse::data::kGridW});
-  featurizer_.frame_block(pool, x.data());
-
-  const auto pred = model_->predict(x);
-  const auto denorm = featurizer_.denormalize_labels(pred);
-  fuse::human::Pose pose;
-  for (std::size_t j = 0; j < fuse::human::kNumJoints; ++j) {
-    pose.joints[j] = {denorm[j * 3 + 0], denorm[j * 3 + 1],
-                      denorm[j * 3 + 2]};
-  }
-  return pose;
+  return predictor_.predict_window(*model_, window);
 }
 
 fuse::human::Pose FusePipeline::push_frame(const fuse::radar::PointCloud& cloud) {

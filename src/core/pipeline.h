@@ -13,6 +13,7 @@
 #include "core/finetune.h"
 #include "core/meta.h"
 #include "core/metrics.h"
+#include "core/predictor.h"
 #include "core/trainer.h"
 #include "data/builder.h"
 #include "data/featurize.h"
@@ -34,6 +35,13 @@ struct PipelineConfig {
 class FusePipeline {
  public:
   explicit FusePipeline(PipelineConfig cfg);
+
+  // Not movable: predictor_ points at featurizer_, so a moved-from
+  // pipeline would leave the copy with a dangling featurizer.
+  FusePipeline(const FusePipeline&) = delete;
+  FusePipeline& operator=(const FusePipeline&) = delete;
+  FusePipeline(FusePipeline&&) = delete;
+  FusePipeline& operator=(FusePipeline&&) = delete;
 
   /// Builds the synthetic MARS-like dataset and fits featurization on the
   /// chrono-split training portion.
@@ -57,6 +65,15 @@ class FusePipeline {
   fuse::human::Pose
   predict_window(const std::vector<fuse::radar::PointCloud>& window);
 
+  /// Clears the streaming fusion buffer.  Call between subjects (or when a
+  /// serving session is recycled): otherwise stale frames from the previous
+  /// subject leak into the next fusion window.
+  void reset_stream() { stream_buffer_.clear(); }
+
+  /// The stateless featurize->predict component (valid after
+  /// prepare_data()); the serving runtime shares it across sessions.
+  const Predictor& predictor() const { return predictor_; }
+
   const fuse::data::Dataset& dataset() const { return dataset_; }
   const fuse::data::FusedDataset& fused() const { return *fused_; }
   const fuse::data::Featurizer& featurizer() const { return featurizer_; }
@@ -71,6 +88,7 @@ class FusePipeline {
   fuse::data::Dataset dataset_;
   std::unique_ptr<fuse::data::FusedDataset> fused_;
   fuse::data::Featurizer featurizer_;
+  Predictor predictor_;
   fuse::data::ChronoSplit split_;
   std::unique_ptr<fuse::nn::MarsCnn> model_;
   std::deque<fuse::radar::PointCloud> stream_buffer_;

@@ -9,6 +9,39 @@ namespace fuse::nn {
 
 using fuse::tensor::Trans;
 
+namespace {
+
+// Shared by Conv2d::forward and Conv2d::infer so both paths compute
+// bit-identical outputs: y_n = W * col_n + b, parallel over the batch (the
+// inner gemm serialises automatically inside pool workers).
+Tensor conv_apply(const Tensor& col, const Tensor& w, const Tensor& b,
+                  std::size_t n, std::size_t out_channels, std::size_t oh,
+                  std::size_t ow) {
+  Tensor y({n, out_channels, oh, ow});
+  const std::size_t k = w.dim(1);
+  const std::size_t hw = oh * ow;
+  fuse::util::parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t nidx = lo; nidx < hi; ++nidx) {
+      const float* colp = col.data() + nidx * k * hw;
+      float* yp = y.data() + nidx * out_channels * hw;
+      for (std::size_t oc = 0; oc < out_channels; ++oc) {
+        const float* wrow = w.data() + oc * k;
+        float* yrow = yp + oc * hw;
+        const float bias = b[oc];
+        for (std::size_t p = 0; p < hw; ++p) yrow[p] = bias;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const float wv = wrow[kk];
+          const float* crow = colp + kk * hw;
+          for (std::size_t p = 0; p < hw; ++p) yrow[p] += wv * crow[p];
+        }
+      }
+    }
+  }, 4);
+  return y;
+}
+
+}  // namespace
+
 Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
                std::size_t kernel, std::size_t pad, fuse::util::Rng& rng)
     : in_channels_(in_channels),
@@ -32,30 +65,18 @@ Tensor Conv2d::forward(const Tensor& x) {
   const std::size_t ow = fuse::tensor::conv_out_size(w_in_, kernel_, 1, pad_);
 
   col_ = fuse::tensor::im2col(x, kernel_, kernel_, 1, pad_);
-  Tensor y({n_, out_channels_, oh, ow});
-  const std::size_t k = in_channels_ * kernel_ * kernel_;
-  const std::size_t hw = oh * ow;
+  return conv_apply(col_, w_, b_, n_, out_channels_, oh, ow);
+}
 
-  // Per-sample GEMM y_n = W * col_n; parallel over the batch (the inner
-  // gemm serialises automatically inside pool workers).
-  fuse::util::parallel_for(0, n_, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t nidx = lo; nidx < hi; ++nidx) {
-      const float* colp = col_.data() + nidx * k * hw;
-      float* yp = y.data() + nidx * out_channels_ * hw;
-      for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-        const float* wrow = w_.data() + oc * k;
-        float* yrow = yp + oc * hw;
-        const float bias = b_[oc];
-        for (std::size_t p = 0; p < hw; ++p) yrow[p] = bias;
-        for (std::size_t kk = 0; kk < k; ++kk) {
-          const float wv = wrow[kk];
-          const float* crow = colp + kk * hw;
-          for (std::size_t p = 0; p < hw; ++p) yrow[p] += wv * crow[p];
-        }
-      }
-    }
-  }, 4);
-  return y;
+Tensor Conv2d::infer(const Tensor& x) const {
+  if (x.ndim() != 4 || x.dim(1) != in_channels_)
+    throw std::invalid_argument("Conv2d::infer: bad input shape");
+  const std::size_t oh = fuse::tensor::conv_out_size(x.dim(2), kernel_, 1,
+                                                     pad_);
+  const std::size_t ow = fuse::tensor::conv_out_size(x.dim(3), kernel_, 1,
+                                                     pad_);
+  const Tensor col = fuse::tensor::im2col(x, kernel_, kernel_, 1, pad_);
+  return conv_apply(col, w_, b_, x.dim(0), out_channels_, oh, ow);
 }
 
 Tensor Conv2d::backward(const Tensor& dy) {
@@ -135,6 +156,14 @@ Tensor Linear::forward(const Tensor& x) {
   if (x.ndim() != 2 || x.dim(1) != in_features_)
     throw std::invalid_argument("Linear::forward: bad input shape");
   x_ = x;
+  Tensor y = fuse::tensor::matmul(x, w_, Trans::kNo, Trans::kYes);
+  fuse::tensor::add_row_bias(y, b_);
+  return y;
+}
+
+Tensor Linear::infer(const Tensor& x) const {
+  if (x.ndim() != 2 || x.dim(1) != in_features_)
+    throw std::invalid_argument("Linear::infer: bad input shape");
   Tensor y = fuse::tensor::matmul(x, w_, Trans::kNo, Trans::kYes);
   fuse::tensor::add_row_bias(y, b_);
   return y;

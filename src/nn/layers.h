@@ -29,6 +29,10 @@ class Conv2d {
          std::size_t kernel, std::size_t pad, fuse::util::Rng& rng);
 
   Tensor forward(const Tensor& x);
+  /// Inference-only forward: same arithmetic as forward() but touches no
+  /// caches, so it is const and safe to call concurrently from many threads
+  /// on a shared layer (the serving hot path).
+  Tensor infer(const Tensor& x) const;
   /// dy: [N, out_channels, H, W]; accumulates weight/bias gradients and
   /// returns dx.
   Tensor backward(const Tensor& dy);
@@ -59,6 +63,8 @@ class Linear {
          fuse::util::Rng& rng);
 
   Tensor forward(const Tensor& x);
+  /// Cache-free const forward (see Conv2d::infer).
+  Tensor infer(const Tensor& x) const;
   Tensor backward(const Tensor& dy);
 
   std::vector<Tensor*> params() { return {&w_, &b_}; }

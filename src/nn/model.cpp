@@ -29,6 +29,17 @@ Tensor MarsCnn::forward(const Tensor& x) {
   return fc2_.forward(h);
 }
 
+Tensor MarsCnn::infer(const Tensor& x) const {
+  Tensor h = conv1_.infer(x);
+  fuse::tensor::relu_inplace(h);
+  h = conv2_.infer(h);
+  fuse::tensor::relu_inplace(h);
+  h.reshape({h.dim(0), h.numel() / h.dim(0)});
+  h = fc1_.infer(h);
+  fuse::tensor::relu_inplace(h);
+  return fc2_.infer(h);
+}
+
 void MarsCnn::backward(const Tensor& dy) {
   Tensor d = fc2_.backward(dy);
   d = relu3_.backward(d);

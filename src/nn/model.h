@@ -38,9 +38,14 @@ class MarsCnn {
   /// Backward pass from dL/dy; accumulates parameter gradients.
   void backward(const Tensor& dy);
 
-  /// Inference without touching the backward caches' semantics (same code
-  /// path; provided for readability at call sites).
-  Tensor predict(const Tensor& x) { return forward(x); }
+  /// Batched inference-only forward: same arithmetic as forward() (outputs
+  /// are bit-identical) but touches no layer caches, so it is const and
+  /// safe to share one model across concurrent reader threads — the serving
+  /// hot path batches samples from many sessions through one call.
+  Tensor infer(const Tensor& x) const;
+
+  /// Inference entry point for call sites that never backprop.
+  Tensor predict(const Tensor& x) const { return infer(x); }
 
   std::vector<Tensor*> params();
   std::vector<Tensor*> grads();

@@ -1,0 +1,166 @@
+#include "serve/scheduler.h"
+
+#include <cstring>
+
+#include "core/finetune.h"
+#include "data/featurize.h"
+
+namespace fuse::serve {
+
+namespace {
+constexpr std::size_t kBlockFloats = fuse::data::kChannelsPerFrame *
+                                     fuse::data::kGridH * fuse::data::kGridW;
+}  // namespace
+
+void Scheduler::featurize_current_window(Session& s, float* out) const {
+  const auto& win = s.window();
+  std::vector<const fuse::radar::PointCloud*> ptrs;
+  ptrs.reserve(win.size());
+  for (const auto& c : win) ptrs.push_back(&c);
+  predictor_->featurize_window(ptrs.data(), ptrs.size(), out);
+}
+
+PassStats Scheduler::run_once(const std::vector<Session*>& sessions,
+                              LatencyHistogram& latency) {
+  PassStats pass;
+  // Collection: at most one frame per session per pass, until the batch is
+  // full or every queue is empty.  The window slides and the sample is
+  // featurized immediately, in the session's FIFO order.
+  struct Collected {
+    Item item;
+    std::vector<float> block;
+  };
+  std::vector<Collected> collected;
+  collected.reserve(max_batch_);
+  bool any = true;
+  while (any && collected.size() < max_batch_) {
+    any = false;
+    for (Session* s : sessions) {
+      if (collected.size() >= max_batch_) break;
+      // pop() consumes any pending recycle atomically with the queue
+      // read, so a recycled session's streaming state is always reset
+      // before the new subject's first frame touches the window.
+      bool recycled = false;
+      auto frame = s->pop(&recycled);
+      if (recycled) s->reset_stream_state();
+      if (!frame) continue;
+      any = true;
+      s->advance_window(frame->cloud, predictor_->window_frames());
+      Collected c;
+      c.item.session = s;
+      c.block.resize(kBlockFloats);
+      featurize_current_window(*s, c.block.data());
+      // Ground-truth labels feed the per-user adaptation buffer; the
+      // sample x is exactly what inference sees (the fused window).
+      if (frame->label && s->config().adapt.enabled) {
+        Session::LabeledSample ls;
+        ls.x = c.block;
+        const auto norm =
+            predictor_->featurizer().normalize_pose(*frame->label);
+        ls.y.assign(norm.begin(), norm.end());
+        s->buffer_labeled(std::move(ls));
+      }
+      c.item.frame = std::move(*frame);
+      collected.push_back(std::move(c));
+    }
+  }
+  if (collected.empty()) return pass;
+
+  // Partition: shared-model frames batch together across sessions; a
+  // session with an adapted clone predicts with its own parameters, so its
+  // frames form a private batch.
+  std::vector<Item> shared;
+  std::vector<std::pair<Session*, std::vector<Item>>> adapted;
+  std::vector<std::vector<float>> shared_blocks;
+  std::vector<std::vector<std::vector<float>>> adapted_blocks;
+  for (auto& c : collected) {
+    Session* s = c.item.session;
+    if (s->adapted_model() == nullptr) {
+      shared.push_back(std::move(c.item));
+      shared_blocks.push_back(std::move(c.block));
+    } else {
+      std::size_t g = adapted.size();
+      for (std::size_t i = 0; i < adapted.size(); ++i)
+        if (adapted[i].first == s) g = i;
+      if (g == adapted.size()) {
+        adapted.emplace_back(s, std::vector<Item>{});
+        adapted_blocks.emplace_back();
+      }
+      adapted[g].second.push_back(std::move(c.item));
+      adapted_blocks[g].push_back(std::move(c.block));
+    }
+  }
+
+  const auto serve_group = [&](std::vector<Item>& items,
+                               std::vector<std::vector<float>>& blocks,
+                               const fuse::nn::MarsCnn& model,
+                               bool is_adapted) {
+    if (items.empty()) return;
+    fuse::tensor::Tensor x = predictor_->alloc_batch(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i)
+      std::memcpy(x.data() + i * kBlockFloats, blocks[i].data(),
+                  kBlockFloats * sizeof(float));
+    const auto poses = predictor_->predict(model, x);
+    const double now = mono_seconds();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      Session& s = *items[i].session;
+      // A frame popped just before its session was recycled must not
+      // touch the new subject's tracker (its result is discarded anyway).
+      const bool stale = items[i].frame.epoch != s.current_epoch();
+      PoseResult r;
+      r.seq = items[i].frame.seq;
+      r.raw = poses[i];
+      r.tracked = (s.config().tracking && !stale)
+                      ? s.tracker().update(poses[i])
+                      : poses[i];
+      r.latency_s = now - items[i].frame.t_enqueue;
+      r.adapted_model = is_adapted;
+      latency.record(r.latency_s);
+      s.push_result(std::move(r), items[i].frame.epoch);
+    }
+    ++pass.batches;
+    pass.batched_frames += items.size();
+  };
+
+  serve_group(shared, shared_blocks, *shared_model_, false);
+  for (std::size_t g = 0; g < adapted.size(); ++g)
+    serve_group(adapted[g].second, adapted_blocks[g],
+                *adapted[g].first->adapted_model(), true);
+
+  // Online adaptation: at most one round per session per pass.
+  for (Session* s : sessions) maybe_adapt(*s);
+
+  pass.served = collected.size();
+  return pass;
+}
+
+void Scheduler::maybe_adapt(Session& s) {
+  const AdaptConfig& cfg = s.config().adapt;
+  if (!cfg.enabled) return;
+  auto& buffer = s.adapt_buffer();
+  if (buffer.size() < cfg.min_samples) return;
+  if (s.fresh_labeled() < cfg.round_every && s.adapted_model() != nullptr)
+    return;
+
+  // First round: clone the shared meta-initialization for this user.
+  if (s.adapted_model() == nullptr)
+    s.adapted_slot() =
+        std::make_unique<fuse::nn::MarsCnn>(*shared_model_);
+
+  fuse::tensor::Tensor x = predictor_->alloc_batch(buffer.size());
+  fuse::tensor::Tensor y({buffer.size(), fuse::human::kNumCoords});
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    std::memcpy(x.data() + i * kBlockFloats, buffer[i].x.data(),
+                kBlockFloats * sizeof(float));
+    std::memcpy(y.data() + i * fuse::human::kNumCoords, buffer[i].y.data(),
+                fuse::human::kNumCoords * sizeof(float));
+  }
+  float loss = 0.0f;
+  for (std::size_t step = 0; step < cfg.steps_per_round; ++step)
+    loss = fuse::core::sgd_step(*s.adapted_slot(), x, y, cfg.lr,
+                                cfg.grad_clip);
+  s.clear_fresh_labeled();
+  s.note_adapt_round(loss);
+}
+
+}  // namespace fuse::serve

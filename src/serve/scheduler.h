@@ -1,0 +1,73 @@
+#pragma once
+// The inference scheduler: drains per-session queues round-robin,
+// micro-batches featurized frames ACROSS sessions into a single batched
+// MarsCnn::infer call, and fans the results back to each session's tracker
+// and result queue.
+//
+// Batching policy (see DESIGN.md):
+//  * one collection pass pops at most one frame per session, repeated until
+//    `max_batch` frames are gathered or every queue is empty — deep queues
+//    cannot starve their neighbours;
+//  * frames of sessions serving the shared meta-model are batched together;
+//    a session with an adapted per-user clone forms its own (small) batch,
+//    since its parameters differ;
+//  * each sample's fusion window is advanced and featurized at collection
+//    time, in its session's FIFO order, so the maths are identical to the
+//    single-session path and outputs are deterministic regardless of how
+//    frames interleave across sessions.
+//
+// After the forward passes the scheduler runs at most one online-adaptation
+// round per eligible session (labeled-frame buffer full enough), using the
+// MAML inner update (core::sgd_step) on that session's clone.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/predictor.h"
+#include "nn/model.h"
+#include "serve/session.h"
+#include "serve/stats.h"
+
+namespace fuse::serve {
+
+/// Counters for one run_once pass (the caller owns the cumulative totals,
+/// so the scheduler itself never needs a lock).
+struct PassStats {
+  std::size_t served = 0;           ///< frames served this pass
+  std::uint64_t batches = 0;        ///< batched forward passes run
+  std::uint64_t batched_frames = 0; ///< frames served through them
+};
+
+class Scheduler {
+ public:
+  /// `predictor` and `shared_model` must outlive the scheduler; the shared
+  /// model is only read (infer is const).
+  Scheduler(const fuse::core::Predictor* predictor,
+            const fuse::nn::MarsCnn* shared_model, std::size_t max_batch)
+      : predictor_(predictor),
+        shared_model_(shared_model),
+        max_batch_(max_batch ? max_batch : 1) {}
+
+  /// One scheduling pass over `sessions` (applies pending session recycles
+  /// first).  `latency` receives one sample per served frame.
+  PassStats run_once(const std::vector<Session*>& sessions,
+                     LatencyHistogram& latency);
+
+ private:
+  struct Item {
+    Session* session = nullptr;
+    Session::InFrame frame;
+  };
+
+  /// Featurizes the just-advanced window of `s` into `out` ([5*8*8]).
+  void featurize_current_window(Session& s, float* out) const;
+
+  /// Runs one adaptation round on the session's clone if it is due.
+  void maybe_adapt(Session& s);
+
+  const fuse::core::Predictor* predictor_;
+  const fuse::nn::MarsCnn* shared_model_;
+  std::size_t max_batch_;
+};
+
+}  // namespace fuse::serve

@@ -1,0 +1,126 @@
+#include "serve/session.h"
+
+namespace fuse::serve {
+
+bool Session::enqueue(const fuse::radar::PointCloud& cloud,
+                      const fuse::human::Pose* label, double now_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.size() >= cfg_.queue_capacity) {
+    ++frames_dropped_;
+    if (cfg_.drop_policy == DropPolicy::kDropNewest) return false;
+    queue_.pop_front();  // kDropOldest: evict to keep the stream fresh
+  }
+  InFrame f;
+  f.cloud = cloud;
+  if (label) f.label = *label;
+  f.t_enqueue = now_s;
+  f.seq = next_seq_++;
+  f.epoch = recycle_epoch_;
+  queue_.push_back(std::move(f));
+  ++frames_in_;
+  return true;
+}
+
+std::vector<PoseResult> Session::take_results() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PoseResult> out(results_.begin(), results_.end());
+  results_.clear();
+  return out;
+}
+
+std::size_t Session::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::optional<Session::InFrame> Session::pop(bool* recycled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *recycled = recycle_pending_;
+  recycle_pending_ = false;
+  if (queue_.empty()) return std::nullopt;
+  InFrame f = std::move(queue_.front());
+  queue_.pop_front();
+  return f;
+}
+
+void Session::advance_window(const fuse::radar::PointCloud& cloud,
+                             std::size_t window_frames) {
+  window_.push_back(cloud);
+  while (window_.size() > window_frames) window_.pop_front();
+}
+
+void Session::push_result(PoseResult r, std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch != recycle_epoch_) return;  // stale subject: discard
+  if (results_.size() >= cfg_.results_capacity) {
+    results_.pop_front();
+    ++results_dropped_;
+  }
+  results_.push_back(std::move(r));
+  ++frames_out_;
+}
+
+void Session::buffer_labeled(LabeledSample s) {
+  adapt_buffer_.push_back(std::move(s));
+  while (adapt_buffer_.size() > cfg_.adapt.buffer_capacity)
+    adapt_buffer_.pop_front();
+  ++fresh_labeled_;
+  std::lock_guard<std::mutex> lock(mu_);
+  adapt_buffered_ = adapt_buffer_.size();
+}
+
+void Session::note_adapt_round(float loss) {
+  std::lock_guard<std::mutex> lock(mu_);
+  has_adapted_ = true;
+  ++adapt_rounds_;
+  last_adapt_loss_ = loss;
+}
+
+AdaptState Session::adapt_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!cfg_.adapt.enabled) return AdaptState::kShared;
+  return has_adapted_ ? AdaptState::kAdapted : AdaptState::kCollecting;
+}
+
+void Session::request_recycle() {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.clear();
+  results_.clear();
+  next_seq_ = 0;  // the new subject's stream counts from zero
+  recycle_pending_ = true;
+  ++recycle_epoch_;
+  has_adapted_ = false;
+  adapt_buffered_ = 0;
+  adapt_rounds_ = 0;
+  last_adapt_loss_ = 0.0f;
+}
+
+void Session::reset_stream_state() {
+  // Safe without locking: this runs on the scheduler thread, the sole
+  // owner of the streaming state below.
+  window_.clear();
+  tracker_.reset();
+  adapted_.reset();
+  adapt_buffer_.clear();
+  fresh_labeled_ = 0;
+}
+
+SessionStats Session::stats_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionStats s;
+  s.id = id_;
+  s.frames_in = frames_in_;
+  s.frames_dropped = frames_dropped_;
+  s.frames_out = frames_out_;
+  s.results_dropped = results_dropped_;
+  s.queue_depth = queue_.size();
+  s.adapt_state = !cfg_.adapt.enabled  ? AdaptState::kShared
+                  : has_adapted_       ? AdaptState::kAdapted
+                                       : AdaptState::kCollecting;
+  s.adapt_rounds = adapt_rounds_;
+  s.adapt_buffered = adapt_buffered_;
+  s.last_adapt_loss = last_adapt_loss_;
+  return s;
+}
+
+}  // namespace fuse::serve

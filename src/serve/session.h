@@ -1,0 +1,191 @@
+#pragma once
+// One streaming serving session: a bounded input queue with an explicit
+// drop policy on the producer side, and the per-subject streaming state
+// (fusion window, pose tracker, optional per-user fine-tuned model) on the
+// scheduler side.
+//
+// Thread contract: producer-facing methods (enqueue, take_results, the
+// queue counters) are mutex-protected and may be called from any thread;
+// everything in the "scheduler side" section is only ever touched by the
+// single scheduler thread, so it needs no locking.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/tracking.h"
+#include "human/skeleton.h"
+#include "nn/model.h"
+#include "radar/point_cloud.h"
+#include "serve/stats.h"
+
+namespace fuse::serve {
+
+using SessionId = std::size_t;
+
+/// What to do when a frame arrives and the session's input queue is full.
+enum class DropPolicy {
+  /// Evict the oldest queued frame (keep the stream fresh — default for
+  /// live monitoring, where a stale pose is worse than a skipped one).
+  kDropOldest,
+  /// Reject the incoming frame (keep history — for offline replay).
+  kDropNewest,
+};
+
+/// Per-user online adaptation from the meta-initialization (Section 4.3 of
+/// the paper, run incrementally at serving time on therapist-labeled
+/// frames).
+struct AdaptConfig {
+  bool enabled = false;
+  std::size_t min_samples = 16;      ///< labeled frames before round 1
+  std::size_t buffer_capacity = 64;  ///< ring buffer of recent labeled frames
+  std::size_t round_every = 8;       ///< fresh labeled frames between rounds
+  std::size_t steps_per_round = 2;   ///< SGD steps per adaptation round
+  float lr = 0.02f;                  ///< MAML inner rate (MetaConfig::alpha)
+  float grad_clip = 10.0f;
+};
+
+struct SessionConfig {
+  std::size_t queue_capacity = 16;
+  DropPolicy drop_policy = DropPolicy::kDropOldest;
+  std::size_t results_capacity = 1024;  ///< unpolled results kept
+  bool tracking = true;
+  fuse::core::TrackerConfig tracker;
+  AdaptConfig adapt;
+};
+
+/// One pose result fanned back to a session after a batched forward pass.
+struct PoseResult {
+  std::uint64_t seq = 0;      ///< per-session frame sequence number
+  fuse::human::Pose raw;      ///< CNN estimate
+  fuse::human::Pose tracked;  ///< after temporal filtering (== raw when off)
+  double latency_s = 0.0;     ///< enqueue -> result, seconds
+  bool adapted_model = false; ///< predicted by the per-user clone
+};
+
+class Session {
+ public:
+  Session(SessionId id, SessionConfig cfg) : id_(id), cfg_(std::move(cfg)) {
+    tracker_ = fuse::core::PoseTracker(cfg_.tracker);
+  }
+
+  SessionId id() const { return id_; }
+  const SessionConfig& config() const { return cfg_; }
+
+  // ------------------------------------------------------ producer side --
+  struct InFrame {
+    fuse::radar::PointCloud cloud;
+    std::optional<fuse::human::Pose> label;  ///< ground truth, if supplied
+    double t_enqueue = 0.0;
+    std::uint64_t seq = 0;
+    std::uint64_t epoch = 0;  ///< recycle epoch at enqueue time
+  };
+
+  /// Enqueues a frame; applies the drop policy when the queue is full.
+  /// Returns false iff the *incoming* frame was rejected (kDropNewest).
+  bool enqueue(const fuse::radar::PointCloud& cloud,
+               const fuse::human::Pose* label, double now_s);
+
+  /// Moves out every finished result (FIFO).
+  std::vector<PoseResult> take_results();
+
+  std::size_t queue_depth() const;
+
+  // ----------------------------------------------------- scheduler side --
+  /// Pops the oldest queued frame, if any.  `recycled` is set when a
+  /// recycle request is being consumed by this pop: the flag and the queue
+  /// are read under one lock, so any popped frame enqueued after a recycle
+  /// request is guaranteed to be preceded by `*recycled == true` (i.e. the
+  /// caller resets the streaming state before the frame is processed).
+  std::optional<InFrame> pop(bool* recycled);
+
+  /// Slides the fusion window by one frame (bounded at 2M+1 entries).
+  void advance_window(const fuse::radar::PointCloud& cloud,
+                      std::size_t window_frames);
+  const std::deque<fuse::radar::PointCloud>& window() const { return window_; }
+
+  fuse::core::PoseTracker& tracker() { return tracker_; }
+
+  /// Delivers one finished result (bounded; evicts oldest beyond capacity).
+  /// `epoch` is the source frame's recycle epoch: results computed from
+  /// frames of a recycled-away subject are silently discarded.
+  void push_result(PoseResult r, std::uint64_t epoch);
+
+  /// The model this session predicts with: its adapted clone once online
+  /// adaptation has run, else nullptr (= use the shared model).
+  const fuse::nn::MarsCnn* adapted_model() const { return adapted_.get(); }
+  std::unique_ptr<fuse::nn::MarsCnn>& adapted_slot() { return adapted_; }
+
+  /// Labeled-sample ring buffer feeding adaptation rounds.
+  struct LabeledSample {
+    std::vector<float> x;  ///< featurized [5*8*8] block
+    std::vector<float> y;  ///< normalized [57] label
+  };
+  std::deque<LabeledSample>& adapt_buffer() { return adapt_buffer_; }
+  void buffer_labeled(LabeledSample s);
+
+  /// Labeled samples buffered since the last adaptation round (gates the
+  /// round cadence; scheduler-thread only).
+  std::size_t fresh_labeled() const { return fresh_labeled_; }
+  void clear_fresh_labeled() { fresh_labeled_ = 0; }
+
+  /// Records a finished adaptation round (for telemetry).
+  void note_adapt_round(float loss);
+
+  AdaptState adapt_state() const;
+
+  /// Recycle for a new subject (any thread): immediately clears the
+  /// producer-side state (queue, results, sequence numbers, counters) and
+  /// marks the scheduler-side state (fusion window, tracker, adaptation
+  /// buffer, per-user model) for reset, which the scheduler applies at the
+  /// start of its next pass — so recycling never races a running pass.
+  /// The session id and configuration survive.  Results of frames already
+  /// in flight when recycle is requested are discarded on delivery.
+  void request_recycle();
+
+  /// Scheduler side: clears the streaming state (fusion window, tracker,
+  /// adaptation buffer, per-user model) after pop() reported a recycle.
+  void reset_stream_state();
+
+  /// Current recycle epoch (stale in-flight frames carry an older one).
+  std::uint64_t current_epoch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return recycle_epoch_;
+  }
+
+  /// Counter snapshot (locks the producer mutex).
+  SessionStats stats_snapshot() const;
+
+ private:
+  const SessionId id_;
+  const SessionConfig cfg_;
+
+  mutable std::mutex mu_;  ///< guards queue_, results_ and the counters
+  std::deque<InFrame> queue_;
+  std::deque<PoseResult> results_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t frames_in_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+  std::uint64_t frames_out_ = 0;
+  std::uint64_t results_dropped_ = 0;
+  bool recycle_pending_ = false;
+  std::uint64_t recycle_epoch_ = 0;  ///< bumped per recycle request
+  // Mirrors of scheduler-side adaptation state, updated under mu_ so that
+  // stats_snapshot() can be called from any thread.
+  bool has_adapted_ = false;
+  std::size_t adapt_buffered_ = 0;
+  std::uint64_t adapt_rounds_ = 0;
+  float last_adapt_loss_ = 0.0f;
+
+  // Scheduler-thread-only state.
+  std::deque<fuse::radar::PointCloud> window_;
+  fuse::core::PoseTracker tracker_;
+  std::unique_ptr<fuse::nn::MarsCnn> adapted_;
+  std::deque<LabeledSample> adapt_buffer_;
+  std::size_t fresh_labeled_ = 0;
+};
+
+}  // namespace fuse::serve

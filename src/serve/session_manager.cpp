@@ -1,0 +1,177 @@
+#include "serve/session_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace fuse::serve {
+
+SessionManager::SessionManager(const fuse::core::Predictor* predictor,
+                               const fuse::nn::MarsCnn* shared_model,
+                               ServeConfig cfg)
+    : predictor_(predictor),
+      shared_model_(shared_model),
+      cfg_(cfg),
+      scheduler_(predictor, shared_model, cfg.max_batch) {
+  if (!predictor_ || !predictor_->valid())
+    throw std::invalid_argument("SessionManager: predictor not fitted");
+  if (!shared_model_)
+    throw std::invalid_argument("SessionManager: null shared model");
+}
+
+SessionManager::~SessionManager() { stop(); }
+
+SessionId SessionManager::open_session() { return open_session(cfg_.session); }
+
+SessionId SessionManager::open_session(SessionConfig scfg) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (sessions_.size() >= cfg_.max_sessions)
+    throw std::runtime_error("SessionManager: max_sessions reached");
+  const SessionId id = next_id_++;
+  sessions_.emplace(id, std::make_shared<Session>(id, std::move(scfg)));
+  FUSE_LOG_DEBUG("serve: opened session %zu", id);
+  return id;
+}
+
+void SessionManager::close_session(SessionId id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.erase(id);
+}
+
+void SessionManager::recycle_session(SessionId id) {
+  auto s = find(id);
+  if (s) s->request_recycle();
+}
+
+std::size_t SessionManager::session_count() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+std::shared_ptr<Session> SessionManager::find(SessionId id) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+std::vector<std::shared_ptr<Session>>
+SessionManager::snapshot_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  std::vector<std::shared_ptr<Session>> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, s] : sessions_) out.push_back(s);
+  // Deterministic scheduling order regardless of hash-map iteration.
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a->id() < b->id(); });
+  return out;
+}
+
+bool SessionManager::submit_frame(SessionId id,
+                                  const fuse::radar::PointCloud& cloud,
+                                  const fuse::human::Pose* label) {
+  auto s = find(id);
+  if (!s) return false;
+  const bool accepted = s->enqueue(cloud, label, mono_seconds());
+  if (running_) {
+    // The flag is set under wake_mu_, so the scheduler cannot miss a frame
+    // submitted between its last empty pass and its wait.
+    {
+      std::lock_guard<std::mutex> lock(wake_mu_);
+      work_pending_ = true;
+    }
+    wake_cv_.notify_one();
+  }
+  return accepted;
+}
+
+std::vector<PoseResult> SessionManager::poll_results(SessionId id) {
+  auto s = find(id);
+  if (!s) return {};
+  return s->take_results();
+}
+
+std::size_t SessionManager::run_once() {
+  const auto snapshot = snapshot_sessions();
+  std::vector<Session*> sessions;
+  sessions.reserve(snapshot.size());
+  for (const auto& s : snapshot) sessions.push_back(s.get());
+  // The pass runs lock-free into local telemetry; the cumulative stats are
+  // only locked for the merge, so stats() never waits on an inference pass.
+  LatencyHistogram pass_latency;
+  const PassStats pass = scheduler_.run_once(sessions, pass_latency);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  latency_.merge(pass_latency);
+  batches_ += pass.batches;
+  batched_frames_ += pass.batched_frames;
+  return pass.served;
+}
+
+std::size_t SessionManager::drain() {
+  std::size_t total = 0;
+  while (const std::size_t served = run_once()) total += served;
+  return total;
+}
+
+void SessionManager::start() {
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { scheduler_loop(); });
+}
+
+void SessionManager::stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_requested_ = true;
+  }
+  wake_cv_.notify_all();
+  thread_.join();
+  running_ = false;
+}
+
+void SessionManager::scheduler_loop() {
+  for (;;) {
+    const std::size_t served = run_once();
+    if (served > 0) continue;
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    if (stop_requested_) {
+      // Final sweep so frames submitted just before stop() are served.
+      lock.unlock();
+      drain();
+      return;
+    }
+    // An idle server blocks here until a producer flags new work; the
+    // predicate makes the untimed wait immune to lost notifies.
+    wake_cv_.wait(lock, [this] { return work_pending_ || stop_requested_; });
+    work_pending_ = false;
+  }
+}
+
+ServeStats SessionManager::stats() const {
+  ServeStats out;
+  const auto snapshot = snapshot_sessions();
+  out.sessions = snapshot.size();
+  for (const auto& s : snapshot) {
+    auto ss = s->stats_snapshot();
+    out.frames_in += ss.frames_in;
+    out.frames_out += ss.frames_out;
+    out.frames_dropped += ss.frames_dropped;
+    out.per_session.push_back(std::move(ss));
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  out.batches = batches_;
+  out.mean_batch = batches_ ? static_cast<double>(batched_frames_) /
+                                  static_cast<double>(batches_)
+                            : 0.0;
+  out.latency_p50_ms = latency_.p50() * 1e3;
+  out.latency_p95_ms = latency_.p95() * 1e3;
+  out.latency_p99_ms = latency_.p99() * 1e3;
+  out.latency_mean_ms = latency_.mean() * 1e3;
+  out.latency_max_ms = latency_.max() * 1e3;
+  return out;
+}
+
+}  // namespace fuse::serve

@@ -1,0 +1,120 @@
+#pragma once
+// SessionManager — the multi-session streaming serving runtime.
+//
+// Owns N concurrent sessions, each with its own bounded frame queue,
+// fusion window, pose tracker and (optionally) a per-user fine-tuned clone
+// of the shared meta-learned MarsCnn.  An inference scheduler drains the
+// queues and micro-batches featurized frames across sessions into single
+// batched forward passes (see serve/scheduler.h for the policy).
+//
+// Two serving modes:
+//  * synchronous — call run_once()/drain() from your own loop; used by the
+//    tests and benchmarks, fully deterministic;
+//  * threaded — start() spawns one scheduler thread that batches whatever
+//    is queued and sleeps when idle; producers call submit_frame from any
+//    thread.
+//
+// Model ownership: the manager borrows the shared model and only ever
+// calls its const infer() path, so training code may hold the same object
+// as long as it does not mutate parameters while the server runs.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/predictor.h"
+#include "nn/model.h"
+#include "serve/scheduler.h"
+#include "serve/session.h"
+#include "serve/stats.h"
+
+namespace fuse::serve {
+
+struct ServeConfig {
+  std::size_t max_sessions = 64;
+  std::size_t max_batch = 16;      ///< frames per batched forward pass
+  SessionConfig session;           ///< defaults for open_session()
+};
+
+class SessionManager {
+ public:
+  /// `predictor` (fitted) and `shared_model` must outlive the manager.
+  SessionManager(const fuse::core::Predictor* predictor,
+                 const fuse::nn::MarsCnn* shared_model, ServeConfig cfg = {});
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  // ------------------------------------------------------------ sessions --
+  /// Opens a session with the manager's default session config.
+  SessionId open_session();
+  SessionId open_session(SessionConfig cfg);
+  /// Closes and destroys the session; unpolled results are discarded.
+  void close_session(SessionId id);
+  /// Recycles the session for a new subject: queue, results and sequence
+  /// numbers clear immediately; fusion window, tracker, adaptation buffer
+  /// and per-user model reset on the scheduler's next pass (safe while the
+  /// scheduler thread is running).  Results of frames in flight at the
+  /// time of the call are discarded.
+  void recycle_session(SessionId id);
+  std::size_t session_count() const;
+
+  // ------------------------------------------------------------- frames --
+  /// Enqueues a frame (any thread).  A non-null `label` marks the frame as
+  /// ground-truth-labeled and feeds the session's online adaptation.
+  /// Returns false when the frame was rejected (unknown session, or full
+  /// queue under DropPolicy::kDropNewest).
+  bool submit_frame(SessionId id, const fuse::radar::PointCloud& cloud,
+                    const fuse::human::Pose* label = nullptr);
+
+  /// Moves out the session's finished results (any thread).
+  std::vector<PoseResult> poll_results(SessionId id);
+
+  // -------------------------------------------------------- synchronous --
+  /// One scheduling pass; returns frames served.  Do not mix with start().
+  std::size_t run_once();
+  /// Runs passes until every queue is empty; returns frames served.
+  std::size_t drain();
+
+  // ------------------------------------------------------------ threaded --
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  // ----------------------------------------------------------- telemetry --
+  ServeStats stats() const;
+
+ private:
+  std::shared_ptr<Session> find(SessionId id) const;
+  std::vector<std::shared_ptr<Session>> snapshot_sessions() const;
+  void scheduler_loop();
+
+  const fuse::core::Predictor* predictor_;
+  const fuse::nn::MarsCnn* shared_model_;
+  ServeConfig cfg_;
+  Scheduler scheduler_;
+
+  mutable std::mutex sessions_mu_;
+  std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
+  SessionId next_id_ = 1;
+
+  mutable std::mutex stats_mu_;
+  LatencyHistogram latency_;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batched_frames_ = 0;
+
+  std::thread thread_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<bool> running_{false};
+  bool stop_requested_ = false;  ///< guarded by wake_mu_
+  bool work_pending_ = false;    ///< guarded by wake_mu_; set by producers
+};
+
+}  // namespace fuse::serve

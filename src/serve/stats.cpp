@@ -1,0 +1,77 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fuse::serve {
+
+std::size_t LatencyHistogram::bin_index(double seconds) {
+  if (seconds < kMinLatency) return 0;
+  const double decades = std::log10(seconds / kMinLatency);
+  const auto bin = static_cast<std::size_t>(decades * kBinsPerDecade);
+  return std::min(bin, kBins - 1);
+}
+
+double LatencyHistogram::bin_lower(std::size_t bin) {
+  return kMinLatency *
+         std::pow(10.0, static_cast<double>(bin) / kBinsPerDecade);
+}
+
+double LatencyHistogram::bin_upper(std::size_t bin) {
+  return kMinLatency *
+         std::pow(10.0, static_cast<double>(bin + 1) / kBinsPerDecade);
+}
+
+void LatencyHistogram::record(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  ++bins_[bin_index(seconds)];
+  ++count_;
+  sum_ += seconds;
+  max_ = std::max(max_, seconds);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t b = 0; b < kBins; ++b) bins_[b] += other.bins_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+void LatencyHistogram::reset() {
+  bins_.fill(0);
+  count_ = 0;
+  sum_ = 0.0;
+  max_ = 0.0;
+}
+
+double LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBins; ++b) {
+    if (bins_[b] == 0) continue;
+    const auto next = seen + bins_[b];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate inside the bin; clamp the top bin to the observed max.
+      const double lo = bin_lower(b);
+      const double hi = std::min(bin_upper(b), max_ > 0.0 ? max_ : bin_upper(b));
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(bins_[b]);
+      return lo + frac * (hi - lo);
+    }
+    seen = next;
+  }
+  return max_;
+}
+
+const char* adapt_state_name(AdaptState s) {
+  switch (s) {
+    case AdaptState::kShared: return "shared";
+    case AdaptState::kCollecting: return "collecting";
+    case AdaptState::kAdapted: return "adapted";
+  }
+  return "?";
+}
+
+}  // namespace fuse::serve

@@ -1,0 +1,101 @@
+#pragma once
+// Serving telemetry: latency histograms with quantile readout plus
+// per-session and server-wide counter snapshots.
+//
+// The histogram uses fixed log-spaced bins (10 per decade, 1 us .. 100 s),
+// so recording is O(1) and allocation-free on the scheduler hot path;
+// quantiles are read out by linear interpolation inside the hit bin, which
+// is plenty for p50/p95/p99 dashboards.
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fuse::serve {
+
+/// Monotonic wall-clock seconds (arbitrary epoch) for latency stamping.
+inline double mono_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram() { reset(); }
+
+  void record(double seconds);
+  /// Folds another histogram into this one (scheduler passes record into a
+  /// pass-local histogram, merged into the cumulative one under the stats
+  /// lock — keeps the hot path lock-free).
+  void merge(const LatencyHistogram& other);
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double max() const { return max_; }
+
+  /// Latency quantile in seconds, q in [0, 1]; 0 when empty.
+  double quantile(double q) const;
+
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+ private:
+  // 10 bins per decade over [1e-6 s, 1e2 s) plus an overflow bin.
+  static constexpr std::size_t kBinsPerDecade = 10;
+  static constexpr int kDecades = 8;
+  static constexpr double kMinLatency = 1e-6;
+  static constexpr std::size_t kBins = kBinsPerDecade * kDecades + 1;
+
+  static std::size_t bin_index(double seconds);
+  static double bin_lower(std::size_t bin);
+  static double bin_upper(std::size_t bin);
+
+  std::array<std::uint64_t, kBins> bins_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Per-user online-adaptation lifecycle of a session.
+enum class AdaptState {
+  kShared,      ///< adaptation disabled; serves the shared meta-model
+  kCollecting,  ///< enabled, still buffering labeled frames
+  kAdapted,     ///< at least one adaptation round ran; serves its own clone
+};
+
+const char* adapt_state_name(AdaptState s);
+
+struct SessionStats {
+  std::size_t id = 0;
+  std::uint64_t frames_in = 0;       ///< accepted into the queue
+  std::uint64_t frames_dropped = 0;  ///< rejected/evicted by the drop policy
+  std::uint64_t frames_out = 0;      ///< results produced
+  std::uint64_t results_dropped = 0; ///< results evicted before being polled
+  std::size_t queue_depth = 0;       ///< at snapshot time
+  AdaptState adapt_state = AdaptState::kShared;
+  std::uint64_t adapt_rounds = 0;    ///< SGD rounds run on the clone
+  std::size_t adapt_buffered = 0;    ///< labeled samples currently buffered
+  float last_adapt_loss = 0.0f;      ///< batch L1 loss of the last round
+};
+
+struct ServeStats {
+  std::size_t sessions = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t batches = 0;          ///< batched forward passes
+  double mean_batch = 0.0;            ///< frames per forward pass
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_mean_ms = 0.0;
+  double latency_max_ms = 0.0;
+  std::vector<SessionStats> per_session;
+};
+
+}  // namespace fuse::serve

@@ -259,6 +259,13 @@ Tensor relu(const Tensor& x) {
   return y;
 }
 
+void relu_inplace(Tensor& x) {
+  float* p = x.data();
+  const std::size_t n = x.numel();
+  for (std::size_t i = 0; i < n; ++i)
+    if (p[i] < 0.0f) p[i] = 0.0f;
+}
+
 Tensor relu_backward(const Tensor& dy, const Tensor& x) {
   check_same_shape(dy, x, "relu_backward");
   Tensor dx = dy;

@@ -42,6 +42,8 @@ Tensor col2im(const Tensor& col, std::size_t n, std::size_t c, std::size_t h,
 
 /// y = relu(x), elementwise.
 Tensor relu(const Tensor& x);
+/// x = relu(x) in place (allocation-free variant for inference hot paths).
+void relu_inplace(Tensor& x);
 /// dx = dy where x > 0 else 0 (uses the forward input).
 Tensor relu_backward(const Tensor& dy, const Tensor& x);
 

@@ -1,0 +1,442 @@
+// Tests for the streaming serving runtime: batched-vs-single-path
+// equivalence, threaded stress with deterministic outputs, queue drop
+// policies, session recycling, per-user online adaptation and telemetry.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/tracking.h"
+#include "serve/session_manager.h"
+#include "serve/stats.h"
+#include "util/rng.h"
+
+namespace {
+
+using fuse::core::PoseTracker;
+using fuse::human::Pose;
+using fuse::radar::PointCloud;
+using fuse::serve::AdaptState;
+using fuse::serve::DropPolicy;
+using fuse::serve::PoseResult;
+using fuse::serve::ServeConfig;
+using fuse::serve::SessionConfig;
+using fuse::serve::SessionManager;
+
+/// Shared environment: a prepared (untrained — weights are irrelevant for
+/// path equivalence) pipeline over a miniature dataset.
+fuse::core::FusePipeline& world() {
+  static fuse::core::FusePipeline* pipeline = [] {
+    fuse::core::PipelineConfig cfg;
+    cfg.data.frames_per_sequence = 40;
+    cfg.fusion_m = 1;
+    auto* p = new fuse::core::FusePipeline(cfg);
+    p->prepare_data();
+    return p;
+  }();
+  return *pipeline;
+}
+
+/// Frames of sequence `seq`, cycled to `count` entries.
+std::vector<PointCloud> sequence_frames(std::size_t seq, std::size_t count) {
+  const auto& ds = world().dataset();
+  const auto [start, len] = ds.sequences.at(seq);
+  std::vector<PointCloud> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out.push_back(ds.frames[start + (i % len)].cloud);
+  return out;
+}
+
+void expect_pose_eq(const Pose& a, const Pose& b) {
+  for (std::size_t j = 0; j < fuse::human::kNumJoints; ++j) {
+    EXPECT_FLOAT_EQ(a.joints[j].x, b.joints[j].x);
+    EXPECT_FLOAT_EQ(a.joints[j].y, b.joints[j].y);
+    EXPECT_FLOAT_EQ(a.joints[j].z, b.joints[j].z);
+  }
+}
+
+/// The single-session reference: one window + one tracker, batch size 1 —
+/// exactly what FusePipeline::push_frame (+ PoseTracker) computes.
+struct RefResult {
+  Pose raw;
+  Pose tracked;
+};
+std::vector<RefResult> reference_stream(const std::vector<PointCloud>& frames,
+                                        const SessionConfig& cfg) {
+  auto& pl = world();
+  const auto& pred = pl.predictor();
+  std::deque<PointCloud> window;
+  PoseTracker tracker(cfg.tracker);
+  std::vector<RefResult> out;
+  out.reserve(frames.size());
+  for (const auto& cloud : frames) {
+    window.push_back(cloud);
+    while (window.size() > pred.window_frames()) window.pop_front();
+    RefResult r;
+    r.raw = pred.predict_window(pl.model(),
+                                {window.begin(), window.end()});
+    r.tracked = cfg.tracking ? tracker.update(r.raw) : r.raw;
+    out.push_back(r);
+  }
+  return out;
+}
+
+// ------------------------------------------------------- batched infer --
+
+TEST(Serve, InferMatchesForwardExactly) {
+  auto& model = world().model();
+  fuse::util::Rng rng(123);
+  fuse::tensor::Tensor x({4, 5, 8, 8});
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    x[i] = static_cast<float>(rng.gauss());
+  const auto y_train = model.forward(x);
+  const auto y_infer = model.infer(x);
+  ASSERT_EQ(y_train.shape(), y_infer.shape());
+  for (std::size_t i = 0; i < y_train.numel(); ++i)
+    EXPECT_EQ(y_train[i], y_infer[i]) << "element " << i;
+}
+
+TEST(Serve, BatchedPredictMatchesPerWindowPredict) {
+  auto& pl = world();
+  const auto& pred = pl.predictor();
+  const auto frames = sequence_frames(0, 6);
+
+  // Batch the three windows [0..2], [1..3], [2..4] into one forward pass.
+  auto x = pred.alloc_batch(3);
+  std::vector<std::vector<PointCloud>> windows;
+  for (std::size_t i = 0; i < 3; ++i) {
+    windows.push_back({frames[i], frames[i + 1], frames[i + 2]});
+    pred.featurize_window(windows.back(), x.data() + i * 5 * 8 * 8);
+  }
+  const auto poses = pred.predict(pl.model(), x);
+  ASSERT_EQ(poses.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i)
+    expect_pose_eq(poses[i], pred.predict_window(pl.model(), windows[i]));
+}
+
+// ------------------------------------------------ cross-session batching --
+
+TEST(Serve, BatchedServerMatchesSingleSessionPath) {
+  auto& pl = world();
+  ServeConfig cfg;
+  cfg.max_batch = 8;
+  cfg.session.queue_capacity = 64;  // hold the whole backlog: no drops here
+  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+
+  constexpr std::size_t kSessions = 3;
+  constexpr std::size_t kFrames = 30;
+  std::vector<fuse::serve::SessionId> ids;
+  std::vector<std::vector<PointCloud>> streams;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    ids.push_back(server.open_session());
+    streams.push_back(sequence_frames(s, kFrames));
+  }
+
+  // Interleave submissions across sessions, then serve in micro-batches.
+  for (std::size_t i = 0; i < kFrames; ++i)
+    for (std::size_t s = 0; s < kSessions; ++s)
+      ASSERT_TRUE(server.submit_frame(ids[s], streams[s][i]));
+  server.drain();
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.frames_out, kSessions * kFrames);
+  EXPECT_GT(stats.mean_batch, 1.5);  // batching actually happened
+
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const auto results = server.poll_results(ids[s]);
+    const auto ref = reference_stream(streams[s], cfg.session);
+    ASSERT_EQ(results.size(), kFrames);
+    for (std::size_t i = 0; i < kFrames; ++i) {
+      EXPECT_EQ(results[i].seq, i);
+      expect_pose_eq(results[i].raw, ref[i].raw);
+      expect_pose_eq(results[i].tracked, ref[i].tracked);
+    }
+  }
+}
+
+TEST(Serve, ThreadedStressDeterministicOutputs) {
+  auto& pl = world();
+  ServeConfig cfg;
+  cfg.max_batch = 16;
+  cfg.session.queue_capacity = 128;    // no drops: every frame must serve
+  cfg.session.results_capacity = 256;
+  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+
+  constexpr std::size_t kSessions = 8;
+  constexpr std::size_t kFrames = 100;
+  std::vector<fuse::serve::SessionId> ids;
+  std::vector<std::vector<PointCloud>> streams;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    ids.push_back(server.open_session());
+    streams.push_back(sequence_frames(s, kFrames));
+  }
+
+  server.start();
+  std::vector<std::thread> producers;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    producers.emplace_back([&, s] {
+      for (std::size_t i = 0; i < kFrames; ++i)
+        EXPECT_TRUE(server.submit_frame(ids[s], streams[s][i]));
+    });
+  }
+  for (auto& t : producers) t.join();
+  server.stop();  // final sweep serves everything still queued
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.frames_in, kSessions * kFrames);
+  EXPECT_EQ(stats.frames_out, kSessions * kFrames);
+  EXPECT_EQ(stats.frames_dropped, 0u);
+
+  // Outputs are deterministic and equal to the single-session path no
+  // matter how producer threads interleaved with the scheduler.
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const auto results = server.poll_results(ids[s]);
+    const auto ref = reference_stream(streams[s], cfg.session);
+    ASSERT_EQ(results.size(), kFrames);
+    for (std::size_t i = 0; i < kFrames; ++i) {
+      ASSERT_EQ(results[i].seq, i);  // FIFO per session
+      expect_pose_eq(results[i].raw, ref[i].raw);
+      expect_pose_eq(results[i].tracked, ref[i].tracked);
+    }
+  }
+}
+
+// ----------------------------------------------------------- drop policy --
+
+TEST(Serve, DropOldestKeepsFreshestFrames) {
+  auto& pl = world();
+  ServeConfig cfg;
+  cfg.session.queue_capacity = 4;
+  cfg.session.drop_policy = DropPolicy::kDropOldest;
+  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  const auto id = server.open_session();
+  const auto frames = sequence_frames(0, 10);
+
+  for (const auto& f : frames) EXPECT_TRUE(server.submit_frame(id, f));
+  server.drain();
+
+  const auto results = server.poll_results(id);
+  ASSERT_EQ(results.size(), 4u);
+  // The four freshest frames survive, in order.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(results[i].seq, 6 + i);
+  EXPECT_EQ(server.stats().frames_dropped, 6u);
+}
+
+TEST(Serve, DropNewestRejectsWhenFull) {
+  auto& pl = world();
+  ServeConfig cfg;
+  cfg.session.queue_capacity = 4;
+  cfg.session.drop_policy = DropPolicy::kDropNewest;
+  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  const auto id = server.open_session();
+  const auto frames = sequence_frames(0, 10);
+
+  std::size_t accepted = 0;
+  for (const auto& f : frames) accepted += server.submit_frame(id, f);
+  EXPECT_EQ(accepted, 4u);
+  server.drain();
+
+  const auto results = server.poll_results(id);
+  ASSERT_EQ(results.size(), 4u);
+  // The four oldest frames survive; note seq numbers only count accepted
+  // frames, so they are contiguous from 0.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(results[i].seq, i);
+}
+
+// ------------------------------------------------------ session recycle --
+
+TEST(Serve, RecycleClearsStreamingState) {
+  auto& pl = world();
+  SessionManager server(&pl.predictor(), &pl.model());
+  const auto id = server.open_session();
+
+  // Subject A streams five frames...
+  for (const auto& f : sequence_frames(1, 5)) server.submit_frame(id, f);
+  server.drain();
+  server.poll_results(id);
+
+  // ...then the session is recycled for subject B.  Without the reset,
+  // subject A's stale frames would pollute B's first fusion window.
+  server.recycle_session(id);
+  const auto frames_b = sequence_frames(2, 3);
+  for (const auto& f : frames_b) server.submit_frame(id, f);
+  server.drain();
+  const auto results = server.poll_results(id);
+  const auto ref = reference_stream(frames_b, SessionConfig{});
+  ASSERT_EQ(results.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(results[i].seq, i);  // the new subject's stream restarts at 0
+    expect_pose_eq(results[i].raw, ref[i].raw);
+    expect_pose_eq(results[i].tracked, ref[i].tracked);
+  }
+}
+
+TEST(Serve, RecycleWhileSchedulerRunsIsSafe) {
+  // recycle_session must be callable from any thread while the scheduler
+  // thread is serving: producer-side state clears immediately, scheduler
+  // -side state resets on the next pass, in-flight results are discarded.
+  auto& pl = world();
+  ServeConfig cfg;
+  cfg.session.queue_capacity = 64;
+  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  const auto id = server.open_session();
+  const auto frames = sequence_frames(0, 200);
+
+  server.start();
+  for (std::size_t i = 0; i < 150; ++i) {
+    server.submit_frame(id, frames[i]);
+    if (i % 50 == 25) server.recycle_session(id);
+  }
+  server.recycle_session(id);
+  // After the final recycle, a fresh three-frame stream must match the
+  // single-session reference exactly, seq starting from 0.
+  const auto frames_b = sequence_frames(2, 3);
+  for (const auto& f : frames_b) server.submit_frame(id, f);
+  server.stop();
+
+  std::vector<PoseResult> tail;
+  for (const auto& r : server.poll_results(id))
+    tail.push_back(r);  // pre-recycle results were discarded or polled away
+  const auto ref = reference_stream(frames_b, cfg.session);
+  ASSERT_GE(tail.size(), 3u);
+  const std::size_t off = tail.size() - 3;
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(tail[off + i].seq, i);
+    expect_pose_eq(tail[off + i].raw, ref[i].raw);
+    expect_pose_eq(tail[off + i].tracked, ref[i].tracked);
+  }
+}
+
+TEST(Serve, PipelineResetStreamMatchesFreshWindow) {
+  auto& pl = world();
+  // Pollute the pipeline's stream buffer with subject A frames.
+  for (const auto& f : sequence_frames(3, 4)) pl.push_frame(f);
+  // reset_stream: the next pushed frame starts a fresh fusion window.
+  pl.reset_stream();
+  const auto frames_b = sequence_frames(4, 1);
+  const auto pose = pl.push_frame(frames_b[0]);
+  expect_pose_eq(pose, pl.predict_window({frames_b[0]}));
+  pl.reset_stream();
+}
+
+// ---------------------------------------------------- online adaptation --
+
+TEST(Serve, OnlineAdaptationLifecycle) {
+  auto& pl = world();
+  ServeConfig cfg;
+  cfg.session.adapt.enabled = true;
+  cfg.session.adapt.min_samples = 8;
+  cfg.session.adapt.round_every = 4;
+  cfg.session.adapt.steps_per_round = 2;
+  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+
+  SessionConfig plain;
+  plain.adapt.enabled = false;
+  const auto adapting = server.open_session();
+  const auto shared = server.open_session(plain);
+
+  const auto& ds = world().dataset();
+  const auto [start, len] = ds.sequences.at(5);
+  ASSERT_GE(len, 10u);
+
+  // Below min_samples: still collecting, still served by the shared model.
+  for (std::size_t i = 0; i < 7; ++i) {
+    const auto& frame = ds.frames[start + i];
+    server.submit_frame(adapting, frame.cloud, &frame.label);
+    server.submit_frame(shared, frame.cloud);
+  }
+  server.drain();
+  auto stats = server.stats();
+  ASSERT_EQ(stats.per_session.size(), 2u);
+  EXPECT_EQ(stats.per_session[0].adapt_state, AdaptState::kCollecting);
+  EXPECT_EQ(stats.per_session[0].adapt_rounds, 0u);
+  EXPECT_EQ(stats.per_session[1].adapt_state, AdaptState::kShared);
+  for (const auto& r : server.poll_results(adapting))
+    EXPECT_FALSE(r.adapted_model);
+
+  // The 8th labeled frame triggers round 1: the session clones the
+  // meta-initialization and fine-tunes it online.
+  const auto& f8 = ds.frames[start + 7];
+  server.submit_frame(adapting, f8.cloud, &f8.label);
+  server.drain();
+  // f8 itself was served before the round ran, still by the shared model.
+  for (const auto& r : server.poll_results(adapting))
+    EXPECT_FALSE(r.adapted_model);
+  stats = server.stats();
+  EXPECT_EQ(stats.per_session[0].adapt_state, AdaptState::kAdapted);
+  EXPECT_EQ(stats.per_session[0].adapt_rounds, 1u);
+  EXPECT_GT(stats.per_session[0].last_adapt_loss, 0.0f);
+
+  // Subsequent frames are served by the per-user clone, whose predictions
+  // now differ from the shared model's; the plain session is untouched.
+  const auto& f9 = ds.frames[start + 8];
+  server.submit_frame(adapting, f9.cloud);
+  server.submit_frame(shared, f9.cloud);
+  server.drain();
+  const auto adapted_results = server.poll_results(adapting);
+  ASSERT_EQ(adapted_results.size(), 1u);
+  EXPECT_TRUE(adapted_results.back().adapted_model);
+  EXPECT_EQ(server.stats().per_session[1].adapt_state, AdaptState::kShared);
+
+  // More labeled frames keep the adaptation going (round cadence).
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto& frame = ds.frames[start + (9 + i) % len];
+    server.submit_frame(adapting, frame.cloud, &frame.label);
+  }
+  server.drain();
+  EXPECT_GE(server.stats().per_session[0].adapt_rounds, 2u);
+}
+
+// -------------------------------------------------------------- telemetry --
+
+TEST(Serve, LatencyHistogramQuantiles) {
+  fuse::serve::LatencyHistogram h;
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  // 100 samples at ~1 ms, 10 at ~100 ms.
+  for (int i = 0; i < 100; ++i) h.record(1e-3);
+  for (int i = 0; i < 10; ++i) h.record(0.1);
+  EXPECT_EQ(h.count(), 110u);
+  EXPECT_NEAR(h.p50(), 1e-3, 0.5e-3);
+  EXPECT_NEAR(h.p99(), 0.1, 0.05);
+  EXPECT_NEAR(h.mean(), (100 * 1e-3 + 10 * 0.1) / 110.0, 1e-6);
+  EXPECT_NEAR(h.max(), 0.1, 1e-9);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Serve, StatsCountersAndLimits) {
+  auto& pl = world();
+  ServeConfig cfg;
+  cfg.max_sessions = 2;
+  cfg.max_batch = 4;
+  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  const auto a = server.open_session();
+  const auto b = server.open_session();
+  EXPECT_THROW(server.open_session(), std::runtime_error);
+  EXPECT_EQ(server.session_count(), 2u);
+
+  for (const auto& f : sequence_frames(6, 6)) {
+    server.submit_frame(a, f);
+    server.submit_frame(b, f);
+  }
+  server.drain();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.frames_in, 12u);
+  EXPECT_EQ(stats.frames_out, 12u);
+  EXPECT_GE(stats.batches, 3u);          // 12 frames / max_batch 4
+  EXPECT_NEAR(stats.mean_batch, 4.0, 2.0);
+  EXPECT_GT(stats.latency_p99_ms, 0.0);
+  EXPECT_GE(stats.latency_p99_ms, stats.latency_p50_ms);
+
+  // Unknown and closed sessions are rejected gracefully.
+  server.close_session(b);
+  EXPECT_FALSE(server.submit_frame(b, sequence_frames(6, 1)[0]));
+  EXPECT_TRUE(server.poll_results(b).empty());
+  EXPECT_EQ(server.session_count(), 1u);
+}
+
+}  // namespace

@@ -154,6 +154,39 @@ TEST(PoseTracker, JointSpeedTracksMotion) {
   EXPECT_LT(max_wrist_speed, 8.0f);
 }
 
+TEST(PoseTracker, ResetMatchesFreshTrackerExactly) {
+  // After reset() a tracker must be indistinguishable from a brand-new one:
+  // Kalman filters, bone-length EMAs and the frame counter all re-init.
+  // The serving runtime relies on this when recycling a session for a new
+  // subject (serve::SessionManager::recycle_session).
+  const auto subject = fuse::human::make_subject(3);
+  fuse::human::MovementGenerator gen(subject, fuse::human::Movement::kSquat,
+                                     fuse::util::Rng(21));
+  PoseTracker recycled;
+  // Pollute with one subject's movement...
+  for (double t = 0.0; t < 2.0; t += 0.1) recycled.update(gen.pose_at(t));
+  EXPECT_GT(recycled.frames_seen(), 0u);
+  recycled.reset();
+  EXPECT_EQ(recycled.frames_seen(), 0u);
+
+  // ...then both trackers must produce identical outputs on a new stream.
+  PoseTracker fresh;
+  fuse::human::MovementGenerator gen2(
+      subject, fuse::human::Movement::kLeftUpperLimbExtension,
+      fuse::util::Rng(22));
+  for (double t = 0.0; t < 2.0; t += 0.1) {
+    const Pose in = gen2.pose_at(t);
+    const Pose a = recycled.update(in);
+    const Pose b = fresh.update(in);
+    for (std::size_t j = 0; j < fuse::human::kNumJoints; ++j) {
+      EXPECT_FLOAT_EQ(a.joints[j].x, b.joints[j].x);
+      EXPECT_FLOAT_EQ(a.joints[j].y, b.joints[j].y);
+      EXPECT_FLOAT_EQ(a.joints[j].z, b.joints[j].z);
+    }
+  }
+  EXPECT_EQ(recycled.frames_seen(), fresh.frames_seen());
+}
+
 TEST(PoseTracker, ResetClearsState) {
   PoseTracker tracker;
   const auto subject = fuse::human::make_subject(0);

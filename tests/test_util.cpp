@@ -171,6 +171,60 @@ TEST(ThreadPool, SubmitAndWaitIdle) {
   EXPECT_EQ(count.load(), 20);
 }
 
+TEST(ThreadPool, MinChunkLargerThanRangeRunsSerially) {
+  // min_chunk > range: the whole range must arrive as ONE chunk.
+  std::atomic<int> calls{0};
+  std::size_t lo_seen = 99, hi_seen = 0;
+  fuse::util::parallel_for(2, 7, [&](std::size_t lo, std::size_t hi) {
+    calls.fetch_add(1);
+    lo_seen = lo;
+    hi_seen = hi;
+  }, /*min_chunk=*/100);
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(lo_seen, 2u);
+  EXPECT_EQ(hi_seen, 7u);
+}
+
+TEST(ThreadPool, NestedSubmitFromWorkerDoesNotDeadlock) {
+  // A task submitted from inside a pool worker must still run and
+  // wait_idle must observe it (the serving scheduler relies on this).
+  fuse::util::ThreadPool pool(2);
+  std::atomic<int> outer{0}, inner{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&] {
+      outer.fetch_add(1);
+      pool.submit([&] { inner.fetch_add(1); });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(outer.load(), 8);
+  EXPECT_EQ(inner.load(), 8);
+}
+
+TEST(ThreadPool, ParallelForInsideSubmittedTaskSerializes) {
+  // The global parallel_for falls back to serial execution when invoked
+  // from inside a pool worker — cover it through submit().
+  std::atomic<int> total{0};
+  fuse::util::global_pool().submit([&] {
+    fuse::util::parallel_for(0, 100, [&](std::size_t lo, std::size_t hi) {
+      total.fetch_add(static_cast<int>(hi - lo));
+    });
+  });
+  fuse::util::global_pool().wait_idle();
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPool, EmptyRangeWithMinChunkIsNoop) {
+  bool called = false;
+  fuse::util::parallel_for(3, 3, [&](std::size_t, std::size_t) {
+    called = true;
+  }, /*min_chunk=*/10);
+  fuse::util::global_pool().parallel_for(5, 5, [&](std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
 // ----------------------------------------------------------------- table --
 
 TEST(Table, RendersHeaderAndRows) {
