@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_meta.dir/bench/ablation_meta.cpp.o"
+  "CMakeFiles/ablation_meta.dir/bench/ablation_meta.cpp.o.d"
+  "ablation_meta"
+  "ablation_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sparsity.dir/bench/ablation_sparsity.cpp.o"
+  "CMakeFiles/ablation_sparsity.dir/bench/ablation_sparsity.cpp.o.d"
+  "ablation_sparsity"
+  "ablation_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_new_user.dir/examples/adapt_new_user.cpp.o"
+  "CMakeFiles/adapt_new_user.dir/examples/adapt_new_user.cpp.o.d"
+  "adapt_new_user"
+  "adapt_new_user.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_new_user.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

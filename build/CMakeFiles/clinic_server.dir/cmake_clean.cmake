@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clinic_server.dir/examples/clinic_server.cpp.o"
+  "CMakeFiles/clinic_server.dir/examples/clinic_server.cpp.o.d"
+  "clinic_server"
+  "clinic_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clinic_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

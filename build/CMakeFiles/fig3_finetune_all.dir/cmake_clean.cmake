@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_finetune_all.dir/bench/fig3_finetune_all.cpp.o"
+  "CMakeFiles/fig3_finetune_all.dir/bench/fig3_finetune_all.cpp.o.d"
+  "fig3_finetune_all"
+  "fig3_finetune_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_finetune_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

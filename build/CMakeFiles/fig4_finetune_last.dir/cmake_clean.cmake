@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_finetune_last.dir/bench/fig4_finetune_last.cpp.o"
+  "CMakeFiles/fig4_finetune_last.dir/bench/fig4_finetune_last.cpp.o.d"
+  "fig4_finetune_last"
+  "fig4_finetune_last.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_finetune_last.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

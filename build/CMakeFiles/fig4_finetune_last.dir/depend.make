@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_finetune_last.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/finetune.cpp" "CMakeFiles/fuse.dir/src/core/finetune.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/core/finetune.cpp.o.d"
+  "/root/repo/src/core/meta.cpp" "CMakeFiles/fuse.dir/src/core/meta.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/core/meta.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "CMakeFiles/fuse.dir/src/core/metrics.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/core/metrics.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "CMakeFiles/fuse.dir/src/core/pipeline.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "CMakeFiles/fuse.dir/src/core/predictor.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/core/predictor.cpp.o.d"
+  "/root/repo/src/core/tracking.cpp" "CMakeFiles/fuse.dir/src/core/tracking.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/core/tracking.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "CMakeFiles/fuse.dir/src/core/trainer.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/core/trainer.cpp.o.d"
+  "/root/repo/src/data/builder.cpp" "CMakeFiles/fuse.dir/src/data/builder.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/data/builder.cpp.o.d"
+  "/root/repo/src/data/featurize.cpp" "CMakeFiles/fuse.dir/src/data/featurize.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/data/featurize.cpp.o.d"
+  "/root/repo/src/data/fusion.cpp" "CMakeFiles/fuse.dir/src/data/fusion.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/data/fusion.cpp.o.d"
+  "/root/repo/src/data/split.cpp" "CMakeFiles/fuse.dir/src/data/split.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/data/split.cpp.o.d"
+  "/root/repo/src/dsp/cfar.cpp" "CMakeFiles/fuse.dir/src/dsp/cfar.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/dsp/cfar.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "CMakeFiles/fuse.dir/src/dsp/fft.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/dsp/fft.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "CMakeFiles/fuse.dir/src/dsp/window.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/dsp/window.cpp.o.d"
+  "/root/repo/src/human/anthropometrics.cpp" "CMakeFiles/fuse.dir/src/human/anthropometrics.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/human/anthropometrics.cpp.o.d"
+  "/root/repo/src/human/kinematics.cpp" "CMakeFiles/fuse.dir/src/human/kinematics.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/human/kinematics.cpp.o.d"
+  "/root/repo/src/human/movements.cpp" "CMakeFiles/fuse.dir/src/human/movements.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/human/movements.cpp.o.d"
+  "/root/repo/src/human/skeleton.cpp" "CMakeFiles/fuse.dir/src/human/skeleton.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/human/skeleton.cpp.o.d"
+  "/root/repo/src/human/surface.cpp" "CMakeFiles/fuse.dir/src/human/surface.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/human/surface.cpp.o.d"
+  "/root/repo/src/nn/gradcheck.cpp" "CMakeFiles/fuse.dir/src/nn/gradcheck.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/nn/gradcheck.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "CMakeFiles/fuse.dir/src/nn/layers.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/nn/layers.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "CMakeFiles/fuse.dir/src/nn/loss.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "CMakeFiles/fuse.dir/src/nn/model.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/nn/model.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "CMakeFiles/fuse.dir/src/nn/optim.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/nn/optim.cpp.o.d"
+  "/root/repo/src/radar/config.cpp" "CMakeFiles/fuse.dir/src/radar/config.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/radar/config.cpp.o.d"
+  "/root/repo/src/radar/fast_model.cpp" "CMakeFiles/fuse.dir/src/radar/fast_model.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/radar/fast_model.cpp.o.d"
+  "/root/repo/src/radar/processing.cpp" "CMakeFiles/fuse.dir/src/radar/processing.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/radar/processing.cpp.o.d"
+  "/root/repo/src/radar/simulator.cpp" "CMakeFiles/fuse.dir/src/radar/simulator.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/radar/simulator.cpp.o.d"
+  "/root/repo/src/serve/scheduler.cpp" "CMakeFiles/fuse.dir/src/serve/scheduler.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/serve/scheduler.cpp.o.d"
+  "/root/repo/src/serve/session.cpp" "CMakeFiles/fuse.dir/src/serve/session.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/serve/session.cpp.o.d"
+  "/root/repo/src/serve/session_manager.cpp" "CMakeFiles/fuse.dir/src/serve/session_manager.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/serve/session_manager.cpp.o.d"
+  "/root/repo/src/serve/stats.cpp" "CMakeFiles/fuse.dir/src/serve/stats.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/serve/stats.cpp.o.d"
+  "/root/repo/src/tensor/init.cpp" "CMakeFiles/fuse.dir/src/tensor/init.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/tensor/init.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "CMakeFiles/fuse.dir/src/tensor/ops.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "CMakeFiles/fuse.dir/src/tensor/tensor.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/tensor/tensor.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "CMakeFiles/fuse.dir/src/util/cli.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/util/cli.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "CMakeFiles/fuse.dir/src/util/log.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/fuse.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/fuse.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "CMakeFiles/fuse.dir/src/util/thread_pool.cpp.o" "gcc" "CMakeFiles/fuse.dir/src/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuse_bench_common.dir/bench/experiment_common.cpp.o"
+  "CMakeFiles/fuse_bench_common.dir/bench/experiment_common.cpp.o.d"
+  "libfuse_bench_common.a"
+  "libfuse_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuse_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radar_pipeline_demo.dir/examples/radar_pipeline_demo.cpp.o"
+  "CMakeFiles/radar_pipeline_demo.dir/examples/radar_pipeline_demo.cpp.o.d"
+  "radar_pipeline_demo"
+  "radar_pipeline_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radar_pipeline_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

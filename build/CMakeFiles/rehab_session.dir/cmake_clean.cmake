@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rehab_session.dir/examples/rehab_session.cpp.o"
+  "CMakeFiles/rehab_session.dir/examples/rehab_session.cpp.o.d"
+  "rehab_session"
+  "rehab_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rehab_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_micro.dir/bench/runtime_micro.cpp.o"
+  "CMakeFiles/runtime_micro.dir/bench/runtime_micro.cpp.o.d"
+  "runtime_micro"
+  "runtime_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for runtime_micro.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_fusion.dir/bench/table1_fusion.cpp.o"
+  "CMakeFiles/table1_fusion.dir/bench/table1_fusion.cpp.o.d"
+  "table1_fusion"
+  "table1_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

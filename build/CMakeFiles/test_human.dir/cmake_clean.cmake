@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_human.dir/tests/test_human.cpp.o"
+  "CMakeFiles/test_human.dir/tests/test_human.cpp.o.d"
+  "test_human"
+  "test_human.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_human.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

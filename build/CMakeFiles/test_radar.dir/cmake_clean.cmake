@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_radar.dir/tests/test_radar.cpp.o"
+  "CMakeFiles/test_radar.dir/tests/test_radar.cpp.o.d"
+  "test_radar"
+  "test_radar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_radar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tracking.dir/tests/test_tracking.cpp.o"
+  "CMakeFiles/test_tracking.dir/tests/test_tracking.cpp.o.d"
+  "test_tracking"
+  "test_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_core "/root/repo/build/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;47;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_data "/root/repo/build/test_data")
+set_tests_properties(test_data PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;47;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_dsp "/root/repo/build/test_dsp")
+set_tests_properties(test_dsp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;47;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_human "/root/repo/build/test_human")
+set_tests_properties(test_human PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;47;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;47;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_nn "/root/repo/build/test_nn")
+set_tests_properties(test_nn PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;47;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_properties "/root/repo/build/test_properties")
+set_tests_properties(test_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;47;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_radar "/root/repo/build/test_radar")
+set_tests_properties(test_radar PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;47;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_radar_calibration "/root/repo/build/test_radar_calibration")
+set_tests_properties(test_radar_calibration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;47;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_serve "/root/repo/build/test_serve")
+set_tests_properties(test_serve PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;47;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_tensor "/root/repo/build/test_tensor")
+set_tests_properties(test_tensor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;47;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_tracking "/root/repo/build/test_tracking")
+set_tests_properties(test_tracking PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;47;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_util "/root/repo/build/test_util")
+set_tests_properties(test_util PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;47;add_test;/root/repo/CMakeLists.txt;0;")
