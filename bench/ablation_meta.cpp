@@ -24,7 +24,7 @@
 #include "data/featurize.h"
 #include "data/fusion.h"
 #include "data/split.h"
-#include "nn/model.h"
+#include "nn/registry.h"
 #include "util/cli.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
@@ -67,13 +67,15 @@ int main(int argc, char** argv) {
 
   for (const Case& c : cases) {
     fuse::util::Stopwatch sw;
-    fuse::util::Rng rng(cli.seed() + 17);
-    fuse::nn::MarsCnn model(fuse::data::kChannelsPerFrame, rng);
+    fuse::nn::ModelConfig model_cfg;
+    model_cfg.in_channels = fuse::data::kChannelsPerFrame;
+    model_cfg.seed = cli.seed() + 17;
+    const auto model = fuse::nn::build_model("mars_cnn", model_cfg);
 
     fuse::core::TrainConfig wcfg;
     wcfg.epochs = warmup_epochs;
     wcfg.seed = cli.seed() + 18;
-    fuse::core::Trainer warmup(&model, wcfg);
+    fuse::core::Trainer warmup(model.get(), wcfg);
     warmup.fit(fused, feat, split.train);
 
     fuse::core::MetaConfig mcfg;
@@ -84,17 +86,17 @@ int main(int argc, char** argv) {
     mcfg.alpha = c.alpha;
     mcfg.inner_steps = c.inner_steps;
     mcfg.seed = cli.seed() + 19;
-    fuse::core::MetaTrainer meta(&model, mcfg);
+    fuse::core::MetaTrainer meta(model.get(), mcfg);
     const auto hist = meta.run(fused, feat, split.train);
 
     const auto theta_mae =
-        fuse::core::evaluate(model, fused, feat, split.train, 512);
+        fuse::core::evaluate(*model, fused, feat, split.train, 512);
 
     fuse::core::FineTuneConfig fcfg;
     fcfg.epochs = 3;
     fcfg.seed = cli.seed() + 20;
-    fuse::nn::MarsCnn copy = model;
-    const auto curve = fuse::core::fine_tune(copy, fused, feat, ft, ev,
+    const auto copy = model->clone();
+    const auto curve = fuse::core::fine_tune(*copy, fused, feat, ft, ev,
                                              split.train, fcfg);
 
     table.add_row({fuse::util::Table::num(c.alpha, 3),

@@ -18,7 +18,7 @@
 #include "data/featurize.h"
 #include "data/fusion.h"
 #include "data/split.h"
-#include "nn/model.h"
+#include "nn/registry.h"
 #include "util/cli.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
@@ -68,14 +68,17 @@ int main(int argc, char** argv) {
       const fuse::data::FusedDataset fused(dataset, m);
       fuse::data::Featurizer feat;
       feat.fit(dataset, split.train);
-      fuse::util::Rng rng(cli.seed() + m);
-      fuse::nn::MarsCnn model(fuse::data::kChannelsPerFrame, rng);
+      fuse::nn::ModelConfig model_cfg;
+      model_cfg.in_channels = fuse::data::kChannelsPerFrame;
+      model_cfg.seed = cli.seed() + m;
+      const auto model = fuse::nn::build_model("mars_cnn", model_cfg);
       fuse::core::TrainConfig tcfg;
       tcfg.epochs = epochs;
       tcfg.seed = cli.seed() + 10 * m;
-      fuse::core::Trainer trainer(&model, tcfg);
+      fuse::core::Trainer trainer(model.get(), tcfg);
       trainer.fit(fused, feat, split.train);
-      mae[m] = fuse::core::evaluate(model, fused, feat, split.test).average();
+      mae[m] =
+          fuse::core::evaluate(*model, fused, feat, split.test).average();
       std::printf("  %s M=%zu: %.1f cm [%.1f s]\n", d.name, m, mae[m],
                   sw.seconds());
     }

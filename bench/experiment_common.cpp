@@ -29,16 +29,17 @@ AdaptationConfig AdaptationConfig::from_cli(const fuse::util::Cli& cli) {
     cfg.meta_warmup_epochs = fuse::util::scaled(cfg.meta_warmup_epochs, s, 2);
     cfg.meta_iterations = fuse::util::scaled(cfg.meta_iterations, s, 10);
   }
+  cfg.model_name = cli.get("model", cfg.model_name);
   cfg.seed = cli.seed();
   return cfg;
 }
 
 std::string AdaptationConfig::cache_tag() const {
-  char buf[128];
-  std::snprintf(buf, sizeof(buf), "f%zu_m%zu_e%zu_w%zu_i%zu_t%zu_s%llu",
-                frames_per_sequence, fusion_m, baseline_epochs,
-                meta_warmup_epochs, meta_iterations, meta_tasks,
-                static_cast<unsigned long long>(seed));
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s_f%zu_m%zu_e%zu_w%zu_i%zu_t%zu_s%llu",
+                model_name.c_str(), frames_per_sequence, fusion_m,
+                baseline_epochs, meta_warmup_epochs, meta_iterations,
+                meta_tasks, static_cast<unsigned long long>(seed));
   return buf;
 }
 
@@ -73,12 +74,15 @@ AdaptationLab::AdaptationLab(const AdaptationConfig& cfg, std::string out_dir)
               finetune_set_.size(), eval_new_.size(), sw.seconds());
 }
 
-fuse::nn::MarsCnn AdaptationLab::make_model(std::uint64_t seed) {
-  fuse::util::Rng rng(seed);
-  return fuse::nn::MarsCnn(fuse::data::kChannelsPerFrame, rng);
+std::unique_ptr<fuse::nn::Module> AdaptationLab::make_model(
+    std::uint64_t seed) {
+  fuse::nn::ModelConfig mcfg;
+  mcfg.in_channels = fuse::data::kChannelsPerFrame;
+  mcfg.seed = seed;
+  return fuse::nn::build_model(cfg_.model_name, mcfg);
 }
 
-bool AdaptationLab::try_load(fuse::nn::MarsCnn& model,
+bool AdaptationLab::try_load(fuse::nn::Module& model,
                              const std::string& name) const {
   const std::string path =
       out_dir_ + "/" + name + "_" + cfg_.cache_tag() + ".bin";
@@ -94,7 +98,7 @@ bool AdaptationLab::try_load(fuse::nn::MarsCnn& model,
   return true;
 }
 
-void AdaptationLab::store(fuse::nn::MarsCnn& model,
+void AdaptationLab::store(const fuse::nn::Module& model,
                           const std::string& name) const {
   const std::string path =
       out_dir_ + "/" + name + "_" + cfg_.cache_tag() + ".bin";
@@ -106,9 +110,9 @@ void AdaptationLab::store(fuse::nn::MarsCnn& model,
   }
 }
 
-fuse::nn::MarsCnn& AdaptationLab::baseline() {
+fuse::nn::Module& AdaptationLab::baseline() {
   if (baseline_) return *baseline_;
-  baseline_ = std::make_unique<fuse::nn::MarsCnn>(make_model(cfg_.seed + 1));
+  baseline_ = make_model(cfg_.seed + 1);
   if (try_load(*baseline_, "baseline")) return *baseline_;
 
   fuse::util::Stopwatch sw;
@@ -124,9 +128,9 @@ fuse::nn::MarsCnn& AdaptationLab::baseline() {
   return *baseline_;
 }
 
-fuse::nn::MarsCnn& AdaptationLab::fuse_model() {
+fuse::nn::Module& AdaptationLab::fuse_model() {
   if (fuse_) return *fuse_;
-  fuse_ = std::make_unique<fuse::nn::MarsCnn>(make_model(cfg_.seed + 3));
+  fuse_ = make_model(cfg_.seed + 3);
   if (try_load(*fuse_, "fuse_meta")) return *fuse_;
 
   fuse::util::Stopwatch sw;
@@ -170,16 +174,16 @@ AdaptationLab::run_finetune(bool last_layer_only) {
   fuse::core::FineTuneConfig fuse_cfg = base_cfg;
   fuse_cfg.use_sgd = cfg_.fuse_sgd_finetune;
 
-  // Fine-tune copies; the cached pre-trained models stay pristine.
-  fuse::nn::MarsCnn baseline_copy = baseline();
-  fuse::nn::MarsCnn fuse_copy = fuse_model();
+  // Fine-tune clones; the cached pre-trained models stay pristine.
+  const auto baseline_copy = baseline().clone();
+  const auto fuse_copy = fuse_model().clone();
 
   fuse::util::Stopwatch sw;
   auto base_curve =
-      fuse::core::fine_tune(baseline_copy, *fused_, feat_, finetune_set_,
+      fuse::core::fine_tune(*baseline_copy, *fused_, feat_, finetune_set_,
                             eval_new_, eval_original_, base_cfg);
   auto fuse_curve =
-      fuse::core::fine_tune(fuse_copy, *fused_, feat_, finetune_set_,
+      fuse::core::fine_tune(*fuse_copy, *fused_, feat_, finetune_set_,
                             eval_new_, eval_original_, fuse_cfg);
   std::printf("[lab] fine-tuning (%s) done [%.1f s]\n",
               last_layer_only ? "last layer" : "all layers", sw.seconds());

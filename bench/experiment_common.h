@@ -21,7 +21,8 @@
 #include "data/featurize.h"
 #include "data/fusion.h"
 #include "data/split.h"
-#include "nn/model.h"
+#include "nn/module.h"
+#include "nn/registry.h"
 #include "util/cli.h"
 
 namespace fuse::bench {
@@ -44,6 +45,9 @@ struct AdaptationConfig {
   std::size_t finetune_frames = 200;      ///< paper: 200
   std::size_t finetune_epochs = 50;       ///< paper: 50
   std::size_t original_eval_cap = 1000;   ///< subsample of D_train for speed
+  /// Architecture built through nn::build_model (--model=...); the whole
+  /// lab is architecture-agnostic.
+  std::string model_name = "mars_cnn";
   std::uint64_t seed = 0x22050097ULL;
   /// Update rule for FUSE's online fine-tuning: true replays the MAML
   /// inner SGD at alpha (MAML-PyTorch's "finetunning"), false uses the same
@@ -62,9 +66,9 @@ class AdaptationLab {
 
   /// Trains (or loads from cache) the supervised baseline on the leave-out
   /// training pool.
-  fuse::nn::MarsCnn& baseline();
+  fuse::nn::Module& baseline();
   /// Meta-trains (or loads) the FUSE model on the same pool.
-  fuse::nn::MarsCnn& fuse_model();
+  fuse::nn::Module& fuse_model();
 
   /// Runs one fine-tuning regime for both models; returns {baseline, fuse}.
   std::pair<fuse::core::FineTuneCurve, fuse::core::FineTuneCurve>
@@ -83,9 +87,9 @@ class AdaptationLab {
                         const fuse::core::FineTuneCurve& fuse_curve) const;
 
  private:
-  fuse::nn::MarsCnn make_model(std::uint64_t seed);
-  bool try_load(fuse::nn::MarsCnn& model, const std::string& name) const;
-  void store(fuse::nn::MarsCnn& model, const std::string& name) const;
+  std::unique_ptr<fuse::nn::Module> make_model(std::uint64_t seed);
+  bool try_load(fuse::nn::Module& model, const std::string& name) const;
+  void store(const fuse::nn::Module& model, const std::string& name) const;
 
   AdaptationConfig cfg_;
   std::string out_dir_;
@@ -94,7 +98,7 @@ class AdaptationLab {
   fuse::data::Featurizer feat_;
   fuse::data::LeaveOutSplit split_;
   fuse::data::IndexSet finetune_set_, eval_new_, eval_original_;
-  std::unique_ptr<fuse::nn::MarsCnn> baseline_, fuse_;
+  std::unique_ptr<fuse::nn::Module> baseline_, fuse_;
 };
 
 /// Formats a MAE curve entry (cm) for console tables.

@@ -18,9 +18,10 @@
 #include "dsp/fft.h"
 #include "human/movements.h"
 #include "human/surface.h"
+#include "nn/layers.h"
 #include "nn/loss.h"
-#include "nn/model.h"
 #include "nn/optim.h"
+#include "nn/registry.h"
 #include "radar/fast_model.h"
 #include "radar/processing.h"
 #include "radar/simulator.h"
@@ -164,37 +165,62 @@ BENCHMARK(BM_FeaturizeFusedSample)->Unit(benchmark::kMicrosecond);
 
 // ------------------------------------------------------------------- NN --
 
-void BM_CnnInference(benchmark::State& state) {
+// Conv forward, naive reference loops vs the im2col+GEMM backend.  This is
+// the serving hot path; the GEMM backend's batch-wide weight reuse and
+// register tiling must show up from batch 8 on (see ISSUE 2 acceptance:
+// >= 1.5x at batch >= 8).  Conv shape = the model's second (wider) layer.
+void BM_ConvForward(benchmark::State& state,
+                    fuse::nn::Backend backend) {
   const std::size_t batch = static_cast<std::size_t>(state.range(0));
-  fuse::util::Rng rng(10);
-  fuse::nn::MarsCnn model(5, rng);
-  fuse::tensor::Tensor x({batch, 5, 8, 8});
+  fuse::util::Rng rng(9);
+  fuse::nn::Conv2d conv(16, 32, 3, 1, rng);
+  fuse::tensor::Tensor x({batch, 16, 8, 8});
   for (std::size_t i = 0; i < x.numel(); ++i) x[i] = rng.uniformf(-1, 1);
   for (auto _ : state) {
-    auto y = model.predict(x);
+    auto y = conv.infer(x, backend);
     benchmark::DoNotOptimize(y.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(batch));
 }
-BENCHMARK(BM_CnnInference)->Arg(1)->Arg(32)->Arg(128)
-    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_ConvForward, naive, fuse::nn::Backend::kNaive)
+    ->Arg(1)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_ConvForward, gemm, fuse::nn::Backend::kGemm)
+    ->Arg(1)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+void BM_CnnInference(benchmark::State& state, fuse::nn::Backend backend) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  fuse::util::Rng rng(10);
+  const auto model = fuse::nn::build_model("mars_cnn", {.seed = 10});
+  fuse::tensor::Tensor x({batch, 5, 8, 8});
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = rng.uniformf(-1, 1);
+  for (auto _ : state) {
+    auto y = model->infer(x, backend);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK_CAPTURE(BM_CnnInference, naive, fuse::nn::Backend::kNaive)
+    ->Arg(1)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_CnnInference, gemm, fuse::nn::Backend::kGemm)
+    ->Arg(1)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
 
 void BM_CnnTrainStep(benchmark::State& state) {
   fuse::util::Rng rng(11);
-  fuse::nn::MarsCnn model(5, rng);
+  const auto model = fuse::nn::build_model("mars_cnn", {.seed = 11});
   fuse::nn::Adam adam(1e-3f);
   fuse::tensor::Tensor x({128, 5, 8, 8});
   fuse::tensor::Tensor t({128, 57});
   for (std::size_t i = 0; i < x.numel(); ++i) x[i] = rng.uniformf(-1, 1);
   for (std::size_t i = 0; i < t.numel(); ++i) t[i] = rng.uniformf(-1, 1);
   for (auto _ : state) {
-    auto y = model.forward(x);
+    auto y = model->forward(x);
     fuse::nn::Tensor dy;
     (void)fuse::nn::l1_loss(y, t, &dy);
-    model.zero_grad();
-    model.backward(dy);
-    adam.step(model.params(), model.grads());
+    model->zero_grad();
+    model->backward(dy);
+    adam.step(model->params(), model->grads());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           128);

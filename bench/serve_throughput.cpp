@@ -6,7 +6,7 @@
 // the FusePipeline::push_frame deployment story, N times over).  The
 // server preloads the same streams into per-session queues and drains them
 // through the inference scheduler, which batches featurized frames across
-// sessions into single MarsCnn::infer calls.
+// sessions into single Module::infer calls (GEMM backend by default).
 //
 // The batched path wins because the CNN is memory-bound at batch size 1:
 // the fc1 weight matrix (1 M parameters) is re-read from memory for every

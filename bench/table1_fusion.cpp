@@ -20,7 +20,7 @@
 #include "data/featurize.h"
 #include "data/fusion.h"
 #include "data/split.h"
-#include "nn/model.h"
+#include "nn/registry.h"
 #include "util/cli.h"
 #include "util/csv.h"
 #include "util/stopwatch.h"
@@ -72,17 +72,19 @@ int main(int argc, char** argv) {
     // The model is identical across fusion settings (the paper's "fair
     // comparison"): fusion only changes the point pool fed to the 8x8x5
     // featurizer.
-    fuse::util::Rng rng(cli.seed() + row.m);
-    fuse::nn::MarsCnn model(fuse::data::kChannelsPerFrame, rng);
+    fuse::nn::ModelConfig model_cfg;
+    model_cfg.in_channels = fuse::data::kChannelsPerFrame;
+    model_cfg.seed = cli.seed() + row.m;
+    const auto model = fuse::nn::build_model("mars_cnn", model_cfg);
 
     fuse::core::TrainConfig tcfg;
     tcfg.epochs = epochs;
     tcfg.batch_size = 128;  // the paper's batch size
     tcfg.seed = cli.seed() + 100 + row.m;
-    fuse::core::Trainer trainer(&model, tcfg);
+    fuse::core::Trainer trainer(model.get(), tcfg);
     trainer.fit(fused, feat, split.train);
 
-    row.mae = fuse::core::evaluate(model, fused, feat, split.test);
+    row.mae = fuse::core::evaluate(*model, fused, feat, split.test);
     std::printf("  %-14s MAE %.1f cm  [%.1f s]\n", row.name,
                 row.mae.average(), sw.seconds());
   }

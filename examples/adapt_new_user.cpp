@@ -18,7 +18,7 @@
 #include "data/featurize.h"
 #include "data/fusion.h"
 #include "data/split.h"
-#include "nn/model.h"
+#include "nn/registry.h"
 #include "util/cli.h"
 #include "util/stopwatch.h"
 
@@ -46,31 +46,36 @@ int main(int argc, char** argv) {
   const std::size_t warmup = fuse::util::scaled(8, scale, 2);
   const std::size_t meta_iters = fuse::util::scaled(80, scale, 10);
 
-  // Baseline: conventional supervised training.
+  // Baseline: conventional supervised training.  Both models come out of
+  // the nn::build_model registry — swap --model to study other
+  // architectures through the identical flow.
+  fuse::nn::ModelConfig model_cfg;
+  model_cfg.in_channels = fuse::data::kChannelsPerFrame;
+  const std::string arch = cli.get("model", "mars_cnn");
   fuse::util::Stopwatch sw;
-  fuse::util::Rng rng(1);
-  fuse::nn::MarsCnn baseline(fuse::data::kChannelsPerFrame, rng);
+  model_cfg.seed = 1;
+  const auto baseline = fuse::nn::build_model(arch, model_cfg);
   fuse::core::TrainConfig tcfg;
   tcfg.epochs = warmup + fuse::util::scaled(8, scale, 2);
-  fuse::core::Trainer trainer(&baseline, tcfg);
+  fuse::core::Trainer trainer(baseline.get(), tcfg);
   trainer.fit(fused, feat, split.train);
   std::printf("baseline trained (%zu epochs) [%.1f s]\n", tcfg.epochs,
               sw.seconds());
 
   // FUSE: short supervised warm-up, then meta-training (Algorithm 1).
   sw.reset();
-  fuse::util::Rng rng2(2);
-  fuse::nn::MarsCnn fuse_model(fuse::data::kChannelsPerFrame, rng2);
+  model_cfg.seed = 2;
+  const auto fuse_model = fuse::nn::build_model(arch, model_cfg);
   fuse::core::TrainConfig wcfg;
   wcfg.epochs = warmup;
-  fuse::core::Trainer warm(&fuse_model, wcfg);
+  fuse::core::Trainer warm(fuse_model.get(), wcfg);
   warm.fit(fused, feat, split.train);
   fuse::core::MetaConfig mcfg;
   mcfg.iterations = meta_iters;
   mcfg.tasks_per_iteration = 4;
   mcfg.support_size = 128;
   mcfg.query_size = 128;
-  fuse::core::MetaTrainer meta(&fuse_model, mcfg);
+  fuse::core::MetaTrainer meta(fuse_model.get(), mcfg);
   meta.run(fused, feat, split.train);
   std::printf("FUSE meta-trained (%zu warm-up epochs + %zu meta-iterations) "
               "[%.1f s]\n\n",
@@ -86,9 +91,9 @@ int main(int argc, char** argv) {
   fuse::core::FineTuneConfig fcfg;
   fcfg.epochs = 10;
   const auto base_curve = fuse::core::fine_tune(
-      baseline, fused, feat, calib, eval, split.train, fcfg);
+      *baseline, fused, feat, calib, eval, split.train, fcfg);
   const auto fuse_curve = fuse::core::fine_tune(
-      fuse_model, fused, feat, calib, eval, split.train, fcfg);
+      *fuse_model, fused, feat, calib, eval, split.train, fcfg);
 
   std::printf("MAE on the new user's movement (cm):\n");
   std::printf("  epoch   baseline   FUSE\n");

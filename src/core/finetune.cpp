@@ -10,7 +10,7 @@ namespace fuse::core {
 
 using fuse::data::IndexSet;
 
-float sgd_step(fuse::nn::MarsCnn& model, const fuse::tensor::Tensor& x,
+float sgd_step(fuse::nn::Module& model, const fuse::tensor::Tensor& x,
                const fuse::tensor::Tensor& y, float lr, float grad_clip) {
   const auto pred = model.forward(x);
   fuse::nn::Tensor dpred;
@@ -23,7 +23,7 @@ float sgd_step(fuse::nn::MarsCnn& model, const fuse::tensor::Tensor& x,
   return loss;
 }
 
-FineTuneCurve fine_tune(fuse::nn::MarsCnn& model,
+FineTuneCurve fine_tune(fuse::nn::Module& model,
                         const fuse::data::FusedDataset& fused,
                         const fuse::data::Featurizer& feat,
                         const IndexSet& finetune_indices,

@@ -9,7 +9,7 @@
 #include "core/metrics.h"
 #include "data/featurize.h"
 #include "data/fusion.h"
-#include "nn/model.h"
+#include "nn/module.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
@@ -21,7 +21,7 @@ namespace fuse::core {
 /// data; the serving runtime's per-session online adaptation
 /// (serve::Scheduler) is built on it.  fine_tune() below keeps its own
 /// step loop because it also supports Adam and last-layer-only updates.
-float sgd_step(fuse::nn::MarsCnn& model, const fuse::tensor::Tensor& x,
+float sgd_step(fuse::nn::Module& model, const fuse::tensor::Tensor& x,
                const fuse::tensor::Tensor& y, float lr,
                float grad_clip = 10.0f);
 
@@ -48,7 +48,7 @@ struct FineTuneConfig {
 /// `eval_new` is the held-out evaluation set (rest of D_test), and
 /// `eval_original` a (possibly subsampled) slice of the original training
 /// data used to measure forgetting.
-FineTuneCurve fine_tune(fuse::nn::MarsCnn& model,
+FineTuneCurve fine_tune(fuse::nn::Module& model,
                         const fuse::data::FusedDataset& fused,
                         const fuse::data::Featurizer& feat,
                         const fuse::data::IndexSet& finetune_indices,

@@ -11,7 +11,7 @@ namespace fuse::core {
 using fuse::data::IndexSet;
 using fuse::nn::Tensor;
 
-float MetaTrainer::task_adapt_and_query(fuse::nn::MarsCnn& clone,
+float MetaTrainer::task_adapt_and_query(fuse::nn::Module& clone,
                                         const fuse::data::FusedDataset& fused,
                                         const fuse::data::Featurizer& feat,
                                         const IndexSet& support,
@@ -87,10 +87,10 @@ MetaHistory MetaTrainer::run(const fuse::data::FusedDataset& fused,
         query = uniform_sampler.sample_task(cfg_.query_size);
       }
 
-      fuse::nn::MarsCnn clone = *model_;
+      const auto clone = model_->clone();
       qloss_acc +=
-          task_adapt_and_query(clone, fused, feat, support, query);
-      const auto clone_grads = clone.grads();
+          task_adapt_and_query(*clone, fused, feat, support, query);
+      const auto clone_grads = clone->grads();
       for (std::size_t i = 0; i < meta_grad.size(); ++i)
         meta_grad[i] += *clone_grads[i];
     }

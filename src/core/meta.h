@@ -25,7 +25,7 @@
 #include "data/featurize.h"
 #include "data/fusion.h"
 #include "data/split.h"
-#include "nn/model.h"
+#include "nn/module.h"
 #include "nn/optim.h"
 #include "util/rng.h"
 
@@ -69,7 +69,7 @@ struct MetaHistory {
 
 class MetaTrainer {
  public:
-  MetaTrainer(fuse::nn::MarsCnn* model, MetaConfig cfg)
+  MetaTrainer(fuse::nn::Module* model, MetaConfig cfg)
       : model_(model), cfg_(cfg), outer_(cfg.beta), rng_(cfg.seed) {}
 
   /// Runs meta-training over tasks sampled from `train_pool`.
@@ -80,14 +80,14 @@ class MetaTrainer {
   /// Adapts a *clone* of the given model on a support set for a number of
   /// SGD steps and returns the query loss of the adapted clone, leaving the
   /// clone's gradients populated (exposed for tests and ablations).
-  float task_adapt_and_query(fuse::nn::MarsCnn& clone,
+  float task_adapt_and_query(fuse::nn::Module& clone,
                              const fuse::data::FusedDataset& fused,
                              const fuse::data::Featurizer& feat,
                              const fuse::data::IndexSet& support,
                              const fuse::data::IndexSet& query) const;
 
  private:
-  fuse::nn::MarsCnn* model_;
+  fuse::nn::Module* model_;
   MetaConfig cfg_;
   fuse::nn::Adam outer_;
   fuse::util::Rng rng_;

@@ -7,7 +7,8 @@ namespace fuse::core {
 
 using fuse::data::IndexSet;
 
-MaeCm evaluate(fuse::nn::MarsCnn& model, const fuse::data::FusedDataset& fused,
+MaeCm evaluate(const fuse::nn::Module& model,
+               const fuse::data::FusedDataset& fused,
                const fuse::data::Featurizer& feat, const IndexSet& indices,
                std::size_t batch_size) {
   MaeCm out;
@@ -33,7 +34,7 @@ MaeCm evaluate(fuse::nn::MarsCnn& model, const fuse::data::FusedDataset& fused,
   return out;
 }
 
-std::vector<double> per_joint_mae_cm(fuse::nn::MarsCnn& model,
+std::vector<double> per_joint_mae_cm(const fuse::nn::Module& model,
                                      const fuse::data::FusedDataset& fused,
                                      const fuse::data::Featurizer& feat,
                                      const IndexSet& indices,

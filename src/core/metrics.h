@@ -6,7 +6,7 @@
 
 #include "data/featurize.h"
 #include "data/fusion.h"
-#include "nn/model.h"
+#include "nn/module.h"
 
 namespace fuse::core {
 
@@ -20,13 +20,14 @@ struct MaeCm {
 };
 
 /// Evaluates a model on the given fused-sample indices (batched inference).
-MaeCm evaluate(fuse::nn::MarsCnn& model, const fuse::data::FusedDataset& fused,
+MaeCm evaluate(const fuse::nn::Module& model,
+               const fuse::data::FusedDataset& fused,
                const fuse::data::Featurizer& feat,
                const fuse::data::IndexSet& indices,
                std::size_t batch_size = 256);
 
 /// Per-joint MAE (cm, averaged over axes) — used by the rehab example.
-std::vector<double> per_joint_mae_cm(fuse::nn::MarsCnn& model,
+std::vector<double> per_joint_mae_cm(const fuse::nn::Module& model,
                                      const fuse::data::FusedDataset& fused,
                                      const fuse::data::Featurizer& feat,
                                      const fuse::data::IndexSet& indices,

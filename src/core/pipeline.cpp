@@ -17,10 +17,12 @@ void FusePipeline::prepare_data() {
   split_ = fuse::data::chrono_split(dataset_);
   featurizer_.fit(dataset_, split_.train);
 
-  // Fusion pools points before featurization, so the CNN input is 8x8x5
+  // Fusion pools points before featurization, so the model input is 8x8x5
   // regardless of M (the paper keeps the model identical across settings).
-  fuse::util::Rng rng(cfg_.seed);
-  model_ = std::make_unique<fuse::nn::MarsCnn>(kChannelsPerFrame, rng);
+  fuse::nn::ModelConfig mcfg;
+  mcfg.in_channels = kChannelsPerFrame;
+  mcfg.seed = cfg_.seed;
+  model_ = fuse::nn::build_model(cfg_.model_name, mcfg);
   predictor_ = Predictor(&featurizer_, cfg_.fusion_m);
   prepared_ = true;
 }

@@ -20,7 +20,8 @@
 #include "data/fusion.h"
 #include "data/split.h"
 #include "human/skeleton.h"
-#include "nn/model.h"
+#include "nn/module.h"
+#include "nn/registry.h"
 
 namespace fuse::core {
 
@@ -29,6 +30,8 @@ struct PipelineConfig {
   std::size_t fusion_m = 1;  ///< the paper's choice (fuse 3 frames)
   TrainConfig train;
   MetaConfig meta;
+  /// Architecture built through nn::build_model at prepare_data() time.
+  std::string model_name = "mars_cnn";
   std::uint64_t seed = 0x22050097ULL;
 };
 
@@ -78,7 +81,8 @@ class FusePipeline {
   const fuse::data::FusedDataset& fused() const { return *fused_; }
   const fuse::data::Featurizer& featurizer() const { return featurizer_; }
   const fuse::data::ChronoSplit& split() const { return split_; }
-  fuse::nn::MarsCnn& model() { return *model_; }
+  fuse::nn::Module& model() { return *model_; }
+  const fuse::nn::Module& model() const { return *model_; }
   const PipelineConfig& config() const { return cfg_; }
 
  private:
@@ -90,7 +94,7 @@ class FusePipeline {
   fuse::data::Featurizer featurizer_;
   Predictor predictor_;
   fuse::data::ChronoSplit split_;
-  std::unique_ptr<fuse::nn::MarsCnn> model_;
+  std::unique_ptr<fuse::nn::Module> model_;
   std::deque<fuse::radar::PointCloud> stream_buffer_;
   bool prepared_ = false;
 };

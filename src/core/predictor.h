@@ -7,19 +7,20 @@
 //
 //   window of <= 2M+1 frames --pool (Eq. 3)--> one cloud
 //     --featurize--> [5, 8, 8] block
-//     --MarsCnn::infer (batched)--> normalized [N, 57]
+//     --Module::infer (batched)--> normalized [N, 57]
 //     --denormalize--> N poses
 //
 // It holds no mutable state, so one Predictor serves any number of
 // concurrent sessions; the model is passed per call (sessions may run the
-// shared meta-model or their own fine-tuned clone).
+// shared meta-model or their own fine-tuned clone), and the inference
+// backend (naive reference loops vs im2col+GEMM) is selected per call.
 
 #include <cstddef>
 #include <vector>
 
 #include "data/featurize.h"
 #include "human/skeleton.h"
-#include "nn/model.h"
+#include "nn/module.h"
 #include "radar/point_cloud.h"
 #include "tensor/tensor.h"
 
@@ -48,15 +49,27 @@ class Predictor {
   void featurize_window(const std::vector<fuse::radar::PointCloud>& window,
                         float* out) const;
 
-  /// Batched inference: x [N, 5, 8, 8] -> N denormalized poses.
-  std::vector<fuse::human::Pose> predict(const fuse::nn::MarsCnn& model,
-                                         const fuse::tensor::Tensor& x) const;
+  /// Batched inference: x [N, 5, 8, 8] -> N denormalized poses, through
+  /// the given compute backend (defaults to the process-wide default).
+  std::vector<fuse::human::Pose> predict(const fuse::nn::Module& model,
+                                         const fuse::tensor::Tensor& x,
+                                         fuse::nn::Backend backend) const;
+  std::vector<fuse::human::Pose> predict(const fuse::nn::Module& model,
+                                         const fuse::tensor::Tensor& x) const {
+    return predict(model, x, fuse::nn::default_backend());
+  }
 
   /// Single-window convenience (the original FusePipeline::predict_window
   /// path, batch size 1).
   fuse::human::Pose
-  predict_window(const fuse::nn::MarsCnn& model,
-                 const std::vector<fuse::radar::PointCloud>& window) const;
+  predict_window(const fuse::nn::Module& model,
+                 const std::vector<fuse::radar::PointCloud>& window,
+                 fuse::nn::Backend backend) const;
+  fuse::human::Pose
+  predict_window(const fuse::nn::Module& model,
+                 const std::vector<fuse::radar::PointCloud>& window) const {
+    return predict_window(model, window, fuse::nn::default_backend());
+  }
 
   const fuse::data::Featurizer& featurizer() const { return *featurizer_; }
 

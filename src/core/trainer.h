@@ -8,7 +8,7 @@
 #include "core/metrics.h"
 #include "data/featurize.h"
 #include "data/fusion.h"
-#include "nn/model.h"
+#include "nn/module.h"
 #include "nn/optim.h"
 #include "util/rng.h"
 
@@ -32,7 +32,7 @@ struct TrainHistory {
 
 class Trainer {
  public:
-  Trainer(fuse::nn::MarsCnn* model, TrainConfig cfg)
+  Trainer(fuse::nn::Module* model, TrainConfig cfg)
       : model_(model), cfg_(cfg), optim_(cfg.lr), rng_(cfg.seed) {}
 
   /// Trains on the given fused-sample indices; returns per-epoch history.
@@ -46,7 +46,7 @@ class Trainer {
                   fuse::data::IndexSet indices);
 
  private:
-  fuse::nn::MarsCnn* model_;
+  fuse::nn::Module* model_;
   TrainConfig cfg_;
   fuse::nn::Adam optim_;
   fuse::util::Rng rng_;

@@ -1,5 +1,7 @@
 #include "nn/layers.h"
 
+#include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 #include "tensor/init.h"
@@ -40,6 +42,119 @@ Tensor conv_apply(const Tensor& col, const Tensor& w, const Tensor& b,
   return y;
 }
 
+// GEMM-backend kernel: y2 = W * colb + bias, with
+//   W    [oc, k]       (row-major weights)
+//   colb [k, nc]       (im2col_batched columns, nc = N * out_h * out_w)
+//   y2   [oc, nc]
+// The 4x16 register tile keeps the accumulator in vector registers across
+// the whole k loop (the compiler vectorizes the 16-wide inner loop), so
+// per-FMA memory traffic drops to one 16-float B row load per 4 output
+// rows — this is where the >= 1.5x over the naive per-sample loop comes
+// from on a single core, on top of the batch-wide weight reuse.
+void gemm_conv_tiled(const float* w, const float* colb, const float* bias,
+                     float* y2, std::size_t oc, std::size_t k,
+                     std::size_t nc) {
+  constexpr std::size_t kTileM = 4;
+  constexpr std::size_t kTileN = 16;
+  const std::size_t n_ctiles = (nc + kTileN - 1) / kTileN;
+
+  fuse::util::parallel_for(0, n_ctiles, [&](std::size_t t0, std::size_t t1) {
+    for (std::size_t t = t0; t < t1; ++t) {
+      const std::size_t c0 = t * kTileN;
+      const std::size_t cn = std::min(kTileN, nc - c0);
+      std::size_t r = 0;
+      for (; r + kTileM <= oc; r += kTileM) {
+        if (cn == kTileN) {
+          float acc0[kTileN], acc1[kTileN], acc2[kTileN], acc3[kTileN];
+          for (std::size_t j = 0; j < kTileN; ++j) {
+            acc0[j] = bias[r + 0];
+            acc1[j] = bias[r + 1];
+            acc2[j] = bias[r + 2];
+            acc3[j] = bias[r + 3];
+          }
+          const float* w0 = w + (r + 0) * k;
+          const float* w1 = w + (r + 1) * k;
+          const float* w2 = w + (r + 2) * k;
+          const float* w3 = w + (r + 3) * k;
+          for (std::size_t kk = 0; kk < k; ++kk) {
+            const float* brow = colb + kk * nc + c0;
+            const float a0 = w0[kk], a1 = w1[kk], a2 = w2[kk], a3 = w3[kk];
+            for (std::size_t j = 0; j < kTileN; ++j) {
+              const float bv = brow[j];
+              acc0[j] += a0 * bv;
+              acc1[j] += a1 * bv;
+              acc2[j] += a2 * bv;
+              acc3[j] += a3 * bv;
+            }
+          }
+          float* y0 = y2 + (r + 0) * nc + c0;
+          float* y1 = y2 + (r + 1) * nc + c0;
+          float* yr2 = y2 + (r + 2) * nc + c0;
+          float* yr3 = y2 + (r + 3) * nc + c0;
+          for (std::size_t j = 0; j < kTileN; ++j) {
+            y0[j] = acc0[j];
+            y1[j] = acc1[j];
+            yr2[j] = acc2[j];
+            yr3[j] = acc3[j];
+          }
+        } else {
+          // Ragged column tail: plain loops.
+          for (std::size_t rr = r; rr < r + kTileM; ++rr) {
+            const float* wrow = w + rr * k;
+            float* yrow = y2 + rr * nc + c0;
+            for (std::size_t j = 0; j < cn; ++j) yrow[j] = bias[rr];
+            for (std::size_t kk = 0; kk < k; ++kk) {
+              const float a = wrow[kk];
+              const float* brow = colb + kk * nc + c0;
+              for (std::size_t j = 0; j < cn; ++j) yrow[j] += a * brow[j];
+            }
+          }
+        }
+      }
+      // Ragged row tail.
+      for (; r < oc; ++r) {
+        const float* wrow = w + r * k;
+        float* yrow = y2 + r * nc + c0;
+        for (std::size_t j = 0; j < cn; ++j) yrow[j] = bias[r];
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const float a = wrow[kk];
+          const float* brow = colb + kk * nc + c0;
+          for (std::size_t j = 0; j < cn; ++j) yrow[j] += a * brow[j];
+        }
+      }
+    }
+  });
+}
+
+// Full GEMM-backend convolution: batched im2col, tiled GEMM, then scatter
+// of the [oc, N*hw] product back into the [N, oc, oh, ow] layout.
+Tensor conv_apply_gemm(const Tensor& x, const Tensor& w, const Tensor& b,
+                       std::size_t kernel, std::size_t pad,
+                       std::size_t out_channels) {
+  const std::size_t n = x.dim(0);
+  const std::size_t oh = fuse::tensor::conv_out_size(x.dim(2), kernel, 1,
+                                                     pad);
+  const std::size_t ow = fuse::tensor::conv_out_size(x.dim(3), kernel, 1,
+                                                     pad);
+  const std::size_t hw = oh * ow;
+  const Tensor colb = fuse::tensor::im2col_batched(x, kernel, kernel, 1,
+                                                   pad);
+  Tensor y2({out_channels, n * hw});
+  gemm_conv_tiled(w.data(), colb.data(), b.data(), y2.data(), out_channels,
+                  w.dim(1), n * hw);
+
+  Tensor y({n, out_channels, oh, ow});
+  fuse::util::parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t nidx = lo; nidx < hi; ++nidx) {
+      float* yp = y.data() + nidx * out_channels * hw;
+      for (std::size_t oc = 0; oc < out_channels; ++oc)
+        std::memcpy(yp + oc * hw, y2.data() + oc * n * hw + nidx * hw,
+                    hw * sizeof(float));
+    }
+  });
+  return y;
+}
+
 }  // namespace
 
 Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
@@ -68,9 +183,11 @@ Tensor Conv2d::forward(const Tensor& x) {
   return conv_apply(col_, w_, b_, n_, out_channels_, oh, ow);
 }
 
-Tensor Conv2d::infer(const Tensor& x) const {
+Tensor Conv2d::do_infer(const Tensor& x, Backend backend) const {
   if (x.ndim() != 4 || x.dim(1) != in_channels_)
     throw std::invalid_argument("Conv2d::infer: bad input shape");
+  if (backend == Backend::kGemm)
+    return conv_apply_gemm(x, w_, b_, kernel_, pad_, out_channels_);
   const std::size_t oh = fuse::tensor::conv_out_size(x.dim(2), kernel_, 1,
                                                      pad_);
   const std::size_t ow = fuse::tensor::conv_out_size(x.dim(3), kernel_, 1,
@@ -161,7 +278,8 @@ Tensor Linear::forward(const Tensor& x) {
   return y;
 }
 
-Tensor Linear::infer(const Tensor& x) const {
+Tensor Linear::do_infer(const Tensor& x, Backend /*backend*/) const {
+  // The FC layers already funnel into the blocked GEMM for every backend.
   if (x.ndim() != 2 || x.dim(1) != in_features_)
     throw std::invalid_argument("Linear::infer: bad input shape");
   Tensor y = fuse::tensor::matmul(x, w_, Trans::kNo, Trans::kYes);
@@ -187,6 +305,15 @@ Tensor ReLU::backward(const Tensor& dy) {
   return fuse::tensor::relu_backward(dy, x_);
 }
 
+Tensor ReLU::do_infer(const Tensor& x, Backend /*backend*/) const {
+  return fuse::tensor::relu(x);
+}
+
+bool ReLU::do_infer_inplace(Tensor& x, Backend /*backend*/) const {
+  fuse::tensor::relu_inplace(x);
+  return true;
+}
+
 Tensor Flatten::forward(const Tensor& x) {
   in_shape_ = x.shape();
   std::size_t features = 1;
@@ -196,6 +323,15 @@ Tensor Flatten::forward(const Tensor& x) {
 
 Tensor Flatten::backward(const Tensor& dy) {
   return dy.reshaped(in_shape_);
+}
+
+Tensor Flatten::do_infer(const Tensor& x, Backend /*backend*/) const {
+  return x.reshaped({x.dim(0), x.numel() / x.dim(0)});
+}
+
+bool Flatten::do_infer_inplace(Tensor& x, Backend /*backend*/) const {
+  x.reshape({x.dim(0), x.numel() / x.dim(0)});
+  return true;
 }
 
 }  // namespace fuse::nn

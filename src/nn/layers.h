@@ -7,13 +7,19 @@
 // evaluate at adapted parameters, apply outer gradient) completely explicit
 // — the core subtlety of the paper's Algorithm 1.
 //
+// Every layer is a Module, so networks compose through nn::Sequential and
+// the registry (nn/registry.h) without the rest of the codebase knowing
+// concrete layer types.
+//
 // All layers operate on batches: Conv2d on [N, C, H, W], Linear on [N, F].
 // Layers are value types; copying a layer deep-copies parameters, gradients
 // and caches (Tensor is value-semantic), which is exactly what model
 // cloning for meta-learning needs.
 
+#include <memory>
 #include <vector>
 
+#include "nn/module.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
@@ -23,28 +29,38 @@ namespace fuse::nn {
 using fuse::tensor::Tensor;
 
 /// 2-D convolution, square kernel, stride 1, symmetric zero padding.
-class Conv2d {
+///
+/// The inference hot path dispatches on Backend: kNaive runs the reference
+/// per-sample loop (bit-identical to forward()), kGemm lowers the whole
+/// batch to one im2col column matrix and a register-tiled GEMM — the
+/// weight panel is then read once per batch instead of once per sample,
+/// which is where the batched-serving speedup comes from.
+class Conv2d : public Module {
  public:
   Conv2d(std::size_t in_channels, std::size_t out_channels,
          std::size_t kernel, std::size_t pad, fuse::util::Rng& rng);
 
-  Tensor forward(const Tensor& x);
-  /// Inference-only forward: same arithmetic as forward() but touches no
-  /// caches, so it is const and safe to call concurrently from many threads
-  /// on a shared layer (the serving hot path).
-  Tensor infer(const Tensor& x) const;
+  Tensor forward(const Tensor& x) override;
   /// dy: [N, out_channels, H, W]; accumulates weight/bias gradients and
   /// returns dx.
-  Tensor backward(const Tensor& dy);
+  Tensor backward(const Tensor& dy) override;
 
-  std::vector<Tensor*> params() { return {&w_, &b_}; }
-  std::vector<Tensor*> grads() { return {&gw_, &gb_}; }
+  std::vector<Tensor*> params() override { return {&w_, &b_}; }
+  std::vector<Tensor*> grads() override { return {&gw_, &gb_}; }
+  std::unique_ptr<Module> clone() const override {
+    return std::make_unique<Conv2d>(*this);
+  }
+  std::string arch_name() const override { return "conv2d"; }
+
   std::size_t in_channels() const { return in_channels_; }
   std::size_t out_channels() const { return out_channels_; }
   std::size_t kernel() const { return kernel_; }
 
   Tensor& weight() { return w_; }
   Tensor& bias() { return b_; }
+
+ protected:
+  Tensor do_infer(const Tensor& x, Backend backend) const override;
 
  private:
   std::size_t in_channels_, out_channels_, kernel_, pad_;
@@ -57,23 +73,29 @@ class Conv2d {
 };
 
 /// Fully connected layer y = x W^T + b.
-class Linear {
+class Linear : public Module {
  public:
   Linear(std::size_t in_features, std::size_t out_features,
          fuse::util::Rng& rng);
 
-  Tensor forward(const Tensor& x);
-  /// Cache-free const forward (see Conv2d::infer).
-  Tensor infer(const Tensor& x) const;
-  Tensor backward(const Tensor& dy);
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& dy) override;
 
-  std::vector<Tensor*> params() { return {&w_, &b_}; }
-  std::vector<Tensor*> grads() { return {&gw_, &gb_}; }
+  std::vector<Tensor*> params() override { return {&w_, &b_}; }
+  std::vector<Tensor*> grads() override { return {&gw_, &gb_}; }
+  std::unique_ptr<Module> clone() const override {
+    return std::make_unique<Linear>(*this);
+  }
+  std::string arch_name() const override { return "linear"; }
+
   std::size_t in_features() const { return in_features_; }
   std::size_t out_features() const { return out_features_; }
 
   Tensor& weight() { return w_; }
   Tensor& bias() { return b_; }
+
+ protected:
+  Tensor do_infer(const Tensor& x, Backend backend) const override;
 
  private:
   std::size_t in_features_, out_features_;
@@ -84,20 +106,42 @@ class Linear {
 };
 
 /// Elementwise rectifier.
-class ReLU {
+class ReLU : public Module {
  public:
-  Tensor forward(const Tensor& x);
-  Tensor backward(const Tensor& dy);
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& dy) override;
+
+  std::vector<Tensor*> params() override { return {}; }
+  std::vector<Tensor*> grads() override { return {}; }
+  std::unique_ptr<Module> clone() const override {
+    return std::make_unique<ReLU>(*this);
+  }
+  std::string arch_name() const override { return "relu"; }
+
+ protected:
+  Tensor do_infer(const Tensor& x, Backend backend) const override;
+  bool do_infer_inplace(Tensor& x, Backend backend) const override;
 
  private:
   Tensor x_;
 };
 
 /// [N, C, H, W] <-> [N, C*H*W].
-class Flatten {
+class Flatten : public Module {
  public:
-  Tensor forward(const Tensor& x);
-  Tensor backward(const Tensor& dy);
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& dy) override;
+
+  std::vector<Tensor*> params() override { return {}; }
+  std::vector<Tensor*> grads() override { return {}; }
+  std::unique_ptr<Module> clone() const override {
+    return std::make_unique<Flatten>(*this);
+  }
+  std::string arch_name() const override { return "flatten"; }
+
+ protected:
+  Tensor do_infer(const Tensor& x, Backend backend) const override;
+  bool do_infer_inplace(Tensor& x, Backend backend) const override;
 
  private:
   fuse::tensor::Shape in_shape_;

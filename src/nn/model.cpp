@@ -1,7 +1,6 @@
 #include "nn/model.h"
 
-#include <fstream>
-#include <stdexcept>
+#include "nn/layers.h"
 
 namespace fuse::nn {
 
@@ -9,114 +8,18 @@ MarsCnn::MarsCnn(std::size_t in_channels, fuse::util::Rng& rng,
                  std::size_t grid_h, std::size_t grid_w,
                  std::size_t conv1_filters, std::size_t conv2_filters,
                  std::size_t hidden, std::size_t outputs)
-    : in_channels_(in_channels),
-      grid_h_(grid_h),
-      grid_w_(grid_w),
-      outputs_(outputs),
-      conv1_(in_channels, conv1_filters, 3, 1, rng),
-      conv2_(conv1_filters, conv2_filters, 3, 1, rng),
-      fc1_(conv2_filters * grid_h * grid_w, hidden, rng),
-      fc2_(hidden, outputs, rng) {}
-
-Tensor MarsCnn::forward(const Tensor& x) {
-  Tensor h = conv1_.forward(x);
-  h = relu1_.forward(h);
-  h = conv2_.forward(h);
-  h = relu2_.forward(h);
-  h = flatten_.forward(h);
-  h = fc1_.forward(h);
-  h = relu3_.forward(h);
-  return fc2_.forward(h);
-}
-
-Tensor MarsCnn::infer(const Tensor& x) const {
-  Tensor h = conv1_.infer(x);
-  fuse::tensor::relu_inplace(h);
-  h = conv2_.infer(h);
-  fuse::tensor::relu_inplace(h);
-  h.reshape({h.dim(0), h.numel() / h.dim(0)});
-  h = fc1_.infer(h);
-  fuse::tensor::relu_inplace(h);
-  return fc2_.infer(h);
-}
-
-void MarsCnn::backward(const Tensor& dy) {
-  Tensor d = fc2_.backward(dy);
-  d = relu3_.backward(d);
-  d = fc1_.backward(d);
-  d = flatten_.backward(d);
-  d = relu2_.backward(d);
-  d = conv2_.backward(d);
-  d = relu1_.backward(d);
-  (void)conv1_.backward(d);
-}
-
-std::vector<Tensor*> MarsCnn::params() {
-  std::vector<Tensor*> out;
-  for (auto* t : conv1_.params()) out.push_back(t);
-  for (auto* t : conv2_.params()) out.push_back(t);
-  for (auto* t : fc1_.params()) out.push_back(t);
-  for (auto* t : fc2_.params()) out.push_back(t);
-  return out;
-}
-
-std::vector<Tensor*> MarsCnn::grads() {
-  std::vector<Tensor*> out;
-  for (auto* t : conv1_.grads()) out.push_back(t);
-  for (auto* t : conv2_.grads()) out.push_back(t);
-  for (auto* t : fc1_.grads()) out.push_back(t);
-  for (auto* t : fc2_.grads()) out.push_back(t);
-  return out;
-}
-
-std::vector<Tensor*> MarsCnn::last_layer_params() { return fc2_.params(); }
-std::vector<Tensor*> MarsCnn::last_layer_grads() { return fc2_.grads(); }
-
-void MarsCnn::zero_grad() {
-  for (Tensor* g : grads()) g->zero();
-}
-
-std::size_t MarsCnn::num_params() {
-  std::size_t n = 0;
-  for (Tensor* p : params()) n += p->numel();
-  return n;
-}
-
-void MarsCnn::copy_params_from(MarsCnn& other) {
-  auto dst = params();
-  auto src = other.params();
-  if (dst.size() != src.size())
-    throw std::invalid_argument("copy_params_from: architecture mismatch");
-  for (std::size_t i = 0; i < dst.size(); ++i) {
-    if (dst[i]->shape() != src[i]->shape())
-      throw std::invalid_argument("copy_params_from: shape mismatch");
-    *dst[i] = *src[i];
-  }
-}
-
-void MarsCnn::save(std::ostream& os) {
-  for (Tensor* p : params()) p->save(os);
-}
-
-void MarsCnn::load(std::istream& is) {
-  for (Tensor* p : params()) {
-    Tensor t = Tensor::load(is);
-    if (t.shape() != p->shape())
-      throw std::runtime_error("MarsCnn::load: shape mismatch");
-    *p = std::move(t);
-  }
-}
-
-void MarsCnn::save_file(const std::string& path) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("MarsCnn::save_file: cannot open " + path);
-  save(os);
-}
-
-void MarsCnn::load_file(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("MarsCnn::load_file: cannot open " + path);
-  load(is);
+    : Sequential("mars_cnn"), in_channels_(in_channels), outputs_(outputs) {
+  // Layer construction order fixes the RNG draw order (conv1, conv2, fc1,
+  // fc2) — identical to the original hand-rolled model, so a fixed seed
+  // yields bit-identical parameters and outputs.
+  add(Conv2d(in_channels, conv1_filters, 3, 1, rng));
+  add(ReLU{});
+  add(Conv2d(conv1_filters, conv2_filters, 3, 1, rng));
+  add(ReLU{});
+  add(Flatten{});
+  add(Linear(conv2_filters * grid_h * grid_w, hidden, rng));
+  add(ReLU{});
+  add(Linear(hidden, outputs, rng));
 }
 
 }  // namespace fuse::nn

@@ -1,5 +1,6 @@
 #pragma once
-// The MARS baseline CNN used (unchanged) by FUSE.
+// The MARS baseline CNN used (unchanged) by FUSE, expressed as a thin
+// nn::Sequential factory.
 //
 // Architecture (Section 4.1 of the paper): two 3x3 convolution layers with
 // ReLU activations (16 and 32 filters), then two fully connected layers of
@@ -10,20 +11,25 @@
 // leaves the rest of the network untouched — which is exactly the paper's
 // claim that fusion is a pure pre-processing step.
 //
+// The class adds nothing over the Sequential it builds in its constructor
+// (same layer order and RNG draw order as the original hand-rolled model,
+// so parameters and outputs are bit-identical); it exists so call sites
+// can construct the paper's network directly and keep the in_channels()/
+// outputs() accessors.  Prefer nn::build_model("mars_cnn", cfg)
+// (nn/registry.h) in new code — training loops and the serving runtime
+// only ever see nn::Module.
+//
 // The model is a value type: copying it deep-copies all parameters, which
 // is what the MAML inner loop uses to adapt a per-task clone.
 
-#include <iosfwd>
-#include <string>
-#include <vector>
+#include <cstddef>
 
-#include "nn/layers.h"
-#include "tensor/tensor.h"
+#include "nn/sequential.h"
 #include "util/rng.h"
 
 namespace fuse::nn {
 
-class MarsCnn {
+class MarsCnn : public Sequential {
  public:
   /// in_channels = 5 * (2M + 1); grid is the 8x8 MARS feature map.
   MarsCnn(std::size_t in_channels, fuse::util::Rng& rng,
@@ -31,54 +37,15 @@ class MarsCnn {
           std::size_t conv1_filters = 16, std::size_t conv2_filters = 32,
           std::size_t hidden = 512, std::size_t outputs = 57);
 
-  /// Forward pass: x [N, in_channels, H, W] -> [N, outputs].
-  /// Caches activations for backward().
-  Tensor forward(const Tensor& x);
-
-  /// Backward pass from dL/dy; accumulates parameter gradients.
-  void backward(const Tensor& dy);
-
-  /// Batched inference-only forward: same arithmetic as forward() (outputs
-  /// are bit-identical) but touches no layer caches, so it is const and
-  /// safe to share one model across concurrent reader threads — the serving
-  /// hot path batches samples from many sessions through one call.
-  Tensor infer(const Tensor& x) const;
-
-  /// Inference entry point for call sites that never backprop.
-  Tensor predict(const Tensor& x) const { return infer(x); }
-
-  std::vector<Tensor*> params();
-  std::vector<Tensor*> grads();
-  /// Parameters/gradients of the last FC layer only (last-layer fine-tuning
-  /// regime of Section 4.3.2).
-  std::vector<Tensor*> last_layer_params();
-  std::vector<Tensor*> last_layer_grads();
-
-  void zero_grad();
-  std::size_t num_params();
-
-  /// Copies parameter values from another model of identical architecture.
-  void copy_params_from(MarsCnn& other);
+  std::unique_ptr<Module> clone() const override {
+    return std::make_unique<MarsCnn>(*this);
+  }
 
   std::size_t in_channels() const { return in_channels_; }
   std::size_t outputs() const { return outputs_; }
 
-  /// Serialization of all parameters (architecture must match on load).
-  void save(std::ostream& os);
-  void load(std::istream& is);
-  void save_file(const std::string& path);
-  void load_file(const std::string& path);
-
  private:
-  std::size_t in_channels_, grid_h_, grid_w_, outputs_;
-  Conv2d conv1_;
-  ReLU relu1_;
-  Conv2d conv2_;
-  ReLU relu2_;
-  Flatten flatten_;
-  Linear fc1_;
-  ReLU relu3_;
-  Linear fc2_;
+  std::size_t in_channels_, outputs_;
 };
 
 }  // namespace fuse::nn

@@ -1,0 +1,150 @@
+#include "nn/module.h"
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace fuse::nn {
+
+namespace {
+
+std::atomic<Backend> g_default_backend{Backend::kNaive};
+
+// Serialization header: magic + format version + architecture tag.
+constexpr char kMagic[8] = {'F', 'U', 'S', 'E', 'M', 'O', 'D', '1'};
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("Module::load: truncated stream");
+  return v;
+}
+
+}  // namespace
+
+Backend default_backend() {
+  return g_default_backend.load(std::memory_order_relaxed);
+}
+
+void set_default_backend(Backend b) {
+  g_default_backend.store(b, std::memory_order_relaxed);
+}
+
+const char* backend_name(Backend b) {
+  return b == Backend::kGemm ? "gemm" : "naive";
+}
+
+std::vector<const Tensor*> Module::params() const {
+  // The parameter list itself is state-independent; only the non-const
+  // accessor is virtual to keep implementations to a single method.
+  auto mutable_list = const_cast<Module*>(this)->params();
+  return {mutable_list.begin(), mutable_list.end()};
+}
+
+std::vector<const Tensor*> Module::grads() const {
+  auto mutable_list = const_cast<Module*>(this)->grads();
+  return {mutable_list.begin(), mutable_list.end()};
+}
+
+std::vector<ParamGroup> Module::param_groups() {
+  return {ParamGroup{"all", params(), grads()}};
+}
+
+std::vector<Tensor*> Module::last_layer_params() {
+  auto groups = param_groups();
+  if (groups.empty()) return {};
+  return std::move(groups.back().params);
+}
+
+std::vector<Tensor*> Module::last_layer_grads() {
+  auto groups = param_groups();
+  if (groups.empty()) return {};
+  return std::move(groups.back().grads);
+}
+
+void Module::zero_grad() {
+  for (Tensor* g : grads()) g->zero();
+}
+
+std::size_t Module::num_params() const {
+  std::size_t n = 0;
+  for (const Tensor* p : params()) n += p->numel();
+  return n;
+}
+
+void Module::copy_params_from(const Module& other) {
+  auto dst = params();
+  const auto src = other.params();
+  if (dst.size() != src.size())
+    throw std::invalid_argument(
+        "Module::copy_params_from: architecture mismatch (" + arch_name() +
+        " vs " + other.arch_name() + ")");
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    if (dst[i]->shape() != src[i]->shape())
+      throw std::invalid_argument("Module::copy_params_from: shape mismatch");
+    *dst[i] = *src[i];
+  }
+}
+
+void Module::save(std::ostream& os) const {
+  os.write(kMagic, sizeof(kMagic));
+  const std::string arch = arch_name();
+  write_u64(os, arch.size());
+  os.write(arch.data(), static_cast<std::streamsize>(arch.size()));
+  const auto ps = params();
+  write_u64(os, ps.size());
+  for (const Tensor* p : ps) p->save(os);
+}
+
+void Module::load(std::istream& is) {
+  char magic[sizeof(kMagic)] = {};
+  is.read(magic, sizeof(magic));
+  if (!is || std::string(magic, sizeof(magic)) !=
+                 std::string(kMagic, sizeof(kMagic)))
+    throw std::runtime_error("Module::load: not a FUSE model stream");
+  const std::uint64_t arch_len = read_u64(is);
+  if (arch_len > 4096)
+    throw std::runtime_error("Module::load: corrupt architecture tag");
+  std::string arch(arch_len, '\0');
+  is.read(arch.data(), static_cast<std::streamsize>(arch_len));
+  if (!is) throw std::runtime_error("Module::load: truncated stream");
+  if (arch != arch_name())
+    throw std::runtime_error("Module::load: architecture mismatch (stream '" +
+                             arch + "' vs model '" + arch_name() + "')");
+  const std::uint64_t count = read_u64(is);
+  auto ps = params();
+  if (count != ps.size())
+    throw std::runtime_error("Module::load: parameter count mismatch");
+  // Stage and validate every tensor before committing any, so a mismatch
+  // mid-stream throws without leaving the model half-loaded.
+  std::vector<Tensor> staged;
+  staged.reserve(ps.size());
+  for (const Tensor* p : ps) {
+    Tensor t = Tensor::load(is);
+    if (t.shape() != p->shape())
+      throw std::runtime_error("Module::load: parameter shape mismatch");
+    staged.push_back(std::move(t));
+  }
+  for (std::size_t i = 0; i < ps.size(); ++i) *ps[i] = std::move(staged[i]);
+}
+
+void Module::save_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os)
+    throw std::runtime_error("Module::save_file: cannot open " + path);
+  save(os);
+}
+
+void Module::load_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is)
+    throw std::runtime_error("Module::load_file: cannot open " + path);
+  load(is);
+}
+
+}  // namespace fuse::nn

@@ -1,0 +1,139 @@
+#pragma once
+// The abstract model interface of the NN library.
+//
+// The paper treats frame fusion as a pure pre-processing step precisely so
+// the network stays swappable; fuse::nn::Module is that swap point.  Every
+// layer and every composed network implements it, so the training loops
+// (core::Trainer, core::MetaTrainer, core::fine_tune), the evaluation
+// metrics and the serving runtime all operate on "a model" rather than on
+// the concrete MARS CNN.  Concrete architectures are built by name through
+// nn::build_model (see nn/registry.h).
+//
+// The contract mirrors the explicit-backward design of the layers (no
+// tape):
+//  * forward() caches whatever backward() needs; backward() accumulates
+//    parameter gradients and returns dL/dx.
+//  * infer() is const and cache-free — same arithmetic as forward() with
+//    bit-identical outputs under Backend::kNaive — so one model instance
+//    can serve many reader threads concurrently (the serving hot path).
+//  * params()/grads() expose the learnable state as flat tensor lists in a
+//    stable order; param_groups() additionally names coherent sub-lists
+//    (one per parameterised layer) so regimes like last-layer fine-tuning
+//    (Section 4.3.2) need no knowledge of the concrete architecture.
+//  * clone() deep-copies the model (parameters, gradients, caches) — the
+//    MAML inner loop adapts a per-task clone.
+//  * save()/load() serialize parameters behind an architecture-tag header;
+//    loading a file written by a different architecture throws instead of
+//    silently misloading.
+
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fuse::nn {
+
+using fuse::tensor::Tensor;
+
+/// Compute backend for the inference hot path.  Training always runs the
+/// reference kernels; inference picks a backend at runtime.
+enum class Backend {
+  /// The reference per-sample loops (bit-identical to forward()).
+  kNaive,
+  /// im2col + register-tiled blocked GEMM for the convolution hot path;
+  /// outputs agree with kNaive to float rounding (~1e-6 relative).
+  kGemm,
+};
+
+/// Process-wide default backend used by the single-argument infer().
+Backend default_backend();
+void set_default_backend(Backend b);
+
+const char* backend_name(Backend b);
+
+/// A named, coherent slice of a model's parameters (typically one layer).
+struct ParamGroup {
+  std::string name;
+  std::vector<Tensor*> params;
+  std::vector<Tensor*> grads;
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  // ------------------------------------------------------------ compute --
+  /// Training forward: x -> y, caching activations for backward().
+  virtual Tensor forward(const Tensor& x) = 0;
+  /// Backward from dL/dy; accumulates parameter gradients, returns dL/dx.
+  virtual Tensor backward(const Tensor& dy) = 0;
+
+  /// Batched inference-only forward: no caches are touched, so it is const
+  /// and safe to call concurrently from many threads on a shared model.
+  Tensor infer(const Tensor& x) const { return do_infer(x, default_backend()); }
+  Tensor infer(const Tensor& x, Backend backend) const {
+    return do_infer(x, backend);
+  }
+  /// Inference entry point for call sites that never backprop.
+  Tensor predict(const Tensor& x) const { return infer(x); }
+
+  // --------------------------------------------------------- parameters --
+  /// Learnable parameters / their gradients, in a stable order.
+  virtual std::vector<Tensor*> params() = 0;
+  virtual std::vector<Tensor*> grads() = 0;
+  /// Read-only views for const contexts (serialization, copying).
+  std::vector<const Tensor*> params() const;
+  std::vector<const Tensor*> grads() const;
+
+  /// Named parameter groups, one per parameterised sub-layer, in forward
+  /// order.  The default is a single group "all"; containers refine this.
+  virtual std::vector<ParamGroup> param_groups();
+
+  /// Parameters/gradients of the last parameterised layer (the last-layer
+  /// fine-tuning regime of Section 4.3.2), derived from param_groups().
+  std::vector<Tensor*> last_layer_params();
+  std::vector<Tensor*> last_layer_grads();
+
+  void zero_grad();
+  std::size_t num_params() const;
+
+  /// Copies parameter values from another model of identical architecture;
+  /// throws std::invalid_argument on any mismatch.
+  void copy_params_from(const Module& other);
+
+  // -------------------------------------------------------------- clone --
+  /// Deep copy (parameters, gradients, caches).
+  virtual std::unique_ptr<Module> clone() const = 0;
+
+  /// Stable architecture tag used by the registry and the serialization
+  /// header (e.g. "mars_cnn").
+  virtual std::string arch_name() const = 0;
+
+  // ------------------------------------------------------ serialization --
+  /// Writes an architecture-tagged header followed by every parameter.
+  void save(std::ostream& os) const;
+  /// Loads a stream written by save(); throws std::runtime_error when the
+  /// stored architecture tag or any parameter shape does not match this
+  /// model (no silent misload).
+  void load(std::istream& is);
+  void save_file(const std::string& path) const;
+  void load_file(const std::string& path);
+
+ protected:
+  /// Backend-dispatched inference; implementations must not mutate state.
+  virtual Tensor do_infer(const Tensor& x, Backend backend) const = 0;
+
+  /// Optional in-place inference step used by containers to avoid copies
+  /// for stateless shape/elementwise modules (ReLU, Flatten).  Returns
+  /// false when the module has no in-place path.
+  virtual bool do_infer_inplace(Tensor& /*x*/, Backend /*backend*/) const {
+    return false;
+  }
+
+  friend class Sequential;  // containers drive do_infer/do_infer_inplace
+};
+
+}  // namespace fuse::nn

@@ -1,0 +1,57 @@
+#pragma once
+// Config-driven model registry: build networks by name.
+//
+//   auto model = fuse::nn::build_model("mars_cnn", {.seed = 7});
+//
+// The registry decouples "which architecture" from every subsystem above
+// nn/: the pipeline, trainers and the serving runtime all consume
+// nn::Module, so swapping the paper's CNN for a larger variant or an MLP
+// baseline is a config string, not a code change.
+//
+// Built-in architectures:
+//   mars_cnn        the paper's network (16/32 conv filters, 512 hidden)
+//   mars_cnn_large  2x conv filters and hidden width (capacity/latency
+//                   trade-off studies)
+//   mars_mlp        flatten + 512/256 MLP — the "is the conv stack worth
+//                   it" baseline
+//
+// Additional architectures register at runtime via register_model(); names
+// are unique and the builders must be thread-compatible (the registry is
+// locked, the returned models are independent).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace fuse::nn {
+
+/// Architecture-independent build knobs.  Width/depth specifics live in
+/// the registered factory for each name.
+struct ModelConfig {
+  std::size_t in_channels = 5;  ///< 5 * (2M + 1) when frames are stacked
+  std::size_t grid_h = 8;       ///< MARS feature-map grid
+  std::size_t grid_w = 8;
+  std::size_t outputs = 57;     ///< 19 joints x 3 coordinates
+  std::uint64_t seed = 0x5EEDULL;
+};
+
+using ModelFactory =
+    std::function<std::unique_ptr<Module>(const ModelConfig&)>;
+
+/// Registers (or replaces) a factory under `name`.
+void register_model(const std::string& name, ModelFactory factory);
+
+/// Builds a registered architecture; throws std::invalid_argument for an
+/// unknown name (the message lists what is registered).
+std::unique_ptr<Module> build_model(const std::string& name,
+                                    const ModelConfig& cfg = {});
+
+/// Sorted names of every registered architecture.
+std::vector<std::string> registered_models();
+
+}  // namespace fuse::nn

@@ -93,14 +93,14 @@ PassStats Scheduler::run_once(const std::vector<Session*>& sessions,
 
   const auto serve_group = [&](std::vector<Item>& items,
                                std::vector<std::vector<float>>& blocks,
-                               const fuse::nn::MarsCnn& model,
+                               const fuse::nn::Module& model,
                                bool is_adapted) {
     if (items.empty()) return;
     fuse::tensor::Tensor x = predictor_->alloc_batch(items.size());
     for (std::size_t i = 0; i < items.size(); ++i)
       std::memcpy(x.data() + i * kBlockFloats, blocks[i].data(),
                   kBlockFloats * sizeof(float));
-    const auto poses = predictor_->predict(model, x);
+    const auto poses = predictor_->predict(model, x, backend_);
     const double now = mono_seconds();
     for (std::size_t i = 0; i < items.size(); ++i) {
       Session& s = *items[i].session;
@@ -143,9 +143,7 @@ void Scheduler::maybe_adapt(Session& s) {
     return;
 
   // First round: clone the shared meta-initialization for this user.
-  if (s.adapted_model() == nullptr)
-    s.adapted_slot() =
-        std::make_unique<fuse::nn::MarsCnn>(*shared_model_);
+  if (s.adapted_model() == nullptr) s.adapted_slot() = shared_model_->clone();
 
   fuse::tensor::Tensor x = predictor_->alloc_batch(buffer.size());
   fuse::tensor::Tensor y({buffer.size(), fuse::human::kNumCoords});

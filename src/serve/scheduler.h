@@ -1,7 +1,7 @@
 #pragma once
 // The inference scheduler: drains per-session queues round-robin,
 // micro-batches featurized frames ACROSS sessions into a single batched
-// MarsCnn::infer call, and fans the results back to each session's tracker
+// Module::infer call, and fans the results back to each session's tracker
 // and result queue.
 //
 // Batching policy (see DESIGN.md):
@@ -24,7 +24,7 @@
 #include <vector>
 
 #include "core/predictor.h"
-#include "nn/model.h"
+#include "nn/module.h"
 #include "serve/session.h"
 #include "serve/stats.h"
 
@@ -41,12 +41,15 @@ struct PassStats {
 class Scheduler {
  public:
   /// `predictor` and `shared_model` must outlive the scheduler; the shared
-  /// model is only read (infer is const).
+  /// model is only read (infer is const).  `backend` selects the inference
+  /// compute backend for every batched forward pass.
   Scheduler(const fuse::core::Predictor* predictor,
-            const fuse::nn::MarsCnn* shared_model, std::size_t max_batch)
+            const fuse::nn::Module* shared_model, std::size_t max_batch,
+            fuse::nn::Backend backend = fuse::nn::Backend::kGemm)
       : predictor_(predictor),
         shared_model_(shared_model),
-        max_batch_(max_batch ? max_batch : 1) {}
+        max_batch_(max_batch ? max_batch : 1),
+        backend_(backend) {}
 
   /// One scheduling pass over `sessions` (applies pending session recycles
   /// first).  `latency` receives one sample per served frame.
@@ -66,8 +69,9 @@ class Scheduler {
   void maybe_adapt(Session& s);
 
   const fuse::core::Predictor* predictor_;
-  const fuse::nn::MarsCnn* shared_model_;
+  const fuse::nn::Module* shared_model_;
   std::size_t max_batch_;
+  fuse::nn::Backend backend_;
 };
 
 }  // namespace fuse::serve

@@ -18,7 +18,7 @@
 
 #include "core/tracking.h"
 #include "human/skeleton.h"
-#include "nn/model.h"
+#include "nn/module.h"
 #include "radar/point_cloud.h"
 #include "serve/stats.h"
 
@@ -116,8 +116,8 @@ class Session {
 
   /// The model this session predicts with: its adapted clone once online
   /// adaptation has run, else nullptr (= use the shared model).
-  const fuse::nn::MarsCnn* adapted_model() const { return adapted_.get(); }
-  std::unique_ptr<fuse::nn::MarsCnn>& adapted_slot() { return adapted_; }
+  const fuse::nn::Module* adapted_model() const { return adapted_.get(); }
+  std::unique_ptr<fuse::nn::Module>& adapted_slot() { return adapted_; }
 
   /// Labeled-sample ring buffer feeding adaptation rounds.
   struct LabeledSample {
@@ -183,7 +183,7 @@ class Session {
   // Scheduler-thread-only state.
   std::deque<fuse::radar::PointCloud> window_;
   fuse::core::PoseTracker tracker_;
-  std::unique_ptr<fuse::nn::MarsCnn> adapted_;
+  std::unique_ptr<fuse::nn::Module> adapted_;
   std::deque<LabeledSample> adapt_buffer_;
   std::size_t fresh_labeled_ = 0;
 };

@@ -9,12 +9,12 @@
 namespace fuse::serve {
 
 SessionManager::SessionManager(const fuse::core::Predictor* predictor,
-                               const fuse::nn::MarsCnn* shared_model,
+                               const fuse::nn::Module* shared_model,
                                ServeConfig cfg)
     : predictor_(predictor),
       shared_model_(shared_model),
       cfg_(cfg),
-      scheduler_(predictor, shared_model, cfg.max_batch) {
+      scheduler_(predictor, shared_model, cfg.max_batch, cfg.backend) {
   if (!predictor_ || !predictor_->valid())
     throw std::invalid_argument("SessionManager: predictor not fitted");
   if (!shared_model_)

@@ -3,7 +3,7 @@
 //
 // Owns N concurrent sessions, each with its own bounded frame queue,
 // fusion window, pose tracker and (optionally) a per-user fine-tuned clone
-// of the shared meta-learned MarsCnn.  An inference scheduler drains the
+// of the shared meta-learned model.  An inference scheduler drains the
 // queues and micro-batches featurized frames across sessions into single
 // batched forward passes (see serve/scheduler.h for the policy).
 //
@@ -28,7 +28,7 @@
 #include <vector>
 
 #include "core/predictor.h"
-#include "nn/model.h"
+#include "nn/module.h"
 #include "serve/scheduler.h"
 #include "serve/session.h"
 #include "serve/stats.h"
@@ -38,6 +38,9 @@ namespace fuse::serve {
 struct ServeConfig {
   std::size_t max_sessions = 64;
   std::size_t max_batch = 16;      ///< frames per batched forward pass
+  /// Inference compute backend for batched forward passes.  The GEMM
+  /// backend amortises the conv weight panel across the whole batch.
+  fuse::nn::Backend backend = fuse::nn::Backend::kGemm;
   SessionConfig session;           ///< defaults for open_session()
 };
 
@@ -45,7 +48,7 @@ class SessionManager {
  public:
   /// `predictor` (fitted) and `shared_model` must outlive the manager.
   SessionManager(const fuse::core::Predictor* predictor,
-                 const fuse::nn::MarsCnn* shared_model, ServeConfig cfg = {});
+                 const fuse::nn::Module* shared_model, ServeConfig cfg = {});
   ~SessionManager();
 
   SessionManager(const SessionManager&) = delete;
@@ -96,7 +99,7 @@ class SessionManager {
   void scheduler_loop();
 
   const fuse::core::Predictor* predictor_;
-  const fuse::nn::MarsCnn* shared_model_;
+  const fuse::nn::Module* shared_model_;
   ServeConfig cfg_;
   Scheduler scheduler_;
 

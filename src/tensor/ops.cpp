@@ -210,6 +210,51 @@ Tensor im2col(const Tensor& x, std::size_t kh, std::size_t kw,
   return col;
 }
 
+Tensor im2col_batched(const Tensor& x, std::size_t kh, std::size_t kw,
+                      std::size_t stride, std::size_t pad) {
+  if (x.ndim() != 4) throw std::invalid_argument("im2col_batched: need NCHW");
+  const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = conv_out_size(h, kh, stride, pad);
+  const std::size_t ow = conv_out_size(w, kw, stride, pad);
+  const std::size_t hw = oh * ow;
+  Tensor col({c * kh * kw, n * hw});
+  const std::size_t ld = n * hw;
+
+  fuse::util::parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t img = lo; img < hi; ++img) {
+      const float* xp = x.data() + img * c * h * w;
+      std::size_t row = 0;
+      for (std::size_t ch = 0; ch < c; ++ch) {
+        for (std::size_t ky = 0; ky < kh; ++ky) {
+          for (std::size_t kx = 0; kx < kw; ++kx, ++row) {
+            float* out = col.data() + row * ld + img * hw;
+            for (std::size_t oy = 0; oy < oh; ++oy) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride + ky) -
+                  static_cast<std::ptrdiff_t>(pad);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) {
+                std::fill(out + oy * ow, out + (oy + 1) * ow, 0.0f);
+                continue;
+              }
+              const float* src = xp + (ch * h + iy) * w;
+              for (std::size_t ox = 0; ox < ow; ++ox) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                    static_cast<std::ptrdiff_t>(pad);
+                out[oy * ow + ox] =
+                    (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w))
+                        ? 0.0f
+                        : src[ix];
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+  return col;
+}
+
 Tensor col2im(const Tensor& col, std::size_t n, std::size_t c, std::size_t h,
               std::size_t w, std::size_t kh, std::size_t kw,
               std::size_t stride, std::size_t pad) {

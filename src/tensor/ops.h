@@ -34,6 +34,19 @@ Tensor matmul(const Tensor& a, const Tensor& b, Trans trans_a = Trans::kNo,
 Tensor im2col(const Tensor& x, std::size_t kh, std::size_t kw,
               std::size_t stride, std::size_t pad);
 
+/// im2col variant that concatenates all samples along the column axis:
+///
+/// Input  x:   [N, C, H, W]
+/// Output col: [C*kh*kw, N*out_h*out_w]  (sample n occupies columns
+///             [n*out_h*out_w, (n+1)*out_h*out_w))
+///
+/// This is the GEMM-backend lowering: one weight matrix [OC, C*kh*kw]
+/// times this column matrix yields the whole batch's outputs in a single
+/// multiply, so the weight panel is read once per batch instead of once
+/// per sample.
+Tensor im2col_batched(const Tensor& x, std::size_t kh, std::size_t kw,
+                      std::size_t stride, std::size_t pad);
+
 /// Inverse scatter-add of im2col: accumulates columns back into an
 /// [N, C, H, W] gradient image.
 Tensor col2im(const Tensor& col, std::size_t n, std::size_t c, std::size_t h,

@@ -13,7 +13,9 @@ Cli::Cli(int argc, char** argv) {
     arg = arg.substr(2);
     const auto eq = arg.find('=');
     if (eq == std::string::npos) {
-      opts_[arg] = "1";
+      // std::string("1") sidesteps a GCC 12 -Wrestrict false positive in
+      // basic_string::operator=(const char*) (PR105651).
+      opts_[arg] = std::string("1");
     } else {
       opts_[arg.substr(0, eq)] = arg.substr(eq + 1);
     }

@@ -67,6 +67,13 @@ void ThreadPool::parallel_for(
     const std::function<void(std::size_t, std::size_t)>& body,
     std::size_t min_chunk) {
   if (begin >= end) return;
+  // A single-worker pool cannot overlap anything with the caller: chunking
+  // would only add queue/wake handoffs (hundreds of microseconds each on a
+  // busy one-core host), so run the body inline.
+  if (size() <= 1) {
+    body(begin, end);
+    return;
+  }
   const std::size_t n = end - begin;
   const std::size_t max_chunks = size() * 4;
   std::size_t chunk = std::max<std::size_t>(min_chunk, (n + max_chunks - 1) / max_chunks);

@@ -10,6 +10,7 @@
 #include "core/pipeline.h"
 #include "core/tracking.h"
 #include "human/surface.h"
+#include "nn/registry.h"
 #include "radar/processing.h"
 #include "radar/simulator.h"
 #include "util/rng.h"
@@ -35,15 +36,17 @@ TEST(Integration, TrainedModelSerializationRoundTrip) {
   const std::string path = "/tmp/fuse_integration_model.bin";
   pipeline.model().save_file(path);
 
-  fuse::util::Rng rng(1);
-  fuse::nn::MarsCnn reloaded(fuse::data::kChannelsPerFrame, rng);
-  reloaded.load_file(path);
+  fuse::nn::ModelConfig mcfg;
+  mcfg.in_channels = fuse::data::kChannelsPerFrame;
+  mcfg.seed = 1;
+  const auto reloaded = fuse::nn::build_model("mars_cnn", mcfg);
+  reloaded->load_file(path);
 
   // Identical predictions on a real batch.
   const fuse::data::IndexSet batch = {0, 10, 20};
   const auto x = pipeline.featurizer().make_inputs(pipeline.fused(), batch);
   const auto y1 = pipeline.model().predict(x);
-  const auto y2 = reloaded.predict(x);
+  const auto y2 = reloaded->predict(x);
   for (std::size_t i = 0; i < y1.numel(); ++i) EXPECT_EQ(y1[i], y2[i]);
   std::remove(path.c_str());
 }
@@ -113,14 +116,16 @@ TEST(Integration, TrackedStreamIsSmootherThanRaw) {
 TEST(Integration, MetaTrainingRunsOnPipelineData) {
   // Minimal meta-training pass through the facade's data products.
   auto& pipeline = trained_pipeline();
-  fuse::util::Rng rng(13);
-  fuse::nn::MarsCnn model(fuse::data::kChannelsPerFrame, rng);
+  fuse::nn::ModelConfig model_cfg;
+  model_cfg.in_channels = fuse::data::kChannelsPerFrame;
+  model_cfg.seed = 13;
+  const auto model = fuse::nn::build_model("mars_cnn", model_cfg);
   fuse::core::MetaConfig mcfg;
   mcfg.iterations = 3;
   mcfg.tasks_per_iteration = 2;
   mcfg.support_size = 16;
   mcfg.query_size = 16;
-  fuse::core::MetaTrainer meta(&model, mcfg);
+  fuse::core::MetaTrainer meta(model.get(), mcfg);
   const auto hist = meta.run(pipeline.fused(), pipeline.featurizer(),
                              pipeline.split().train);
   EXPECT_EQ(hist.query_loss.size(), 3u);
