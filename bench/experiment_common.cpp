@@ -1,11 +1,14 @@
 #include "experiment_common.h"
 
 #include <cstdio>
+#include <exception>
 #include <fstream>
+#include <mutex>
 
 #include "util/csv.h"
 #include "util/log.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace fuse::bench {
 
@@ -178,13 +181,49 @@ AdaptationLab::run_finetune(bool last_layer_only) {
   const auto baseline_copy = baseline().clone();
   const auto fuse_copy = fuse_model().clone();
 
+  // The two runs are independent adaptations of private model copies over
+  // shared read-only data — the same embarrassing parallelism as the
+  // FOMAML outer loop.  Task-level parallelism only pays while the jobs
+  // saturate the pool: a worker running fine_tune serializes every nested
+  // kernel parallel_for inline, so on hosts wider than the pair the
+  // kernels' own fan-out uses more cores than two pinned workers would —
+  // stay serial there and let each run spread.
   fuse::util::Stopwatch sw;
-  auto base_curve =
-      fuse::core::fine_tune(*baseline_copy, *fused_, feat_, finetune_set_,
-                            eval_new_, eval_original_, base_cfg);
-  auto fuse_curve =
-      fuse::core::fine_tune(*fuse_copy, *fused_, feat_, finetune_set_,
-                            eval_new_, eval_original_, fuse_cfg);
+  fuse::core::FineTuneCurve base_curve, fuse_curve;
+  const auto run_base = [&] {
+    base_curve =
+        fuse::core::fine_tune(*baseline_copy, *fused_, feat_, finetune_set_,
+                              eval_new_, eval_original_, base_cfg);
+  };
+  const auto run_fuse = [&] {
+    fuse_curve =
+        fuse::core::fine_tune(*fuse_copy, *fused_, feat_, finetune_set_,
+                              eval_new_, eval_original_, fuse_cfg);
+  };
+  if (fuse::util::global_pool().size() <= 2) {
+    // Exceptions must not escape a pool worker (std::terminate); capture
+    // the first and rethrow here, preserving the serial error behaviour.
+    std::exception_ptr error = nullptr;
+    std::mutex error_mu;
+    fuse::util::parallel_for(0, 2, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        try {
+          if (i == 0) {
+            run_base();
+          } else {
+            run_fuse();
+          }
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!error) error = std::current_exception();
+        }
+      }
+    }, 1);
+    if (error) std::rethrow_exception(error);
+  } else {
+    run_base();
+    run_fuse();
+  }
   std::printf("[lab] fine-tuning (%s) done [%.1f s]\n",
               last_layer_only ? "last layer" : "all layers", sw.seconds());
   return {std::move(base_curve), std::move(fuse_curve)};

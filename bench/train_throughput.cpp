@@ -1,0 +1,297 @@
+// Training-path throughput: meta-iterations/sec (Algorithm 1) and
+// fine-tune steps/sec (the MAML inner update, core::sgd_step), naive vs
+// GEMM training backend, over 1..N task workers.
+//
+// The serial-naive row is the pre-PR baseline: per-sample conv loops in
+// Conv2d::forward/backward and a strictly serial FOMAML outer loop.  The
+// GEMM backend lowers both training passes onto the batched im2col + tiled
+// GEMM kernels (the backward is three matrix products on the cached column
+// matrix), and the task-parallel outer loop adapts per-task clones
+// concurrently — each row must reproduce the same losses, because the task
+// sampling is pre-drawn on one RNG stream and the meta-gradient reduction
+// runs in task order regardless of worker count.
+//
+// Thread accounting: the "1 thread" rows run the whole workload inside a
+// single-worker pool (nested parallel_for serializes inline there), so no
+// kernel sneaks onto the global pool behind the measurement's back.
+//
+// Run: ./train_throughput [--scale=1] [--smoke] [--out=DIR]
+// Emits DIR/BENCH_train.json (machine-readable perf trajectory).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/finetune.h"
+#include "core/meta.h"
+#include "data/builder.h"
+#include "data/featurize.h"
+#include "data/fusion.h"
+#include "data/split.h"
+#include "nn/registry.h"
+#include "util/cli.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+struct MetaRun {
+  std::string backend;
+  std::size_t threads = 1;
+  double iters_per_sec = 0.0;
+  float final_query_loss = 0.0f;
+};
+
+struct StepRun {
+  std::string backend;
+  double steps_per_sec = 0.0;
+  float last_loss = 0.0f;
+};
+
+struct Bench {
+  const fuse::data::FusedDataset& fused;
+  const fuse::data::Featurizer& feat;
+  const fuse::data::IndexSet& train_pool;
+  fuse::core::MetaConfig mcfg;
+  std::uint64_t model_seed;
+
+  std::unique_ptr<fuse::nn::Module> make_model(fuse::nn::Backend b) const {
+    fuse::nn::ModelConfig cfg;
+    cfg.in_channels = fuse::data::kChannelsPerFrame;
+    cfg.seed = model_seed;
+    auto model = fuse::nn::build_model("mars_cnn", cfg);
+    model->set_train_backend(b);
+    return model;
+  }
+
+  /// One timed meta-training run at the given backend/worker count.
+  MetaRun run_meta(fuse::nn::Backend backend, std::size_t threads) const {
+    MetaRun out;
+    out.backend = fuse::nn::backend_name(backend);
+    out.threads = threads;
+    const auto model = make_model(backend);
+    fuse::core::MetaTrainer meta(model.get(), mcfg);
+    fuse::core::MetaHistory hist;
+    double secs = 0.0;
+    // Confine the run to exactly `threads` workers: the loop executes on a
+    // 1-worker driver pool, so the reduction/outer update — and, at one
+    // thread, every kernel — serialize inline on the driver instead of
+    // escaping to the hardware-wide global pool behind the measurement's
+    // back.  For threads > 1 the per-task adaptations fan out to a
+    // dedicated task pool (cross-pool parallel_for).
+    std::unique_ptr<fuse::util::ThreadPool> task_pool;
+    if (threads > 1) {
+      task_pool = std::make_unique<fuse::util::ThreadPool>(threads);
+      meta.set_task_pool(task_pool.get());
+    }
+    std::exception_ptr error = nullptr;
+    fuse::util::ThreadPool driver(1);
+    driver.submit([&] {
+      try {
+        fuse::util::Stopwatch sw;
+        hist = meta.run(fused, feat, train_pool);
+        secs = sw.seconds();
+      } catch (...) {
+        error = std::current_exception();  // workers must not throw
+      }
+    });
+    driver.wait_idle();
+    if (error) std::rethrow_exception(error);
+    out.iters_per_sec = static_cast<double>(mcfg.iterations) / secs;
+    out.final_query_loss = hist.query_loss.back();
+    return out;
+  }
+
+  /// Fine-tune (online-adaptation) steps/sec: repeated core::sgd_step on a
+  /// fixed featurized batch — exactly the serve runtime's per-user update.
+  StepRun run_steps(fuse::nn::Backend backend, std::size_t batch,
+                    std::size_t steps) const {
+    StepRun out;
+    out.backend = fuse::nn::backend_name(backend);
+    const auto model = make_model(backend);
+    fuse::data::IndexSet batch_set(
+        train_pool.begin(),
+        train_pool.begin() +
+            static_cast<std::ptrdiff_t>(std::min(batch, train_pool.size())));
+    const auto x = feat.make_inputs(fused, batch_set);
+    const auto y = feat.make_labels(fused, batch_set);
+    std::exception_ptr error = nullptr;
+    fuse::util::ThreadPool runner(1);
+    double secs = 0.0;
+    runner.submit([&] {
+      try {
+        (void)fuse::core::sgd_step(*model, x, y, 0.02f);  // warm workspaces
+        fuse::util::Stopwatch sw;
+        for (std::size_t s = 0; s < steps; ++s)
+          out.last_loss = fuse::core::sgd_step(*model, x, y, 0.02f);
+        secs = sw.seconds();
+      } catch (...) {
+        error = std::current_exception();  // workers must not throw
+      }
+    });
+    runner.wait_idle();
+    if (error) std::rethrow_exception(error);
+    out.steps_per_sec = static_cast<double>(steps) / secs;
+    return out;
+  }
+};
+
+void write_json(const std::string& path, std::size_t host_threads,
+                const std::vector<MetaRun>& meta,
+                const std::vector<StepRun>& steps, double meta_speedup_best,
+                double meta_speedup_1t, double step_speedup) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"train_throughput\",\n");
+  std::fprintf(f, "  \"host_threads\": %zu,\n", host_threads);
+  std::fprintf(f, "  \"meta\": [\n");
+  for (std::size_t i = 0; i < meta.size(); ++i)
+    std::fprintf(f,
+                 "    {\"backend\": \"%s\", \"threads\": %zu, "
+                 "\"iters_per_sec\": %.4f, \"final_query_loss\": %.6f}%s\n",
+                 meta[i].backend.c_str(), meta[i].threads,
+                 meta[i].iters_per_sec, meta[i].final_query_loss,
+                 i + 1 < meta.size() ? "," : "");
+  std::fprintf(f, "  ],\n  \"finetune\": [\n");
+  for (std::size_t i = 0; i < steps.size(); ++i)
+    std::fprintf(f,
+                 "    {\"backend\": \"%s\", \"steps_per_sec\": %.2f, "
+                 "\"last_loss\": %.6f}%s\n",
+                 steps[i].backend.c_str(), steps[i].steps_per_sec,
+                 steps[i].last_loss, i + 1 < steps.size() ? "," : "");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"meta_speedup_gemm_1t_over_naive_1t\": %.3f,\n",
+               meta_speedup_1t);
+  std::fprintf(f, "  \"meta_speedup_best_over_naive_1t\": %.3f,\n",
+               meta_speedup_best);
+  std::fprintf(f, "  \"finetune_speedup_gemm_over_naive\": %.3f\n}\n",
+               step_speedup);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fuse::util::Cli cli(argc, argv);
+  const bool smoke = cli.has("smoke");
+  const double scale = smoke ? 0.25 : (cli.paper() ? 1.0 : cli.scale());
+
+  fuse::data::BuilderConfig bcfg;
+  bcfg.frames_per_sequence = fuse::util::scaled(80, scale, 24);
+  bcfg.seed = cli.seed();
+
+  fuse::core::MetaConfig mcfg;
+  mcfg.iterations = smoke ? 2 : fuse::util::scaled(8, scale, 3);
+  mcfg.tasks_per_iteration = smoke ? 4 : 8;
+  mcfg.support_size = smoke ? 32 : 96;
+  mcfg.query_size = mcfg.support_size;
+  mcfg.inner_steps = 2;
+  mcfg.seed = cli.seed() + 19;
+
+  const std::size_t hc = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::size_t> thread_counts{1};
+  for (std::size_t t = 2; t <= std::max<std::size_t>(hc, 2); t *= 2)
+    thread_counts.push_back(t);
+  if (hc > 1 && thread_counts.back() != hc)
+    thread_counts.push_back(hc);  // full width on non-power-of-2 hosts
+
+  std::printf("FUSE training throughput: GEMM training backend + "
+              "task-parallel FOMAML\n(%zu frames/seq, %zu meta-iterations, "
+              "%zu tasks x %zu frames, host threads %zu)\n\n",
+              bcfg.frames_per_sequence, mcfg.iterations,
+              mcfg.tasks_per_iteration, mcfg.support_size, hc);
+
+  fuse::util::Stopwatch prep;
+  const auto dataset = fuse::data::build_dataset(bcfg);
+  const fuse::data::FusedDataset fused(dataset, 1);
+  const auto split = fuse::data::leave_out_split(dataset);
+  fuse::data::Featurizer feat;
+  feat.fit(dataset, split.train);
+  std::printf("dataset ready: %zu frames [%.1f s]\n\n", dataset.size(),
+              prep.seconds());
+
+  const Bench bench{fused, feat, split.train, mcfg, cli.seed() + 17};
+
+  // --------------------------------------------------- meta-training --
+  std::vector<MetaRun> meta_runs;
+  fuse::util::Table meta_table("meta-training throughput (iterations/sec)");
+  meta_table.set_header({"backend", "threads", "iters/sec", "query loss",
+                         "speedup vs naive 1t"});
+  double naive_1t = 0.0;
+  for (const auto backend :
+       {fuse::nn::Backend::kNaive, fuse::nn::Backend::kGemm}) {
+    for (const std::size_t t : thread_counts) {
+      const MetaRun run = bench.run_meta(backend, t);
+      if (run.backend == "naive" && run.threads == 1)
+        naive_1t = run.iters_per_sec;
+      meta_runs.push_back(run);
+      meta_table.add_row(
+          {run.backend, std::to_string(run.threads),
+           fuse::util::Table::num(run.iters_per_sec, 3),
+           fuse::util::Table::num(run.final_query_loss, 4),
+           fuse::util::Table::num(run.iters_per_sec / naive_1t, 2) + "x"});
+    }
+  }
+  std::printf("%s\n", meta_table.to_string().c_str());
+
+  // Every configuration must land on the same losses (deterministic task
+  // pre-sampling + ordered reduction); a drifting row means a data race.
+  bool losses_agree = true;
+  for (const auto& a : meta_runs)
+    for (const auto& b : meta_runs)
+      if (a.backend == b.backend &&
+          std::abs(a.final_query_loss - b.final_query_loss) > 1e-5f)
+        losses_agree = false;
+  std::printf("per-backend losses agree across worker counts: %s\n\n",
+              losses_agree ? "yes" : "NO — DATA RACE?");
+
+  double meta_1t = 0.0, meta_best = 0.0;
+  for (const auto& run : meta_runs) {
+    if (run.backend == "gemm") {
+      meta_best = std::max(meta_best, run.iters_per_sec);
+      if (run.threads == 1) meta_1t = run.iters_per_sec;
+    }
+  }
+
+  // ------------------------------------------------- fine-tune steps --
+  const std::size_t ft_steps = smoke ? 10 : 60;
+  std::vector<StepRun> step_runs;
+  fuse::util::Table ft_table("fine-tune (sgd_step, batch 64) steps/sec");
+  ft_table.set_header({"backend", "steps/sec", "speedup"});
+  for (const auto backend :
+       {fuse::nn::Backend::kNaive, fuse::nn::Backend::kGemm}) {
+    step_runs.push_back(bench.run_steps(backend, 64, ft_steps));
+    ft_table.add_row(
+        {step_runs.back().backend,
+         fuse::util::Table::num(step_runs.back().steps_per_sec, 1),
+         fuse::util::Table::num(step_runs.back().steps_per_sec /
+                                    step_runs.front().steps_per_sec, 2) +
+             "x"});
+  }
+  std::printf("%s\n", ft_table.to_string().c_str());
+
+  const double speedup_1t = meta_1t / naive_1t;
+  const double speedup_best = meta_best / naive_1t;
+  const double speedup_ft =
+      step_runs.back().steps_per_sec / step_runs.front().steps_per_sec;
+  std::printf("meta-training: GEMM single-thread %.2fx %s, best %.2fx over "
+              "the naive serial baseline\nfine-tune steps: GEMM %.2fx\n",
+              speedup_1t,
+              speedup_1t >= 1.3 ? "(>= 1.3x target met)"
+                                : "(below 1.3x target!)",
+              speedup_best, speedup_ft);
+
+  write_json(cli.out_dir() + "/BENCH_train.json", hc, meta_runs, step_runs,
+             speedup_best, speedup_1t, speedup_ft);
+  return losses_agree ? 0 : 1;
+}

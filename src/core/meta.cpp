@@ -1,6 +1,8 @@
 #include "core/meta.h"
 
+#include <exception>
 #include <map>
+#include <mutex>
 #include <utility>
 
 #include "nn/loss.h"
@@ -67,38 +69,75 @@ MetaHistory MetaTrainer::run(const fuse::data::FusedDataset& fused,
   const auto params = model_->params();
   const auto grads = model_->grads();
 
+  const std::size_t n_tasks = cfg_.tasks_per_iteration;
   for (std::size_t it = 0; it < cfg_.iterations; ++it) {
     // Meta-gradient accumulator (Eq. 6 sums query-task losses).
     std::vector<Tensor> meta_grad;
     meta_grad.reserve(params.size());
     for (const Tensor* p : params) meta_grad.emplace_back(p->shape());
 
-    double qloss_acc = 0.0;
-    for (std::size_t t = 0; t < cfg_.tasks_per_iteration; ++t) {
-      // Line 3: sample a task; lines 5 & 8: support / query subsets.
-      IndexSet support, query;
+    // Line 3: sample every task up front (lines 5 & 8: support / query
+    // subsets) on the single RNG stream — the draw order is identical to
+    // the old serial loop, so fixed-seed runs reproduce the same tasks no
+    // matter how many workers adapt them below.
+    std::vector<IndexSet> supports(n_tasks), queries(n_tasks);
+    for (std::size_t t = 0; t < n_tasks; ++t) {
       if (cfg_.task_mode == TaskMode::kPerSequence) {
         const IndexSet& group = groups[rng_.uniform_int(groups.size())];
         fuse::data::TaskSampler task_sampler(group, rng_.fork());
-        support = task_sampler.sample_task(cfg_.support_size);
-        query = task_sampler.sample_task(cfg_.query_size);
+        supports[t] = task_sampler.sample_task(cfg_.support_size);
+        queries[t] = task_sampler.sample_task(cfg_.query_size);
       } else {
-        support = uniform_sampler.sample_task(cfg_.support_size);
-        query = uniform_sampler.sample_task(cfg_.query_size);
+        supports[t] = uniform_sampler.sample_task(cfg_.support_size);
+        queries[t] = uniform_sampler.sample_task(cfg_.query_size);
       }
+    }
 
-      const auto clone = model_->clone();
-      qloss_acc +=
-          task_adapt_and_query(*clone, fused, feat, support, query);
-      const auto clone_grads = clone->grads();
+    // Lines 4-9, embarrassingly parallel: each task adapts its own clone
+    // (private parameters/gradients/caches; the shared model is only read
+    // by clone()).  Kernel-level parallel_for calls inside the workers
+    // serialize inline, so the pool is never oversubscribed.  Exceptions
+    // (shape mismatches, bad_alloc under tasks_per_iteration clones) must
+    // not escape a pool worker — that would std::terminate — so the first
+    // one is captured and rethrown on this thread, preserving the serial
+    // loop's error behaviour.
+    std::vector<std::unique_ptr<fuse::nn::Module>> clones(n_tasks);
+    std::vector<float> qloss(n_tasks, 0.0f);
+    std::exception_ptr task_error = nullptr;
+    std::mutex error_mu;
+    const auto adapt_range = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t t = lo; t < hi; ++t) {
+        try {
+          clones[t] = model_->clone();
+          qloss[t] = task_adapt_and_query(*clones[t], fused, feat,
+                                          supports[t], queries[t]);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!task_error) task_error = std::current_exception();
+        }
+      }
+    };
+    if (pool_) {
+      pool_->parallel_for(0, n_tasks, adapt_range, 1);
+    } else {
+      fuse::util::parallel_for(0, n_tasks, adapt_range, 1);
+    }
+    if (task_error) std::rethrow_exception(task_error);
+
+    // Reduce in task order — float accumulation sequence is fixed, so the
+    // meta-gradient is bit-identical for 1 or N workers.
+    double qloss_acc = 0.0;
+    for (std::size_t t = 0; t < n_tasks; ++t) {
+      qloss_acc += qloss[t];
+      const auto clone_grads = clones[t]->grads();
       for (std::size_t i = 0; i < meta_grad.size(); ++i)
         meta_grad[i] += *clone_grads[i];
+      clones[t].reset();  // release the clone before the next reduction step
     }
 
     // Line 11: single outer update from the summed query gradients
     // (averaged over tasks to keep beta scale-independent).
-    const float inv_tasks =
-        1.0f / static_cast<float>(cfg_.tasks_per_iteration);
+    const float inv_tasks = 1.0f / static_cast<float>(n_tasks);
     for (std::size_t i = 0; i < meta_grad.size(); ++i) {
       meta_grad[i] *= inv_tasks;
       *grads[i] = meta_grad[i];

@@ -28,6 +28,7 @@
 #include "nn/module.h"
 #include "nn/optim.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace fuse::core {
 
@@ -72,6 +73,15 @@ class MetaTrainer {
   MetaTrainer(fuse::nn::Module* model, MetaConfig cfg)
       : model_(model), cfg_(cfg), outer_(cfg.beta), rng_(cfg.seed) {}
 
+  /// Distributes the per-task inner-loop adaptations of each meta-iteration
+  /// over `pool` (nullptr, the default, uses the process-global pool).  The
+  /// outer loop is embarrassingly parallel — every task adapts its own
+  /// clone — and stays deterministic regardless of worker count: tasks are
+  /// sampled sequentially up front (one RNG stream, same draws as the
+  /// serial loop), each adaptation is RNG-free, and the meta-gradient
+  /// reduction runs in task order after all tasks finish.
+  void set_task_pool(fuse::util::ThreadPool* pool) { pool_ = pool; }
+
   /// Runs meta-training over tasks sampled from `train_pool`.
   MetaHistory run(const fuse::data::FusedDataset& fused,
                   const fuse::data::Featurizer& feat,
@@ -91,6 +101,7 @@ class MetaTrainer {
   MetaConfig cfg_;
   fuse::nn::Adam outer_;
   fuse::util::Rng rng_;
+  fuse::util::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace fuse::core

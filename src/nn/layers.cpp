@@ -127,19 +127,22 @@ void gemm_conv_tiled(const float* w, const float* colb, const float* bias,
 }
 
 // Full GEMM-backend convolution: batched im2col, tiled GEMM, then scatter
-// of the [oc, N*hw] product back into the [N, oc, oh, ow] layout.
+// of the [oc, N*hw] product back into the [N, oc, oh, ow] layout.  The
+// caller provides the colb/y2 buffers (Workspace slots on the training
+// path so they recycle across steps, locals on the const inference path),
+// so forward() and infer(kGemm) run bit-identical arithmetic through this
+// single implementation.
 Tensor conv_apply_gemm(const Tensor& x, const Tensor& w, const Tensor& b,
                        std::size_t kernel, std::size_t pad,
-                       std::size_t out_channels) {
+                       std::size_t out_channels, Tensor& colb, Tensor& y2) {
   const std::size_t n = x.dim(0);
   const std::size_t oh = fuse::tensor::conv_out_size(x.dim(2), kernel, 1,
                                                      pad);
   const std::size_t ow = fuse::tensor::conv_out_size(x.dim(3), kernel, 1,
                                                      pad);
   const std::size_t hw = oh * ow;
-  const Tensor colb = fuse::tensor::im2col_batched(x, kernel, kernel, 1,
-                                                   pad);
-  Tensor y2({out_channels, n * hw});
+  fuse::tensor::im2col_batched_into(x, kernel, kernel, 1, pad, colb);
+  y2.resize({out_channels, n * hw});
   gemm_conv_tiled(w.data(), colb.data(), b.data(), y2.data(), out_channels,
                   w.dim(1), n * hw);
 
@@ -170,6 +173,41 @@ Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
   fuse::tensor::init_he_normal(w_, in_channels * kernel * kernel, rng);
 }
 
+Conv2d::Conv2d(const Conv2d& other)
+    : Module(other),
+      in_channels_(other.in_channels_),
+      out_channels_(other.out_channels_),
+      kernel_(other.kernel_),
+      pad_(other.pad_),
+      w_(other.w_),
+      b_(other.b_),
+      gw_(other.gw_),
+      gb_(other.gb_),
+      fwd_backend_(other.fwd_backend_),
+      n_(other.n_),
+      h_(other.h_),
+      w_in_(other.w_in_) {}  // col_ and ws_ start empty: caches not copied
+
+Conv2d& Conv2d::operator=(const Conv2d& other) {
+  if (this == &other) return *this;
+  Module::operator=(other);
+  in_channels_ = other.in_channels_;
+  out_channels_ = other.out_channels_;
+  kernel_ = other.kernel_;
+  pad_ = other.pad_;
+  w_ = other.w_;
+  b_ = other.b_;
+  gw_ = other.gw_;
+  gb_ = other.gb_;
+  fwd_backend_ = other.fwd_backend_;
+  n_ = other.n_;
+  h_ = other.h_;
+  w_in_ = other.w_in_;
+  col_ = Tensor();
+  ws_.clear();
+  return *this;
+}
+
 Tensor Conv2d::forward(const Tensor& x) {
   if (x.ndim() != 4 || x.dim(1) != in_channels_)
     throw std::invalid_argument("Conv2d::forward: bad input shape");
@@ -178,7 +216,18 @@ Tensor Conv2d::forward(const Tensor& x) {
   w_in_ = x.dim(3);
   const std::size_t oh = fuse::tensor::conv_out_size(h_, kernel_, 1, pad_);
   const std::size_t ow = fuse::tensor::conv_out_size(w_in_, kernel_, 1, pad_);
+  fwd_backend_ = train_backend();
 
+  if (fwd_backend_ == Backend::kGemm) {
+    // Cache ONE representation: the batched column matrix (kWsColb), which
+    // is exactly what the GEMM backward consumes.  The per-sample col_ of
+    // the naive path is released, not maintained alongside.  The kernel
+    // owns the buffer shapes; the slots are just recycled storage.
+    col_ = Tensor();
+    return conv_apply_gemm(x, w_, b_, kernel_, pad_, out_channels_,
+                           ws_.slot(kWsColb), ws_.slot(kWsY2));
+  }
+  ws_.clear();  // symmetric: the naive cache replaces the batched one
   col_ = fuse::tensor::im2col(x, kernel_, kernel_, 1, pad_);
   return conv_apply(col_, w_, b_, n_, out_channels_, oh, ow);
 }
@@ -186,8 +235,13 @@ Tensor Conv2d::forward(const Tensor& x) {
 Tensor Conv2d::do_infer(const Tensor& x, Backend backend) const {
   if (x.ndim() != 4 || x.dim(1) != in_channels_)
     throw std::invalid_argument("Conv2d::infer: bad input shape");
-  if (backend == Backend::kGemm)
-    return conv_apply_gemm(x, w_, b_, kernel_, pad_, out_channels_);
+  if (backend == Backend::kGemm) {
+    // Local buffers: do_infer is const and shared across threads, so it
+    // cannot touch the member workspace.  Same kernel as forward().
+    Tensor colb, y2;
+    return conv_apply_gemm(x, w_, b_, kernel_, pad_, out_channels_, colb,
+                           y2);
+  }
   const std::size_t oh = fuse::tensor::conv_out_size(x.dim(2), kernel_, 1,
                                                      pad_);
   const std::size_t ow = fuse::tensor::conv_out_size(x.dim(3), kernel_, 1,
@@ -204,6 +258,12 @@ Tensor Conv2d::backward(const Tensor& dy) {
   if (dy.ndim() != 4 || dy.dim(0) != n_ || dy.dim(1) != out_channels_ ||
       dy.dim(2) != oh || dy.dim(3) != ow)
     throw std::invalid_argument("Conv2d::backward: bad gradient shape");
+  if (fwd_backend_ == Backend::kGemm) return backward_gemm(dy, oh, ow);
+  if (col_.ndim() != 3 || col_.dim(0) != n_ || col_.dim(1) != k ||
+      col_.dim(2) != hw)
+    throw std::logic_error(
+        "Conv2d::backward: no cached forward (run forward() first — copies "
+        "drop the column cache)");
 
   // Gradients are accumulated into partials per chunk, then reduced, so the
   // batch loop can run in parallel without atomics.
@@ -256,6 +316,50 @@ Tensor Conv2d::backward(const Tensor& dy) {
   }
   return fuse::tensor::col2im(dcol, n_, in_channels_, h_, w_in_, kernel_,
                               kernel_, 1, pad_);
+}
+
+Tensor Conv2d::backward_gemm(const Tensor& dy, std::size_t oh,
+                             std::size_t ow) {
+  const std::size_t hw = oh * ow;
+  const std::size_t nhw = n_ * hw;
+  const std::size_t k = in_channels_ * kernel_ * kernel_;
+  if (ws_.slots() <= kWsColb || ws_.at(kWsColb).ndim() != 2 ||
+      ws_.at(kWsColb).dim(0) != k || ws_.at(kWsColb).dim(1) != nhw)
+    throw std::logic_error(
+        "Conv2d::backward: no cached forward (run forward() first — clones "
+        "drop the workspace cache)");
+  const Tensor& colb = ws_.at(kWsColb);
+
+  // Pack dy [N, OC, oh, ow] into the [OC, N*hw] layout of the forward
+  // product, so the gradients are plain 2-D GEMMs on the cached columns.
+  Tensor& dy2 = ws_.get(kWsDy2, {out_channels_, nhw});
+  fuse::util::parallel_for(0, n_, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t nidx = lo; nidx < hi; ++nidx) {
+      const float* dyp = dy.data() + nidx * out_channels_ * hw;
+      for (std::size_t oc = 0; oc < out_channels_; ++oc)
+        std::memcpy(dy2.data() + oc * nhw + nidx * hw, dyp + oc * hw,
+                    hw * sizeof(float));
+    }
+  });
+
+  // gw += dy2 · colbᵀ  — one blocked GEMM over the whole batch (the naive
+  // path does this sample by sample with the weight panel re-read each
+  // time).  beta = 1 keeps the accumulate-into-gradients contract.
+  fuse::tensor::gemm(Trans::kNo, Trans::kYes, 1.0f, dy2, colb, 1.0f, gw_);
+
+  // gb += row sums of dy2 (double accumulator, like the naive reference).
+  for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+    const float* row = dy2.data() + oc * nhw;
+    double acc = 0.0;
+    for (std::size_t p = 0; p < nhw; ++p) acc += row[p];
+    gb_[oc] += static_cast<float>(acc);
+  }
+
+  // dcol = Wᵀ · dy2, scattered back to image space.
+  Tensor& dcol = ws_.get(kWsDcol, {k, nhw});
+  fuse::tensor::gemm(Trans::kYes, Trans::kNo, 1.0f, w_, dy2, 0.0f, dcol);
+  return fuse::tensor::col2im_batched(dcol, n_, in_channels_, h_, w_in_,
+                                      kernel_, kernel_, 1, pad_);
 }
 
 Linear::Linear(std::size_t in_features, std::size_t out_features,

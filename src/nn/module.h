@@ -20,8 +20,11 @@
 //    stable order; param_groups() additionally names coherent sub-lists
 //    (one per parameterised layer) so regimes like last-layer fine-tuning
 //    (Section 4.3.2) need no knowledge of the concrete architecture.
-//  * clone() deep-copies the model (parameters, gradients, caches) — the
-//    MAML inner loop adapts a per-task clone.
+//  * clone() deep-copies the model's parameters and gradients — the MAML
+//    inner loop adapts a per-task clone.  Layer forward caches/scratch are
+//    NOT copied (they are megabytes per conv layer and a clone never
+//    reuses the parent's forward): run forward() on a clone before
+//    backward().
 //  * save()/load() serialize parameters behind an architecture-tag header;
 //    loading a file written by a different architecture throws instead of
 //    silently misloading.
@@ -38,10 +41,11 @@ namespace fuse::nn {
 
 using fuse::tensor::Tensor;
 
-/// Compute backend for the inference hot path.  Training always runs the
-/// reference kernels; inference picks a backend at runtime.
+/// Compute backend for the convolution hot paths.  Inference picks a
+/// backend per call; training picks one per module (train_backend(),
+/// default kGemm) that forward()/backward() dispatch on.
 enum class Backend {
-  /// The reference per-sample loops (bit-identical to forward()).
+  /// The reference per-sample loops.
   kNaive,
   /// im2col + register-tiled blocked GEMM for the convolution hot path;
   /// outputs agree with kNaive to float rounding (~1e-6 relative).
@@ -63,6 +67,9 @@ struct ParamGroup {
 
 class Module {
  public:
+  Module() = default;
+  Module(const Module&) = default;
+  Module& operator=(const Module&) = default;
   virtual ~Module() = default;
 
   // ------------------------------------------------------------ compute --
@@ -79,6 +86,16 @@ class Module {
   }
   /// Inference entry point for call sites that never backprop.
   Tensor predict(const Tensor& x) const { return infer(x); }
+
+  /// Backend used by the training passes (forward/backward).  Defaults to
+  /// kGemm — the batched GEMM kernels — so every training loop (supervised,
+  /// FOMAML inner/outer, online adaptation) gets the fast path; set kNaive
+  /// to run the reference loops (bit-exact legacy arithmetic, used by the
+  /// gradcheck tests as ground truth).  forward() and infer(train_backend())
+  /// compute bit-identical outputs — they share the same kernels.
+  Backend train_backend() const { return train_backend_; }
+  /// Containers override this to propagate the choice to their children.
+  virtual void set_train_backend(Backend b) { train_backend_ = b; }
 
   // --------------------------------------------------------- parameters --
   /// Learnable parameters / their gradients, in a stable order.
@@ -105,7 +122,8 @@ class Module {
   void copy_params_from(const Module& other);
 
   // -------------------------------------------------------------- clone --
-  /// Deep copy (parameters, gradients, caches).
+  /// Deep copy of parameters and gradients; layer caches/scratch are
+  /// dropped, so run forward() on a clone before backward().
   virtual std::unique_ptr<Module> clone() const = 0;
 
   /// Stable architecture tag used by the registry and the serialization
@@ -134,6 +152,9 @@ class Module {
   }
 
   friend class Sequential;  // containers drive do_infer/do_infer_inplace
+
+ private:
+  Backend train_backend_ = Backend::kGemm;
 };
 
 }  // namespace fuse::nn

@@ -5,18 +5,24 @@
 namespace fuse::nn {
 
 Sequential::Sequential(const Sequential& other)
-    : arch_name_(other.arch_name_) {
+    : Module(other), arch_name_(other.arch_name_) {
   children_.reserve(other.children_.size());
   for (const auto& c : other.children_) children_.push_back(c->clone());
 }
 
 Sequential& Sequential::operator=(const Sequential& other) {
   if (this == &other) return *this;
+  Module::operator=(other);
   arch_name_ = other.arch_name_;
   children_.clear();
   children_.reserve(other.children_.size());
   for (const auto& c : other.children_) children_.push_back(c->clone());
   return *this;
+}
+
+void Sequential::set_train_backend(Backend b) {
+  Module::set_train_backend(b);
+  for (const auto& c : children_) c->set_train_backend(b);
 }
 
 Sequential& Sequential::append(std::unique_ptr<Module> child) {

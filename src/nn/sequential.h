@@ -50,6 +50,9 @@ class Sequential : public Module {
   std::vector<Tensor*> params() override;
   std::vector<Tensor*> grads() override;
   std::vector<ParamGroup> param_groups() override;
+  /// Propagates the training backend to every child (children added later
+  /// keep their own default; set after composition).
+  void set_train_backend(Backend b) override;
   std::unique_ptr<Module> clone() const override {
     return std::make_unique<Sequential>(*this);
   }

@@ -212,12 +212,19 @@ Tensor im2col(const Tensor& x, std::size_t kh, std::size_t kw,
 
 Tensor im2col_batched(const Tensor& x, std::size_t kh, std::size_t kw,
                       std::size_t stride, std::size_t pad) {
+  Tensor col;
+  im2col_batched_into(x, kh, kw, stride, pad, col);
+  return col;
+}
+
+void im2col_batched_into(const Tensor& x, std::size_t kh, std::size_t kw,
+                         std::size_t stride, std::size_t pad, Tensor& col) {
   if (x.ndim() != 4) throw std::invalid_argument("im2col_batched: need NCHW");
   const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const std::size_t oh = conv_out_size(h, kh, stride, pad);
   const std::size_t ow = conv_out_size(w, kw, stride, pad);
   const std::size_t hw = oh * ow;
-  Tensor col({c * kh * kw, n * hw});
+  col.resize({c * kh * kw, n * hw});
   const std::size_t ld = n * hw;
 
   fuse::util::parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
@@ -252,7 +259,6 @@ Tensor im2col_batched(const Tensor& x, std::size_t kh, std::size_t kw,
       }
     }
   });
-  return col;
 }
 
 Tensor col2im(const Tensor& col, std::size_t n, std::size_t c, std::size_t h,
@@ -297,32 +303,110 @@ Tensor col2im(const Tensor& col, std::size_t n, std::size_t c, std::size_t h,
   return x;
 }
 
+Tensor col2im_batched(const Tensor& col, std::size_t n, std::size_t c,
+                      std::size_t h, std::size_t w, std::size_t kh,
+                      std::size_t kw, std::size_t stride, std::size_t pad) {
+  Tensor x;
+  col2im_batched_into(col, n, c, h, w, kh, kw, stride, pad, x);
+  return x;
+}
+
+void col2im_batched_into(const Tensor& col, std::size_t n, std::size_t c,
+                         std::size_t h, std::size_t w, std::size_t kh,
+                         std::size_t kw, std::size_t stride, std::size_t pad,
+                         Tensor& x) {
+  const std::size_t oh = conv_out_size(h, kh, stride, pad);
+  const std::size_t ow = conv_out_size(w, kw, stride, pad);
+  const std::size_t hw = oh * ow;
+  if (col.ndim() != 2 || col.dim(0) != c * kh * kw || col.dim(1) != n * hw)
+    throw std::invalid_argument("col2im_batched: column tensor shape mismatch");
+  x.resize({n, c, h, w});
+  x.zero();
+  const std::size_t ld = n * hw;
+
+  // Parallel over images: sample n owns columns [n*hw, (n+1)*hw) of every
+  // row, so the scatter-adds of different chunks never touch the same
+  // output element (no atomics, deterministic for any worker count).
+  fuse::util::parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t img = lo; img < hi; ++img) {
+      float* xp = x.data() + img * c * h * w;
+      std::size_t row = 0;
+      for (std::size_t ch = 0; ch < c; ++ch) {
+        for (std::size_t ky = 0; ky < kh; ++ky) {
+          for (std::size_t kx = 0; kx < kw; ++kx, ++row) {
+            const float* src = col.data() + row * ld + img * hw;
+            for (std::size_t oy = 0; oy < oh; ++oy) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride + ky) -
+                  static_cast<std::ptrdiff_t>(pad);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              float* dst = xp + (ch * h + iy) * w;
+              for (std::size_t ox = 0; ox < ow; ++ox) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                    static_cast<std::ptrdiff_t>(pad);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                dst[ix] += src[oy * ow + ox];
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+namespace {
+
+// Elementwise kernels are branchless (ternary selects compile to vector
+// blends under -O3) and chunked over the pool for large tensors; the
+// min_chunk keeps small activations serial where fork/join overhead would
+// dominate.
+constexpr std::size_t kElemwiseMinChunk = 1 << 14;
+
+}  // namespace
+
 Tensor relu(const Tensor& x) {
-  Tensor y = x;
-  for (std::size_t i = 0; i < y.numel(); ++i)
-    if (y[i] < 0.0f) y[i] = 0.0f;
+  Tensor y(x.shape());
+  const float* xp = x.data();
+  float* yp = y.data();
+  fuse::util::parallel_for(0, x.numel(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      yp[i] = xp[i] > 0.0f ? xp[i] : 0.0f;
+  }, kElemwiseMinChunk);
   return y;
 }
 
 void relu_inplace(Tensor& x) {
   float* p = x.data();
-  const std::size_t n = x.numel();
-  for (std::size_t i = 0; i < n; ++i)
-    if (p[i] < 0.0f) p[i] = 0.0f;
+  fuse::util::parallel_for(0, x.numel(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      p[i] = p[i] > 0.0f ? p[i] : 0.0f;
+  }, kElemwiseMinChunk);
 }
 
 Tensor relu_backward(const Tensor& dy, const Tensor& x) {
   check_same_shape(dy, x, "relu_backward");
-  Tensor dx = dy;
-  for (std::size_t i = 0; i < dx.numel(); ++i)
-    if (x[i] <= 0.0f) dx[i] = 0.0f;
+  Tensor dx(dy.shape());
+  const float* dyp = dy.data();
+  const float* xp = x.data();
+  float* dxp = dx.data();
+  fuse::util::parallel_for(0, dx.numel(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      dxp[i] = xp[i] > 0.0f ? dyp[i] : 0.0f;
+  }, kElemwiseMinChunk);
   return dx;
 }
 
 Tensor hadamard(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "hadamard");
-  Tensor c = a;
-  for (std::size_t i = 0; i < c.numel(); ++i) c[i] *= b[i];
+  Tensor c(a.shape());
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* cp = c.data();
+  fuse::util::parallel_for(0, c.numel(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) cp[i] = ap[i] * bp[i];
+  }, kElemwiseMinChunk);
   return c;
 }
 
@@ -330,20 +414,29 @@ void add_row_bias(Tensor& x, const Tensor& bias) {
   if (x.ndim() != 2 || bias.ndim() != 1 || bias.dim(0) != x.dim(1))
     throw std::invalid_argument("add_row_bias: shape mismatch");
   const std::size_t n = x.dim(0), f = x.dim(1);
-  for (std::size_t r = 0; r < n; ++r) {
-    float* row = x.data() + r * f;
-    for (std::size_t c = 0; c < f; ++c) row[c] += bias[c];
-  }
+  const float* bp = bias.data();
+  fuse::util::parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      float* row = x.data() + r * f;
+      for (std::size_t c = 0; c < f; ++c) row[c] += bp[c];
+    }
+  }, std::max<std::size_t>(1, kElemwiseMinChunk / std::max<std::size_t>(f, 1)));
 }
 
 Tensor sum_rows(const Tensor& x) {
   if (x.ndim() != 2) throw std::invalid_argument("sum_rows: need 2-D");
   const std::size_t n = x.dim(0), f = x.dim(1);
   Tensor out({f});
-  for (std::size_t r = 0; r < n; ++r) {
-    const float* row = x.data() + r * f;
-    for (std::size_t c = 0; c < f; ++c) out[c] += row[c];
-  }
+  float* op = out.data();
+  // Parallel over column blocks: every worker owns a disjoint slice of the
+  // output and walks the rows in the same fixed order, so the result is
+  // deterministic for any worker count.
+  fuse::util::parallel_for(0, f, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = 0; r < n; ++r) {
+      const float* row = x.data() + r * f;
+      for (std::size_t c = lo; c < hi; ++c) op[c] += row[c];
+    }
+  }, 256);
   return out;
 }
 

@@ -47,11 +47,31 @@ Tensor im2col(const Tensor& x, std::size_t kh, std::size_t kw,
 Tensor im2col_batched(const Tensor& x, std::size_t kh, std::size_t kw,
                       std::size_t stride, std::size_t pad);
 
+/// Allocation-free im2col_batched: writes into `col`, which is resized to
+/// [C*kh*kw, N*out_h*out_w] reusing its storage (pass a Workspace slot so
+/// steady-shape training loops stop allocating column matrices per step).
+void im2col_batched_into(const Tensor& x, std::size_t kh, std::size_t kw,
+                         std::size_t stride, std::size_t pad, Tensor& col);
+
 /// Inverse scatter-add of im2col: accumulates columns back into an
 /// [N, C, H, W] gradient image.
 Tensor col2im(const Tensor& col, std::size_t n, std::size_t c, std::size_t h,
               std::size_t w, std::size_t kh, std::size_t kw,
               std::size_t stride, std::size_t pad);
+
+/// Inverse scatter-add of im2col_batched: col is [C*kh*kw, N*out_h*out_w],
+/// the result accumulates into a zeroed [N, C, H, W] gradient image.  This
+/// is the dx path of the GEMM conv backward (dx = col2im(W^T * dy2)).
+Tensor col2im_batched(const Tensor& col, std::size_t n, std::size_t c,
+                      std::size_t h, std::size_t w, std::size_t kh,
+                      std::size_t kw, std::size_t stride, std::size_t pad);
+
+/// Allocation-free col2im_batched: `x` is resized to [N, C, H, W] (storage
+/// reused), zeroed, and scatter-accumulated into.
+void col2im_batched_into(const Tensor& col, std::size_t n, std::size_t c,
+                         std::size_t h, std::size_t w, std::size_t kh,
+                         std::size_t kw, std::size_t stride, std::size_t pad,
+                         Tensor& x);
 
 /// y = relu(x), elementwise.
 Tensor relu(const Tensor& x);

@@ -7,6 +7,7 @@ namespace fuse::util {
 
 namespace {
 thread_local bool t_inside_pool_worker = false;
+thread_local const void* t_worker_pool = nullptr;  // owning pool, if worker
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t n) {
@@ -45,6 +46,7 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::worker_loop() {
   t_inside_pool_worker = true;
+  t_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -62,11 +64,24 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool ThreadPool::inside_pool_worker() { return t_inside_pool_worker; }
+
 void ThreadPool::parallel_for(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& body,
     std::size_t min_chunk) {
   if (begin >= end) return;
+  // Nested use from inside one of THIS pool's own workers: run inline.
+  // Submitting chunks and blocking here would deadlock a pool whose
+  // workers are all inside parallel_for (each waits for chunks that only
+  // it could pop).  Calls from another pool's worker DO fan out — that is
+  // how a driver thread confines a workload to an explicit worker set
+  // (bench/train_throughput) — the caller blocks on a local cv while this
+  // pool's workers drain the chunks, which cannot cycle back here.
+  if (t_worker_pool == this) {
+    body(begin, end);
+    return;
+  }
   // A single-worker pool cannot overlap anything with the caller: chunking
   // would only add queue/wake handoffs (hundreds of microseconds each on a
   // busy one-core host), so run the body inline.

