@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the committed bench JSONs.
+
+Compares a freshly generated bench JSON (BENCH_train.json /
+BENCH_serve.json, --smoke runs) against the committed baseline and fails
+on:
+
+  * any *speedup* ratio dropping more than --max-drop (default 15%) below
+    the baseline — ratios (gemm vs naive, int8 vs gemm, task-parallel vs
+    serial) are what the PRs promised and they are robust to the absolute
+    speed of the CI runner, unlike raw frames/sec;
+  * any *loss* field drifting more than --loss-tol (default 5e-3) from the
+    baseline — losses are deterministic for a fixed seed and scale, so
+    drift beyond compiler-rounding noise means the arithmetic changed.
+
+Rows inside JSON arrays are matched by their identity keys (backend,
+threads, sessions, batch) so a CI host with more cores than the baseline
+host simply contributes extra, ungated rows.
+
+Usage:
+  check_regression.py BASELINE FRESH [--max-drop 0.15] [--loss-tol 5e-3]
+"""
+
+import argparse
+import json
+import sys
+
+IDENTITY_KEYS = ("backend", "threads", "sessions", "batch")
+
+
+def row_key(row):
+    return tuple((k, row[k]) for k in IDENTITY_KEYS if k in row)
+
+
+def is_speedup(key):
+    return "speedup" in key
+
+
+def is_loss(key):
+    return "loss" in key and "speedup" not in key
+
+
+def compare(baseline, fresh, path, args, failures, checked):
+    if isinstance(baseline, dict):
+        if not isinstance(fresh, dict):
+            failures.append(f"{path}: fresh value is not an object")
+            return
+        for key, base_val in baseline.items():
+            if key not in fresh:
+                if is_speedup(key) or is_loss(key):
+                    failures.append(f"{path}.{key}: missing from fresh run")
+                continue
+            compare(base_val, fresh[key], f"{path}.{key}", args, failures,
+                    checked)
+    elif isinstance(baseline, list):
+        if not isinstance(fresh, list):
+            failures.append(f"{path}: fresh value is not an array")
+            return
+        if baseline and isinstance(baseline[0], dict):
+            fresh_by_key = {row_key(r): r for r in fresh
+                            if isinstance(r, dict)}
+            for row in baseline:
+                key = row_key(row)
+                match = fresh_by_key.get(key)
+                if match is None:
+                    # A baseline row the CI host cannot reproduce (e.g. a
+                    # thread count beyond its cores) is skipped, not failed.
+                    print(f"note: {path}{list(key)}: no matching fresh row, "
+                          "skipped")
+                    continue
+                compare(row, match, f"{path}{list(key)}", args, failures,
+                        checked)
+    elif isinstance(baseline, (int, float)) and not isinstance(baseline, bool):
+        key = path.rsplit(".", 1)[-1]
+        if is_speedup(key):
+            checked.append(path)
+            floor = baseline * (1.0 - args.max_drop)
+            if fresh < floor:
+                failures.append(
+                    f"{path}: speedup {fresh:.3f} dropped below "
+                    f"{floor:.3f} (baseline {baseline:.3f}, "
+                    f"max drop {args.max_drop:.0%})")
+        elif is_loss(key):
+            checked.append(path)
+            if abs(fresh - baseline) > args.loss_tol:
+                failures.append(
+                    f"{path}: loss {fresh:.6f} drifted from baseline "
+                    f"{baseline:.6f} by {abs(fresh - baseline):.6f} "
+                    f"(tol {args.loss_tol})")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--max-drop", type=float, default=0.15,
+                        help="max allowed fractional speedup drop")
+    parser.add_argument("--loss-tol", type=float, default=5e-3,
+                        help="max allowed absolute loss drift")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    failures, checked = [], []
+    compare(baseline, fresh, "$", args, failures, checked)
+
+    if not checked:
+        print(f"error: no speedup/loss fields found in {args.baseline}")
+        return 2
+    print(f"checked {len(checked)} gated fields from {args.baseline}")
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        return 1
+    print("perf-regression gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,7 @@
 #include "nn/layers.h"
 #include "nn/loss.h"
 #include "nn/optim.h"
+#include "nn/quant.h"
 #include "nn/registry.h"
 #include "radar/fast_model.h"
 #include "radar/processing.h"
@@ -165,10 +166,12 @@ BENCHMARK(BM_FeaturizeFusedSample)->Unit(benchmark::kMicrosecond);
 
 // ------------------------------------------------------------------- NN --
 
-// Conv forward, naive reference loops vs the im2col+GEMM backend.  This is
-// the serving hot path; the GEMM backend's batch-wide weight reuse and
-// register tiling must show up from batch 8 on (see ISSUE 2 acceptance:
-// >= 1.5x at batch >= 8).  Conv shape = the model's second (wider) layer.
+// Conv forward, naive reference loops vs the im2col+GEMM backend vs the
+// calibrated int8 backend.  This is the serving hot path; the GEMM
+// backend's batch-wide weight reuse and register tiling must show up from
+// batch 8 on (see ISSUE 2 acceptance: >= 1.5x at batch >= 8), and the int8
+// backend must beat GEMM where weight traffic dominates (small batches,
+// see ISSUE 4).  Conv shape = the model's second (wider) layer.
 void BM_ConvForward(benchmark::State& state,
                     fuse::nn::Backend backend) {
   const std::size_t batch = static_cast<std::size_t>(state.range(0));
@@ -176,6 +179,8 @@ void BM_ConvForward(benchmark::State& state,
   fuse::nn::Conv2d conv(16, 32, 3, 1, rng);
   fuse::tensor::Tensor x({batch, 16, 8, 8});
   for (std::size_t i = 0; i < x.numel(); ++i) x[i] = rng.uniformf(-1, 1);
+  if (backend == fuse::nn::Backend::kInt8)
+    (void)fuse::nn::calibrate(conv, x);
   for (auto _ : state) {
     auto y = conv.infer(x, backend);
     benchmark::DoNotOptimize(y.data());
@@ -187,6 +192,8 @@ BENCHMARK_CAPTURE(BM_ConvForward, naive, fuse::nn::Backend::kNaive)
     ->Arg(1)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
 BENCHMARK_CAPTURE(BM_ConvForward, gemm, fuse::nn::Backend::kGemm)
     ->Arg(1)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_ConvForward, int8, fuse::nn::Backend::kInt8)
+    ->Arg(1)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
 
 void BM_CnnInference(benchmark::State& state, fuse::nn::Backend backend) {
   const std::size_t batch = static_cast<std::size_t>(state.range(0));
@@ -194,6 +201,8 @@ void BM_CnnInference(benchmark::State& state, fuse::nn::Backend backend) {
   const auto model = fuse::nn::build_model("mars_cnn", {.seed = 10});
   fuse::tensor::Tensor x({batch, 5, 8, 8});
   for (std::size_t i = 0; i < x.numel(); ++i) x[i] = rng.uniformf(-1, 1);
+  if (backend == fuse::nn::Backend::kInt8)
+    (void)fuse::nn::calibrate(*model, x);
   for (auto _ : state) {
     auto y = model->infer(x, backend);
     benchmark::DoNotOptimize(y.data());
@@ -202,9 +211,11 @@ void BM_CnnInference(benchmark::State& state, fuse::nn::Backend backend) {
                           static_cast<std::int64_t>(batch));
 }
 BENCHMARK_CAPTURE(BM_CnnInference, naive, fuse::nn::Backend::kNaive)
-    ->Arg(1)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
+    ->Arg(1)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
 BENCHMARK_CAPTURE(BM_CnnInference, gemm, fuse::nn::Backend::kGemm)
-    ->Arg(1)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
+    ->Arg(1)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_CnnInference, int8, fuse::nn::Backend::kInt8)
+    ->Arg(1)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
 
 void BM_CnnTrainStep(benchmark::State& state) {
   fuse::util::Rng rng(11);

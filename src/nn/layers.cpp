@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <vector>
 
+#include "nn/quant.h"
 #include "tensor/init.h"
+#include "tensor/quant.h"
 #include "util/thread_pool.h"
 
 namespace fuse::nn {
@@ -158,6 +161,58 @@ Tensor conv_apply_gemm(const Tensor& x, const Tensor& w, const Tensor& b,
   return y;
 }
 
+// Int8 convolution: float im2col (shared with the GEMM backend), affine
+// quantization of the column matrix into the K-contiguous transposed
+// layout, the int8 NT GEMM, then a fused dequantize + zero-point
+// correction + bias + scatter into the [N, OC, oh, ow] output.  All
+// scratch is thread-local (do_infer is const and thread-shared), recycled
+// across calls so steady-shape serving allocates only the output tensor.
+Tensor conv_apply_int8(const Tensor& x, const fuse::nn::QuantState& qs,
+                       const Tensor& b, std::size_t kernel, std::size_t pad,
+                       std::size_t out_channels) {
+  const std::size_t n = x.dim(0);
+  const std::size_t oh = fuse::tensor::conv_out_size(x.dim(2), kernel, 1,
+                                                     pad);
+  const std::size_t ow = fuse::tensor::conv_out_size(x.dim(3), kernel, 1,
+                                                     pad);
+  const std::size_t hw = oh * ow;
+  const std::size_t nc = n * hw;
+  const std::size_t k = x.dim(1) * kernel * kernel;
+
+  thread_local fuse::tensor::Workspace ws;
+  Tensor& colb = ws.slot(0);
+  fuse::tensor::im2col_batched_into(x, kernel, kernel, 1, pad, colb);
+
+  thread_local std::vector<std::int8_t> qcolt;
+  qcolt.resize(nc * k);
+  fuse::tensor::quantize_affine_transposed(colb.data(), k, nc, qs.act,
+                                           qcolt.data());
+
+  thread_local std::vector<std::int32_t> acc;
+  acc.resize(out_channels * nc);
+  fuse::tensor::gemm_s8s8s32_nt(qs.qw.data(), qcolt.data(), acc.data(),
+                                out_channels, k, nc);
+
+  Tensor y({n, out_channels, oh, ow});
+  const float sx = qs.act.scale;
+  const std::int32_t zp = qs.act.zp;
+  fuse::util::parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t nidx = lo; nidx < hi; ++nidx) {
+      float* yp = y.data() + nidx * out_channels * hw;
+      for (std::size_t oc = 0; oc < out_channels; ++oc) {
+        const float scale = qs.w_scales[oc] * sx;
+        const std::int32_t corr = zp * qs.w_row_sums[oc];
+        const float bias = b[oc];
+        const std::int32_t* arow = acc.data() + oc * nc + nidx * hw;
+        float* yrow = yp + oc * hw;
+        for (std::size_t p = 0; p < hw; ++p)
+          yrow[p] = scale * static_cast<float>(arow[p] - corr) + bias;
+      }
+    }
+  });
+  return y;
+}
+
 }  // namespace
 
 Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
@@ -205,6 +260,7 @@ Conv2d& Conv2d::operator=(const Conv2d& other) {
   w_in_ = other.w_in_;
   col_ = Tensor();
   ws_.clear();
+  quant_.reset();  // derived from weights this layer no longer matches
   return *this;
 }
 
@@ -235,6 +291,12 @@ Tensor Conv2d::forward(const Tensor& x) {
 Tensor Conv2d::do_infer(const Tensor& x, Backend backend) const {
   if (x.ndim() != 4 || x.dim(1) != in_channels_)
     throw std::invalid_argument("Conv2d::infer: bad input shape");
+  if (backend == Backend::kInt8) {
+    // Uncalibrated layers serve the fp32 GEMM path instead (fresh clones,
+    // partially quantized models).
+    if (!quant_) return do_infer(x, Backend::kGemm);
+    return conv_apply_int8(x, *quant_, b_, kernel_, pad_, out_channels_);
+  }
   if (backend == Backend::kGemm) {
     // Local buffers: do_infer is const and shared across threads, so it
     // cannot touch the member workspace.  Same kernel as forward().
@@ -373,6 +435,30 @@ Linear::Linear(std::size_t in_features, std::size_t out_features,
   fuse::tensor::init_he_normal(w_, in_features, rng);
 }
 
+Linear::Linear(const Linear& other)
+    : Module(other),
+      in_features_(other.in_features_),
+      out_features_(other.out_features_),
+      w_(other.w_),
+      b_(other.b_),
+      gw_(other.gw_),
+      gb_(other.gb_),
+      x_(other.x_) {}  // quant_ stays null: int8 state is not copied
+
+Linear& Linear::operator=(const Linear& other) {
+  if (this == &other) return *this;
+  Module::operator=(other);
+  in_features_ = other.in_features_;
+  out_features_ = other.out_features_;
+  w_ = other.w_;
+  b_ = other.b_;
+  gw_ = other.gw_;
+  gb_ = other.gb_;
+  x_ = other.x_;
+  quant_.reset();
+  return *this;
+}
+
 Tensor Linear::forward(const Tensor& x) {
   if (x.ndim() != 2 || x.dim(1) != in_features_)
     throw std::invalid_argument("Linear::forward: bad input shape");
@@ -382,10 +468,38 @@ Tensor Linear::forward(const Tensor& x) {
   return y;
 }
 
-Tensor Linear::do_infer(const Tensor& x, Backend /*backend*/) const {
-  // The FC layers already funnel into the blocked GEMM for every backend.
+Tensor Linear::do_infer(const Tensor& x, Backend backend) const {
   if (x.ndim() != 2 || x.dim(1) != in_features_)
     throw std::invalid_argument("Linear::infer: bad input shape");
+  if (backend == Backend::kInt8 && quant_) {
+    // y[n][of] = sw[of]·sx·(Σ_k qx[n][k]·qw[of][k] − zp·Σ_k qw[of][k]) + b.
+    // This is the layer the int8 backend exists for: fc1's ~1M-parameter
+    // panel moves as 1 byte/weight instead of 4.
+    const QuantState& qs = *quant_;
+    const std::size_t n = x.dim(0);
+    thread_local std::vector<std::int8_t> qx;
+    qx.resize(n * in_features_);
+    fuse::tensor::quantize_affine(x.data(), n * in_features_, qs.act,
+                                  qx.data());
+    thread_local std::vector<std::int32_t> acc;
+    acc.resize(n * out_features_);
+    fuse::tensor::gemm_s8s8s32_nt(qx.data(), qs.qw.data(), acc.data(), n,
+                                  in_features_, out_features_);
+    Tensor y({n, out_features_});
+    const float sx = qs.act.scale;
+    const std::int32_t zp = qs.act.zp;
+    for (std::size_t r = 0; r < n; ++r) {
+      const std::int32_t* arow = acc.data() + r * out_features_;
+      float* yrow = y.data() + r * out_features_;
+      for (std::size_t of = 0; of < out_features_; ++of)
+        yrow[of] = qs.w_scales[of] * sx *
+                       static_cast<float>(arow[of] - zp * qs.w_row_sums[of]) +
+                   b_[of];
+    }
+    return y;
+  }
+  // The FC layers already funnel into the blocked GEMM for every fp32
+  // backend (and for kInt8 on an uncalibrated layer).
   Tensor y = fuse::tensor::matmul(x, w_, Trans::kNo, Trans::kYes);
   fuse::tensor::add_row_bias(y, b_);
   return y;

@@ -36,7 +36,23 @@ void set_default_backend(Backend b) {
 }
 
 const char* backend_name(Backend b) {
-  return b == Backend::kGemm ? "gemm" : "naive";
+  switch (b) {
+    case Backend::kGemm:
+      return "gemm";
+    case Backend::kInt8:
+      return "int8";
+    case Backend::kNaive:
+      break;
+  }
+  return "naive";
+}
+
+Backend backend_from_name(const std::string& name) {
+  if (name == "naive") return Backend::kNaive;
+  if (name == "gemm") return Backend::kGemm;
+  if (name == "int8") return Backend::kInt8;
+  throw std::invalid_argument("unknown backend '" + name +
+                              "' (expected naive | gemm | int8)");
 }
 
 std::vector<const Tensor*> Module::params() const {

@@ -1,0 +1,302 @@
+#include "nn/quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+#include "nn/layers.h"
+#include "nn/sequential.h"
+
+namespace fuse::nn {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'U', 'S', 'E', 'Q', 'N', 'T', '1'};
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("QuantParams::load: truncated stream");
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const std::uint64_t len = read_u64(is);
+  if (len > 4096)
+    throw std::runtime_error("QuantParams::load: corrupt string length");
+  std::string s(len, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(len));
+  if (!is) throw std::runtime_error("QuantParams::load: truncated stream");
+  return s;
+}
+
+void write_floats(std::ostream& os, const std::vector<float>& v) {
+  write_u64(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+std::vector<float> read_floats(std::istream& is) {
+  const std::uint64_t n = read_u64(is);
+  if (n > (1u << 24))
+    throw std::runtime_error("QuantParams::load: corrupt vector length");
+  std::vector<float> v(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  if (!is) throw std::runtime_error("QuantParams::load: truncated stream");
+  return v;
+}
+
+/// A quantizable layer found by the forward-order walk; exactly one of
+/// conv/linear is non-null.
+struct QLayer {
+  std::string name;
+  Conv2d* conv = nullptr;
+  Linear* linear = nullptr;
+};
+
+/// Collects quantizable layers in forward order.  Sequential containers
+/// recurse; anything else is either a quantizable leaf or skipped.
+void collect_layers(Module& m, std::vector<QLayer>& out) {
+  if (auto* seq = dynamic_cast<Sequential*>(&m)) {
+    for (std::size_t i = 0; i < seq->size(); ++i)
+      collect_layers(seq->child(i), out);
+    return;
+  }
+  QLayer ql;
+  ql.conv = dynamic_cast<Conv2d*>(&m);
+  ql.linear = dynamic_cast<Linear*>(&m);
+  if (!ql.conv && !ql.linear) return;
+  ql.name = std::to_string(out.size()) + ":" + m.arch_name();
+  out.push_back(ql);
+}
+
+/// Read-only variant for const contexts (is_quantized).
+struct ConstQLayer {
+  const Conv2d* conv = nullptr;
+  const Linear* linear = nullptr;
+};
+
+void collect_layers(const Module& m, std::vector<ConstQLayer>& out) {
+  if (const auto* seq = dynamic_cast<const Sequential*>(&m)) {
+    for (std::size_t i = 0; i < seq->size(); ++i)
+      collect_layers(seq->child(i), out);
+    return;
+  }
+  ConstQLayer ql;
+  ql.conv = dynamic_cast<const Conv2d*>(&m);
+  ql.linear = dynamic_cast<const Linear*>(&m);
+  if (ql.conv || ql.linear) out.push_back(ql);
+}
+
+/// Per-channel [min, max] of a batch: channel = dim 1 for 4-D activations,
+/// a single whole-tensor range for 2-D ones (a per-feature range for fc1's
+/// 2048 features would bloat the blob without changing the derived
+/// per-tensor scale).
+void observe_ranges(const Tensor& x, std::vector<float>& mins,
+                    std::vector<float>& maxs) {
+  const std::size_t channels = x.ndim() == 4 ? x.dim(1) : 1;
+  mins.assign(channels, std::numeric_limits<float>::max());
+  maxs.assign(channels, std::numeric_limits<float>::lowest());
+  if (x.ndim() == 4) {
+    const std::size_t hw = x.dim(2) * x.dim(3);
+    for (std::size_t nidx = 0; nidx < x.dim(0); ++nidx)
+      for (std::size_t c = 0; c < channels; ++c) {
+        const float* p = x.data() + (nidx * channels + c) * hw;
+        for (std::size_t i = 0; i < hw; ++i) {
+          mins[c] = std::min(mins[c], p[i]);
+          maxs[c] = std::max(maxs[c], p[i]);
+        }
+      }
+  } else {
+    for (std::size_t i = 0; i < x.numel(); ++i) {
+      mins[0] = std::min(mins[0], x[i]);
+      maxs[0] = std::max(maxs[0], x[i]);
+    }
+  }
+}
+
+std::vector<float> weight_absmax(const Tensor& w) {
+  std::vector<float> out(w.dim(0), 0.0f);
+  const std::size_t cols = w.dim(1);
+  for (std::size_t r = 0; r < w.dim(0); ++r) {
+    const float* row = w.data() + r * cols;
+    for (std::size_t c = 0; c < cols; ++c)
+      out[r] = std::max(out[r], std::fabs(row[c]));
+  }
+  return out;
+}
+
+/// Builds and attaches one layer's int8 state from its blob entry.
+void attach_state(const QLayer& ql, const QuantParams::Layer& entry) {
+  Tensor& w = ql.conv ? ql.conv->weight() : ql.linear->weight();
+  auto qs = std::make_shared<QuantState>();
+  qs->w_scales.resize(entry.w_absmax.size());
+  for (std::size_t r = 0; r < entry.w_absmax.size(); ++r)
+    qs->w_scales[r] = entry.w_absmax[r] / 127.0f;
+  fuse::tensor::quantize_per_channel_with_scales(w, qs->w_scales, qs->qw,
+                                                 qs->w_row_sums);
+  float lo = 0.0f, hi = 0.0f;
+  for (const float v : entry.act_min) lo = std::min(lo, v);
+  for (const float v : entry.act_max) hi = std::max(hi, v);
+  qs->act = fuse::tensor::affine_from_range(lo, hi);
+  if (ql.conv)
+    ql.conv->set_quant_state(std::move(qs));
+  else
+    ql.linear->set_quant_state(std::move(qs));
+}
+
+/// The fp32 observation pass: thread the calibration batch through the
+/// children in inference order, recording every quantizable layer's input
+/// range before computing its (kGemm) output.
+Tensor observe(Module& m, Tensor h, std::vector<QuantParams::Layer>& layers) {
+  if (auto* seq = dynamic_cast<Sequential*>(&m)) {
+    for (std::size_t i = 0; i < seq->size(); ++i)
+      h = observe(seq->child(i), std::move(h), layers);
+    return h;
+  }
+  if (dynamic_cast<Conv2d*>(&m) != nullptr ||
+      dynamic_cast<Linear*>(&m) != nullptr) {
+    QuantParams::Layer entry;
+    entry.name = std::to_string(layers.size()) + ":" + m.arch_name();
+    observe_ranges(h, entry.act_min, entry.act_max);
+    Tensor* w = m.params().at(0);
+    entry.w_absmax = weight_absmax(*w);
+    layers.push_back(std::move(entry));
+  }
+  return m.infer(h, Backend::kGemm);
+}
+
+}  // namespace
+
+void QuantParams::save(std::ostream& os) const {
+  os.write(kMagic, sizeof(kMagic));
+  write_string(os, arch);
+  write_u64(os, layers.size());
+  for (const Layer& l : layers) {
+    write_string(os, l.name);
+    write_floats(os, l.w_absmax);
+    write_floats(os, l.act_min);
+    write_floats(os, l.act_max);
+  }
+}
+
+QuantParams QuantParams::load(std::istream& is) {
+  char magic[sizeof(kMagic)] = {};
+  is.read(magic, sizeof(magic));
+  if (!is || std::string(magic, sizeof(magic)) !=
+                 std::string(kMagic, sizeof(kMagic)))
+    throw std::runtime_error("QuantParams::load: not a FUSE quant stream");
+  QuantParams qp;
+  qp.arch = read_string(is);
+  const std::uint64_t count = read_u64(is);
+  if (count > 4096)
+    throw std::runtime_error("QuantParams::load: corrupt layer count");
+  qp.layers.resize(count);
+  for (Layer& l : qp.layers) {
+    l.name = read_string(is);
+    l.w_absmax = read_floats(is);
+    l.act_min = read_floats(is);
+    l.act_max = read_floats(is);
+    if (l.act_min.size() != l.act_max.size())
+      throw std::runtime_error("QuantParams::load: corrupt range vectors");
+  }
+  return qp;
+}
+
+void QuantParams::save_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os)
+    throw std::runtime_error("QuantParams::save_file: cannot open " + path);
+  save(os);
+}
+
+QuantParams QuantParams::load_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is)
+    throw std::runtime_error("QuantParams::load_file: cannot open " + path);
+  return load(is);
+}
+
+QuantParams calibrate(Module& model, const Tensor& data) {
+  QuantParams qp;
+  qp.arch = model.arch_name();
+  (void)observe(model, data, qp.layers);
+  apply_quant_params(model, qp);
+  return qp;
+}
+
+void apply_quant_params(Module& model, const QuantParams& qp) {
+  if (qp.arch != model.arch_name())
+    throw std::runtime_error("apply_quant_params: architecture mismatch ('" +
+                             qp.arch + "' vs '" + model.arch_name() + "')");
+  std::vector<QLayer> layers;
+  collect_layers(model, layers);
+  if (layers.size() != qp.layers.size())
+    throw std::runtime_error(
+        "apply_quant_params: quantizable layer count mismatch");
+  // Validate every layer before attaching any state, so a mismatch throws
+  // without leaving the model half-quantized.
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const QuantParams::Layer& entry = qp.layers[i];
+    if (layers[i].name != entry.name)
+      throw std::runtime_error("apply_quant_params: layer mismatch (" +
+                               layers[i].name + " vs " + entry.name + ")");
+    const Tensor& w =
+        layers[i].conv ? layers[i].conv->weight() : layers[i].linear->weight();
+    if (w.ndim() != 2 || w.dim(0) != entry.w_absmax.size())
+      throw std::runtime_error(
+          "apply_quant_params: channel count mismatch at " + entry.name);
+    // The blob's weight ranges are part of the calibration contract: they
+    // must describe THESE weights.  A blob calibrated on a different
+    // checkpoint (fine-tuned since, different seed) silently produces
+    // clipped/underscaled int8 weights, so it throws instead.
+    const auto cur = weight_absmax(w);
+    for (std::size_t r = 0; r < cur.size(); ++r) {
+      const float ref = entry.w_absmax[r];
+      if (std::fabs(cur[r] - ref) > 1e-4f * std::max(1.0f, ref))
+        throw std::runtime_error(
+            "apply_quant_params: weight range mismatch at " + entry.name +
+            " (QuantParams were calibrated on a different checkpoint)");
+    }
+  }
+  for (std::size_t i = 0; i < layers.size(); ++i)
+    attach_state(layers[i], qp.layers[i]);
+}
+
+bool is_quantized(const Module& model) {
+  std::vector<ConstQLayer> layers;
+  collect_layers(model, layers);
+  if (layers.empty()) return false;
+  for (const ConstQLayer& ql : layers) {
+    const QuantState* qs =
+        ql.conv ? ql.conv->quant_state() : ql.linear->quant_state();
+    if (qs == nullptr) return false;
+  }
+  return true;
+}
+
+void clear_quantization(Module& model) {
+  std::vector<QLayer> layers;
+  collect_layers(model, layers);
+  for (const QLayer& ql : layers) {
+    if (ql.conv)
+      ql.conv->set_quant_state(nullptr);
+    else
+      ql.linear->set_quant_state(nullptr);
+  }
+}
+
+}  // namespace fuse::nn

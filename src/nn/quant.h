@@ -1,0 +1,91 @@
+#pragma once
+// Post-training int8 quantization for Module trees (nn::Backend::kInt8).
+//
+// The flow (DESIGN.md §5):
+//
+//   auto qp = nn::calibrate(model, calibration_batch);   // observe + apply
+//   qp.save_file("model.quant");                         // persist blob
+//   ...
+//   auto qp = nn::QuantParams::load_file("model.quant"); // later process
+//   nn::apply_quant_params(model, qp);                   // same checkpoint!
+//   y = model.infer(x, nn::Backend::kInt8);
+//
+// calibrate() runs one fp32 inference pass over the calibration batch,
+// recording per-output-channel weight absmax and per-input-channel
+// activation ranges for every quantizable layer (Conv2d, Linear), then
+// attaches int8 state (quantized weights + derived affine activation
+// parameters) to those layers.  The returned QuantParams blob is the
+// persistable calibration record; apply_quant_params() re-attaches it to a
+// model holding the SAME parameters — it validates the architecture tag,
+// layer structure and per-channel weight ranges, and throws
+// std::runtime_error on any mismatch rather than serving silently wrong
+// int8 outputs from a stale calibration.
+//
+// Quantization state is derived state, like layer caches: Module::clone()
+// and layer copies DROP it, so a per-user adapted clone (whose fp32
+// parameters drift from the calibrated checkpoint with every sgd_step)
+// automatically serves through the fp32 backends again — kInt8 on an
+// unquantized module falls back to kGemm per layer.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/quant.h"
+
+namespace fuse::nn {
+
+/// Immutable int8 compute state attached to one Conv2d/Linear: quantized
+/// weights, per-output-channel scales, zero-point correction row sums and
+/// the affine activation parameters derived from calibration.
+struct QuantState {
+  std::vector<std::int8_t> qw;          ///< weights, layout of the fp32 w_
+  std::vector<float> w_scales;          ///< [out_channels]
+  std::vector<std::int32_t> w_row_sums; ///< Σ_k qw[r][k], zp correction
+  fuse::tensor::AffineParams act;       ///< input activation quantization
+};
+
+/// The persistable calibration record: per quantizable layer (in forward
+/// order) the per-output-channel weight absmax and the per-input-channel
+/// activation range observed on the calibration data.
+struct QuantParams {
+  struct Layer {
+    std::string name;              ///< "<index>:<arch>", e.g. "0:conv2d"
+    std::vector<float> w_absmax;   ///< per output channel
+    std::vector<float> act_min;    ///< per input channel (1 entry for 2-D)
+    std::vector<float> act_max;
+  };
+  std::string arch;                ///< Module::arch_name() at calibration
+  std::vector<Layer> layers;
+
+  bool empty() const { return layers.empty(); }
+
+  void save(std::ostream& os) const;
+  static QuantParams load(std::istream& is);
+  void save_file(const std::string& path) const;
+  static QuantParams load_file(const std::string& path);
+};
+
+/// Observes activation/weight ranges of every quantizable layer on `data`
+/// (one fp32 inference pass), attaches int8 state to the model, and
+/// returns the persistable record.  Models without quantizable layers
+/// yield an empty record (and is_quantized() stays false).
+QuantParams calibrate(Module& model, const Tensor& data);
+
+/// Attaches the int8 state described by `qp` to `model`.  Throws
+/// std::runtime_error when the architecture tag, quantizable-layer
+/// structure, channel counts or per-channel weight ranges do not match the
+/// model (i.e. the blob was calibrated on a different architecture or a
+/// different checkpoint).
+void apply_quant_params(Module& model, const QuantParams& qp);
+
+/// True iff the model has at least one quantizable layer and every one of
+/// them holds int8 state.
+bool is_quantized(const Module& model);
+
+/// Detaches int8 state from every layer (infer(kInt8) falls back to kGemm).
+void clear_quantization(Module& model);
+
+}  // namespace fuse::nn

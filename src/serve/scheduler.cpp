@@ -66,18 +66,29 @@ PassStats Scheduler::run_once(const std::vector<Session*>& sessions,
   }
   if (collected.empty()) return pass;
 
-  // Partition: shared-model frames batch together across sessions; a
+  // Partition: shared-model frames batch together across sessions — one
+  // batch per effective backend, so an int8 fleet and fp32 stragglers can
+  // coexist in a single tick without cross-contaminating outputs.  A
   // session with an adapted clone predicts with its own parameters, so its
   // frames form a private batch.
-  std::vector<Item> shared;
+  struct SharedGroup {
+    fuse::nn::Backend backend;
+    std::vector<Item> items;
+    std::vector<std::vector<float>> blocks;
+  };
+  std::vector<SharedGroup> shared;
   std::vector<std::pair<Session*, std::vector<Item>>> adapted;
-  std::vector<std::vector<float>> shared_blocks;
   std::vector<std::vector<std::vector<float>>> adapted_blocks;
   for (auto& c : collected) {
     Session* s = c.item.session;
     if (s->adapted_model() == nullptr) {
-      shared.push_back(std::move(c.item));
-      shared_blocks.push_back(std::move(c.block));
+      const fuse::nn::Backend be = effective_backend(*s);
+      std::size_t g = shared.size();
+      for (std::size_t i = 0; i < shared.size(); ++i)
+        if (shared[i].backend == be) g = i;
+      if (g == shared.size()) shared.push_back(SharedGroup{be, {}, {}});
+      shared[g].items.push_back(std::move(c.item));
+      shared[g].blocks.push_back(std::move(c.block));
     } else {
       std::size_t g = adapted.size();
       for (std::size_t i = 0; i < adapted.size(); ++i)
@@ -94,13 +105,13 @@ PassStats Scheduler::run_once(const std::vector<Session*>& sessions,
   const auto serve_group = [&](std::vector<Item>& items,
                                std::vector<std::vector<float>>& blocks,
                                const fuse::nn::Module& model,
-                               bool is_adapted) {
+                               fuse::nn::Backend backend, bool is_adapted) {
     if (items.empty()) return;
     fuse::tensor::Tensor x = predictor_->alloc_batch(items.size());
     for (std::size_t i = 0; i < items.size(); ++i)
       std::memcpy(x.data() + i * kBlockFloats, blocks[i].data(),
                   kBlockFloats * sizeof(float));
-    const auto poses = predictor_->predict(model, x, backend_);
+    const auto poses = predictor_->predict(model, x, backend);
     const double now = mono_seconds();
     for (std::size_t i = 0; i < items.size(); ++i) {
       Session& s = *items[i].session;
@@ -122,10 +133,15 @@ PassStats Scheduler::run_once(const std::vector<Session*>& sessions,
     pass.batched_frames += items.size();
   };
 
-  serve_group(shared, shared_blocks, *shared_model_, false);
+  for (auto& group : shared)
+    serve_group(group.items, group.blocks, *shared_model_, group.backend,
+                false);
+  // An adapted clone carries no int8 state (clones drop it), so a kInt8
+  // effective backend falls back to fp32 kGemm inside the layers.
   for (std::size_t g = 0; g < adapted.size(); ++g)
     serve_group(adapted[g].second, adapted_blocks[g],
-                *adapted[g].first->adapted_model(), true);
+                *adapted[g].first->adapted_model(),
+                effective_backend(*adapted[g].first), true);
 
   // Online adaptation: at most one round per session per pass.
   for (Session* s : sessions) maybe_adapt(*s);

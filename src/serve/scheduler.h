@@ -56,6 +56,12 @@ class Scheduler {
   PassStats run_once(const std::vector<Session*>& sessions,
                      LatencyHistogram& latency);
 
+  /// The backend a session's batched forwards run on: its config override
+  /// when set, else the scheduler-wide default.
+  fuse::nn::Backend effective_backend(const Session& s) const {
+    return s.config().backend.value_or(backend_);
+  }
+
  private:
   struct Item {
     Session* session = nullptr;

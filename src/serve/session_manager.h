@@ -39,7 +39,11 @@ struct ServeConfig {
   std::size_t max_sessions = 64;
   std::size_t max_batch = 16;      ///< frames per batched forward pass
   /// Inference compute backend for batched forward passes.  The GEMM
-  /// backend amortises the conv weight panel across the whole batch.
+  /// backend amortises the conv weight panel across the whole batch;
+  /// kInt8 additionally serves calibrated models (nn::calibrate on the
+  /// shared model first) with quarter-bandwidth int8 weights —
+  /// uncalibrated models fall back to kGemm per layer.  Individual
+  /// sessions may override this via SessionConfig::backend.
   fuse::nn::Backend backend = fuse::nn::Backend::kGemm;
   SessionConfig session;           ///< defaults for open_session()
 };

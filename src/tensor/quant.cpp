@@ -1,0 +1,159 @@
+#include "tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/thread_pool.h"
+
+namespace fuse::tensor {
+
+namespace {
+
+inline std::int8_t clamp_s8(float v, float lo, float hi) {
+  return static_cast<std::int8_t>(std::lround(std::min(hi, std::max(lo, v))));
+}
+
+}  // namespace
+
+AffineParams affine_from_range(float lo, float hi) {
+  // Widen to include zero so that 0.0f quantizes exactly: conv zero padding
+  // and ReLU outputs must survive the round trip bit-for-bit at zero.
+  lo = std::min(lo, 0.0f);
+  hi = std::max(hi, 0.0f);
+  AffineParams p;
+  if (hi - lo <= 0.0f) return p;  // degenerate range: identity-ish scale
+  p.scale = (hi - lo) / 255.0f;
+  // zp maps lo -> -128; rounding keeps it representable in int8.
+  p.zp = static_cast<std::int32_t>(std::lround(-128.0f - lo / p.scale));
+  p.zp = std::max(-128, std::min(127, p.zp));
+  return p;
+}
+
+void quantize_per_channel(const Tensor& w, std::vector<float>& scales,
+                          std::vector<std::int8_t>& q,
+                          std::vector<std::int32_t>& row_sums) {
+  if (w.ndim() != 2)
+    throw std::invalid_argument("quantize_per_channel: weights must be 2-D");
+  const std::size_t rows = w.dim(0), cols = w.dim(1);
+  scales.assign(rows, 0.0f);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = w.data() + r * cols;
+    float absmax = 0.0f;
+    for (std::size_t c = 0; c < cols; ++c)
+      absmax = std::max(absmax, std::fabs(row[c]));
+    scales[r] = absmax / 127.0f;
+  }
+  quantize_per_channel_with_scales(w, scales, q, row_sums);
+}
+
+void quantize_per_channel_with_scales(const Tensor& w,
+                                      const std::vector<float>& scales,
+                                      std::vector<std::int8_t>& q,
+                                      std::vector<std::int32_t>& row_sums) {
+  if (w.ndim() != 2)
+    throw std::invalid_argument("quantize_per_channel: weights must be 2-D");
+  const std::size_t rows = w.dim(0), cols = w.dim(1);
+  if (scales.size() != rows)
+    throw std::invalid_argument("quantize_per_channel: scales size mismatch");
+  q.resize(rows * cols);
+  row_sums.assign(rows, 0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = w.data() + r * cols;
+    std::int8_t* qrow = q.data() + r * cols;
+    const float inv = scales[r] > 0.0f ? 1.0f / scales[r] : 0.0f;
+    std::int32_t sum = 0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      qrow[c] = clamp_s8(row[c] * inv, -127.0f, 127.0f);
+      sum += qrow[c];
+    }
+    row_sums[r] = sum;
+  }
+}
+
+Tensor dequantize_per_channel(const std::vector<std::int8_t>& q,
+                              const Shape& shape,
+                              const std::vector<float>& scales) {
+  if (shape.size() != 2 || shape_numel(shape) != q.size() ||
+      scales.size() != shape[0])
+    throw std::invalid_argument("dequantize_per_channel: shape mismatch");
+  Tensor w(shape);
+  const std::size_t cols = shape[1];
+  for (std::size_t r = 0; r < shape[0]; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      w.data()[r * cols + c] =
+          static_cast<float>(q[r * cols + c]) * scales[r];
+  return w;
+}
+
+void quantize_affine(const float* x, std::size_t n, AffineParams p,
+                     std::int8_t* q) {
+  const float inv = 1.0f / p.scale;
+  const float zp = static_cast<float>(p.zp);
+  for (std::size_t i = 0; i < n; ++i)
+    q[i] = clamp_s8(x[i] * inv + zp, -128.0f, 127.0f);
+}
+
+void quantize_affine_transposed(const float* x, std::size_t rows,
+                                std::size_t cols, AffineParams p,
+                                std::int8_t* q) {
+  const float inv = 1.0f / p.scale;
+  const float zp = static_cast<float>(p.zp);
+  // Read rows contiguously (large), scatter into the transposed layout;
+  // rows (= C·k·k for the convolutions) is small, so the write stride
+  // stays cache-resident.
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = x + r * cols;
+    std::int8_t* qcol = q + r;
+    for (std::size_t c = 0; c < cols; ++c)
+      qcol[c * rows] = clamp_s8(row[c] * inv + zp, -128.0f, 127.0f);
+  }
+}
+
+void gemm_s8s8s32_nt(const std::int8_t* a, const std::int8_t* b,
+                     std::int32_t* c, std::size_t m, std::size_t k,
+                     std::size_t n) {
+  // Widen the small operand once; each worker widens one b row at a time
+  // into thread-local scratch.  The int16 dot product is the pattern the
+  // compiler lowers to widening multiply-accumulate (pmaddwd-style), which
+  // is what makes the int8 path compute-competitive with the fp32 GEMM
+  // while moving a quarter of the bytes.
+  thread_local std::vector<std::int16_t> a16_tl;
+  a16_tl.resize(m * k);
+  std::int16_t* a16 = a16_tl.data();
+  for (std::size_t i = 0; i < m * k; ++i) a16[i] = a[i];
+
+  fuse::util::parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    thread_local std::vector<std::int16_t> b16_tl;
+    b16_tl.resize(k);
+    std::int16_t* b16 = b16_tl.data();
+    for (std::size_t j = lo; j < hi; ++j) {
+      const std::int8_t* brow = b + j * k;
+      for (std::size_t kk = 0; kk < k; ++kk) b16[kk] = brow[kk];
+      // All m dot products against this widened row; m is small (batch
+      // rows or conv output channels), so the row stays in L1.
+      std::size_t i = 0;
+      for (; i + 2 <= m; i += 2) {
+        const std::int16_t* r0 = a16 + (i + 0) * k;
+        const std::int16_t* r1 = a16 + (i + 1) * k;
+        std::int32_t acc0 = 0, acc1 = 0;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const std::int32_t bv = b16[kk];
+          acc0 += static_cast<std::int32_t>(r0[kk]) * bv;
+          acc1 += static_cast<std::int32_t>(r1[kk]) * bv;
+        }
+        c[(i + 0) * n + j] = acc0;
+        c[(i + 1) * n + j] = acc1;
+      }
+      for (; i < m; ++i) {
+        const std::int16_t* r0 = a16 + i * k;
+        std::int32_t acc = 0;
+        for (std::size_t kk = 0; kk < k; ++kk)
+          acc += static_cast<std::int32_t>(r0[kk]) * b16[kk];
+        c[i * n + j] = acc;
+      }
+    }
+  });
+}
+
+}  // namespace fuse::tensor

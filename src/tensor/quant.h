@@ -1,0 +1,86 @@
+#pragma once
+// Int8 quantization primitives: per-channel symmetric weight quantization,
+// affine activation quantization, and the int8×int8→int32 GEMM kernel
+// behind nn::Backend::kInt8.
+//
+// Scheme (see DESIGN.md §5):
+//  * Weights are quantized per output channel (row of the packed weight
+//    matrix), symmetric: scale_r = absmax(row r) / 127, q = round(w/scale)
+//    clamped to [-127, 127].  Symmetric weights need no zero point.
+//  * Activations are quantized per tensor, affine: a calibrated [lo, hi]
+//    range maps to int8 as q = round(x/scale) + zp, clamped to [-128, 127].
+//    Post-ReLU activations have lo = 0, so the affine zero point recovers
+//    the full 8-bit range that a symmetric scheme would waste on the empty
+//    negative half.
+//  * The GEMM accumulates int32 and the caller undoes the affine offset
+//    with a per-row weight-sum correction:
+//      y[r][c] = sw[r] * sx * (acc[r][c] - zp * row_sum_q[r]) + bias[r]
+//    where row_sum_q[r] = Σ_k qw[r][k] is precomputed at quantize time.
+//
+// The kernel layout is "NT": both operands row-major along K, so every dot
+// product walks two contiguous int8 rows — int8 weights quarter the memory
+// traffic of the fp32 path, which is exactly where the serving CNN (fc1's
+// ~1M-parameter matrix re-read per batch) is bound.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fuse::tensor {
+
+/// Affine activation quantization parameters: x ≈ (q - zp) * scale.
+struct AffineParams {
+  float scale = 1.0f;
+  std::int32_t zp = 0;
+};
+
+/// Derives affine int8 parameters from a calibrated value range.  The range
+/// is widened to include 0 (so that zero quantizes exactly — padding and
+/// ReLU outputs must stay exact) and degenerate ranges get scale 1.
+AffineParams affine_from_range(float lo, float hi);
+
+/// Per-row (output-channel) symmetric quantization of a 2-D weight matrix.
+/// Writes scales[r] = absmax(row r)/127 (0-rows get scale 0 and all-zero
+/// quants), q = round(w/scale) in [-127, 127], and row_sums[r] = Σ_k q[r][k]
+/// (the zero-point correction term).  Vectors are resized to fit.
+void quantize_per_channel(const Tensor& w, std::vector<float>& scales,
+                          std::vector<std::int8_t>& q,
+                          std::vector<std::int32_t>& row_sums);
+
+/// Per-row symmetric quantization against externally supplied scales
+/// (the persisted-QuantParams path); same outputs as above.
+void quantize_per_channel_with_scales(const Tensor& w,
+                                      const std::vector<float>& scales,
+                                      std::vector<std::int8_t>& q,
+                                      std::vector<std::int32_t>& row_sums);
+
+/// Dequantizes a per-channel-quantized matrix back to fp32 (tests and the
+/// round-trip error bound).
+Tensor dequantize_per_channel(const std::vector<std::int8_t>& q,
+                              const Shape& shape,
+                              const std::vector<float>& scales);
+
+/// Affine-quantizes n contiguous floats: q = clamp(round(x/scale)+zp).
+void quantize_affine(const float* x, std::size_t n, AffineParams p,
+                     std::int8_t* q);
+
+/// Affine-quantizes a row-major [rows, cols] matrix into its transpose
+/// q[cols, rows] — used to turn the [K, N·hw] im2col column matrix into
+/// the K-contiguous layout the NT kernel wants.
+void quantize_affine_transposed(const float* x, std::size_t rows,
+                                std::size_t cols, AffineParams p,
+                                std::int8_t* q);
+
+/// c[M, N] (int32) = a[M, K] · b[N, K]ᵀ, all row-major, int8 operands.
+/// Parallelised over row panels of b (the large operand: weights for the
+/// fully connected layers, quantized im2col columns for the convolutions).
+/// Rows are widened to int16 in thread-local scratch so the inner dot
+/// product vectorizes as a widening multiply-accumulate; steady-shape call
+/// sites allocate nothing after the first call.
+void gemm_s8s8s32_nt(const std::int8_t* a, const std::int8_t* b,
+                     std::int32_t* c, std::size_t m, std::size_t k,
+                     std::size_t n);
+
+}  // namespace fuse::tensor

@@ -1,0 +1,264 @@
+// Tests for the int8 quantized inference backend: per-channel round-trip
+// error bounds, int8-vs-fp32 GEMM agreement within derived tolerances
+// (including ragged tile tails), the calibration contract (save/load
+// round-trip, mismatch throws), the fp32 fallback for unquantized modules,
+// and clone semantics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/quant.h"
+#include "nn/registry.h"
+#include "tensor/quant.h"
+#include "util/rng.h"
+
+namespace {
+
+using fuse::nn::Backend;
+using fuse::nn::QuantParams;
+using fuse::tensor::AffineParams;
+using fuse::tensor::Tensor;
+
+Tensor random_tensor(fuse::tensor::Shape shape, fuse::util::Rng& rng,
+                     float lo = -1.0f, float hi = 1.0f) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) t[i] = rng.uniformf(lo, hi);
+  return t;
+}
+
+// --------------------------------------------------------- primitives --
+
+TEST(Quant, PerChannelRoundTripErrorBound) {
+  fuse::util::Rng rng(11);
+  // Rows with very different magnitudes: per-channel scales must keep the
+  // error of the small-magnitude rows proportional to THEIR absmax.
+  Tensor w({4, 33});
+  for (std::size_t c = 0; c < 33; ++c) {
+    w.at(0, c) = rng.uniformf(-100.0f, 100.0f);
+    w.at(1, c) = rng.uniformf(-1.0f, 1.0f);
+    w.at(2, c) = rng.uniformf(-0.01f, 0.01f);
+    w.at(3, c) = 0.0f;  // all-zero channel must not divide by zero
+  }
+  std::vector<float> scales;
+  std::vector<std::int8_t> q;
+  std::vector<std::int32_t> row_sums;
+  fuse::tensor::quantize_per_channel(w, scales, q, row_sums);
+  const Tensor back = fuse::tensor::dequantize_per_channel(q, w.shape(),
+                                                           scales);
+  for (std::size_t r = 0; r < 4; ++r) {
+    // Symmetric rounding: |w - dq| <= scale/2 per element.
+    const float bound = scales[r] * 0.5f + 1e-7f;
+    for (std::size_t c = 0; c < 33; ++c)
+      EXPECT_LE(std::fabs(w.at(r, c) - back.at(r, c)), bound)
+          << "row " << r << " col " << c;
+    // And the row sums really are the sums of the quantized row.
+    std::int32_t sum = 0;
+    for (std::size_t c = 0; c < 33; ++c) sum += q[r * 33 + c];
+    EXPECT_EQ(sum, row_sums[r]);
+  }
+  EXPECT_EQ(scales[3], 0.0f);
+}
+
+TEST(Quant, AffineQuantizesZeroExactly) {
+  // Zero must survive the round trip exactly: conv padding and ReLU
+  // outputs are exact zeros and the zero-point correction assumes q(0)=zp.
+  for (const auto& [lo, hi] : {std::pair<float, float>{-3.0f, 5.0f},
+                               {0.0f, 7.5f},
+                               {-2.0f, 0.0f}}) {
+    const AffineParams p = fuse::tensor::affine_from_range(lo, hi);
+    const float zero = 0.0f;
+    std::int8_t q = 0;
+    fuse::tensor::quantize_affine(&zero, 1, p, &q);
+    EXPECT_EQ(static_cast<std::int32_t>(q), p.zp) << lo << ".." << hi;
+    EXPECT_FLOAT_EQ((q - p.zp) * p.scale, 0.0f);
+  }
+}
+
+TEST(Quant, Int8GemmMatchesFp32WithinDerivedTolerance) {
+  fuse::util::Rng rng(12);
+  // Odd sizes exercise the non-multiple-of-tile tails of the kernel.
+  for (const auto& [m, k, n] :
+       {std::tuple<std::size_t, std::size_t, std::size_t>{5, 37, 9},
+        {1, 1, 1}, {4, 64, 16}, {7, 129, 33}}) {
+    const Tensor a = random_tensor({m, k}, rng, -2.0f, 3.0f);
+    const Tensor b = random_tensor({n, k}, rng);
+
+    // Quantize: a affine (activations), b per-channel symmetric (weights).
+    float lo = a[0], hi = a[0];
+    for (std::size_t i = 0; i < a.numel(); ++i) {
+      lo = std::min(lo, a[i]);
+      hi = std::max(hi, a[i]);
+    }
+    const AffineParams pa = fuse::tensor::affine_from_range(lo, hi);
+    std::vector<std::int8_t> qa(m * k);
+    fuse::tensor::quantize_affine(a.data(), m * k, pa, qa.data());
+    std::vector<float> sb;
+    std::vector<std::int8_t> qb;
+    std::vector<std::int32_t> row_sums;
+    fuse::tensor::quantize_per_channel(b, sb, qb, row_sums);
+
+    std::vector<std::int32_t> acc(m * n);
+    fuse::tensor::gemm_s8s8s32_nt(qa.data(), qb.data(), acc.data(), m, k, n);
+
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j) {
+        double ref = 0.0, amax = 0.0, bmax = 0.0;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          ref += static_cast<double>(a.at(i, kk)) * b.at(j, kk);
+          amax = std::max(amax, std::fabs(static_cast<double>(a.at(i, kk))));
+          bmax = std::max(bmax, std::fabs(static_cast<double>(b.at(j, kk))));
+        }
+        const double got =
+            sb[j] * pa.scale *
+            static_cast<double>(acc[i * n + j] - pa.zp * row_sums[j]);
+        // Per-term error: |a·b − â·b̂| ≤ |a||b−b̂| + |b̂||a−â|
+        //                 ≤ amax·sb/2 + (bmax + sb/2)·sa/2, summed over K.
+        const double tol =
+            static_cast<double>(k) *
+                (amax * sb[j] * 0.5 +
+                 (bmax + sb[j] * 0.5) * pa.scale * 0.5) +
+            1e-6;
+        EXPECT_NEAR(got, ref, tol)
+            << m << "x" << k << "x" << n << " at (" << i << "," << j << ")";
+      }
+  }
+}
+
+// ------------------------------------------------------------- layers --
+
+TEST(Quant, Conv2dInt8MatchesGemmOnRaggedShapes) {
+  fuse::util::Rng rng(13);
+  for (const auto& [cin, cout, hw] :
+       {std::tuple<std::size_t, std::size_t, std::size_t>{3, 5, 7},
+        {1, 1, 8}, {2, 34, 5}, {5, 16, 8}}) {
+    fuse::nn::Conv2d conv(cin, cout, 3, 1, rng);
+    const Tensor x = random_tensor({5, cin, hw, hw}, rng, -1.5f, 1.5f);
+    (void)fuse::nn::calibrate(conv, x);
+    ASSERT_TRUE(fuse::nn::is_quantized(conv));
+    const Tensor ref = conv.infer(x, Backend::kGemm);
+    const Tensor got = conv.infer(x, Backend::kInt8);
+    ASSERT_EQ(ref.shape(), got.shape());
+    // 8-bit weights and activations on O(1)-magnitude data: the per-pixel
+    // error stays well under 2% of the output dynamic range.
+    const float range = ref.max() - ref.min();
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < ref.numel(); ++i)
+      max_err = std::max(max_err,
+                         std::fabs(static_cast<double>(ref[i]) - got[i]));
+    EXPECT_LE(max_err, 0.02 * range + 1e-3)
+        << cin << "x" << cout << "@" << hw;
+  }
+}
+
+TEST(Quant, UnquantizedModuleFallsBackToGemmBitExactly) {
+  fuse::util::Rng rng(14);
+  for (const auto& name : fuse::nn::registered_models()) {
+    const auto model = fuse::nn::build_model(name, {.seed = 15});
+    EXPECT_FALSE(fuse::nn::is_quantized(*model)) << name;
+    const Tensor x = random_tensor({3, 5, 8, 8}, rng);
+    const Tensor gemm = model->infer(x, Backend::kGemm);
+    const Tensor int8 = model->infer(x, Backend::kInt8);
+    ASSERT_EQ(gemm.shape(), int8.shape()) << name;
+    for (std::size_t i = 0; i < gemm.numel(); ++i)
+      ASSERT_EQ(gemm[i], int8[i]) << name << " element " << i;
+  }
+}
+
+TEST(Quant, MarsCnnInt8CloseToFp32EndToEnd) {
+  fuse::util::Rng rng(16);
+  const auto model = fuse::nn::build_model("mars_cnn", {.seed = 17});
+  const Tensor calib = random_tensor({16, 5, 8, 8}, rng, -2.0f, 2.0f);
+  (void)fuse::nn::calibrate(*model, calib);
+  ASSERT_TRUE(fuse::nn::is_quantized(*model));
+  // Evaluate on data the calibration never saw (same distribution).
+  const Tensor x = random_tensor({8, 5, 8, 8}, rng, -2.0f, 2.0f);
+  const Tensor ref = model->infer(x, Backend::kGemm);
+  const Tensor got = model->infer(x, Backend::kInt8);
+  double mae = 0.0, mag = 0.0;
+  for (std::size_t i = 0; i < ref.numel(); ++i) {
+    mae += std::fabs(static_cast<double>(ref[i]) - got[i]);
+    mag += std::fabs(static_cast<double>(ref[i]));
+  }
+  mae /= static_cast<double>(ref.numel());
+  mag /= static_cast<double>(ref.numel());
+  EXPECT_LE(mae, 0.05 * mag) << "mae " << mae << " vs mean |y| " << mag;
+}
+
+// -------------------------------------------------- calibration contract --
+
+TEST(Quant, QuantParamsSaveLoadRoundTripReproducesInt8Exactly) {
+  fuse::util::Rng rng(18);
+  const Tensor calib = random_tensor({12, 5, 8, 8}, rng, -2.0f, 2.0f);
+  const Tensor x = random_tensor({4, 5, 8, 8}, rng, -2.0f, 2.0f);
+
+  const auto a = fuse::nn::build_model("mars_cnn", {.seed = 19});
+  const QuantParams qp = fuse::nn::calibrate(*a, calib);
+  EXPECT_EQ(qp.arch, "mars_cnn");
+  EXPECT_EQ(qp.layers.size(), 4u);  // conv1, conv2, fc1, fc2
+  const Tensor ya = a->infer(x, Backend::kInt8);
+
+  std::stringstream ss;
+  qp.save(ss);
+  const QuantParams loaded = QuantParams::load(ss);
+
+  // Same checkpoint in a fresh process: same seed, blob applied from disk.
+  const auto b = fuse::nn::build_model("mars_cnn", {.seed = 19});
+  fuse::nn::apply_quant_params(*b, loaded);
+  ASSERT_TRUE(fuse::nn::is_quantized(*b));
+  const Tensor yb = b->infer(x, Backend::kInt8);
+  for (std::size_t i = 0; i < ya.numel(); ++i)
+    ASSERT_EQ(ya[i], yb[i]) << "element " << i;
+}
+
+TEST(Quant, MismatchedQuantParamsThrow) {
+  fuse::util::Rng rng(20);
+  const Tensor calib = random_tensor({8, 5, 8, 8}, rng);
+  const auto cnn = fuse::nn::build_model("mars_cnn", {.seed = 21});
+  const QuantParams qp = fuse::nn::calibrate(*cnn, calib);
+
+  // Different architecture: tag mismatch.
+  const auto mlp = fuse::nn::build_model("mars_mlp", {.seed = 21});
+  EXPECT_THROW(fuse::nn::apply_quant_params(*mlp, qp), std::runtime_error);
+
+  // Same architecture, different checkpoint: weight-range mismatch.
+  const auto other = fuse::nn::build_model("mars_cnn", {.seed = 22});
+  EXPECT_THROW(fuse::nn::apply_quant_params(*other, qp), std::runtime_error);
+
+  // Garbage / truncated streams throw instead of misloading.
+  std::stringstream garbage("not a quant blob");
+  EXPECT_THROW(QuantParams::load(garbage), std::runtime_error);
+  std::stringstream ss;
+  qp.save(ss);
+  std::stringstream truncated(ss.str().substr(0, ss.str().size() / 2));
+  EXPECT_THROW(QuantParams::load(truncated), std::runtime_error);
+}
+
+TEST(Quant, CloneDropsQuantStateAndServesFp32) {
+  fuse::util::Rng rng(23);
+  const Tensor calib = random_tensor({8, 5, 8, 8}, rng);
+  const auto model = fuse::nn::build_model("mars_cnn", {.seed = 24});
+  (void)fuse::nn::calibrate(*model, calib);
+  ASSERT_TRUE(fuse::nn::is_quantized(*model));
+
+  // The per-user adaptation path: clone, mutate parameters, serve.  The
+  // clone must not carry int8 state quantized from the parent's weights.
+  const auto clone = model->clone();
+  EXPECT_FALSE(fuse::nn::is_quantized(*clone));
+  (*clone->params()[0])[0] += 0.5f;
+  const Tensor x = random_tensor({2, 5, 8, 8}, rng);
+  const Tensor via_int8 = clone->infer(x, Backend::kInt8);
+  const Tensor via_gemm = clone->infer(x, Backend::kGemm);
+  for (std::size_t i = 0; i < via_gemm.numel(); ++i)
+    ASSERT_EQ(via_int8[i], via_gemm[i]) << "element " << i;
+
+  // clear_quantization restores the parent to pure fp32 serving too.
+  fuse::nn::clear_quantization(*model);
+  EXPECT_FALSE(fuse::nn::is_quantized(*model));
+}
+
+}  // namespace

@@ -10,6 +10,7 @@
 
 #include "core/pipeline.h"
 #include "core/tracking.h"
+#include "nn/quant.h"
 #include "serve/session_manager.h"
 #include "serve/stats.h"
 #include "util/rng.h"
@@ -391,6 +392,106 @@ TEST(Serve, OnlineAdaptationLifecycle) {
   }
   server.drain();
   EXPECT_GE(server.stats().per_session[0].adapt_rounds, 2u);
+}
+
+// ------------------------------------------------------- mixed backends --
+
+TEST(Serve, MixedBackendSchedulerTickServesEachSessionCorrectly) {
+  // One scheduler tick with an int8 fleet and fp32 sessions mixed: each
+  // session's outputs must match the single-session reference computed at
+  // ITS effective backend — batches must not cross-contaminate.
+  auto& pl = world();
+  auto& model = pl.model();
+
+  // Calibrate the shared model on real featurized windows so the int8
+  // activation ranges cover what serving actually feeds the network.
+  const auto calib_frames = sequence_frames(0, 12);
+  auto calib = pl.predictor().alloc_batch(10);
+  std::deque<PointCloud> win;
+  for (std::size_t i = 0; i < 12; ++i) {
+    win.push_back(calib_frames[i]);
+    while (win.size() > pl.predictor().window_frames()) win.pop_front();
+    if (i >= 2)
+      pl.predictor().featurize_window({win.begin(), win.end()},
+                                      calib.data() + (i - 2) * 5 * 8 * 8);
+  }
+  (void)fuse::nn::calibrate(model, calib);
+  ASSERT_TRUE(fuse::nn::is_quantized(model));
+
+  ServeConfig cfg;
+  cfg.max_batch = 8;
+  cfg.session.queue_capacity = 64;
+  cfg.backend = fuse::nn::Backend::kInt8;  // fleet default: quantized
+  SessionManager server(&pl.predictor(), &model, cfg);
+
+  SessionConfig fp32_cfg = cfg.session;
+  fp32_cfg.backend = fuse::nn::Backend::kGemm;  // per-session override
+  const auto int8_a = server.open_session();
+  const auto int8_b = server.open_session();
+  const auto fp32_c = server.open_session(fp32_cfg);
+
+  constexpr std::size_t kFrames = 20;
+  std::vector<std::vector<PointCloud>> streams;
+  for (std::size_t s = 0; s < 3; ++s)
+    streams.push_back(sequence_frames(s, kFrames));
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    server.submit_frame(int8_a, streams[0][i]);
+    server.submit_frame(int8_b, streams[1][i]);
+    server.submit_frame(fp32_c, streams[2][i]);
+  }
+  server.drain();
+  EXPECT_GT(server.stats().mean_batch, 1.5);  // int8 frames did batch
+
+  // Per-backend single-session references.
+  const auto reference_at = [&](const std::vector<PointCloud>& frames,
+                                fuse::nn::Backend backend) {
+    const auto& pred = pl.predictor();
+    std::deque<PointCloud> window;
+    PoseTracker tracker(cfg.session.tracker);
+    std::vector<RefResult> out;
+    for (const auto& cloud : frames) {
+      window.push_back(cloud);
+      while (window.size() > pred.window_frames()) window.pop_front();
+      RefResult r;
+      r.raw = pred.predict_window(model, {window.begin(), window.end()},
+                                  backend);
+      r.tracked = tracker.update(r.raw);
+      out.push_back(r);
+    }
+    return out;
+  };
+
+  const struct {
+    fuse::serve::SessionId id;
+    std::size_t stream;
+    fuse::nn::Backend backend;
+  } expectations[] = {
+      {int8_a, 0, fuse::nn::Backend::kInt8},
+      {int8_b, 1, fuse::nn::Backend::kInt8},
+      {fp32_c, 2, fuse::nn::Backend::kGemm},
+  };
+  for (const auto& e : expectations) {
+    const auto results = server.poll_results(e.id);
+    const auto ref = reference_at(streams[e.stream], e.backend);
+    ASSERT_EQ(results.size(), kFrames);
+    for (std::size_t i = 0; i < kFrames; ++i) {
+      expect_pose_eq(results[i].raw, ref[i].raw);
+      expect_pose_eq(results[i].tracked, ref[i].tracked);
+    }
+  }
+
+  // The int8 and fp32 references genuinely differ (the quantized model is
+  // an approximation) — if they did not, this test would prove nothing.
+  const auto r8 = reference_at(streams[2], fuse::nn::Backend::kInt8);
+  const auto r32 = reference_at(streams[2], fuse::nn::Backend::kGemm);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < kFrames && !any_diff; ++i)
+    for (std::size_t j = 0; j < fuse::human::kNumJoints; ++j)
+      if (r8[i].raw.joints[j].x != r32[i].raw.joints[j].x) any_diff = true;
+  EXPECT_TRUE(any_diff);
+
+  // Leave the shared test model fp32 for the remaining tests.
+  fuse::nn::clear_quantization(model);
 }
 
 // -------------------------------------------------------------- telemetry --
