@@ -11,11 +11,19 @@ on:
     speed of the CI runner, unlike raw frames/sec;
   * any *loss* field drifting more than --loss-tol (default 5e-3) from the
     baseline — losses are deterministic for a fixed seed and scale, so
-    drift beyond compiler-rounding noise means the arithmetic changed.
+    drift beyond compiler-rounding noise means the arithmetic changed;
+  * any *detection* count drifting more than --det-tol (default 2%, with
+    a +-2 absolute floor) from the baseline, and any equivalence flag
+    (detections_match / rd_bit_identical) regressing at all.  The
+    equivalence flags compare the planned and reference paths inside ONE
+    binary, so they are hard-gated: a false flag is a correctness bug.
+    Counts additionally depend on the host libm (the simulator's sin/cos)
+    and so get the small cross-host allowance; real CFAR regressions move
+    counts by far more than an ulp's worth of scene perturbation.
 
 Rows inside JSON arrays are matched by their identity keys (backend,
-threads, sessions, batch) so a CI host with more cores than the baseline
-host simply contributes extra, ungated rows.
+threads, sessions, batch, stage) so a CI host with more cores than the
+baseline host simply contributes extra, ungated rows.
 
 Usage:
   check_regression.py BASELINE FRESH [--max-drop 0.15] [--loss-tol 5e-3]
@@ -25,7 +33,7 @@ import argparse
 import json
 import sys
 
-IDENTITY_KEYS = ("backend", "threads", "sessions", "batch")
+IDENTITY_KEYS = ("backend", "threads", "sessions", "batch", "stage")
 
 
 def row_key(row):
@@ -40,6 +48,14 @@ def is_loss(key):
     return "loss" in key and "speedup" not in key
 
 
+def is_detection_count(key):
+    return "detection" in key and "match" not in key
+
+
+def is_equivalence_flag(key):
+    return "match" in key or "identical" in key
+
+
 def compare(baseline, fresh, path, args, failures, checked):
     if isinstance(baseline, dict):
         if not isinstance(fresh, dict):
@@ -47,7 +63,8 @@ def compare(baseline, fresh, path, args, failures, checked):
             return
         for key, base_val in baseline.items():
             if key not in fresh:
-                if is_speedup(key) or is_loss(key):
+                if (is_speedup(key) or is_loss(key) or
+                        is_detection_count(key) or is_equivalence_flag(key)):
                     failures.append(f"{path}.{key}: missing from fresh run")
                 continue
             compare(base_val, fresh[key], f"{path}.{key}", args, failures,
@@ -70,9 +87,26 @@ def compare(baseline, fresh, path, args, failures, checked):
                     continue
                 compare(row, match, f"{path}{list(key)}", args, failures,
                         checked)
-    elif isinstance(baseline, (int, float)) and not isinstance(baseline, bool):
+    elif isinstance(baseline, bool):
         key = path.rsplit(".", 1)[-1]
-        if is_speedup(key):
+        if is_equivalence_flag(key):
+            checked.append(path)
+            if fresh != baseline:
+                failures.append(
+                    f"{path}: equivalence flag changed from {baseline} "
+                    f"to {fresh} (bit-identity regression)")
+    elif isinstance(baseline, (int, float)):
+        key = path.rsplit(".", 1)[-1]
+        if is_detection_count(key):
+            checked.append(path)
+            allowance = max(2.0, args.det_tol * abs(baseline))
+            if abs(fresh - baseline) > allowance:
+                failures.append(
+                    f"{path}: detection count {fresh} drifted from "
+                    f"baseline {baseline} by {abs(fresh - baseline)} "
+                    f"(allowance {allowance:.1f}) — CFAR/FFT arithmetic "
+                    "changed")
+        elif is_speedup(key):
             checked.append(path)
             floor = baseline * (1.0 - args.max_drop)
             if fresh < floor:
@@ -97,6 +131,9 @@ def main():
                         help="max allowed fractional speedup drop")
     parser.add_argument("--loss-tol", type=float, default=5e-3,
                         help="max allowed absolute loss drift")
+    parser.add_argument("--det-tol", type=float, default=0.02,
+                        help="max allowed fractional detection-count drift "
+                             "(with a +-2 absolute floor)")
     args = parser.parse_args()
 
     with open(args.baseline) as f:

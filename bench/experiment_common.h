@@ -23,9 +23,30 @@
 #include "data/split.h"
 #include "nn/module.h"
 #include "nn/registry.h"
+#include "radar/scene.h"
 #include "util/cli.h"
+#include "util/rng.h"
 
 namespace fuse::bench {
+
+/// A compact multi-target scene (torso + limbs worth of scatterers at
+/// 1.5-3 m with mixed radial velocities): cheap to simulate, busy enough
+/// that CFAR yields a realistic detection load.  Shared by the DSP and
+/// serving benches so their cube workloads stay identical — the CI
+/// regression gate compares detection counts derived from these scenes.
+inline fuse::radar::Scene make_bench_scene(fuse::util::Rng& rng,
+                                           std::size_t n_scatterers = 24) {
+  fuse::radar::Scene scene;
+  for (std::size_t i = 0; i < n_scatterers; ++i) {
+    fuse::radar::Scatterer s;
+    s.position = {rng.uniformf(-0.6f, 0.6f), rng.uniformf(1.5f, 3.0f),
+                  rng.uniformf(-0.8f, 0.8f)};
+    s.velocity = {0.0f, rng.uniformf(-1.2f, 1.2f), rng.uniformf(-0.4f, 0.4f)};
+    s.rcs = rng.uniformf(0.002f, 0.02f);
+    scene.push_back(s);
+  }
+  return scene;
+}
 
 /// Sizing for the adaptation experiments; all counts scale with the --scale
 /// flag, --paper selects the full paper configuration.

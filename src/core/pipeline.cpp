@@ -24,6 +24,8 @@ void FusePipeline::prepare_data() {
   mcfg.seed = cfg_.seed;
   model_ = fuse::nn::build_model(cfg_.model_name, mcfg);
   predictor_ = Predictor(&featurizer_, cfg_.fusion_m);
+  processor_ =
+      std::make_unique<fuse::radar::Processor>(cfg_.data.radar);
   prepared_ = true;
 }
 
@@ -62,7 +64,21 @@ fuse::human::Pose FusePipeline::push_frame(const fuse::radar::PointCloud& cloud)
   const std::size_t blocks = 2 * cfg_.fusion_m + 1;
   stream_buffer_.push_back(cloud);
   while (stream_buffer_.size() > blocks) stream_buffer_.pop_front();
-  return predict_window({stream_buffer_.begin(), stream_buffer_.end()});
+  // Featurize straight out of the deque through the reusable scratch (the
+  // workspace path: no per-frame pool/selection/batch allocations).
+  if (stream_x_.empty()) stream_x_ = predictor_.alloc_batch(1);
+  stream_ptrs_.clear();
+  stream_ptrs_.reserve(stream_buffer_.size());
+  for (const auto& c : stream_buffer_) stream_ptrs_.push_back(&c);
+  predictor_.featurize_window(stream_ptrs_.data(), stream_ptrs_.size(),
+                              stream_x_.data(), predict_scratch_);
+  return predictor_.predict(*model_, stream_x_).front();
+}
+
+fuse::human::Pose FusePipeline::push_cube(const fuse::radar::RadarCube& cube) {
+  require_prepared();
+  processor_->process(cube, frame_ws_, frame_scratch_);
+  return push_frame(frame_scratch_.cloud);
 }
 
 }  // namespace fuse::core

@@ -22,6 +22,8 @@
 #include "human/skeleton.h"
 #include "nn/module.h"
 #include "nn/registry.h"
+#include "radar/processing.h"
+#include "tensor/tensor.h"
 
 namespace fuse::core {
 
@@ -64,6 +66,17 @@ class FusePipeline {
   /// the first frame — the window is clamped like the dataset pipeline).
   fuse::human::Pose push_frame(const fuse::radar::PointCloud& cloud);
 
+  /// Raw-cube streaming inference: runs the full sensor-to-prediction path
+  /// (range/Doppler FFTs, CFAR, angle estimation, then push_frame on the
+  /// extracted point cloud) through the pipeline's reusable DSP workspace
+  /// — the cube->cloud stage performs zero steady-state allocations.
+  fuse::human::Pose push_cube(const fuse::radar::RadarCube& cube);
+
+  /// The radar DSP front-end matching the dataset's radar configuration
+  /// (valid after prepare_data(); the serving runtime borrows it for its
+  /// own raw-cube ingestion).
+  const fuse::radar::Processor& processor() const { return *processor_; }
+
   /// Estimates a pose from an explicit window of 2M+1 frames.
   fuse::human::Pose
   predict_window(const std::vector<fuse::radar::PointCloud>& window);
@@ -96,6 +109,12 @@ class FusePipeline {
   fuse::data::ChronoSplit split_;
   std::unique_ptr<fuse::nn::Module> model_;
   std::deque<fuse::radar::PointCloud> stream_buffer_;
+  std::unique_ptr<fuse::radar::Processor> processor_;
+  fuse::radar::FrameWorkspace frame_ws_;      ///< raw-cube DSP scratch
+  fuse::radar::ProcessedFrame frame_scratch_; ///< reused cube->cloud output
+  PredictScratch predict_scratch_;            ///< streaming featurize scratch
+  std::vector<const fuse::radar::PointCloud*> stream_ptrs_;  ///< reused
+  fuse::tensor::Tensor stream_x_;             ///< reused [1,5,8,8] batch
   bool prepared_ = false;
 };
 

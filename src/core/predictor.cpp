@@ -15,15 +15,22 @@ fuse::tensor::Tensor Predictor::alloc_batch(std::size_t n) const {
 
 void Predictor::featurize_window(const fuse::radar::PointCloud* const* window,
                                  std::size_t n_frames, float* out) const {
+  PredictScratch scratch;
+  featurize_window(window, n_frames, out, scratch);
+}
+
+void Predictor::featurize_window(const fuse::radar::PointCloud* const* window,
+                                 std::size_t n_frames, float* out,
+                                 PredictScratch& scratch) const {
   if (!valid())
     throw std::logic_error("Predictor: no featurizer attached");
   if (n_frames == 0)
     throw std::invalid_argument("Predictor::featurize_window: empty window");
   // Pool up to 2M+1 frames into one cloud (Eq. 3), then featurize.
-  fuse::radar::PointCloud pool;
+  scratch.pool.points.clear();
   const std::size_t take = std::min(window_frames(), n_frames);
-  for (std::size_t b = 0; b < take; ++b) pool.append(*window[b]);
-  featurizer_->frame_block(pool, out);
+  for (std::size_t b = 0; b < take; ++b) scratch.pool.append(*window[b]);
+  featurizer_->frame_block(scratch.pool, out, scratch.feat);
 }
 
 void Predictor::featurize_window(

@@ -26,6 +26,15 @@
 
 namespace fuse::core {
 
+/// Reusable scratch for the streaming featurize path: the fusion pool and
+/// the point-selection buffer are recycled across frames, so a per-session
+/// (or per-scheduler) owner pays zero steady-state allocations for
+/// featurization.
+struct PredictScratch {
+  fuse::radar::PointCloud pool;
+  fuse::data::FeaturizeScratch feat;
+};
+
 class Predictor {
  public:
   Predictor() = default;
@@ -48,6 +57,11 @@ class Predictor {
                         std::size_t n_frames, float* out) const;
   void featurize_window(const std::vector<fuse::radar::PointCloud>& window,
                         float* out) const;
+
+  /// Allocation-free variant: pooling and point selection reuse `scratch`.
+  void featurize_window(const fuse::radar::PointCloud* const* window,
+                        std::size_t n_frames, float* out,
+                        PredictScratch& scratch) const;
 
   /// Batched inference: x [N, 5, 8, 8] -> N denormalized poses, through
   /// the given compute backend (defaults to the process-wide default).

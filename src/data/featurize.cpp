@@ -16,9 +16,11 @@ namespace {
 
 /// Selects the <= 64 strongest points and orders them spatially
 /// (descending z, then ascending x, then ascending y) — the deterministic
-/// MARS-style arrangement.
-std::vector<RadarPoint> select_points(const fuse::radar::PointCloud& cloud) {
-  std::vector<RadarPoint> pts = cloud.points;
+/// MARS-style arrangement.  The selection happens in `pts`, which keeps
+/// its capacity across calls when owned by a FeaturizeScratch.
+void select_points(const fuse::radar::PointCloud& cloud,
+                   std::vector<RadarPoint>& pts) {
+  pts.assign(cloud.points.begin(), cloud.points.end());
   if (pts.size() > kPointsPerFrame) {
     std::partial_sort(pts.begin(), pts.begin() + kPointsPerFrame, pts.end(),
                       [](const RadarPoint& a, const RadarPoint& b) {
@@ -32,7 +34,6 @@ std::vector<RadarPoint> select_points(const fuse::radar::PointCloud& cloud) {
               if (a.x != b.x) return a.x < b.x;
               return a.y < b.y;
             });
-  return pts;
 }
 
 }  // namespace
@@ -88,7 +89,14 @@ void Featurizer::fit(const Dataset& dataset, const IndexSet& train_indices) {
 
 void Featurizer::frame_block(const fuse::radar::PointCloud& cloud,
                              float* out) const {
-  const auto pts = select_points(cloud);
+  FeaturizeScratch scratch;
+  frame_block(cloud, out, scratch);
+}
+
+void Featurizer::frame_block(const fuse::radar::PointCloud& cloud, float* out,
+                             FeaturizeScratch& scratch) const {
+  select_points(cloud, scratch.points);
+  const auto& pts = scratch.points;
   // Channel-major layout: out[c][h][w]; padded slots stay zero (zero is the
   // normalized mean, i.e. "no information").
   std::fill(out, out + kChannelsPerFrame * kPointsPerFrame, 0.0f);
@@ -110,9 +118,10 @@ Tensor Featurizer::make_inputs(const FusedDataset& fused,
   const std::size_t block_size = kChannelsPerFrame * kPointsPerFrame;
 
   fuse::util::parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    FeaturizeScratch scratch;  // per-chunk: recycled across the chunk's rows
     for (std::size_t i = lo; i < hi; ++i) {
       const auto pool = fused.fused_cloud(sample_indices[i]);
-      frame_block(pool, x.data() + i * block_size);
+      frame_block(pool, x.data() + i * block_size, scratch);
     }
   }, 16);
   return x;

@@ -57,6 +57,13 @@ struct LabelStats {
   }
 };
 
+/// Reusable scratch for frame_block(): the point-selection buffer is
+/// recycled across calls, so a steady-state featurize loop (the serving
+/// scheduler, make_inputs) never allocates per frame.
+struct FeaturizeScratch {
+  std::vector<fuse::radar::RadarPoint> points;
+};
+
 class Featurizer {
  public:
   Featurizer() = default;
@@ -71,6 +78,11 @@ class Featurizer {
   /// normalized [5, 8, 8] block written at `out`
   /// (kChannelsPerFrame * kGridH * kGridW floats).
   void frame_block(const fuse::radar::PointCloud& cloud, float* out) const;
+
+  /// Allocation-free variant: the point-selection buffer comes from
+  /// `scratch` (identical output).
+  void frame_block(const fuse::radar::PointCloud& cloud, float* out,
+                   FeaturizeScratch& scratch) const;
 
   /// Builds the input batch [N, 5, 8, 8]: each sample's constituent frames
   /// are pooled into one cloud and featurized (Eq. 3 fusion).

@@ -23,7 +23,9 @@ std::size_t training_mean(std::span<const float> p, std::size_t i,
   double acc = 0.0;
   std::size_t count = 0;
   const std::size_t g = cfg.guard_cells, t = cfg.train_cells;
-  // Leading side.
+  // Both sides at once: each offset g+k contributes the leading cell
+  // i - (g+k) and the lagging cell i + (g+k), each clipped independently
+  // at its array edge.
   for (std::size_t k = 1; k <= t; ++k) {
     const std::size_t off = g + k;
     if (i >= off) {
@@ -39,10 +41,95 @@ std::size_t training_mean(std::span<const float> p, std::size_t i,
   return count;
 }
 
+/// Grows `v` to exactly n elements, counting a capacity increase as one
+/// scratch growth event (the steady-state allocation monitor).
+void ensure_sized(std::vector<double>& v, std::size_t n,
+                  std::size_t* grow_events) {
+  if (v.capacity() < n) ++*grow_events;
+  v.resize(n);
+}
+
+/// Sum over the circular segment [start, start + len) of a ring of size n
+/// whose prefix sums are in `pref` (pref[j] = sum of the first j cells,
+/// pref[n] = total).  len may exceed n: full laps contribute laps * total,
+/// exactly like the reference detector revisiting cells.
+double circular_segment_sum(const double* pref, std::size_t n,
+                            std::size_t start, std::size_t len) {
+  double acc = 0.0;
+  if (len >= n) {
+    acc += static_cast<double>(len / n) * pref[n];
+    len %= n;
+  }
+  const std::size_t end = start + len;
+  if (end <= n) return acc + (pref[end] - pref[start]);
+  return acc + (pref[n] - pref[start]) + pref[end - n];
+}
+
+/// Edge-clipped training-window sum around index i via prefix sums over n
+/// cells laid out `stride` apart (stride 1: a 1-D profile; stride
+/// n_doppler: one column of the 2-D column-prefix table).  Returns the
+/// number of training cells used and writes their mean (0 when none),
+/// matching training_mean()'s clipping semantics exactly — this is the
+/// single copy of the edge-clipping contract shared by the 1-D detector
+/// and the 2-D range axis.
+std::size_t prefix_training_mean(const double* pref, std::size_t n,
+                                 std::size_t stride, std::size_t i,
+                                 std::size_t g, std::size_t t,
+                                 float* mean_out) {
+  // Leading cells occupy [i - g - t, i - g - 1] clipped at 0; lagging cells
+  // occupy [i + g + 1, i + g + t] clipped at n - 1.
+  const std::size_t l_hi = i > g ? i - g : 0;           // exclusive
+  const std::size_t l_lo = i > g + t ? i - g - t : 0;
+  const std::size_t r_lo = std::min(n, i + g + 1);
+  const std::size_t r_hi = std::min(n, i + g + t + 1);  // exclusive
+  const std::size_t count = (l_hi - l_lo) + (r_hi - r_lo);
+  if (count == 0) {
+    *mean_out = 0.0f;
+    return 0;
+  }
+  const double acc = (pref[l_hi * stride] - pref[l_lo * stride]) +
+                     (pref[r_hi * stride] - pref[r_lo * stride]);
+  *mean_out = static_cast<float>(acc / static_cast<double>(count));
+  return count;
+}
+
 }  // namespace
+
+void ca_cfar_1d(std::span<const float> power, const CfarConfig& cfg,
+                CfarScratch& scratch, std::vector<Detection1d>& out) {
+  out.clear();
+  const std::size_t n = power.size();
+  ensure_sized(scratch.prefix, n + 1, &scratch.grow_events);
+  double* pref = scratch.prefix.data();
+  pref[0] = 0.0;
+  for (std::size_t i = 0; i < n; ++i) pref[i + 1] = pref[i] + power[i];
+
+  for (std::size_t i = 0; i < n; ++i) {
+    float noise = 0.0f;
+    if (prefix_training_mean(pref, n, 1, i, cfg.guard_cells,
+                             cfg.train_cells, &noise) == 0)
+      continue;
+    const float threshold = cfg.threshold_scale * noise;
+    if (power[i] > threshold && noise > 0.0f) {
+      // Local-maximum gate: one detection per peak.
+      const bool left_ok = i == 0 || power[i] >= power[i - 1];
+      const bool right_ok = i + 1 == n || power[i] > power[i + 1];
+      if (left_ok && right_ok)
+        out.push_back({i, power[i], threshold, power[i] / noise});
+    }
+  }
+}
 
 std::vector<Detection1d> ca_cfar_1d(std::span<const float> power,
                                     const CfarConfig& cfg) {
+  CfarScratch scratch;
+  std::vector<Detection1d> out;
+  ca_cfar_1d(power, cfg, scratch, out);
+  return out;
+}
+
+std::vector<Detection1d> ca_cfar_1d_reference(std::span<const float> power,
+                                              const CfarConfig& cfg) {
   std::vector<Detection1d> out;
   const std::size_t n = power.size();
   for (std::size_t i = 0; i < n; ++i) {
@@ -92,10 +179,122 @@ std::vector<Detection1d> os_cfar_1d(std::span<const float> power,
   return out;
 }
 
+namespace {
+
+/// Local-maximum gating shared by both 2-D implementations (comparisons
+/// only — no arithmetic, so it cannot perturb bit-identity).
+bool is_local_max_2d(std::span<const float> power_map, std::size_t n_range,
+                     std::size_t n_doppler, std::size_t r, std::size_t d,
+                     float cut, const CfarConfig& cfg) {
+  if (cfg.local_max_2d == CfarLocalMax::kNone) return true;
+  const int r_lo = cfg.local_max_2d == CfarLocalMax::kFull ? -1 : 0;
+  const int r_hi = cfg.local_max_2d == CfarLocalMax::kFull ? 1 : 0;
+  for (int dr = r_lo; dr <= r_hi; ++dr) {
+    for (int dd = -1; dd <= 1; ++dd) {
+      if (dr == 0 && dd == 0) continue;
+      const std::ptrdiff_t rr = static_cast<std::ptrdiff_t>(r) + dr;
+      if (rr < 0 || rr >= static_cast<std::ptrdiff_t>(n_range)) continue;
+      const std::size_t dd_idx =
+          (d + n_doppler + static_cast<std::size_t>(dd + 1) - 1) % n_doppler;
+      const float nb =
+          power_map[static_cast<std::size_t>(rr) * n_doppler + dd_idx];
+      // Strict inequality on "later" cells breaks plateau ties.
+      if (nb > cut || (nb == cut && (dr > 0 || (dr == 0 && dd > 0))))
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void ca_cfar_2d(std::span<const float> power_map, std::size_t n_range,
+                std::size_t n_doppler, const CfarConfig& cfg,
+                CfarScratch& scratch, std::vector<Detection2d>& out) {
+  if (power_map.size() != n_range * n_doppler)
+    throw std::invalid_argument("ca_cfar_2d: map size mismatch");
+  out.clear();
+  const std::size_t g = cfg.guard_cells, t = cfg.train_cells;
+  if (t == 0) return;  // no training cells -> the reference never detects
+  const std::size_t cnt_d = 2 * t;  // Doppler window wraps: never clipped
+
+  // Column prefix sums for the range axis (kCross only): col_prefix
+  // [(r+1) * n_doppler + d] = sum of rows 0..r at Doppler bin d.
+  const bool cross = cfg.mode_2d == Cfar2dMode::kCross;
+  if (cross) {
+    ensure_sized(scratch.col_prefix, (n_range + 1) * n_doppler,
+                 &scratch.grow_events);
+    double* cp = scratch.col_prefix.data();
+    for (std::size_t d = 0; d < n_doppler; ++d) cp[d] = 0.0;
+    for (std::size_t r = 0; r < n_range; ++r)
+      for (std::size_t d = 0; d < n_doppler; ++d)
+        cp[(r + 1) * n_doppler + d] =
+            cp[r * n_doppler + d] + power_map[r * n_doppler + d];
+  }
+
+  ensure_sized(scratch.prefix, n_doppler + 1, &scratch.grow_events);
+  double* rp = scratch.prefix.data();
+  const double* cp = cross ? scratch.col_prefix.data() : nullptr;
+
+  // The Doppler training window covers offsets +-(g+1 .. g+t) around the
+  // CUT, i.e. two circular segments of t cells starting at d + g + 1 and
+  // d - g - t (mod n_doppler).
+  const std::size_t right_off = n_doppler ? (g + 1) % n_doppler : 0;
+  const std::size_t left_off =
+      n_doppler ? (n_doppler - (g + t) % n_doppler) % n_doppler : 0;
+
+  for (std::size_t r = 0; r < n_range; ++r) {
+    const float* row = power_map.data() + r * n_doppler;
+    rp[0] = 0.0;
+    for (std::size_t d = 0; d < n_doppler; ++d) rp[d + 1] = rp[d] + row[d];
+
+    for (std::size_t d = 0; d < n_doppler; ++d) {
+      const float cut = row[d];
+      if (cut <= 0.0f) continue;
+
+      const double acc_d =
+          circular_segment_sum(rp, n_doppler, (d + right_off) % n_doppler,
+                               t) +
+          circular_segment_sum(rp, n_doppler, (d + left_off) % n_doppler, t);
+      const float noise_d =
+          static_cast<float>(acc_d / static_cast<double>(cnt_d));
+      if (cut <= cfg.threshold_scale * noise_d) continue;
+
+      float noise = noise_d;
+      if (cross) {
+        // Range-axis training window, clipped at the map edges: the same
+        // helper as the 1-D detector, walking column d of the prefix
+        // table with stride n_doppler.
+        float noise_r = 0.0f;
+        if (prefix_training_mean(cp + d, n_range, n_doppler, r, g, t,
+                                 &noise_r) == 0)
+          continue;
+        if (cut <= cfg.threshold_scale * noise_r) continue;
+        noise = 0.5f * (noise_r + noise_d);
+      }
+
+      if (!is_local_max_2d(power_map, n_range, n_doppler, r, d, cut, cfg))
+        continue;
+
+      out.push_back({r, d, cut, noise > 0.0f ? cut / noise : 0.0f});
+    }
+  }
+}
+
 std::vector<Detection2d> ca_cfar_2d(std::span<const float> power_map,
                                     std::size_t n_range,
                                     std::size_t n_doppler,
                                     const CfarConfig& cfg) {
+  CfarScratch scratch;
+  std::vector<Detection2d> out;
+  ca_cfar_2d(power_map, n_range, n_doppler, cfg, scratch, out);
+  return out;
+}
+
+std::vector<Detection2d> ca_cfar_2d_reference(std::span<const float> power_map,
+                                              std::size_t n_range,
+                                              std::size_t n_doppler,
+                                              const CfarConfig& cfg) {
   if (power_map.size() != n_range * n_doppler)
     throw std::invalid_argument("ca_cfar_2d: map size mismatch");
   std::vector<Detection2d> out;
@@ -137,30 +336,8 @@ std::vector<Detection2d> ca_cfar_2d(std::span<const float> power_map,
         noise = 0.5f * (noise_r + noise_d);
       }
 
-      // Local-maximum gating.
-      bool is_peak = true;
-      const int r_lo = cfg.local_max_2d == CfarLocalMax::kFull ? -1 : 0;
-      const int r_hi = cfg.local_max_2d == CfarLocalMax::kFull ? 1 : 0;
-      if (cfg.local_max_2d != CfarLocalMax::kNone) {
-        for (int dr = r_lo; dr <= r_hi && is_peak; ++dr) {
-          for (int dd = -1; dd <= 1; ++dd) {
-            if (dr == 0 && dd == 0) continue;
-            const std::ptrdiff_t rr = static_cast<std::ptrdiff_t>(r) + dr;
-            if (rr < 0 || rr >= static_cast<std::ptrdiff_t>(n_range))
-              continue;
-            const std::size_t dd_idx =
-                (d + n_doppler + static_cast<std::size_t>(dd + 1) - 1) %
-                n_doppler;
-            const float nb = at(static_cast<std::size_t>(rr), dd_idx);
-            // Strict inequality on "later" cells breaks plateau ties.
-            if (nb > cut || (nb == cut && (dr > 0 || (dr == 0 && dd > 0)))) {
-              is_peak = false;
-              break;
-            }
-          }
-        }
-      }
-      if (!is_peak) continue;
+      if (!is_local_max_2d(power_map, n_range, n_doppler, r, d, cut, cfg))
+        continue;
 
       out.push_back({r, d, cut, noise > 0.0f ? cut / noise : 0.0f});
     }

@@ -60,9 +60,38 @@ struct Detection1d {
   float snr = 0.0f;        ///< power / noise-estimate
 };
 
+/// Reusable scratch for the prefix-sum CFAR detectors: the prefix tables
+/// are rebuilt in place every call, so steady-shape call sequences never
+/// allocate.  `grow_events` counts buffer growths (capacity increases) —
+/// a steady-state frame loop must leave it unchanged.
+struct CfarScratch {
+  std::vector<double> prefix;      ///< 1-D / per-row prefix sums
+  std::vector<double> col_prefix;  ///< column prefix sums (2-D kCross)
+  std::size_t grow_events = 0;
+};
+
 /// 1-D cell-averaging CFAR over a power profile.
+///
+/// Implemented with sliding-window prefix sums: O(1) noise estimate per
+/// cell instead of O(train_cells), with the reference implementation's
+/// exact edge-clipping semantics (training cells falling off either array
+/// end are dropped from the mean, and a cell with no training cells at all
+/// is never a detection).  Detection sets are bit-identical to
+/// ca_cfar_1d_reference() whenever the window sums are exactly
+/// representable in double (always the case for realistic power maps; the
+/// equivalence tests assert exact equality).
 std::vector<Detection1d> ca_cfar_1d(std::span<const float> power,
                                     const CfarConfig& cfg);
+
+/// Allocation-free variant: detections are appended to a cleared `out`
+/// and prefix tables live in `scratch`.
+void ca_cfar_1d(std::span<const float> power, const CfarConfig& cfg,
+                CfarScratch& scratch, std::vector<Detection1d>& out);
+
+/// Reference O(train_cells)-per-cell implementation (the pre-plan scalar
+/// code), kept as the correctness oracle for the prefix-sum detector.
+std::vector<Detection1d> ca_cfar_1d_reference(std::span<const float> power,
+                                              const CfarConfig& cfg);
 
 /// 1-D ordered-statistic CFAR (robust to clutter edges / multiple targets).
 std::vector<Detection1d> os_cfar_1d(std::span<const float> power,
@@ -81,9 +110,28 @@ struct Detection2d {
 /// scheme in the TI demo firmware.  Detections are additionally required to
 /// be local maxima in their 3x3 neighbourhood so each target yields one
 /// peak per lobe.
+///
+/// Both axes use sliding-window prefix sums (per-row prefixes for the
+/// circular Doppler window — including the wrap-past-full-circle case where
+/// guard+train exceeds n_doppler and cells are counted multiple times, just
+/// like the reference — and column prefixes for the edge-clipped range
+/// window), so the noise estimate is O(1) per cell.  Detection sets are
+/// bit-identical to ca_cfar_2d_reference() under the same proviso as the
+/// 1-D detector.
 std::vector<Detection2d> ca_cfar_2d(std::span<const float> power_map,
                                     std::size_t n_range,
                                     std::size_t n_doppler,
                                     const CfarConfig& cfg);
+
+/// Allocation-free variant of the 2-D detector (see CfarScratch).
+void ca_cfar_2d(std::span<const float> power_map, std::size_t n_range,
+                std::size_t n_doppler, const CfarConfig& cfg,
+                CfarScratch& scratch, std::vector<Detection2d>& out);
+
+/// Reference O(train_cells)-per-cell 2-D implementation (oracle).
+std::vector<Detection2d> ca_cfar_2d_reference(std::span<const float> power_map,
+                                              std::size_t n_range,
+                                              std::size_t n_doppler,
+                                              const CfarConfig& cfg);
 
 }  // namespace fuse::dsp

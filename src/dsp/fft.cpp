@@ -1,5 +1,6 @@
 #include "dsp/fft.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -54,11 +55,20 @@ void fft_inplace(std::vector<cfloat>& data, bool inverse) {
   }
 }
 
+void fft(std::span<const cfloat> input, std::vector<cfloat>& out,
+         bool inverse) {
+  const std::size_t n = next_pow2(std::max<std::size_t>(1, input.size()));
+  out.resize(n);
+  std::copy(input.begin(), input.end(), out.begin());
+  std::fill(out.begin() + static_cast<std::ptrdiff_t>(input.size()),
+            out.end(), cfloat{});
+  fft_inplace(out, inverse);
+}
+
 std::vector<cfloat> fft(std::span<const cfloat> input, bool inverse) {
-  std::vector<cfloat> data(input.begin(), input.end());
-  data.resize(next_pow2(std::max<std::size_t>(1, data.size())));
-  fft_inplace(data, inverse);
-  return data;
+  std::vector<cfloat> out;
+  fft(input, out, inverse);
+  return out;
 }
 
 std::vector<cfloat> dft_reference(std::span<const cfloat> input,

@@ -29,6 +29,14 @@ void fft_inplace(std::vector<cfloat>& data, bool inverse = false);
 /// Out-of-place FFT; input is zero-padded to the next power of two.
 std::vector<cfloat> fft(std::span<const cfloat> input, bool inverse = false);
 
+/// Preallocated-out FFT: sizes `out` to the next power of two (reusing its
+/// capacity — a steady-shape caller pays zero allocations after the first
+/// call, instead of the copy + resize double allocation of the returning
+/// overload), copies the zero-padded input into it and transforms in
+/// place.  `out` must not alias `input`.
+void fft(std::span<const cfloat> input, std::vector<cfloat>& out,
+         bool inverse = false);
+
 /// Reference O(N^2) DFT used as a correctness oracle in tests.
 std::vector<cfloat> dft_reference(std::span<const cfloat> input,
                                   bool inverse = false);

@@ -1,0 +1,133 @@
+#include "dsp/plan.h"
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+namespace fuse::dsp {
+
+namespace {
+constexpr double kTau = 6.283185307179586476925286766559;
+}  // namespace
+
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  if (!is_pow2(n))
+    throw std::invalid_argument("FftPlan: size must be a power of two");
+
+  // Bit-reversal permutation, generated with the same incremental carry
+  // walk fft_inplace uses (j visits the bit-reversed sequence).
+  bitrev_.assign(n_, 0);
+  for (std::size_t i = 1, j = 0; i < n_; ++i) {
+    std::size_t bit = n_ >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    bitrev_[i] = static_cast<std::uint32_t>(j);
+  }
+
+  // Twiddle tables per stage, generated with fft_inplace's exact float
+  // recurrence (w starts at 1 and is repeatedly multiplied by wlen) so the
+  // planned butterflies reproduce its rounding bit for bit.  Only the
+  // forward tables are stored: cos(-x) == cos(x) and sin(-x) == -sin(x)
+  // exactly in IEEE arithmetic, and the conjugate recurrence produces the
+  // exact conjugate sequence, so the inverse butterfly just negates tw_im_.
+  tw_re_.reserve(n_ > 1 ? n_ - 1 : 0);
+  tw_im_.reserve(n_ > 1 ? n_ - 1 : 0);
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const double ang = -kTau / static_cast<double>(len);
+    const cfloat wlen(static_cast<float>(std::cos(ang)),
+                      static_cast<float>(std::sin(ang)));
+    cfloat w(1.0f, 0.0f);
+    for (std::size_t j = 0; j < len / 2; ++j) {
+      tw_re_.push_back(w.real());
+      tw_im_.push_back(w.imag());
+      w *= wlen;
+    }
+  }
+}
+
+void FftPlan::scatter_load(const cfloat* src, std::size_t count,
+                           const float* window, float* re, float* im) const {
+  if (count > n_)
+    throw std::invalid_argument("FftPlan::scatter_load: count > size");
+  for (std::size_t i = 0; i < n_; ++i) {
+    re[i] = 0.0f;
+    im[i] = 0.0f;
+  }
+  if (window != nullptr) {
+    for (std::size_t s = 0; s < count; ++s) {
+      const std::uint32_t j = bitrev_[s];
+      re[j] = src[s].real() * window[s];
+      im[j] = src[s].imag() * window[s];
+    }
+  } else {
+    for (std::size_t s = 0; s < count; ++s) {
+      const std::uint32_t j = bitrev_[s];
+      re[j] = src[s].real();
+      im[j] = src[s].imag();
+    }
+  }
+}
+
+void FftPlan::butterflies(float* re, float* im, bool inverse) const {
+  // The twiddle sign handles forward vs inverse; everything else is shared.
+  const float sign = inverse ? 1.0f : -1.0f;  // tw_im_ stores sin(-ang)
+  std::size_t off = 0;
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t half = len >> 1;
+    const float* wr = tw_re_.data() + off;
+    const float* wi = tw_im_.data() + off;
+    for (std::size_t i = 0; i < n_; i += len) {
+      float* re_lo = re + i;
+      float* im_lo = im + i;
+      float* re_hi = re_lo + half;
+      float* im_hi = im_lo + half;
+      // Independent iterations (no loop-carried twiddle recurrence):
+      // branchless and vectorizable.
+      for (std::size_t j = 0; j < half; ++j) {
+        const float twi = sign * -wi[j];  // == -sin(-ang)*sign: fwd wi, inv -wi
+        const float xr = re_hi[j];
+        const float xi = im_hi[j];
+        const float vr = xr * wr[j] - xi * twi;
+        const float vi = xr * twi + xi * wr[j];
+        const float ur = re_lo[j];
+        const float ui = im_lo[j];
+        re_lo[j] = ur + vr;
+        im_lo[j] = ui + vi;
+        re_hi[j] = ur - vr;
+        im_hi[j] = ui - vi;
+      }
+    }
+    off += half;
+  }
+  if (inverse) {
+    const float inv = 1.0f / static_cast<float>(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      re[i] *= inv;
+      im[i] *= inv;
+    }
+  }
+}
+
+void FftPlan::execute_loaded_many(float* re, float* im, std::size_t rows,
+                                  bool inverse) const {
+  for (std::size_t r = 0; r < rows; ++r)
+    butterflies(re + r * n_, im + r * n_, inverse);
+}
+
+void FftPlan::execute_many(float* re, float* im, std::size_t rows,
+                           bool inverse) const {
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* rre = re + r * n_;
+    float* rim = im + r * n_;
+    for (std::size_t i = 1; i < n_; ++i) {
+      const std::uint32_t j = bitrev_[i];
+      if (i < j) {
+        std::swap(rre[i], rre[j]);
+        std::swap(rim[i], rim[j]);
+      }
+    }
+    butterflies(rre, rim, inverse);
+  }
+}
+
+}  // namespace fuse::dsp

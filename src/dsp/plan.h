@@ -1,0 +1,75 @@
+#pragma once
+// Plan-based batched FFT for the radar frame pipeline.
+//
+// fft_inplace() (fft.h) recomputes its stage twiddles with sin/cos on every
+// call and carries a loop-borne `w *= wlen` recurrence that serializes the
+// butterfly inner loop.  An FftPlan front-loads all of that work once per
+// transform size: the bit-reversal permutation and every stage's twiddle
+// factors are precomputed at construction, and the butterflies operate on
+// split-complex (SoA) rows with branchless, independent inner iterations
+// the compiler can vectorize.
+//
+// Determinism contract: the twiddle tables are generated with the exact
+// float recurrence fft_inplace uses, and the butterfly arithmetic performs
+// the same float operations per element, so a planned transform is
+// BIT-IDENTICAL to fft_inplace on the same input (tests assert this with
+// exact float equality).  Forward and inverse share one table set — the
+// inverse twiddles are exact conjugates of the forward ones, which the
+// inverse butterfly applies by negating the imaginary table entry.
+//
+// Typical frame usage (see radar::Processor):
+//   plan.scatter_load(chirp, ns, window, re_row, im_row);  // fused load
+//   ... all rows loaded ...
+//   plan.execute_loaded_many(re, im, rows);                // batched FFTs
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dsp/fft.h"
+
+namespace fuse::dsp {
+
+class FftPlan {
+ public:
+  /// Builds a plan for transforms of length n (must be a power of two).
+  explicit FftPlan(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  /// Fused load pass: deinterleaves `count` complex samples into the SoA
+  /// row (re, im), applying the window (may be null for no window;
+  /// otherwise window[0..count)), zero-padding to size(), and writing each
+  /// sample directly at its bit-reversed position — after this the row is
+  /// ready for execute_loaded_many() with no separate permutation pass.
+  /// count must be <= size().
+  void scatter_load(const cfloat* src, std::size_t count, const float* window,
+                    float* re, float* im) const;
+
+  /// Batched transform of `rows` already-bit-reversed SoA rows (as written
+  /// by scatter_load).  Row r occupies re[r*size() .. (r+1)*size()).
+  void execute_loaded_many(float* re, float* im, std::size_t rows,
+                           bool inverse = false) const;
+
+  /// Batched transform of natural-order SoA rows: permutes each row in
+  /// place, then runs the butterflies.
+  void execute_many(float* re, float* im, std::size_t rows,
+                    bool inverse = false) const;
+
+  /// Single natural-order SoA row.
+  void execute(float* re, float* im, bool inverse = false) const {
+    execute_many(re, im, 1, inverse);
+  }
+
+ private:
+  void butterflies(float* re, float* im, bool inverse) const;
+
+  std::size_t n_ = 0;
+  std::vector<std::uint32_t> bitrev_;  ///< full permutation, bitrev_[i] = rev(i)
+  /// Per-stage twiddle tables, stages concatenated (len = 2, 4, ..., n_;
+  /// stage with half = len/2 contributes half entries; n_ - 1 total).
+  std::vector<float> tw_re_;
+  std::vector<float> tw_im_;
+};
+
+}  // namespace fuse::dsp

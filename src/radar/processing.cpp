@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "dsp/fft.h"
 #include "dsp/window.h"
@@ -11,13 +12,36 @@ namespace fuse::radar {
 
 namespace {
 constexpr double kTau = 6.283185307179586476925286766559;
+
+/// Stage 3 shared by every path: non-coherent |.|^2 sum across channels,
+/// channel-major so the per-cell accumulation order (and therefore the
+/// float rounding) is identical everywhere.  The inner loop runs over
+/// contiguous memory with independent iterations, so it vectorizes.
+void accumulate_power(const RangeDopplerCube& rd, std::vector<float>& p) {
+  const std::size_t cells = rd.n_range() * rd.n_doppler();
+  p.assign(cells, 0.0f);
+  for (std::size_t v = 0; v < rd.n_virtual(); ++v) {
+    const cfloat* base = rd.data() + v * cells;
+    float* out = p.data();
+    for (std::size_t i = 0; i < cells; ++i) {
+      const float re = base[i].real();
+      const float im = base[i].imag();
+      out[i] += re * re + im * im;
+    }
+  }
 }
 
+}  // namespace
+
 Processor::Processor(const RadarConfig& cfg)
-    : cfg_(cfg), elems_(make_virtual_array(cfg)) {
+    : cfg_(cfg),
+      elems_(make_virtual_array(cfg)),
+      n_range_(fuse::dsp::next_pow2(cfg.samples_per_chirp)),
+      n_doppler_(fuse::dsp::next_pow2(cfg.chirps_per_frame)),
+      range_plan_(n_range_),
+      doppler_plan_(n_doppler_),
+      angle_plan_(kAngleFftSize) {
   cfg_.validate();
-  n_range_ = fuse::dsp::next_pow2(cfg_.samples_per_chirp);
-  n_doppler_ = fuse::dsp::next_pow2(cfg_.chirps_per_frame);
   range_window_ =
       fuse::dsp::make_window(fuse::dsp::WindowType::kHann,
                              cfg_.samples_per_chirp);
@@ -35,10 +59,158 @@ Processor::Processor(const RadarConfig& cfg)
   cfar_.local_max_2d = fuse::dsp::CfarLocalMax::kDoppler;
 }
 
-RangeDopplerCube Processor::range_doppler(const RadarCube& cube) const {
+// ---------------------------------------------------- planned frame path --
+
+const RangeDopplerCube& Processor::range_doppler(const RadarCube& cube,
+                                                 FrameWorkspace& ws) const {
   const std::size_t nv = cube.n_virtual();
   const std::size_t nc = cube.n_chirps();
   const std::size_t ns = cube.n_samples();
+  // Guard against the WINDOW lengths, not the padded FFT sizes: with a
+  // non-power-of-two samples_per_chirp, n_range_ exceeds the Hann window,
+  // and a cube sized in between would read past the window vector.
+  if (ns > range_window_.size() || nc > doppler_window_.size())
+    throw std::invalid_argument(
+        "Processor::range_doppler: cube larger than the configured frame");
+  if (ws.rd_.resize(nv, n_range_, n_doppler_))
+    ws.grows_.fetch_add(1, std::memory_order_relaxed);
+
+  // Pre-spawn one sized lane per possible concurrent chunk (the global
+  // pool's workers execute the chunks; an inline/serialized call needs
+  // one) so lane creation and sizing happen deterministically here in the
+  // serial section, never mid-flight in a chunk.
+  std::size_t max_concurrency = 1;
+  if (!fuse::util::ThreadPool::inside_pool_worker())
+    max_concurrency =
+        std::max<std::size_t>(1, fuse::util::global_pool().size());
+  ws.prepare_lanes(std::min(max_concurrency, nv), nc * n_range_,
+                   n_range_ * n_doppler_);
+
+  fuse::util::parallel_for(0, nv, [&](std::size_t v0, std::size_t v1) {
+    FrameWorkspace::Lane& lane = ws.acquire_lane();
+    ws.ensure(lane.a_re, nc * n_range_);
+    ws.ensure(lane.a_im, nc * n_range_);
+    ws.ensure(lane.b_re, n_range_ * n_doppler_);
+    ws.ensure(lane.b_im, n_range_ * n_doppler_);
+    float* a_re = lane.a_re.data();
+    float* a_im = lane.a_im.data();
+    float* b_re = lane.b_re.data();
+    float* b_im = lane.b_im.data();
+    const float* dw = doppler_window_.data();
+    const float inv_nc = 1.0f / static_cast<float>(nc);
+    const std::size_t shift = (n_doppler_ + 1) / 2;  // fftshift offset
+
+    for (std::size_t v = v0; v < v1; ++v) {
+      // Range FFTs, batched across chirps through one plan: the Hann
+      // window, zero padding and bit-reversal are fused into the load.
+      for (std::size_t c = 0; c < nc; ++c)
+        range_plan_.scatter_load(cube.chirp_ptr(v, c), ns,
+                                 range_window_.data(), a_re + c * n_range_,
+                                 a_im + c * n_range_);
+      range_plan_.execute_loaded_many(a_re, a_im, nc);
+
+      // Transpose into Doppler rows with optional static clutter removal
+      // (subtract the chirp-mean so the DC bin vanishes) and the Hamming
+      // window fused in; chirp padding up to n_doppler_ stays zero.
+      for (std::size_t r = 0; r < n_range_; ++r) {
+        float mr = 0.0f, mi = 0.0f;
+        if (cfg_.static_clutter_removal) {
+          for (std::size_t c = 0; c < nc; ++c) {
+            mr += a_re[c * n_range_ + r];
+            mi += a_im[c * n_range_ + r];
+          }
+          mr *= inv_nc;
+          mi *= inv_nc;
+        }
+        float* row_re = b_re + r * n_doppler_;
+        float* row_im = b_im + r * n_doppler_;
+        for (std::size_t c = 0; c < nc; ++c) {
+          row_re[c] = (a_re[c * n_range_ + r] - mr) * dw[c];
+          row_im[c] = (a_im[c * n_range_ + r] - mi) * dw[c];
+        }
+        for (std::size_t c = nc; c < n_doppler_; ++c) {
+          row_re[c] = 0.0f;
+          row_im[c] = 0.0f;
+        }
+      }
+
+      // Doppler FFTs, batched across range bins.
+      doppler_plan_.execute_many(b_re, b_im, n_range_);
+
+      // fftshift while interleaving back into the output cube.
+      cfloat* out = ws.rd_.data() + v * n_range_ * n_doppler_;
+      for (std::size_t r = 0; r < n_range_; ++r) {
+        const float* row_re = b_re + r * n_doppler_;
+        const float* row_im = b_im + r * n_doppler_;
+        cfloat* out_row = out + r * n_doppler_;
+        for (std::size_t d = 0; d < n_doppler_; ++d) {
+          const std::size_t src = (d + shift) % n_doppler_;
+          out_row[d] = cfloat(row_re[src], row_im[src]);
+        }
+      }
+    }
+    ws.release_lane(lane);
+  });
+  return ws.rd_;
+}
+
+void Processor::detect(const RangeDopplerCube& rd, FrameWorkspace& ws,
+                       ProcessedFrame& out) const {
+  out.n_range = rd.n_range();
+  out.n_doppler = rd.n_doppler();
+  accumulate_power(rd, out.power_map);
+  const std::size_t dets_cap = ws.dets_.capacity();
+  fuse::dsp::ca_cfar_2d(out.power_map, out.n_range, out.n_doppler, cfar_,
+                        ws.cfar_, ws.dets_);
+  if (ws.dets_.capacity() > dets_cap)
+    ws.grows_.fetch_add(1, std::memory_order_relaxed);
+  resolve_detections(rd, ws.dets_, &ws, out);
+}
+
+void Processor::process(const RadarCube& cube, FrameWorkspace& ws,
+                        ProcessedFrame& out) const {
+  range_doppler(cube, ws);
+  detect(ws.rd_, ws, out);
+}
+
+// ------------------------------------------------------ compat interface --
+
+RangeDopplerCube Processor::range_doppler(const RadarCube& cube) const {
+  FrameWorkspace ws;
+  range_doppler(cube, ws);
+  return std::move(ws.rd_);
+}
+
+std::vector<float> Processor::power_map(const RangeDopplerCube& rd) const {
+  std::vector<float> p;
+  accumulate_power(rd, p);
+  return p;
+}
+
+ProcessedFrame Processor::detect(const RangeDopplerCube& rd) const {
+  FrameWorkspace ws;
+  ProcessedFrame out;
+  detect(rd, ws, out);
+  return out;
+}
+
+ProcessedFrame Processor::process(const RadarCube& cube) const {
+  FrameWorkspace ws;
+  ProcessedFrame out;
+  process(cube, ws, out);
+  return out;
+}
+
+// ------------------------------------------------------- reference path --
+
+RangeDopplerCube Processor::range_doppler_reference(
+    const RadarCube& cube) const {
+  const std::size_t nv = cube.n_virtual();
+  const std::size_t nc = cube.n_chirps();
+  const std::size_t ns = cube.n_samples();
+  if (ns > range_window_.size() || nc > doppler_window_.size())
+    throw std::invalid_argument(
+        "Processor::range_doppler: cube larger than the configured frame");
   RangeDopplerCube rd(nv, n_range_, n_doppler_);
 
   fuse::util::parallel_for(0, nv, [&](std::size_t v0, std::size_t v1) {
@@ -75,124 +247,34 @@ RangeDopplerCube Processor::range_doppler(const RadarCube& cube) const {
   return rd;
 }
 
-std::vector<float> Processor::power_map(const RangeDopplerCube& rd) const {
-  std::vector<float> p(rd.n_range() * rd.n_doppler(), 0.0f);
-  for (std::size_t v = 0; v < rd.n_virtual(); ++v)
-    for (std::size_t r = 0; r < rd.n_range(); ++r)
-      for (std::size_t d = 0; d < rd.n_doppler(); ++d)
-        p[r * rd.n_doppler() + d] += std::norm(rd.at(v, r, d));
-  return p;
-}
-
-void Processor::estimate_angles(const RangeDopplerCube& rd, std::size_t r,
-                                std::size_t d, float velocity,
-                                float* dir_cos_x, float* dir_cos_z,
-                                float* second_peak) const {
-  const double lambda = cfg_.wavelength();
-  const double f_doppler = 2.0 * static_cast<double>(velocity) / lambda;
-  const double t_rep = cfg_.chirp_repeat_s();
-
-  // TDM Doppler compensation: channel from TX slot k accumulated an extra
-  // phase 2 pi f_d k T_rep; remove it before beamforming.
-  const std::size_t n_az = cfg_.n_virtual_azimuth();
-  std::vector<cfloat> snapshot(elems_.size());
-  for (std::size_t v = 0; v < elems_.size(); ++v) {
-    const double phi =
-        kTau * f_doppler * static_cast<double>(elems_[v].tx_slot) * t_rep;
-    const cfloat comp(static_cast<float>(std::cos(phi)),
-                      static_cast<float>(-std::sin(phi)));
-    snapshot[v] = rd.at(v, r, d) * comp;
-  }
-
-  // Azimuth: zero-padded FFT across the lambda/2 ULA.
-  std::vector<cfloat> az(kAngleFftSize, cfloat{});
-  for (std::size_t v = 0; v < n_az; ++v) az[v] = snapshot[v];
-  fuse::dsp::fft_inplace(az);
-  std::size_t best = 0;
-  float best_pow = 0.0f;
-  for (std::size_t k = 0; k < kAngleFftSize; ++k) {
-    const float p = std::norm(az[k]);
-    if (p > best_pow) {
-      best_pow = p;
-      best = k;
-    }
-  }
-  if (second_peak != nullptr) {
-    // Strongest azimuth peak at least one beamwidth away from the main one
-    // (beamwidth = kAngleFftSize / n_az FFT bins).
-    const std::size_t min_sep = kAngleFftSize / n_az;
-    std::size_t b2 = kAngleFftSize;
-    float p2 = 0.0f;
-    for (std::size_t k = 0; k < kAngleFftSize; ++k) {
-      const std::size_t d1 =
-          (k + kAngleFftSize - best) % kAngleFftSize;
-      const std::size_t dist = std::min(d1, kAngleFftSize - d1);
-      if (dist < min_sep) continue;
-      const float p = std::norm(az[k]);
-      if (p > p2) {
-        p2 = p;
-        b2 = k;
-      }
-    }
-    // Report only when it is a genuine secondary lobe-free peak: local max
-    // and within 9 dB of the main peak.
-    if (b2 < kAngleFftSize && p2 > 0.125f * best_pow) {
-      double k2 = static_cast<double>(b2);
-      if (k2 >= static_cast<double>(kAngleFftSize) / 2.0)
-        k2 -= static_cast<double>(kAngleFftSize);
-      *second_peak = static_cast<float>(std::clamp(
-          2.0 * k2 / static_cast<double>(kAngleFftSize), -1.0, 1.0));
-    } else {
-      *second_peak = 2.0f;  // sentinel: no secondary peak
-    }
-  }
-  // Signed spatial frequency bin -> sin(azimuth).  d_spacing = lambda/2 so
-  // sin(az) = 2 k / N with k in [-N/2, N/2).
-  const float pl = std::norm(az[(best + kAngleFftSize - 1) % kAngleFftSize]);
-  const float pr = std::norm(az[(best + 1) % kAngleFftSize]);
-  const float frac = fuse::dsp::parabolic_peak_offset(pl, best_pow, pr);
-  double k_signed = static_cast<double>(best) + frac;
-  if (k_signed >= static_cast<double>(kAngleFftSize) / 2.0)
-    k_signed -= static_cast<double>(kAngleFftSize);
-  // The FFT peak at signed bin k corresponds to direction cosine
-  // u_x = 2 k / N for the lambda/2 ULA (phase model e^{+j pi v u_x}).
-  double ux = 2.0 * k_signed / static_cast<double>(kAngleFftSize);
-  ux = std::clamp(ux, -1.0, 1.0);
-  *dir_cos_x = static_cast<float>(ux);
-
-  // Elevation: monopulse between the elevated row and the matching azimuth
-  // elements (same x positions, slot-compensated above).  The lambda/2
-  // height offset gives delta_phi = pi sin(el).
-  if (cfg_.has_elevation_tx) {
-    std::complex<double> acc(0.0, 0.0);
-    for (std::size_t i = 0; i < cfg_.n_rx; ++i) {
-      const cfloat lower = snapshot[i];           // azimuth element i
-      const cfloat upper = snapshot[n_az + i];    // elevated element i
-      acc += std::complex<double>(upper) *
-             std::conj(std::complex<double>(lower));
-    }
-    // Upper row leads the lower row by pi * u_z (lambda/2 height offset).
-    const double dphi = std::arg(acc);
-    double uz = dphi / (kTau / 2.0);
-    uz = std::clamp(uz, -1.0, 1.0);
-    *dir_cos_z = static_cast<float>(uz);
-  } else {
-    *dir_cos_z = 0.0f;
-  }
-}
-
-ProcessedFrame Processor::detect(const RangeDopplerCube& rd) const {
+ProcessedFrame Processor::detect_reference(const RangeDopplerCube& rd) const {
   ProcessedFrame out;
   out.n_range = rd.n_range();
   out.n_doppler = rd.n_doppler();
-  out.power_map = power_map(rd);
+  accumulate_power(rd, out.power_map);
+  auto dets = fuse::dsp::ca_cfar_2d_reference(out.power_map, out.n_range,
+                                              out.n_doppler, cfar_);
+  resolve_detections(rd, dets, nullptr, out);
+  return out;
+}
 
-  auto dets =
-      fuse::dsp::ca_cfar_2d(out.power_map, out.n_range, out.n_doppler, cfar_);
+ProcessedFrame Processor::process_reference(const RadarCube& cube) const {
+  return detect_reference(range_doppler_reference(cube));
+}
+
+// -------------------------------------------------------- stages 4 to 6 --
+
+void Processor::resolve_detections(const RangeDopplerCube& rd,
+                                   std::vector<fuse::dsp::Detection2d>& dets,
+                                   FrameWorkspace* ws,
+                                   ProcessedFrame& out) const {
   // Strongest first; cap at the configured point budget.
   std::sort(dets.begin(), dets.end(),
             [](const auto& a, const auto& b) { return a.snr > b.snr; });
   if (dets.size() > cfg_.max_points) dets.resize(cfg_.max_points);
+
+  out.detections.clear();
+  out.cloud.points.clear();
 
   const double range_res =
       cfg_.max_range_m() / static_cast<double>(n_range_);
@@ -223,8 +305,13 @@ ProcessedFrame Processor::detect(const RangeDopplerCube& rd) const {
     rdet.snr_db = 10.0f * std::log10(std::max(det.snr, 1e-6f));
 
     float second_ux = 2.0f;
-    estimate_angles(rd, det.row, det.col, rdet.velocity_mps, &rdet.dir_cos_x,
-                    &rdet.dir_cos_z, &second_ux);
+    if (ws != nullptr) {
+      estimate_angles(rd, det.row, det.col, rdet.velocity_mps, *ws,
+                      &rdet.dir_cos_x, &rdet.dir_cos_z, &second_ux);
+    } else {
+      estimate_angles_reference(rd, det.row, det.col, rdet.velocity_mps,
+                                &rdet.dir_cos_x, &rdet.dir_cos_z, &second_ux);
+    }
     out.detections.push_back(rdet);
 
     // Cartesian reconstruction from direction cosines: u_y follows from
@@ -246,11 +333,170 @@ ProcessedFrame Processor::detect(const RangeDopplerCube& rd) const {
     if (second_ux <= 1.0f)
       emit_point(second_ux, rdet.dir_cos_z, rdet.snr_db - 4.0f);
   }
-  return out;
 }
 
-ProcessedFrame Processor::process(const RadarCube& cube) const {
-  return detect(range_doppler(cube));
+namespace {
+
+/// Shared tail of both angle estimators, reading the azimuth spectrum as
+/// SoA power.  All arithmetic matches the pre-plan implementation exactly.
+void azimuth_from_spectrum(const float* az_re, const float* az_im,
+                           std::size_t fft_size, std::size_t n_az,
+                           float* dir_cos_x, float* second_peak) {
+  auto norm_at = [&](std::size_t k) -> float {
+    return az_re[k] * az_re[k] + az_im[k] * az_im[k];
+  };
+  std::size_t best = 0;
+  float best_pow = 0.0f;
+  for (std::size_t k = 0; k < fft_size; ++k) {
+    const float p = norm_at(k);
+    if (p > best_pow) {
+      best_pow = p;
+      best = k;
+    }
+  }
+  if (second_peak != nullptr) {
+    // Strongest azimuth peak at least one beamwidth away from the main one
+    // (beamwidth = fft_size / n_az FFT bins).
+    const std::size_t min_sep = fft_size / n_az;
+    std::size_t b2 = fft_size;
+    float p2 = 0.0f;
+    for (std::size_t k = 0; k < fft_size; ++k) {
+      const std::size_t d1 = (k + fft_size - best) % fft_size;
+      const std::size_t dist = std::min(d1, fft_size - d1);
+      if (dist < min_sep) continue;
+      const float p = norm_at(k);
+      if (p > p2) {
+        p2 = p;
+        b2 = k;
+      }
+    }
+    // Report only when it is a genuine secondary lobe-free peak: local max
+    // and within 9 dB of the main peak.
+    if (b2 < fft_size && p2 > 0.125f * best_pow) {
+      double k2 = static_cast<double>(b2);
+      if (k2 >= static_cast<double>(fft_size) / 2.0)
+        k2 -= static_cast<double>(fft_size);
+      *second_peak = static_cast<float>(std::clamp(
+          2.0 * k2 / static_cast<double>(fft_size), -1.0, 1.0));
+    } else {
+      *second_peak = 2.0f;  // sentinel: no secondary peak
+    }
+  }
+  // Signed spatial frequency bin -> sin(azimuth).  d_spacing = lambda/2 so
+  // sin(az) = 2 k / N with k in [-N/2, N/2).
+  const float pl = norm_at((best + fft_size - 1) % fft_size);
+  const float pr = norm_at((best + 1) % fft_size);
+  const float frac = fuse::dsp::parabolic_peak_offset(pl, best_pow, pr);
+  double k_signed = static_cast<double>(best) + frac;
+  if (k_signed >= static_cast<double>(fft_size) / 2.0)
+    k_signed -= static_cast<double>(fft_size);
+  // The FFT peak at signed bin k corresponds to direction cosine
+  // u_x = 2 k / N for the lambda/2 ULA (phase model e^{+j pi v u_x}).
+  double ux = 2.0 * k_signed / static_cast<double>(fft_size);
+  ux = std::clamp(ux, -1.0, 1.0);
+  *dir_cos_x = static_cast<float>(ux);
+}
+
+/// Elevation monopulse shared by both estimators.
+float elevation_monopulse(const cfloat* snapshot, std::size_t n_az,
+                          std::size_t n_rx) {
+  std::complex<double> acc(0.0, 0.0);
+  for (std::size_t i = 0; i < n_rx; ++i) {
+    const cfloat lower = snapshot[i];           // azimuth element i
+    const cfloat upper = snapshot[n_az + i];    // elevated element i
+    acc += std::complex<double>(upper) *
+           std::conj(std::complex<double>(lower));
+  }
+  // Upper row leads the lower row by pi * u_z (lambda/2 height offset).
+  const double dphi = std::arg(acc);
+  double uz = dphi / (kTau / 2.0);
+  uz = std::clamp(uz, -1.0, 1.0);
+  return static_cast<float>(uz);
+}
+
+}  // namespace
+
+void Processor::estimate_angles(const RangeDopplerCube& rd, std::size_t r,
+                                std::size_t d, float velocity,
+                                FrameWorkspace& ws, float* dir_cos_x,
+                                float* dir_cos_z, float* second_peak) const {
+  const double lambda = cfg_.wavelength();
+  const double f_doppler = 2.0 * static_cast<double>(velocity) / lambda;
+  const double t_rep = cfg_.chirp_repeat_s();
+
+  // TDM Doppler compensation: channel from TX slot k accumulated an extra
+  // phase 2 pi f_d k T_rep; remove it before beamforming.
+  const std::size_t n_az = cfg_.n_virtual_azimuth();
+  ws.ensure(ws.snapshot_, elems_.size());
+  cfloat* snapshot = ws.snapshot_.data();
+  for (std::size_t v = 0; v < elems_.size(); ++v) {
+    const double phi =
+        kTau * f_doppler * static_cast<double>(elems_[v].tx_slot) * t_rep;
+    const cfloat comp(static_cast<float>(std::cos(phi)),
+                      static_cast<float>(-std::sin(phi)));
+    snapshot[v] = rd.at(v, r, d) * comp;
+  }
+
+  // Azimuth: zero-padded FFT across the lambda/2 ULA, through the shared
+  // angle plan and the workspace's SoA scratch.
+  ws.ensure(ws.az_re_, kAngleFftSize);
+  ws.ensure(ws.az_im_, kAngleFftSize);
+  float* az_re = ws.az_re_.data();
+  float* az_im = ws.az_im_.data();
+  std::fill(az_re, az_re + kAngleFftSize, 0.0f);
+  std::fill(az_im, az_im + kAngleFftSize, 0.0f);
+  for (std::size_t v = 0; v < n_az; ++v) {
+    az_re[v] = snapshot[v].real();
+    az_im[v] = snapshot[v].imag();
+  }
+  angle_plan_.execute(az_re, az_im);
+
+  azimuth_from_spectrum(az_re, az_im, kAngleFftSize, n_az, dir_cos_x,
+                        second_peak);
+
+  // Elevation: monopulse between the elevated row and the matching azimuth
+  // elements (same x positions, slot-compensated above).  The lambda/2
+  // height offset gives delta_phi = pi sin(el).
+  *dir_cos_z = cfg_.has_elevation_tx
+                   ? elevation_monopulse(snapshot, n_az, cfg_.n_rx)
+                   : 0.0f;
+}
+
+void Processor::estimate_angles_reference(const RangeDopplerCube& rd,
+                                          std::size_t r, std::size_t d,
+                                          float velocity, float* dir_cos_x,
+                                          float* dir_cos_z,
+                                          float* second_peak) const {
+  const double lambda = cfg_.wavelength();
+  const double f_doppler = 2.0 * static_cast<double>(velocity) / lambda;
+  const double t_rep = cfg_.chirp_repeat_s();
+
+  const std::size_t n_az = cfg_.n_virtual_azimuth();
+  std::vector<cfloat> snapshot(elems_.size());
+  for (std::size_t v = 0; v < elems_.size(); ++v) {
+    const double phi =
+        kTau * f_doppler * static_cast<double>(elems_[v].tx_slot) * t_rep;
+    const cfloat comp(static_cast<float>(std::cos(phi)),
+                      static_cast<float>(-std::sin(phi)));
+    snapshot[v] = rd.at(v, r, d) * comp;
+  }
+
+  // Azimuth: zero-padded FFT across the lambda/2 ULA (fresh buffer +
+  // fft_inplace, as before the plan rewrite).
+  std::vector<cfloat> az(kAngleFftSize, cfloat{});
+  for (std::size_t v = 0; v < n_az; ++v) az[v] = snapshot[v];
+  fuse::dsp::fft_inplace(az);
+  std::vector<float> az_re(kAngleFftSize), az_im(kAngleFftSize);
+  for (std::size_t k = 0; k < kAngleFftSize; ++k) {
+    az_re[k] = az[k].real();
+    az_im[k] = az[k].imag();
+  }
+  azimuth_from_spectrum(az_re.data(), az_im.data(), kAngleFftSize, n_az,
+                        dir_cos_x, second_peak);
+
+  *dir_cos_z = cfg_.has_elevation_tx
+                   ? elevation_monopulse(snapshot.data(), n_az, cfg_.n_rx)
+                   : 0.0f;
 }
 
 }  // namespace fuse::radar

@@ -11,13 +11,26 @@
 //   6. conversion to Cartesian (x, y, z) + Doppler velocity + SNR
 //
 // Every stage is exposed so tests can probe intermediate products.
+//
+// The hot path is plan-based and allocation-free: the Processor owns one
+// dsp::FftPlan per transform size (range, Doppler, angle) and streams each
+// frame through a caller-owned FrameWorkspace whose buffers are recycled
+// across frames — after the first frame of a steady shape, no heap
+// allocation happens at all (FrameWorkspace::grow_events() asserts this in
+// tests).  The pre-plan scalar implementations survive as *_reference()
+// oracles: the planned path is bit-identical to them and the tests compare
+// the two with exact float equality.
 
+#include <atomic>
 #include <cmath>
 #include <complex>
 #include <cstddef>
+#include <deque>
+#include <mutex>
 #include <vector>
 
 #include "dsp/cfar.h"
+#include "dsp/plan.h"
 #include "radar/config.h"
 #include "radar/point_cloud.h"
 #include "radar/simulator.h"
@@ -29,6 +42,7 @@ namespace fuse::radar {
 /// n_doppler/2 is zero velocity).
 class RangeDopplerCube {
  public:
+  RangeDopplerCube() = default;
   RangeDopplerCube(std::size_t n_virtual, std::size_t n_range,
                    std::size_t n_doppler)
       : n_virtual_(n_virtual),
@@ -40,15 +54,32 @@ class RangeDopplerCube {
   std::size_t n_range() const { return n_range_; }
   std::size_t n_doppler() const { return n_doppler_; }
 
+  /// Re-dimensions the cube, reusing the existing storage when capacity
+  /// suffices (the FrameWorkspace recycling primitive).  Element values
+  /// are unspecified afterwards.  Returns true when storage actually grew.
+  bool resize(std::size_t n_virtual, std::size_t n_range,
+              std::size_t n_doppler) {
+    n_virtual_ = n_virtual;
+    n_range_ = n_range;
+    n_doppler_ = n_doppler;
+    const std::size_t n = n_virtual * n_range * n_doppler;
+    const bool grew = data_.capacity() < n;
+    data_.resize(n);
+    return grew;
+  }
+
   cfloat& at(std::size_t v, std::size_t r, std::size_t d) {
     return data_[(v * n_range_ + r) * n_doppler_ + d];
   }
   cfloat at(std::size_t v, std::size_t r, std::size_t d) const {
     return data_[(v * n_range_ + r) * n_doppler_ + d];
   }
+  cfloat* data() { return data_.data(); }
+  const cfloat* data() const { return data_.data(); }
+  std::size_t size() const { return data_.size(); }
 
  private:
-  std::size_t n_virtual_, n_range_, n_doppler_;
+  std::size_t n_virtual_ = 0, n_range_ = 0, n_doppler_ = 0;
   std::vector<cfloat> data_;
 };
 
@@ -77,9 +108,118 @@ struct ProcessedFrame {
   PointCloud cloud;
 };
 
+/// Per-thread reusable scratch for the planned frame path (the radar-side
+/// sibling of tensor::Workspace): SoA FFT lanes for the parallel
+/// range-Doppler pass, the output cube, CFAR prefix tables and the
+/// per-detection angle scratch all live here and are recycled across
+/// frames.  Workspaces are scratch, not state — not copyable; each owner
+/// (pipeline, scheduler thread, bench loop) keeps its own.  Contents are
+/// only valid until the next Processor call that uses the workspace.
+class FrameWorkspace {
+ public:
+  FrameWorkspace() = default;
+  FrameWorkspace(const FrameWorkspace&) = delete;
+  FrameWorkspace& operator=(const FrameWorkspace&) = delete;
+
+  /// Total buffer-growth events since construction: every internal
+  /// (re)allocation that actually grew a buffer counts one.  A
+  /// steady-shape frame loop must leave this unchanged after its first
+  /// frame — the zero-steady-state-allocation contract tests assert on.
+  std::size_t grow_events() const {
+    return grows_.load(std::memory_order_relaxed) + cfar_.grow_events;
+  }
+
+  /// The range-Doppler cube produced by the latest planned
+  /// range_doppler() call into this workspace.
+  const RangeDopplerCube& rd() const { return rd_; }
+
+ private:
+  friend class Processor;
+
+  /// SoA scratch for one parallel chunk of the range-Doppler pass.  Lanes
+  /// are pooled: a chunk acquires a free lane (allocating a new one only
+  /// when all are busy, i.e. during the first frame) and releases it when
+  /// done, so the steady state re-uses a fixed lane set.
+  struct Lane {
+    std::vector<float> a_re, a_im;  ///< range stage: [n_chirps x n_range]
+    std::vector<float> b_re, b_im;  ///< Doppler stage: [n_range x n_doppler]
+    bool in_use = false;
+  };
+
+  /// Pre-spawns and pre-sizes `count` lanes from the serial section of a
+  /// frame, so the parallel chunks below never create or grow a lane —
+  /// this is what makes grow_events() deterministic: without it, the lane
+  /// pool would grow to the *observed* peak chunk concurrency, which is
+  /// thread-timing-dependent on multi-core hosts.
+  void prepare_lanes(std::size_t count, std::size_t a_floats,
+                     std::size_t b_floats) {
+    std::lock_guard<std::mutex> lock(lanes_mu_);
+    if (lanes_.size() < count) lanes_.resize(count);
+    for (auto& lane : lanes_) {
+      ensure(lane.a_re, a_floats);
+      ensure(lane.a_im, a_floats);
+      ensure(lane.b_re, b_floats);
+      ensure(lane.b_im, b_floats);
+    }
+  }
+
+  Lane& acquire_lane() {
+    std::lock_guard<std::mutex> lock(lanes_mu_);
+    for (auto& lane : lanes_)
+      if (!lane.in_use) {
+        lane.in_use = true;
+        return lane;
+      }
+    lanes_.emplace_back();
+    lanes_.back().in_use = true;
+    return lanes_.back();
+  }
+  void release_lane(Lane& lane) {
+    std::lock_guard<std::mutex> lock(lanes_mu_);
+    lane.in_use = false;
+  }
+
+  template <typename T>
+  void ensure(std::vector<T>& v, std::size_t n) {
+    if (v.capacity() < n)
+      grows_.fetch_add(1, std::memory_order_relaxed);
+    v.resize(n);
+  }
+
+  std::deque<Lane> lanes_;  ///< deque: lane references stay valid on growth
+  std::mutex lanes_mu_;
+  RangeDopplerCube rd_;
+  fuse::dsp::CfarScratch cfar_;
+  std::vector<fuse::dsp::Detection2d> dets_;
+  std::vector<cfloat> snapshot_;          ///< per-detection channel snapshot
+  std::vector<float> az_re_, az_im_;      ///< zero-padded angle FFT (SoA)
+  std::atomic<std::size_t> grows_{0};
+};
+
 class Processor {
  public:
   explicit Processor(const RadarConfig& cfg);
+
+  // ------------------------------------------------ planned frame path --
+  // Zero steady-state allocations: all frame-sized buffers live in `ws`
+  // (and, for detect/process, in the caller-reused `out`).
+
+  /// Stages 1-2 into the workspace cube; returns a reference to it (valid
+  /// until the next call using `ws`).
+  const RangeDopplerCube& range_doppler(const RadarCube& cube,
+                                        FrameWorkspace& ws) const;
+
+  /// Stages 3-6 on a precomputed RD cube, reusing `out`'s buffers.
+  void detect(const RangeDopplerCube& rd, FrameWorkspace& ws,
+              ProcessedFrame& out) const;
+
+  /// Full chain cube -> point cloud through the workspace.
+  void process(const RadarCube& cube, FrameWorkspace& ws,
+               ProcessedFrame& out) const;
+
+  // -------------------------------------------------- compat interface --
+  // Same maths (routed through the planned path with a temporary
+  // workspace), allocating fresh outputs per call.
 
   /// Runs stages 1-2 (both FFTs, windowed, Doppler fftshifted).
   RangeDopplerCube range_doppler(const RadarCube& cube) const;
@@ -92,6 +232,15 @@ class Processor {
 
   /// Full chain: cube -> point cloud.
   ProcessedFrame process(const RadarCube& cube) const;
+
+  // ------------------------------------------------------ reference path --
+  // The pre-plan scalar implementations (per-chirp vectors, fft_inplace,
+  // O(train_cells) CFAR), kept as the bit-identity oracle for the planned
+  // path and as the naive baseline in bench/dsp_throughput.
+
+  RangeDopplerCube range_doppler_reference(const RadarCube& cube) const;
+  ProcessedFrame detect_reference(const RangeDopplerCube& rd) const;
+  ProcessedFrame process_reference(const RadarCube& cube) const;
 
   const RadarConfig& config() const { return cfg_; }
   std::size_t n_range_bins() const { return n_range_; }
@@ -107,9 +256,26 @@ class Processor {
   /// If `second_peak` is non-null it receives the direction cosine of a
   /// genuine secondary azimuth peak (two bodies/limbs in the same
   /// range-Doppler cell), or the sentinel 2.0f when there is none.
+  /// Snapshot and angle-FFT buffers come from `ws` (no per-call heap).
   void estimate_angles(const RangeDopplerCube& rd, std::size_t r,
-                       std::size_t d, float velocity, float* dir_cos_x,
-                       float* dir_cos_z, float* second_peak = nullptr) const;
+                       std::size_t d, float velocity, FrameWorkspace& ws,
+                       float* dir_cos_x, float* dir_cos_z,
+                       float* second_peak = nullptr) const;
+
+  /// Pre-plan angle estimator (fresh buffers + fft_inplace per call); the
+  /// reference path uses it so the naive bench baseline stays honest.
+  void estimate_angles_reference(const RangeDopplerCube& rd, std::size_t r,
+                                 std::size_t d, float velocity,
+                                 float* dir_cos_x, float* dir_cos_z,
+                                 float* second_peak = nullptr) const;
+
+  /// Shared stages 4-6 tail: sorts/caps `dets`, resolves angles and emits
+  /// detections + Cartesian points into `out` (whose power_map and
+  /// n_range/n_doppler must already be set).  ws == nullptr selects the
+  /// reference angle estimator.
+  void resolve_detections(const RangeDopplerCube& rd,
+                          std::vector<fuse::dsp::Detection2d>& dets,
+                          FrameWorkspace* ws, ProcessedFrame& out) const;
 
   RadarConfig cfg_;
   std::vector<VirtualElement> elems_;
@@ -117,6 +283,9 @@ class Processor {
   std::size_t n_doppler_;
   std::vector<float> range_window_;
   std::vector<float> doppler_window_;
+  fuse::dsp::FftPlan range_plan_;
+  fuse::dsp::FftPlan doppler_plan_;
+  fuse::dsp::FftPlan angle_plan_;
   fuse::dsp::CfarConfig cfar_;
 };
 

@@ -1,6 +1,7 @@
 #include "serve/scheduler.h"
 
 #include <cstring>
+#include <stdexcept>
 
 #include "core/finetune.h"
 #include "data/featurize.h"
@@ -12,12 +13,13 @@ constexpr std::size_t kBlockFloats = fuse::data::kChannelsPerFrame *
                                      fuse::data::kGridH * fuse::data::kGridW;
 }  // namespace
 
-void Scheduler::featurize_current_window(Session& s, float* out) const {
+void Scheduler::featurize_current_window(Session& s, float* out) {
   const auto& win = s.window();
-  std::vector<const fuse::radar::PointCloud*> ptrs;
-  ptrs.reserve(win.size());
-  for (const auto& c : win) ptrs.push_back(&c);
-  predictor_->featurize_window(ptrs.data(), ptrs.size(), out);
+  window_ptrs_.clear();
+  window_ptrs_.reserve(win.size());
+  for (const auto& c : win) window_ptrs_.push_back(&c);
+  predictor_->featurize_window(window_ptrs_.data(), window_ptrs_.size(), out,
+                               feat_scratch_);
 }
 
 PassStats Scheduler::run_once(const std::vector<Session*>& sessions,
@@ -45,7 +47,26 @@ PassStats Scheduler::run_once(const std::vector<Session*>& sessions,
       if (recycled) s->reset_stream_state();
       if (!frame) continue;
       any = true;
-      s->advance_window(frame->cloud, predictor_->window_frames());
+      // Raw-cube ingestion: run the DSP front-end (range/Doppler FFTs,
+      // CFAR, angles) through the scheduler's reusable workspace, then
+      // feed the extracted point cloud into the fusion window exactly
+      // like a point-cloud frame.  A cube frame on a scheduler with no
+      // processor is a wiring bug — serving poses computed from an empty
+      // cloud would be indistinguishable from a valid frame.
+      const fuse::radar::PointCloud* cloud = &frame->cloud;
+      if (frame->cube != nullptr) {
+        if (processor_ == nullptr)
+          throw std::logic_error(
+              "Scheduler: cube frame collected but no radar::Processor "
+              "was configured");
+        processor_->process(*frame->cube, frame_ws_, cube_frame_);
+        // The ~1.5 MB cube payload is dead once the cloud is extracted;
+        // free it now rather than carrying it through partitioning and
+        // the batched forward.
+        frame->cube.reset();
+        cloud = &cube_frame_.cloud;
+      }
+      s->advance_window(*cloud, predictor_->window_frames());
       Collected c;
       c.item.session = s;
       c.block.resize(kBlockFloats);

@@ -25,6 +25,7 @@
 
 #include "core/predictor.h"
 #include "nn/module.h"
+#include "radar/processing.h"
 #include "serve/session.h"
 #include "serve/stats.h"
 
@@ -42,14 +43,20 @@ class Scheduler {
  public:
   /// `predictor` and `shared_model` must outlive the scheduler; the shared
   /// model is only read (infer is const).  `backend` selects the inference
-  /// compute backend for every batched forward pass.
+  /// compute backend for every batched forward pass.  `processor` (may be
+  /// null) enables raw-cube ingestion: cube frames run the DSP front-end
+  /// through the scheduler's reusable FrameWorkspace at collection time,
+  /// so the whole cube -> point cloud -> features -> NN tick is
+  /// allocation-disciplined.  It must outlive the scheduler too.
   Scheduler(const fuse::core::Predictor* predictor,
             const fuse::nn::Module* shared_model, std::size_t max_batch,
-            fuse::nn::Backend backend = fuse::nn::Backend::kGemm)
+            fuse::nn::Backend backend = fuse::nn::Backend::kGemm,
+            const fuse::radar::Processor* processor = nullptr)
       : predictor_(predictor),
         shared_model_(shared_model),
         max_batch_(max_batch ? max_batch : 1),
-        backend_(backend) {}
+        backend_(backend),
+        processor_(processor) {}
 
   /// One scheduling pass over `sessions` (applies pending session recycles
   /// first).  `latency` receives one sample per served frame.
@@ -68,8 +75,9 @@ class Scheduler {
     Session::InFrame frame;
   };
 
-  /// Featurizes the just-advanced window of `s` into `out` ([5*8*8]).
-  void featurize_current_window(Session& s, float* out) const;
+  /// Featurizes the just-advanced window of `s` into `out` ([5*8*8]),
+  /// through the scheduler's reusable featurize scratch.
+  void featurize_current_window(Session& s, float* out);
 
   /// Runs one adaptation round on the session's clone if it is due.
   void maybe_adapt(Session& s);
@@ -78,6 +86,16 @@ class Scheduler {
   const fuse::nn::Module* shared_model_;
   std::size_t max_batch_;
   fuse::nn::Backend backend_;
+  const fuse::radar::Processor* processor_;
+
+  // Scheduler-thread scratch (run_once is never concurrent with itself):
+  // the DSP workspace for raw-cube frames and the featurize scratch both
+  // recycle their buffers, so a steady tick performs no DSP-side
+  // allocations.
+  fuse::radar::FrameWorkspace frame_ws_;
+  fuse::radar::ProcessedFrame cube_frame_;
+  fuse::core::PredictScratch feat_scratch_;
+  std::vector<const fuse::radar::PointCloud*> window_ptrs_;
 };
 
 }  // namespace fuse::serve

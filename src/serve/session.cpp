@@ -4,15 +4,27 @@ namespace fuse::serve {
 
 bool Session::enqueue(const fuse::radar::PointCloud& cloud,
                       const fuse::human::Pose* label, double now_s) {
+  InFrame f;
+  f.cloud = cloud;
+  if (label) f.label = *label;
+  return enqueue_frame(std::move(f), now_s);
+}
+
+bool Session::enqueue_cube(fuse::radar::RadarCube cube,
+                           const fuse::human::Pose* label, double now_s) {
+  InFrame f;
+  f.cube = std::make_unique<fuse::radar::RadarCube>(std::move(cube));
+  if (label) f.label = *label;
+  return enqueue_frame(std::move(f), now_s);
+}
+
+bool Session::enqueue_frame(InFrame f, double now_s) {
   std::lock_guard<std::mutex> lock(mu_);
   if (queue_.size() >= cfg_.queue_capacity) {
     ++frames_dropped_;
     if (cfg_.drop_policy == DropPolicy::kDropNewest) return false;
     queue_.pop_front();  // kDropOldest: evict to keep the stream fresh
   }
-  InFrame f;
-  f.cloud = cloud;
-  if (label) f.label = *label;
   f.t_enqueue = now_s;
   f.seq = next_seq_++;
   f.epoch = recycle_epoch_;

@@ -20,6 +20,7 @@
 #include "human/skeleton.h"
 #include "nn/module.h"
 #include "radar/point_cloud.h"
+#include "radar/simulator.h"
 #include "serve/stats.h"
 
 namespace fuse::serve {
@@ -86,6 +87,10 @@ class Session {
   // ------------------------------------------------------ producer side --
   struct InFrame {
     fuse::radar::PointCloud cloud;
+    /// Raw-cube ingestion: when set, the scheduler runs the DSP front-end
+    /// (cube -> point cloud) on its own thread at collection time and
+    /// `cloud` above is ignored.
+    std::unique_ptr<fuse::radar::RadarCube> cube;
     std::optional<fuse::human::Pose> label;  ///< ground truth, if supplied
     double t_enqueue = 0.0;
     std::uint64_t seq = 0;
@@ -96,6 +101,11 @@ class Session {
   /// Returns false iff the *incoming* frame was rejected (kDropNewest).
   bool enqueue(const fuse::radar::PointCloud& cloud,
                const fuse::human::Pose* label, double now_s);
+
+  /// Enqueues a raw radar cube (same drop policy); the DSP front-end runs
+  /// on the scheduler thread when the frame is collected.
+  bool enqueue_cube(fuse::radar::RadarCube cube,
+                    const fuse::human::Pose* label, double now_s);
 
   /// Moves out every finished result (FIFO).
   std::vector<PoseResult> take_results();
@@ -168,6 +178,9 @@ class Session {
   SessionStats stats_snapshot() const;
 
  private:
+  /// Shared enqueue tail: stamps the frame and applies the drop policy.
+  bool enqueue_frame(InFrame f, double now_s);
+
   const SessionId id_;
   const SessionConfig cfg_;
 

@@ -14,7 +14,8 @@ SessionManager::SessionManager(const fuse::core::Predictor* predictor,
     : predictor_(predictor),
       shared_model_(shared_model),
       cfg_(cfg),
-      scheduler_(predictor, shared_model, cfg.max_batch, cfg.backend) {
+      scheduler_(predictor, shared_model, cfg.max_batch, cfg.backend,
+                 cfg.processor) {
   if (!predictor_ || !predictor_->valid())
     throw std::invalid_argument("SessionManager: predictor not fitted");
   if (!shared_model_)
@@ -68,21 +69,35 @@ SessionManager::snapshot_sessions() const {
   return out;
 }
 
+void SessionManager::wake_scheduler() {
+  if (!running_) return;
+  // The flag is set under wake_mu_, so the scheduler cannot miss a frame
+  // submitted between its last empty pass and its wait.
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    work_pending_ = true;
+  }
+  wake_cv_.notify_one();
+}
+
 bool SessionManager::submit_frame(SessionId id,
                                   const fuse::radar::PointCloud& cloud,
                                   const fuse::human::Pose* label) {
   auto s = find(id);
   if (!s) return false;
   const bool accepted = s->enqueue(cloud, label, mono_seconds());
-  if (running_) {
-    // The flag is set under wake_mu_, so the scheduler cannot miss a frame
-    // submitted between its last empty pass and its wait.
-    {
-      std::lock_guard<std::mutex> lock(wake_mu_);
-      work_pending_ = true;
-    }
-    wake_cv_.notify_one();
-  }
+  wake_scheduler();
+  return accepted;
+}
+
+bool SessionManager::submit_cube(SessionId id, fuse::radar::RadarCube cube,
+                                 const fuse::human::Pose* label) {
+  if (cfg_.processor == nullptr) return false;  // no DSP front-end wired
+  auto s = find(id);
+  if (!s) return false;
+  const bool accepted = s->enqueue_cube(std::move(cube), label,
+                                        mono_seconds());
+  wake_scheduler();
   return accepted;
 }
 

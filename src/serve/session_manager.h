@@ -45,6 +45,11 @@ struct ServeConfig {
   /// uncalibrated models fall back to kGemm per layer.  Individual
   /// sessions may override this via SessionConfig::backend.
   fuse::nn::Backend backend = fuse::nn::Backend::kGemm;
+  /// Radar DSP front-end for raw-cube ingestion (submit_cube): when set,
+  /// the scheduler runs cube -> point cloud -> features -> NN per tick
+  /// through its reusable FrameWorkspace.  Borrowed; must outlive the
+  /// manager.  Null disables submit_cube (it then rejects frames).
+  const fuse::radar::Processor* processor = nullptr;
   SessionConfig session;           ///< defaults for open_session()
 };
 
@@ -80,6 +85,13 @@ class SessionManager {
   bool submit_frame(SessionId id, const fuse::radar::PointCloud& cloud,
                     const fuse::human::Pose* label = nullptr);
 
+  /// Enqueues a raw radar cube (any thread); the DSP front-end runs on the
+  /// scheduler thread when the frame is collected, so producers pay only
+  /// the copy.  Returns false when the frame was rejected (unknown
+  /// session, full queue under kDropNewest, or no ServeConfig::processor).
+  bool submit_cube(SessionId id, fuse::radar::RadarCube cube,
+                   const fuse::human::Pose* label = nullptr);
+
   /// Moves out the session's finished results (any thread).
   std::vector<PoseResult> poll_results(SessionId id);
 
@@ -101,6 +113,9 @@ class SessionManager {
   std::shared_ptr<Session> find(SessionId id) const;
   std::vector<std::shared_ptr<Session>> snapshot_sessions() const;
   void scheduler_loop();
+  /// Flags pending work (under wake_mu_) and wakes the scheduler thread;
+  /// no-op in synchronous mode.
+  void wake_scheduler();
 
   const fuse::core::Predictor* predictor_;
   const fuse::nn::Module* shared_model_;

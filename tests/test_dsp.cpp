@@ -1,6 +1,8 @@
 // Tests for the DSP kernels: FFT against the O(N^2) DFT oracle, window
-// functions, fftshift, spectral-peak interpolation, and the CFAR detectors'
-// detection/false-alarm behaviour.
+// functions, fftshift, spectral-peak interpolation, the plan-based batched
+// FFT (property tests + bit-identity against fft_inplace), and the CFAR
+// detectors — including exact equivalence of the prefix-sum detectors
+// against the reference implementations across edge configurations.
 
 #include <gtest/gtest.h>
 
@@ -9,12 +11,31 @@
 
 #include "dsp/cfar.h"
 #include "dsp/fft.h"
+#include "dsp/plan.h"
 #include "dsp/window.h"
 #include "util/rng.h"
 
 namespace {
 
 using fuse::dsp::cfloat;
+
+std::vector<cfloat> random_signal(std::size_t n, std::uint64_t seed) {
+  fuse::util::Rng rng(seed);
+  std::vector<cfloat> v(n);
+  for (auto& x : v)
+    x = {rng.uniformf(-1.0f, 1.0f), rng.uniformf(-1.0f, 1.0f)};
+  return v;
+}
+
+void split(const std::vector<cfloat>& v, std::vector<float>& re,
+           std::vector<float>& im) {
+  re.resize(v.size());
+  im.resize(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    re[i] = v[i].real();
+    im[i] = v[i].imag();
+  }
+}
 
 // ------------------------------------------------------------------- FFT --
 
@@ -153,6 +174,183 @@ TEST(Fft, ParabolicPeakOffsetClamped) {
             0.5f);
   EXPECT_LE(std::fabs(fuse::dsp::parabolic_peak_offset(1.0f, 1.0f, 1.01f)),
             0.5f);
+}
+
+// --------------------------------------------------------------- FftPlan --
+
+// All power-of-two sizes a RadarConfig can reach on this codebase's
+// configurations (range 256, Doppler 64, angle 64) plus the degenerate
+// small sizes.
+class FftPlanSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftPlanSweep, MatchesReferenceDft) {
+  const std::size_t n = GetParam();
+  const auto v = random_signal(n, 7 * n + 1);
+  const auto ref = fuse::dsp::dft_reference(v);
+  std::vector<float> re, im;
+  split(v, re, im);
+  fuse::dsp::FftPlan plan(n);
+  plan.execute(re.data(), im.data());
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(re[k], ref[k].real(), 1e-3f * static_cast<float>(n));
+    EXPECT_NEAR(im[k], ref[k].imag(), 1e-3f * static_cast<float>(n));
+  }
+}
+
+TEST_P(FftPlanSweep, BitIdenticalToFftInplace) {
+  const std::size_t n = GetParam();
+  const auto v = random_signal(n, 13 * n + 5);
+  for (const bool inverse : {false, true}) {
+    auto oracle = v;
+    fuse::dsp::fft_inplace(oracle, inverse);
+    std::vector<float> re, im;
+    split(v, re, im);
+    fuse::dsp::FftPlan plan(n);
+    plan.execute(re.data(), im.data(), inverse);
+    for (std::size_t k = 0; k < n; ++k) {
+      // Exact float equality: the plan must reproduce the legacy rounding
+      // bit for bit (shared twiddle recurrence + identical butterflies).
+      EXPECT_EQ(re[k], oracle[k].real()) << "n=" << n << " k=" << k;
+      EXPECT_EQ(im[k], oracle[k].imag()) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST_P(FftPlanSweep, RoundTripForwardInverse) {
+  const std::size_t n = GetParam();
+  const auto v = random_signal(n, 3 * n + 11);
+  std::vector<float> re, im;
+  split(v, re, im);
+  fuse::dsp::FftPlan plan(n);
+  plan.execute(re.data(), im.data(), false);
+  plan.execute(re.data(), im.data(), true);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(re[i], v[i].real(), 1e-4f);
+    EXPECT_NEAR(im[i], v[i].imag(), 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftPlanSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128, 256,
+                                           512));
+
+TEST(FftPlan, NonPow2Throws) {
+  EXPECT_THROW(fuse::dsp::FftPlan(6), std::invalid_argument);
+  EXPECT_THROW(fuse::dsp::FftPlan(0), std::invalid_argument);
+}
+
+TEST(FftPlan, ImpulseGivesFlatSpectrum) {
+  const std::size_t n = 64;
+  std::vector<float> re(n, 0.0f), im(n, 0.0f);
+  re[0] = 1.0f;
+  fuse::dsp::FftPlan plan(n);
+  plan.execute(re.data(), im.data());
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(re[k], 1.0f, 1e-5f);
+    EXPECT_NEAR(im[k], 0.0f, 1e-5f);
+  }
+}
+
+TEST(FftPlan, Linearity) {
+  const std::size_t n = 128;
+  const auto a = random_signal(n, 21);
+  const auto b = random_signal(n, 22);
+  std::vector<cfloat> sum(n);
+  for (std::size_t i = 0; i < n; ++i) sum[i] = a[i] + 2.0f * b[i];
+  fuse::dsp::FftPlan plan(n);
+  std::vector<float> are, aim, bre, bim, sre, sim;
+  split(a, are, aim);
+  split(b, bre, bim);
+  split(sum, sre, sim);
+  plan.execute(are.data(), aim.data());
+  plan.execute(bre.data(), bim.data());
+  plan.execute(sre.data(), sim.data());
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(sre[k], are[k] + 2.0f * bre[k], 2e-4f * n);
+    EXPECT_NEAR(sim[k], aim[k] + 2.0f * bim[k], 2e-4f * n);
+  }
+}
+
+TEST(FftPlan, ParsevalEnergyConservation) {
+  const std::size_t n = 256;
+  const auto v = random_signal(n, 77);
+  double time_energy = 0.0;
+  for (const auto& x : v) time_energy += std::norm(x);
+  std::vector<float> re, im;
+  split(v, re, im);
+  fuse::dsp::FftPlan plan(n);
+  plan.execute(re.data(), im.data());
+  double freq_energy = 0.0;
+  for (std::size_t k = 0; k < n; ++k)
+    freq_energy += static_cast<double>(re[k]) * re[k] +
+                   static_cast<double>(im[k]) * im[k];
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-3 * time_energy);
+}
+
+TEST(FftPlan, ScatterLoadFusesWindowPadAndPermutation) {
+  // scatter_load + execute_loaded_many must equal windowing, zero-padding
+  // and fft_inplace done by hand — bit for bit.
+  const std::size_t count = 48, n = 64;
+  const auto v = random_signal(count, 99);
+  const auto w = fuse::dsp::make_window(fuse::dsp::WindowType::kHann, count);
+
+  std::vector<cfloat> oracle(v.begin(), v.end());
+  for (std::size_t s = 0; s < count; ++s) oracle[s] *= w[s];
+  oracle.resize(n);
+  fuse::dsp::fft_inplace(oracle);
+
+  fuse::dsp::FftPlan plan(n);
+  std::vector<float> re(n), im(n);
+  plan.scatter_load(v.data(), count, w.data(), re.data(), im.data());
+  plan.execute_loaded_many(re.data(), im.data(), 1);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_EQ(re[k], oracle[k].real());
+    EXPECT_EQ(im[k], oracle[k].imag());
+  }
+}
+
+TEST(FftPlan, ExecuteManyEqualsPerRow) {
+  const std::size_t n = 32, rows = 5;
+  fuse::dsp::FftPlan plan(n);
+  std::vector<float> re(rows * n), im(rows * n);
+  std::vector<std::vector<float>> ref_re(rows), ref_im(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto v = random_signal(n, 1000 + r);
+    split(v, ref_re[r], ref_im[r]);
+    std::copy(ref_re[r].begin(), ref_re[r].end(), re.begin() + r * n);
+    std::copy(ref_im[r].begin(), ref_im[r].end(), im.begin() + r * n);
+    plan.execute(ref_re[r].data(), ref_im[r].data());
+  }
+  plan.execute_many(re.data(), im.data(), rows);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_EQ(re[r * n + k], ref_re[r][k]);
+      EXPECT_EQ(im[r * n + k], ref_im[r][k]);
+    }
+}
+
+TEST(FftPlan, ScatterLoadCountBeyondSizeThrows) {
+  fuse::dsp::FftPlan plan(8);
+  const auto v = random_signal(9, 5);
+  std::vector<float> re(8), im(8);
+  EXPECT_THROW(plan.scatter_load(v.data(), 9, nullptr, re.data(), im.data()),
+               std::invalid_argument);
+}
+
+TEST(Fft, PreallocatedOutMatchesReturningOverload) {
+  const auto v = random_signal(48, 31);
+  const auto ref = fuse::dsp::fft(v);
+  std::vector<cfloat> out;
+  fuse::dsp::fft(v, out);
+  ASSERT_EQ(out.size(), ref.size());
+  for (std::size_t k = 0; k < out.size(); ++k) EXPECT_EQ(out[k], ref[k]);
+
+  // Steady-shape reuse: the second call must not reallocate.
+  const cfloat* data_before = out.data();
+  fuse::dsp::fft(v, out, true);
+  EXPECT_EQ(out.data(), data_before);
+  EXPECT_EQ(out.size(), 64u);
 }
 
 // --------------------------------------------------------------- windows --
@@ -332,6 +530,147 @@ TEST(Cfar, TwoDimensionalEmitsSinglePeakPerTarget) {
   cfg.threshold_scale = 10.0f;
   const auto dets = fuse::dsp::ca_cfar_2d(map, nr, nd, cfg);
   EXPECT_EQ(dets.size(), 1u);
+}
+
+// ------------------------------------- prefix-sum CFAR vs reference -------
+
+void expect_same_detections(const std::vector<fuse::dsp::Detection1d>& ref,
+                            const std::vector<fuse::dsp::Detection1d>& got,
+                            const char* what) {
+  ASSERT_EQ(ref.size(), got.size()) << what;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(got[i].index, ref[i].index) << what << " det " << i;
+    EXPECT_EQ(got[i].power, ref[i].power) << what << " det " << i;
+    EXPECT_FLOAT_EQ(got[i].threshold, ref[i].threshold) << what << " det "
+                                                        << i;
+    EXPECT_FLOAT_EQ(got[i].snr, ref[i].snr) << what << " det " << i;
+  }
+}
+
+void expect_same_detections(const std::vector<fuse::dsp::Detection2d>& ref,
+                            const std::vector<fuse::dsp::Detection2d>& got,
+                            const char* what) {
+  ASSERT_EQ(ref.size(), got.size()) << what;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(got[i].row, ref[i].row) << what << " det " << i;
+    EXPECT_EQ(got[i].col, ref[i].col) << what << " det " << i;
+    EXPECT_EQ(got[i].power, ref[i].power) << what << " det " << i;
+    EXPECT_FLOAT_EQ(got[i].snr, ref[i].snr) << what << " det " << i;
+  }
+}
+
+TEST(CfarEquivalence, OneDimensionalAcrossEdgeConfigs) {
+  fuse::util::Rng rng(29);
+  // Guard/train sweeps include: zero training cells (never detects),
+  // windows clipped at both edges, and windows larger than the array.
+  const struct {
+    std::size_t n, guard, train;
+  } cases[] = {{256, 2, 8},  {256, 0, 1},  {64, 4, 16}, {64, 0, 64},
+               {5, 1, 2},    {5, 2, 8},    {1, 2, 8},   {2, 0, 1},
+               {33, 16, 16}, {256, 2, 0}};
+  for (const auto& c : cases) {
+    auto p = noise_profile(c.n, rng);
+    if (c.n > 4) {
+      p[c.n / 2] = 500.0f;  // strong target
+      p[1] = 300.0f;        // edge target with clipped leading window
+      p[c.n - 1] = 250.0f;  // edge target with clipped lagging window
+    }
+    fuse::dsp::CfarConfig cfg;
+    cfg.guard_cells = c.guard;
+    cfg.train_cells = c.train;
+    cfg.threshold_scale = 4.0f;
+    const auto ref = fuse::dsp::ca_cfar_1d_reference(p, cfg);
+    const auto got = fuse::dsp::ca_cfar_1d(p, cfg);
+    expect_same_detections(ref, got, "1d");
+  }
+}
+
+TEST(CfarEquivalence, OneDimensionalDegenerateInputs) {
+  fuse::dsp::CfarConfig cfg;
+  // All-zero profile: noise estimate 0 everywhere -> no detections.
+  std::vector<float> zeros(64, 0.0f);
+  EXPECT_TRUE(fuse::dsp::ca_cfar_1d(zeros, cfg).empty());
+  expect_same_detections(fuse::dsp::ca_cfar_1d_reference(zeros, cfg),
+                         fuse::dsp::ca_cfar_1d(zeros, cfg), "zeros");
+  // Single-cell input: no training cells exist at all.
+  std::vector<float> one = {42.0f};
+  EXPECT_TRUE(fuse::dsp::ca_cfar_1d(one, cfg).empty());
+  // Empty input.
+  EXPECT_TRUE(fuse::dsp::ca_cfar_1d(std::vector<float>{}, cfg).empty());
+}
+
+TEST(CfarEquivalence, TwoDimensionalAcrossModesAndShapes) {
+  fuse::util::Rng rng(31);
+  const struct {
+    std::size_t nr, nd, guard, train;
+  } shapes[] = {{64, 32, 2, 8}, {16, 4, 2, 8},  {8, 2, 1, 4},
+                {1, 8, 2, 8},   {5, 1, 2, 8},   {32, 16, 0, 1},
+                {4, 4, 3, 9},   {64, 32, 2, 0}};
+  for (const auto& sh : shapes) {
+    std::vector<float> map(sh.nr * sh.nd);
+    for (auto& v : map)
+      v = -std::log(std::max(1e-12, 1.0 - rng.uniform()));
+    if (sh.nr > 2 && sh.nd > 2) {
+      map[(sh.nr / 3) * sh.nd + sh.nd / 2] = 400.0f;
+      map[(sh.nr - 1) * sh.nd + 0] = 300.0f;  // corner (clipped range axis)
+    }
+    for (const auto mode :
+         {fuse::dsp::Cfar2dMode::kDopplerAxis, fuse::dsp::Cfar2dMode::kCross})
+      for (const auto lm :
+           {fuse::dsp::CfarLocalMax::kNone, fuse::dsp::CfarLocalMax::kDoppler,
+            fuse::dsp::CfarLocalMax::kFull}) {
+        fuse::dsp::CfarConfig cfg;
+        cfg.guard_cells = sh.guard;
+        cfg.train_cells = sh.train;
+        cfg.threshold_scale = 4.0f;
+        cfg.mode_2d = mode;
+        cfg.local_max_2d = lm;
+        const auto ref =
+            fuse::dsp::ca_cfar_2d_reference(map, sh.nr, sh.nd, cfg);
+        const auto got = fuse::dsp::ca_cfar_2d(map, sh.nr, sh.nd, cfg);
+        expect_same_detections(ref, got, "2d");
+      }
+  }
+}
+
+TEST(CfarEquivalence, TwoDimensionalDopplerWindowWrapsFullCircle) {
+  // guard + train far beyond n_doppler: the circular window laps the ring
+  // and revisits cells — the prefix path must count laps exactly like the
+  // reference's repeated adds.
+  fuse::util::Rng rng(37);
+  const std::size_t nr = 8, nd = 4;
+  std::vector<float> map(nr * nd);
+  for (auto& v : map) v = -std::log(std::max(1e-12, 1.0 - rng.uniform()));
+  map[3 * nd + 1] = 200.0f;
+  fuse::dsp::CfarConfig cfg;
+  cfg.guard_cells = 2;
+  cfg.train_cells = 11;  // window spans 2 * 11 cells on a 4-cell ring
+  cfg.threshold_scale = 3.0f;
+  cfg.mode_2d = fuse::dsp::Cfar2dMode::kDopplerAxis;
+  cfg.local_max_2d = fuse::dsp::CfarLocalMax::kNone;
+  expect_same_detections(fuse::dsp::ca_cfar_2d_reference(map, nr, nd, cfg),
+                         fuse::dsp::ca_cfar_2d(map, nr, nd, cfg), "wrap");
+}
+
+TEST(CfarEquivalence, TwoDimensionalAllZeroMap) {
+  std::vector<float> map(32 * 16, 0.0f);
+  fuse::dsp::CfarConfig cfg;
+  EXPECT_TRUE(fuse::dsp::ca_cfar_2d(map, 32, 16, cfg).empty());
+  EXPECT_TRUE(fuse::dsp::ca_cfar_2d_reference(map, 32, 16, cfg).empty());
+}
+
+TEST(CfarEquivalence, ScratchReuseIsAllocationFree) {
+  fuse::util::Rng rng(41);
+  std::vector<float> map(64 * 32);
+  for (auto& v : map) v = -std::log(std::max(1e-12, 1.0 - rng.uniform()));
+  fuse::dsp::CfarConfig cfg;
+  fuse::dsp::CfarScratch scratch;
+  std::vector<fuse::dsp::Detection2d> dets;
+  fuse::dsp::ca_cfar_2d(map, 64, 32, cfg, scratch, dets);
+  const std::size_t grows = scratch.grow_events;
+  for (int i = 0; i < 5; ++i)
+    fuse::dsp::ca_cfar_2d(map, 64, 32, cfg, scratch, dets);
+  EXPECT_EQ(scratch.grow_events, grows);
 }
 
 }  // namespace

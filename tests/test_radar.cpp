@@ -298,4 +298,150 @@ TEST(Simulator, NoiseFloorMatchesConfiguredPower) {
               0.1 * cfg.noise_power);
 }
 
+// ------------------------------------------- planned path vs reference --
+
+Scene busy_scene(fuse::util::Rng& rng, std::size_t n_scatterers = 16) {
+  Scene scene;
+  for (std::size_t i = 0; i < n_scatterers; ++i) {
+    Scatterer sc;
+    sc.position = {rng.uniformf(-0.6f, 0.6f), rng.uniformf(1.5f, 3.0f),
+                   rng.uniformf(-0.8f, 0.8f)};
+    sc.velocity = {0.0f, rng.uniformf(-1.2f, 1.2f),
+                   rng.uniformf(-0.4f, 0.4f)};
+    sc.rcs = rng.uniformf(0.005f, 0.05f);
+    scene.push_back(sc);
+  }
+  return scene;
+}
+
+TEST(PlannedProcessor, RangeDopplerBitIdenticalToReference) {
+  for (const bool clutter : {false, true}) {
+    RadarConfig cfg = small_config();
+    cfg.static_clutter_removal = clutter;
+    fuse::util::Rng rng(clutter ? 91 : 92);
+    const auto cube =
+        fuse::radar::simulate_frame(cfg, busy_scene(rng), rng);
+    const fuse::radar::Processor proc(cfg);
+    const auto ref = proc.range_doppler_reference(cube);
+    fuse::radar::FrameWorkspace ws;
+    const auto& got = proc.range_doppler(cube, ws);
+    ASSERT_EQ(ref.size(), got.size());
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      if (ref.data()[i] != got.data()[i]) ++mismatches;
+    EXPECT_EQ(mismatches, 0u) << "clutter=" << clutter;
+  }
+}
+
+TEST(PlannedProcessor, FullPipelineMatchesReference) {
+  RadarConfig cfg = small_config();
+  fuse::util::Rng rng(93);
+  const auto cube = fuse::radar::simulate_frame(cfg, busy_scene(rng), rng);
+  const fuse::radar::Processor proc(cfg);
+  const auto ref = proc.process_reference(cube);
+  fuse::radar::FrameWorkspace ws;
+  fuse::radar::ProcessedFrame got;
+  proc.process(cube, ws, got);
+
+  ASSERT_EQ(ref.power_map.size(), got.power_map.size());
+  for (std::size_t i = 0; i < ref.power_map.size(); ++i)
+    EXPECT_EQ(ref.power_map[i], got.power_map[i]);
+
+  ASSERT_EQ(ref.detections.size(), got.detections.size());
+  ASSERT_GT(got.detections.size(), 0u) << "scene produced no detections";
+  for (std::size_t i = 0; i < ref.detections.size(); ++i) {
+    EXPECT_EQ(ref.detections[i].range_bin, got.detections[i].range_bin);
+    EXPECT_EQ(ref.detections[i].doppler_bin, got.detections[i].doppler_bin);
+    EXPECT_EQ(ref.detections[i].range_m, got.detections[i].range_m);
+    EXPECT_EQ(ref.detections[i].velocity_mps,
+              got.detections[i].velocity_mps);
+    EXPECT_EQ(ref.detections[i].dir_cos_x, got.detections[i].dir_cos_x);
+    EXPECT_EQ(ref.detections[i].dir_cos_z, got.detections[i].dir_cos_z);
+    EXPECT_EQ(ref.detections[i].snr_db, got.detections[i].snr_db);
+  }
+  ASSERT_EQ(ref.cloud.points.size(), got.cloud.points.size());
+  for (std::size_t i = 0; i < ref.cloud.points.size(); ++i) {
+    EXPECT_EQ(ref.cloud.points[i].x, got.cloud.points[i].x);
+    EXPECT_EQ(ref.cloud.points[i].y, got.cloud.points[i].y);
+    EXPECT_EQ(ref.cloud.points[i].z, got.cloud.points[i].z);
+    EXPECT_EQ(ref.cloud.points[i].doppler, got.cloud.points[i].doppler);
+    EXPECT_EQ(ref.cloud.points[i].intensity, got.cloud.points[i].intensity);
+  }
+}
+
+TEST(PlannedProcessor, CompatProcessEqualsWorkspaceProcess) {
+  RadarConfig cfg = small_config();
+  fuse::util::Rng rng(94);
+  const auto cube = fuse::radar::simulate_frame(cfg, busy_scene(rng), rng);
+  const fuse::radar::Processor proc(cfg);
+  const auto compat = proc.process(cube);
+  fuse::radar::FrameWorkspace ws;
+  fuse::radar::ProcessedFrame got;
+  proc.process(cube, ws, got);
+  ASSERT_EQ(compat.cloud.points.size(), got.cloud.points.size());
+  for (std::size_t i = 0; i < compat.cloud.points.size(); ++i)
+    EXPECT_EQ(compat.cloud.points[i].x, got.cloud.points[i].x);
+}
+
+TEST(FrameWorkspace, RangeDopplerIsAllocationFreeInSteadyState) {
+  RadarConfig cfg = small_config();
+  fuse::util::Rng rng(95);
+  const fuse::radar::Processor proc(cfg);
+  fuse::radar::FrameWorkspace ws;
+  // Distinct cubes of the same shape: buffers must be recycled, not
+  // reallocated, once the first frame has sized them.
+  std::vector<fuse::radar::RadarCube> cubes;
+  for (int i = 0; i < 4; ++i)
+    cubes.push_back(fuse::radar::simulate_frame(cfg, busy_scene(rng), rng));
+  (void)proc.range_doppler(cubes[0], ws);
+  const std::size_t grows = ws.grow_events();
+  EXPECT_GT(grows, 0u);  // the first frame did size the workspace
+  for (int pass = 0; pass < 3; ++pass)
+    for (const auto& cube : cubes) (void)proc.range_doppler(cube, ws);
+  EXPECT_EQ(ws.grow_events(), grows)
+      << "range_doppler allocated in steady state";
+}
+
+TEST(FrameWorkspace, FullProcessStabilizesAllocations) {
+  RadarConfig cfg = small_config();
+  fuse::util::Rng rng(96);
+  const fuse::radar::Processor proc(cfg);
+  fuse::radar::FrameWorkspace ws;
+  fuse::radar::ProcessedFrame out;
+  std::vector<fuse::radar::RadarCube> cubes;
+  for (int i = 0; i < 4; ++i)
+    cubes.push_back(fuse::radar::simulate_frame(cfg, busy_scene(rng), rng));
+  // Warm-up pass sizes every workspace buffer (CFAR scratch, angle
+  // scratch, detection vector) across the cube variety.
+  for (const auto& cube : cubes) proc.process(cube, ws, out);
+  const std::size_t grows = ws.grow_events();
+  for (int pass = 0; pass < 3; ++pass)
+    for (const auto& cube : cubes) proc.process(cube, ws, out);
+  EXPECT_EQ(ws.grow_events(), grows) << "process allocated in steady state";
+}
+
+TEST(PlannedProcessor, OversizedCubeThrows) {
+  RadarConfig cfg = small_config();
+  const fuse::radar::Processor proc(cfg);
+  // More samples than the configured range FFT can hold.
+  fuse::radar::RadarCube cube(cfg.n_virtual(), cfg.chirps_per_frame,
+                              2 * fuse::dsp::next_pow2(cfg.samples_per_chirp));
+  fuse::radar::FrameWorkspace ws;
+  EXPECT_THROW(proc.range_doppler(cube, ws), std::invalid_argument);
+  EXPECT_THROW(proc.range_doppler_reference(cube), std::invalid_argument);
+}
+
+TEST(PlannedProcessor, CubeBetweenWindowAndFftSizeThrows) {
+  // Non-power-of-two samples_per_chirp: the Hann window is shorter than
+  // the padded FFT size, and a cube sized in between must be rejected
+  // (it would read past the window), not silently processed.
+  RadarConfig cfg = small_config();
+  cfg.samples_per_chirp = 100;  // window 100, n_range 128
+  const fuse::radar::Processor proc(cfg);
+  fuse::radar::RadarCube cube(cfg.n_virtual(), cfg.chirps_per_frame, 110);
+  fuse::radar::FrameWorkspace ws;
+  EXPECT_THROW(proc.range_doppler(cube, ws), std::invalid_argument);
+  EXPECT_THROW(proc.range_doppler_reference(cube), std::invalid_argument);
+}
+
 }  // namespace
