@@ -20,6 +20,22 @@ on:
     Counts additionally depend on the host libm (the simulator's sin/cos)
     and so get the small cross-host allowance; real CFAR regressions move
     counts by far more than an ulp's worth of scene perturbation.
+  * any *p99 latency* (keys ending in "p99_ms": end-to-end, per-stage and
+    per-backend-infer quantiles from the serve telemetry layer) growing
+    beyond baseline * --p99-factor (default 2x) AND by more than
+    --p99-floor-ms (default 0.5 ms) absolutely.  Latencies scale with
+    host speed, so the gate is multiplicative with an absolute floor:
+    a tail that doubles past the floor is a scheduling/batching
+    regression, not runner noise (CI runners are no slower than the
+    baseline container).
+  * any *drop rate* (keys containing "drop_rate") rising more than
+    --drop-tol (default 0.02) absolutely above the baseline — the serve
+    bench's preloaded queues are sized to drop nothing, so a rising drop
+    rate means the backpressure behaviour changed.
+  * the telemetry *overhead* (keys containing "overhead_pct") exceeding
+    --overhead-tol percent (default 5; absolute cap, not baseline-
+    relative) — the per-stage stats layer must stay ~free (<= 2% by
+    design; the tolerance adds shared-core noise headroom).
 
 Rows inside JSON arrays are matched by their identity keys (backend,
 threads, sessions, batch, stage) so a CI host with more cores than the
@@ -56,6 +72,18 @@ def is_equivalence_flag(key):
     return "match" in key or "identical" in key
 
 
+def is_p99(key):
+    return key.endswith("p99_ms")
+
+
+def is_drop_rate(key):
+    return "drop_rate" in key
+
+
+def is_overhead(key):
+    return "overhead_pct" in key
+
+
 def compare(baseline, fresh, path, args, failures, checked):
     if isinstance(baseline, dict):
         if not isinstance(fresh, dict):
@@ -64,7 +92,8 @@ def compare(baseline, fresh, path, args, failures, checked):
         for key, base_val in baseline.items():
             if key not in fresh:
                 if (is_speedup(key) or is_loss(key) or
-                        is_detection_count(key) or is_equivalence_flag(key)):
+                        is_detection_count(key) or is_equivalence_flag(key) or
+                        is_p99(key) or is_drop_rate(key) or is_overhead(key)):
                     failures.append(f"{path}.{key}: missing from fresh run")
                 continue
             compare(base_val, fresh[key], f"{path}.{key}", args, failures,
@@ -121,6 +150,29 @@ def compare(baseline, fresh, path, args, failures, checked):
                     f"{path}: loss {fresh:.6f} drifted from baseline "
                     f"{baseline:.6f} by {abs(fresh - baseline):.6f} "
                     f"(tol {args.loss_tol})")
+        elif is_p99(key):
+            checked.append(path)
+            ceiling = baseline * args.p99_factor
+            if fresh > ceiling and fresh - baseline > args.p99_floor_ms:
+                failures.append(
+                    f"{path}: p99 latency {fresh:.3f} ms blew past "
+                    f"{ceiling:.3f} ms (baseline {baseline:.3f} ms x "
+                    f"{args.p99_factor:g}, absolute floor "
+                    f"{args.p99_floor_ms:g} ms) — tail latency regression")
+        elif is_drop_rate(key):
+            checked.append(path)
+            if fresh > baseline + args.drop_tol:
+                failures.append(
+                    f"{path}: drop rate {fresh:.4f} rose above baseline "
+                    f"{baseline:.4f} + {args.drop_tol:g} — backpressure "
+                    "behaviour changed")
+        elif is_overhead(key):
+            checked.append(path)
+            if fresh > args.overhead_tol:
+                failures.append(
+                    f"{path}: telemetry overhead {fresh:.2f}% exceeds the "
+                    f"absolute cap of {args.overhead_tol:g}% — the stats "
+                    "layer is no longer ~free")
 
 
 def main():
@@ -134,6 +186,17 @@ def main():
     parser.add_argument("--det-tol", type=float, default=0.02,
                         help="max allowed fractional detection-count drift "
                              "(with a +-2 absolute floor)")
+    parser.add_argument("--p99-factor", type=float, default=2.0,
+                        help="max allowed p99 latency growth as a multiple "
+                             "of the baseline")
+    parser.add_argument("--p99-floor-ms", type=float, default=0.5,
+                        help="p99 growth below this absolute delta (ms) is "
+                             "never flagged, whatever the ratio")
+    parser.add_argument("--drop-tol", type=float, default=0.02,
+                        help="max allowed absolute drop-rate increase")
+    parser.add_argument("--overhead-tol", type=float, default=5.0,
+                        help="absolute cap (percent) on the measured "
+                             "telemetry overhead")
     args = parser.parse_args()
 
     with open(args.baseline) as f:

@@ -30,10 +30,20 @@
 // tick.  The baseline is the pre-PR deployment story: per-session scalar
 // DSP (process_reference) plus one single-sample forward per frame.
 //
+// The bench is also the serving plane's observability gate: the backend
+// sweep records per-stage latency quantiles (queue-wait, featurize,
+// batched infer, ...) and per-backend utilization through the telemetry
+// layer, measures the telemetry overhead (detailed stats vs stats-idle
+// must stay within ~2%), and emits everything into BENCH_serve.json plus
+// the full structured snapshot as DIR/SERVE_stats.json, so
+// check_regression.py can gate p99 latency and drop-rate — not only
+// throughput ratios.
+//
 // Run: ./serve_throughput [--scale=1] [--frames=200] [--csv=out.csv]
 //                         [--backend=gemm|naive|int8] [--smoke]
 //                         [--raw-cubes] [--out=DIR]
-// Emits DIR/BENCH_serve.json (machine-readable perf + accuracy record).
+// Emits DIR/BENCH_serve.json (machine-readable perf + accuracy record)
+// and DIR/SERVE_stats.json (full serve::stats_to_json snapshot).
 
 #include <cmath>
 #include <cstdio>
@@ -103,13 +113,17 @@ struct ServerRun {
 
 /// The serving runtime: preloaded queues drained with cross-session
 /// micro-batching at the given batch cap and inference backend.
+/// `detailed_stats` toggles the per-stage telemetry layer (the overhead
+/// measurement runs the same config with it off = stats-idle).
 ServerRun run_server(fuse::core::FusePipeline& pl,
                      const std::vector<std::vector<PointCloud>>& streams,
-                     std::size_t max_batch, fuse::nn::Backend backend) {
+                     std::size_t max_batch, fuse::nn::Backend backend,
+                     bool detailed_stats = true) {
   const std::size_t n_frames = streams.empty() ? 0 : streams[0].size();
   fuse::serve::ServeConfig cfg;
   cfg.max_batch = max_batch;
   cfg.backend = backend;
+  cfg.detailed_stats = detailed_stats;
   cfg.session.queue_capacity = n_frames;
   cfg.session.results_capacity = n_frames;
   fuse::serve::SessionManager server(&pl.predictor(), &pl.model(), cfg);
@@ -123,6 +137,8 @@ ServerRun run_server(fuse::core::FusePipeline& pl,
   fuse::util::Stopwatch sw;
   const std::size_t served = server.drain();
   const double secs = sw.seconds();
+  // Poll every session so the result-poll stage records real samples.
+  for (const auto id : ids) (void)server.poll_results(id);
   ServerRun run;
   run.fps = static_cast<double>(served) / secs;
   run.stats = server.stats();
@@ -172,6 +188,21 @@ AccuracyCheck run_accuracy_check(fuse::core::FusePipeline& pl,
 struct BackendRow {
   std::string name;
   double fps = 0.0;
+  /// That backend's utilization row from its own sweep run (batches,
+  /// frames, per-batch infer latency quantiles).
+  fuse::serve::BackendSnapshot util;
+};
+
+/// Telemetry overhead: the gemm sweep config run with detailed stats vs
+/// stats-idle (recording disabled).  overhead_pct > 0 means the detailed
+/// layer costs throughput; the gate allows ~2% plus shared-core noise.
+struct StatsOverhead {
+  double fps_detailed = 0.0;
+  double fps_idle = 0.0;
+  double overhead_pct() const {
+    return fps_detailed > 0.0 ? (fps_idle / fps_detailed - 1.0) * 100.0
+                              : 0.0;
+  }
 };
 
 /// Raw-cube ingestion measurement (--raw-cubes): the full
@@ -256,7 +287,8 @@ RawCubeRun run_raw_cubes(fuse::core::FusePipeline& pl, std::size_t sessions,
 void write_json(const std::string& path, std::size_t sessions,
                 std::size_t frames, const std::vector<BackendRow>& rows,
                 double int8_speedup, const AccuracyCheck& acc,
-                const RawCubeRun& raw) {
+                const RawCubeRun& raw, const fuse::serve::ServeStats& gemm,
+                const StatsOverhead& overhead) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
@@ -268,12 +300,44 @@ void write_json(const std::string& path, std::size_t sessions,
   std::fprintf(f, "  \"sessions\": %zu,\n  \"frames\": %zu,\n", sessions,
                frames);
   std::fprintf(f, "  \"backends\": [\n");
-  for (std::size_t i = 0; i < rows.size(); ++i)
-    std::fprintf(f, "    {\"backend\": \"%s\", \"fps\": %.1f}%s\n",
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& u = rows[i].util;
+    std::fprintf(f,
+                 "    {\"backend\": \"%s\", \"fps\": %.1f, "
+                 "\"batches\": %llu, \"frames_served\": %llu, "
+                 "\"mean_batch\": %.2f, \"infer_p50_ms\": %.4f, "
+                 "\"infer_p95_ms\": %.4f, \"infer_p99_ms\": %.4f}%s\n",
                  rows[i].name.c_str(), rows[i].fps,
+                 static_cast<unsigned long long>(u.batches),
+                 static_cast<unsigned long long>(u.frames), u.mean_batch,
+                 u.infer_p50_ms, u.infer_p95_ms, u.infer_p99_ms,
                  i + 1 < rows.size() ? "," : "");
+  }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"int8_speedup_over_gemm\": %.3f,\n", int8_speedup);
+  // End-to-end latency + drop-rate of the gemm sweep run: the p99 and
+  // drop_rate keys are regression-gated by bench/check_regression.py.
+  std::fprintf(f, "  \"latency_p50_ms\": %.4f,\n", gemm.latency_p50_ms);
+  std::fprintf(f, "  \"latency_p95_ms\": %.4f,\n", gemm.latency_p95_ms);
+  std::fprintf(f, "  \"latency_p99_ms\": %.4f,\n", gemm.latency_p99_ms);
+  std::fprintf(f, "  \"drop_rate\": %.6f,\n", gemm.drop_rate);
+  std::fprintf(f, "  \"stages\": [\n");
+  for (std::size_t i = 0; i < gemm.stages.size(); ++i) {
+    const auto& st = gemm.stages[i];
+    std::fprintf(f,
+                 "    {\"stage\": \"%s\", \"count\": %llu, "
+                 "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
+                 st.stage.c_str(), static_cast<unsigned long long>(st.count),
+                 st.p50_ms, st.p95_ms, st.p99_ms,
+                 i + 1 < gemm.stages.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"stats_detailed_fps\": %.1f,\n"
+               "  \"stats_idle_fps\": %.1f,\n"
+               "  \"stats_overhead_pct\": %.3f,\n",
+               overhead.fps_detailed, overhead.fps_idle,
+               overhead.overhead_pct());
   if (raw.enabled) {
     std::fprintf(f,
                  "  \"raw_cubes\": {\"sessions\": %zu, \"frames\": %zu, "
@@ -395,9 +459,10 @@ int main(int argc, char** argv) {
     streams8.push_back(stream_for(pl.dataset(), s, sweep_frames));
 
   fuse::util::Table sweep("backend sweep (8 sessions, batch 8, frames/sec)");
-  sweep.set_header({"backend", "frames/sec", "vs gemm"});
+  sweep.set_header({"backend", "frames/sec", "vs gemm", "infer p99 ms"});
   std::vector<BackendRow> rows;
   double gemm_fps = 0.0, int8_fps = 0.0;
+  fuse::serve::ServeStats gemm_stats;
   for (const auto backend : {fuse::nn::Backend::kNaive,
                              fuse::nn::Backend::kGemm,
                              fuse::nn::Backend::kInt8}) {
@@ -406,21 +471,72 @@ int main(int argc, char** argv) {
       const auto attempt = run_server(pl, streams8, kSweepBatch, backend);
       if (attempt.fps > run.fps) run = attempt;
     }
-    if (backend == fuse::nn::Backend::kGemm) gemm_fps = run.fps;
+    if (backend == fuse::nn::Backend::kGemm) {
+      gemm_fps = run.fps;
+      gemm_stats = run.stats;  // stage quantiles + drop rate for the gate
+    }
     if (backend == fuse::nn::Backend::kInt8) int8_fps = run.fps;
-    rows.push_back({fuse::nn::backend_name(backend), run.fps});
+    BackendRow row{fuse::nn::backend_name(backend), run.fps, {}};
+    // This run served every frame on one backend; pick its utilization row.
+    for (const auto& b : run.stats.backends)
+      if (b.backend == row.name) row.util = b;
+    rows.push_back(std::move(row));
   }
   // Format after the sweep: the gemm denominator is only known once its
   // own row has been measured.
   for (const BackendRow& row : rows)
     sweep.add_row({row.name, fuse::util::Table::num(row.fps, 0),
-                   fuse::util::Table::num(row.fps / gemm_fps, 2) + "x"});
+                   fuse::util::Table::num(row.fps / gemm_fps, 2) + "x",
+                   fuse::util::Table::num(row.util.infer_p99_ms, 3)});
   const double int8_speedup = int8_fps / gemm_fps;
   std::printf("%s\n", sweep.to_string().c_str());
   std::printf("int8 over gemm at 8 sessions: %.2fx %s\n",
               int8_speedup, int8_speedup >= 1.5
                                 ? "(>= 1.5x target met)"
                                 : "(below 1.5x target!)");
+
+  // ------------------------------------------- per-stage telemetry view --
+  fuse::util::Table stage_table(
+      "per-stage latency (gemm sweep run, telemetry layer)");
+  stage_table.set_header({"stage", "count", "p50 ms", "p95 ms", "p99 ms",
+                          "total ms"});
+  for (const auto& st : gemm_stats.stages)
+    stage_table.add_row({st.stage, std::to_string(st.count),
+                         fuse::util::Table::num(st.p50_ms, 3),
+                         fuse::util::Table::num(st.p95_ms, 3),
+                         fuse::util::Table::num(st.p99_ms, 3),
+                         fuse::util::Table::num(st.total_ms, 1)});
+  std::printf("\n%s\n", stage_table.to_string().c_str());
+  std::printf("end-to-end latency: p50 %.2f ms  p95 %.2f ms  p99 %.2f ms; "
+              "drop rate %.4f; queue hwm %zu\n",
+              gemm_stats.latency_p50_ms, gemm_stats.latency_p95_ms,
+              gemm_stats.latency_p99_ms, gemm_stats.drop_rate,
+              gemm_stats.queue_depth_hwm);
+
+  // ------------------------------------------ telemetry overhead gate --
+  // Same gemm config with per-stage recording on vs disabled (stats-
+  // idle).  The two sides run as interleaved pairs — not detailed-first
+  // then idle-first — so slow drift on a shared CI core (frequency,
+  // cache pressure from earlier phases) hits both sides equally, and
+  // best-of-N per side shrugs off point jitter.
+  StatsOverhead overhead;
+  for (std::size_t r = 0; r < kSweepRepeats; ++r) {
+    const auto detailed =
+        run_server(pl, streams8, kSweepBatch, fuse::nn::Backend::kGemm,
+                   /*detailed_stats=*/true);
+    if (detailed.fps > overhead.fps_detailed)
+      overhead.fps_detailed = detailed.fps;
+    const auto idle =
+        run_server(pl, streams8, kSweepBatch, fuse::nn::Backend::kGemm,
+                   /*detailed_stats=*/false);
+    if (idle.fps > overhead.fps_idle) overhead.fps_idle = idle.fps;
+  }
+  std::printf("telemetry overhead: detailed %.0f f/s vs stats-idle %.0f f/s "
+              "= %.2f%% %s\n",
+              overhead.fps_detailed, overhead.fps_idle,
+              overhead.overhead_pct(),
+              overhead.overhead_pct() <= 2.0 ? "(within 2% budget)"
+                                             : "(EXCEEDS 2% BUDGET!)");
 
   // ------------------------------------------- raw-cube ingestion mode --
   RawCubeRun raw;
@@ -434,6 +550,18 @@ int main(int argc, char** argv) {
   }
 
   write_json(cli.out_dir() + "/BENCH_serve.json", kSweepSessions,
-             sweep_frames, rows, int8_speedup, acc, raw);
+             sweep_frames, rows, int8_speedup, acc, raw, gemm_stats,
+             overhead);
+
+  // Full structured snapshot of the gemm sweep run — the same payload
+  // SessionManager::stats_json() serves live; uploaded as a CI artifact
+  // next to the BENCH files.
+  const std::string stats_path = cli.out_dir() + "/SERVE_stats.json";
+  if (FILE* sf = std::fopen(stats_path.c_str(), "w")) {
+    const std::string json = fuse::serve::stats_to_json(gemm_stats);
+    std::fwrite(json.data(), 1, json.size(), sf);
+    std::fclose(sf);
+    std::printf("wrote %s\n", stats_path.c_str());
+  }
   return acc.delta <= 1e-2 ? 0 : 1;
 }

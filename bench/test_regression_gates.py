@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Self-test for the p99 / drop-rate / overhead gates in check_regression.py.
+
+Takes the committed serve baseline, injects synthetic regressions into a
+copy (p99 latencies tripled, drop rate +0.5, telemetry overhead 25%) and
+asserts the gate exits non-zero with a REGRESSION line for each — then
+replays the baseline against itself and asserts a clean pass.  This is
+the "demonstrated gate" required by the observability PR: proof the CI
+step would actually catch a tail-latency or backpressure regression, not
+just parse the JSON.
+
+Usage:  test_regression_gates.py [BASELINE]
+        (default: bench/baselines/BENCH_serve_smoke.json next to this file)
+
+Exits 0 when the gate behaves, 1 with a diagnostic when it does not.
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+CHECKER = os.path.join(HERE, "check_regression.py")
+DEFAULT_BASELINE = os.path.join(HERE, "baselines", "BENCH_serve_smoke.json")
+
+
+def run_gate(baseline_path, fresh_path):
+    proc = subprocess.run(
+        [sys.executable, CHECKER, baseline_path, fresh_path],
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def mutate(node, fn):
+    """Applies fn(key, value) -> new value to every numeric leaf."""
+    if isinstance(node, dict):
+        for k, v in node.items():
+            if isinstance(v, (dict, list)):
+                mutate(v, fn)
+            elif isinstance(v, (int, float)) and not isinstance(v, bool):
+                node[k] = fn(k, v)
+    elif isinstance(node, list):
+        for item in node:
+            mutate(item, fn)
+
+
+def inject_p99(doc):
+    mutate(doc, lambda k, v: v * 3.0 + 2.0 if k.endswith("p99_ms") else v)
+
+
+def inject_drops(doc):
+    mutate(doc, lambda k, v: v + 0.5 if "drop_rate" in k else v)
+
+
+def inject_overhead(doc):
+    mutate(doc, lambda k, v: 25.0 if "overhead_pct" in k else v)
+
+
+def main():
+    baseline_path = sys.argv[1] if len(sys.argv) > 1 else DEFAULT_BASELINE
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    failures = []
+
+    def check(name, doc, want_fail, want_text=None):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as tmp:
+            json.dump(doc, tmp)
+            path = tmp.name
+        try:
+            rc, out = run_gate(baseline_path, path)
+            if want_fail and rc != 1:
+                failures.append(f"{name}: expected exit 1, got {rc}\n{out}")
+            elif not want_fail and rc != 0:
+                failures.append(f"{name}: expected exit 0, got {rc}\n{out}")
+            elif want_text and want_text not in out:
+                failures.append(
+                    f"{name}: gate tripped but not on the injected field "
+                    f"(no '{want_text}' in output)\n{out}")
+            else:
+                print(f"ok: {name}")
+        finally:
+            os.unlink(path)
+
+    check("clean baseline passes", copy.deepcopy(baseline), want_fail=False)
+
+    doc = copy.deepcopy(baseline)
+    inject_p99(doc)
+    check("injected p99 regression caught", doc, want_fail=True,
+          want_text="p99 latency")
+
+    doc = copy.deepcopy(baseline)
+    inject_drops(doc)
+    check("injected drop-rate regression caught", doc, want_fail=True,
+          want_text="drop rate")
+
+    doc = copy.deepcopy(baseline)
+    inject_overhead(doc)
+    check("injected telemetry overhead caught", doc, want_fail=True,
+          want_text="overhead")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print("regression-gate self-test: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@
 // Run: ./clinic_server [--scale=0.5] [--patients=8] [--frames=80]
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -75,6 +76,28 @@ int main(int argc, char** argv) {
               n_frames, n_labeled);
   server.start();
   sw.reset();
+
+  // Live stats monitor: polls the server's telemetry snapshot while the
+  // scheduler thread is batching — the same stats()/stats_json() payload a
+  // real deployment would expose over HTTP.  Snapshots are consistent
+  // (merged per scheduling pass) and never block the inference hot path.
+  std::atomic<bool> serving{true};
+  std::thread monitor([&] {
+    while (serving.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      const auto live = server.stats();
+      double infer_p99 = 0.0;
+      for (const auto& st : live.stages)
+        if (st.stage == "infer") infer_p99 = st.p99_ms;
+      std::printf("  [live] in %llu  out %llu  batches %llu  queue hwm %zu  "
+                  "infer p99 %.2f ms  drop rate %.4f\n",
+                  static_cast<unsigned long long>(live.frames_in),
+                  static_cast<unsigned long long>(live.frames_out),
+                  static_cast<unsigned long long>(live.batches),
+                  live.queue_depth_hwm, infer_p99, live.drop_rate);
+    }
+  });
+
   std::vector<std::thread> producers;
   for (std::size_t p = 0; p < n_patients; ++p) {
     producers.emplace_back([&, p] {
@@ -92,6 +115,8 @@ int main(int argc, char** argv) {
     });
   }
   for (auto& t : producers) t.join();
+  serving = false;
+  monitor.join();
   server.stop();
   const double serve_secs = sw.seconds();
 
@@ -128,5 +153,9 @@ int main(int argc, char** argv) {
   std::printf("latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, max %.2f ms\n",
               stats.latency_p50_ms, stats.latency_p95_ms,
               stats.latency_p99_ms, stats.latency_max_ms);
+
+  // The machine-readable version of everything above — what a deployment
+  // would return from its /stats endpoint.
+  std::printf("\nstats_json payload:\n%s\n", server.stats_json().c_str());
   return 0;
 }

@@ -23,8 +23,12 @@ void Scheduler::featurize_current_window(Session& s, float* out) {
 }
 
 PassStats Scheduler::run_once(const std::vector<Session*>& sessions,
-                              LatencyHistogram& latency) {
+                              PassRecord& rec) {
   PassStats pass;
+  // Per-stage recording folds to dead code when the telemetry layer is
+  // compiled out, and to a single predictable branch per site when it is
+  // merely disabled — the stats-idle zero-cost contract.
+  const bool detail = kTelemetryCompiled && detailed_stats_;
   // Collection: at most one frame per session per pass, until the batch is
   // full or every queue is empty.  The window slides and the sample is
   // featurized immediately, in the session's FIFO order.
@@ -47,6 +51,9 @@ PassStats Scheduler::run_once(const std::vector<Session*>& sessions,
       if (recycled) s->reset_stream_state();
       if (!frame) continue;
       any = true;
+      if (detail)
+        rec.telem.stages.record(Stage::kQueueWait,
+                                mono_seconds() - frame->t_enqueue);
       // Raw-cube ingestion: run the DSP front-end (range/Doppler FFTs,
       // CFAR, angles) through the scheduler's reusable workspace, then
       // feed the extracted point cloud into the fusion window exactly
@@ -59,18 +66,24 @@ PassStats Scheduler::run_once(const std::vector<Session*>& sessions,
           throw std::logic_error(
               "Scheduler: cube frame collected but no radar::Processor "
               "was configured");
+        const double t_dsp = detail ? mono_seconds() : 0.0;
         processor_->process(*frame->cube, frame_ws_, cube_frame_);
+        if (detail)
+          rec.telem.stages.record(Stage::kDspCube, mono_seconds() - t_dsp);
         // The ~1.5 MB cube payload is dead once the cloud is extracted;
         // free it now rather than carrying it through partitioning and
         // the batched forward.
         frame->cube.reset();
         cloud = &cube_frame_.cloud;
       }
+      const double t_feat = detail ? mono_seconds() : 0.0;
       s->advance_window(*cloud, predictor_->window_frames());
       Collected c;
       c.item.session = s;
       c.block.resize(kBlockFloats);
       featurize_current_window(*s, c.block.data());
+      if (detail)
+        rec.telem.stages.record(Stage::kFeaturize, mono_seconds() - t_feat);
       // Ground-truth labels feed the per-user adaptation buffer; the
       // sample x is exactly what inference sees (the fused window).
       if (frame->label && s->config().adapt.enabled) {
@@ -132,8 +145,10 @@ PassStats Scheduler::run_once(const std::vector<Session*>& sessions,
     for (std::size_t i = 0; i < items.size(); ++i)
       std::memcpy(x.data() + i * kBlockFloats, blocks[i].data(),
                   kBlockFloats * sizeof(float));
+    const double t_infer = detail ? mono_seconds() : 0.0;
     const auto poses = predictor_->predict(model, x, backend);
     const double now = mono_seconds();
+    if (detail) rec.telem.record_batch(backend, items.size(), now - t_infer);
     for (std::size_t i = 0; i < items.size(); ++i) {
       Session& s = *items[i].session;
       // A frame popped just before its session was recycled must not
@@ -146,8 +161,9 @@ PassStats Scheduler::run_once(const std::vector<Session*>& sessions,
                       ? s.tracker().update(poses[i])
                       : poses[i];
       r.latency_s = now - items[i].frame.t_enqueue;
+      r.t_ready = now;
       r.adapted_model = is_adapted;
-      latency.record(r.latency_s);
+      rec.latency.record(r.latency_s);
       s.push_result(std::move(r), items[i].frame.epoch);
     }
     ++pass.batches;
@@ -165,19 +181,23 @@ PassStats Scheduler::run_once(const std::vector<Session*>& sessions,
                 effective_backend(*adapted[g].first), true);
 
   // Online adaptation: at most one round per session per pass.
-  for (Session* s : sessions) maybe_adapt(*s);
+  for (Session* s : sessions) {
+    const double t_adapt = detail ? mono_seconds() : 0.0;
+    if (maybe_adapt(*s) && detail)
+      rec.telem.stages.record(Stage::kAdapt, mono_seconds() - t_adapt);
+  }
 
   pass.served = collected.size();
   return pass;
 }
 
-void Scheduler::maybe_adapt(Session& s) {
+bool Scheduler::maybe_adapt(Session& s) {
   const AdaptConfig& cfg = s.config().adapt;
-  if (!cfg.enabled) return;
+  if (!cfg.enabled) return false;
   auto& buffer = s.adapt_buffer();
-  if (buffer.size() < cfg.min_samples) return;
+  if (buffer.size() < cfg.min_samples) return false;
   if (s.fresh_labeled() < cfg.round_every && s.adapted_model() != nullptr)
-    return;
+    return false;
 
   // First round: clone the shared meta-initialization for this user.
   if (s.adapted_model() == nullptr) s.adapted_slot() = shared_model_->clone();
@@ -196,6 +216,7 @@ void Scheduler::maybe_adapt(Session& s) {
                                 cfg.grad_clip);
   s.clear_fresh_labeled();
   s.note_adapt_round(loss);
+  return true;
 }
 
 }  // namespace fuse::serve

@@ -28,6 +28,7 @@
 #include "radar/processing.h"
 #include "serve/session.h"
 #include "serve/stats.h"
+#include "serve/telemetry.h"
 
 namespace fuse::serve {
 
@@ -37,6 +38,17 @@ struct PassStats {
   std::size_t served = 0;           ///< frames served this pass
   std::uint64_t batches = 0;        ///< batched forward passes run
   std::uint64_t batched_frames = 0; ///< frames served through them
+};
+
+/// Pass-local telemetry sink: the scheduler records into this lock-free
+/// during run_once; the caller merges it into the cumulative stats under
+/// its stats lock afterwards (so the hot path never contends with
+/// readers).  `latency` (submit->result) is always recorded; the
+/// per-stage/per-backend detail in `telem` only when the scheduler's
+/// detailed-stats flag is on and the layer is compiled in.
+struct PassRecord {
+  LatencyHistogram latency;
+  Telemetry telem;
 };
 
 class Scheduler {
@@ -59,9 +71,17 @@ class Scheduler {
         processor_(processor) {}
 
   /// One scheduling pass over `sessions` (applies pending session recycles
-  /// first).  `latency` receives one sample per served frame.
-  PassStats run_once(const std::vector<Session*>& sessions,
-                     LatencyHistogram& latency);
+  /// first).  `rec.latency` receives one sample per served frame;
+  /// `rec.telem` the per-stage timings when detailed stats are on.
+  PassStats run_once(const std::vector<Session*>& sessions, PassRecord& rec);
+
+  /// Toggles the per-stage/per-backend recording (ServeConfig::
+  /// detailed_stats).  The always-on submit->result latency histogram and
+  /// the session counters are unaffected; with this off a pass performs no
+  /// extra clock reads or histogram increments (the stats-idle mode the
+  /// overhead gate in bench/serve_throughput measures against).
+  void set_detailed_stats(bool on) { detailed_stats_ = on; }
+  bool detailed_stats() const { return kTelemetryCompiled && detailed_stats_; }
 
   /// The backend a session's batched forwards run on: its config override
   /// when set, else the scheduler-wide default.
@@ -79,14 +99,16 @@ class Scheduler {
   /// through the scheduler's reusable featurize scratch.
   void featurize_current_window(Session& s, float* out);
 
-  /// Runs one adaptation round on the session's clone if it is due.
-  void maybe_adapt(Session& s);
+  /// Runs one adaptation round on the session's clone if it is due;
+  /// returns whether a round actually ran (for stage timing).
+  bool maybe_adapt(Session& s);
 
   const fuse::core::Predictor* predictor_;
   const fuse::nn::Module* shared_model_;
   std::size_t max_batch_;
   fuse::nn::Backend backend_;
   const fuse::radar::Processor* processor_;
+  bool detailed_stats_ = true;
 
   // Scheduler-thread scratch (run_once is never concurrent with itself):
   // the DSP workspace for raw-cube frames and the featurize scratch both

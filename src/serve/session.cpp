@@ -1,5 +1,7 @@
 #include "serve/session.h"
 
+#include <algorithm>
+
 namespace fuse::serve {
 
 bool Session::enqueue(const fuse::radar::PointCloud& cloud,
@@ -21,14 +23,18 @@ bool Session::enqueue_cube(fuse::radar::RadarCube cube,
 bool Session::enqueue_frame(InFrame f, double now_s) {
   std::lock_guard<std::mutex> lock(mu_);
   if (queue_.size() >= cfg_.queue_capacity) {
-    ++frames_dropped_;
-    if (cfg_.drop_policy == DropPolicy::kDropNewest) return false;
+    if (cfg_.drop_policy == DropPolicy::kDropNewest) {
+      ++queue_rejected_;
+      return false;
+    }
+    ++queue_evicted_;
     queue_.pop_front();  // kDropOldest: evict to keep the stream fresh
   }
   f.t_enqueue = now_s;
   f.seq = next_seq_++;
   f.epoch = recycle_epoch_;
   queue_.push_back(std::move(f));
+  queue_hwm_ = std::max(queue_hwm_, queue_.size());
   ++frames_in_;
   return true;
 }
@@ -63,7 +69,10 @@ void Session::advance_window(const fuse::radar::PointCloud& cloud,
 
 void Session::push_result(PoseResult r, std::uint64_t epoch) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (epoch != recycle_epoch_) return;  // stale subject: discard
+  if (epoch != recycle_epoch_) {  // stale subject: discard
+    ++results_stale_;
+    return;
+  }
   if (results_.size() >= cfg_.results_capacity) {
     results_.pop_front();
     ++results_dropped_;
@@ -101,6 +110,7 @@ void Session::request_recycle() {
   next_seq_ = 0;  // the new subject's stream counts from zero
   recycle_pending_ = true;
   ++recycle_epoch_;
+  queue_hwm_ = 0;  // the high-water mark describes the new subject only
   has_adapted_ = false;
   adapt_buffered_ = 0;
   adapt_rounds_ = 0;
@@ -122,10 +132,14 @@ SessionStats Session::stats_snapshot() const {
   SessionStats s;
   s.id = id_;
   s.frames_in = frames_in_;
-  s.frames_dropped = frames_dropped_;
+  s.frames_dropped = queue_evicted_ + queue_rejected_;
+  s.queue_evicted = queue_evicted_;
+  s.queue_rejected = queue_rejected_;
   s.frames_out = frames_out_;
   s.results_dropped = results_dropped_;
+  s.results_stale = results_stale_;
   s.queue_depth = queue_.size();
+  s.queue_depth_hwm = queue_hwm_;
   s.adapt_state = !cfg_.adapt.enabled  ? AdaptState::kShared
                   : has_adapted_       ? AdaptState::kAdapted
                                        : AdaptState::kCollecting;

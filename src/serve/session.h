@@ -72,6 +72,8 @@ struct PoseResult {
   fuse::human::Pose raw;      ///< CNN estimate
   fuse::human::Pose tracked;  ///< after temporal filtering (== raw when off)
   double latency_s = 0.0;     ///< enqueue -> result, seconds
+  double t_ready = 0.0;       ///< mono_seconds stamp at result delivery
+                              ///< (feeds the result-poll stage telemetry)
   bool adapted_model = false; ///< predicted by the per-user clone
 };
 
@@ -189,9 +191,12 @@ class Session {
   std::deque<PoseResult> results_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t frames_in_ = 0;
-  std::uint64_t frames_dropped_ = 0;
+  std::uint64_t queue_evicted_ = 0;   ///< kDropOldest: oldest frame evicted
+  std::uint64_t queue_rejected_ = 0;  ///< kDropNewest: incoming rejected
   std::uint64_t frames_out_ = 0;
   std::uint64_t results_dropped_ = 0;
+  std::uint64_t results_stale_ = 0;   ///< discarded across a recycle epoch
+  std::size_t queue_hwm_ = 0;         ///< deepest the queue has ever been
   bool recycle_pending_ = false;
   std::uint64_t recycle_epoch_ = 0;  ///< bumped per recycle request
   // Mirrors of scheduler-side adaptation state, updated under mu_ so that

@@ -20,6 +20,7 @@ SessionManager::SessionManager(const fuse::core::Predictor* predictor,
     throw std::invalid_argument("SessionManager: predictor not fitted");
   if (!shared_model_)
     throw std::invalid_argument("SessionManager: null shared model");
+  scheduler_.set_detailed_stats(cfg_.detailed_stats);
 }
 
 SessionManager::~SessionManager() { stop(); }
@@ -104,7 +105,17 @@ bool SessionManager::submit_cube(SessionId id, fuse::radar::RadarCube cube,
 std::vector<PoseResult> SessionManager::poll_results(SessionId id) {
   auto s = find(id);
   if (!s) return {};
-  return s->take_results();
+  auto out = s->take_results();
+  // Result-poll stage: how long finished results sat waiting for the
+  // consumer.  Recorded here (consumer thread) under the stats lock — the
+  // same merge point the scheduler's pass-local telemetry goes through.
+  if (kTelemetryCompiled && cfg_.detailed_stats && !out.empty()) {
+    const double now = mono_seconds();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    for (const auto& r : out)
+      telem_.stages.record(Stage::kResultPoll, now - r.t_ready);
+  }
+  return out;
 }
 
 std::size_t SessionManager::run_once() {
@@ -113,11 +124,13 @@ std::size_t SessionManager::run_once() {
   sessions.reserve(snapshot.size());
   for (const auto& s : snapshot) sessions.push_back(s.get());
   // The pass runs lock-free into local telemetry; the cumulative stats are
-  // only locked for the merge, so stats() never waits on an inference pass.
-  LatencyHistogram pass_latency;
-  const PassStats pass = scheduler_.run_once(sessions, pass_latency);
+  // only locked for the merge, so stats() never waits on an inference pass
+  // and a snapshot always observes whole passes.
+  PassRecord rec;
+  const PassStats pass = scheduler_.run_once(sessions, rec);
   std::lock_guard<std::mutex> lock(stats_mu_);
-  latency_.merge(pass_latency);
+  latency_.merge(rec.latency);
+  telem_.merge(rec.telem);
   batches_ += pass.batches;
   batched_frames_ += pass.batched_frames;
   return pass.served;
@@ -174,8 +187,19 @@ ServeStats SessionManager::stats() const {
     out.frames_in += ss.frames_in;
     out.frames_out += ss.frames_out;
     out.frames_dropped += ss.frames_dropped;
+    out.queue_evicted += ss.queue_evicted;
+    out.queue_rejected += ss.queue_rejected;
+    out.results_evicted += ss.results_dropped;
+    out.results_stale += ss.results_stale;
+    out.queue_depth_hwm = std::max(out.queue_depth_hwm, ss.queue_depth_hwm);
     out.per_session.push_back(std::move(ss));
   }
+  // Queue drops over frames offered (accepted + rejected): the serving
+  // plane's backpressure ratio, gated by bench/check_regression.py.
+  const auto offered = out.frames_in + out.queue_rejected;
+  out.drop_rate = offered ? static_cast<double>(out.frames_dropped) /
+                                static_cast<double>(offered)
+                          : 0.0;
   std::lock_guard<std::mutex> lock(stats_mu_);
   out.batches = batches_;
   out.mean_batch = batches_ ? static_cast<double>(batched_frames_) /
@@ -186,6 +210,19 @@ ServeStats SessionManager::stats() const {
   out.latency_p99_ms = latency_.p99() * 1e3;
   out.latency_mean_ms = latency_.mean() * 1e3;
   out.latency_max_ms = latency_.max() * 1e3;
+  // Derived per-stage and per-backend views, computed at read time from
+  // the raw histograms (never on the hot path).
+  out.detailed = kTelemetryCompiled && cfg_.detailed_stats;
+  out.stages.reserve(kNumStages);
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    const auto stage = static_cast<Stage>(i);
+    out.stages.push_back(
+        snapshot_stage(stage, telem_.stages.histogram(stage)));
+  }
+  out.backends.reserve(kNumBackends);
+  for (std::size_t i = 0; i < kNumBackends; ++i)
+    out.backends.push_back(
+        snapshot_backend(backend_from_index(i), telem_.backends[i]));
   return out;
 }
 

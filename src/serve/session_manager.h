@@ -50,6 +50,12 @@ struct ServeConfig {
   /// through its reusable FrameWorkspace.  Borrowed; must outlive the
   /// manager.  Null disables submit_cube (it then rejects frames).
   const fuse::radar::Processor* processor = nullptr;
+  /// Per-stage/per-backend telemetry recording (serve/telemetry.h).  Off
+  /// = stats-idle: only the always-on submit->poll latency histogram and
+  /// the plain counters are maintained, with zero extra clock reads on
+  /// the scheduler hot path (the bench's overhead gate compares the two).
+  /// Moot when the layer is compiled out (FUSE_SERVE_TELEMETRY=0).
+  bool detailed_stats = true;
   SessionConfig session;           ///< defaults for open_session()
 };
 
@@ -107,7 +113,14 @@ class SessionManager {
   bool running() const { return running_; }
 
   // ----------------------------------------------------------- telemetry --
+  /// Full snapshot: counters, end-to-end latency quantiles, per-stage and
+  /// per-backend detail, drop causes, per-session rows.  Derived metrics
+  /// are computed here at read time; callable from any thread.
   ServeStats stats() const;
+  /// stats() serialized as structured JSON (serve::stats_to_json) — the
+  /// live-query payload used by examples/clinic_server and the bench's
+  /// SERVE_stats.json artifact.
+  std::string stats_json() const { return stats_to_json(stats()); }
 
  private:
   std::shared_ptr<Session> find(SessionId id) const;
@@ -128,6 +141,7 @@ class SessionManager {
 
   mutable std::mutex stats_mu_;
   LatencyHistogram latency_;
+  Telemetry telem_;  ///< cumulative per-stage/per-backend detail
   std::uint64_t batches_ = 0;
   std::uint64_t batched_frames_ = 0;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdarg>
+#include <cstdio>
 
 namespace fuse::serve {
 
@@ -53,9 +55,14 @@ double LatencyHistogram::quantile(double q) const {
     if (bins_[b] == 0) continue;
     const auto next = seen + bins_[b];
     if (static_cast<double>(next) >= target) {
-      // Interpolate inside the bin; clamp the top bin to the observed max.
-      const double lo = bin_lower(b);
-      const double hi = std::min(bin_upper(b), max_ > 0.0 ? max_ : bin_upper(b));
+      // Interpolate inside the bin.  Bin 0 collects everything below
+      // kMinLatency, so its lower edge is 0, not bin_lower(0) == 1e-6 —
+      // otherwise a histogram of all-fast samples reports p50 >= 1 us.
+      // The upper edge is clamped to the observed max (which also bounds
+      // the open-ended overflow bin).
+      const double lo = b == 0 ? 0.0 : bin_lower(b);
+      const double cap = std::max(lo, max_);
+      const double hi = std::min(b + 1 == kBins ? cap : bin_upper(b), cap);
       const double frac =
           (target - static_cast<double>(seen)) / static_cast<double>(bins_[b]);
       return lo + frac * (hi - lo);
@@ -72,6 +79,103 @@ const char* adapt_state_name(AdaptState s) {
     case AdaptState::kAdapted: return "adapted";
   }
   return "?";
+}
+
+namespace {
+
+// Minimal JSON emission: every key and value is generated internally
+// (stage/backend/adapt-state names, numbers), so no escaping is needed.
+void append(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+}  // namespace
+
+std::string stats_to_json(const ServeStats& s) {
+  std::string out;
+  out.reserve(2048 + 256 * s.per_session.size());
+  out += "{\n";
+  append(out, "  \"sessions\": %zu,\n", s.sessions);
+  append(out, "  \"frames_in\": %llu,\n",
+         static_cast<unsigned long long>(s.frames_in));
+  append(out, "  \"frames_out\": %llu,\n",
+         static_cast<unsigned long long>(s.frames_out));
+  append(out, "  \"frames_dropped\": %llu,\n",
+         static_cast<unsigned long long>(s.frames_dropped));
+  append(out,
+         "  \"drops\": {\"queue_evicted\": %llu, \"queue_rejected\": %llu, "
+         "\"results_evicted\": %llu, \"results_stale\": %llu},\n",
+         static_cast<unsigned long long>(s.queue_evicted),
+         static_cast<unsigned long long>(s.queue_rejected),
+         static_cast<unsigned long long>(s.results_evicted),
+         static_cast<unsigned long long>(s.results_stale));
+  append(out, "  \"drop_rate\": %.6f,\n", s.drop_rate);
+  append(out, "  \"queue_depth_hwm\": %zu,\n", s.queue_depth_hwm);
+  append(out, "  \"batches\": %llu,\n",
+         static_cast<unsigned long long>(s.batches));
+  append(out, "  \"mean_batch\": %.3f,\n", s.mean_batch);
+  append(out,
+         "  \"latency_ms\": {\"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f, "
+         "\"mean\": %.4f, \"max\": %.4f},\n",
+         s.latency_p50_ms, s.latency_p95_ms, s.latency_p99_ms,
+         s.latency_mean_ms, s.latency_max_ms);
+  append(out, "  \"detailed\": %s,\n", s.detailed ? "true" : "false");
+  out += "  \"stages\": [\n";
+  for (std::size_t i = 0; i < s.stages.size(); ++i) {
+    const auto& st = s.stages[i];
+    append(out,
+           "    {\"stage\": \"%s\", \"count\": %llu, \"total_ms\": %.3f, "
+           "\"mean_ms\": %.4f, \"p50_ms\": %.4f, \"p95_ms\": %.4f, "
+           "\"p99_ms\": %.4f, \"max_ms\": %.4f}%s\n",
+           st.stage.c_str(), static_cast<unsigned long long>(st.count),
+           st.total_ms, st.mean_ms, st.p50_ms, st.p95_ms, st.p99_ms,
+           st.max_ms, i + 1 < s.stages.size() ? "," : "");
+  }
+  out += "  ],\n  \"backends\": [\n";
+  for (std::size_t i = 0; i < s.backends.size(); ++i) {
+    const auto& b = s.backends[i];
+    append(out,
+           "    {\"backend\": \"%s\", \"batches\": %llu, \"frames\": %llu, "
+           "\"mean_batch\": %.3f, \"infer_mean_ms\": %.4f, "
+           "\"infer_p50_ms\": %.4f, \"infer_p95_ms\": %.4f, "
+           "\"infer_p99_ms\": %.4f, \"infer_max_ms\": %.4f}%s\n",
+           b.backend.c_str(), static_cast<unsigned long long>(b.batches),
+           static_cast<unsigned long long>(b.frames), b.mean_batch,
+           b.infer_mean_ms, b.infer_p50_ms, b.infer_p95_ms, b.infer_p99_ms,
+           b.infer_max_ms, i + 1 < s.backends.size() ? "," : "");
+  }
+  out += "  ],\n  \"per_session\": [\n";
+  for (std::size_t i = 0; i < s.per_session.size(); ++i) {
+    const auto& ps = s.per_session[i];
+    append(out,
+           "    {\"id\": %zu, \"frames_in\": %llu, \"frames_out\": %llu, "
+           "\"frames_dropped\": %llu, \"queue_evicted\": %llu, "
+           "\"queue_rejected\": %llu, \"results_evicted\": %llu, "
+           "\"results_stale\": %llu, \"queue_depth\": %zu, "
+           "\"queue_depth_hwm\": %zu,",
+           ps.id, static_cast<unsigned long long>(ps.frames_in),
+           static_cast<unsigned long long>(ps.frames_out),
+           static_cast<unsigned long long>(ps.frames_dropped),
+           static_cast<unsigned long long>(ps.queue_evicted),
+           static_cast<unsigned long long>(ps.queue_rejected),
+           static_cast<unsigned long long>(ps.results_dropped),
+           static_cast<unsigned long long>(ps.results_stale),
+           ps.queue_depth, ps.queue_depth_hwm);
+    append(out,
+           " \"adapt_state\": \"%s\", \"adapt_rounds\": %llu, "
+           "\"adapt_buffered\": %zu, \"last_adapt_loss\": %.6f}%s\n",
+           adapt_state_name(ps.adapt_state),
+           static_cast<unsigned long long>(ps.adapt_rounds),
+           ps.adapt_buffered, static_cast<double>(ps.last_adapt_loss),
+           i + 1 < s.per_session.size() ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
 }
 
 }  // namespace fuse::serve

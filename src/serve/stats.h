@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace fuse::serve {
@@ -34,10 +35,14 @@ class LatencyHistogram {
   void reset();
 
   std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
   double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
   double max() const { return max_; }
 
-  /// Latency quantile in seconds, q in [0, 1]; 0 when empty.
+  /// Latency quantile in seconds, q in [0, 1]; 0 when empty.  Bin 0 spans
+  /// [0, 1e-6), the overflow bin [1e2, observed max]; interpolation inside
+  /// a bin is clamped to the observed max, so an all-sub-microsecond
+  /// histogram reports sub-microsecond quantiles instead of >= 1 us.
   double quantile(double q) const;
 
   double p50() const { return quantile(0.50); }
@@ -74,13 +79,44 @@ struct SessionStats {
   std::size_t id = 0;
   std::uint64_t frames_in = 0;       ///< accepted into the queue
   std::uint64_t frames_dropped = 0;  ///< rejected/evicted by the drop policy
+  std::uint64_t queue_evicted = 0;   ///< dropped cause: kDropOldest eviction
+  std::uint64_t queue_rejected = 0;  ///< dropped cause: kDropNewest rejection
   std::uint64_t frames_out = 0;      ///< results produced
   std::uint64_t results_dropped = 0; ///< results evicted before being polled
+  std::uint64_t results_stale = 0;   ///< results discarded across a recycle
   std::size_t queue_depth = 0;       ///< at snapshot time
+  std::size_t queue_depth_hwm = 0;   ///< high-water mark since open/recycle
   AdaptState adapt_state = AdaptState::kShared;
   std::uint64_t adapt_rounds = 0;    ///< SGD rounds run on the clone
   std::size_t adapt_buffered = 0;    ///< labeled samples currently buffered
   float last_adapt_loss = 0.0f;      ///< batch L1 loss of the last round
+};
+
+/// Read-time view of one pipeline stage's latency histogram (derived
+/// quantiles computed at snapshot time, never on the hot path).
+struct StageSnapshot {
+  std::string stage;          ///< taxonomy name (telemetry.h)
+  std::uint64_t count = 0;    ///< recorded samples (frames / batches / rounds)
+  double total_ms = 0.0;      ///< summed stage time
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Read-time view of one inference backend's share of the batched forwards
+/// (the scheduler partitions micro-batches by effective backend).
+struct BackendSnapshot {
+  std::string backend;        ///< nn::backend_name
+  std::uint64_t batches = 0;  ///< batched forward passes on this backend
+  std::uint64_t frames = 0;   ///< frames served through them
+  double mean_batch = 0.0;    ///< frames per forward pass
+  double infer_mean_ms = 0.0; ///< per-batch forward latency
+  double infer_p50_ms = 0.0;
+  double infer_p95_ms = 0.0;
+  double infer_p99_ms = 0.0;
+  double infer_max_ms = 0.0;
 };
 
 struct ServeStats {
@@ -95,7 +131,29 @@ struct ServeStats {
   double latency_p99_ms = 0.0;
   double latency_mean_ms = 0.0;
   double latency_max_ms = 0.0;
+
+  // Drop/evict counters split by cause (frames_dropped above stays their
+  // queue-side sum, for compatibility with the pre-telemetry field).
+  std::uint64_t queue_evicted = 0;    ///< kDropOldest evictions
+  std::uint64_t queue_rejected = 0;   ///< kDropNewest rejections
+  std::uint64_t results_evicted = 0;  ///< results evicted before polling
+  std::uint64_t results_stale = 0;    ///< results discarded across a recycle
+  /// Queue drops / frames offered (accepted + rejected); 0 when no traffic.
+  double drop_rate = 0.0;
+  std::size_t queue_depth_hwm = 0;    ///< deepest queue ever, any session
+
+  /// Whether the per-stage layer was compiled in AND enabled for this run
+  /// (ServeConfig::detailed_stats); stage/backend rows are all-zero
+  /// otherwise.
+  bool detailed = false;
+  std::vector<StageSnapshot> stages;      ///< one row per pipeline stage
+  std::vector<BackendSnapshot> backends;  ///< one row per nn::Backend
   std::vector<SessionStats> per_session;
 };
+
+/// Serializes the whole snapshot as structured JSON (stable schema,
+/// documented in DESIGN.md §7) — the payload behind
+/// SessionManager::stats_json() and the bench's SERVE_stats.json artifact.
+std::string stats_to_json(const ServeStats& s);
 
 }  // namespace fuse::serve

@@ -1,0 +1,122 @@
+#pragma once
+// Per-stage serving telemetry: one latency histogram per pipeline stage
+// (queue-wait -> cube DSP -> featurize -> batched infer -> adapt ->
+// result-poll) plus per-backend utilization of the batched forwards.
+//
+// Recording idiom (the DACStats pattern): raw counters and O(1) histogram
+// increments on the hot path, every derived metric (quantiles, means,
+// utilization ratios) computed at read time in ServeStats snapshots —
+// zero cost when nothing is recorded.
+//
+// Locking contract: the scheduler records into a PASS-LOCAL Telemetry
+// inside run_once (single scheduler thread, no locks), which the
+// SessionManager merges into its cumulative Telemetry under the existing
+// stats mutex once per pass.  stats() readers take the same mutex, so a
+// snapshot is always pass-consistent: it never observes half of a pass.
+//
+// The whole layer can be compiled out with -DFUSE_SERVE_TELEMETRY=0
+// (CMake option FUSE_TELEMETRY=OFF): kTelemetryCompiled folds every
+// `if (detail)` recording branch to dead code, leaving only the always-on
+// submit->poll histogram and the plain counters.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "nn/module.h"
+#include "serve/stats.h"
+
+#ifndef FUSE_SERVE_TELEMETRY
+#define FUSE_SERVE_TELEMETRY 1
+#endif
+
+namespace fuse::serve {
+
+inline constexpr bool kTelemetryCompiled = FUSE_SERVE_TELEMETRY != 0;
+
+/// The serving pipeline's stage taxonomy, in tick order.  Per-sample
+/// stages record once per frame; kInfer and kAdapt record once per batch /
+/// adaptation round (their counts are batch and round counts).
+enum class Stage : std::size_t {
+  kQueueWait = 0,  ///< submit -> collected by the scheduler (per frame)
+  kDspCube,        ///< raw cube -> point cloud front-end (per cube frame)
+  kFeaturize,      ///< window slide + featurization (per frame)
+  kInfer,          ///< batched Module::infer forward (per batch)
+  kAdapt,          ///< online-adaptation SGD round (per round)
+  kResultPoll,     ///< result ready -> polled by the consumer (per result)
+};
+inline constexpr std::size_t kNumStages = 6;
+
+const char* stage_name(Stage s);
+
+/// One latency histogram per pipeline stage.
+class StageStats {
+ public:
+  void record(Stage s, double seconds) {
+    hist_[static_cast<std::size_t>(s)].record(seconds);
+  }
+  void merge(const StageStats& other) {
+    for (std::size_t i = 0; i < kNumStages; ++i) hist_[i].merge(other.hist_[i]);
+  }
+  void reset() {
+    for (auto& h : hist_) h.reset();
+  }
+  const LatencyHistogram& histogram(Stage s) const {
+    return hist_[static_cast<std::size_t>(s)];
+  }
+
+ private:
+  std::array<LatencyHistogram, kNumStages> hist_{};
+};
+
+/// Backends the scheduler can partition micro-batches onto (nn::Backend is
+/// a closed enum: naive, gemm, int8).
+inline constexpr std::size_t kNumBackends = 3;
+
+inline std::size_t backend_index(fuse::nn::Backend b) {
+  return static_cast<std::size_t>(b);
+}
+fuse::nn::Backend backend_from_index(std::size_t i);
+
+/// Utilization of one inference backend by the batched forwards.
+struct BackendUse {
+  std::uint64_t batches = 0;
+  std::uint64_t frames = 0;
+  LatencyHistogram infer;  ///< per-batch forward latency
+
+  void merge(const BackendUse& other) {
+    batches += other.batches;
+    frames += other.frames;
+    infer.merge(other.infer);
+  }
+};
+
+/// The full detailed-telemetry registry; used both pass-local (scheduler,
+/// lock-free) and cumulative (SessionManager, under the stats mutex).
+struct Telemetry {
+  StageStats stages;
+  std::array<BackendUse, kNumBackends> backends{};
+
+  void record_batch(fuse::nn::Backend b, std::size_t frames, double seconds) {
+    auto& use = backends[backend_index(b)];
+    ++use.batches;
+    use.frames += frames;
+    use.infer.record(seconds);
+    stages.record(Stage::kInfer, seconds);
+  }
+  void merge(const Telemetry& other) {
+    stages.merge(other.stages);
+    for (std::size_t i = 0; i < kNumBackends; ++i)
+      backends[i].merge(other.backends[i]);
+  }
+  void reset() {
+    stages.reset();
+    for (auto& b : backends) b = BackendUse{};
+  }
+};
+
+/// Derived read-time snapshots (quantiles in ms) for ServeStats.
+StageSnapshot snapshot_stage(Stage s, const LatencyHistogram& h);
+BackendSnapshot snapshot_backend(fuse::nn::Backend b, const BackendUse& use);
+
+}  // namespace fuse::serve

@@ -226,7 +226,13 @@ TEST(Serve, DropOldestKeepsFreshestFrames) {
   ASSERT_EQ(results.size(), 4u);
   // The four freshest frames survive, in order.
   for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(results[i].seq, 6 + i);
-  EXPECT_EQ(server.stats().frames_dropped, 6u);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.frames_dropped, 6u);
+  // Drop causes: kDropOldest evicts accepted frames, it never rejects.
+  EXPECT_EQ(stats.queue_evicted, 6u);
+  EXPECT_EQ(stats.queue_rejected, 0u);
+  EXPECT_EQ(stats.queue_depth_hwm, 4u);
+  EXPECT_NEAR(stats.drop_rate, 0.6, 1e-9);  // 6 dropped / 10 offered
 }
 
 TEST(Serve, DropNewestRejectsWhenFull) {
@@ -248,6 +254,13 @@ TEST(Serve, DropNewestRejectsWhenFull) {
   // The four oldest frames survive; note seq numbers only count accepted
   // frames, so they are contiguous from 0.
   for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(results[i].seq, i);
+  const auto stats = server.stats();
+  // Drop causes: kDropNewest rejects at the door, it never evicts; the
+  // rejected frames never enter frames_in but do count as offered.
+  EXPECT_EQ(stats.frames_in, 4u);
+  EXPECT_EQ(stats.queue_rejected, 6u);
+  EXPECT_EQ(stats.queue_evicted, 0u);
+  EXPECT_NEAR(stats.drop_rate, 0.6, 1e-9);  // 6 dropped / (4 + 6) offered
 }
 
 // ------------------------------------------------------ session recycle --
@@ -540,6 +553,165 @@ TEST(Serve, StatsCountersAndLimits) {
   EXPECT_FALSE(server.submit_frame(b, sequence_frames(6, 1)[0]));
   EXPECT_TRUE(server.poll_results(b).empty());
   EXPECT_EQ(server.session_count(), 1u);
+}
+
+TEST(Serve, LatencyHistogramSubMicrosecondQuantiles) {
+  fuse::serve::LatencyHistogram h;
+  // All-fast histogram: every sample under the first bin edge (1 us).
+  // Bin 0 spans [0, 1e-6), so quantiles must not report a 1 us floor.
+  for (int i = 0; i < 100; ++i) h.record(2e-7);
+  EXPECT_LT(h.p50(), 1e-6);
+  EXPECT_LE(h.quantile(1.0), 2e-7 + 1e-12);
+  h.reset();
+  // Degenerate all-zero histogram reports zero, not half a bin.
+  for (int i = 0; i < 8; ++i) h.record(0.0);
+  EXPECT_EQ(h.p50(), 0.0);
+  EXPECT_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Serve, LatencyHistogramOverflowBinClampsToMax) {
+  fuse::serve::LatencyHistogram h;
+  h.record(0.5);
+  h.record(250.0);  // beyond the 100 s top edge -> overflow bin
+  EXPECT_NEAR(h.max(), 250.0, 1e-9);
+  // The overflow bin has no upper edge of its own; quantiles interpolate
+  // up to the observed max instead of inventing one.
+  EXPECT_LE(h.quantile(1.0), 250.0 + 1e-9);
+  EXPECT_GT(h.quantile(0.9), 100.0);
+}
+
+TEST(Serve, LatencyHistogramMergeAndMergeAfterReset) {
+  fuse::serve::LatencyHistogram a, b;
+  for (int i = 0; i < 50; ++i) a.record(1e-3);
+  for (int i = 0; i < 50; ++i) b.record(0.1);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_NEAR(a.max(), 0.1, 1e-9);
+  EXPECT_NEAR(a.mean(), (50 * 1e-3 + 50 * 0.1) / 100.0, 1e-9);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.p99(), 0.0);
+  a.merge(b);  // merging into a freshly reset histogram is a plain copy
+  EXPECT_EQ(a.count(), 50u);
+  EXPECT_NEAR(a.p50(), 0.1, 0.05);
+  EXPECT_NEAR(a.max(), 0.1, 1e-9);
+  EXPECT_NEAR(a.sum(), 50 * 0.1, 1e-9);
+}
+
+/// Finds a stage row by name in a ServeStats snapshot.
+const fuse::serve::StageSnapshot& stage_row(const fuse::serve::ServeStats& s,
+                                            const char* name) {
+  for (const auto& st : s.stages)
+    if (st.stage == name) return st;
+  static const fuse::serve::StageSnapshot empty{};
+  ADD_FAILURE() << "missing stage " << name;
+  return empty;
+}
+
+TEST(Serve, StageTelemetryConsistentUnderThreadedStress) {
+  if (!fuse::serve::kTelemetryCompiled)
+    GTEST_SKIP() << "telemetry compiled out (FUSE_SERVE_TELEMETRY=0)";
+  auto& pl = world();
+  ServeConfig cfg;
+  cfg.max_batch = 16;
+  cfg.session.queue_capacity = 128;
+  cfg.session.results_capacity = 256;
+  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+
+  constexpr std::size_t kSessions = 4;
+  constexpr std::size_t kFrames = 60;
+  std::vector<fuse::serve::SessionId> ids;
+  std::vector<std::vector<PointCloud>> streams;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    ids.push_back(server.open_session());
+    streams.push_back(sequence_frames(s, kFrames));
+  }
+
+  // A concurrent reader hammers stats() while the scheduler batches: every
+  // snapshot must observe whole passes only — the per-frame stages agree
+  // with each other and with the batch counters at all times.
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load()) {
+      const auto s = server.stats();
+      const auto& queue_wait = stage_row(s, "queue_wait");
+      const auto& featurize = stage_row(s, "featurize");
+      const auto& infer = stage_row(s, "infer");
+      EXPECT_EQ(queue_wait.count, featurize.count);
+      EXPECT_EQ(infer.count, s.batches);
+      std::uint64_t backend_frames = 0, backend_batches = 0;
+      for (const auto& b : s.backends) {
+        backend_frames += b.frames;
+        backend_batches += b.batches;
+      }
+      EXPECT_EQ(backend_frames, featurize.count);
+      EXPECT_EQ(backend_batches, s.batches);
+    }
+  });
+
+  server.start();
+  std::vector<std::thread> producers;
+  for (std::size_t s = 0; s < kSessions; ++s)
+    producers.emplace_back([&, s] {
+      for (std::size_t i = 0; i < kFrames; ++i)
+        EXPECT_TRUE(server.submit_frame(ids[s], streams[s][i]));
+    });
+  for (auto& t : producers) t.join();
+  server.stop();
+  done = true;
+  reader.join();
+
+  for (const auto id : ids) EXPECT_FALSE(server.poll_results(id).empty());
+  const auto stats = server.stats();
+  EXPECT_TRUE(stats.detailed);
+  EXPECT_EQ(stats.frames_out, kSessions * kFrames);
+  EXPECT_EQ(stage_row(stats, "queue_wait").count, stats.frames_out);
+  EXPECT_EQ(stage_row(stats, "featurize").count, stats.frames_out);
+  EXPECT_EQ(stage_row(stats, "infer").count, stats.batches);
+  EXPECT_EQ(stage_row(stats, "result_poll").count, stats.frames_out);
+  EXPECT_EQ(stage_row(stats, "dsp_cube").count, 0u);  // point-cloud path
+  EXPECT_GT(stage_row(stats, "infer").p99_ms, 0.0);
+}
+
+TEST(Serve, StatsIdleRecordsNoDetail) {
+  auto& pl = world();
+  ServeConfig cfg;
+  cfg.detailed_stats = false;  // stats-idle: per-stage recording off
+  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  const auto id = server.open_session();
+  for (const auto& f : sequence_frames(2, 8)) server.submit_frame(id, f);
+  server.drain();
+  EXPECT_EQ(server.poll_results(id).size(), 8u);
+
+  const auto stats = server.stats();
+  EXPECT_FALSE(stats.detailed);
+  EXPECT_EQ(stats.frames_out, 8u);
+  // Zero-cost contract: no stage or backend histogram gained a sample...
+  for (const auto& st : stats.stages) EXPECT_EQ(st.count, 0u);
+  for (const auto& b : stats.backends) {
+    EXPECT_EQ(b.batches, 0u);
+    EXPECT_EQ(b.frames, 0u);
+  }
+  // ...while the always-on counters and end-to-end histogram still work.
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_GT(stats.latency_p99_ms, 0.0);
+}
+
+TEST(Serve, StatsJsonCarriesSchema) {
+  auto& pl = world();
+  SessionManager server(&pl.predictor(), &pl.model(), ServeConfig{});
+  const auto id = server.open_session();
+  for (const auto& f : sequence_frames(3, 6)) server.submit_frame(id, f);
+  server.drain();
+  server.poll_results(id);
+
+  const auto json = server.stats_json();
+  for (const char* key :
+       {"\"sessions\"", "\"frames_in\"", "\"frames_out\"", "\"drops\"",
+        "\"queue_rejected\"", "\"drop_rate\"", "\"queue_depth_hwm\"",
+        "\"latency_ms\"", "\"p99\"", "\"stages\"", "\"queue_wait\"",
+        "\"backends\"", "\"per_session\"", "\"detailed\""})
+    EXPECT_NE(json.find(key), std::string::npos) << "missing key " << key;
 }
 
 // --------------------------------------------------- raw-cube ingestion --
