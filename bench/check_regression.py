@@ -36,6 +36,13 @@ on:
     --overhead-tol percent (default 5; absolute cap, not baseline-
     relative) — the per-stage stats layer must stay ~free (<= 2% by
     design; the tolerance adds shared-core noise headroom).
+  * any *adapted-clone RAM* key (containing "ram_mb_per_10k_sessions")
+    growing more than --ram-tol (default 10%) above the baseline —
+    resident clone RAM is deterministic (resident clones x bytes per
+    clone), so growth means the clone store's eviction budget or its
+    accounting regressed.  The capped-over-full reduction ratio is
+    additionally gated through the generic speedup rule
+    (clone_ram_reduction_speedup_x).
 
 Rows inside JSON arrays are matched by their identity keys (backend,
 threads, sessions, batch, stage) so a CI host with more cores than the
@@ -49,7 +56,7 @@ import argparse
 import json
 import sys
 
-IDENTITY_KEYS = ("backend", "threads", "sessions", "batch", "stage")
+IDENTITY_KEYS = ("backend", "threads", "sessions", "batch", "stage", "cap")
 
 
 def row_key(row):
@@ -84,6 +91,10 @@ def is_overhead(key):
     return "overhead_pct" in key
 
 
+def is_ram_budget(key):
+    return "ram_mb_per_10k_sessions" in key
+
+
 def compare(baseline, fresh, path, args, failures, checked):
     if isinstance(baseline, dict):
         if not isinstance(fresh, dict):
@@ -93,7 +104,8 @@ def compare(baseline, fresh, path, args, failures, checked):
             if key not in fresh:
                 if (is_speedup(key) or is_loss(key) or
                         is_detection_count(key) or is_equivalence_flag(key) or
-                        is_p99(key) or is_drop_rate(key) or is_overhead(key)):
+                        is_p99(key) or is_drop_rate(key) or
+                        is_overhead(key) or is_ram_budget(key)):
                     failures.append(f"{path}.{key}: missing from fresh run")
                 continue
             compare(base_val, fresh[key], f"{path}.{key}", args, failures,
@@ -173,6 +185,17 @@ def compare(baseline, fresh, path, args, failures, checked):
                     f"{path}: telemetry overhead {fresh:.2f}% exceeds the "
                     f"absolute cap of {args.overhead_tol:g}% — the stats "
                     "layer is no longer ~free")
+        elif is_ram_budget(key):
+            checked.append(path)
+            # Resident clone RAM is deterministic (clones * bytes-per-
+            # clone), so any growth beyond the small tolerance means the
+            # eviction budget or the accounting changed.
+            if fresh > baseline * (1.0 + args.ram_tol):
+                failures.append(
+                    f"{path}: adapted-clone RAM {fresh:.1f} MB/10k sessions "
+                    f"grew past baseline {baseline:.1f} * "
+                    f"{1.0 + args.ram_tol:g} — clone eviction budget "
+                    "regression")
 
 
 def main():
@@ -197,6 +220,9 @@ def main():
     parser.add_argument("--overhead-tol", type=float, default=5.0,
                         help="absolute cap (percent) on the measured "
                              "telemetry overhead")
+    parser.add_argument("--ram-tol", type=float, default=0.10,
+                        help="max allowed fractional growth of the "
+                             "RAM-per-10k-adapting-sessions keys")
     args = parser.parse_args()
 
     with open(args.baseline) as f:

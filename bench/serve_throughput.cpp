@@ -48,6 +48,7 @@
 #include <cmath>
 #include <cstdio>
 #include <deque>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -205,6 +206,110 @@ struct StatsOverhead {
   }
 };
 
+/// One cell of the clone-store sweep: N adapting sessions served in
+/// frame-by-frame lockstep under a resident-clone cap (0 = every clone
+/// stays in RAM).  The capped runs measure what bounding adapted-clone
+/// RAM costs: eviction/rehydration churn and the rehydrate-stage tail.
+struct CloneCaseRow {
+  std::size_t cap = 0;  ///< max resident clones; 0 = full-resident
+  double fps = 0.0;
+  std::uint64_t evictions = 0;
+  std::uint64_t rehydrations = 0;
+  double rehydrate_p99_ms = 0.0;
+  std::size_t resident_bytes = 0;  ///< resident clone RAM after the run
+  std::size_t disk_bytes = 0;      ///< delta checkpoints on disk
+};
+
+struct CloneSweep {
+  std::size_t sessions = 0;
+  std::size_t frames = 0;
+  std::size_t bytes_per_clone = 0;
+  std::vector<CloneCaseRow> rows;  ///< rows[0] is the full-resident case
+
+  /// Resident clone RAM normalized to 10k adapting sessions (MiB).  For
+  /// the full-resident case this scales linearly with sessions; under a
+  /// cap it is bounded by cap * bytes_per_clone regardless of sessions.
+  double ram_mb_per_10k(const CloneCaseRow& row) const {
+    return static_cast<double>(row.resident_bytes) /
+           static_cast<double>(sessions) * 10000.0 / (1024.0 * 1024.0);
+  }
+};
+
+CloneCaseRow run_clone_case(
+    fuse::core::FusePipeline& pl,
+    const std::vector<std::vector<const fuse::data::LabeledFrame*>>& streams,
+    std::size_t cap, const std::string& dir) {
+  namespace fs = std::filesystem;
+  fs::remove_all(dir);
+  const std::size_t n_frames = streams.empty() ? 0 : streams[0].size();
+  fuse::serve::ServeConfig cfg;
+  cfg.max_sessions = streams.size();
+  cfg.max_batch = 16;
+  cfg.session.queue_capacity = 16;
+  cfg.session.results_capacity = n_frames;
+  cfg.session.adapt.enabled = true;
+  cfg.session.adapt.min_samples = 8;
+  cfg.session.adapt.round_every = 8;
+  cfg.session.adapt.steps_per_round = 1;
+  cfg.session.adapt.buffer_capacity = 16;
+  cfg.clone_store.dir = dir;
+  cfg.clone_store.max_resident_clones = cap;
+  fuse::serve::SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  std::vector<fuse::serve::SessionId> ids;
+  for (std::size_t s = 0; s < streams.size(); ++s)
+    ids.push_back(server.open_session());
+
+  // Frame-by-frame lockstep (one pass per row of frames): every pass
+  // touches every session, so a cap below the session count forces
+  // eviction + rehydration churn on each pass — the worst-case access
+  // pattern for the store, hence an honest cost measurement.
+  fuse::util::Stopwatch sw;
+  for (std::size_t i = 0; i < n_frames; ++i) {
+    for (std::size_t s = 0; s < streams.size(); ++s)
+      server.submit_frame(ids[s], streams[s][i]->cloud,
+                          &streams[s][i]->label);
+    server.drain();
+  }
+  const double secs = sw.seconds();
+  for (const auto id : ids) (void)server.poll_results(id);
+
+  const auto stats = server.stats();
+  CloneCaseRow row;
+  row.cap = cap;
+  row.fps = static_cast<double>(n_frames * streams.size()) / secs;
+  row.evictions = stats.clone_store.evictions;
+  row.rehydrations = stats.clone_store.rehydrations;
+  row.resident_bytes = stats.clone_store.resident_bytes;
+  row.disk_bytes = stats.clone_store.disk_bytes;
+  for (const auto& st : stats.stages)
+    if (st.stage == "rehydrate") row.rehydrate_p99_ms = st.p99_ms;
+  fs::remove_all(dir);
+  return row;
+}
+
+CloneSweep run_clone_sweep(fuse::core::FusePipeline& pl,
+                           const std::string& out_dir, bool smoke) {
+  CloneSweep sweep;
+  sweep.sessions = 10;
+  sweep.frames = smoke ? 24 : 48;
+  const auto& ds = pl.dataset();
+  std::vector<std::vector<const fuse::data::LabeledFrame*>> streams(
+      sweep.sessions);
+  for (std::size_t s = 0; s < sweep.sessions; ++s) {
+    const auto [start, len] = ds.sequences.at(s % ds.sequences.size());
+    for (std::size_t i = 0; i < sweep.frames; ++i)
+      streams[s].push_back(&ds.frames[start + (i % len)]);
+  }
+  // cap 0 = the pre-store behaviour (every clone resident); cap 2 with 10
+  // adapting sessions is the headline 5x RAM reduction case.
+  for (const std::size_t cap : {std::size_t{0}, std::size_t{4},
+                                std::size_t{2}})
+    sweep.rows.push_back(
+        run_clone_case(pl, streams, cap, out_dir + "/clone_store_bench"));
+  sweep.bytes_per_clone = pl.model().num_params() * 2 * sizeof(float);
+  return sweep;
+}
+
 /// Raw-cube ingestion measurement (--raw-cubes): the full
 /// sensor-to-prediction path, naive per-session DSP + single-sample NN vs
 /// the serving runtime's submit_cube scheduler path.
@@ -288,7 +393,7 @@ void write_json(const std::string& path, std::size_t sessions,
                 std::size_t frames, const std::vector<BackendRow>& rows,
                 double int8_speedup, const AccuracyCheck& acc,
                 const RawCubeRun& raw, const fuse::serve::ServeStats& gemm,
-                const StatsOverhead& overhead) {
+                const StatsOverhead& overhead, const CloneSweep& clones) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
@@ -345,6 +450,45 @@ void write_json(const std::string& path, std::size_t sessions,
                  "\"raw_cube_speedup_server_over_naive\": %.3f},\n",
                  raw.sessions, raw.frames, raw.naive_fps, raw.server_fps,
                  raw.speedup());
+  }
+  // Clone-store sweep: the RAM-per-10k-adapting-sessions pair and the
+  // rehydrate-stage p99 are regression-gated (check_regression.py); rows
+  // are matched by their "cap" identity key.
+  if (!clones.rows.empty()) {
+    const auto& full = clones.rows.front();
+    const auto& tight = clones.rows.back();
+    std::fprintf(f, "  \"clone_store\": {\n");
+    std::fprintf(f, "    \"sessions\": %zu, \"frames\": %zu, "
+                 "\"bytes_per_clone\": %zu,\n",
+                 clones.sessions, clones.frames, clones.bytes_per_clone);
+    std::fprintf(f, "    \"sweep\": [\n");
+    for (std::size_t i = 0; i < clones.rows.size(); ++i) {
+      const auto& r = clones.rows[i];
+      std::fprintf(f,
+                   "      {\"cap\": %zu, \"fps\": %.1f, "
+                   "\"evictions\": %llu, \"rehydrations\": %llu, "
+                   "\"rehydrate_p99_ms\": %.4f, "
+                   "\"resident_clone_mb\": %.2f}%s\n",
+                   r.cap, r.fps,
+                   static_cast<unsigned long long>(r.evictions),
+                   static_cast<unsigned long long>(r.rehydrations),
+                   r.rehydrate_p99_ms,
+                   static_cast<double>(r.resident_bytes) /
+                       (1024.0 * 1024.0),
+                   i + 1 < clones.rows.size() ? "," : "");
+    }
+    std::fprintf(f, "    ],\n");
+    std::fprintf(f, "    \"clone_full_ram_mb_per_10k_sessions\": %.1f,\n",
+                 clones.ram_mb_per_10k(full));
+    std::fprintf(f, "    \"clone_ram_mb_per_10k_sessions\": %.1f,\n",
+                 clones.ram_mb_per_10k(tight));
+    std::fprintf(f, "    \"clone_ram_reduction_speedup_x\": %.2f,\n",
+                 clones.ram_mb_per_10k(tight) > 0.0
+                     ? clones.ram_mb_per_10k(full) /
+                           clones.ram_mb_per_10k(tight)
+                     : 0.0);
+    std::fprintf(f, "    \"clone_rehydrate_p99_ms\": %.4f\n  },\n",
+                 tight.rehydrate_p99_ms);
   }
   std::fprintf(f, "  \"query_loss_fp32\": %.6f,\n", acc.loss_fp32);
   std::fprintf(f, "  \"query_loss_int8\": %.6f,\n", acc.loss_int8);
@@ -538,6 +682,39 @@ int main(int argc, char** argv) {
               overhead.overhead_pct() <= 2.0 ? "(within 2% budget)"
                                              : "(EXCEEDS 2% BUDGET!)");
 
+  // ----------------------------------------------- clone-store sweep --
+  // Resident-clone caps against 10 adapting sessions in frame-by-frame
+  // lockstep: the RAM-vs-throughput trade of delta checkpointing + LRU
+  // eviction + rehydration, normalized to RAM per 10k adapting sessions.
+  const auto clones = run_clone_sweep(pl, cli.out_dir(), smoke);
+  fuse::util::Table clone_table(
+      "clone store (10 adapting sessions, resident-clone caps)");
+  clone_table.set_header({"cap", "frames/sec", "evictions", "rehydrations",
+                          "rehydrate p99 ms", "resident MB",
+                          "MB / 10k sessions"});
+  for (const auto& r : clones.rows)
+    clone_table.add_row(
+        {r.cap == 0 ? "none" : std::to_string(r.cap),
+         fuse::util::Table::num(r.fps, 0), std::to_string(r.evictions),
+         std::to_string(r.rehydrations),
+         fuse::util::Table::num(r.rehydrate_p99_ms, 3),
+         fuse::util::Table::num(
+             static_cast<double>(r.resident_bytes) / (1024.0 * 1024.0), 1),
+         fuse::util::Table::num(clones.ram_mb_per_10k(r), 0)});
+  std::printf("\n%s\n", clone_table.to_string().c_str());
+  const double ram_reduction =
+      clones.ram_mb_per_10k(clones.rows.back()) > 0.0
+          ? clones.ram_mb_per_10k(clones.rows.front()) /
+                clones.ram_mb_per_10k(clones.rows.back())
+          : 0.0;
+  std::printf("adapted-clone RAM per 10k sessions: %.0f MB full-resident "
+              "vs %.0f MB at cap %zu = %.1fx reduction %s\n",
+              clones.ram_mb_per_10k(clones.rows.front()),
+              clones.ram_mb_per_10k(clones.rows.back()),
+              clones.rows.back().cap, ram_reduction,
+              ram_reduction >= 5.0 ? "(>= 5x target met)"
+                                   : "(below 5x target!)");
+
   // ------------------------------------------- raw-cube ingestion mode --
   RawCubeRun raw;
   if (cli.has("raw-cubes")) {
@@ -551,7 +728,7 @@ int main(int argc, char** argv) {
 
   write_json(cli.out_dir() + "/BENCH_serve.json", kSweepSessions,
              sweep_frames, rows, int8_speedup, acc, raw, gemm_stats,
-             overhead);
+             overhead, clones);
 
   // Full structured snapshot of the gemm sweep run — the same payload
   // SessionManager::stats_json() serves live; uploaded as a CI artifact

@@ -2,9 +2,10 @@
 """Self-test for the p99 / drop-rate / overhead gates in check_regression.py.
 
 Takes the committed serve baseline, injects synthetic regressions into a
-copy (p99 latencies tripled, drop rate +0.5, telemetry overhead 25%) and
-asserts the gate exits non-zero with a REGRESSION line for each — then
-replays the baseline against itself and asserts a clean pass.  This is
+copy (p99 latencies tripled, drop rate +0.5, telemetry overhead 25%,
+adapted-clone RAM per 10k sessions x10) and asserts the gate exits
+non-zero with a REGRESSION line for each — then replays the baseline
+against itself and asserts a clean pass.  This is
 the "demonstrated gate" required by the observability PR: proof the CI
 step would actually catch a tail-latency or backpressure regression, not
 just parse the JSON.
@@ -59,6 +60,13 @@ def inject_overhead(doc):
     mutate(doc, lambda k, v: 25.0 if "overhead_pct" in k else v)
 
 
+def inject_ram(doc):
+    # A clone-eviction regression: resident RAM per 10k adapting sessions
+    # balloons (as if eviction stopped honouring the budget).
+    mutate(doc, lambda k, v: v * 10.0
+           if "ram_mb_per_10k_sessions" in k else v)
+
+
 def main():
     baseline_path = sys.argv[1] if len(sys.argv) > 1 else DEFAULT_BASELINE
     with open(baseline_path) as f:
@@ -102,6 +110,11 @@ def main():
     inject_overhead(doc)
     check("injected telemetry overhead caught", doc, want_fail=True,
           want_text="overhead")
+
+    doc = copy.deepcopy(baseline)
+    inject_ram(doc)
+    check("injected clone-RAM regression caught", doc, want_fail=True,
+          want_text="adapted-clone RAM")
 
     if failures:
         for f in failures:

@@ -9,11 +9,23 @@
 // server uses to fine-tune a per-patient copy of the meta-learned model
 // online — the paper's fast-adaptation result, applied at serving time.
 //
+// The server runs under a deliberately tight clone budget
+// (--clone-budget resident adapted clones, default 2): idle patients'
+// fine-tuned models are delta-checkpointed to disk and evicted live,
+// then rehydrated bit-exactly when their room streams again.  After the
+// day's session the demo closes the clinic (persist_clones), boots a
+// fresh server the "next morning" (restore_clones) and shows every
+// adapted patient resuming from their own model — the warm-restart
+// story, with the clone-store counters printed at exit.
+//
 // Run: ./clinic_server [--scale=0.5] [--patients=8] [--frames=80]
+//                      [--clone-budget=2]
 
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -48,13 +60,26 @@ int main(int argc, char** argv) {
               pipeline.model().num_params(), sw.seconds());
 
   // The serving runtime around the trained pipeline, sized to the clinic.
+  // The clone store keeps at most --clone-budget adapted models in RAM;
+  // the rest live as delta checkpoints next to the process and rehydrate
+  // on demand — watch the [live] eviction/rehydration counters.
+  const std::string clone_dir =
+      std::filesystem::temp_directory_path().string() +
+      "/fuse_clinic_clones";
+  std::filesystem::remove_all(clone_dir);
   fuse::serve::ServeConfig scfg;
   scfg.max_sessions = std::max<std::size_t>(n_patients, 1);
   scfg.max_batch = 16;
   scfg.session.queue_capacity = 32;
   scfg.session.results_capacity = n_frames;
-  fuse::serve::SessionManager server(&pipeline.predictor(),
-                                     &pipeline.model(), scfg);
+  scfg.clone_store.dir = clone_dir;
+  scfg.clone_store.max_resident_clones = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, cli.get_int("clone-budget", 2)));
+  auto server_ptr = std::make_unique<fuse::serve::SessionManager>(
+      &pipeline.predictor(), &pipeline.model(), scfg);
+  auto& server = *server_ptr;
+  std::printf("clone store: dir %s, budget %zu resident adapted clones\n\n",
+              clone_dir.c_str(), scfg.clone_store.max_resident_clones);
 
   // Odd-numbered patients get online adaptation from labeled calibration
   // frames; even-numbered ones serve the shared model as-is.
@@ -90,11 +115,17 @@ int main(int argc, char** argv) {
       for (const auto& st : live.stages)
         if (st.stage == "infer") infer_p99 = st.p99_ms;
       std::printf("  [live] in %llu  out %llu  batches %llu  queue hwm %zu  "
-                  "infer p99 %.2f ms  drop rate %.4f\n",
+                  "infer p99 %.2f ms  drop rate %.4f  clones %zu/%zu "
+                  "resident  evictions %llu  rehydrations %llu\n",
                   static_cast<unsigned long long>(live.frames_in),
                   static_cast<unsigned long long>(live.frames_out),
                   static_cast<unsigned long long>(live.batches),
-                  live.queue_depth_hwm, infer_p99, live.drop_rate);
+                  live.queue_depth_hwm, infer_p99, live.drop_rate,
+                  live.clone_store.resident, live.clone_store.tracked,
+                  static_cast<unsigned long long>(
+                      live.clone_store.evictions),
+                  static_cast<unsigned long long>(
+                      live.clone_store.rehydrations));
     }
   });
 
@@ -154,8 +185,64 @@ int main(int argc, char** argv) {
               stats.latency_p50_ms, stats.latency_p95_ms,
               stats.latency_p99_ms, stats.latency_max_ms);
 
+  const auto cs = stats.clone_store;
+  std::printf("clone store (day 1): %zu tracked, %zu resident, "
+              "%llu evictions, %llu rehydrations, %llu checkpoint writes, "
+              "%.1f MB on disk\n",
+              cs.tracked, cs.resident,
+              static_cast<unsigned long long>(cs.evictions),
+              static_cast<unsigned long long>(cs.rehydrations),
+              static_cast<unsigned long long>(cs.checkpoint_writes),
+              static_cast<double>(cs.disk_bytes) / (1024.0 * 1024.0));
+
+  // ------------------------------------------------------ warm restart --
+  // The clinic closes: checkpoint every patient's adapted model + the
+  // manifest, tear the whole server down, and boot a fresh one against
+  // the same store directory — the "next morning" process.  Each adapted
+  // patient resumes from their own fine-tuned model (rehydrated on their
+  // first frame), not from the shared meta-init.
+  std::printf("\nclinic closing: persisting adapted clones...\n");
+  server.persist_clones();
+  server_ptr.reset();
+
+  fuse::serve::SessionConfig restored_cfg = scfg.session;
+  restored_cfg.adapt.enabled = true;  // restored patients keep adapting
+  fuse::serve::SessionManager morning(&pipeline.predictor(),
+                                      &pipeline.model(), scfg);
+  const auto restored = morning.restore_clones(restored_cfg);
+  std::printf("next morning: restored %zu adapted patients from %s\n",
+              restored.size(), clone_dir.c_str());
+
+  // A short unlabeled morning round per restored patient.
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (const auto id : restored) {
+      // Same room -> same sequence as yesterday (ids are 1-based).
+      const auto p = static_cast<std::size_t>(id - 1) % n_patients;
+      const auto [start, len] = ds.sequences[seq_of[p]];
+      morning.submit_frame(id, ds.frames[start + (i % len)].cloud);
+    }
+    morning.drain();
+  }
+  fuse::util::Table morning_table("morning round (restored sessions)");
+  morning_table.set_header({"patient", "frames", "model", "rounds"});
+  const auto mstats = morning.stats();
+  for (const auto& ss : mstats.per_session)
+    morning_table.add_row(
+        {"P" + std::to_string(ss.id - 1),
+         std::to_string(morning.poll_results(ss.id).size()),
+         fuse::serve::adapt_state_name(ss.adapt_state),
+         std::to_string(ss.adapt_rounds)});
+  std::printf("%s\n", morning_table.to_string().c_str());
+  const auto mcs = mstats.clone_store;
+  std::printf("clone store (after restart): %zu tracked, %zu resident, "
+              "%llu rehydrations — every adapted patient came back from "
+              "disk\n",
+              mcs.tracked, mcs.resident,
+              static_cast<unsigned long long>(mcs.rehydrations));
+
   // The machine-readable version of everything above — what a deployment
   // would return from its /stats endpoint.
-  std::printf("\nstats_json payload:\n%s\n", server.stats_json().c_str());
+  std::printf("\nstats_json payload:\n%s\n", morning.stats_json().c_str());
+  std::filesystem::remove_all(clone_dir);
   return 0;
 }

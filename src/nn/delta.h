@@ -1,0 +1,106 @@
+#pragma once
+// Parameter-delta checkpoints: a per-user adapted model serialized as its
+// difference against the shared meta-initialization.
+//
+// The serving runtime clones the meta-init once per adapting user and
+// fine-tunes the clone online (serve::Scheduler::maybe_adapt).  Keeping a
+// full fp32 clone resident per user is ~8 bytes/parameter (params + grads)
+// and dies at thousands of users; a delta checkpoint is what the clone
+// store (serve/clone_store) evicts to disk and rehydrates from.
+//
+// Three encodings, chosen per parameter tensor by DeltaConfig:
+//
+//  * kFp32 (default) — BIT-EXACT round trip.  The delta records the raw
+//    adapted bit patterns at the indices whose bits differ from the base;
+//    rehydration copies the base and patches those indices.  No float
+//    arithmetic is involved (storing a - b and re-adding b is NOT
+//    bit-exact in IEEE arithmetic), so rehydrate(base, extract(adapted))
+//    reproduces `adapted` exactly.  Tensors where most entries changed
+//    (e.g. full-network SGD) fall back to a dense raw dump automatically —
+//    still bit-exact, never larger than ~1.0x the fp32 tensor.
+//    sparse_threshold > 0 additionally drops indices with
+//    |adapted - base| <= threshold (lossy, error bounded by threshold per
+//    weight; 0 keeps the exact contract).
+//
+//  * kInt8 — the PR-4 quantization idiom applied to the delta: per-tensor
+//    symmetric scale = absmax(adapted - base) / 127, one int8 per
+//    parameter.  Rehydration computes base + q * scale; the worst-case
+//    per-weight error is scale / 2 = absmax / 254 (the derived tolerance
+//    the tests assert).  4x smaller than a dense fp32 delta, for sessions
+//    where the int8 serving error budget already applies.
+//
+// The on-disk format is architecture-tagged like Module::save and carries
+// the same payload length + FNV-1a checksum footer, so a truncated or
+// corrupt clone-store file throws at load instead of rehydrating garbage
+// into a user's model.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace fuse::nn {
+
+enum class DeltaMode : std::uint8_t {
+  kFp32 = 0,  ///< sparse-by-changed-bits / dense raw values; bit-exact
+  kInt8 = 1,  ///< per-tensor symmetric int8 delta; error <= absmax/254
+};
+
+struct DeltaConfig {
+  DeltaMode mode = DeltaMode::kFp32;
+  /// kFp32 only: drop indices with |adapted - base| <= threshold (their
+  /// rehydrated value is the base value).  0 = bit-exact.
+  float sparse_threshold = 0.0f;
+};
+
+/// One serialized adapted-vs-base parameter set.
+struct ParamDelta {
+  /// Per-tensor encoding, mirroring the order of Module::params().
+  struct Entry {
+    enum class Kind : std::uint8_t {
+      kSparseFp32 = 0,  ///< idx[i] gets raw value[i]; others keep base
+      kDenseFp32 = 1,   ///< full raw adapted values
+      kInt8 = 2,        ///< adapted = base + q * scale
+    };
+    Kind kind = Kind::kSparseFp32;
+    std::uint64_t numel = 0;
+    std::vector<std::uint32_t> idx;     ///< kSparseFp32
+    std::vector<float> values;          ///< kSparseFp32 / kDenseFp32
+    std::vector<std::int8_t> q;         ///< kInt8
+    float scale = 0.0f;                 ///< kInt8
+  };
+
+  std::string arch;  ///< Module::arch_name() of base and adapted
+  std::vector<Entry> entries;
+
+  bool empty() const { return entries.empty(); }
+  /// Serialized payload size in bytes (the clone store's disk accounting).
+  std::size_t payload_bytes() const;
+
+  void save(std::ostream& os) const;
+  static ParamDelta load(std::istream& is);
+  void save_file(const std::string& path) const;
+  static ParamDelta load_file(const std::string& path);
+};
+
+/// Encodes `adapted - base`.  Throws std::invalid_argument when the two
+/// models' architectures or parameter shapes differ.
+ParamDelta extract_delta(const Module& adapted, const Module& base,
+                         const DeltaConfig& cfg = {});
+
+/// Applies `delta` on top of `base` into `target` (all three must share
+/// the architecture; `target` may alias neither).  Throws
+/// std::runtime_error on an arch/shape mismatch.
+void apply_delta(const Module& base, const ParamDelta& delta, Module& target);
+
+/// Convenience: clone(base) + apply_delta — the clone-store rehydration
+/// primitive.  kFp32 deltas with threshold 0 reproduce the adapted model
+/// bit-exactly.
+std::unique_ptr<Module> rehydrate_from_delta(const Module& base,
+                                             const ParamDelta& delta);
+
+}  // namespace fuse::nn

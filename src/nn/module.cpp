@@ -3,7 +3,10 @@
 #include <atomic>
 #include <cstdint>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
+
+#include "util/checksum.h"
 
 namespace fuse::nn {
 
@@ -11,8 +14,13 @@ namespace {
 
 std::atomic<Backend> g_default_backend{Backend::kNaive};
 
-// Serialization header: magic + format version + architecture tag.
-constexpr char kMagic[8] = {'F', 'U', 'S', 'E', 'M', 'O', 'D', '1'};
+// Serialization header: magic + format version + architecture tag.  The
+// version-2 format appends a payload length + FNV-1a checksum between the
+// header and the parameter payload, so a truncated or bit-flipped
+// checkpoint file throws at load time instead of silently deserializing
+// garbage weights into a serving model.
+constexpr char kMagic[8] = {'F', 'U', 'S', 'E', 'M', 'O', 'D', '2'};
+constexpr char kMagicV1[8] = {'F', 'U', 'S', 'E', 'M', 'O', 'D', '1'};
 
 void write_u64(std::ostream& os, std::uint64_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -112,16 +120,29 @@ void Module::save(std::ostream& os) const {
   const std::string arch = arch_name();
   write_u64(os, arch.size());
   os.write(arch.data(), static_cast<std::streamsize>(arch.size()));
+  // Serialize the parameter payload to memory first: the length + checksum
+  // footer guards exactly these bytes, so load() can verify integrity
+  // before a single tensor is deserialized.
+  std::ostringstream payload_os(std::ios::binary);
   const auto ps = params();
-  write_u64(os, ps.size());
-  for (const Tensor* p : ps) p->save(os);
+  write_u64(payload_os, ps.size());
+  for (const Tensor* p : ps) p->save(payload_os);
+  const std::string payload = payload_os.str();
+  write_u64(os, payload.size());
+  write_u64(os, fuse::util::fnv1a(payload.data(), payload.size()));
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
 }
 
 void Module::load(std::istream& is) {
   char magic[sizeof(kMagic)] = {};
   is.read(magic, sizeof(magic));
-  if (!is || std::string(magic, sizeof(magic)) !=
-                 std::string(kMagic, sizeof(kMagic)))
+  if (!is) throw std::runtime_error("Module::load: not a FUSE model stream");
+  if (std::string(magic, sizeof(magic)) ==
+      std::string(kMagicV1, sizeof(kMagicV1)))
+    throw std::runtime_error(
+        "Module::load: legacy unchecksummed FUSEMOD1 stream (re-save the "
+        "checkpoint with this build)");
+  if (std::string(magic, sizeof(magic)) != std::string(kMagic, sizeof(kMagic)))
     throw std::runtime_error("Module::load: not a FUSE model stream");
   const std::uint64_t arch_len = read_u64(is);
   if (arch_len > 4096)
@@ -132,8 +153,30 @@ void Module::load(std::istream& is) {
   if (arch != arch_name())
     throw std::runtime_error("Module::load: architecture mismatch (stream '" +
                              arch + "' vs model '" + arch_name() + "')");
-  const std::uint64_t count = read_u64(is);
-  auto ps = params();
+  // Integrity gate: the architecture tag matched, so the payload length is
+  // fully determined by the model — a different stored length is corruption
+  // (and also caps the allocation below before trusting stream bytes).
+  const auto ps = params();
+  std::uint64_t expect_len = sizeof(std::uint64_t);
+  for (const Tensor* p : ps)
+    expect_len += sizeof(std::uint64_t) * (1 + p->ndim()) +
+                  p->numel() * sizeof(float);
+  const std::uint64_t payload_len = read_u64(is);
+  if (payload_len != expect_len)
+    throw std::runtime_error("Module::load: payload length mismatch (" +
+                             std::to_string(payload_len) + " vs expected " +
+                             std::to_string(expect_len) +
+                             " bytes — truncated or corrupt stream)");
+  const std::uint64_t stored_sum = read_u64(is);
+  std::string payload(payload_len, '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(payload_len));
+  if (!is || static_cast<std::uint64_t>(is.gcount()) != payload_len)
+    throw std::runtime_error("Module::load: truncated stream");
+  if (fuse::util::fnv1a(payload.data(), payload.size()) != stored_sum)
+    throw std::runtime_error(
+        "Module::load: payload checksum mismatch (corrupt checkpoint)");
+  std::istringstream payload_is(payload, std::ios::binary);
+  const std::uint64_t count = read_u64(payload_is);
   if (count != ps.size())
     throw std::runtime_error("Module::load: parameter count mismatch");
   // Stage and validate every tensor before committing any, so a mismatch
@@ -141,7 +184,7 @@ void Module::load(std::istream& is) {
   std::vector<Tensor> staged;
   staged.reserve(ps.size());
   for (const Tensor* p : ps) {
-    Tensor t = Tensor::load(is);
+    Tensor t = Tensor::load(payload_is);
     if (t.shape() != p->shape())
       throw std::runtime_error("Module::load: parameter shape mismatch");
     staged.push_back(std::move(t));

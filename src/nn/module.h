@@ -141,11 +141,13 @@ class Module {
   virtual std::string arch_name() const = 0;
 
   // ------------------------------------------------------ serialization --
-  /// Writes an architecture-tagged header followed by every parameter.
+  /// Writes an architecture-tagged header, a payload length + FNV-1a
+  /// checksum footer, then every parameter.
   void save(std::ostream& os) const;
   /// Loads a stream written by save(); throws std::runtime_error when the
-  /// stored architecture tag or any parameter shape does not match this
-  /// model (no silent misload).
+  /// stored architecture tag, payload length, payload checksum or any
+  /// parameter shape does not match this model (no silent misload — a
+  /// truncated or bit-flipped checkpoint fails loudly).
   void load(std::istream& is);
   void save_file(const std::string& path) const;
   void load_file(const std::string& path);

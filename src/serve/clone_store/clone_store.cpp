@@ -1,0 +1,241 @@
+#include "serve/clone_store/clone_store.h"
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "util/log.h"
+
+namespace fuse::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+// Manifest header: bumping it invalidates old manifests in one place.
+constexpr const char* kManifestMagic = "FUSECLONES1";
+}  // namespace
+
+void CloneStore::configure(CloneStoreConfig cfg, const fuse::nn::Module* base) {
+  if (base == nullptr)
+    throw std::invalid_argument("CloneStore::configure: null base model");
+  cfg_ = std::move(cfg);
+  base_ = base;
+  enabled_ = !cfg_.dir.empty();
+  // Resident accounting: a clone deep-copies params AND grads (Module::
+  // clone), so one adapting user pins ~8 bytes per parameter.
+  clone_bytes_ = base_->num_params() * 2 * sizeof(float);
+  if (enabled_) fs::create_directories(cfg_.dir);
+}
+
+std::string CloneStore::path_for(SessionId id) const {
+  return cfg_.dir + "/clone_" + std::to_string(id) + ".delta";
+}
+
+std::string CloneStore::manifest_path() const {
+  return cfg_.dir + "/clones.manifest";
+}
+
+void CloneStore::begin_pass() {
+  ++clock_;
+  std::vector<SessionId> forgets;
+  {
+    std::lock_guard<std::mutex> lock(forget_mu_);
+    forgets.swap(pending_forgets_);
+  }
+  for (const SessionId id : forgets) forget(id);
+}
+
+bool CloneStore::ensure_resident(Session& s) {
+  const auto it = entries_.find(s.id());
+  if (it == entries_.end()) return false;  // no clone tracked: shared model
+  Entry& e = it->second;
+  e.last_used = clock_;
+  if (e.resident) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  const auto delta = fuse::nn::ParamDelta::load_file(path_for(s.id()));
+  s.adapted_slot() = fuse::nn::rehydrate_from_delta(*base_, delta);
+  // A fresh Session (warm restart) has never seen an adaptation round;
+  // its stats must still read "adapted" once its clone is serving again.
+  s.note_rehydrated();
+  e.resident = true;
+  rehydrations_.fetch_add(1, std::memory_order_relaxed);
+  resident_.fetch_add(1, std::memory_order_relaxed);
+  resident_bytes_.fetch_add(clone_bytes_, std::memory_order_relaxed);
+  return true;
+}
+
+void CloneStore::note_adapted(Session& s) {
+  auto it = entries_.find(s.id());
+  if (it == entries_.end()) {
+    it = entries_.emplace(s.id(), Entry{}).first;
+    tracked_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Entry& e = it->second;
+  if (!e.resident) {
+    e.resident = true;
+    resident_.fetch_add(1, std::memory_order_relaxed);
+    resident_bytes_.fetch_add(clone_bytes_, std::memory_order_relaxed);
+  }
+  e.last_used = clock_;
+  e.stale = true;  // the on-disk checkpoint (if any) is now behind
+}
+
+void CloneStore::forget(SessionId id) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  const Entry e = it->second;
+  entries_.erase(it);
+  tracked_.fetch_sub(1, std::memory_order_relaxed);
+  if (e.resident) {
+    resident_.fetch_sub(1, std::memory_order_relaxed);
+    resident_bytes_.fetch_sub(clone_bytes_, std::memory_order_relaxed);
+  }
+  if (e.on_disk) {
+    std::error_code ec;
+    fs::remove(path_for(id), ec);  // best-effort; accounting drops either way
+    disk_bytes_.fetch_sub(e.file_bytes, std::memory_order_relaxed);
+  }
+}
+
+void CloneStore::request_forget(SessionId id) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(forget_mu_);
+  pending_forgets_.push_back(id);
+}
+
+void CloneStore::checkpoint(Session& s, Entry& e) {
+  const auto delta = fuse::nn::extract_delta(*s.adapted_model(), *base_,
+                                             cfg_.delta);
+  const std::string path = path_for(s.id());
+  delta.save_file(path);
+  if (e.on_disk) disk_bytes_.fetch_sub(e.file_bytes, std::memory_order_relaxed);
+  e.file_bytes = static_cast<std::size_t>(fs::file_size(path));
+  e.on_disk = true;
+  e.stale = false;
+  disk_bytes_.fetch_add(e.file_bytes, std::memory_order_relaxed);
+  checkpoint_writes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t CloneStore::resident_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, e] : entries_) n += e.resident ? 1 : 0;
+  return n;
+}
+
+std::size_t CloneStore::enforce_budget(
+    const std::vector<Session*>& sessions) {
+  if (!enabled_) return 0;
+  const bool cap = cfg_.max_resident_clones > 0;
+  const bool ram = cfg_.ram_budget_bytes > 0;
+  if (!cap && !ram) return 0;
+  std::unordered_map<SessionId, Session*> by_id;
+  by_id.reserve(sessions.size());
+  for (Session* s : sessions) by_id.emplace(s->id(), s);
+  std::size_t evicted = 0;
+  for (;;) {
+    const std::size_t n = resident_count();
+    const bool over = (cap && n > cfg_.max_resident_clones) ||
+                      (ram && n * clone_bytes_ > cfg_.ram_budget_bytes);
+    if (!over) break;
+    // LRU victim: the resident clone with the oldest touch (ties break on
+    // the lower session id, for determinism).  Entries whose session is
+    // not in this pass's set are skipped — a concurrent close already
+    // queued their forget.
+    SessionId victim = 0;
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    bool found = false;
+    for (const auto& [id, e] : entries_) {
+      if (!e.resident || by_id.find(id) == by_id.end()) continue;
+      if (!found || e.last_used < oldest ||
+          (e.last_used == oldest && id < victim)) {
+        victim = id;
+        oldest = e.last_used;
+        found = true;
+      }
+    }
+    if (!found) break;
+    Entry& e = entries_[victim];
+    Session* s = by_id[victim];
+    if (e.stale || !e.on_disk) checkpoint(*s, e);
+    s->adapted_slot().reset();  // the clone's RAM is released here
+    e.resident = false;
+    ++evicted;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    resident_.fetch_sub(1, std::memory_order_relaxed);
+    resident_bytes_.fetch_sub(clone_bytes_, std::memory_order_relaxed);
+    FUSE_LOG_DEBUG("clone_store: evicted session %zu (%zu resident)", victim,
+                   n - 1);
+  }
+  return evicted;
+}
+
+void CloneStore::persist(const std::vector<Session*>& sessions) {
+  if (!enabled_) return;
+  std::unordered_map<SessionId, Session*> by_id;
+  by_id.reserve(sessions.size());
+  for (Session* s : sessions) by_id.emplace(s->id(), s);
+  for (auto& [id, e] : entries_) {
+    if (!e.resident || !(e.stale || !e.on_disk)) continue;
+    const auto it = by_id.find(id);
+    if (it == by_id.end()) continue;  // closing session; forget is queued
+    checkpoint(*it->second, e);
+  }
+  std::ofstream os(manifest_path(), std::ios::trunc);
+  if (!os)
+    throw std::runtime_error("CloneStore::persist: cannot write manifest " +
+                             manifest_path());
+  os << kManifestMagic << "\n";
+  for (const auto& [id, e] : entries_)
+    if (e.on_disk) os << id << "\n";
+}
+
+std::vector<SessionId> CloneStore::restore() {
+  std::vector<SessionId> ids;
+  if (!enabled_) return ids;
+  std::ifstream is(manifest_path());
+  if (!is) return ids;  // cold start: no manifest yet
+  std::string magic;
+  if (!std::getline(is, magic) || magic != kManifestMagic)
+    throw std::runtime_error("CloneStore::restore: bad manifest " +
+                             manifest_path());
+  SessionId id = 0;
+  while (is >> id) {
+    const std::string path = path_for(id);
+    std::error_code ec;
+    const auto size = fs::file_size(path, ec);
+    if (ec)
+      throw std::runtime_error(
+          "CloneStore::restore: manifest names missing checkpoint " + path);
+    Entry e;
+    e.on_disk = true;
+    e.file_bytes = static_cast<std::size_t>(size);
+    entries_.emplace(id, e);
+    tracked_.fetch_add(1, std::memory_order_relaxed);
+    disk_bytes_.fetch_add(e.file_bytes, std::memory_order_relaxed);
+    ids.push_back(id);
+  }
+  FUSE_LOG_DEBUG("clone_store: restored %zu clone checkpoints", ids.size());
+  return ids;
+}
+
+CloneStoreSnapshot CloneStore::stats_snapshot() const {
+  CloneStoreSnapshot out;
+  out.enabled = enabled_;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.rehydrations = rehydrations_.load(std::memory_order_relaxed);
+  out.checkpoint_writes = checkpoint_writes_.load(std::memory_order_relaxed);
+  out.tracked = tracked_.load(std::memory_order_relaxed);
+  out.resident = resident_.load(std::memory_order_relaxed);
+  out.resident_bytes = resident_bytes_.load(std::memory_order_relaxed);
+  out.disk_bytes = disk_bytes_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace fuse::serve

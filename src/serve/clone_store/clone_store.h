@@ -1,0 +1,167 @@
+#pragma once
+// CloneStore — the lifecycle manager for per-user adapted model clones.
+//
+// Online adaptation (Scheduler::maybe_adapt) gives every adapting session a
+// private fp32 clone of the shared meta-initialization: ~8 bytes per
+// parameter (params + grads) of resident RAM per user, which caps a server
+// at a few hundred adapting users.  The clone store breaks that cap:
+//
+//  * delta checkpointing — an idle clone is serialized as its difference
+//    against the shared meta-init (nn::ParamDelta: bit-exact sparse fp32 by
+//    default, optional lossy sparse thresholding or int8 quantization) to
+//    `<dir>/clone_<id>.delta`, then the in-RAM clone is dropped;
+//  * LRU eviction — when resident clones exceed
+//    CloneStoreConfig::max_resident_clones or ram_budget_bytes, the least
+//    recently used sessions' clones are checkpointed and evicted at the end
+//    of the scheduler pass;
+//  * transparent rehydration — before a session's frame is batched (and
+//    before an adaptation round), an evicted clone is rebuilt as
+//    meta-init + delta.  In fp32 mode the rehydrated clone is bit-exact, so
+//    eviction is invisible to pose outputs;
+//  * warm restart — persist() checkpoints every live clone plus a manifest;
+//    restore() re-registers them so a freshly constructed server resumes
+//    every user's adapted model from disk.
+//
+// Thread contract (mirrors Session's scheduler side): every mutating method
+// runs on the scheduler thread only — except request_forget(), which any
+// thread may call (close_session); the pending ids are drained at the start
+// of the next pass.  The counters/gauges behind stats_snapshot() are
+// relaxed atomics, readable from any thread at any time.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/delta.h"
+#include "nn/module.h"
+#include "serve/session.h"
+#include "serve/stats.h"
+
+namespace fuse::serve {
+
+struct CloneStoreConfig {
+  /// Checkpoint directory (created on configure).  Empty = the store is
+  /// disabled and every clone stays resident forever (the pre-store
+  /// behaviour).
+  std::string dir;
+  /// Resident-clone cap; 0 = unlimited (clones still checkpoint on
+  /// persist(), but nothing is evicted mid-serve).
+  std::size_t max_resident_clones = 0;
+  /// Resident-clone RAM budget in bytes (params + grads accounting);
+  /// 0 = unlimited.  Both limits apply; the tighter one wins.
+  std::size_t ram_budget_bytes = 0;
+  /// Delta encoding for checkpoints: kFp32 (default) keeps eviction +
+  /// rehydration bit-exact; kInt8 quarters the checkpoint at the PR-4
+  /// error budget (absmax/254 per weight).
+  fuse::nn::DeltaConfig delta;
+};
+
+class CloneStore {
+ public:
+  CloneStore() = default;
+  CloneStore(const CloneStore&) = delete;
+  CloneStore& operator=(const CloneStore&) = delete;
+
+  /// Binds the store to its checkpoint directory and the shared meta-init
+  /// (borrowed; must outlive the store).  Creates cfg.dir.  Call once,
+  /// before serving starts.
+  void configure(CloneStoreConfig cfg, const fuse::nn::Module* base);
+
+  bool enabled() const { return enabled_; }
+  const CloneStoreConfig& config() const { return cfg_; }
+
+  /// Resident params+grads RAM of one clone (the eviction accounting unit).
+  std::size_t bytes_per_clone() const { return clone_bytes_; }
+
+  // ------------------------------------------------- scheduler-side pass --
+  /// Starts a pass: advances the LRU clock and drains pending forgets.
+  void begin_pass();
+
+  /// Makes the session's adapted clone resident if the store holds an
+  /// evicted checkpoint for it: rebuilds meta-init + delta into the
+  /// session's adapted slot.  Also the LRU touch and the hit/miss counter
+  /// site for sessions with a tracked clone.  Returns true iff a
+  /// rehydration actually ran (the caller's Stage::kRehydrate timing
+  /// gate).
+  bool ensure_resident(Session& s);
+
+  /// Records that an adaptation round ran on the session's (now resident)
+  /// clone: registers it on first sight, marks its checkpoint stale.
+  void note_adapted(Session& s);
+
+  /// Drops the session's entry and deletes its checkpoint (recycle — the
+  /// next subject must not inherit the previous subject's adaptation).
+  void forget(SessionId id);
+
+  /// Any-thread variant of forget() (close_session): queues the id; the
+  /// scheduler drains the queue at the start of its next pass.
+  void request_forget(SessionId id);
+
+  /// Evicts least-recently-used resident clones until both budgets hold,
+  /// checkpointing stale ones first.  `sessions` is the current pass's
+  /// session set (entries whose session is absent are skipped — a
+  /// concurrent close's forget is already queued).  Returns clones
+  /// evicted.  Call at the end of a pass.
+  std::size_t enforce_budget(const std::vector<Session*>& sessions);
+
+  // ------------------------------------------------------- warm restart --
+  /// Checkpoints every tracked clone that is resident-and-stale and writes
+  /// the manifest, so a new process can restore().  Server must be
+  /// stopped (scheduler-thread contract).
+  void persist(const std::vector<Session*>& sessions);
+
+  /// Reads the manifest written by persist() and registers every
+  /// checkpoint as an evicted clone; returns the session ids, which the
+  /// caller (SessionManager::restore_clones) re-creates.  The first frame
+  /// of each session rehydrates its clone transparently.
+  std::vector<SessionId> restore();
+
+  // ---------------------------------------------------------- telemetry --
+  /// Relaxed-atomic snapshot; callable from any thread.
+  CloneStoreSnapshot stats_snapshot() const;
+
+ private:
+  struct Entry {
+    std::uint64_t last_used = 0;  ///< LRU clock value of the last touch
+    bool resident = false;        ///< clone lives in the session's slot
+    bool stale = false;           ///< adapted since the last checkpoint
+    bool on_disk = false;         ///< checkpoint file exists
+    std::size_t file_bytes = 0;   ///< size of the on-disk checkpoint
+  };
+
+  std::string path_for(SessionId id) const;
+  std::string manifest_path() const;
+  /// Writes the session's clone delta to disk and updates accounting.
+  void checkpoint(Session& s, Entry& e);
+  /// Resident-clone RAM and count over the entry map.
+  std::size_t resident_count() const;
+
+  CloneStoreConfig cfg_;
+  const fuse::nn::Module* base_ = nullptr;
+  bool enabled_ = false;
+  std::size_t clone_bytes_ = 0;
+  std::uint64_t clock_ = 0;
+
+  std::unordered_map<SessionId, Entry> entries_;
+
+  std::mutex forget_mu_;
+  std::vector<SessionId> pending_forgets_;  ///< guarded by forget_mu_
+
+  // Lifecycle counters (cumulative) and occupancy gauges, all relaxed:
+  // written by the scheduler thread, read by any stats() caller.
+  std::atomic<std::uint64_t> hits_{0};         ///< lookups: clone resident
+  std::atomic<std::uint64_t> misses_{0};       ///< lookups: clone evicted
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> rehydrations_{0};
+  std::atomic<std::uint64_t> checkpoint_writes_{0};
+  std::atomic<std::size_t> resident_{0};
+  std::atomic<std::size_t> resident_bytes_{0};
+  std::atomic<std::size_t> disk_bytes_{0};
+  std::atomic<std::size_t> tracked_{0};
+};
+
+}  // namespace fuse::serve

@@ -5,6 +5,7 @@
 
 #include "core/finetune.h"
 #include "data/featurize.h"
+#include "serve/clone_store/clone_store.h"
 
 namespace fuse::serve {
 
@@ -29,6 +30,13 @@ PassStats Scheduler::run_once(const std::vector<Session*>& sessions,
   // compiled out, and to a single predictable branch per site when it is
   // merely disabled — the stats-idle zero-cost contract.
   const bool detail = kTelemetryCompiled && detailed_stats_;
+  // Clone-store pass bookkeeping first: advance the LRU clock and drain
+  // forgets queued by close_session, so a closed session's checkpoint is
+  // gone before anything below could resolve its id.
+  CloneStore* store =
+      (clone_store_ != nullptr && clone_store_->enabled()) ? clone_store_
+                                                           : nullptr;
+  if (store) store->begin_pass();
   // Collection: at most one frame per session per pass, until the batch is
   // full or every queue is empty.  The window slides and the sample is
   // featurized immediately, in the session's FIFO order.
@@ -48,12 +56,26 @@ PassStats Scheduler::run_once(const std::vector<Session*>& sessions,
       // before the new subject's first frame touches the window.
       bool recycled = false;
       auto frame = s->pop(&recycled);
-      if (recycled) s->reset_stream_state();
+      if (recycled) {
+        // The next subject must not inherit the previous subject's
+        // adaptation: drop the checkpoint along with the in-RAM state.
+        if (store) store->forget(s->id());
+        s->reset_stream_state();
+      }
       if (!frame) continue;
       any = true;
       if (detail)
         rec.telem.stages.record(Stage::kQueueWait,
                                 mono_seconds() - frame->t_enqueue);
+      // Transparent rehydration: an evicted per-user clone is rebuilt
+      // (meta-init + delta) before this frame can reach partitioning, so
+      // eviction never silently downgrades a user to the shared model.
+      if (store) {
+        const double t_rehy = detail ? mono_seconds() : 0.0;
+        if (store->ensure_resident(*s) && detail)
+          rec.telem.stages.record(Stage::kRehydrate,
+                                  mono_seconds() - t_rehy);
+      }
       // Raw-cube ingestion: run the DSP front-end (range/Doppler FFTs,
       // CFAR, angles) through the scheduler's reusable workspace, then
       // feed the extracted point cloud into the fusion window exactly
@@ -187,6 +209,10 @@ PassStats Scheduler::run_once(const std::vector<Session*>& sessions,
       rec.telem.stages.record(Stage::kAdapt, mono_seconds() - t_adapt);
   }
 
+  // End of pass: evict LRU clones until the resident set fits the store's
+  // RAM budget again (rehydration above may have overshot it briefly).
+  if (store) store->enforce_budget(sessions);
+
   pass.served = collected.size();
   return pass;
 }
@@ -196,6 +222,12 @@ bool Scheduler::maybe_adapt(Session& s) {
   if (!cfg.enabled) return false;
   auto& buffer = s.adapt_buffer();
   if (buffer.size() < cfg.min_samples) return false;
+  // An evicted clone must come back BEFORE the first-round check below:
+  // cloning the shared model for a session whose adapted clone sits on
+  // disk would silently discard the user's adaptation (and the
+  // round-cadence gate must see the true adapted state).
+  if (clone_store_ != nullptr && clone_store_->enabled())
+    clone_store_->ensure_resident(s);
   if (s.fresh_labeled() < cfg.round_every && s.adapted_model() != nullptr)
     return false;
 
@@ -216,6 +248,10 @@ bool Scheduler::maybe_adapt(Session& s) {
                                 cfg.grad_clip);
   s.clear_fresh_labeled();
   s.note_adapt_round(loss);
+  // The round moved the clone past its last checkpoint: register it with
+  // the store (first round) and mark the on-disk delta stale.
+  if (clone_store_ != nullptr && clone_store_->enabled())
+    clone_store_->note_adapted(s);
   return true;
 }
 

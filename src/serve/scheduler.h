@@ -32,6 +32,8 @@
 
 namespace fuse::serve {
 
+class CloneStore;
+
 /// Counters for one run_once pass (the caller owns the cumulative totals,
 /// so the scheduler itself never needs a lock).
 struct PassStats {
@@ -89,6 +91,13 @@ class Scheduler {
     return s.config().backend.value_or(backend_);
   }
 
+  /// Attaches the adapted-clone store (serve/clone_store; borrowed, must
+  /// outlive the scheduler; null or disabled = clones stay resident
+  /// forever).  With a store attached, every pass drains pending forgets,
+  /// rehydrates evicted clones before their sessions' frames are batched
+  /// or adapted, and evicts LRU clones over budget at the end.
+  void set_clone_store(CloneStore* store) { clone_store_ = store; }
+
  private:
   struct Item {
     Session* session = nullptr;
@@ -108,6 +117,7 @@ class Scheduler {
   std::size_t max_batch_;
   fuse::nn::Backend backend_;
   const fuse::radar::Processor* processor_;
+  CloneStore* clone_store_ = nullptr;
   bool detailed_stats_ = true;
 
   // Scheduler-thread scratch (run_once is never concurrent with itself):

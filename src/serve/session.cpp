@@ -97,6 +97,11 @@ void Session::note_adapt_round(float loss) {
   last_adapt_loss_ = loss;
 }
 
+void Session::note_rehydrated() {
+  std::lock_guard<std::mutex> lock(mu_);
+  has_adapted_ = true;
+}
+
 AdaptState Session::adapt_state() const {
   std::lock_guard<std::mutex> lock(mu_);
   if (!cfg_.adapt.enabled) return AdaptState::kShared;

@@ -155,6 +155,12 @@ class Session {
   /// Records a finished adaptation round (for telemetry).
   void note_adapt_round(float loss);
 
+  /// Records that the clone store made this session's adapted clone
+  /// resident again (eviction or warm restart), so adapt_state() reads
+  /// kAdapted even on a freshly restored Session that has never run a
+  /// round in this process.
+  void note_rehydrated();
+
   AdaptState adapt_state() const;
 
   /// Recycle for a new subject (any thread): immediately clears the

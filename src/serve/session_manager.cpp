@@ -21,6 +21,8 @@ SessionManager::SessionManager(const fuse::core::Predictor* predictor,
   if (!shared_model_)
     throw std::invalid_argument("SessionManager: null shared model");
   scheduler_.set_detailed_stats(cfg_.detailed_stats);
+  clone_store_.configure(cfg_.clone_store, shared_model_);
+  scheduler_.set_clone_store(&clone_store_);
 }
 
 SessionManager::~SessionManager() { stop(); }
@@ -38,8 +40,13 @@ SessionId SessionManager::open_session(SessionConfig scfg) {
 }
 
 void SessionManager::close_session(SessionId id) {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
-  sessions_.erase(id);
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.erase(id);
+  }
+  // Scheduler-side cleanup (entry + checkpoint file) happens at the start
+  // of the next pass; until then the store never dereferences the session.
+  clone_store_.request_forget(id);
 }
 
 void SessionManager::recycle_session(SessionId id) {
@@ -178,6 +185,43 @@ void SessionManager::scheduler_loop() {
   }
 }
 
+void SessionManager::persist_clones() {
+  if (running_)
+    throw std::logic_error(
+        "SessionManager::persist_clones: stop() the server first");
+  if (!clone_store_.enabled()) return;
+  // The store's scheduler-thread contract holds here: no scheduler thread
+  // is running, so this caller IS the scheduler side.  Queued forgets are
+  // drained first so closed sessions never reach the manifest.
+  clone_store_.begin_pass();
+  const auto snapshot = snapshot_sessions();
+  std::vector<Session*> sessions;
+  sessions.reserve(snapshot.size());
+  for (const auto& s : snapshot) sessions.push_back(s.get());
+  clone_store_.persist(sessions);
+}
+
+std::vector<SessionId> SessionManager::restore_clones(
+    const SessionConfig& scfg) {
+  if (running_)
+    throw std::logic_error(
+        "SessionManager::restore_clones: call before start()");
+  const auto ids = clone_store_.restore();
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (const SessionId id : ids) {
+    if (sessions_.count(id))
+      throw std::logic_error("SessionManager::restore_clones: session id " +
+                             std::to_string(id) + " already open");
+    sessions_.emplace(id, std::make_shared<Session>(id, scfg));
+    // Fresh ids must never collide with a restored one.
+    next_id_ = std::max(next_id_, id + 1);
+  }
+  if (sessions_.size() > cfg_.max_sessions)
+    throw std::runtime_error("SessionManager: max_sessions reached");
+  FUSE_LOG_DEBUG("serve: restored %zu clone sessions", ids.size());
+  return ids;
+}
+
 ServeStats SessionManager::stats() const {
   ServeStats out;
   const auto snapshot = snapshot_sessions();
@@ -223,6 +267,7 @@ ServeStats SessionManager::stats() const {
   for (std::size_t i = 0; i < kNumBackends; ++i)
     out.backends.push_back(
         snapshot_backend(backend_from_index(i), telem_.backends[i]));
+  out.clone_store = clone_store_.stats_snapshot();
   return out;
 }
 

@@ -29,6 +29,7 @@
 
 #include "core/predictor.h"
 #include "nn/module.h"
+#include "serve/clone_store/clone_store.h"
 #include "serve/scheduler.h"
 #include "serve/session.h"
 #include "serve/stats.h"
@@ -56,6 +57,13 @@ struct ServeConfig {
   /// the scheduler hot path (the bench's overhead gate compares the two).
   /// Moot when the layer is compiled out (FUSE_SERVE_TELEMETRY=0).
   bool detailed_stats = true;
+  /// Adapted-clone lifecycle (serve/clone_store): set clone_store.dir to
+  /// bound the RAM of per-user adapted clones — idle clones are delta-
+  /// checkpointed against the shared meta-init and evicted LRU under
+  /// max_resident_clones / ram_budget_bytes, then transparently
+  /// rehydrated (bit-exact in fp32 mode) when their session is next
+  /// served or adapted.  Empty dir (default) keeps every clone resident.
+  CloneStoreConfig clone_store;
   SessionConfig session;           ///< defaults for open_session()
 };
 
@@ -122,6 +130,20 @@ class SessionManager {
   /// SERVE_stats.json artifact.
   std::string stats_json() const { return stats_to_json(stats()); }
 
+  // -------------------------------------------------------- warm restart --
+  /// Checkpoints every session's adapted clone to the clone store and
+  /// writes its manifest, so a new process pointed at the same
+  /// clone_store.dir can restore_clones().  Requires a configured store
+  /// and a stopped server (throws std::logic_error otherwise); no-op when
+  /// the store is disabled.
+  void persist_clones();
+  /// Re-creates one session (with `scfg`, under its original id) per
+  /// clone checkpoint in the store's manifest; each session's adapted
+  /// clone rehydrates transparently on its first frame.  Call on a fresh
+  /// manager before start(); throws std::logic_error while running.
+  /// Returns the restored session ids (empty on a cold start).
+  std::vector<SessionId> restore_clones(const SessionConfig& scfg);
+
  private:
   std::shared_ptr<Session> find(SessionId id) const;
   std::vector<std::shared_ptr<Session>> snapshot_sessions() const;
@@ -133,6 +155,7 @@ class SessionManager {
   const fuse::core::Predictor* predictor_;
   const fuse::nn::Module* shared_model_;
   ServeConfig cfg_;
+  CloneStore clone_store_;
   Scheduler scheduler_;
 
   mutable std::mutex sessions_mu_;

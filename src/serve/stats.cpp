@@ -149,7 +149,21 @@ std::string stats_to_json(const ServeStats& s) {
            b.infer_mean_ms, b.infer_p50_ms, b.infer_p95_ms, b.infer_p99_ms,
            b.infer_max_ms, i + 1 < s.backends.size() ? "," : "");
   }
-  out += "  ],\n  \"per_session\": [\n";
+  out += "  ],\n";
+  const auto& cs = s.clone_store;
+  append(out,
+         "  \"clone_store\": {\"enabled\": %s, \"hits\": %llu, "
+         "\"misses\": %llu, \"evictions\": %llu, \"rehydrations\": %llu, "
+         "\"checkpoint_writes\": %llu, \"tracked\": %zu, \"resident\": %zu, "
+         "\"resident_bytes\": %zu, \"disk_bytes\": %zu},\n",
+         cs.enabled ? "true" : "false",
+         static_cast<unsigned long long>(cs.hits),
+         static_cast<unsigned long long>(cs.misses),
+         static_cast<unsigned long long>(cs.evictions),
+         static_cast<unsigned long long>(cs.rehydrations),
+         static_cast<unsigned long long>(cs.checkpoint_writes), cs.tracked,
+         cs.resident, cs.resident_bytes, cs.disk_bytes);
+  out += "  \"per_session\": [\n";
   for (std::size_t i = 0; i < s.per_session.size(); ++i) {
     const auto& ps = s.per_session[i];
     append(out,

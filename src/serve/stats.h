@@ -119,6 +119,22 @@ struct BackendSnapshot {
   double infer_max_ms = 0.0;
 };
 
+/// Read-time snapshot of the clone store (serve/clone_store): lifecycle
+/// counters plus the occupancy gauges behind the RAM-budget accounting.
+/// All-zero with enabled=false when no store is configured.
+struct CloneStoreSnapshot {
+  bool enabled = false;
+  std::uint64_t hits = 0;        ///< lookups that found the clone resident
+  std::uint64_t misses = 0;      ///< lookups that found it evicted
+  std::uint64_t evictions = 0;   ///< clones checkpointed + dropped from RAM
+  std::uint64_t rehydrations = 0;       ///< clones rebuilt as base + delta
+  std::uint64_t checkpoint_writes = 0;  ///< delta files written
+  std::size_t tracked = 0;        ///< sessions with a clone (any state)
+  std::size_t resident = 0;       ///< clones currently in RAM
+  std::size_t resident_bytes = 0; ///< their params+grads RAM
+  std::size_t disk_bytes = 0;     ///< bytes of delta checkpoints on disk
+};
+
 struct ServeStats {
   std::size_t sessions = 0;
   std::uint64_t frames_in = 0;
@@ -148,6 +164,7 @@ struct ServeStats {
   bool detailed = false;
   std::vector<StageSnapshot> stages;      ///< one row per pipeline stage
   std::vector<BackendSnapshot> backends;  ///< one row per nn::Backend
+  CloneStoreSnapshot clone_store;         ///< adapted-clone lifecycle
   std::vector<SessionStats> per_session;
 };
 

@@ -7,6 +7,7 @@ namespace fuse::serve {
 const char* stage_name(Stage s) {
   switch (s) {
     case Stage::kQueueWait: return "queue_wait";
+    case Stage::kRehydrate: return "rehydrate";
     case Stage::kDspCube: return "dsp_cube";
     case Stage::kFeaturize: return "featurize";
     case Stage::kInfer: return "infer";

@@ -1,7 +1,8 @@
 #pragma once
 // Per-stage serving telemetry: one latency histogram per pipeline stage
-// (queue-wait -> cube DSP -> featurize -> batched infer -> adapt ->
-// result-poll) plus per-backend utilization of the batched forwards.
+// (queue-wait -> clone rehydrate -> cube DSP -> featurize -> batched infer
+// -> adapt -> result-poll) plus per-backend utilization of the batched
+// forwards.
 //
 // Recording idiom (the DACStats pattern): raw counters and O(1) histogram
 // increments on the hot path, every derived metric (quantiles, means,
@@ -39,13 +40,14 @@ inline constexpr bool kTelemetryCompiled = FUSE_SERVE_TELEMETRY != 0;
 /// adaptation round (their counts are batch and round counts).
 enum class Stage : std::size_t {
   kQueueWait = 0,  ///< submit -> collected by the scheduler (per frame)
+  kRehydrate,      ///< evicted clone rebuilt base + delta (per rehydration)
   kDspCube,        ///< raw cube -> point cloud front-end (per cube frame)
   kFeaturize,      ///< window slide + featurization (per frame)
   kInfer,          ///< batched Module::infer forward (per batch)
   kAdapt,          ///< online-adaptation SGD round (per round)
   kResultPoll,     ///< result ready -> polled by the consumer (per result)
 };
-inline constexpr std::size_t kNumStages = 6;
+inline constexpr std::size_t kNumStages = 7;
 
 const char* stage_name(Stage s);
 

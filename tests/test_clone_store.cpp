@@ -1,0 +1,627 @@
+// Tests for the adapted-clone lifecycle: the ParamDelta codec (bit-exact
+// fp32, thresholded sparse, int8 within the derived tolerance, corruption
+// detection), LRU eviction + transparent rehydration under a RAM budget
+// (budget-constrained serving must be bit-identical to unconstrained),
+// recycle/close cleanup, threaded eviction stress, and warm restart.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "nn/delta.h"
+#include "nn/registry.h"
+#include "serve/clone_store/clone_store.h"
+#include "serve/session_manager.h"
+#include "util/rng.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using fuse::human::Pose;
+using fuse::nn::DeltaConfig;
+using fuse::nn::DeltaMode;
+using fuse::nn::ParamDelta;
+using fuse::radar::PointCloud;
+using fuse::serve::AdaptState;
+using fuse::serve::ServeConfig;
+using fuse::serve::SessionConfig;
+using fuse::serve::SessionManager;
+
+// ------------------------------------------------------- delta codec ----
+
+fuse::nn::ModelConfig seed_cfg(std::uint64_t seed) {
+  fuse::nn::ModelConfig cfg;
+  cfg.seed = seed;
+  return cfg;
+}
+
+void expect_params_bit_exact(const fuse::nn::Module& a,
+                             const fuse::nn::Module& b) {
+  const auto pa = std::as_const(a).params();
+  const auto pb = std::as_const(b).params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i]->numel(), pb[i]->numel());
+    EXPECT_EQ(std::memcmp(pa[i]->data(), pb[i]->data(),
+                          pa[i]->numel() * sizeof(float)),
+              0)
+        << "tensor " << i << " differs in bits";
+  }
+}
+
+TEST(Delta, SparseFp32RoundTripIsBitExact) {
+  const auto base = fuse::nn::build_model("mars_mlp", seed_cfg(1));
+  const auto adapted = base->clone();
+  // A handful of scattered changes per tensor, including values that plain
+  // "store a-b, re-add b" arithmetic would NOT reproduce bit-exactly, and
+  // a +0.0 -> -0.0 drift only a bitwise comparison can see.
+  fuse::util::Rng rng(7);
+  for (fuse::tensor::Tensor* p : adapted->params()) {
+    for (int k = 0; k < 5; ++k) {
+      const auto i = static_cast<std::size_t>(rng.uniform_int(p->numel()));
+      (*p)[i] += rng.uniformf(-1e-3f, 1e-3f);
+    }
+  }
+  (*adapted->params()[0])[0] = -0.0f;
+  (*base->params()[0])[0] = 0.0f;
+
+  const auto delta = fuse::nn::extract_delta(*adapted, *base);
+  // Sparse encoding: far below a dense fp32 dump of the parameters.
+  EXPECT_LT(delta.payload_bytes(), base->num_params() * sizeof(float) / 4);
+  const auto rehydrated = fuse::nn::rehydrate_from_delta(*base, delta);
+  expect_params_bit_exact(*adapted, *rehydrated);
+  EXPECT_TRUE(std::signbit((*rehydrated->params()[0])[0]));
+}
+
+TEST(Delta, DenseFallbackRoundTripIsBitExact) {
+  const auto base = fuse::nn::build_model("mars_mlp", seed_cfg(2));
+  const auto adapted = base->clone();
+  // Every weight changes (full-network SGD): the sparse form would cost
+  // 2x a raw dump, so the encoder must fall back to dense — still exact.
+  fuse::util::Rng rng(8);
+  for (fuse::tensor::Tensor* p : adapted->params())
+    for (std::size_t i = 0; i < p->numel(); ++i)
+      (*p)[i] += rng.uniformf(-1e-2f, 1e-2f);
+
+  const auto delta = fuse::nn::extract_delta(*adapted, *base);
+  // Dense payload stays within ~1x the raw fp32 parameters (+ headers).
+  EXPECT_LT(delta.payload_bytes(),
+            base->num_params() * sizeof(float) + 4096);
+  const auto rehydrated = fuse::nn::rehydrate_from_delta(*base, delta);
+  expect_params_bit_exact(*adapted, *rehydrated);
+}
+
+TEST(Delta, SparseThresholdBoundsPerWeightError) {
+  const auto base = fuse::nn::build_model("mars_mlp", seed_cfg(3));
+  const auto adapted = base->clone();
+  fuse::util::Rng rng(9);
+  for (fuse::tensor::Tensor* p : adapted->params())
+    for (int k = 0; k < 20; ++k)
+      (*p)[static_cast<std::size_t>(rng.uniform_int(p->numel()))] +=
+          rng.uniformf(-1e-2f, 1e-2f);
+
+  DeltaConfig cfg;
+  cfg.sparse_threshold = 5e-3f;
+  const auto lossy = fuse::nn::extract_delta(*adapted, *base, cfg);
+  const auto exact = fuse::nn::extract_delta(*adapted, *base);
+  EXPECT_LE(lossy.payload_bytes(), exact.payload_bytes());
+  const auto rehydrated = fuse::nn::rehydrate_from_delta(*base, lossy);
+  const auto pa = std::as_const(*adapted).params();
+  const auto pr = std::as_const(*rehydrated).params();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    for (std::size_t k = 0; k < pa[i]->numel(); ++k)
+      ASSERT_LE(std::fabs((*pa[i])[k] - (*pr[i])[k]),
+                cfg.sparse_threshold)
+          << "tensor " << i << " element " << k;
+}
+
+TEST(Delta, Int8WithinDerivedPerTensorTolerance) {
+  const auto base = fuse::nn::build_model("mars_mlp", seed_cfg(4));
+  const auto adapted = base->clone();
+  fuse::util::Rng rng(10);
+  for (fuse::tensor::Tensor* p : adapted->params())
+    for (std::size_t i = 0; i < p->numel(); ++i)
+      (*p)[i] += rng.uniformf(-2e-2f, 2e-2f);
+
+  DeltaConfig cfg;
+  cfg.mode = DeltaMode::kInt8;
+  const auto delta = fuse::nn::extract_delta(*adapted, *base, cfg);
+  // 4x smaller than the dense fp32 delta (1 byte vs 4 per parameter).
+  EXPECT_LT(delta.payload_bytes(),
+            base->num_params() * sizeof(float) / 3);
+  const auto rehydrated = fuse::nn::rehydrate_from_delta(*base, delta);
+  const auto pa = std::as_const(*adapted).params();
+  const auto pb = std::as_const(*base).params();
+  const auto pr = std::as_const(*rehydrated).params();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    // The derived contract: per-tensor symmetric scale = absmax/127, so
+    // the worst-case rounding error per weight is scale/2 = absmax/254
+    // (plus float-rounding slack in the reconstruction arithmetic).
+    float absmax = 0.0f;
+    for (std::size_t k = 0; k < pa[i]->numel(); ++k)
+      absmax = std::max(absmax, std::fabs((*pa[i])[k] - (*pb[i])[k]));
+    const float tol = absmax / 254.0f + absmax * 1e-5f + 1e-12f;
+    for (std::size_t k = 0; k < pa[i]->numel(); ++k)
+      ASSERT_LE(std::fabs((*pa[i])[k] - (*pr[i])[k]), tol)
+          << "tensor " << i << " element " << k;
+  }
+}
+
+TEST(Delta, ArchitectureMismatchThrows) {
+  const auto cnn = fuse::nn::build_model("mars_cnn", seed_cfg(5));
+  const auto mlp = fuse::nn::build_model("mars_mlp", seed_cfg(5));
+  EXPECT_THROW((void)fuse::nn::extract_delta(*cnn, *mlp),
+               std::invalid_argument);
+  const auto delta = fuse::nn::extract_delta(*mlp, *mlp);
+  auto target = fuse::nn::build_model("mars_cnn", seed_cfg(6));
+  EXPECT_THROW(fuse::nn::apply_delta(*cnn, delta, *target),
+               std::runtime_error);
+}
+
+TEST(Delta, CorruptOrTruncatedFileThrows) {
+  const auto base = fuse::nn::build_model("mars_mlp", seed_cfg(7));
+  const auto adapted = base->clone();
+  (*adapted->params()[0])[1] += 0.25f;
+  const auto delta = fuse::nn::extract_delta(*adapted, *base);
+  const std::string dir = ::testing::TempDir() + "fuse_delta_corrupt";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = dir + "/d.delta";
+  delta.save_file(path);
+
+  // Pristine file round-trips.
+  EXPECT_NO_THROW((void)ParamDelta::load_file(path));
+
+  std::ifstream is(path, std::ios::binary);
+  std::stringstream buf;
+  buf << is.rdbuf();
+  std::string blob = buf.str();
+  // Bit-flip deep in the payload: the checksum must catch it.
+  blob[blob.size() - 3] ^= 0x04;
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  }
+  try {
+    (void)ParamDelta::load_file(path);
+    FAIL() << "corrupt delta loaded without error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+        << e.what();
+  }
+  // Truncation at any depth throws too.
+  for (const std::size_t keep :
+       {std::size_t{3}, std::size_t{17}, blob.size() / 2}) {
+    SCOPED_TRACE(keep);
+    std::istringstream cut(blob.substr(0, keep));
+    EXPECT_THROW((void)ParamDelta::load(cut), std::runtime_error);
+  }
+  fs::remove_all(dir);
+}
+
+// ------------------------------------------------- serving integration --
+
+/// Shared environment: a prepared (untrained) pipeline over a miniature
+/// dataset, exactly like test_serve's world().
+fuse::core::FusePipeline& world() {
+  static fuse::core::FusePipeline* pipeline = [] {
+    fuse::core::PipelineConfig cfg;
+    cfg.data.frames_per_sequence = 40;
+    cfg.fusion_m = 1;
+    auto* p = new fuse::core::FusePipeline(cfg);
+    p->prepare_data();
+    return p;
+  }();
+  return *pipeline;
+}
+
+struct LabeledFrame {
+  PointCloud cloud;
+  Pose label;
+};
+
+/// Labeled frames of sequence `seq`, cycled to `count` entries.
+std::vector<LabeledFrame> labeled_frames(std::size_t seq, std::size_t count) {
+  const auto& ds = world().dataset();
+  const auto [start, len] = ds.sequences.at(seq);
+  std::vector<LabeledFrame> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& f = ds.frames[start + (i % len)];
+    out.push_back({f.cloud, f.label});
+  }
+  return out;
+}
+
+void expect_pose_eq(const Pose& a, const Pose& b) {
+  for (std::size_t j = 0; j < fuse::human::kNumJoints; ++j) {
+    EXPECT_FLOAT_EQ(a.joints[j].x, b.joints[j].x);
+    EXPECT_FLOAT_EQ(a.joints[j].y, b.joints[j].y);
+    EXPECT_FLOAT_EQ(a.joints[j].z, b.joints[j].z);
+  }
+}
+
+void expect_pose_near(const Pose& a, const Pose& b, float tol) {
+  for (std::size_t j = 0; j < fuse::human::kNumJoints; ++j) {
+    EXPECT_NEAR(a.joints[j].x, b.joints[j].x, tol);
+    EXPECT_NEAR(a.joints[j].y, b.joints[j].y, tol);
+    EXPECT_NEAR(a.joints[j].z, b.joints[j].z, tol);
+  }
+}
+
+ServeConfig adapting_cfg() {
+  ServeConfig cfg;
+  cfg.max_batch = 8;
+  cfg.session.queue_capacity = 128;
+  cfg.session.results_capacity = 512;
+  cfg.session.adapt.enabled = true;
+  cfg.session.adapt.min_samples = 8;
+  cfg.session.adapt.round_every = 4;
+  cfg.session.adapt.steps_per_round = 2;
+  cfg.session.adapt.buffer_capacity = 16;
+  return cfg;
+}
+
+std::string fresh_dir(const char* name) {
+  const std::string dir = ::testing::TempDir() + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+TEST(CloneStore, BudgetConstrainedServingIsBitIdenticalFp32) {
+  auto& pl = world();
+  const std::string dir = fresh_dir("fuse_clone_budget");
+
+  // Server A serves under a one-resident-clone budget; server B keeps
+  // every clone resident (no store).  Same streams, same pass structure:
+  // with bit-exact fp32 delta checkpoints, eviction + rehydration must be
+  // invisible in every pose.
+  ServeConfig cfg_a = adapting_cfg();
+  cfg_a.clone_store.dir = dir;
+  cfg_a.clone_store.max_resident_clones = 1;
+  const ServeConfig cfg_b = adapting_cfg();
+  SessionManager server_a(&pl.predictor(), &pl.model(), cfg_a);
+  SessionManager server_b(&pl.predictor(), &pl.model(), cfg_b);
+
+  constexpr std::size_t kSessions = 3;
+  constexpr std::size_t kFrames = 24;
+  std::vector<fuse::serve::SessionId> ids_a, ids_b;
+  std::vector<std::vector<LabeledFrame>> streams;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    ids_a.push_back(server_a.open_session());
+    ids_b.push_back(server_b.open_session());
+    streams.push_back(labeled_frames(s, kFrames));
+  }
+
+  // Frame-by-frame lockstep: one pass per submitted row, so adaptation
+  // rounds, evictions and rehydrations interleave across many passes.
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      ASSERT_TRUE(
+          server_a.submit_frame(ids_a[s], streams[s][i].cloud,
+                                &streams[s][i].label));
+      ASSERT_TRUE(
+          server_b.submit_frame(ids_b[s], streams[s][i].cloud,
+                                &streams[s][i].label));
+    }
+    server_a.drain();
+    server_b.drain();
+  }
+
+  const auto stats_a = server_a.stats();
+  const auto stats_b = server_b.stats();
+  // The budget actually bit: clones were evicted and came back.
+  EXPECT_TRUE(stats_a.clone_store.enabled);
+  EXPECT_GT(stats_a.clone_store.evictions, 0u);
+  EXPECT_GT(stats_a.clone_store.rehydrations, 0u);
+  EXPECT_GT(stats_a.clone_store.checkpoint_writes, 0u);
+  EXPECT_LE(stats_a.clone_store.resident, 1u);
+  EXPECT_EQ(stats_a.clone_store.tracked, kSessions);
+  EXPECT_GT(stats_a.clone_store.disk_bytes, 0u);
+  EXPECT_FALSE(stats_b.clone_store.enabled);
+  EXPECT_EQ(stats_b.clone_store.evictions, 0u);
+  // Every session truly adapted on both servers.
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    EXPECT_EQ(stats_a.per_session[s].adapt_state, AdaptState::kAdapted);
+    EXPECT_GT(stats_a.per_session[s].adapt_rounds, 1u);
+    EXPECT_EQ(stats_a.per_session[s].adapt_rounds,
+              stats_b.per_session[s].adapt_rounds);
+  }
+
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const auto ra = server_a.poll_results(ids_a[s]);
+    const auto rb = server_b.poll_results(ids_b[s]);
+    ASSERT_EQ(ra.size(), kFrames);
+    ASSERT_EQ(rb.size(), kFrames);
+    for (std::size_t i = 0; i < kFrames; ++i) {
+      EXPECT_EQ(ra[i].adapted_model, rb[i].adapted_model)
+          << "session " << s << " frame " << i;
+      expect_pose_eq(ra[i].raw, rb[i].raw);
+      expect_pose_eq(ra[i].tracked, rb[i].tracked);
+    }
+  }
+  fs::remove_all(dir);
+}
+
+TEST(CloneStore, Int8DeltaServingStaysWithinToleranceUnderEviction) {
+  auto& pl = world();
+  const std::string dir = fresh_dir("fuse_clone_int8");
+
+  ServeConfig cfg_a = adapting_cfg();
+  cfg_a.clone_store.dir = dir;
+  cfg_a.clone_store.max_resident_clones = 1;
+  cfg_a.clone_store.delta.mode = DeltaMode::kInt8;
+  const ServeConfig cfg_b = adapting_cfg();
+  SessionManager server_a(&pl.predictor(), &pl.model(), cfg_a);
+  SessionManager server_b(&pl.predictor(), &pl.model(), cfg_b);
+
+  constexpr std::size_t kSessions = 2;
+  constexpr std::size_t kFrames = 20;
+  std::vector<fuse::serve::SessionId> ids_a, ids_b;
+  std::vector<std::vector<LabeledFrame>> streams;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    ids_a.push_back(server_a.open_session());
+    ids_b.push_back(server_b.open_session());
+    streams.push_back(labeled_frames(s, kFrames));
+  }
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      ASSERT_TRUE(server_a.submit_frame(ids_a[s], streams[s][i].cloud,
+                                        &streams[s][i].label));
+      ASSERT_TRUE(server_b.submit_frame(ids_b[s], streams[s][i].cloud,
+                                        &streams[s][i].label));
+    }
+    server_a.drain();
+    server_b.drain();
+  }
+
+  const auto stats_a = server_a.stats();
+  EXPECT_GT(stats_a.clone_store.rehydrations, 0u);
+  // Int8 checkpoints are ~4x smaller than the fp32 clone's raw params.
+  EXPECT_LT(stats_a.clone_store.disk_bytes / stats_a.clone_store.tracked,
+            pl.model().num_params() * sizeof(float) / 3);
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const auto ra = server_a.poll_results(ids_a[s]);
+    const auto rb = server_b.poll_results(ids_b[s]);
+    ASSERT_EQ(ra.size(), kFrames);
+    for (std::size_t i = 0; i < kFrames; ++i) {
+      // The int8 delta perturbs each weight by at most absmax/254 of its
+      // adaptation drift per checkpoint cycle (Delta.
+      // Int8WithinDerivedPerTensorTolerance proves the weight-level
+      // bound); end-to-end the poses stay close to the exact-fp32 run.
+      EXPECT_EQ(ra[i].adapted_model, rb[i].adapted_model);
+      expect_pose_near(ra[i].raw, rb[i].raw, 0.1f);
+    }
+  }
+  fs::remove_all(dir);
+}
+
+TEST(CloneStore, RecycleAndCloseDropCheckpoints) {
+  auto& pl = world();
+  const std::string dir = fresh_dir("fuse_clone_recycle");
+  ServeConfig cfg = adapting_cfg();
+  cfg.clone_store.dir = dir;
+  cfg.clone_store.max_resident_clones = 1;
+  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+
+  const auto a = server.open_session();
+  const auto b = server.open_session();
+  const auto stream_a = labeled_frames(0, 16);
+  const auto stream_b = labeled_frames(1, 16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    server.submit_frame(a, stream_a[i].cloud, &stream_a[i].label);
+    server.submit_frame(b, stream_b[i].cloud, &stream_b[i].label);
+    server.drain();
+  }
+  auto stats = server.stats();
+  ASSERT_EQ(stats.clone_store.tracked, 2u);
+  // With a one-clone budget one of the two is on disk right now.
+  const bool a_on_disk = fs::exists(dir + "/clone_" + std::to_string(a) +
+                                    ".delta");
+  const bool b_on_disk = fs::exists(dir + "/clone_" + std::to_string(b) +
+                                    ".delta");
+  EXPECT_TRUE(a_on_disk || b_on_disk);
+
+  // Recycle A: the next subject must start from the shared model, and A's
+  // checkpoint must be deleted (no cross-subject adaptation leakage).
+  server.recycle_session(a);
+  const auto fresh = labeled_frames(2, 1);
+  server.submit_frame(a, fresh[0].cloud);
+  server.drain();
+  stats = server.stats();
+  EXPECT_EQ(stats.clone_store.tracked, 1u);
+  EXPECT_FALSE(fs::exists(dir + "/clone_" + std::to_string(a) + ".delta"));
+  const auto results = server.poll_results(a);
+  ASSERT_FALSE(results.empty());
+  EXPECT_FALSE(results.back().adapted_model);
+
+  // Close B: its checkpoint follows on the next pass.
+  server.close_session(b);
+  server.submit_frame(a, fresh[0].cloud);
+  server.drain();
+  stats = server.stats();
+  EXPECT_EQ(stats.clone_store.tracked, 0u);
+  EXPECT_EQ(stats.clone_store.disk_bytes, 0u);
+  EXPECT_FALSE(fs::exists(dir + "/clone_" + std::to_string(b) + ".delta"));
+  fs::remove_all(dir);
+}
+
+TEST(CloneStore, ThreadedStressEvictsAndRehydratesSafely) {
+  auto& pl = world();
+  const std::string dir = fresh_dir("fuse_clone_stress");
+  ServeConfig cfg = adapting_cfg();
+  cfg.max_batch = 16;
+  cfg.clone_store.dir = dir;
+  cfg.clone_store.max_resident_clones = 1;
+  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+
+  constexpr std::size_t kSessions = 4;
+  constexpr std::size_t kFrames = 40;
+  std::vector<fuse::serve::SessionId> ids;
+  std::vector<std::vector<LabeledFrame>> streams;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    ids.push_back(server.open_session());
+    streams.push_back(labeled_frames(s, kFrames));
+  }
+  // One extra session is closed mid-run (request_forget from a producer
+  // thread) and one is recycled — both must be safe while the scheduler
+  // thread evicts and rehydrates.
+  const auto doomed = server.open_session();
+  const auto doomed_stream = labeled_frames(4, 10);
+
+  server.start();
+  std::vector<std::thread> producers;
+  for (std::size_t s = 0; s < kSessions; ++s)
+    producers.emplace_back([&, s] {
+      for (std::size_t i = 0; i < kFrames; ++i)
+        EXPECT_TRUE(server.submit_frame(ids[s], streams[s][i].cloud,
+                                        &streams[s][i].label));
+    });
+  producers.emplace_back([&] {
+    for (std::size_t i = 0; i < doomed_stream.size(); ++i)
+      server.submit_frame(doomed, doomed_stream[i].cloud,
+                          &doomed_stream[i].label);
+    server.recycle_session(ids[0]);
+    server.close_session(doomed);
+  });
+  for (auto& t : producers) t.join();
+  server.stop();
+
+  const auto stats = server.stats();
+  // Budget invariants held through the stress: at most one clone resident,
+  // closed session fully forgotten, counters self-consistent.
+  EXPECT_LE(stats.clone_store.resident, 1u);
+  EXPECT_LE(stats.clone_store.tracked, kSessions);
+  EXPECT_GT(stats.clone_store.evictions, 0u);
+  EXPECT_GT(stats.clone_store.rehydrations, 0u);
+  EXPECT_EQ(stats.clone_store.misses, stats.clone_store.rehydrations);
+  EXPECT_FALSE(
+      fs::exists(dir + "/clone_" + std::to_string(doomed) + ".delta"));
+  // Untouched sessions served every frame.
+  for (std::size_t s = 1; s < kSessions; ++s) {
+    const auto results = server.poll_results(ids[s]);
+    EXPECT_EQ(results.size(), kFrames) << "session " << s;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(CloneStore, WarmRestartServesRestoredClonesBitExactly) {
+  auto& pl = world();
+  const std::string dir = fresh_dir("fuse_clone_restart");
+  ServeConfig cfg = adapting_cfg();
+  cfg.clone_store.dir = dir;
+  cfg.session.tracking = false;  // tracker state is NOT persisted
+
+  constexpr std::size_t kSessions = 2;
+  constexpr std::size_t kProbe = 5;
+  std::vector<std::vector<LabeledFrame>> streams;
+  for (std::size_t s = 0; s < kSessions; ++s)
+    streams.push_back(labeled_frames(s, 12));
+  const auto probe = labeled_frames(3, kProbe);
+
+  std::vector<fuse::serve::SessionId> ids;
+  std::vector<std::vector<fuse::serve::PoseResult>> ref(kSessions);
+  auto server1 = std::make_unique<SessionManager>(&pl.predictor(),
+                                                  &pl.model(), cfg);
+  for (std::size_t s = 0; s < kSessions; ++s)
+    ids.push_back(server1->open_session());
+  for (std::size_t i = 0; i < streams[0].size(); ++i) {
+    for (std::size_t s = 0; s < kSessions; ++s)
+      server1->submit_frame(ids[s], streams[s][i].cloud,
+                            &streams[s][i].label);
+    server1->drain();
+  }
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    EXPECT_EQ(server1->stats().per_session[s].adapt_state,
+              AdaptState::kAdapted);
+    (void)server1->poll_results(ids[s]);
+  }
+  // Reference probe on the ORIGINAL server (unlabeled: no further
+  // adaptation), then persist the full store and tear the server down.
+  for (std::size_t i = 0; i < kProbe; ++i) {
+    for (std::size_t s = 0; s < kSessions; ++s)
+      server1->submit_frame(ids[s], probe[i].cloud);
+    server1->drain();
+  }
+  for (std::size_t s = 0; s < kSessions; ++s)
+    ref[s] = server1->poll_results(ids[s]);
+  server1->persist_clones();
+  EXPECT_TRUE(fs::exists(dir + "/clones.manifest"));
+  server1.reset();
+
+  // A fresh process: same store dir, same shared model.  Sessions come
+  // back under their original ids; the first frame rehydrates each clone.
+  SessionManager server2(&pl.predictor(), &pl.model(), cfg);
+  const auto restored = server2.restore_clones(cfg.session);
+  ASSERT_EQ(restored.size(), kSessions);
+  for (const auto id : ids)
+    EXPECT_NE(std::find(restored.begin(), restored.end(), id),
+              restored.end());
+  // A new session must not collide with restored ids.
+  const auto fresh_id = server2.open_session();
+  for (const auto id : ids) EXPECT_NE(fresh_id, id);
+
+  for (std::size_t i = 0; i < kProbe; ++i) {
+    for (std::size_t s = 0; s < kSessions; ++s)
+      server2.submit_frame(ids[s], probe[i].cloud);
+    server2.drain();
+  }
+  const auto stats2 = server2.stats();
+  EXPECT_GE(stats2.clone_store.rehydrations, kSessions);
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const auto results = server2.poll_results(ids[s]);
+    ASSERT_EQ(results.size(), kProbe);
+    ASSERT_EQ(ref[s].size(), kProbe);
+    for (std::size_t i = 0; i < kProbe; ++i)
+      EXPECT_TRUE(results[i].adapted_model) << "session " << s;
+    // The restored session's fusion window starts empty while the
+    // original's still held pre-probe frames; with 3-frame windows
+    // (fusion_m = 1) both contain exactly [p_{i-2}, p_{i-1}, p_i] from
+    // probe index 2 on — where the fp32 restore must be bit-exact.
+    for (std::size_t i = 2; i < kProbe; ++i)
+      expect_pose_eq(results[i].raw, ref[s][i].raw);
+  }
+  // Restored sessions read as adapted in the per-session stats.
+  for (std::size_t s = 0; s < stats2.per_session.size(); ++s) {
+    if (stats2.per_session[s].id != fresh_id) {
+      EXPECT_EQ(stats2.per_session[s].adapt_state, AdaptState::kAdapted);
+    }
+  }
+  fs::remove_all(dir);
+}
+
+TEST(CloneStore, ColdStartRestoreIsEmptyAndBudgetlessStoreNeverEvicts) {
+  auto& pl = world();
+  const std::string dir = fresh_dir("fuse_clone_cold");
+  ServeConfig cfg = adapting_cfg();
+  cfg.clone_store.dir = dir;  // no caps: checkpoint-capable, no eviction
+  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  EXPECT_TRUE(server.restore_clones(cfg.session).empty());
+
+  const auto id = server.open_session();
+  const auto stream = labeled_frames(0, 12);
+  for (const auto& f : stream) server.submit_frame(id, f.cloud, &f.label);
+  server.drain();
+  const auto stats = server.stats();
+  EXPECT_TRUE(stats.clone_store.enabled);
+  EXPECT_EQ(stats.clone_store.tracked, 1u);
+  EXPECT_EQ(stats.clone_store.resident, 1u);
+  EXPECT_EQ(stats.clone_store.evictions, 0u);
+  EXPECT_EQ(stats.clone_store.resident_bytes,
+            pl.model().num_params() * 2 * sizeof(float));
+  fs::remove_all(dir);
+}
+
+}  // namespace

@@ -282,4 +282,67 @@ TEST(Serialization, GarbageStreamThrowsInsteadOfMisloading) {
   EXPECT_THROW(model->load(empty), std::runtime_error);
 }
 
+TEST(Serialization, BitFlippedPayloadThrowsAndLeavesModelIntact) {
+  fuse::util::Rng rng(55);
+  const Tensor x = random_tensor({2, 5, 8, 8}, rng);
+  const auto model = fuse::nn::build_model("mars_cnn", small_cfg(11));
+  const Tensor before = model->infer(x);
+  std::stringstream ss;
+  model->save(ss);
+  std::string blob = ss.str();
+  // Flip one bit deep inside the parameter payload — without the checksum
+  // footer this would silently load a corrupted weight.
+  blob[blob.size() - 7] ^= 0x10;
+  std::stringstream corrupt(blob);
+  try {
+    model->load(corrupt);
+    FAIL() << "corrupt payload loaded without error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+        << e.what();
+  }
+  // The failed load committed nothing.
+  const Tensor after = model->infer(x);
+  for (std::size_t i = 0; i < before.numel(); ++i)
+    ASSERT_EQ(before[i], after[i]) << "element " << i;
+  // The pristine blob still round-trips.
+  std::stringstream pristine(ss.str());
+  EXPECT_NO_THROW(model->load(pristine));
+}
+
+TEST(Serialization, TruncatedPayloadThrowsAtEveryCut) {
+  const auto model = fuse::nn::build_model("mars_mlp", small_cfg(12));
+  std::stringstream ss;
+  model->save(ss);
+  const std::string blob = ss.str();
+  // Cut the stream inside the header, inside the footer, and at several
+  // depths of the payload; every prefix must throw, never misload.
+  for (const std::size_t keep :
+       {std::size_t{4}, std::size_t{20}, blob.size() / 2, blob.size() - 1}) {
+    SCOPED_TRACE(keep);
+    std::stringstream cut(blob.substr(0, keep));
+    const auto dst = fuse::nn::build_model("mars_mlp", small_cfg(13));
+    EXPECT_THROW(dst->load(cut), std::runtime_error);
+  }
+}
+
+TEST(Serialization, WrongPayloadLengthIsCorruption) {
+  const auto model = fuse::nn::build_model("mars_cnn", small_cfg(14));
+  std::stringstream ss;
+  model->save(ss);
+  std::string blob = ss.str();
+  // The stored payload length sits right after the 8-byte magic and the
+  // u64-prefixed architecture tag; shrink it by one.
+  const std::size_t len_off = 8 + 8 + model->arch_name().size();
+  blob[len_off] = static_cast<char>(blob[len_off] - 1);
+  std::stringstream corrupt(blob);
+  try {
+    model->load(corrupt);
+    FAIL() << "wrong payload length loaded without error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("length"), std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace

@@ -710,7 +710,9 @@ TEST(Serve, StatsJsonCarriesSchema) {
        {"\"sessions\"", "\"frames_in\"", "\"frames_out\"", "\"drops\"",
         "\"queue_rejected\"", "\"drop_rate\"", "\"queue_depth_hwm\"",
         "\"latency_ms\"", "\"p99\"", "\"stages\"", "\"queue_wait\"",
-        "\"backends\"", "\"per_session\"", "\"detailed\""})
+        "\"rehydrate\"", "\"backends\"", "\"per_session\"", "\"detailed\"",
+        "\"clone_store\"", "\"evictions\"", "\"rehydrations\"",
+        "\"resident_bytes\""})
     EXPECT_NE(json.find(key), std::string::npos) << "missing key " << key;
 }
 
