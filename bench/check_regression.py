@@ -43,6 +43,18 @@ on:
     accounting regressed.  The capped-over-full reduction ratio is
     additionally gated through the generic speedup rule
     (clone_ram_reduction_speedup_x).
+  * any *shed rate* (keys containing "shed_rate") rising more than
+    --shed-tol (default 0.15) absolutely above the baseline — the
+    overload sweep's offered load is fixed relative to serving capacity,
+    so a rising shed rate at the same offered_x means the degradation
+    ladder is throwing away more admitted work than it used to.
+  * the *degraded-over-steady p99 ratio* (keys containing "over_steady")
+    exceeding --degraded-cap (default 2.0; absolute cap, not baseline-
+    relative) — the overload-hardening contract is that deadline shedding
+    keeps the admitted-frame p99 within 2x steady state at 4x load.
+  * any *recovered* flag (keys containing "recovered") regressing at all
+    — the ladder must return to full fidelity within one detector window
+    of the load dropping; this is hard-gated like the bit-identity flags.
 
 Rows inside JSON arrays are matched by their identity keys (backend,
 threads, sessions, batch, stage) so a CI host with more cores than the
@@ -76,7 +88,7 @@ def is_detection_count(key):
 
 
 def is_equivalence_flag(key):
-    return "match" in key or "identical" in key
+    return "match" in key or "identical" in key or "recovered" in key
 
 
 def is_p99(key):
@@ -95,6 +107,14 @@ def is_ram_budget(key):
     return "ram_mb_per_10k_sessions" in key
 
 
+def is_shed_rate(key):
+    return "shed_rate" in key
+
+
+def is_degraded_ratio(key):
+    return "over_steady" in key
+
+
 def compare(baseline, fresh, path, args, failures, checked):
     if isinstance(baseline, dict):
         if not isinstance(fresh, dict):
@@ -105,7 +125,8 @@ def compare(baseline, fresh, path, args, failures, checked):
                 if (is_speedup(key) or is_loss(key) or
                         is_detection_count(key) or is_equivalence_flag(key) or
                         is_p99(key) or is_drop_rate(key) or
-                        is_overhead(key) or is_ram_budget(key)):
+                        is_overhead(key) or is_ram_budget(key) or
+                        is_shed_rate(key) or is_degraded_ratio(key)):
                     failures.append(f"{path}.{key}: missing from fresh run")
                 continue
             compare(base_val, fresh[key], f"{path}.{key}", args, failures,
@@ -178,6 +199,22 @@ def compare(baseline, fresh, path, args, failures, checked):
                     f"{path}: drop rate {fresh:.4f} rose above baseline "
                     f"{baseline:.4f} + {args.drop_tol:g} — backpressure "
                     "behaviour changed")
+        elif is_shed_rate(key):
+            checked.append(path)
+            if fresh > baseline + args.shed_tol:
+                failures.append(
+                    f"{path}: shed rate {fresh:.4f} rose above baseline "
+                    f"{baseline:.4f} + {args.shed_tol:g} — the degradation "
+                    "ladder sheds more admitted work at the same offered "
+                    "load")
+        elif is_degraded_ratio(key):
+            checked.append(path)
+            if fresh > args.degraded_cap:
+                failures.append(
+                    f"{path}: degraded-mode p99 is {fresh:.2f}x steady "
+                    f"state, above the absolute cap of {args.degraded_cap:g}x "
+                    "— deadline shedding no longer bounds tail latency "
+                    "under overload")
         elif is_overhead(key):
             checked.append(path)
             if fresh > args.overhead_tol:
@@ -223,6 +260,13 @@ def main():
     parser.add_argument("--ram-tol", type=float, default=0.10,
                         help="max allowed fractional growth of the "
                              "RAM-per-10k-adapting-sessions keys")
+    parser.add_argument("--shed-tol", type=float, default=0.15,
+                        help="max allowed absolute shed-rate increase "
+                             "(shed rate moves with host pass-time jitter: "
+                             "slower passes age frames past the deadline)")
+    parser.add_argument("--degraded-cap", type=float, default=2.0,
+                        help="absolute cap on the degraded-over-steady "
+                             "p99 ratio under the overload sweep")
     args = parser.parse_args()
 
     with open(args.baseline) as f:

@@ -45,9 +45,11 @@
 // Emits DIR/BENCH_serve.json (machine-readable perf + accuracy record)
 // and DIR/SERVE_stats.json (full serve::stats_to_json snapshot).
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <deque>
+#include <memory>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -310,6 +312,162 @@ CloneSweep run_clone_sweep(fuse::core::FusePipeline& pl,
   return sweep;
 }
 
+/// Overload sweep: the graceful-degradation ladder under a sustained 4x
+/// offered-load burst (PR 8).  Phase 1 measures steady-state admitted-
+/// frame p99 at sustainable load (submissions per pass == what one pass
+/// serves).  Phase 2 offers 4x that with the ladder enabled — admission
+/// control bounds the backlog, the ladder climbs to deadline shedding,
+/// and the p99 of the frames that ARE served in degraded mode (ladder at
+/// rung 3) must stay within 2x the steady-state p99: the deadline is set
+/// off the measured steady p99, so freshness is enforced by construction
+/// and the gate verifies the machinery actually delivers it.  Phase 3
+/// stops the load and counts scheduler passes until the ladder unwinds to
+/// full fidelity — "recovered within one detector window".
+struct OverloadSweep {
+  double offered_x = 4.0;       ///< offered / sustainable load
+  double steady_p99_ms = 0.0;   ///< admitted-frame p99, sustainable load
+  double overload_p99_ms = 0.0; ///< admitted-frame p99, ladder at rung 3
+  double shed_rate = 0.0;
+  std::uint64_t deadline_shed = 0;
+  std::uint64_t admission_rejected = 0;
+  int max_level = 0;            ///< deepest ladder rung reached
+  std::size_t recovery_passes = 0;  ///< queue-empty -> kNormal passes
+  bool recovered = false;       ///< recovery within one detector window
+  double over_steady_x() const {
+    return steady_p99_ms > 0.0 ? overload_p99_ms / steady_p99_ms : 0.0;
+  }
+};
+
+double p99_of(std::vector<double>& ms) {
+  if (ms.empty()) return 0.0;
+  std::sort(ms.begin(), ms.end());
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(0.99 * static_cast<double>(ms.size()))) - 1;
+  return ms[std::min(idx, ms.size() - 1)];
+}
+
+OverloadSweep run_overload_sweep(fuse::core::FusePipeline& pl, bool smoke) {
+  constexpr std::size_t kSessions = 4;
+  constexpr std::size_t kBatch = 8;
+  // Enough rounds that the p99 is the ~12th-worst sample, not the ~5th:
+  // a single OS stall hits one whole batch (8 frames), and with too few
+  // samples that one batch IS the p99 — the ratio gate would then trip on
+  // host noise rather than a ladder regression.
+  const std::size_t rounds = smoke ? 150 : 300;
+
+  fuse::serve::OverloadConfig ocfg;
+  ocfg.enabled = true;
+  ocfg.queue_high_water = 2 * kBatch;
+  ocfg.tick_high_s = 0.0;  // queue-depth signal: deterministic across hosts
+  ocfg.engage_passes = 1;
+  ocfg.release_passes = 4;
+  ocfg.release_step_passes = 1;
+
+  const auto make_server = [&](const fuse::serve::OverloadConfig& oc,
+                               std::size_t max_in_flight) {
+    fuse::serve::ServeConfig cfg;
+    cfg.max_batch = kBatch;
+    cfg.session.queue_capacity = 256;
+    cfg.session.results_capacity = 64;
+    cfg.overload = oc;
+    cfg.max_in_flight = max_in_flight;
+    return std::make_unique<fuse::serve::SessionManager>(&pl.predictor(),
+                                                         &pl.model(), cfg);
+  };
+  std::vector<std::vector<PointCloud>> streams;
+  for (std::size_t s = 0; s < kSessions; ++s)
+    streams.push_back(stream_for(pl.dataset(), s, 8 * rounds));
+
+  OverloadSweep out;
+
+  // Phase 1 — steady state: exactly kBatch frames offered per pass
+  // against a kBatch-frame pass capacity (the definition of sustainable
+  // load: each pass serves what was offered, the queue returns to empty,
+  // the ladder never engages).  Matching the degraded phase's batch size
+  // keeps the p99 comparison apples-to-apples — per-frame latency
+  // includes batch service time, which scales with batch size.
+  // Admitted-frame latencies come from the results themselves
+  // (PoseResult::latency_s), skipping a short warm-up.  The window runs
+  // twice — once before the overload phase and once after — and the p99
+  // is the max of the two: OS jitter dominates the tail of a few hundred
+  // samples, and a single lucky-quiet window before the burst must not
+  // understate the host's real steady tail (which would overstate the
+  // degraded-over-steady ratio the CI gate caps at 2x).
+  const auto measure_steady = [&]() {
+    auto server = make_server(ocfg, /*max_in_flight=*/0);
+    std::vector<fuse::serve::SessionId> ids;
+    for (std::size_t s = 0; s < kSessions; ++s)
+      ids.push_back(server->open_session());
+    const std::size_t steady_per_session = kBatch / kSessions;
+    std::vector<double> lat_ms;
+    for (std::size_t round = 0; round < rounds; ++round) {
+      for (std::size_t s = 0; s < kSessions; ++s)
+        for (std::size_t k = 0; k < steady_per_session; ++k)
+          server->submit_frame(
+              ids[s], streams[s][round * steady_per_session + k]);
+      server->run_once();
+      for (std::size_t s = 0; s < kSessions; ++s)
+        for (const auto& r : server->poll_results(ids[s]))
+          if (round >= 5) lat_ms.push_back(r.latency_s * 1e3);
+    }
+    return p99_of(lat_ms);
+  };
+  out.steady_p99_ms = measure_steady();
+
+  // Phase 2 — 4x offered load.  The shed deadline derives from the
+  // measured steady p99 (clamped to a sane band), so "fresh enough to
+  // serve" tracks the host's actual speed; admission additionally caps
+  // the backlog the climb phase can accumulate.
+  fuse::serve::OverloadConfig oc = ocfg;
+  oc.shed_deadline_s =
+      std::min(0.050, std::max(0.002, 0.5 * out.steady_p99_ms * 1e-3));
+  auto server = make_server(oc, /*max_in_flight=*/4 * kBatch);
+  std::vector<fuse::serve::SessionId> ids;
+  for (std::size_t s = 0; s < kSessions; ++s)
+    ids.push_back(server->open_session());
+  const std::size_t per_session = 4 * kBatch / kSessions;  // 4x capacity
+  std::vector<double> degraded_ms;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t s = 0; s < kSessions; ++s)
+      for (std::size_t k = 0; k < per_session; ++k)
+        (void)server->submit_frame(ids[s],
+                                   streams[s][round * per_session + k]);
+    server->run_once();
+    const int level = server->stats().overload_level;
+    out.max_level = std::max(out.max_level, level);
+    for (std::size_t s = 0; s < kSessions; ++s)
+      for (const auto& r : server->poll_results(ids[s]))
+        // Degraded mode = the ladder is shedding: the acceptance metric is
+        // the p99 of what still gets served then.
+        if (level >= 3) degraded_ms.push_back(r.latency_s * 1e3);
+  }
+  out.overload_p99_ms = p99_of(degraded_ms);
+
+  // Phase 3 — load drops: flush the residual backlog, then count passes
+  // until the ladder reads kNormal again.  The detector window is
+  // release_passes + 2 * release_step_passes (+1 slack pass).
+  std::size_t guard = 0;
+  while (server->stats().in_flight > 0 && ++guard < 500) server->run_once();
+  while (server->stats().overload_level != 0 && out.recovery_passes < 100) {
+    server->run_once();
+    ++out.recovery_passes;
+  }
+  out.recovered =
+      server->stats().overload_level == 0 &&
+      out.recovery_passes <=
+          ocfg.release_passes + 2 * ocfg.release_step_passes + 1;
+
+  const auto stats = server->stats();
+  out.shed_rate = stats.shed_rate;
+  out.deadline_shed = stats.deadline_shed;
+  out.admission_rejected = stats.admission_rejected;
+
+  // Second steady window (see the measure_steady comment): the max of the
+  // two windows is the steady p99 the degraded tail is compared against.
+  out.steady_p99_ms = std::max(out.steady_p99_ms, measure_steady());
+  return out;
+}
+
 /// Raw-cube ingestion measurement (--raw-cubes): the full
 /// sensor-to-prediction path, naive per-session DSP + single-sample NN vs
 /// the serving runtime's submit_cube scheduler path.
@@ -393,7 +551,8 @@ void write_json(const std::string& path, std::size_t sessions,
                 std::size_t frames, const std::vector<BackendRow>& rows,
                 double int8_speedup, const AccuracyCheck& acc,
                 const RawCubeRun& raw, const fuse::serve::ServeStats& gemm,
-                const StatsOverhead& overhead, const CloneSweep& clones) {
+                const StatsOverhead& overhead, const CloneSweep& clones,
+                const OverloadSweep& ov) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
@@ -490,6 +649,25 @@ void write_json(const std::string& path, std::size_t sessions,
     std::fprintf(f, "    \"clone_rehydrate_p99_ms\": %.4f\n  },\n",
                  tight.rehydrate_p99_ms);
   }
+  // Overload sweep (PR 8): steady/degraded admitted-frame p99 (p99 rule),
+  // the degraded-over-steady ratio (absolute cap), the shed rate (shed
+  // rule) and the recovered-within-window flag (hard equivalence gate) are
+  // all regression-gated by check_regression.py.
+  std::fprintf(f, "  \"overload\": {\n");
+  std::fprintf(f, "    \"offered_x\": %.1f,\n", ov.offered_x);
+  std::fprintf(f, "    \"steady_p99_ms\": %.4f,\n", ov.steady_p99_ms);
+  std::fprintf(f, "    \"overload_p99_ms\": %.4f,\n", ov.overload_p99_ms);
+  std::fprintf(f, "    \"overload_p99_over_steady_x\": %.3f,\n",
+               ov.over_steady_x());
+  std::fprintf(f, "    \"shed_rate\": %.4f,\n", ov.shed_rate);
+  std::fprintf(f, "    \"deadline_shed\": %llu,\n",
+               static_cast<unsigned long long>(ov.deadline_shed));
+  std::fprintf(f, "    \"admission_rejected\": %llu,\n",
+               static_cast<unsigned long long>(ov.admission_rejected));
+  std::fprintf(f, "    \"max_level\": %d,\n", ov.max_level);
+  std::fprintf(f, "    \"recovery_passes\": %zu,\n", ov.recovery_passes);
+  std::fprintf(f, "    \"recovered_within_window\": %s\n  },\n",
+               ov.recovered ? "true" : "false");
   std::fprintf(f, "  \"query_loss_fp32\": %.6f,\n", acc.loss_fp32);
   std::fprintf(f, "  \"query_loss_int8\": %.6f,\n", acc.loss_int8);
   std::fprintf(f, "  \"query_loss_delta\": %.6f\n}\n", acc.delta);
@@ -715,6 +893,28 @@ int main(int argc, char** argv) {
               ram_reduction >= 5.0 ? "(>= 5x target met)"
                                    : "(below 5x target!)");
 
+  // --------------------------------------------------- overload sweep --
+  // 4x offered load against the graceful-degradation ladder: admission
+  // control + deadline shedding must hold the admitted-frame p99 within
+  // 2x steady state, then unwind to full fidelity once the burst ends.
+  const auto ov = run_overload_sweep(pl, smoke);
+  std::printf("\noverload sweep (4 sessions, %.0fx offered load, ladder "
+              "enabled):\n"
+              "  steady p99 %.2f ms -> degraded-mode p99 %.2f ms = %.2fx %s\n"
+              "  shed rate %.3f (%llu frames shed, %llu admission-rejected), "
+              "max rung %d\n"
+              "  recovery: %zu passes after the backlog cleared %s\n",
+              ov.offered_x, ov.steady_p99_ms, ov.overload_p99_ms,
+              ov.over_steady_x(),
+              ov.over_steady_x() <= 2.0 ? "(within 2x target)"
+                                        : "(EXCEEDS 2x TARGET!)",
+              ov.shed_rate,
+              static_cast<unsigned long long>(ov.deadline_shed),
+              static_cast<unsigned long long>(ov.admission_rejected),
+              ov.max_level, ov.recovery_passes,
+              ov.recovered ? "(within one detector window)"
+                           : "(SLOWER THAN ONE DETECTOR WINDOW!)");
+
   // ------------------------------------------- raw-cube ingestion mode --
   RawCubeRun raw;
   if (cli.has("raw-cubes")) {
@@ -728,7 +928,7 @@ int main(int argc, char** argv) {
 
   write_json(cli.out_dir() + "/BENCH_serve.json", kSweepSessions,
              sweep_frames, rows, int8_speedup, acc, raw, gemm_stats,
-             overhead, clones);
+             overhead, clones, ov);
 
   // Full structured snapshot of the gemm sweep run — the same payload
   // SessionManager::stats_json() serves live; uploaded as a CI artifact

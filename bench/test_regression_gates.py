@@ -1,14 +1,17 @@
 #!/usr/bin/env python3
-"""Self-test for the p99 / drop-rate / overhead gates in check_regression.py.
+"""Self-test for the p99 / drop-rate / overhead / overload gates in
+check_regression.py.
 
 Takes the committed serve baseline, injects synthetic regressions into a
 copy (p99 latencies tripled, drop rate +0.5, telemetry overhead 25%,
-adapted-clone RAM per 10k sessions x10) and asserts the gate exits
-non-zero with a REGRESSION line for each — then replays the baseline
-against itself and asserts a clean pass.  This is
-the "demonstrated gate" required by the observability PR: proof the CI
-step would actually catch a tail-latency or backpressure regression, not
-just parse the JSON.
+adapted-clone RAM per 10k sessions x10, overload shed rate +0.5,
+degraded-over-steady p99 ratio blown to 10x, recovered_within_window
+flipped to false) and asserts the gate exits non-zero with a REGRESSION
+line for each — then replays the baseline against itself and asserts a
+clean pass.  This is the "demonstrated gate" required by the
+observability and overload-hardening PRs: proof the CI step would
+actually catch a tail-latency, backpressure, or degradation-ladder
+regression, not just parse the JSON.
 
 Usage:  test_regression_gates.py [BASELINE]
         (default: bench/baselines/BENCH_serve_smoke.json next to this file)
@@ -67,6 +70,32 @@ def inject_ram(doc):
            if "ram_mb_per_10k_sessions" in k else v)
 
 
+def inject_shed(doc):
+    # The degradation ladder starts throwing away far more admitted work
+    # at the same 4x offered load.
+    mutate(doc, lambda k, v: v + 0.5 if "shed_rate" in k else v)
+
+
+def inject_degraded_ratio(doc):
+    # Deadline shedding stops bounding the admitted-frame tail: p99 under
+    # overload blows out to 10x steady state, past the absolute 2x cap.
+    mutate(doc, lambda k, v: 10.0 if "over_steady" in k else v)
+
+
+def flip_flags(node, key_substr):
+    """Flips boolean leaves whose key contains key_substr (mutate() skips
+    bools by design, so equivalence-flag flips need their own walker)."""
+    if isinstance(node, dict):
+        for k, v in node.items():
+            if isinstance(v, (dict, list)):
+                flip_flags(v, key_substr)
+            elif isinstance(v, bool) and key_substr in k:
+                node[k] = not v
+    elif isinstance(node, list):
+        for item in node:
+            flip_flags(item, key_substr)
+
+
 def main():
     baseline_path = sys.argv[1] if len(sys.argv) > 1 else DEFAULT_BASELINE
     with open(baseline_path) as f:
@@ -115,6 +144,21 @@ def main():
     inject_ram(doc)
     check("injected clone-RAM regression caught", doc, want_fail=True,
           want_text="adapted-clone RAM")
+
+    doc = copy.deepcopy(baseline)
+    inject_shed(doc)
+    check("injected shed-rate regression caught", doc, want_fail=True,
+          want_text="shed rate")
+
+    doc = copy.deepcopy(baseline)
+    inject_degraded_ratio(doc)
+    check("injected degraded-p99 blowout caught", doc, want_fail=True,
+          want_text="degraded-mode p99")
+
+    doc = copy.deepcopy(baseline)
+    flip_flags(doc, "recovered")
+    check("flipped recovery flag caught", doc, want_fail=True,
+          want_text="equivalence flag")
 
     if failures:
         for f in failures:

@@ -7,7 +7,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/atomic_file.h"
 #include "util/checksum.h"
+#include "util/fault.h"
 
 namespace fuse::nn {
 
@@ -227,17 +229,22 @@ ParamDelta ParamDelta::load(std::istream& is) {
 }
 
 void ParamDelta::save_file(const std::string& path) const {
-  std::ofstream os(path, std::ios::binary);
-  if (!os)
-    throw std::runtime_error("ParamDelta::save_file: cannot open " + path);
+  // Crash consistency: serialize fully in memory, then atomically replace
+  // the destination (tmp + flush + rename).  A crash — or an injected
+  // fault — mid-write can therefore never leave a half-written checkpoint
+  // under the final name; the previous checkpoint (if any) survives
+  // intact.
+  std::ostringstream os(std::ios::binary);
   save(os);
-  os.flush();
   if (!os)
-    throw std::runtime_error("ParamDelta::save_file: write failed for " +
-                             path);
+    throw std::runtime_error("ParamDelta::save_file: serialization failed");
+  fuse::util::write_file_atomic(path, os.str());
 }
 
 ParamDelta ParamDelta::load_file(const std::string& path) {
+  if (fuse::util::fault_fire(fuse::util::FaultPoint::kDiskRead))
+    throw std::runtime_error("ParamDelta::load_file: injected read fault for " +
+                             path);
   std::ifstream is(path, std::ios::binary);
   if (!is)
     throw std::runtime_error("ParamDelta::load_file: cannot open " + path);

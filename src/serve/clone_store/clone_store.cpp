@@ -1,11 +1,17 @@
 #include "serve/clone_store/clone_store.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <set>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "util/atomic_file.h"
 #include "util/log.h"
 
 namespace fuse::serve {
@@ -15,6 +21,27 @@ namespace fs = std::filesystem;
 namespace {
 // Manifest header: bumping it invalidates old manifests in one place.
 constexpr const char* kManifestMagic = "FUSECLONES1";
+
+/// Parses "clone_<id>.delta" (the path_for naming scheme); the dir-scan
+/// restore fallback uses it to recover checkpoints a lost manifest named.
+bool parse_clone_filename(const std::string& name, SessionId* id) {
+  constexpr const char* kPrefix = "clone_";
+  constexpr const char* kSuffix = ".delta";
+  if (name.size() <= std::strlen(kPrefix) + std::strlen(kSuffix)) return false;
+  if (name.rfind(kPrefix, 0) != 0) return false;
+  if (name.size() < std::strlen(kSuffix) ||
+      name.compare(name.size() - std::strlen(kSuffix), std::strlen(kSuffix),
+                   kSuffix) != 0)
+    return false;
+  const std::string digits = name.substr(
+      std::strlen(kPrefix),
+      name.size() - std::strlen(kPrefix) - std::strlen(kSuffix));
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  *id = static_cast<SessionId>(std::strtoull(digits.c_str(), nullptr, 10));
+  return true;
+}
 }  // namespace
 
 void CloneStore::configure(CloneStoreConfig cfg, const fuse::nn::Module* base) {
@@ -57,8 +84,20 @@ bool CloneStore::ensure_resident(Session& s) {
     return false;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
-  const auto delta = fuse::nn::ParamDelta::load_file(path_for(s.id()));
-  s.adapted_slot() = fuse::nn::rehydrate_from_delta(*base_, delta);
+  try {
+    const auto delta = fuse::nn::ParamDelta::load_file(path_for(s.id()));
+    s.adapted_slot() = fuse::nn::rehydrate_from_delta(*base_, delta);
+  } catch (const std::exception& ex) {
+    // A corrupt or unreadable checkpoint must not kill the scheduler
+    // thread: drop the entry (and the bad file) and serve this user from
+    // the shared meta-init — degraded, but alive and correct.
+    rehydrate_failures_.fetch_add(1, std::memory_order_relaxed);
+    FUSE_LOG_WARN("clone_store: rehydration of session %zu failed (%s); "
+                  "serving shared model",
+                  s.id(), ex.what());
+    forget(s.id());
+    return false;
+  }
   // A fresh Session (warm restart) has never seen an adaptation round;
   // its stats must still read "adapted" once its clone is serving again.
   s.note_rehydrated();
@@ -137,6 +176,11 @@ std::size_t CloneStore::enforce_budget(
   by_id.reserve(sessions.size());
   for (Session* s : sessions) by_id.emplace(s->id(), s);
   std::size_t evicted = 0;
+  // Clones whose checkpoint write failed this pass: their in-RAM copy is
+  // the ONLY copy, so they must not be evicted — skip them and try the
+  // next-oldest victim instead (bounded: each id enters the set at most
+  // once, so the loop always terminates even with 100% write faults).
+  std::set<SessionId> unpersistable;
   for (;;) {
     const std::size_t n = resident_count();
     const bool over = (cap && n > cfg_.max_resident_clones) ||
@@ -151,6 +195,7 @@ std::size_t CloneStore::enforce_budget(
     bool found = false;
     for (const auto& [id, e] : entries_) {
       if (!e.resident || by_id.find(id) == by_id.end()) continue;
+      if (unpersistable.count(id)) continue;
       if (!found || e.last_used < oldest ||
           (e.last_used == oldest && id < victim)) {
         victim = id;
@@ -161,7 +206,21 @@ std::size_t CloneStore::enforce_budget(
     if (!found) break;
     Entry& e = entries_[victim];
     Session* s = by_id[victim];
-    if (e.stale || !e.on_disk) checkpoint(*s, e);
+    if (e.stale || !e.on_disk) {
+      try {
+        checkpoint(*s, e);
+      } catch (const std::exception& ex) {
+        // Disk failure (real or injected): losing the budget battle for a
+        // pass is recoverable, losing a user's adaptation is not.
+        checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+        FUSE_LOG_WARN(
+            "clone_store: checkpoint of session %zu failed (%s); keeping "
+            "clone resident over budget",
+            victim, ex.what());
+        unpersistable.insert(victim);
+        continue;
+      }
+    }
     s->adapted_slot().reset();  // the clone's RAM is released here
     e.resident = false;
     ++evicted;
@@ -183,42 +242,116 @@ void CloneStore::persist(const std::vector<Session*>& sessions) {
     if (!e.resident || !(e.stale || !e.on_disk)) continue;
     const auto it = by_id.find(id);
     if (it == by_id.end()) continue;  // closing session; forget is queued
-    checkpoint(*it->second, e);
+    try {
+      checkpoint(*it->second, e);
+    } catch (const std::exception& ex) {
+      // save_file replaces atomically, so a failed write leaves the
+      // PREVIOUS checkpoint intact; the manifest below still lists it
+      // (e.on_disk unchanged) — a stale adaptation state beats losing the
+      // user entirely.
+      checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+      FUSE_LOG_WARN("clone_store: persist checkpoint of session %zu failed "
+                    "(%s)%s",
+                    id, ex.what(),
+                    e.on_disk ? "; manifest keeps its previous checkpoint"
+                              : "; clone not persisted");
+    }
   }
-  std::ofstream os(manifest_path(), std::ios::trunc);
-  if (!os)
-    throw std::runtime_error("CloneStore::persist: cannot write manifest " +
-                             manifest_path());
-  os << kManifestMagic << "\n";
+  // The manifest replaces atomically too: a crash anywhere in persist()
+  // leaves the previous (manifest, checkpoints) generation readable —
+  // checkpoints the old manifest names are never deleted by persist().
+  std::string manifest = std::string(kManifestMagic) + "\n";
+  // Deterministic manifest order (and stable across unordered_map seeds).
+  std::vector<SessionId> on_disk_ids;
   for (const auto& [id, e] : entries_)
-    if (e.on_disk) os << id << "\n";
+    if (e.on_disk) on_disk_ids.push_back(id);
+  std::sort(on_disk_ids.begin(), on_disk_ids.end());
+  for (const SessionId id : on_disk_ids)
+    manifest += std::to_string(id) + "\n";
+  try {
+    fuse::util::write_file_atomic(manifest_path(), manifest);
+  } catch (const std::exception& ex) {
+    // A failed manifest write leaves the previous generation's manifest in
+    // place — restore() then recovers that older-but-consistent view (or
+    // dir-scans if there never was one).  Persisting is best-effort at
+    // shutdown; it must not take the process down with it.
+    checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+    FUSE_LOG_WARN("clone_store: manifest write failed (%s); previous "
+                  "manifest generation left in place", ex.what());
+  }
+}
+
+bool CloneStore::validate_checkpoint(const std::string& path) const {
+  // Decode end-to-end: the FUSEDLT1 checksum + structural checks catch
+  // truncation (torn write), bit rot and wrong-architecture files alike.
+  try {
+    const auto delta = fuse::nn::ParamDelta::load_file(path);
+    return delta.arch == base_->arch_name();
+  } catch (const std::exception&) {
+    return false;
+  }
 }
 
 std::vector<SessionId> CloneStore::restore() {
   std::vector<SessionId> ids;
   if (!enabled_) return ids;
-  std::ifstream is(manifest_path());
-  if (!is) return ids;  // cold start: no manifest yet
-  std::string magic;
-  if (!std::getline(is, magic) || magic != kManifestMagic)
-    throw std::runtime_error("CloneStore::restore: bad manifest " +
-                             manifest_path());
-  SessionId id = 0;
-  while (is >> id) {
-    const std::string path = path_for(id);
+  // Candidate ids come from the manifest when it is readable; otherwise —
+  // missing manifest (crash before its rename) or corrupt header — from
+  // scanning the directory for clone_<id>.delta files, so every valid
+  // checkpoint on disk is still recovered.
+  std::set<SessionId> candidates;
+  bool have_manifest = false;
+  {
+    std::ifstream is(manifest_path());
+    if (is) {
+      std::string magic;
+      if (std::getline(is, magic) && magic == kManifestMagic) {
+        have_manifest = true;
+        SessionId id = 0;
+        while (is >> id) candidates.insert(id);
+      } else {
+        restore_skipped_.fetch_add(1, std::memory_order_relaxed);
+        FUSE_LOG_WARN("clone_store: corrupt manifest %s; falling back to "
+                      "directory scan",
+                      manifest_path().c_str());
+      }
+    }
+  }
+  if (!have_manifest) {
     std::error_code ec;
-    const auto size = fs::file_size(path, ec);
-    if (ec)
-      throw std::runtime_error(
-          "CloneStore::restore: manifest names missing checkpoint " + path);
+    for (const auto& entry : fs::directory_iterator(cfg_.dir, ec)) {
+      SessionId id = 0;
+      if (entry.is_regular_file() &&
+          parse_clone_filename(entry.path().filename().string(), &id))
+        candidates.insert(id);
+    }
+  }
+  // Register only checkpoints that decode cleanly; skip (and count) the
+  // rest instead of aborting the whole warm restart over one bad file.
+  std::uint64_t skipped = 0;
+  for (const SessionId id : candidates) {
+    const std::string path = path_for(id);
+    if (!validate_checkpoint(path)) {
+      ++skipped;
+      FUSE_LOG_WARN("clone_store: skipping corrupt/missing checkpoint %s",
+                    path.c_str());
+      std::error_code ec;
+      fs::remove(path, ec);  // best-effort: don't re-skip it every restart
+      continue;
+    }
     Entry e;
     e.on_disk = true;
-    e.file_bytes = static_cast<std::size_t>(size);
+    e.file_bytes = static_cast<std::size_t>(fs::file_size(path));
     entries_.emplace(id, e);
     tracked_.fetch_add(1, std::memory_order_relaxed);
     disk_bytes_.fetch_add(e.file_bytes, std::memory_order_relaxed);
     ids.push_back(id);
   }
+  restore_skipped_.fetch_add(skipped, std::memory_order_relaxed);
+  if (skipped > 0)
+    FUSE_LOG_WARN("clone_store: restore skipped %llu corrupt/missing "
+                  "checkpoint(s), recovered %zu",
+                  static_cast<unsigned long long>(skipped), ids.size());
   FUSE_LOG_DEBUG("clone_store: restored %zu clone checkpoints", ids.size());
   return ids;
 }
@@ -235,6 +368,10 @@ CloneStoreSnapshot CloneStore::stats_snapshot() const {
   out.resident = resident_.load(std::memory_order_relaxed);
   out.resident_bytes = resident_bytes_.load(std::memory_order_relaxed);
   out.disk_bytes = disk_bytes_.load(std::memory_order_relaxed);
+  out.restore_skipped = restore_skipped_.load(std::memory_order_relaxed);
+  out.rehydrate_failures = rehydrate_failures_.load(std::memory_order_relaxed);
+  out.checkpoint_failures =
+      checkpoint_failures_.load(std::memory_order_relaxed);
   return out;
 }
 

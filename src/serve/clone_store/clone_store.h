@@ -86,7 +86,9 @@ class CloneStore {
   /// session's adapted slot.  Also the LRU touch and the hit/miss counter
   /// site for sessions with a tracked clone.  Returns true iff a
   /// rehydration actually ran (the caller's Stage::kRehydrate timing
-  /// gate).
+  /// gate).  A corrupt/unreadable checkpoint never propagates: the entry
+  /// is dropped (rehydrate_failures counter), the session falls back to
+  /// the shared model, and serving continues.
   bool ensure_resident(Session& s);
 
   /// Records that an adaptation round ran on the session's (now resident)
@@ -111,13 +113,25 @@ class CloneStore {
   // ------------------------------------------------------- warm restart --
   /// Checkpoints every tracked clone that is resident-and-stale and writes
   /// the manifest, so a new process can restore().  Server must be
-  /// stopped (scheduler-thread contract).
+  /// stopped (scheduler-thread contract).  Both the delta files and the
+  /// manifest are replaced atomically (tmp + flush + rename), so a crash
+  /// mid-persist leaves the previous consistent generation on disk.  A
+  /// clone whose checkpoint write fails keeps its previous checkpoint (if
+  /// any) in the manifest — stale beats absent.
   void persist(const std::vector<Session*>& sessions);
 
   /// Reads the manifest written by persist() and registers every
   /// checkpoint as an evicted clone; returns the session ids, which the
   /// caller (SessionManager::restore_clones) re-creates.  The first frame
   /// of each session rehydrates its clone transparently.
+  ///
+  /// Tolerant by contract (PR 8): every checkpoint is validated (decoded
+  /// end-to-end against the FUSEDLT1 checksum) before registration;
+  /// corrupt, truncated or missing entries are skipped and counted
+  /// (restore_skipped), never thrown.  A missing or corrupt manifest
+  /// falls back to scanning the directory for clone_<id>.delta files, so
+  /// a crash before the manifest rename still recovers every valid
+  /// checkpoint on disk.
   std::vector<SessionId> restore();
 
   // ---------------------------------------------------------- telemetry --
@@ -135,6 +149,9 @@ class CloneStore {
 
   std::string path_for(SessionId id) const;
   std::string manifest_path() const;
+  /// True iff the checkpoint at `path` decodes cleanly for this base model
+  /// (restore-time validation; never throws).
+  bool validate_checkpoint(const std::string& path) const;
   /// Writes the session's clone delta to disk and updates accounting.
   void checkpoint(Session& s, Entry& e);
   /// Resident-clone RAM and count over the entry map.
@@ -158,6 +175,10 @@ class CloneStore {
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> rehydrations_{0};
   std::atomic<std::uint64_t> checkpoint_writes_{0};
+  // Fault-recovery counters (PR 8): corruption detected and survived.
+  std::atomic<std::uint64_t> restore_skipped_{0};
+  std::atomic<std::uint64_t> rehydrate_failures_{0};
+  std::atomic<std::uint64_t> checkpoint_failures_{0};
   std::atomic<std::size_t> resident_{0};
   std::atomic<std::size_t> resident_bytes_{0};
   std::atomic<std::size_t> disk_bytes_{0};

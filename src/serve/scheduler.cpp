@@ -1,17 +1,48 @@
 #include "serve/scheduler.h"
 
+#include <chrono>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 #include "core/finetune.h"
 #include "data/featurize.h"
 #include "serve/clone_store/clone_store.h"
+#include "util/fault.h"
 
 namespace fuse::serve {
 
 namespace {
 constexpr std::size_t kBlockFloats = fuse::data::kChannelsPerFrame *
                                      fuse::data::kGridH * fuse::data::kGridW;
+
+/// NaN/Inf input guard: one corrupt sample must never reach the fusion
+/// window (where it would poison up to 2M+1 downstream frames) or the
+/// adaptation buffer (where it would corrupt the per-user clone).
+bool cloud_finite(const fuse::radar::PointCloud& cloud) {
+  for (const auto& p : cloud.points)
+    if (!std::isfinite(p.x) || !std::isfinite(p.y) || !std::isfinite(p.z) ||
+        !std::isfinite(p.doppler) || !std::isfinite(p.intensity))
+      return false;
+  return true;
+}
+
+bool pose_finite(const fuse::human::Pose& pose) {
+  for (const auto& j : pose.joints)
+    if (!std::isfinite(j.x) || !std::isfinite(j.y) || !std::isfinite(j.z))
+      return false;
+  return true;
+}
+
+/// Quarantine teardown: the session's clone (and its checkpoint) is
+/// compromised or unwanted; from here on it serves the shared meta-init.
+void drop_clone(Session& s, CloneStore* store) {
+  s.adapted_slot().reset();
+  s.adapt_buffer().clear();
+  s.clear_fresh_labeled();
+  if (store) store->forget(s.id());
+}
 }  // namespace
 
 void Scheduler::featurize_current_window(Session& s, float* out) {
@@ -64,13 +95,38 @@ PassStats Scheduler::run_once(const std::vector<Session*>& sessions,
       }
       if (!frame) continue;
       any = true;
+      // Injected latency spike: stalls the pass exactly where a real
+      // scheduler hiccup (page fault, CPU contention) would, so chaos runs
+      // exercise the overload detector's tick-latency signal.
+      if (fuse::util::fault_fire(fuse::util::FaultPoint::kLatencySpike))
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            fuse::util::fault_spike_seconds()));
+      // Rung 3 — deadline shedding: a frame that went stale in the queue
+      // is dropped HERE, before the DSP/featurize/infer stages spend
+      // anything on it.  Freshness wins over completeness under overload
+      // (same rationale as DropPolicy::kDropOldest, applied server-side).
+      if (level_ >= OverloadLevel::kShedDeadline) {
+        const double age = mono_seconds() - frame->t_enqueue;
+        if (age > shed_deadline_s_) {
+          s->note_deadline_shed();
+          ++pass.shed;
+          if (detail) rec.telem.stages.record(Stage::kShed, age);
+          continue;
+        }
+      }
       if (detail)
         rec.telem.stages.record(Stage::kQueueWait,
                                 mono_seconds() - frame->t_enqueue);
+      // A quarantined session serves from the shared meta-init: its clone
+      // (possibly corrupted by the poison that got it quarantined) and
+      // checkpoint are dropped, and rehydration is skipped below.
+      const bool quarantined = s->quarantined();
+      if (quarantined && s->adapted_model() != nullptr)
+        drop_clone(*s, store);
       // Transparent rehydration: an evicted per-user clone is rebuilt
       // (meta-init + delta) before this frame can reach partitioning, so
       // eviction never silently downgrades a user to the shared model.
-      if (store) {
+      if (store && !quarantined) {
         const double t_rehy = detail ? mono_seconds() : 0.0;
         if (store->ensure_resident(*s) && detail)
           rec.telem.stages.record(Stage::kRehydrate,
@@ -98,6 +154,15 @@ PassStats Scheduler::run_once(const std::vector<Session*>& sessions,
         frame->cube.reset();
         cloud = &cube_frame_.cloud;
       }
+      // Input guard: a NaN/Inf frame is rejected BEFORE it can enter the
+      // fusion window (where it would poison up to window_frames
+      // downstream predictions).  Repeated offenders are quarantined.
+      if (!cloud_finite(*cloud)) {
+        if (s->note_non_finite_frame() && s->adapted_model() != nullptr)
+          drop_clone(*s, store);
+        ++pass.rejected;
+        continue;
+      }
       const double t_feat = detail ? mono_seconds() : 0.0;
       s->advance_window(*cloud, predictor_->window_frames());
       Collected c;
@@ -107,14 +172,22 @@ PassStats Scheduler::run_once(const std::vector<Session*>& sessions,
       if (detail)
         rec.telem.stages.record(Stage::kFeaturize, mono_seconds() - t_feat);
       // Ground-truth labels feed the per-user adaptation buffer; the
-      // sample x is exactly what inference sees (the fused window).
-      if (frame->label && s->config().adapt.enabled) {
-        Session::LabeledSample ls;
-        ls.x = c.block;
-        const auto norm =
-            predictor_->featurizer().normalize_pose(*frame->label);
-        ls.y.assign(norm.begin(), norm.end());
-        s->buffer_labeled(std::move(ls));
+      // sample x is exactly what inference sees (the fused window).  A
+      // non-finite label is rejected the same way as a non-finite frame —
+      // one bad label must never corrupt a per-user clone — and
+      // quarantined sessions buffer nothing (adaptation is disabled).
+      if (frame->label && s->config().adapt.enabled && !quarantined) {
+        if (!pose_finite(*frame->label)) {
+          if (s->note_non_finite_label() && s->adapted_model() != nullptr)
+            drop_clone(*s, store);
+        } else {
+          Session::LabeledSample ls;
+          ls.x = c.block;
+          const auto norm =
+              predictor_->featurizer().normalize_pose(*frame->label);
+          ls.y.assign(norm.begin(), norm.end());
+          s->buffer_labeled(std::move(ls));
+        }
       }
       c.item.frame = std::move(*frame);
       collected.push_back(std::move(c));
@@ -220,6 +293,11 @@ PassStats Scheduler::run_once(const std::vector<Session*>& sessions,
 bool Scheduler::maybe_adapt(Session& s) {
   const AdaptConfig& cfg = s.config().adapt;
   if (!cfg.enabled) return false;
+  // Rung 1 — adaptation rounds are the most expensive optional work in a
+  // pass; under overload they pause (the buffer keeps filling, so rounds
+  // resume with fresh data once pressure clears).
+  if (level_ >= OverloadLevel::kPauseAdapt) return false;
+  if (s.quarantined()) return false;
   auto& buffer = s.adapt_buffer();
   if (buffer.size() < cfg.min_samples) return false;
   // An evicted clone must come back BEFORE the first-round check below:
@@ -246,6 +324,17 @@ bool Scheduler::maybe_adapt(Session& s) {
   for (std::size_t step = 0; step < cfg.steps_per_round; ++step)
     loss = fuse::core::sgd_step(*s.adapted_slot(), x, y, cfg.lr,
                                 cfg.grad_clip);
+  // A non-finite loss means the clone's parameters are compromised (every
+  // buffered sample was finite, so this is numeric blow-up, not input
+  // corruption): quarantine the session and discard the clone AND its
+  // checkpoint — a poisoned delta must never survive to a warm restart.
+  if (!std::isfinite(loss)) {
+    s.note_adapt_failed();
+    drop_clone(s, (clone_store_ != nullptr && clone_store_->enabled())
+                      ? clone_store_
+                      : nullptr);
+    return false;
+  }
   s.clear_fresh_labeled();
   s.note_adapt_round(loss);
   // The round moved the clone past its last checkpoint: register it with

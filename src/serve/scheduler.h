@@ -26,6 +26,7 @@
 #include "core/predictor.h"
 #include "nn/module.h"
 #include "radar/processing.h"
+#include "serve/overload.h"
 #include "serve/session.h"
 #include "serve/stats.h"
 #include "serve/telemetry.h"
@@ -40,6 +41,8 @@ struct PassStats {
   std::size_t served = 0;           ///< frames served this pass
   std::uint64_t batches = 0;        ///< batched forward passes run
   std::uint64_t batched_frames = 0; ///< frames served through them
+  std::size_t shed = 0;             ///< frames shed by deadline this pass
+  std::size_t rejected = 0;         ///< non-finite frames rejected this pass
 };
 
 /// Pass-local telemetry sink: the scheduler records into this lock-free
@@ -86,10 +89,24 @@ class Scheduler {
   bool detailed_stats() const { return kTelemetryCompiled && detailed_stats_; }
 
   /// The backend a session's batched forwards run on: its config override
-  /// when set, else the scheduler-wide default.
+  /// when set, else the scheduler-wide default — EXCEPT at degradation
+  /// rung 2+, where everything downgrades to int8 (adapted clones carry no
+  /// int8 state, so theirs falls back to kGemm per layer — unchanged).
   fuse::nn::Backend effective_backend(const Session& s) const {
+    if (level_ >= OverloadLevel::kDegradeBackend)
+      return fuse::nn::Backend::kInt8;
     return s.config().backend.value_or(backend_);
   }
+
+  /// Sets the degradation-ladder rung the next pass runs at (overload.h).
+  /// Called by the SessionManager from the scheduling thread right after
+  /// feeding its detector, so it needs no synchronization.
+  void set_overload_level(OverloadLevel l) { level_ = l; }
+  OverloadLevel overload_level() const { return level_; }
+
+  /// Rung-3 shed deadline: at kShedDeadline, queued frames older than this
+  /// are dropped at collection time (before DSP/featurize/infer).
+  void set_shed_deadline(double seconds) { shed_deadline_s_ = seconds; }
 
   /// Attaches the adapted-clone store (serve/clone_store; borrowed, must
   /// outlive the scheduler; null or disabled = clones stay resident
@@ -119,6 +136,8 @@ class Scheduler {
   const fuse::radar::Processor* processor_;
   CloneStore* clone_store_ = nullptr;
   bool detailed_stats_ = true;
+  OverloadLevel level_ = OverloadLevel::kNormal;
+  double shed_deadline_s_ = 0.05;
 
   // Scheduler-thread scratch (run_once is never concurrent with itself):
   // the DSP workspace for raw-cube frames and the featurize scratch both

@@ -22,6 +22,7 @@ bool Session::enqueue_cube(fuse::radar::RadarCube cube,
 
 bool Session::enqueue_frame(InFrame f, double now_s) {
   std::lock_guard<std::mutex> lock(mu_);
+  bool evicted = false;
   if (queue_.size() >= cfg_.queue_capacity) {
     if (cfg_.drop_policy == DropPolicy::kDropNewest) {
       ++queue_rejected_;
@@ -29,6 +30,7 @@ bool Session::enqueue_frame(InFrame f, double now_s) {
     }
     ++queue_evicted_;
     queue_.pop_front();  // kDropOldest: evict to keep the stream fresh
+    evicted = true;      // net in-flight change is zero: -1 evicted, +1 new
   }
   f.t_enqueue = now_s;
   f.seq = next_seq_++;
@@ -36,6 +38,8 @@ bool Session::enqueue_frame(InFrame f, double now_s) {
   queue_.push_back(std::move(f));
   queue_hwm_ = std::max(queue_hwm_, queue_.size());
   ++frames_in_;
+  if (in_flight_ != nullptr && !evicted)
+    in_flight_->fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -58,6 +62,7 @@ std::optional<Session::InFrame> Session::pop(bool* recycled) {
   if (queue_.empty()) return std::nullopt;
   InFrame f = std::move(queue_.front());
   queue_.pop_front();
+  if (in_flight_ != nullptr) in_flight_->fetch_sub(1, std::memory_order_relaxed);
   return f;
 }
 
@@ -104,18 +109,25 @@ void Session::note_rehydrated() {
 
 AdaptState Session::adapt_state() const {
   std::lock_guard<std::mutex> lock(mu_);
-  if (!cfg_.adapt.enabled) return AdaptState::kShared;
+  if (!cfg_.adapt.enabled || quarantined_) return AdaptState::kShared;
   return has_adapted_ ? AdaptState::kAdapted : AdaptState::kCollecting;
 }
 
 void Session::request_recycle() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (in_flight_ != nullptr)
+    in_flight_->fetch_sub(queue_.size(), std::memory_order_relaxed);
   queue_.clear();
   results_.clear();
   next_seq_ = 0;  // the new subject's stream counts from zero
   recycle_pending_ = true;
   ++recycle_epoch_;
   queue_hwm_ = 0;  // the high-water mark describes the new subject only
+  // Quarantine and the counters that gate it describe the previous
+  // subject's sensor, not the session slot: the new subject starts clean.
+  quarantined_ = false;
+  non_finite_frames_ = 0;
+  non_finite_labels_ = 0;
   has_adapted_ = false;
   adapt_buffered_ = 0;
   adapt_rounds_ = 0;
@@ -132,6 +144,43 @@ void Session::reset_stream_state() {
   fresh_labeled_ = 0;
 }
 
+void Session::note_admission_rejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++admission_rejected_;
+}
+
+void Session::note_deadline_shed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++deadline_shed_;
+}
+
+bool Session::note_non_finite_frame() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++non_finite_frames_;
+  const bool was = quarantined_;
+  if (cfg_.quarantine_after != 0 &&
+      non_finite_frames_ + non_finite_labels_ >= cfg_.quarantine_after)
+    quarantined_ = true;
+  return quarantined_ && !was;
+}
+
+bool Session::note_non_finite_label() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++non_finite_labels_;
+  const bool was = quarantined_;
+  if (cfg_.quarantine_after != 0 &&
+      non_finite_frames_ + non_finite_labels_ >= cfg_.quarantine_after)
+    quarantined_ = true;
+  return quarantined_ && !was;
+}
+
+void Session::note_adapt_failed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cfg_.quarantine_after != 0) quarantined_ = true;
+  has_adapted_ = false;
+  adapt_buffered_ = 0;
+}
+
 SessionStats Session::stats_snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   SessionStats s;
@@ -145,12 +194,18 @@ SessionStats Session::stats_snapshot() const {
   s.results_stale = results_stale_;
   s.queue_depth = queue_.size();
   s.queue_depth_hwm = queue_hwm_;
-  s.adapt_state = !cfg_.adapt.enabled  ? AdaptState::kShared
-                  : has_adapted_       ? AdaptState::kAdapted
-                                       : AdaptState::kCollecting;
+  s.adapt_state = (!cfg_.adapt.enabled || quarantined_)
+                      ? AdaptState::kShared
+                  : has_adapted_ ? AdaptState::kAdapted
+                                 : AdaptState::kCollecting;
   s.adapt_rounds = adapt_rounds_;
   s.adapt_buffered = adapt_buffered_;
   s.last_adapt_loss = last_adapt_loss_;
+  s.admission_rejected = admission_rejected_;
+  s.deadline_shed = deadline_shed_;
+  s.non_finite_frames = non_finite_frames_;
+  s.non_finite_labels = non_finite_labels_;
+  s.quarantined = quarantined_;
   return s;
 }
 

@@ -9,6 +9,7 @@
 // everything in the "scheduler side" section is only ever touched by the
 // single scheduler thread, so it needs no locking.
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -64,6 +65,12 @@ struct SessionConfig {
   /// kInt8 on such a session falls back to kGemm per layer; sgd_step
   /// always runs the fp32 training backend.)
   std::optional<fuse::nn::Backend> backend;
+  /// Quarantine threshold: after this many rejected non-finite inputs
+  /// (frames + labels) the session is served from the shared meta-init
+  /// with adaptation disabled, so a sensor streaming garbage can never
+  /// poison its per-user clone or the shared micro-batch.  A non-finite
+  /// adaptation loss quarantines immediately.  0 disables quarantine.
+  std::size_t quarantine_after = 16;
 };
 
 /// One pose result fanned back to a session after a batched forward pass.
@@ -82,9 +89,20 @@ class Session {
   Session(SessionId id, SessionConfig cfg) : id_(id), cfg_(std::move(cfg)) {
     tracker_ = fuse::core::PoseTracker(cfg_.tracker);
   }
+  ~Session() {
+    // Queued frames die with the session: release their admission slots.
+    if (in_flight_ != nullptr)
+      in_flight_->fetch_sub(queue_.size(), std::memory_order_relaxed);
+  }
 
   SessionId id() const { return id_; }
   const SessionConfig& config() const { return cfg_; }
+
+  /// Binds the manager's global queued-frame gauge (admission control):
+  /// every accepted frame increments it, every pop/clear/destruction
+  /// decrements, always under mu_ so the gauge tracks the queue exactly.
+  /// Bind before the first enqueue; the atomic must outlive the session.
+  void bind_in_flight(std::atomic<std::size_t>* gauge) { in_flight_ = gauge; }
 
   // ------------------------------------------------------ producer side --
   struct InFrame {
@@ -185,6 +203,28 @@ class Session {
   /// Counter snapshot (locks the producer mutex).
   SessionStats stats_snapshot() const;
 
+  // ------------------------------------------------- robustness (PR 8) --
+  /// Producer side: the manager's admission gate refused this frame.
+  void note_admission_rejected();
+  /// Scheduler side: a queued frame went stale past the shed deadline and
+  /// was dropped before the DSP/featurize/infer stages.
+  void note_deadline_shed();
+  /// A NaN/Inf input frame (cloud or DSP'd cube) was rejected; counts
+  /// toward quarantine.  Returns true when this rejection newly
+  /// quarantined the session.
+  bool note_non_finite_frame();
+  /// A NaN/Inf ground-truth label was rejected; counts toward quarantine.
+  bool note_non_finite_label();
+  /// An adaptation round produced a non-finite loss: quarantine NOW —
+  /// the clone is compromised and must be discarded by the caller.
+  void note_adapt_failed();
+  /// Quarantined sessions serve from the shared meta-init with adaptation
+  /// disabled (recycle lifts the quarantine with the rest of the state).
+  bool quarantined() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return quarantined_;
+  }
+
  private:
   /// Shared enqueue tail: stamps the frame and applies the drop policy.
   bool enqueue_frame(InFrame f, double now_s);
@@ -203,6 +243,12 @@ class Session {
   std::uint64_t results_dropped_ = 0;
   std::uint64_t results_stale_ = 0;   ///< discarded across a recycle epoch
   std::size_t queue_hwm_ = 0;         ///< deepest the queue has ever been
+  std::uint64_t admission_rejected_ = 0;
+  std::uint64_t deadline_shed_ = 0;
+  std::uint64_t non_finite_frames_ = 0;
+  std::uint64_t non_finite_labels_ = 0;
+  bool quarantined_ = false;
+  std::atomic<std::size_t>* in_flight_ = nullptr;  ///< manager's gauge
   bool recycle_pending_ = false;
   std::uint64_t recycle_epoch_ = 0;  ///< bumped per recycle request
   // Mirrors of scheduler-side adaptation state, updated under mu_ so that

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <stdexcept>
 
+#include "util/fault.h"
 #include "util/log.h"
 
 namespace fuse::serve {
@@ -23,6 +25,8 @@ SessionManager::SessionManager(const fuse::core::Predictor* predictor,
   scheduler_.set_detailed_stats(cfg_.detailed_stats);
   clone_store_.configure(cfg_.clone_store, shared_model_);
   scheduler_.set_clone_store(&clone_store_);
+  detector_ = OverloadDetector(cfg_.overload);
+  scheduler_.set_shed_deadline(cfg_.overload.shed_deadline_s);
 }
 
 SessionManager::~SessionManager() { stop(); }
@@ -34,7 +38,9 @@ SessionId SessionManager::open_session(SessionConfig scfg) {
   if (sessions_.size() >= cfg_.max_sessions)
     throw std::runtime_error("SessionManager: max_sessions reached");
   const SessionId id = next_id_++;
-  sessions_.emplace(id, std::make_shared<Session>(id, std::move(scfg)));
+  auto s = std::make_shared<Session>(id, std::move(scfg));
+  s->bind_in_flight(&in_flight_);
+  sessions_.emplace(id, std::move(s));
   FUSE_LOG_DEBUG("serve: opened session %zu", id);
   return id;
 }
@@ -88,12 +94,43 @@ void SessionManager::wake_scheduler() {
   wake_cv_.notify_one();
 }
 
+namespace {
+/// Sensor-corruption fault: poke a quiet NaN into the payload.  The
+/// scheduler's input guards, not the producer, must catch it — exactly as
+/// with a real glitching sensor.
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+}  // namespace
+
+bool SessionManager::admit(Session& s) {
+  if (cfg_.max_in_flight == 0 ||
+      in_flight_.load(std::memory_order_relaxed) < cfg_.max_in_flight)
+    return true;
+  s.note_admission_rejected();
+  return false;
+}
+
 bool SessionManager::submit_frame(SessionId id,
                                   const fuse::radar::PointCloud& cloud,
                                   const fuse::human::Pose* label) {
   auto s = find(id);
   if (!s) return false;
-  const bool accepted = s->enqueue(cloud, label, mono_seconds());
+  if (!admit(*s)) return false;
+  fuse::human::Pose bad_label;
+  if (label != nullptr &&
+      fuse::util::fault_fire(fuse::util::FaultPoint::kCorruptLabel)) {
+    bad_label = *label;
+    bad_label.joints[0].x = kNaN;
+    label = &bad_label;
+  }
+  bool accepted;
+  if (fuse::util::fault_fire(fuse::util::FaultPoint::kCorruptCloud)) {
+    fuse::radar::PointCloud bad = cloud;
+    if (bad.points.empty()) bad.points.emplace_back();
+    bad.points[0].y = kNaN;
+    accepted = s->enqueue(bad, label, mono_seconds());
+  } else {
+    accepted = s->enqueue(cloud, label, mono_seconds());
+  }
   wake_scheduler();
   return accepted;
 }
@@ -103,6 +140,17 @@ bool SessionManager::submit_cube(SessionId id, fuse::radar::RadarCube cube,
   if (cfg_.processor == nullptr) return false;  // no DSP front-end wired
   auto s = find(id);
   if (!s) return false;
+  if (!admit(*s)) return false;
+  fuse::human::Pose bad_label;
+  if (label != nullptr &&
+      fuse::util::fault_fire(fuse::util::FaultPoint::kCorruptLabel)) {
+    bad_label = *label;
+    bad_label.joints[0].x = kNaN;
+    label = &bad_label;
+  }
+  if (fuse::util::fault_fire(fuse::util::FaultPoint::kCorruptCube) &&
+      cube.n_virtual() > 0)
+    cube.at(0, 0, 0) = {kNaN, kNaN};
   const bool accepted = s->enqueue_cube(std::move(cube), label,
                                         mono_seconds());
   wake_scheduler();
@@ -134,7 +182,21 @@ std::size_t SessionManager::run_once() {
   // only locked for the merge, so stats() never waits on an inference pass
   // and a snapshot always observes whole passes.
   PassRecord rec;
+  const bool overload = cfg_.overload.enabled;
+  const double t0 = overload ? mono_seconds() : 0.0;
   const PassStats pass = scheduler_.run_once(sessions, rec);
+  if (overload) {
+    // Feed the detector this pass's tick latency and the post-pass queue
+    // backlog (the admission gauge IS the total queue depth), then arm the
+    // ladder rung the NEXT pass runs at.  All on the scheduling thread —
+    // the detector itself is single-threaded state.
+    const auto level = detector_.update(
+        in_flight_.load(std::memory_order_relaxed), mono_seconds() - t0);
+    scheduler_.set_overload_level(level);
+    overload_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+    overload_transitions_.store(detector_.transitions(),
+                                std::memory_order_relaxed);
+  }
   std::lock_guard<std::mutex> lock(stats_mu_);
   latency_.merge(rec.latency);
   telem_.merge(rec.telem);
@@ -212,7 +274,9 @@ std::vector<SessionId> SessionManager::restore_clones(
     if (sessions_.count(id))
       throw std::logic_error("SessionManager::restore_clones: session id " +
                              std::to_string(id) + " already open");
-    sessions_.emplace(id, std::make_shared<Session>(id, scfg));
+    auto s = std::make_shared<Session>(id, scfg);
+    s->bind_in_flight(&in_flight_);
+    sessions_.emplace(id, std::move(s));
     // Fresh ids must never collide with a restored one.
     next_id_ = std::max(next_id_, id + 1);
   }
@@ -236,6 +300,11 @@ ServeStats SessionManager::stats() const {
     out.results_evicted += ss.results_dropped;
     out.results_stale += ss.results_stale;
     out.queue_depth_hwm = std::max(out.queue_depth_hwm, ss.queue_depth_hwm);
+    out.admission_rejected += ss.admission_rejected;
+    out.deadline_shed += ss.deadline_shed;
+    out.non_finite_frames += ss.non_finite_frames;
+    out.non_finite_labels += ss.non_finite_labels;
+    if (ss.quarantined) ++out.quarantined_sessions;
     out.per_session.push_back(std::move(ss));
   }
   // Queue drops over frames offered (accepted + rejected): the serving
@@ -244,6 +313,17 @@ ServeStats SessionManager::stats() const {
   out.drop_rate = offered ? static_cast<double>(out.frames_dropped) /
                                 static_cast<double>(offered)
                           : 0.0;
+  // Scheduler-side deadline sheds over the same denominator (gated
+  // separately from drop_rate: sheds only exist at degradation rung 3).
+  out.shed_rate = offered ? static_cast<double>(out.deadline_shed) /
+                                static_cast<double>(offered)
+                          : 0.0;
+  out.in_flight = in_flight_.load(std::memory_order_relaxed);
+  out.overload_level = overload_level_.load(std::memory_order_relaxed);
+  out.overload_level_name =
+      overload_level_name(static_cast<OverloadLevel>(out.overload_level));
+  out.overload_transitions =
+      overload_transitions_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(stats_mu_);
   out.batches = batches_;
   out.mean_batch = batches_ ? static_cast<double>(batched_frames_) /

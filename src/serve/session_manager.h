@@ -30,6 +30,7 @@
 #include "core/predictor.h"
 #include "nn/module.h"
 #include "serve/clone_store/clone_store.h"
+#include "serve/overload.h"
 #include "serve/scheduler.h"
 #include "serve/session.h"
 #include "serve/stats.h"
@@ -64,6 +65,18 @@ struct ServeConfig {
   /// rehydrated (bit-exact in fp32 mode) when their session is next
   /// served or adapted.  Empty dir (default) keeps every clone resident.
   CloneStoreConfig clone_store;
+  /// Global admission budget: total queued frames across every session.
+  /// A submit over it is refused at the door (the session's
+  /// admission_rejected counter; submit returns false), so a hostile
+  /// arrival burst can bound neither memory nor queue latency.  The gate
+  /// reads one relaxed atomic, so a concurrent burst can overshoot by at
+  /// most the number of producer threads.  0 = unlimited (pre-PR 8
+  /// behaviour).
+  std::size_t max_in_flight = 0;
+  /// Overload detector feeding the graceful-degradation ladder
+  /// (serve/overload.h): pause adaptation -> downgrade to int8 -> shed by
+  /// deadline, with hysteresis.  Disabled by default.
+  OverloadConfig overload;
   SessionConfig session;           ///< defaults for open_session()
 };
 
@@ -145,6 +158,9 @@ class SessionManager {
   std::vector<SessionId> restore_clones(const SessionConfig& scfg);
 
  private:
+  /// Admission gate: false = the global in-flight budget is full and the
+  /// frame was refused (counted against `s`).
+  bool admit(Session& s);
   std::shared_ptr<Session> find(SessionId id) const;
   std::vector<std::shared_ptr<Session>> snapshot_sessions() const;
   void scheduler_loop();
@@ -155,8 +171,17 @@ class SessionManager {
   const fuse::core::Predictor* predictor_;
   const fuse::nn::Module* shared_model_;
   ServeConfig cfg_;
+  /// Queued frames across every session (admission gauge).  Declared
+  /// before sessions_ so every Session (which holds a pointer into it and
+  /// drains it on destruction) is destroyed first.
+  std::atomic<std::size_t> in_flight_{0};
   CloneStore clone_store_;
   Scheduler scheduler_;
+  /// Scheduling-thread only (fed by run_once); level/transitions are
+  /// mirrored into the atomics below for any-thread stats() readers.
+  OverloadDetector detector_;
+  std::atomic<int> overload_level_{0};
+  std::atomic<std::uint64_t> overload_transitions_{0};
 
   mutable std::mutex sessions_mu_;
   std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;

@@ -85,13 +85,24 @@ namespace {
 
 // Minimal JSON emission: every key and value is generated internally
 // (stage/backend/adapt-state names, numbers), so no escaping is needed.
+// Formats directly into the output string at whatever length the line
+// needs — a fixed stack buffer here once silently truncated the
+// clone_store line past 256 chars and emitted unparseable JSON.
 void append(std::string& out, const char* fmt, ...) {
-  char buf[256];
   va_list args;
   va_start(args, fmt);
-  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_list sizing;
+  va_copy(sizing, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, sizing);
+  va_end(sizing);
+  if (n > 0) {
+    const std::size_t old = out.size();
+    out.resize(old + static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(out.data() + old, static_cast<std::size_t>(n) + 1, fmt,
+                   args);
+    out.resize(old + static_cast<std::size_t>(n));
+  }
   va_end(args);
-  out += buf;
 }
 
 }  // namespace
@@ -116,6 +127,22 @@ std::string stats_to_json(const ServeStats& s) {
          static_cast<unsigned long long>(s.results_stale));
   append(out, "  \"drop_rate\": %.6f,\n", s.drop_rate);
   append(out, "  \"queue_depth_hwm\": %zu,\n", s.queue_depth_hwm);
+  append(out,
+         "  \"robustness\": {\"admission_rejected\": %llu, "
+         "\"deadline_shed\": %llu, \"non_finite_frames\": %llu, "
+         "\"non_finite_labels\": %llu, \"quarantined_sessions\": %zu},\n",
+         static_cast<unsigned long long>(s.admission_rejected),
+         static_cast<unsigned long long>(s.deadline_shed),
+         static_cast<unsigned long long>(s.non_finite_frames),
+         static_cast<unsigned long long>(s.non_finite_labels),
+         s.quarantined_sessions);
+  append(out, "  \"shed_rate\": %.6f,\n", s.shed_rate);
+  append(out, "  \"in_flight\": %zu,\n", s.in_flight);
+  append(out,
+         "  \"overload\": {\"level\": %d, \"level_name\": \"%s\", "
+         "\"transitions\": %llu},\n",
+         s.overload_level, s.overload_level_name.c_str(),
+         static_cast<unsigned long long>(s.overload_transitions));
   append(out, "  \"batches\": %llu,\n",
          static_cast<unsigned long long>(s.batches));
   append(out, "  \"mean_batch\": %.3f,\n", s.mean_batch);
@@ -155,14 +182,19 @@ std::string stats_to_json(const ServeStats& s) {
          "  \"clone_store\": {\"enabled\": %s, \"hits\": %llu, "
          "\"misses\": %llu, \"evictions\": %llu, \"rehydrations\": %llu, "
          "\"checkpoint_writes\": %llu, \"tracked\": %zu, \"resident\": %zu, "
-         "\"resident_bytes\": %zu, \"disk_bytes\": %zu},\n",
+         "\"resident_bytes\": %zu, \"disk_bytes\": %zu, "
+         "\"restore_skipped\": %llu, \"rehydrate_failures\": %llu, "
+         "\"checkpoint_failures\": %llu},\n",
          cs.enabled ? "true" : "false",
          static_cast<unsigned long long>(cs.hits),
          static_cast<unsigned long long>(cs.misses),
          static_cast<unsigned long long>(cs.evictions),
          static_cast<unsigned long long>(cs.rehydrations),
          static_cast<unsigned long long>(cs.checkpoint_writes), cs.tracked,
-         cs.resident, cs.resident_bytes, cs.disk_bytes);
+         cs.resident, cs.resident_bytes, cs.disk_bytes,
+         static_cast<unsigned long long>(cs.restore_skipped),
+         static_cast<unsigned long long>(cs.rehydrate_failures),
+         static_cast<unsigned long long>(cs.checkpoint_failures));
   out += "  \"per_session\": [\n";
   for (std::size_t i = 0; i < s.per_session.size(); ++i) {
     const auto& ps = s.per_session[i];
@@ -180,6 +212,15 @@ std::string stats_to_json(const ServeStats& s) {
            static_cast<unsigned long long>(ps.results_dropped),
            static_cast<unsigned long long>(ps.results_stale),
            ps.queue_depth, ps.queue_depth_hwm);
+    append(out,
+           " \"admission_rejected\": %llu, \"deadline_shed\": %llu, "
+           "\"non_finite_frames\": %llu, \"non_finite_labels\": %llu, "
+           "\"quarantined\": %s,",
+           static_cast<unsigned long long>(ps.admission_rejected),
+           static_cast<unsigned long long>(ps.deadline_shed),
+           static_cast<unsigned long long>(ps.non_finite_frames),
+           static_cast<unsigned long long>(ps.non_finite_labels),
+           ps.quarantined ? "true" : "false");
     append(out,
            " \"adapt_state\": \"%s\", \"adapt_rounds\": %llu, "
            "\"adapt_buffered\": %zu, \"last_adapt_loss\": %.6f}%s\n",

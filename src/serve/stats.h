@@ -90,6 +90,14 @@ struct SessionStats {
   std::uint64_t adapt_rounds = 0;    ///< SGD rounds run on the clone
   std::size_t adapt_buffered = 0;    ///< labeled samples currently buffered
   float last_adapt_loss = 0.0f;      ///< batch L1 loss of the last round
+
+  // Robustness counters (PR 8): why frames never reached inference, and
+  // whether the session has been quarantined for submitting poison.
+  std::uint64_t admission_rejected = 0;  ///< global in-flight budget full
+  std::uint64_t deadline_shed = 0;       ///< stale frame shed pre-DSP/infer
+  std::uint64_t non_finite_frames = 0;   ///< NaN/Inf input frames rejected
+  std::uint64_t non_finite_labels = 0;   ///< NaN/Inf labels rejected
+  bool quarantined = false;  ///< served from shared meta-init, no adaptation
 };
 
 /// Read-time view of one pipeline stage's latency histogram (derived
@@ -133,6 +141,11 @@ struct CloneStoreSnapshot {
   std::size_t resident = 0;       ///< clones currently in RAM
   std::size_t resident_bytes = 0; ///< their params+grads RAM
   std::size_t disk_bytes = 0;     ///< bytes of delta checkpoints on disk
+  // Fault-recovery counters (PR 8): corrupt/partial state detected and
+  // survived instead of propagated.
+  std::uint64_t restore_skipped = 0;      ///< corrupt entries skipped at restore
+  std::uint64_t rehydrate_failures = 0;   ///< corrupt delta at rehydration time
+  std::uint64_t checkpoint_failures = 0;  ///< failed checkpoint writes
 };
 
 struct ServeStats {
@@ -157,6 +170,21 @@ struct ServeStats {
   /// Queue drops / frames offered (accepted + rejected); 0 when no traffic.
   double drop_rate = 0.0;
   std::size_t queue_depth_hwm = 0;    ///< deepest queue ever, any session
+
+  // Overload hardening (PR 8): admission control, deadline shedding and
+  // the degradation ladder.
+  std::uint64_t admission_rejected = 0;  ///< frames refused at the door
+  std::uint64_t deadline_shed = 0;       ///< stale frames shed pre-DSP/infer
+  std::uint64_t non_finite_frames = 0;   ///< NaN/Inf input frames rejected
+  std::uint64_t non_finite_labels = 0;   ///< NaN/Inf labels rejected
+  std::size_t quarantined_sessions = 0;  ///< sessions serving quarantined
+  /// Deadline sheds / frames offered (accepted + rejected); distinct from
+  /// drop_rate (producer-side queue policy) — this is scheduler-side.
+  double shed_rate = 0.0;
+  std::size_t in_flight = 0;          ///< queued frames, all sessions
+  int overload_level = 0;             ///< current ladder rung (0 = normal)
+  std::string overload_level_name = "normal";
+  std::uint64_t overload_transitions = 0;  ///< rung changes since start
 
   /// Whether the per-stage layer was compiled in AND enabled for this run
   /// (ServeConfig::detailed_stats); stage/backend rows are all-zero

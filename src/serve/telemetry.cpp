@@ -13,6 +13,7 @@ const char* stage_name(Stage s) {
     case Stage::kInfer: return "infer";
     case Stage::kAdapt: return "adapt";
     case Stage::kResultPoll: return "result_poll";
+    case Stage::kShed: return "shed";
   }
   return "?";
 }

@@ -46,8 +46,9 @@ enum class Stage : std::size_t {
   kInfer,          ///< batched Module::infer forward (per batch)
   kAdapt,          ///< online-adaptation SGD round (per round)
   kResultPoll,     ///< result ready -> polled by the consumer (per result)
+  kShed,           ///< frame shed by deadline; records its age at shedding
 };
-inline constexpr std::size_t kNumStages = 7;
+inline constexpr std::size_t kNumStages = 8;
 
 const char* stage_name(Stage s);
 

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <deque>
 #include <thread>
 #include <vector>
@@ -712,8 +713,96 @@ TEST(Serve, StatsJsonCarriesSchema) {
         "\"latency_ms\"", "\"p99\"", "\"stages\"", "\"queue_wait\"",
         "\"rehydrate\"", "\"backends\"", "\"per_session\"", "\"detailed\"",
         "\"clone_store\"", "\"evictions\"", "\"rehydrations\"",
-        "\"resident_bytes\""})
+        "\"resident_bytes\"",
+        // PR 8 robustness schema: overload ladder, shed/admission counters
+        // and the clone store's fault-recovery counters.
+        "\"robustness\"", "\"admission_rejected\"", "\"deadline_shed\"",
+        "\"non_finite_frames\"", "\"non_finite_labels\"",
+        "\"quarantined_sessions\"", "\"shed_rate\"", "\"in_flight\"",
+        "\"overload\"", "\"level_name\"", "\"transitions\"", "\"shed\"",
+        "\"restore_skipped\"", "\"rehydrate_failures\"",
+        "\"checkpoint_failures\"", "\"quarantined\""})
     EXPECT_NE(json.find(key), std::string::npos) << "missing key " << key;
+}
+
+// Minimal recursive-descent JSON syntax checker for the hand-rolled
+// emitter.  Values are all internally generated (no string escaping),
+// so this only needs structure: balanced containers, comma placement,
+// and a non-empty value after every key — which is exactly what emitter
+// bugs (a truncating printf buffer, a missed comma, a dangling key)
+// break.  Returns npos on success, else the offset of the first error.
+std::size_t first_json_error(const std::string& s, std::size_t& i) {
+  const auto skip_ws = [&] {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\n' || s[i] == '\t' ||
+                            s[i] == '\r'))
+      ++i;
+  };
+  skip_ws();
+  if (i >= s.size()) return i;
+  const char c = s[i];
+  if (c == '{' || c == '[') {
+    const char close = c == '{' ? '}' : ']';
+    ++i;
+    skip_ws();
+    if (i < s.size() && s[i] == close) return ++i, std::string::npos;
+    while (true) {
+      if (c == '{') {  // "key": value
+        skip_ws();
+        if (i >= s.size() || s[i] != '"') return i;
+        for (++i; i < s.size() && s[i] != '"'; ++i) {}
+        if (i >= s.size()) return i;
+        ++i;
+        skip_ws();
+        if (i >= s.size() || s[i] != ':') return i;
+        ++i;
+      }
+      if (const auto err = first_json_error(s, i); err != std::string::npos)
+        return err;
+      skip_ws();
+      if (i >= s.size()) return i;
+      if (s[i] == close) return ++i, std::string::npos;
+      if (s[i] != ',') return i;
+      ++i;
+    }
+  }
+  if (c == '"') {
+    for (++i; i < s.size() && s[i] != '"'; ++i) {}
+    if (i >= s.size()) return i;
+    return ++i, std::string::npos;
+  }
+  // number / true / false / null
+  const std::size_t start = i;
+  while (i < s.size() && (std::isalnum(static_cast<unsigned char>(s[i])) ||
+                          s[i] == '-' || s[i] == '+' || s[i] == '.'))
+    ++i;
+  return i == start ? i : std::string::npos;
+}
+
+TEST(Serve, StatsJsonIsSyntacticallyValid) {
+  auto& pl = world();
+  ServeConfig cfg;
+  cfg.overload.enabled = true;  // emit every block, including overload
+  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  const auto a = server.open_session();
+  const auto b = server.open_session();
+  for (const auto& f : sequence_frames(3, 6)) {
+    server.submit_frame(a, f);
+    server.submit_frame(b, f);
+  }
+  server.drain();
+  server.poll_results(a);
+
+  const auto json = server.stats_json();
+  std::size_t pos = 0;
+  const auto err = first_json_error(json, pos);
+  ASSERT_EQ(err, std::string::npos)
+      << "malformed JSON near offset " << err << ": ..."
+      << json.substr(err > 40 ? err - 40 : 0, 80) << "...";
+  // The whole document must have been consumed (no trailing garbage).
+  while (pos < json.size() && std::isspace(static_cast<unsigned char>(
+             json[pos])))
+    ++pos;
+  EXPECT_EQ(pos, json.size());
 }
 
 // --------------------------------------------------- raw-cube ingestion --
