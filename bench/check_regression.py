@@ -55,10 +55,17 @@ on:
   * any *recovered* flag (keys containing "recovered") regressing at all
     — the ladder must return to full fidelity within one detector window
     of the load dropping; this is hard-gated like the bit-identity flags.
+  * any *scaling_ok* flag (the shard sweep's tail-sanity bit) regressing
+    at all — sharding the scheduler must not blow up the end-to-end p99.
+    The bench emits it vacuously true on hosts that cannot run the
+    shards in parallel (< 4 hardware threads), so the gate is meaningful
+    exactly where the measurement is.  The sweep's per-row p99s are
+    additionally gated through the generic p99 rule, matched on the
+    "shards" identity key.
 
 Rows inside JSON arrays are matched by their identity keys (backend,
-threads, sessions, batch, stage) so a CI host with more cores than the
-baseline host simply contributes extra, ungated rows.
+threads, sessions, batch, stage, cap, shards) so a CI host with more
+cores than the baseline host simply contributes extra, ungated rows.
 
 Usage:
   check_regression.py BASELINE FRESH [--max-drop 0.15] [--loss-tol 5e-3]
@@ -68,7 +75,8 @@ import argparse
 import json
 import sys
 
-IDENTITY_KEYS = ("backend", "threads", "sessions", "batch", "stage", "cap")
+IDENTITY_KEYS = ("backend", "threads", "sessions", "batch", "stage", "cap",
+                 "shards")
 
 
 def row_key(row):
@@ -88,7 +96,8 @@ def is_detection_count(key):
 
 
 def is_equivalence_flag(key):
-    return "match" in key or "identical" in key or "recovered" in key
+    return ("match" in key or "identical" in key or "recovered" in key or
+            "scaling_ok" in key)
 
 
 def is_p99(key):

@@ -30,6 +30,12 @@
 // tick.  The baseline is the pre-PR deployment story: per-session scalar
 // DSP (process_reference) plus one single-sample forward per frame.
 //
+// The shard sweep (PR 9) drains the same preloaded workload — 256
+// simulated sessions — through 1/2/4 scheduler shards in threaded mode
+// (serve::Server, one scheduler thread per shard) and records fps +
+// end-to-end p99 per row.  fps scaling is informational on a 1-core
+// container; the per-row p99 and the tail-sanity flag are gated.
+//
 // The bench is also the serving plane's observability gate: the backend
 // sweep records per-stage latency quantiles (queue-wait, featurize,
 // batched infer, ...) and per-backend utilization through the telemetry
@@ -63,7 +69,7 @@
 #include "nn/loss.h"
 #include "nn/quant.h"
 #include "radar/simulator.h"
-#include "serve/session_manager.h"
+#include "serve/server.h"
 #include "util/cli.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -129,13 +135,13 @@ ServerRun run_server(fuse::core::FusePipeline& pl,
   cfg.detailed_stats = detailed_stats;
   cfg.session.queue_capacity = n_frames;
   cfg.session.results_capacity = n_frames;
-  fuse::serve::SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  fuse::serve::Server server(&pl.predictor(), &pl.model(), cfg);
   std::vector<fuse::serve::SessionId> ids;
   for (std::size_t s = 0; s < streams.size(); ++s)
     ids.push_back(server.open_session());
   for (std::size_t i = 0; i < n_frames; ++i)
     for (std::size_t s = 0; s < streams.size(); ++s)
-      server.submit_frame(ids[s], streams[s][i]);
+      (void)server.submit_frame(ids[s], streams[s][i]);
 
   fuse::util::Stopwatch sw;
   const std::size_t served = server.drain();
@@ -256,7 +262,7 @@ CloneCaseRow run_clone_case(
   cfg.session.adapt.buffer_capacity = 16;
   cfg.clone_store.dir = dir;
   cfg.clone_store.max_resident_clones = cap;
-  fuse::serve::SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  fuse::serve::Server server(&pl.predictor(), &pl.model(), cfg);
   std::vector<fuse::serve::SessionId> ids;
   for (std::size_t s = 0; s < streams.size(); ++s)
     ids.push_back(server.open_session());
@@ -268,8 +274,8 @@ CloneCaseRow run_clone_case(
   fuse::util::Stopwatch sw;
   for (std::size_t i = 0; i < n_frames; ++i) {
     for (std::size_t s = 0; s < streams.size(); ++s)
-      server.submit_frame(ids[s], streams[s][i]->cloud,
-                          &streams[s][i]->label);
+      (void)server.submit_frame(ids[s], streams[s][i]->cloud,
+                                &streams[s][i]->label);
     server.drain();
   }
   const double secs = sw.seconds();
@@ -371,8 +377,8 @@ OverloadSweep run_overload_sweep(fuse::core::FusePipeline& pl, bool smoke) {
     cfg.session.results_capacity = 64;
     cfg.overload = oc;
     cfg.max_in_flight = max_in_flight;
-    return std::make_unique<fuse::serve::SessionManager>(&pl.predictor(),
-                                                         &pl.model(), cfg);
+    return std::make_unique<fuse::serve::Server>(&pl.predictor(),
+                                                 &pl.model(), cfg);
   };
   std::vector<std::vector<PointCloud>> streams;
   for (std::size_t s = 0; s < kSessions; ++s)
@@ -403,7 +409,7 @@ OverloadSweep run_overload_sweep(fuse::core::FusePipeline& pl, bool smoke) {
     for (std::size_t round = 0; round < rounds; ++round) {
       for (std::size_t s = 0; s < kSessions; ++s)
         for (std::size_t k = 0; k < steady_per_session; ++k)
-          server->submit_frame(
+          (void)server->submit_frame(
               ids[s], streams[s][round * steady_per_session + k]);
       server->run_once();
       for (std::size_t s = 0; s < kSessions; ++s)
@@ -533,13 +539,13 @@ RawCubeRun run_raw_cubes(fuse::core::FusePipeline& pl, std::size_t sessions,
     scfg.processor = &pl.processor();
     scfg.session.queue_capacity = frames;
     scfg.session.results_capacity = frames;
-    fuse::serve::SessionManager server(&pl.predictor(), &pl.model(), scfg);
+    fuse::serve::Server server(&pl.predictor(), &pl.model(), scfg);
     std::vector<fuse::serve::SessionId> ids;
     for (std::size_t s = 0; s < sessions; ++s)
       ids.push_back(server.open_session());
     for (std::size_t i = 0; i < frames; ++i)
       for (std::size_t s = 0; s < sessions; ++s)
-        server.submit_cube(ids[s], streams[s][i]);
+        (void)server.submit_cube(ids[s], streams[s][i]);
     fuse::util::Stopwatch sw;
     const std::size_t served = server.drain();
     out.server_fps = static_cast<double>(served) / sw.seconds();
@@ -547,12 +553,111 @@ RawCubeRun run_raw_cubes(fuse::core::FusePipeline& pl, std::size_t sessions,
   return out;
 }
 
+/// One cell of the shard sweep: the same 256-session preloaded workload
+/// drained through N scheduler shards in threaded mode (start/stop — one
+/// scheduler thread per shard).  On a multi-core host fps should scale
+/// with shards; on the 1-core CI container the sweep still exercises the
+/// whole threaded fleet (thread spawn, per-shard workspaces, cross-shard
+/// stats merge) and records the p99 so the gate catches a sharding tail
+/// regression even without a speedup to show.
+struct ShardRow {
+  std::size_t shards = 0;
+  std::size_t sessions = 0;
+  double fps = 0.0;
+  double p99_ms = 0.0;
+};
+
+struct ShardSweep {
+  std::size_t sessions = 0;
+  std::size_t frames = 0;  ///< frames per session
+  unsigned host_threads = 0;
+  std::vector<ShardRow> rows;  ///< rows[0] is the 1-shard baseline
+
+  /// Best multi-shard throughput over the 1-shard baseline.  Purely
+  /// informational: on a 1-core host the shard threads timeshare one core
+  /// and this hovers near (or below) 1.0 by construction.
+  double fps_scaling_x() const {
+    double best = 0.0;
+    for (std::size_t i = 1; i < rows.size(); ++i)
+      best = std::max(best, rows[i].fps);
+    return rows.empty() || rows[0].fps <= 0.0 ? 0.0 : best / rows[0].fps;
+  }
+
+  /// The gated flag: sharding must not blow up the tail.  Vacuously true
+  /// when the host cannot actually run the shards in parallel
+  /// (host_threads < 4) — there the p99 measures core timesharing, not
+  /// the sharded scheduler.
+  bool p99_scaling_ok() const {
+    if (host_threads < 4) return true;
+    if (rows.size() < 2 || rows[0].p99_ms <= 0.0) return true;
+    double worst = 0.0;
+    for (std::size_t i = 1; i < rows.size(); ++i)
+      worst = std::max(worst, rows[i].p99_ms);
+    return worst <= 2.0 * rows[0].p99_ms;
+  }
+};
+
+ShardSweep run_shard_sweep(fuse::core::FusePipeline& pl, bool smoke) {
+  ShardSweep sweep;
+  sweep.sessions = 256;
+  sweep.frames = smoke ? 3 : 8;
+  sweep.host_threads = std::thread::hardware_concurrency();
+
+  // A pool of distinct streams reused round-robin across the 256
+  // sessions: session identity (and therefore shard hashing) is what the
+  // sweep varies, not frame content.
+  constexpr std::size_t kPool = 8;
+  std::vector<std::vector<PointCloud>> pool;
+  for (std::size_t s = 0; s < kPool; ++s)
+    pool.push_back(stream_for(pl.dataset(), s, sweep.frames));
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}}) {
+    fuse::serve::ServeConfig cfg;
+    cfg.max_sessions = sweep.sessions;
+    cfg.num_shards = shards;
+    cfg.max_batch = 16;
+    cfg.session.queue_capacity = sweep.frames;
+    cfg.session.results_capacity = sweep.frames;
+    fuse::serve::Server server(&pl.predictor(), &pl.model(), cfg);
+    std::vector<fuse::serve::SessionId> ids;
+    for (std::size_t s = 0; s < sweep.sessions; ++s)
+      ids.push_back(server.open_session());
+    for (std::size_t i = 0; i < sweep.frames; ++i)
+      for (std::size_t s = 0; s < sweep.sessions; ++s)
+        (void)server.submit_frame(ids[s], pool[s % kPool][i]);
+
+    // Threaded drain: one scheduler thread per shard; the main thread is
+    // the polling consumer.
+    const std::size_t want = sweep.sessions * sweep.frames;
+    std::size_t served = 0;
+    fuse::util::Stopwatch sw;
+    server.start();
+    while (served < want) {
+      std::size_t got = 0;
+      for (const auto id : ids) got += server.poll_results(id).size();
+      served += got;
+      if (got == 0) std::this_thread::yield();
+    }
+    const double secs = sw.seconds();
+    server.stop();
+
+    ShardRow row;
+    row.shards = shards;
+    row.sessions = sweep.sessions;
+    row.fps = static_cast<double>(served) / secs;
+    row.p99_ms = server.stats().latency_p99_ms;
+    sweep.rows.push_back(row);
+  }
+  return sweep;
+}
+
 void write_json(const std::string& path, std::size_t sessions,
                 std::size_t frames, const std::vector<BackendRow>& rows,
                 double int8_speedup, const AccuracyCheck& acc,
                 const RawCubeRun& raw, const fuse::serve::ServeStats& gemm,
                 const StatsOverhead& overhead, const CloneSweep& clones,
-                const OverloadSweep& ov) {
+                const OverloadSweep& ov, const ShardSweep& shard_sweep) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
@@ -668,6 +773,29 @@ void write_json(const std::string& path, std::size_t sessions,
   std::fprintf(f, "    \"recovery_passes\": %zu,\n", ov.recovery_passes);
   std::fprintf(f, "    \"recovered_within_window\": %s\n  },\n",
                ov.recovered ? "true" : "false");
+  // Shard sweep (PR 9): rows are matched by their "shards" identity key
+  // and their latency_p99_ms is p99-gated per row; the scaling flag is an
+  // equivalence gate (vacuously true when host_threads < 4 — a 1-core
+  // container cannot demonstrate parallel speedup, only tail sanity).
+  std::fprintf(f, "  \"shard_sweep\": {\n");
+  std::fprintf(f, "    \"sessions\": %zu, \"frames_per_session\": %zu, "
+               "\"host_threads\": %u,\n",
+               shard_sweep.sessions, shard_sweep.frames,
+               shard_sweep.host_threads);
+  std::fprintf(f, "    \"rows\": [\n");
+  for (std::size_t i = 0; i < shard_sweep.rows.size(); ++i) {
+    const auto& r = shard_sweep.rows[i];
+    std::fprintf(f,
+                 "      {\"shards\": %zu, \"sessions\": %zu, "
+                 "\"fps\": %.1f, \"latency_p99_ms\": %.4f}%s\n",
+                 r.shards, r.sessions, r.fps, r.p99_ms,
+                 i + 1 < shard_sweep.rows.size() ? "," : "");
+  }
+  std::fprintf(f, "    ],\n");
+  std::fprintf(f, "    \"shard_fps_scaling_x\": %.3f,\n",
+               shard_sweep.fps_scaling_x());
+  std::fprintf(f, "    \"shard_p99_scaling_ok\": %s\n  },\n",
+               shard_sweep.p99_scaling_ok() ? "true" : "false");
   std::fprintf(f, "  \"query_loss_fp32\": %.6f,\n", acc.loss_fp32);
   std::fprintf(f, "  \"query_loss_int8\": %.6f,\n", acc.loss_int8);
   std::fprintf(f, "  \"query_loss_delta\": %.6f\n}\n", acc.delta);
@@ -915,6 +1043,28 @@ int main(int argc, char** argv) {
               ov.recovered ? "(within one detector window)"
                            : "(SLOWER THAN ONE DETECTOR WINDOW!)");
 
+  // ------------------------------------------------------ shard sweep --
+  // 256 preloaded sessions drained through 1/2/4 scheduler shards in
+  // threaded mode.  fps scaling is informational (meaningless on a 1-core
+  // container); the p99 rows and the tail-sanity flag are gated.
+  const auto shard_sweep = run_shard_sweep(pl, smoke);
+  fuse::util::Table shard_table(
+      "shard sweep (256 sessions, threaded, 1 scheduler thread per shard)");
+  shard_table.set_header({"shards", "sessions", "frames/sec", "p99 ms"});
+  for (const auto& r : shard_sweep.rows)
+    shard_table.add_row({std::to_string(r.shards),
+                         std::to_string(r.sessions),
+                         fuse::util::Table::num(r.fps, 0),
+                         fuse::util::Table::num(r.p99_ms, 2)});
+  std::printf("\n%s\n", shard_table.to_string().c_str());
+  std::printf("shard fps scaling (best multi-shard / 1-shard): %.2fx on "
+              "%u host threads%s; p99 tail %s\n",
+              shard_sweep.fps_scaling_x(), shard_sweep.host_threads,
+              shard_sweep.host_threads < 4
+                  ? " (informational: < 4 cores, shards timeshare)"
+                  : "",
+              shard_sweep.p99_scaling_ok() ? "(ok)" : "(REGRESSED!)");
+
   // ------------------------------------------- raw-cube ingestion mode --
   RawCubeRun raw;
   if (cli.has("raw-cubes")) {
@@ -928,10 +1078,10 @@ int main(int argc, char** argv) {
 
   write_json(cli.out_dir() + "/BENCH_serve.json", kSweepSessions,
              sweep_frames, rows, int8_speedup, acc, raw, gemm_stats,
-             overhead, clones, ov);
+             overhead, clones, ov, shard_sweep);
 
   // Full structured snapshot of the gemm sweep run — the same payload
-  // SessionManager::stats_json() serves live; uploaded as a CI artifact
+  // serve::Server::stats_json() serves live; uploaded as a CI artifact
   // next to the BENCH files.
   const std::string stats_path = cli.out_dir() + "/SERVE_stats.json";
   if (FILE* sf = std::fopen(stats_path.c_str(), "w")) {

@@ -6,7 +6,8 @@ Takes the committed serve baseline, injects synthetic regressions into a
 copy (p99 latencies tripled, drop rate +0.5, telemetry overhead 25%,
 adapted-clone RAM per 10k sessions x10, overload shed rate +0.5,
 degraded-over-steady p99 ratio blown to 10x, recovered_within_window
-flipped to false) and asserts the gate exits non-zero with a REGRESSION
+flipped to false, the shard sweep's shard_p99_scaling_ok flipped to
+false) and asserts the gate exits non-zero with a REGRESSION
 line for each — then replays the baseline against itself and asserts a
 clean pass.  This is the "demonstrated gate" required by the
 observability and overload-hardening PRs: proof the CI step would
@@ -158,6 +159,11 @@ def main():
     doc = copy.deepcopy(baseline)
     flip_flags(doc, "recovered")
     check("flipped recovery flag caught", doc, want_fail=True,
+          want_text="equivalence flag")
+
+    doc = copy.deepcopy(baseline)
+    flip_flags(doc, "scaling_ok")
+    check("flipped shard-scaling flag caught", doc, want_fail=True,
           want_text="equivalence flag")
 
     if failures:

@@ -18,8 +18,13 @@
 // adapted patient resuming from their own model — the warm-restart
 // story, with the clone-store counters printed at exit.
 //
+// --shards > 1 hashes the patient sessions across that many scheduler
+// shards (serve::Server, PR 9): each shard runs its own scheduler thread
+// with a private workspace, clone store and overload detector, and the
+// live monitor prints the per-shard stats rows next to the merged view.
+//
 // Run: ./clinic_server [--scale=0.5] [--patients=8] [--frames=80]
-//                      [--clone-budget=2]
+//                      [--clone-budget=2] [--shards=1]
 
 #include <algorithm>
 #include <atomic>
@@ -30,7 +35,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
-#include "serve/session_manager.h"
+#include "serve/server.h"
 #include "util/cli.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
@@ -70,16 +75,22 @@ int main(int argc, char** argv) {
   fuse::serve::ServeConfig scfg;
   scfg.max_sessions = std::max<std::size_t>(n_patients, 1);
   scfg.max_batch = 16;
+  scfg.num_shards = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, cli.get_int("shards", 1)));
   scfg.session.queue_capacity = 32;
   scfg.session.results_capacity = n_frames;
   scfg.clone_store.dir = clone_dir;
   scfg.clone_store.max_resident_clones = static_cast<std::size_t>(
       std::max<std::int64_t>(1, cli.get_int("clone-budget", 2)));
-  auto server_ptr = std::make_unique<fuse::serve::SessionManager>(
+  auto server_ptr = std::make_unique<fuse::serve::Server>(
       &pipeline.predictor(), &pipeline.model(), scfg);
   auto& server = *server_ptr;
-  std::printf("clone store: dir %s, budget %zu resident adapted clones\n\n",
-              clone_dir.c_str(), scfg.clone_store.max_resident_clones);
+  std::printf("clone store: dir %s, budget %zu resident adapted clones"
+              "%s\n",
+              clone_dir.c_str(), scfg.clone_store.max_resident_clones,
+              scfg.num_shards > 1 ? " (per shard)" : "");
+  std::printf("scheduler shards: %zu (sessions hash (id-1) %% shards)\n\n",
+              scfg.num_shards);
 
   // Odd-numbered patients get online adaptation from labeled calibration
   // frames; even-numbered ones serve the shared model as-is.
@@ -126,6 +137,15 @@ int main(int argc, char** argv) {
                       live.clone_store.evictions),
                   static_cast<unsigned long long>(
                       live.clone_store.rehydrations));
+      if (live.shards > 1)
+        for (const auto& sh : live.per_shard)
+          std::printf("    [shard %zu] sessions %zu  out %llu  in-flight "
+                      "%zu  batches %llu  p99 %.2f ms\n",
+                      sh.shard, sh.sessions,
+                      static_cast<unsigned long long>(sh.frames_out),
+                      sh.in_flight,
+                      static_cast<unsigned long long>(sh.batches),
+                      sh.latency_p99_ms);
     }
   });
 
@@ -137,8 +157,8 @@ int main(int argc, char** argv) {
       for (std::size_t i = 0; i < n_frames; ++i) {
         const auto& frame = ds.frames[start + (i % len)];
         const bool labeled = adapting && i < n_labeled;
-        server.submit_frame(ids[p], frame.cloud,
-                            labeled ? &frame.label : nullptr);
+        (void)server.submit_frame(ids[p], frame.cloud,
+                                  labeled ? &frame.label : nullptr);
         // 10 Hz radar, compressed 100x so the demo finishes in ~0.1 s of
         // wall clock per 100 frames.
         std::this_thread::sleep_for(std::chrono::microseconds(1000));
@@ -207,8 +227,8 @@ int main(int argc, char** argv) {
 
   fuse::serve::SessionConfig restored_cfg = scfg.session;
   restored_cfg.adapt.enabled = true;  // restored patients keep adapting
-  fuse::serve::SessionManager morning(&pipeline.predictor(),
-                                      &pipeline.model(), scfg);
+  fuse::serve::Server morning(&pipeline.predictor(),
+                              &pipeline.model(), scfg);
   const auto restored = morning.restore_clones(restored_cfg);
   std::printf("next morning: restored %zu adapted patients from %s\n",
               restored.size(), clone_dir.c_str());
@@ -219,7 +239,7 @@ int main(int argc, char** argv) {
       // Same room -> same sequence as yesterday (ids are 1-based).
       const auto p = static_cast<std::size_t>(id - 1) % n_patients;
       const auto [start, len] = ds.sequences[seq_of[p]];
-      morning.submit_frame(id, ds.frames[start + (i % len)].cloud);
+      (void)morning.submit_frame(id, ds.frames[start + (i % len)].cloud);
     }
     morning.drain();
   }

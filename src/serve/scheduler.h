@@ -99,7 +99,7 @@ class Scheduler {
   }
 
   /// Sets the degradation-ladder rung the next pass runs at (overload.h).
-  /// Called by the SessionManager from the scheduling thread right after
+  /// Called by the owning Shard from its scheduling thread right after
   /// feeding its detector, so it needs no synchronization.
   void set_overload_level(OverloadLevel l) { level_ = l; }
   OverloadLevel overload_level() const { return level_; }

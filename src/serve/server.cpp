@@ -1,0 +1,319 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "serve/shard.h"
+#include "serve/telemetry.h"
+#include "util/log.h"
+
+namespace fuse::serve {
+
+const char* submit_result_name(SubmitResult r) {
+  switch (r) {
+    case SubmitResult::kAccepted: return "accepted";
+    case SubmitResult::kQuarantined: return "quarantined";
+    case SubmitResult::kQueueFull: return "queue_full";
+    case SubmitResult::kAdmissionRejected: return "admission_rejected";
+    case SubmitResult::kUnknownSession: return "unknown_session";
+    case SubmitResult::kNoProcessor: return "no_processor";
+  }
+  return "?";
+}
+
+void validate_session_config(const SessionConfig& cfg) {
+  if (cfg.queue_capacity == 0)
+    throw std::invalid_argument(
+        "SessionConfig: queue_capacity must be >= 1");
+  if (cfg.results_capacity == 0)
+    throw std::invalid_argument(
+        "SessionConfig: results_capacity must be >= 1");
+  if (cfg.adapt.enabled) {
+    if (cfg.adapt.min_samples == 0)
+      throw std::invalid_argument(
+          "SessionConfig: adapt.min_samples must be >= 1 when adaptation "
+          "is enabled");
+    if (cfg.adapt.buffer_capacity < cfg.adapt.min_samples)
+      throw std::invalid_argument(
+          "SessionConfig: adapt.buffer_capacity must hold at least "
+          "adapt.min_samples labeled frames");
+    if (cfg.adapt.round_every == 0 || cfg.adapt.steps_per_round == 0)
+      throw std::invalid_argument(
+          "SessionConfig: adapt.round_every and adapt.steps_per_round "
+          "must be >= 1");
+  }
+}
+
+void ServeConfig::validate() const {
+  if (max_sessions == 0)
+    throw std::invalid_argument("ServeConfig: max_sessions must be >= 1");
+  if (max_batch == 0)
+    throw std::invalid_argument("ServeConfig: max_batch must be >= 1");
+  if (num_shards == 0)
+    throw std::invalid_argument("ServeConfig: num_shards must be >= 1");
+  if (num_shards > max_sessions)
+    throw std::invalid_argument(
+        "ServeConfig: num_shards exceeds max_sessions (shards beyond the "
+        "session cap can never receive a session)");
+  validate_session_config(session);
+}
+
+Server::Server(const fuse::core::Predictor* predictor,
+               const fuse::nn::Module* shared_model, ServeConfig cfg)
+    : predictor_(predictor),
+      shared_model_(shared_model),
+      cfg_(std::move(cfg)) {
+  if (!predictor_ || !predictor_->valid())
+    throw std::invalid_argument("serve::Server: predictor not fitted");
+  if (!shared_model_)
+    throw std::invalid_argument("serve::Server: null shared model");
+  cfg_.validate();
+  shards_.reserve(cfg_.num_shards);
+  for (std::size_t k = 0; k < cfg_.num_shards; ++k)
+    shards_.push_back(std::make_unique<Shard>(predictor_, shared_model_,
+                                              cfg_, k, &in_flight_));
+}
+
+Server::~Server() { stop(); }
+
+SessionId Server::open_session() { return open_session(cfg_.session); }
+
+SessionId Server::open_session(SessionConfig scfg) {
+  validate_session_config(scfg);
+  std::lock_guard<std::mutex> lock(open_mu_);
+  if (session_count_unlocked() >= cfg_.max_sessions)
+    throw std::runtime_error("serve::Server: max_sessions reached");
+  const SessionId id = next_id_++;
+  shards_[shard_of(id)]->open_session(id, std::move(scfg));
+  return id;
+}
+
+void Server::close_session(SessionId id) {
+  shards_[shard_of(id)]->close_session(id);
+}
+
+void Server::recycle_session(SessionId id) {
+  shards_[shard_of(id)]->recycle_session(id);
+}
+
+std::size_t Server::session_count() const {
+  return session_count_unlocked();
+}
+
+std::size_t Server::session_count_unlocked() const {
+  std::size_t total = 0;
+  for (const auto& sh : shards_) total += sh->session_count();
+  return total;
+}
+
+SubmitResult Server::submit_frame(SessionId id,
+                                  const fuse::radar::PointCloud& cloud,
+                                  const fuse::human::Pose* label) {
+  return shards_[shard_of(id)]->submit_frame(id, cloud, label);
+}
+
+SubmitResult Server::submit_cube(SessionId id, fuse::radar::RadarCube cube,
+                                 const fuse::human::Pose* label) {
+  return shards_[shard_of(id)]->submit_cube(id, std::move(cube), label);
+}
+
+std::vector<PoseResult> Server::poll_results(SessionId id) {
+  return shards_[shard_of(id)]->poll_results(id);
+}
+
+std::size_t Server::run_once() {
+  std::size_t served = 0;
+  for (auto& sh : shards_) served += sh->run_once();
+  return served;
+}
+
+std::size_t Server::drain() {
+  std::size_t total = 0;
+  // A shard's queues are only ever refilled from outside the server, so
+  // draining shard-by-shard (each until empty) drains the whole plane.
+  for (auto& sh : shards_) total += sh->drain();
+  return total;
+}
+
+void Server::start() {
+  if (running_.exchange(true)) return;
+  for (auto& sh : shards_) sh->start();
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+  for (auto& sh : shards_) sh->stop();
+}
+
+void Server::persist_clones() {
+  for (auto& sh : shards_) sh->persist_clones();
+}
+
+std::vector<SessionId> Server::restore_clones(const SessionConfig& scfg) {
+  validate_session_config(scfg);
+  std::vector<SessionId> out;
+  std::lock_guard<std::mutex> lock(open_mu_);
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    const auto ids = shards_[k]->restore_clones(scfg);
+    for (const SessionId id : ids) {
+      if (shard_of(id) != k)
+        throw std::logic_error(
+            "serve::Server::restore_clones: checkpoint for session " +
+            std::to_string(id) + " found on shard " + std::to_string(k) +
+            " but hashes to shard " + std::to_string(shard_of(id)) +
+            " — the store was persisted with a different num_shards "
+            "(re-sharding is a data migration, not a restart)");
+      // Fresh ids must never collide with a restored one.
+      next_id_ = std::max(next_id_, id + 1);
+      out.push_back(id);
+    }
+  }
+  if (session_count_unlocked() > cfg_.max_sessions)
+    throw std::runtime_error("serve::Server: max_sessions reached");
+  std::sort(out.begin(), out.end());
+  FUSE_LOG_DEBUG("serve: restored %zu clone sessions across %zu shards",
+                 out.size(), shards_.size());
+  return out;
+}
+
+namespace {
+
+/// Builds a ServeStats snapshot from per-shard raw stats.  `indices[i]`
+/// is the shard index of `raws[i]` (merged snapshots pass 0..N-1, the
+/// single-shard view passes just {k}).  `in_flight` is the gauge value to
+/// report (the global admission gauge for the merged view, the shard's
+/// own gauge for a per-shard view).
+ServeStats derive_stats(const std::vector<ShardRawStats>& raws,
+                        const std::vector<std::size_t>& indices,
+                        std::size_t in_flight, const ServeConfig& cfg) {
+  ServeStats out;
+  out.shards = raws.size();
+  LatencyHistogram latency;
+  Telemetry telem;
+  for (std::size_t i = 0; i < raws.size(); ++i) {
+    const auto& raw = raws[i];
+    ShardStatsRow row;
+    row.shard = indices[i];
+    row.sessions = raw.sessions.size();
+    row.in_flight = raw.in_flight;
+    row.batches = raw.batches;
+    row.overload_level = raw.overload_level;
+    row.overload_transitions = raw.overload_transitions;
+    row.latency_p99_ms = raw.latency.p99() * 1e3;
+    for (const auto& ss : raw.sessions) {
+      row.frames_in += ss.frames_in;
+      row.frames_out += ss.frames_out;
+      out.per_session.push_back(ss);
+    }
+    out.per_shard.push_back(row);
+
+    latency.merge(raw.latency);
+    telem.merge(raw.telem);
+    out.batches += raw.batches;
+    out.overload_level = std::max(out.overload_level, raw.overload_level);
+    out.overload_transitions += raw.overload_transitions;
+
+    out.clone_store.enabled |= raw.clone_store.enabled;
+    out.clone_store.hits += raw.clone_store.hits;
+    out.clone_store.misses += raw.clone_store.misses;
+    out.clone_store.evictions += raw.clone_store.evictions;
+    out.clone_store.rehydrations += raw.clone_store.rehydrations;
+    out.clone_store.checkpoint_writes += raw.clone_store.checkpoint_writes;
+    out.clone_store.tracked += raw.clone_store.tracked;
+    out.clone_store.resident += raw.clone_store.resident;
+    out.clone_store.resident_bytes += raw.clone_store.resident_bytes;
+    out.clone_store.disk_bytes += raw.clone_store.disk_bytes;
+    out.clone_store.restore_skipped += raw.clone_store.restore_skipped;
+    out.clone_store.rehydrate_failures += raw.clone_store.rehydrate_failures;
+    out.clone_store.checkpoint_failures +=
+        raw.clone_store.checkpoint_failures;
+  }
+  // Per-session rows sorted by id across shards (shards already sort
+  // their slice, but ids interleave between shards).
+  std::sort(out.per_session.begin(), out.per_session.end(),
+            [](const SessionStats& a, const SessionStats& b) {
+              return a.id < b.id;
+            });
+  out.sessions = out.per_session.size();
+  std::uint64_t batched_frames = 0;
+  for (const auto& raw : raws) batched_frames += raw.batched_frames;
+  for (const auto& ss : out.per_session) {
+    out.frames_in += ss.frames_in;
+    out.frames_out += ss.frames_out;
+    out.frames_dropped += ss.frames_dropped;
+    out.queue_evicted += ss.queue_evicted;
+    out.queue_rejected += ss.queue_rejected;
+    out.results_evicted += ss.results_dropped;
+    out.results_stale += ss.results_stale;
+    out.queue_depth_hwm = std::max(out.queue_depth_hwm, ss.queue_depth_hwm);
+    out.admission_rejected += ss.admission_rejected;
+    out.deadline_shed += ss.deadline_shed;
+    out.non_finite_frames += ss.non_finite_frames;
+    out.non_finite_labels += ss.non_finite_labels;
+    if (ss.quarantined) ++out.quarantined_sessions;
+  }
+  // Queue drops over frames offered (accepted + rejected): the serving
+  // plane's backpressure ratio, gated by bench/check_regression.py.
+  const auto offered = out.frames_in + out.queue_rejected;
+  out.drop_rate = offered ? static_cast<double>(out.frames_dropped) /
+                                static_cast<double>(offered)
+                          : 0.0;
+  // Scheduler-side deadline sheds over the same denominator (gated
+  // separately from drop_rate: sheds only exist at degradation rung 3).
+  out.shed_rate = offered ? static_cast<double>(out.deadline_shed) /
+                                static_cast<double>(offered)
+                          : 0.0;
+  out.in_flight = in_flight;
+  out.overload_level_name =
+      overload_level_name(static_cast<OverloadLevel>(out.overload_level));
+  out.mean_batch = out.batches ? static_cast<double>(batched_frames) /
+                                     static_cast<double>(out.batches)
+                               : 0.0;
+  out.latency_p50_ms = latency.p50() * 1e3;
+  out.latency_p95_ms = latency.p95() * 1e3;
+  out.latency_p99_ms = latency.p99() * 1e3;
+  out.latency_mean_ms = latency.mean() * 1e3;
+  out.latency_max_ms = latency.max() * 1e3;
+  // Derived per-stage and per-backend views, computed at read time from
+  // the merged histograms (never on the hot path).
+  out.detailed = kTelemetryCompiled && cfg.detailed_stats;
+  out.stages.reserve(kNumStages);
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    const auto stage = static_cast<Stage>(i);
+    out.stages.push_back(
+        snapshot_stage(stage, telem.stages.histogram(stage)));
+  }
+  out.backends.reserve(kNumBackends);
+  for (std::size_t i = 0; i < kNumBackends; ++i)
+    out.backends.push_back(
+        snapshot_backend(backend_from_index(i), telem.backends[i]));
+  return out;
+}
+
+}  // namespace
+
+ServeStats Server::stats() const {
+  std::vector<ShardRawStats> raws;
+  std::vector<std::size_t> indices;
+  raws.reserve(shards_.size());
+  indices.reserve(shards_.size());
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    raws.push_back(shards_[k]->raw_stats());
+    indices.push_back(k);
+  }
+  return derive_stats(raws, indices,
+                      in_flight_.load(std::memory_order_relaxed), cfg_);
+}
+
+ServeStats Server::stats(std::size_t shard) const {
+  if (shard >= shards_.size())
+    throw std::out_of_range("serve::Server::stats: shard index " +
+                            std::to_string(shard) + " out of range");
+  std::vector<ShardRawStats> raws;
+  raws.push_back(shards_[shard]->raw_stats());
+  const std::size_t in_flight = raws.front().in_flight;
+  return derive_stats(raws, {shard}, in_flight, cfg_);
+}
+
+}  // namespace fuse::serve

@@ -1,0 +1,257 @@
+#pragma once
+// serve::Server — the sharded multi-session streaming serving runtime
+// (API v2; absorbs the former SessionManager surface, see
+// serve/session_manager.h for the one-PR compatibility shim and
+// DESIGN.md §10 for the old -> new migration table).
+//
+// Sessions are hashed across `ServeConfig::num_shards` independent
+// scheduler shards.  Each shard owns its own scheduler thread, frame
+// workspace, result queues, clone-store instance and overload detector,
+// so batching/adaptation work scales with cores instead of capping at
+// one.  `shard_of(id) == (id - 1) % num_shards` is a pure function of
+// the session id: assignment is deterministic, stable across
+// close_session/recycle_session, and the 1-shard configuration is
+// bit-compatible with the pre-shard scheduler (the equivalence oracle —
+// one shard runs exactly the old single-thread engine).
+//
+// In-flight gauge / overload-detector contract (multi-shard):
+//  * admission (`max_in_flight`) is GLOBAL — one shared atomic gauge of
+//    queued frames across every shard, so the budget bounds total server
+//    memory against a hostile burst no matter how it hashes;
+//  * overload detection is PER-SHARD — each shard's detector reads its
+//    own queue-depth gauge, so a hot shard engages its degradation
+//    ladder (pause-adapt -> int8 -> shed) even while its neighbours sit
+//    idle, and an idle fleet can never mask one overloaded shard.  The
+//    merged stats() reports the max rung across shards.
+//
+// Two serving modes, as before:
+//  * synchronous — run_once()/drain() step every shard from the calling
+//    thread in shard order; fully deterministic, used by tests/benches;
+//  * threaded — start() spawns one scheduler thread per shard; producers
+//    call submit_frame/submit_cube from any thread.
+//
+// Model ownership: the server borrows the shared model and only ever
+// calls its const infer() path, so training code may hold the same
+// object as long as it does not mutate parameters while the server runs.
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/predictor.h"
+#include "nn/module.h"
+#include "radar/processing.h"
+#include "serve/clone_store/clone_store.h"
+#include "serve/overload.h"
+#include "serve/session.h"
+#include "serve/stats.h"
+#include "serve/telemetry.h"
+
+namespace fuse::serve {
+
+class Shard;
+
+/// Why a submit_frame/submit_cube call did (not) enqueue its frame.  The
+/// old bool collapsed "queue full", "admission refused" and "no such
+/// session" into one false; callers that only care use accepted().
+enum class SubmitResult {
+  kAccepted,           ///< enqueued for serving
+  /// Enqueued, but the session is quarantined: it will be served from
+  /// the shared meta-init with adaptation disabled (serve/session.h).
+  /// An *accepted* variant — the frame still produces a result — carried
+  /// in the code so producers can surface the sensor problem.
+  kQuarantined,
+  kQueueFull,          ///< bounded queue full under DropPolicy::kDropNewest
+  kAdmissionRejected,  ///< global max_in_flight budget exhausted
+  kUnknownSession,     ///< no session with that id
+  kNoProcessor,        ///< submit_cube without a ServeConfig::processor
+};
+
+/// True when the frame was enqueued and will produce a result.
+constexpr bool accepted(SubmitResult r) {
+  return r == SubmitResult::kAccepted || r == SubmitResult::kQuarantined;
+}
+
+const char* submit_result_name(SubmitResult r);
+
+struct ServeConfig {
+  std::size_t max_sessions = 64;   ///< across all shards
+  std::size_t max_batch = 16;      ///< frames per batched forward pass
+  /// Scheduler shards.  Sessions hash across them ((id - 1) % num_shards)
+  /// and each shard runs its own scheduler thread with private workspace,
+  /// clone store and overload detector.  1 (default) reproduces the
+  /// pre-shard single-thread engine bit-for-bit.
+  std::size_t num_shards = 1;
+  /// Inference compute backend for batched forward passes.  The GEMM
+  /// backend amortises the conv weight panel across the whole batch;
+  /// kInt8 additionally serves calibrated models (nn::calibrate on the
+  /// shared model first) with quarter-bandwidth int8 weights —
+  /// uncalibrated models fall back to kGemm per layer.  Individual
+  /// sessions may override this via SessionConfig::backend.
+  fuse::nn::Backend backend = fuse::nn::Backend::kGemm;
+  /// Radar DSP front-end for raw-cube ingestion (submit_cube): when set,
+  /// each shard runs cube -> point cloud -> features -> NN per tick
+  /// through its own reusable FrameWorkspace.  Borrowed; must outlive the
+  /// server.  Null disables submit_cube (it returns kNoProcessor).
+  const fuse::radar::Processor* processor = nullptr;
+  /// Per-stage/per-backend telemetry recording (serve/telemetry.h).  Off
+  /// = stats-idle: only the always-on submit->poll latency histogram and
+  /// the plain counters are maintained, with zero extra clock reads on
+  /// the scheduler hot path (the bench's overhead gate compares the two).
+  /// Moot when the layer is compiled out (FUSE_SERVE_TELEMETRY=0).
+  bool detailed_stats = true;
+  /// Adapted-clone lifecycle (serve/clone_store): set clone_store.dir to
+  /// bound the RAM of per-user adapted clones — idle clones are delta-
+  /// checkpointed against the shared meta-init and evicted LRU under
+  /// max_resident_clones / ram_budget_bytes, then transparently
+  /// rehydrated (bit-exact in fp32 mode) when their session is next
+  /// served or adapted.  Empty dir (default) keeps every clone resident.
+  /// With num_shards > 1 each shard keeps its own store instance under
+  /// `<dir>/shard_<k>` (budgets apply per shard); a warm restart must use
+  /// the same num_shards the checkpoints were persisted with.
+  CloneStoreConfig clone_store;
+  /// Global admission budget: total queued frames across every session on
+  /// every shard.  A submit over it is refused at the door
+  /// (kAdmissionRejected; the session's admission_rejected counter), so a
+  /// hostile arrival burst can bound neither memory nor queue latency.
+  /// The gate reads one relaxed atomic, so a concurrent burst can
+  /// overshoot by at most the number of producer threads.  0 = unlimited.
+  std::size_t max_in_flight = 0;
+  /// Overload detector feeding the graceful-degradation ladder
+  /// (serve/overload.h): pause adaptation -> downgrade to int8 -> shed by
+  /// deadline, with hysteresis.  One detector per shard, fed by that
+  /// shard's own queue depth (see the contract at the top of this
+  /// header).  Disabled by default.
+  OverloadConfig overload;
+  SessionConfig session;           ///< defaults for open_session()
+
+  /// Consolidated ServeConfig + nested SessionConfig validation; throws
+  /// std::invalid_argument naming the offending field.  The Server
+  /// constructor calls this; open_session(SessionConfig) re-validates its
+  /// per-session override.
+  void validate() const;
+};
+
+/// Validates a per-session configuration (also covers ServeConfig::
+/// session via ServeConfig::validate); throws std::invalid_argument.
+void validate_session_config(const SessionConfig& cfg);
+
+class Server {
+ public:
+  /// `predictor` (fitted) and `shared_model` must outlive the server.
+  /// Validates `cfg` (ServeConfig::validate).
+  Server(const fuse::core::Predictor* predictor,
+         const fuse::nn::Module* shared_model, ServeConfig cfg = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // ------------------------------------------------------------- shards --
+  std::size_t num_shards() const { return shards_.size(); }
+  /// The shard owning session `id` — a pure function of the id, so the
+  /// mapping is stable across close_session/recycle_session and across
+  /// warm restarts with the same num_shards.
+  std::size_t shard_of(SessionId id) const {
+    return id == 0 ? 0 : (id - 1) % shards_.size();
+  }
+
+  // ------------------------------------------------------------ sessions --
+  /// Opens a session with the server's default session config.
+  SessionId open_session();
+  /// Validates `cfg` (validate_session_config).  Ids are allocated
+  /// sequentially from 1, so consecutive opens round-robin the shards.
+  SessionId open_session(SessionConfig cfg);
+  /// Closes and destroys the session; unpolled results are discarded.
+  void close_session(SessionId id);
+  /// Recycles the session for a new subject: queue, results and sequence
+  /// numbers clear immediately; fusion window, tracker, adaptation buffer
+  /// and per-user model reset on its shard's next pass (safe while the
+  /// shard threads are running).  Results of frames in flight at the time
+  /// of the call are discarded.  The session stays on the same shard.
+  void recycle_session(SessionId id);
+  std::size_t session_count() const;
+
+  // ------------------------------------------------------------- frames --
+  /// Enqueues a frame (any thread).  A non-null `label` marks the frame
+  /// as ground-truth-labeled and feeds the session's online adaptation.
+  SubmitResult submit_frame(SessionId id, const fuse::radar::PointCloud& cloud,
+                            const fuse::human::Pose* label = nullptr);
+
+  /// Enqueues a raw radar cube (any thread); the DSP front-end runs on
+  /// the owning shard's scheduler thread when the frame is collected, so
+  /// producers pay only the copy.
+  SubmitResult submit_cube(SessionId id, fuse::radar::RadarCube cube,
+                           const fuse::human::Pose* label = nullptr);
+
+  /// Moves out the session's finished results (any thread).
+  std::vector<PoseResult> poll_results(SessionId id);
+
+  // -------------------------------------------------------- synchronous --
+  /// One scheduling pass per shard, in shard order (deterministic);
+  /// returns frames served.  Do not mix with start().
+  std::size_t run_once();
+  /// Runs passes until every shard's queues are empty; returns served.
+  std::size_t drain();
+
+  // ------------------------------------------------------------ threaded --
+  /// Spawns one scheduler thread per shard.
+  void start();
+  void stop();
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+
+  // ----------------------------------------------------------- telemetry --
+  /// Merged snapshot across every shard: counters, end-to-end latency
+  /// quantiles (merged at histogram level, so quantiles are exact, not
+  /// averages of quantiles), per-stage and per-backend detail, per-shard
+  /// rows, per-session rows (sorted by id).  overload_level is the max
+  /// rung across shards.  Derived metrics are computed here at read time;
+  /// callable from any thread.
+  ServeStats stats() const;
+  /// Snapshot of one shard only (shard < num_shards()); its per_shard
+  /// vector carries the single row for `shard`.
+  ServeStats stats(std::size_t shard) const;
+  /// stats() serialized as structured JSON (serve::stats_to_json) — the
+  /// live-query payload used by examples/clinic_server and the bench's
+  /// SERVE_stats.json artifact.
+  std::string stats_json() const { return stats_to_json(stats()); }
+
+  // -------------------------------------------------------- warm restart --
+  /// Checkpoints every session's adapted clone to its shard's clone store
+  /// and writes per-shard manifests, so a new process pointed at the same
+  /// clone_store.dir (and the same num_shards) can restore_clones().
+  /// Requires a configured store and a stopped server (throws
+  /// std::logic_error otherwise); no-op when the store is disabled.
+  void persist_clones();
+  /// Re-creates one session (with `scfg`, under its original id and
+  /// therefore on its original shard) per clone checkpoint in each
+  /// shard's manifest.  Call on a fresh server before start(); throws
+  /// std::logic_error while running, or when a checkpointed id does not
+  /// hash to the shard that holds it (the store was persisted with a
+  /// different num_shards — re-sharding is a data migration, not a
+  /// restart).  Returns the restored session ids, sorted.
+  std::vector<SessionId> restore_clones(const SessionConfig& scfg);
+
+ private:
+  std::size_t session_count_unlocked() const;
+
+  const fuse::core::Predictor* predictor_;
+  const fuse::nn::Module* shared_model_;
+  ServeConfig cfg_;
+  /// Global admission gauge: queued frames across every shard.  Declared
+  /// before shards_ so every Session (which holds a pointer into it and
+  /// drains it on destruction) is destroyed first.
+  std::atomic<std::size_t> in_flight_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Guards id allocation and the max_sessions cap across shards.
+  mutable std::mutex open_mu_;
+  SessionId next_id_ = 1;
+
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace fuse::serve

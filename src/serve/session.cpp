@@ -38,8 +38,9 @@ bool Session::enqueue_frame(InFrame f, double now_s) {
   queue_.push_back(std::move(f));
   queue_hwm_ = std::max(queue_hwm_, queue_.size());
   ++frames_in_;
-  if (in_flight_ != nullptr && !evicted)
-    in_flight_->fetch_add(1, std::memory_order_relaxed);
+  // An eviction nets zero queued frames (-1 evicted, +1 new), so the
+  // gauges only tick on a genuine depth increase.
+  if (!evicted) add_in_flight(1);
   return true;
 }
 
@@ -62,7 +63,7 @@ std::optional<Session::InFrame> Session::pop(bool* recycled) {
   if (queue_.empty()) return std::nullopt;
   InFrame f = std::move(queue_.front());
   queue_.pop_front();
-  if (in_flight_ != nullptr) in_flight_->fetch_sub(1, std::memory_order_relaxed);
+  sub_in_flight(1);
   return f;
 }
 
@@ -115,8 +116,7 @@ AdaptState Session::adapt_state() const {
 
 void Session::request_recycle() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (in_flight_ != nullptr)
-    in_flight_->fetch_sub(queue_.size(), std::memory_order_relaxed);
+  sub_in_flight(queue_.size());
   queue_.clear();
   results_.clear();
   next_seq_ = 0;  // the new subject's stream counts from zero

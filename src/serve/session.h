@@ -91,18 +91,24 @@ class Session {
   }
   ~Session() {
     // Queued frames die with the session: release their admission slots.
-    if (in_flight_ != nullptr)
-      in_flight_->fetch_sub(queue_.size(), std::memory_order_relaxed);
+    sub_in_flight(queue_.size());
   }
 
   SessionId id() const { return id_; }
   const SessionConfig& config() const { return cfg_; }
 
-  /// Binds the manager's global queued-frame gauge (admission control):
-  /// every accepted frame increments it, every pop/clear/destruction
-  /// decrements, always under mu_ so the gauge tracks the queue exactly.
-  /// Bind before the first enqueue; the atomic must outlive the session.
-  void bind_in_flight(std::atomic<std::size_t>* gauge) { in_flight_ = gauge; }
+  /// Binds the server's queued-frame gauges: `global` is the admission
+  /// gauge shared across every shard (ServeConfig::max_in_flight),
+  /// `shard` the owning shard's local gauge that feeds its overload
+  /// detector.  Every accepted frame increments both, every
+  /// pop/clear/destruction decrements both, always under mu_ so the
+  /// gauges track the queue exactly.  Either may be null (untracked).
+  /// Bind before the first enqueue; the atomics must outlive the session.
+  void bind_in_flight(std::atomic<std::size_t>* global,
+                      std::atomic<std::size_t>* shard) {
+    global_in_flight_ = global;
+    shard_in_flight_ = shard;
+  }
 
   // ------------------------------------------------------ producer side --
   struct InFrame {
@@ -229,6 +235,23 @@ class Session {
   /// Shared enqueue tail: stamps the frame and applies the drop policy.
   bool enqueue_frame(InFrame f, double now_s);
 
+  /// Ticks both bound gauges by +n / -n (callers hold mu_ or are the
+  /// destructor).
+  void add_in_flight(std::size_t n) {
+    if (n == 0) return;
+    if (global_in_flight_ != nullptr)
+      global_in_flight_->fetch_add(n, std::memory_order_relaxed);
+    if (shard_in_flight_ != nullptr)
+      shard_in_flight_->fetch_add(n, std::memory_order_relaxed);
+  }
+  void sub_in_flight(std::size_t n) {
+    if (n == 0) return;
+    if (global_in_flight_ != nullptr)
+      global_in_flight_->fetch_sub(n, std::memory_order_relaxed);
+    if (shard_in_flight_ != nullptr)
+      shard_in_flight_->fetch_sub(n, std::memory_order_relaxed);
+  }
+
   const SessionId id_;
   const SessionConfig cfg_;
 
@@ -248,7 +271,10 @@ class Session {
   std::uint64_t non_finite_frames_ = 0;
   std::uint64_t non_finite_labels_ = 0;
   bool quarantined_ = false;
-  std::atomic<std::size_t>* in_flight_ = nullptr;  ///< manager's gauge
+  /// Bound queued-frame gauges (see bind_in_flight): the server-global
+  /// admission gauge and the owning shard's local gauge.
+  std::atomic<std::size_t>* global_in_flight_ = nullptr;
+  std::atomic<std::size_t>* shard_in_flight_ = nullptr;
   bool recycle_pending_ = false;
   std::uint64_t recycle_epoch_ = 0;  ///< bumped per recycle request
   // Mirrors of scheduler-side adaptation state, updated under mu_ so that

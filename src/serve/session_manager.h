@@ -1,204 +1,34 @@
 #pragma once
-// SessionManager — the multi-session streaming serving runtime.
+// DEPRECATED compatibility shim — kept for exactly one PR.
 //
-// Owns N concurrent sessions, each with its own bounded frame queue,
-// fusion window, pose tracker and (optionally) a per-user fine-tuned clone
-// of the shared meta-learned model.  An inference scheduler drains the
-// queues and micro-batches featurized frames across sessions into single
-// batched forward passes (see serve/scheduler.h for the policy).
-//
-// Two serving modes:
-//  * synchronous — call run_once()/drain() from your own loop; used by the
-//    tests and benchmarks, fully deterministic;
-//  * threaded — start() spawns one scheduler thread that batches whatever
-//    is queued and sleeps when idle; producers call submit_frame from any
-//    thread.
-//
-// Model ownership: the manager borrows the shared model and only ever
-// calls its const infer() path, so training code may hold the same object
-// as long as it does not mutate parameters while the server runs.
+// The serving runtime's public surface is now serve::Server
+// (serve/server.h): sessions shard across N scheduler threads and
+// submit_frame/submit_cube return a SubmitResult enum instead of a lossy
+// bool.  SessionManager forwards everything to a Server and narrows the
+// submit results back to bool (true == accepted(), i.e. the frame was
+// enqueued and will produce a result) so existing call sites keep
+// compiling unchanged during the migration.  New code must use
+// serve::Server; the old -> new mapping is tabulated in DESIGN.md §10.
 
-#include <atomic>
-#include <condition_variable>
-#include <cstddef>
-#include <memory>
-#include <mutex>
-#include <thread>
-#include <unordered_map>
-#include <vector>
-
-#include "core/predictor.h"
-#include "nn/module.h"
-#include "serve/clone_store/clone_store.h"
-#include "serve/overload.h"
-#include "serve/scheduler.h"
-#include "serve/session.h"
-#include "serve/stats.h"
+#include "serve/server.h"
 
 namespace fuse::serve {
 
-struct ServeConfig {
-  std::size_t max_sessions = 64;
-  std::size_t max_batch = 16;      ///< frames per batched forward pass
-  /// Inference compute backend for batched forward passes.  The GEMM
-  /// backend amortises the conv weight panel across the whole batch;
-  /// kInt8 additionally serves calibrated models (nn::calibrate on the
-  /// shared model first) with quarter-bandwidth int8 weights —
-  /// uncalibrated models fall back to kGemm per layer.  Individual
-  /// sessions may override this via SessionConfig::backend.
-  fuse::nn::Backend backend = fuse::nn::Backend::kGemm;
-  /// Radar DSP front-end for raw-cube ingestion (submit_cube): when set,
-  /// the scheduler runs cube -> point cloud -> features -> NN per tick
-  /// through its reusable FrameWorkspace.  Borrowed; must outlive the
-  /// manager.  Null disables submit_cube (it then rejects frames).
-  const fuse::radar::Processor* processor = nullptr;
-  /// Per-stage/per-backend telemetry recording (serve/telemetry.h).  Off
-  /// = stats-idle: only the always-on submit->poll latency histogram and
-  /// the plain counters are maintained, with zero extra clock reads on
-  /// the scheduler hot path (the bench's overhead gate compares the two).
-  /// Moot when the layer is compiled out (FUSE_SERVE_TELEMETRY=0).
-  bool detailed_stats = true;
-  /// Adapted-clone lifecycle (serve/clone_store): set clone_store.dir to
-  /// bound the RAM of per-user adapted clones — idle clones are delta-
-  /// checkpointed against the shared meta-init and evicted LRU under
-  /// max_resident_clones / ram_budget_bytes, then transparently
-  /// rehydrated (bit-exact in fp32 mode) when their session is next
-  /// served or adapted.  Empty dir (default) keeps every clone resident.
-  CloneStoreConfig clone_store;
-  /// Global admission budget: total queued frames across every session.
-  /// A submit over it is refused at the door (the session's
-  /// admission_rejected counter; submit returns false), so a hostile
-  /// arrival burst can bound neither memory nor queue latency.  The gate
-  /// reads one relaxed atomic, so a concurrent burst can overshoot by at
-  /// most the number of producer threads.  0 = unlimited (pre-PR 8
-  /// behaviour).
-  std::size_t max_in_flight = 0;
-  /// Overload detector feeding the graceful-degradation ladder
-  /// (serve/overload.h): pause adaptation -> downgrade to int8 -> shed by
-  /// deadline, with hysteresis.  Disabled by default.
-  OverloadConfig overload;
-  SessionConfig session;           ///< defaults for open_session()
-};
-
-class SessionManager {
+class SessionManager : public Server {
  public:
-  /// `predictor` (fitted) and `shared_model` must outlive the manager.
-  SessionManager(const fuse::core::Predictor* predictor,
-                 const fuse::nn::Module* shared_model, ServeConfig cfg = {});
-  ~SessionManager();
+  using Server::Server;
 
-  SessionManager(const SessionManager&) = delete;
-  SessionManager& operator=(const SessionManager&) = delete;
-
-  // ------------------------------------------------------------ sessions --
-  /// Opens a session with the manager's default session config.
-  SessionId open_session();
-  SessionId open_session(SessionConfig cfg);
-  /// Closes and destroys the session; unpolled results are discarded.
-  void close_session(SessionId id);
-  /// Recycles the session for a new subject: queue, results and sequence
-  /// numbers clear immediately; fusion window, tracker, adaptation buffer
-  /// and per-user model reset on the scheduler's next pass (safe while the
-  /// scheduler thread is running).  Results of frames in flight at the
-  /// time of the call are discarded.
-  void recycle_session(SessionId id);
-  std::size_t session_count() const;
-
-  // ------------------------------------------------------------- frames --
-  /// Enqueues a frame (any thread).  A non-null `label` marks the frame as
-  /// ground-truth-labeled and feeds the session's online adaptation.
-  /// Returns false when the frame was rejected (unknown session, or full
-  /// queue under DropPolicy::kDropNewest).
+  /// Deprecated: use Server::submit_frame and inspect the SubmitResult.
   bool submit_frame(SessionId id, const fuse::radar::PointCloud& cloud,
-                    const fuse::human::Pose* label = nullptr);
+                    const fuse::human::Pose* label = nullptr) {
+    return accepted(Server::submit_frame(id, cloud, label));
+  }
 
-  /// Enqueues a raw radar cube (any thread); the DSP front-end runs on the
-  /// scheduler thread when the frame is collected, so producers pay only
-  /// the copy.  Returns false when the frame was rejected (unknown
-  /// session, full queue under kDropNewest, or no ServeConfig::processor).
+  /// Deprecated: use Server::submit_cube and inspect the SubmitResult.
   bool submit_cube(SessionId id, fuse::radar::RadarCube cube,
-                   const fuse::human::Pose* label = nullptr);
-
-  /// Moves out the session's finished results (any thread).
-  std::vector<PoseResult> poll_results(SessionId id);
-
-  // -------------------------------------------------------- synchronous --
-  /// One scheduling pass; returns frames served.  Do not mix with start().
-  std::size_t run_once();
-  /// Runs passes until every queue is empty; returns frames served.
-  std::size_t drain();
-
-  // ------------------------------------------------------------ threaded --
-  void start();
-  void stop();
-  bool running() const { return running_; }
-
-  // ----------------------------------------------------------- telemetry --
-  /// Full snapshot: counters, end-to-end latency quantiles, per-stage and
-  /// per-backend detail, drop causes, per-session rows.  Derived metrics
-  /// are computed here at read time; callable from any thread.
-  ServeStats stats() const;
-  /// stats() serialized as structured JSON (serve::stats_to_json) — the
-  /// live-query payload used by examples/clinic_server and the bench's
-  /// SERVE_stats.json artifact.
-  std::string stats_json() const { return stats_to_json(stats()); }
-
-  // -------------------------------------------------------- warm restart --
-  /// Checkpoints every session's adapted clone to the clone store and
-  /// writes its manifest, so a new process pointed at the same
-  /// clone_store.dir can restore_clones().  Requires a configured store
-  /// and a stopped server (throws std::logic_error otherwise); no-op when
-  /// the store is disabled.
-  void persist_clones();
-  /// Re-creates one session (with `scfg`, under its original id) per
-  /// clone checkpoint in the store's manifest; each session's adapted
-  /// clone rehydrates transparently on its first frame.  Call on a fresh
-  /// manager before start(); throws std::logic_error while running.
-  /// Returns the restored session ids (empty on a cold start).
-  std::vector<SessionId> restore_clones(const SessionConfig& scfg);
-
- private:
-  /// Admission gate: false = the global in-flight budget is full and the
-  /// frame was refused (counted against `s`).
-  bool admit(Session& s);
-  std::shared_ptr<Session> find(SessionId id) const;
-  std::vector<std::shared_ptr<Session>> snapshot_sessions() const;
-  void scheduler_loop();
-  /// Flags pending work (under wake_mu_) and wakes the scheduler thread;
-  /// no-op in synchronous mode.
-  void wake_scheduler();
-
-  const fuse::core::Predictor* predictor_;
-  const fuse::nn::Module* shared_model_;
-  ServeConfig cfg_;
-  /// Queued frames across every session (admission gauge).  Declared
-  /// before sessions_ so every Session (which holds a pointer into it and
-  /// drains it on destruction) is destroyed first.
-  std::atomic<std::size_t> in_flight_{0};
-  CloneStore clone_store_;
-  Scheduler scheduler_;
-  /// Scheduling-thread only (fed by run_once); level/transitions are
-  /// mirrored into the atomics below for any-thread stats() readers.
-  OverloadDetector detector_;
-  std::atomic<int> overload_level_{0};
-  std::atomic<std::uint64_t> overload_transitions_{0};
-
-  mutable std::mutex sessions_mu_;
-  std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
-  SessionId next_id_ = 1;
-
-  mutable std::mutex stats_mu_;
-  LatencyHistogram latency_;
-  Telemetry telem_;  ///< cumulative per-stage/per-backend detail
-  std::uint64_t batches_ = 0;
-  std::uint64_t batched_frames_ = 0;
-
-  std::thread thread_;
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
-  std::atomic<bool> running_{false};
-  bool stop_requested_ = false;  ///< guarded by wake_mu_
-  bool work_pending_ = false;    ///< guarded by wake_mu_; set by producers
+                   const fuse::human::Pose* label = nullptr) {
+    return accepted(Server::submit_cube(id, std::move(cube), label));
+  }
 };
 
 }  // namespace fuse::serve

@@ -1,27 +1,32 @@
-#include "serve/session_manager.h"
+#include "serve/shard.h"
 
 #include <algorithm>
 #include <chrono>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "util/fault.h"
 #include "util/log.h"
 
 namespace fuse::serve {
 
-SessionManager::SessionManager(const fuse::core::Predictor* predictor,
-                               const fuse::nn::Module* shared_model,
-                               ServeConfig cfg)
+Shard::Shard(const fuse::core::Predictor* predictor,
+             const fuse::nn::Module* shared_model, const ServeConfig& cfg,
+             std::size_t index, std::atomic<std::size_t>* global_in_flight)
     : predictor_(predictor),
       shared_model_(shared_model),
       cfg_(cfg),
+      index_(index),
+      global_in_flight_(global_in_flight),
       scheduler_(predictor, shared_model, cfg.max_batch, cfg.backend,
                  cfg.processor) {
-  if (!predictor_ || !predictor_->valid())
-    throw std::invalid_argument("SessionManager: predictor not fitted");
-  if (!shared_model_)
-    throw std::invalid_argument("SessionManager: null shared model");
+  // Per-shard clone store: shards must never share checkpoint files, so
+  // each one owns `<dir>/shard_<k>`.  The 1-shard layout stays exactly
+  // `<dir>` — backward compatible with checkpoints persisted before
+  // sharding existed.
+  if (!cfg_.clone_store.dir.empty() && cfg_.num_shards > 1)
+    cfg_.clone_store.dir += "/shard_" + std::to_string(index_);
   scheduler_.set_detailed_stats(cfg_.detailed_stats);
   clone_store_.configure(cfg_.clone_store, shared_model_);
   scheduler_.set_clone_store(&clone_store_);
@@ -29,23 +34,17 @@ SessionManager::SessionManager(const fuse::core::Predictor* predictor,
   scheduler_.set_shed_deadline(cfg_.overload.shed_deadline_s);
 }
 
-SessionManager::~SessionManager() { stop(); }
+Shard::~Shard() { stop(); }
 
-SessionId SessionManager::open_session() { return open_session(cfg_.session); }
-
-SessionId SessionManager::open_session(SessionConfig scfg) {
+void Shard::open_session(SessionId id, SessionConfig scfg) {
   std::lock_guard<std::mutex> lock(sessions_mu_);
-  if (sessions_.size() >= cfg_.max_sessions)
-    throw std::runtime_error("SessionManager: max_sessions reached");
-  const SessionId id = next_id_++;
   auto s = std::make_shared<Session>(id, std::move(scfg));
-  s->bind_in_flight(&in_flight_);
+  s->bind_in_flight(global_in_flight_, &shard_in_flight_);
   sessions_.emplace(id, std::move(s));
-  FUSE_LOG_DEBUG("serve: opened session %zu", id);
-  return id;
+  FUSE_LOG_DEBUG("serve: opened session %zu on shard %zu", id, index_);
 }
 
-void SessionManager::close_session(SessionId id) {
+void Shard::close_session(SessionId id) {
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     sessions_.erase(id);
@@ -55,24 +54,23 @@ void SessionManager::close_session(SessionId id) {
   clone_store_.request_forget(id);
 }
 
-void SessionManager::recycle_session(SessionId id) {
+void Shard::recycle_session(SessionId id) {
   auto s = find(id);
   if (s) s->request_recycle();
 }
 
-std::size_t SessionManager::session_count() const {
+std::size_t Shard::session_count() const {
   std::lock_guard<std::mutex> lock(sessions_mu_);
   return sessions_.size();
 }
 
-std::shared_ptr<Session> SessionManager::find(SessionId id) const {
+std::shared_ptr<Session> Shard::find(SessionId id) const {
   std::lock_guard<std::mutex> lock(sessions_mu_);
   const auto it = sessions_.find(id);
   return it == sessions_.end() ? nullptr : it->second;
 }
 
-std::vector<std::shared_ptr<Session>>
-SessionManager::snapshot_sessions() const {
+std::vector<std::shared_ptr<Session>> Shard::snapshot_sessions() const {
   std::lock_guard<std::mutex> lock(sessions_mu_);
   std::vector<std::shared_ptr<Session>> out;
   out.reserve(sessions_.size());
@@ -83,7 +81,7 @@ SessionManager::snapshot_sessions() const {
   return out;
 }
 
-void SessionManager::wake_scheduler() {
+void Shard::wake_scheduler() {
   if (!running_) return;
   // The flag is set under wake_mu_, so the scheduler cannot miss a frame
   // submitted between its last empty pass and its wait.
@@ -101,20 +99,20 @@ namespace {
 constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
 }  // namespace
 
-bool SessionManager::admit(Session& s) {
+bool Shard::admit(Session& s) {
   if (cfg_.max_in_flight == 0 ||
-      in_flight_.load(std::memory_order_relaxed) < cfg_.max_in_flight)
+      global_in_flight_->load(std::memory_order_relaxed) < cfg_.max_in_flight)
     return true;
   s.note_admission_rejected();
   return false;
 }
 
-bool SessionManager::submit_frame(SessionId id,
-                                  const fuse::radar::PointCloud& cloud,
-                                  const fuse::human::Pose* label) {
+SubmitResult Shard::submit_frame(SessionId id,
+                                 const fuse::radar::PointCloud& cloud,
+                                 const fuse::human::Pose* label) {
   auto s = find(id);
-  if (!s) return false;
-  if (!admit(*s)) return false;
+  if (!s) return SubmitResult::kUnknownSession;
+  if (!admit(*s)) return SubmitResult::kAdmissionRejected;
   fuse::human::Pose bad_label;
   if (label != nullptr &&
       fuse::util::fault_fire(fuse::util::FaultPoint::kCorruptLabel)) {
@@ -122,25 +120,30 @@ bool SessionManager::submit_frame(SessionId id,
     bad_label.joints[0].x = kNaN;
     label = &bad_label;
   }
-  bool accepted;
+  bool enqueued;
   if (fuse::util::fault_fire(fuse::util::FaultPoint::kCorruptCloud)) {
     fuse::radar::PointCloud bad = cloud;
     if (bad.points.empty()) bad.points.emplace_back();
     bad.points[0].y = kNaN;
-    accepted = s->enqueue(bad, label, mono_seconds());
+    enqueued = s->enqueue(bad, label, mono_seconds());
   } else {
-    accepted = s->enqueue(cloud, label, mono_seconds());
+    enqueued = s->enqueue(cloud, label, mono_seconds());
   }
   wake_scheduler();
-  return accepted;
+  if (!enqueued) return SubmitResult::kQueueFull;
+  // Quarantined sessions still serve (from the shared meta-init), so the
+  // frame IS enqueued — the code just surfaces the sensor problem.
+  return s->quarantined() ? SubmitResult::kQuarantined
+                          : SubmitResult::kAccepted;
 }
 
-bool SessionManager::submit_cube(SessionId id, fuse::radar::RadarCube cube,
-                                 const fuse::human::Pose* label) {
-  if (cfg_.processor == nullptr) return false;  // no DSP front-end wired
+SubmitResult Shard::submit_cube(SessionId id, fuse::radar::RadarCube cube,
+                                const fuse::human::Pose* label) {
+  if (cfg_.processor == nullptr)  // no DSP front-end wired
+    return SubmitResult::kNoProcessor;
   auto s = find(id);
-  if (!s) return false;
-  if (!admit(*s)) return false;
+  if (!s) return SubmitResult::kUnknownSession;
+  if (!admit(*s)) return SubmitResult::kAdmissionRejected;
   fuse::human::Pose bad_label;
   if (label != nullptr &&
       fuse::util::fault_fire(fuse::util::FaultPoint::kCorruptLabel)) {
@@ -151,13 +154,15 @@ bool SessionManager::submit_cube(SessionId id, fuse::radar::RadarCube cube,
   if (fuse::util::fault_fire(fuse::util::FaultPoint::kCorruptCube) &&
       cube.n_virtual() > 0)
     cube.at(0, 0, 0) = {kNaN, kNaN};
-  const bool accepted = s->enqueue_cube(std::move(cube), label,
+  const bool enqueued = s->enqueue_cube(std::move(cube), label,
                                         mono_seconds());
   wake_scheduler();
-  return accepted;
+  if (!enqueued) return SubmitResult::kQueueFull;
+  return s->quarantined() ? SubmitResult::kQuarantined
+                          : SubmitResult::kAccepted;
 }
 
-std::vector<PoseResult> SessionManager::poll_results(SessionId id) {
+std::vector<PoseResult> Shard::poll_results(SessionId id) {
   auto s = find(id);
   if (!s) return {};
   auto out = s->take_results();
@@ -173,7 +178,7 @@ std::vector<PoseResult> SessionManager::poll_results(SessionId id) {
   return out;
 }
 
-std::size_t SessionManager::run_once() {
+std::size_t Shard::run_once() {
   const auto snapshot = snapshot_sessions();
   std::vector<Session*> sessions;
   sessions.reserve(snapshot.size());
@@ -187,11 +192,13 @@ std::size_t SessionManager::run_once() {
   const PassStats pass = scheduler_.run_once(sessions, rec);
   if (overload) {
     // Feed the detector this pass's tick latency and the post-pass queue
-    // backlog (the admission gauge IS the total queue depth), then arm the
-    // ladder rung the NEXT pass runs at.  All on the scheduling thread —
-    // the detector itself is single-threaded state.
+    // backlog — the SHARD's own gauge, not the global admission gauge, so
+    // a hot shard engages even when the rest of the fleet is idle — then
+    // arm the ladder rung the NEXT pass runs at.  All on this shard's
+    // scheduling thread — the detector itself is single-threaded state.
     const auto level = detector_.update(
-        in_flight_.load(std::memory_order_relaxed), mono_seconds() - t0);
+        shard_in_flight_.load(std::memory_order_relaxed),
+        mono_seconds() - t0);
     scheduler_.set_overload_level(level);
     overload_level_.store(static_cast<int>(level), std::memory_order_relaxed);
     overload_transitions_.store(detector_.transitions(),
@@ -205,20 +212,20 @@ std::size_t SessionManager::run_once() {
   return pass.served;
 }
 
-std::size_t SessionManager::drain() {
+std::size_t Shard::drain() {
   std::size_t total = 0;
   while (const std::size_t served = run_once()) total += served;
   return total;
 }
 
-void SessionManager::start() {
+void Shard::start() {
   if (running_) return;
   stop_requested_ = false;
   running_ = true;
   thread_ = std::thread([this] { scheduler_loop(); });
 }
 
-void SessionManager::stop() {
+void Shard::stop() {
   if (!running_) return;
   {
     std::lock_guard<std::mutex> lock(wake_mu_);
@@ -229,7 +236,7 @@ void SessionManager::stop() {
   running_ = false;
 }
 
-void SessionManager::scheduler_loop() {
+void Shard::scheduler_loop() {
   for (;;) {
     const std::size_t served = run_once();
     if (served > 0) continue;
@@ -240,17 +247,16 @@ void SessionManager::scheduler_loop() {
       drain();
       return;
     }
-    // An idle server blocks here until a producer flags new work; the
+    // An idle shard blocks here until a producer flags new work; the
     // predicate makes the untimed wait immune to lost notifies.
     wake_cv_.wait(lock, [this] { return work_pending_ || stop_requested_; });
     work_pending_ = false;
   }
 }
 
-void SessionManager::persist_clones() {
+void Shard::persist_clones() {
   if (running_)
-    throw std::logic_error(
-        "SessionManager::persist_clones: stop() the server first");
+    throw std::logic_error("Server::persist_clones: stop() the server first");
   if (!clone_store_.enabled()) return;
   // The store's scheduler-thread contract holds here: no scheduler thread
   // is running, so this caller IS the scheduler side.  Queued forgets are
@@ -263,91 +269,39 @@ void SessionManager::persist_clones() {
   clone_store_.persist(sessions);
 }
 
-std::vector<SessionId> SessionManager::restore_clones(
-    const SessionConfig& scfg) {
+std::vector<SessionId> Shard::restore_clones(const SessionConfig& scfg) {
   if (running_)
-    throw std::logic_error(
-        "SessionManager::restore_clones: call before start()");
+    throw std::logic_error("Server::restore_clones: call before start()");
   const auto ids = clone_store_.restore();
   std::lock_guard<std::mutex> lock(sessions_mu_);
   for (const SessionId id : ids) {
     if (sessions_.count(id))
-      throw std::logic_error("SessionManager::restore_clones: session id " +
+      throw std::logic_error("Server::restore_clones: session id " +
                              std::to_string(id) + " already open");
     auto s = std::make_shared<Session>(id, scfg);
-    s->bind_in_flight(&in_flight_);
+    s->bind_in_flight(global_in_flight_, &shard_in_flight_);
     sessions_.emplace(id, std::move(s));
-    // Fresh ids must never collide with a restored one.
-    next_id_ = std::max(next_id_, id + 1);
   }
-  if (sessions_.size() > cfg_.max_sessions)
-    throw std::runtime_error("SessionManager: max_sessions reached");
-  FUSE_LOG_DEBUG("serve: restored %zu clone sessions", ids.size());
+  FUSE_LOG_DEBUG("serve: shard %zu restored %zu clone sessions", index_,
+                 ids.size());
   return ids;
 }
 
-ServeStats SessionManager::stats() const {
-  ServeStats out;
+ShardRawStats Shard::raw_stats() const {
+  ShardRawStats out;
   const auto snapshot = snapshot_sessions();
-  out.sessions = snapshot.size();
-  for (const auto& s : snapshot) {
-    auto ss = s->stats_snapshot();
-    out.frames_in += ss.frames_in;
-    out.frames_out += ss.frames_out;
-    out.frames_dropped += ss.frames_dropped;
-    out.queue_evicted += ss.queue_evicted;
-    out.queue_rejected += ss.queue_rejected;
-    out.results_evicted += ss.results_dropped;
-    out.results_stale += ss.results_stale;
-    out.queue_depth_hwm = std::max(out.queue_depth_hwm, ss.queue_depth_hwm);
-    out.admission_rejected += ss.admission_rejected;
-    out.deadline_shed += ss.deadline_shed;
-    out.non_finite_frames += ss.non_finite_frames;
-    out.non_finite_labels += ss.non_finite_labels;
-    if (ss.quarantined) ++out.quarantined_sessions;
-    out.per_session.push_back(std::move(ss));
-  }
-  // Queue drops over frames offered (accepted + rejected): the serving
-  // plane's backpressure ratio, gated by bench/check_regression.py.
-  const auto offered = out.frames_in + out.queue_rejected;
-  out.drop_rate = offered ? static_cast<double>(out.frames_dropped) /
-                                static_cast<double>(offered)
-                          : 0.0;
-  // Scheduler-side deadline sheds over the same denominator (gated
-  // separately from drop_rate: sheds only exist at degradation rung 3).
-  out.shed_rate = offered ? static_cast<double>(out.deadline_shed) /
-                                static_cast<double>(offered)
-                          : 0.0;
-  out.in_flight = in_flight_.load(std::memory_order_relaxed);
+  out.sessions.reserve(snapshot.size());
+  for (const auto& s : snapshot) out.sessions.push_back(s->stats_snapshot());
+  out.in_flight = shard_in_flight_.load(std::memory_order_relaxed);
   out.overload_level = overload_level_.load(std::memory_order_relaxed);
-  out.overload_level_name =
-      overload_level_name(static_cast<OverloadLevel>(out.overload_level));
   out.overload_transitions =
       overload_transitions_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  out.batches = batches_;
-  out.mean_batch = batches_ ? static_cast<double>(batched_frames_) /
-                                  static_cast<double>(batches_)
-                            : 0.0;
-  out.latency_p50_ms = latency_.p50() * 1e3;
-  out.latency_p95_ms = latency_.p95() * 1e3;
-  out.latency_p99_ms = latency_.p99() * 1e3;
-  out.latency_mean_ms = latency_.mean() * 1e3;
-  out.latency_max_ms = latency_.max() * 1e3;
-  // Derived per-stage and per-backend views, computed at read time from
-  // the raw histograms (never on the hot path).
-  out.detailed = kTelemetryCompiled && cfg_.detailed_stats;
-  out.stages.reserve(kNumStages);
-  for (std::size_t i = 0; i < kNumStages; ++i) {
-    const auto stage = static_cast<Stage>(i);
-    out.stages.push_back(
-        snapshot_stage(stage, telem_.stages.histogram(stage)));
-  }
-  out.backends.reserve(kNumBackends);
-  for (std::size_t i = 0; i < kNumBackends; ++i)
-    out.backends.push_back(
-        snapshot_backend(backend_from_index(i), telem_.backends[i]));
   out.clone_store = clone_store_.stats_snapshot();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  out.latency = latency_;
+  out.telem = telem_;
+  out.batches = batches_;
+  out.batched_frames = batched_frames_;
   return out;
 }
 

@@ -1,0 +1,148 @@
+#pragma once
+// Shard — one scheduler shard of the serving plane (internal engine
+// behind serve::Server; not part of the public API).
+//
+// A shard is exactly the pre-shard single-thread serving runtime: it owns
+// its slice of the session map, one Scheduler (and therefore one private
+// FrameWorkspace / featurize scratch), one clone-store instance, one
+// OverloadDetector, and — in threaded mode — one scheduler thread with
+// its own wake condition variable.  serve::Server hashes sessions across
+// N of these; with N == 1 the engine is bit-compatible with the old
+// SessionManager (the equivalence oracle).
+//
+// Gauge contract (see server.h): every accepted frame ticks TWO gauges —
+// the server-global admission gauge (bounds total queued frames for
+// max_in_flight) and this shard's local gauge, which is what feeds the
+// shard's overload detector, so a hot shard engages its degradation
+// ladder regardless of how idle the other shards are.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/predictor.h"
+#include "nn/module.h"
+#include "serve/clone_store/clone_store.h"
+#include "serve/overload.h"
+#include "serve/scheduler.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "serve/stats.h"
+#include "serve/telemetry.h"
+
+namespace fuse::serve {
+
+/// Raw per-shard stats surface: everything Server needs to derive either
+/// a per-shard or a merged ServeStats snapshot.  Histograms are carried
+/// whole (not as quantiles) so the merged quantiles are exact.
+struct ShardRawStats {
+  std::vector<SessionStats> sessions;  ///< sorted by id
+  LatencyHistogram latency;
+  Telemetry telem;
+  std::uint64_t batches = 0;
+  std::uint64_t batched_frames = 0;
+  std::size_t in_flight = 0;  ///< this shard's queued frames
+  int overload_level = 0;
+  std::uint64_t overload_transitions = 0;
+  CloneStoreSnapshot clone_store;
+};
+
+class Shard {
+ public:
+  /// `cfg` is the server-wide config; with num_shards > 1 the shard
+  /// rewrites its clone-store dir to `<dir>/shard_<index>` so stores
+  /// never share checkpoint files.  `global_in_flight` is the server's
+  /// admission gauge (borrowed; outlives the shard).
+  Shard(const fuse::core::Predictor* predictor,
+        const fuse::nn::Module* shared_model, const ServeConfig& cfg,
+        std::size_t index, std::atomic<std::size_t>* global_in_flight);
+  ~Shard();
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  std::size_t index() const { return index_; }
+
+  // ------------------------------------------------------------ sessions --
+  /// Ids are allocated by the Server (which owns the max_sessions cap).
+  void open_session(SessionId id, SessionConfig scfg);
+  void close_session(SessionId id);
+  void recycle_session(SessionId id);
+  std::size_t session_count() const;
+
+  // ------------------------------------------------------------- frames --
+  SubmitResult submit_frame(SessionId id, const fuse::radar::PointCloud& cloud,
+                            const fuse::human::Pose* label);
+  SubmitResult submit_cube(SessionId id, fuse::radar::RadarCube cube,
+                           const fuse::human::Pose* label);
+  std::vector<PoseResult> poll_results(SessionId id);
+
+  // ------------------------------------------------- scheduling / thread --
+  std::size_t run_once();
+  std::size_t drain();
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  // -------------------------------------------------------- warm restart --
+  void persist_clones();
+  /// Registers the shard store's checkpoints and re-creates their
+  /// sessions; returns the restored ids (Server validates the id -> shard
+  /// mapping and enforces max_sessions).
+  std::vector<SessionId> restore_clones(const SessionConfig& scfg);
+
+  // ----------------------------------------------------------- telemetry --
+  ShardRawStats raw_stats() const;
+
+ private:
+  /// Admission gate: false = the GLOBAL in-flight budget is full and the
+  /// frame was refused (counted against `s`).
+  bool admit(Session& s);
+  std::shared_ptr<Session> find(SessionId id) const;
+  std::vector<std::shared_ptr<Session>> snapshot_sessions() const;
+  void scheduler_loop();
+  /// Flags pending work (under wake_mu_) and wakes the shard's scheduler
+  /// thread; no-op in synchronous mode.
+  void wake_scheduler();
+
+  const fuse::core::Predictor* predictor_;
+  const fuse::nn::Module* shared_model_;
+  ServeConfig cfg_;  ///< server config with this shard's clone-store dir
+  const std::size_t index_;
+  /// Server-global admission gauge (max_in_flight) — shared across
+  /// shards.  Declared before sessions_ so sessions (which drain it on
+  /// destruction) die first; the atomic itself outlives the shard.
+  std::atomic<std::size_t>* global_in_flight_;
+  /// This shard's queued frames: feeds the shard's overload detector.
+  std::atomic<std::size_t> shard_in_flight_{0};
+  CloneStore clone_store_;
+  Scheduler scheduler_;
+  /// Scheduling-thread only (fed by run_once); level/transitions are
+  /// mirrored into the atomics below for any-thread stats readers.
+  OverloadDetector detector_;
+  std::atomic<int> overload_level_{0};
+  std::atomic<std::uint64_t> overload_transitions_{0};
+
+  mutable std::mutex sessions_mu_;
+  std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
+
+  mutable std::mutex stats_mu_;
+  LatencyHistogram latency_;
+  Telemetry telem_;  ///< cumulative per-stage/per-backend detail
+  std::uint64_t batches_ = 0;
+  std::uint64_t batched_frames_ = 0;
+
+  std::thread thread_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<bool> running_{false};
+  bool stop_requested_ = false;  ///< guarded by wake_mu_
+  bool work_pending_ = false;    ///< guarded by wake_mu_; set by producers
+};
+
+}  // namespace fuse::serve

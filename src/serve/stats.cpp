@@ -143,6 +143,23 @@ std::string stats_to_json(const ServeStats& s) {
          "\"transitions\": %llu},\n",
          s.overload_level, s.overload_level_name.c_str(),
          static_cast<unsigned long long>(s.overload_transitions));
+  append(out, "  \"shards\": %zu,\n", s.shards);
+  out += "  \"per_shard\": [\n";
+  for (std::size_t i = 0; i < s.per_shard.size(); ++i) {
+    const auto& sh = s.per_shard[i];
+    append(out,
+           "    {\"shard\": %zu, \"sessions\": %zu, \"frames_in\": %llu, "
+           "\"frames_out\": %llu, \"in_flight\": %zu, \"batches\": %llu, "
+           "\"overload_level\": %d, \"overload_transitions\": %llu, "
+           "\"latency_p99_ms\": %.4f}%s\n",
+           sh.shard, sh.sessions,
+           static_cast<unsigned long long>(sh.frames_in),
+           static_cast<unsigned long long>(sh.frames_out), sh.in_flight,
+           static_cast<unsigned long long>(sh.batches), sh.overload_level,
+           static_cast<unsigned long long>(sh.overload_transitions),
+           sh.latency_p99_ms, i + 1 < s.per_shard.size() ? "," : "");
+  }
+  out += "  ],\n";
   append(out, "  \"batches\": %llu,\n",
          static_cast<unsigned long long>(s.batches));
   append(out, "  \"mean_batch\": %.3f,\n", s.mean_batch);

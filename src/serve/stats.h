@@ -148,6 +148,22 @@ struct CloneStoreSnapshot {
   std::uint64_t checkpoint_failures = 0;  ///< failed checkpoint writes
 };
 
+/// Read-time per-shard summary row: each scheduler shard's share of the
+/// fleet, its own queue gauge and overload rung, and its local latency
+/// p99 (the merged quantiles come from histogram-level merging, so they
+/// are exact, not averages of these).
+struct ShardStatsRow {
+  std::size_t shard = 0;      ///< shard index (sessions: (id-1) % shards)
+  std::size_t sessions = 0;   ///< sessions owned by this shard
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::size_t in_flight = 0;  ///< this shard's queued frames
+  std::uint64_t batches = 0;  ///< batched forward passes on this shard
+  int overload_level = 0;     ///< this shard's ladder rung
+  std::uint64_t overload_transitions = 0;
+  double latency_p99_ms = 0.0;
+};
+
 struct ServeStats {
   std::size_t sessions = 0;
   std::uint64_t frames_in = 0;
@@ -182,9 +198,18 @@ struct ServeStats {
   /// drop_rate (producer-side queue policy) — this is scheduler-side.
   double shed_rate = 0.0;
   std::size_t in_flight = 0;          ///< queued frames, all sessions
+  /// Merged view: the MAX ladder rung across shards (a hot shard must
+  /// surface even when its neighbours are idle); per-shard rungs are in
+  /// per_shard.  transitions is the sum across shards.
   int overload_level = 0;             ///< current ladder rung (0 = normal)
   std::string overload_level_name = "normal";
   std::uint64_t overload_transitions = 0;  ///< rung changes since start
+
+  // Sharded serving plane: how many scheduler shards this snapshot spans
+  // (the merged Server::stats() reports num_shards; Server::stats(k)
+  // reports 1) and one summary row per shard covered.
+  std::size_t shards = 1;
+  std::vector<ShardStatsRow> per_shard;
 
   /// Whether the per-stage layer was compiled in AND enabled for this run
   /// (ServeConfig::detailed_stats); stage/backend rows are all-zero
@@ -198,7 +223,7 @@ struct ServeStats {
 
 /// Serializes the whole snapshot as structured JSON (stable schema,
 /// documented in DESIGN.md §7) — the payload behind
-/// SessionManager::stats_json() and the bench's SERVE_stats.json artifact.
+/// Server::stats_json() and the bench's SERVE_stats.json artifact.
 std::string stats_to_json(const ServeStats& s);
 
 }  // namespace fuse::serve

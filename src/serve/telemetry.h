@@ -9,11 +9,13 @@
 // utilization ratios) computed at read time in ServeStats snapshots —
 // zero cost when nothing is recorded.
 //
-// Locking contract: the scheduler records into a PASS-LOCAL Telemetry
-// inside run_once (single scheduler thread, no locks), which the
-// SessionManager merges into its cumulative Telemetry under the existing
-// stats mutex once per pass.  stats() readers take the same mutex, so a
-// snapshot is always pass-consistent: it never observes half of a pass.
+// Locking contract: each shard's scheduler records into a PASS-LOCAL
+// Telemetry inside run_once (one scheduler thread per shard, no locks),
+// which the shard merges into its cumulative Telemetry under its stats
+// mutex once per pass.  Readers take the same mutex, so a snapshot is
+// always pass-consistent: it never observes half of a pass.  Server's
+// merged stats() folds the per-shard cumulative telemetries together at
+// histogram level, so merged quantiles are exact.
 //
 // The whole layer can be compiled out with -DFUSE_SERVE_TELEMETRY=0
 // (CMake option FUSE_TELEMETRY=OFF): kTelemetryCompiled folds every
@@ -95,7 +97,7 @@ struct BackendUse {
 };
 
 /// The full detailed-telemetry registry; used both pass-local (scheduler,
-/// lock-free) and cumulative (SessionManager, under the stats mutex).
+/// lock-free) and cumulative (per shard, under its stats mutex).
 struct Telemetry {
   StageStats stages;
   std::array<BackendUse, kNumBackends> backends{};

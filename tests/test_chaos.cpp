@@ -22,7 +22,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
-#include "serve/session_manager.h"
+#include "serve/server.h"
 #include "util/fault.h"
 
 namespace {
@@ -33,8 +33,9 @@ using fuse::human::Pose;
 using fuse::radar::PointCloud;
 using fuse::serve::AdaptState;
 using fuse::serve::ServeConfig;
+using fuse::serve::Server;
 using fuse::serve::SessionConfig;
-using fuse::serve::SessionManager;
+using fuse::serve::SubmitResult;
 using fuse::util::FaultConfig;
 using fuse::util::FaultPoint;
 using fuse::util::ScopedFaults;
@@ -133,7 +134,7 @@ TEST(Chaos, ThreadedSoakSurvivesFaultMatrixAcrossSeeds) {
     cfg.max_in_flight = 32;  // admission control live during the soak
     cfg.clone_store.dir = dir;
     cfg.clone_store.max_resident_clones = 1;  // evictions exercise disk I/O
-    SessionManager server(&pl.predictor(), &pl.model(), cfg);
+    Server server(&pl.predictor(), &pl.model(), cfg);
 
     constexpr std::size_t kSessions = 3;
     constexpr std::size_t kFrames = 30;
@@ -196,7 +197,7 @@ TEST(Chaos, SyncRunUnderFaultsIsSeedDeterministic) {
     ScopedFaults faults(fc);
     ServeConfig cfg = adapting_cfg();
     cfg.session.quarantine_after = 0;  // keep every guard decision local
-    SessionManager server(&pl.predictor(), &pl.model(), cfg);
+    Server server(&pl.predictor(), &pl.model(), cfg);
     const auto id = server.open_session();
     const auto stream = labeled_frames(0, kFrames);
     for (const auto& f : stream) {
@@ -243,7 +244,7 @@ struct RestoreWorld {
     probe = labeled_frames(3, kProbe);
     ref.resize(kSessions);
 
-    SessionManager server(&pl.predictor(), &pl.model(), cfg);
+    Server server(&pl.predictor(), &pl.model(), cfg);
     std::vector<std::vector<LabeledFrame>> streams;
     for (std::size_t s = 0; s < kSessions; ++s) {
       ids.push_back(server.open_session());
@@ -279,7 +280,7 @@ struct RestoreWorld {
   /// recovery against the pre-crash reference.  The restored fusion window
   /// starts empty; with 3-frame windows both servers hold exactly
   /// [p_{i-2}, p_{i-1}, p_i] from probe index 2 on.
-  void expect_recovered(SessionManager& server, std::size_t s) {
+  void expect_recovered(Server& server, std::size_t s) {
     for (std::size_t i = 0; i < kProbe; ++i)
       server.submit_frame(ids[s], probe[i].cloud);
     server.drain();
@@ -312,7 +313,7 @@ TEST(Chaos, MidCheckpointKillRecoversUncorruptedClonesBitExactly) {
     os.write(blob.data(), static_cast<std::streamsize>(blob.size() / 2));
   }
 
-  SessionManager server(&pl.predictor(), &pl.model(), w.cfg);
+  Server server(&pl.predictor(), &pl.model(), w.cfg);
   std::vector<fuse::serve::SessionId> restored;
   ASSERT_NO_THROW(restored = server.restore_clones(w.cfg.session));
   ASSERT_EQ(restored.size(), RestoreWorld::kSessions - 1);
@@ -333,7 +334,7 @@ TEST(Chaos, RestoreToleratesDeletedCheckpoint) {
   RestoreWorld w("fuse_chaos_deleted");
   fs::remove(w.delta_path(1));
 
-  SessionManager server(&pl.predictor(), &pl.model(), w.cfg);
+  Server server(&pl.predictor(), &pl.model(), w.cfg);
   const auto restored = server.restore_clones(w.cfg.session);
   ASSERT_EQ(restored.size(), RestoreWorld::kSessions - 1);
   EXPECT_EQ(std::find(restored.begin(), restored.end(), w.ids[1]),
@@ -351,7 +352,7 @@ TEST(Chaos, MissingManifestFallsBackToDirectoryScan) {
   RestoreWorld w("fuse_chaos_manifest");
   fs::remove(w.dir + "/clones.manifest");
 
-  SessionManager server(&pl.predictor(), &pl.model(), w.cfg);
+  Server server(&pl.predictor(), &pl.model(), w.cfg);
   const auto restored = server.restore_clones(w.cfg.session);
   ASSERT_EQ(restored.size(), RestoreWorld::kSessions);
   for (std::size_t s = 0; s < RestoreWorld::kSessions; ++s)
@@ -373,7 +374,7 @@ TEST(Chaos, FullyTornPersistIsReportedNotFatal) {
     fc.p(FaultPoint::kTornWrite) = 1.0;
     ScopedFaults faults(fc);
     ServeConfig cfg = w.cfg;
-    SessionManager server(&pl.predictor(), &pl.model(), cfg);
+    Server server(&pl.predictor(), &pl.model(), cfg);
     const auto restored = server.restore_clones(cfg.session);
     // The pristine generation from RestoreWorld is still intact, so this
     // restore succeeds...
@@ -388,7 +389,7 @@ TEST(Chaos, FullyTornPersistIsReportedNotFatal) {
     ASSERT_NO_THROW(server.persist_clones());
   }
 
-  SessionManager server2(&pl.predictor(), &pl.model(), w.cfg);
+  Server server2(&pl.predictor(), &pl.model(), w.cfg);
   std::vector<fuse::serve::SessionId> restored;
   ASSERT_NO_THROW(restored = server2.restore_clones(w.cfg.session));
   EXPECT_TRUE(restored.empty());
@@ -397,7 +398,7 @@ TEST(Chaos, FullyTornPersistIsReportedNotFatal) {
   // Cold start still serves.
   const auto id = server2.open_session();
   const auto f = labeled_frames(0, 1);
-  ASSERT_TRUE(server2.submit_frame(id, f[0].cloud));
+  ASSERT_EQ(server2.submit_frame(id, f[0].cloud), SubmitResult::kAccepted);
   server2.drain();
   EXPECT_EQ(server2.poll_results(id).size(), 1u);
   fs::remove_all(w.dir);
@@ -410,7 +411,7 @@ TEST(Chaos, CheckpointWriteFailuresAreContainedAndCounted) {
   const std::string dir = fresh_dir("fuse_chaos_enospc");
   ServeConfig cfg = adapting_cfg();
   cfg.clone_store.dir = dir;
-  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  Server server(&pl.predictor(), &pl.model(), cfg);
   const auto id = server.open_session();
   const auto stream = labeled_frames(0, 12);
   for (const auto& f : stream) {
@@ -427,7 +428,7 @@ TEST(Chaos, CheckpointWriteFailuresAreContainedAndCounted) {
   }
   // checkpoint + manifest both failed, both counted; nothing landed.
   EXPECT_GE(server.stats().clone_store.checkpoint_failures, 2u);
-  SessionManager server2(&pl.predictor(), &pl.model(), cfg);
+  Server server2(&pl.predictor(), &pl.model(), cfg);
   EXPECT_TRUE(server2.restore_clones(cfg.session).empty());
   fs::remove_all(dir);
 }
@@ -442,8 +443,8 @@ TEST(Chaos, NanLabelsNeverPoisonAdaptation) {
 
   ServeConfig cfg = adapting_cfg();
   cfg.session.quarantine_after = 0;  // isolate the guard from quarantine
-  SessionManager poisoned(&pl.predictor(), &pl.model(), cfg);
-  SessionManager clean(&pl.predictor(), &pl.model(), cfg);
+  Server poisoned(&pl.predictor(), &pl.model(), cfg);
+  Server clean(&pl.predictor(), &pl.model(), cfg);
   const auto idp = poisoned.open_session();
   const auto idc = clean.open_session();
   {
@@ -489,7 +490,7 @@ TEST(Chaos, QuarantineIsolatesOffenderAndRecycleLifts) {
   ServeConfig cfg = adapting_cfg();
   cfg.clone_store.dir = dir;
   cfg.session.quarantine_after = 4;
-  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  Server server(&pl.predictor(), &pl.model(), cfg);
   const auto offender = server.open_session();
   const auto neighbour = server.open_session();
 
@@ -565,19 +566,23 @@ TEST(Chaos, AdmissionControlBoundsGlobalInFlight) {
   cfg.max_batch = 4;
   cfg.max_in_flight = 8;
   cfg.session.queue_capacity = 64;
-  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  Server server(&pl.predictor(), &pl.model(), cfg);
   const auto a = server.open_session();
   const auto b = server.open_session();
   const auto stream = labeled_frames(0, 20);
 
   // The budget is GLOBAL: 8 accepted across both sessions, the rest
   // refused at the door regardless of per-session queue headroom.
-  std::size_t accepted = 0;
+  std::size_t taken = 0, refused = 0;
   for (std::size_t i = 0; i < 10; ++i) {
-    accepted += server.submit_frame(a, stream[i].cloud) ? 1 : 0;
-    accepted += server.submit_frame(b, stream[i].cloud) ? 1 : 0;
+    for (const auto id : {a, b}) {
+      const auto r = server.submit_frame(id, stream[i].cloud);
+      taken += fuse::serve::accepted(r);
+      refused += r == SubmitResult::kAdmissionRejected;
+    }
   }
-  EXPECT_EQ(accepted, 8u);
+  EXPECT_EQ(taken, 8u);
+  EXPECT_EQ(refused, 12u);  // the typed code names the cause
   auto stats = server.stats();
   EXPECT_EQ(stats.in_flight, 8u);
   EXPECT_EQ(stats.admission_rejected, 12u);
@@ -589,13 +594,13 @@ TEST(Chaos, AdmissionControlBoundsGlobalInFlight) {
   stats = server.stats();
   EXPECT_EQ(stats.in_flight, 0u);
   EXPECT_EQ(stats.frames_out, 8u);
-  EXPECT_TRUE(server.submit_frame(a, stream[0].cloud));
+  EXPECT_EQ(server.submit_frame(a, stream[0].cloud), SubmitResult::kAccepted);
   server.drain();
   // Closing a session with queued frames must release its budget share.
   for (std::size_t i = 0; i < 8; ++i) server.submit_frame(b, stream[i].cloud);
   server.close_session(b);
   EXPECT_EQ(server.stats().in_flight, 0u);
-  EXPECT_TRUE(server.submit_frame(a, stream[0].cloud));
+  EXPECT_EQ(server.submit_frame(a, stream[0].cloud), SubmitResult::kAccepted);
 }
 
 // -------------------------------------------- degradation ladder, e2e ---
@@ -616,14 +621,15 @@ TEST(Chaos, OverloadLadderShedsBacklogAndRecovers) {
   cfg.overload.release_passes = 2;
   cfg.overload.release_step_passes = 1;
   cfg.overload.shed_deadline_s = 0.0;  // at rung 3 every queued frame sheds
-  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  Server server(&pl.predictor(), &pl.model(), cfg);
   const auto id = server.open_session();
   const auto stream = labeled_frames(0, 64);
 
   // A 64-frame burst against a 2-frame batch: unsustainable by
   // construction (~32 passes of backlog).
-  for (const auto& f : stream) ASSERT_TRUE(server.submit_frame(id, f.cloud,
-                                                               &f.label));
+  for (const auto& f : stream)
+    ASSERT_TRUE(fuse::serve::accepted(server.submit_frame(id, f.cloud,
+                                                          &f.label)));
   std::vector<int> levels;
   for (int pass = 0; pass < 40 && server.stats().in_flight > 0; ++pass) {
     server.run_once();

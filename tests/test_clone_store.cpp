@@ -22,7 +22,7 @@
 #include "nn/delta.h"
 #include "nn/registry.h"
 #include "serve/clone_store/clone_store.h"
-#include "serve/session_manager.h"
+#include "serve/server.h"
 #include "util/rng.h"
 
 namespace {
@@ -36,8 +36,9 @@ using fuse::nn::ParamDelta;
 using fuse::radar::PointCloud;
 using fuse::serve::AdaptState;
 using fuse::serve::ServeConfig;
+using fuse::serve::Server;
 using fuse::serve::SessionConfig;
-using fuse::serve::SessionManager;
+using fuse::serve::SubmitResult;
 
 // ------------------------------------------------------- delta codec ----
 
@@ -292,8 +293,8 @@ TEST(CloneStore, BudgetConstrainedServingIsBitIdenticalFp32) {
   cfg_a.clone_store.dir = dir;
   cfg_a.clone_store.max_resident_clones = 1;
   const ServeConfig cfg_b = adapting_cfg();
-  SessionManager server_a(&pl.predictor(), &pl.model(), cfg_a);
-  SessionManager server_b(&pl.predictor(), &pl.model(), cfg_b);
+  Server server_a(&pl.predictor(), &pl.model(), cfg_a);
+  Server server_b(&pl.predictor(), &pl.model(), cfg_b);
 
   constexpr std::size_t kSessions = 3;
   constexpr std::size_t kFrames = 24;
@@ -309,12 +310,12 @@ TEST(CloneStore, BudgetConstrainedServingIsBitIdenticalFp32) {
   // rounds, evictions and rehydrations interleave across many passes.
   for (std::size_t i = 0; i < kFrames; ++i) {
     for (std::size_t s = 0; s < kSessions; ++s) {
-      ASSERT_TRUE(
-          server_a.submit_frame(ids_a[s], streams[s][i].cloud,
-                                &streams[s][i].label));
-      ASSERT_TRUE(
-          server_b.submit_frame(ids_b[s], streams[s][i].cloud,
-                                &streams[s][i].label));
+      ASSERT_EQ(server_a.submit_frame(ids_a[s], streams[s][i].cloud,
+                                      &streams[s][i].label),
+                SubmitResult::kAccepted);
+      ASSERT_EQ(server_b.submit_frame(ids_b[s], streams[s][i].cloud,
+                                      &streams[s][i].label),
+                SubmitResult::kAccepted);
     }
     server_a.drain();
     server_b.drain();
@@ -364,8 +365,8 @@ TEST(CloneStore, Int8DeltaServingStaysWithinToleranceUnderEviction) {
   cfg_a.clone_store.max_resident_clones = 1;
   cfg_a.clone_store.delta.mode = DeltaMode::kInt8;
   const ServeConfig cfg_b = adapting_cfg();
-  SessionManager server_a(&pl.predictor(), &pl.model(), cfg_a);
-  SessionManager server_b(&pl.predictor(), &pl.model(), cfg_b);
+  Server server_a(&pl.predictor(), &pl.model(), cfg_a);
+  Server server_b(&pl.predictor(), &pl.model(), cfg_b);
 
   constexpr std::size_t kSessions = 2;
   constexpr std::size_t kFrames = 20;
@@ -378,10 +379,12 @@ TEST(CloneStore, Int8DeltaServingStaysWithinToleranceUnderEviction) {
   }
   for (std::size_t i = 0; i < kFrames; ++i) {
     for (std::size_t s = 0; s < kSessions; ++s) {
-      ASSERT_TRUE(server_a.submit_frame(ids_a[s], streams[s][i].cloud,
-                                        &streams[s][i].label));
-      ASSERT_TRUE(server_b.submit_frame(ids_b[s], streams[s][i].cloud,
-                                        &streams[s][i].label));
+      ASSERT_EQ(server_a.submit_frame(ids_a[s], streams[s][i].cloud,
+                                      &streams[s][i].label),
+                SubmitResult::kAccepted);
+      ASSERT_EQ(server_b.submit_frame(ids_b[s], streams[s][i].cloud,
+                                      &streams[s][i].label),
+                SubmitResult::kAccepted);
     }
     server_a.drain();
     server_b.drain();
@@ -414,7 +417,7 @@ TEST(CloneStore, RecycleAndCloseDropCheckpoints) {
   ServeConfig cfg = adapting_cfg();
   cfg.clone_store.dir = dir;
   cfg.clone_store.max_resident_clones = 1;
-  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  Server server(&pl.predictor(), &pl.model(), cfg);
 
   const auto a = server.open_session();
   const auto b = server.open_session();
@@ -465,7 +468,7 @@ TEST(CloneStore, ThreadedStressEvictsAndRehydratesSafely) {
   cfg.max_batch = 16;
   cfg.clone_store.dir = dir;
   cfg.clone_store.max_resident_clones = 1;
-  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  Server server(&pl.predictor(), &pl.model(), cfg);
 
   constexpr std::size_t kSessions = 4;
   constexpr std::size_t kFrames = 40;
@@ -486,8 +489,8 @@ TEST(CloneStore, ThreadedStressEvictsAndRehydratesSafely) {
   for (std::size_t s = 0; s < kSessions; ++s)
     producers.emplace_back([&, s] {
       for (std::size_t i = 0; i < kFrames; ++i)
-        EXPECT_TRUE(server.submit_frame(ids[s], streams[s][i].cloud,
-                                        &streams[s][i].label));
+        EXPECT_TRUE(fuse::serve::accepted(server.submit_frame(
+            ids[s], streams[s][i].cloud, &streams[s][i].label)));
     });
   producers.emplace_back([&] {
     for (std::size_t i = 0; i < doomed_stream.size(); ++i)
@@ -533,8 +536,7 @@ TEST(CloneStore, WarmRestartServesRestoredClonesBitExactly) {
 
   std::vector<fuse::serve::SessionId> ids;
   std::vector<std::vector<fuse::serve::PoseResult>> ref(kSessions);
-  auto server1 = std::make_unique<SessionManager>(&pl.predictor(),
-                                                  &pl.model(), cfg);
+  auto server1 = std::make_unique<Server>(&pl.predictor(), &pl.model(), cfg);
   for (std::size_t s = 0; s < kSessions; ++s)
     ids.push_back(server1->open_session());
   for (std::size_t i = 0; i < streams[0].size(); ++i) {
@@ -563,7 +565,7 @@ TEST(CloneStore, WarmRestartServesRestoredClonesBitExactly) {
 
   // A fresh process: same store dir, same shared model.  Sessions come
   // back under their original ids; the first frame rehydrates each clone.
-  SessionManager server2(&pl.predictor(), &pl.model(), cfg);
+  Server server2(&pl.predictor(), &pl.model(), cfg);
   const auto restored = server2.restore_clones(cfg.session);
   ASSERT_EQ(restored.size(), kSessions);
   for (const auto id : ids)
@@ -602,12 +604,89 @@ TEST(CloneStore, WarmRestartServesRestoredClonesBitExactly) {
   fs::remove_all(dir);
 }
 
+TEST(CloneStore, ShardedWarmRestartKeepsShardLayoutAndMapping) {
+  auto& pl = world();
+  const std::string dir = fresh_dir("fuse_clone_shards");
+  ServeConfig cfg = adapting_cfg();
+  cfg.num_shards = 2;
+  cfg.clone_store.dir = dir;
+  cfg.session.tracking = false;  // tracker state is NOT persisted
+
+  constexpr std::size_t kSessions = 3;  // ids 1,2,3 -> shards 0,1,0
+  constexpr std::size_t kProbe = 5;
+  const auto probe = labeled_frames(3, kProbe);
+  std::vector<fuse::serve::SessionId> ids;
+  std::vector<std::vector<fuse::serve::PoseResult>> ref(kSessions);
+  auto server1 = std::make_unique<Server>(&pl.predictor(), &pl.model(), cfg);
+  std::vector<std::vector<LabeledFrame>> streams;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    ids.push_back(server1->open_session());
+    streams.push_back(labeled_frames(s, 12));
+  }
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t s = 0; s < kSessions; ++s)
+      server1->submit_frame(ids[s], streams[s][i].cloud,
+                            &streams[s][i].label);
+    server1->drain();
+  }
+  for (std::size_t s = 0; s < kSessions; ++s)
+    (void)server1->poll_results(ids[s]);
+  for (std::size_t i = 0; i < kProbe; ++i) {
+    for (std::size_t s = 0; s < kSessions; ++s)
+      server1->submit_frame(ids[s], probe[i].cloud);
+    server1->drain();
+  }
+  for (std::size_t s = 0; s < kSessions; ++s)
+    ref[s] = server1->poll_results(ids[s]);
+  server1->persist_clones();
+  server1.reset();
+
+  // Shards never share checkpoint files: each owns its own generation
+  // under <dir>/shard_<k>, holding exactly its own sessions' clones.
+  EXPECT_TRUE(fs::exists(dir + "/shard_0/clones.manifest"));
+  EXPECT_TRUE(fs::exists(dir + "/shard_1/clones.manifest"));
+  EXPECT_TRUE(fs::exists(dir + "/shard_0/clone_" + std::to_string(ids[0]) +
+                         ".delta"));
+  EXPECT_TRUE(fs::exists(dir + "/shard_1/clone_" + std::to_string(ids[1]) +
+                         ".delta"));
+  EXPECT_TRUE(fs::exists(dir + "/shard_0/clone_" + std::to_string(ids[2]) +
+                         ".delta"));
+
+  // Restart with the same num_shards: every session returns to its
+  // original shard and serves its restored clone bit-exactly.
+  Server server2(&pl.predictor(), &pl.model(), cfg);
+  const auto restored = server2.restore_clones(cfg.session);
+  ASSERT_EQ(restored.size(), kSessions);
+  for (std::size_t i = 0; i < kProbe; ++i) {
+    for (std::size_t s = 0; s < kSessions; ++s)
+      server2.submit_frame(ids[s], probe[i].cloud);
+    server2.drain();
+  }
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const auto results = server2.poll_results(ids[s]);
+    ASSERT_EQ(results.size(), kProbe);
+    for (std::size_t i = 0; i < kProbe; ++i)
+      EXPECT_TRUE(results[i].adapted_model) << "session " << s;
+    for (std::size_t i = 2; i < kProbe; ++i)  // window refill, as above
+      expect_pose_eq(results[i].raw, ref[s][i].raw);
+  }
+
+  // A different num_shards is a data migration, not a restart: session 3
+  // sits in shard_0's manifest but hashes to shard 2 of 3, so the restore
+  // refuses loudly instead of serving it from the wrong shard's thread.
+  ServeConfig resharded = cfg;
+  resharded.num_shards = 3;
+  Server server3(&pl.predictor(), &pl.model(), resharded);
+  EXPECT_THROW(server3.restore_clones(resharded.session), std::logic_error);
+  fs::remove_all(dir);
+}
+
 TEST(CloneStore, ColdStartRestoreIsEmptyAndBudgetlessStoreNeverEvicts) {
   auto& pl = world();
   const std::string dir = fresh_dir("fuse_clone_cold");
   ServeConfig cfg = adapting_cfg();
   cfg.clone_store.dir = dir;  // no caps: checkpoint-capable, no eviction
-  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  Server server(&pl.predictor(), &pl.model(), cfg);
   EXPECT_TRUE(server.restore_clones(cfg.session).empty());
 
   const auto id = server.open_session();

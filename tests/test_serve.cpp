@@ -1,18 +1,23 @@
 // Tests for the streaming serving runtime: batched-vs-single-path
 // equivalence, threaded stress with deterministic outputs, queue drop
-// policies, session recycling, per-user online adaptation and telemetry.
+// policies, session recycling, per-user online adaptation, telemetry,
+// and the sharded serve::Server API (shard equivalence, shard-stable
+// hashing, per-shard overload engagement, SubmitResult semantics).
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
 #include <deque>
+#include <limits>
 #include <thread>
 #include <vector>
 
 #include "core/pipeline.h"
 #include "core/tracking.h"
 #include "nn/quant.h"
-#include "serve/session_manager.h"
+#include "serve/server.h"
+#include "serve/session_manager.h"  // deprecated shim (one PR) — shim test
 #include "serve/stats.h"
 #include "util/rng.h"
 
@@ -21,12 +26,14 @@ namespace {
 using fuse::core::PoseTracker;
 using fuse::human::Pose;
 using fuse::radar::PointCloud;
+using fuse::serve::accepted;
 using fuse::serve::AdaptState;
 using fuse::serve::DropPolicy;
 using fuse::serve::PoseResult;
 using fuse::serve::ServeConfig;
+using fuse::serve::Server;
 using fuse::serve::SessionConfig;
-using fuse::serve::SessionManager;
+using fuse::serve::SubmitResult;
 
 /// Shared environment: a prepared (untrained — weights are irrelevant for
 /// path equivalence) pipeline over a miniature dataset.
@@ -129,7 +136,7 @@ TEST(Serve, BatchedServerMatchesSingleSessionPath) {
   ServeConfig cfg;
   cfg.max_batch = 8;
   cfg.session.queue_capacity = 64;  // hold the whole backlog: no drops here
-  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  Server server(&pl.predictor(), &pl.model(), cfg);
 
   constexpr std::size_t kSessions = 3;
   constexpr std::size_t kFrames = 30;
@@ -143,7 +150,7 @@ TEST(Serve, BatchedServerMatchesSingleSessionPath) {
   // Interleave submissions across sessions, then serve in micro-batches.
   for (std::size_t i = 0; i < kFrames; ++i)
     for (std::size_t s = 0; s < kSessions; ++s)
-      ASSERT_TRUE(server.submit_frame(ids[s], streams[s][i]));
+      ASSERT_TRUE(accepted(server.submit_frame(ids[s], streams[s][i])));
   server.drain();
 
   const auto stats = server.stats();
@@ -168,7 +175,7 @@ TEST(Serve, ThreadedStressDeterministicOutputs) {
   cfg.max_batch = 16;
   cfg.session.queue_capacity = 128;    // no drops: every frame must serve
   cfg.session.results_capacity = 256;
-  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  Server server(&pl.predictor(), &pl.model(), cfg);
 
   constexpr std::size_t kSessions = 8;
   constexpr std::size_t kFrames = 100;
@@ -184,7 +191,7 @@ TEST(Serve, ThreadedStressDeterministicOutputs) {
   for (std::size_t s = 0; s < kSessions; ++s) {
     producers.emplace_back([&, s] {
       for (std::size_t i = 0; i < kFrames; ++i)
-        EXPECT_TRUE(server.submit_frame(ids[s], streams[s][i]));
+        EXPECT_TRUE(accepted(server.submit_frame(ids[s], streams[s][i])));
     });
   }
   for (auto& t : producers) t.join();
@@ -216,11 +223,12 @@ TEST(Serve, DropOldestKeepsFreshestFrames) {
   ServeConfig cfg;
   cfg.session.queue_capacity = 4;
   cfg.session.drop_policy = DropPolicy::kDropOldest;
-  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  Server server(&pl.predictor(), &pl.model(), cfg);
   const auto id = server.open_session();
   const auto frames = sequence_frames(0, 10);
 
-  for (const auto& f : frames) EXPECT_TRUE(server.submit_frame(id, f));
+  for (const auto& f : frames)
+    EXPECT_EQ(server.submit_frame(id, f), SubmitResult::kAccepted);
   server.drain();
 
   const auto results = server.poll_results(id);
@@ -241,13 +249,18 @@ TEST(Serve, DropNewestRejectsWhenFull) {
   ServeConfig cfg;
   cfg.session.queue_capacity = 4;
   cfg.session.drop_policy = DropPolicy::kDropNewest;
-  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  Server server(&pl.predictor(), &pl.model(), cfg);
   const auto id = server.open_session();
   const auto frames = sequence_frames(0, 10);
 
-  std::size_t accepted = 0;
-  for (const auto& f : frames) accepted += server.submit_frame(id, f);
-  EXPECT_EQ(accepted, 4u);
+  std::size_t taken = 0, full = 0;
+  for (const auto& f : frames) {
+    const auto r = server.submit_frame(id, f);
+    taken += accepted(r);
+    full += r == SubmitResult::kQueueFull;
+  }
+  EXPECT_EQ(taken, 4u);
+  EXPECT_EQ(full, 6u);  // the lossy bool is now a distinct code
   server.drain();
 
   const auto results = server.poll_results(id);
@@ -268,7 +281,7 @@ TEST(Serve, DropNewestRejectsWhenFull) {
 
 TEST(Serve, RecycleClearsStreamingState) {
   auto& pl = world();
-  SessionManager server(&pl.predictor(), &pl.model());
+  Server server(&pl.predictor(), &pl.model());
   const auto id = server.open_session();
 
   // Subject A streams five frames...
@@ -299,7 +312,7 @@ TEST(Serve, RecycleWhileSchedulerRunsIsSafe) {
   auto& pl = world();
   ServeConfig cfg;
   cfg.session.queue_capacity = 64;
-  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  Server server(&pl.predictor(), &pl.model(), cfg);
   const auto id = server.open_session();
   const auto frames = sequence_frames(0, 200);
 
@@ -349,7 +362,7 @@ TEST(Serve, OnlineAdaptationLifecycle) {
   cfg.session.adapt.min_samples = 8;
   cfg.session.adapt.round_every = 4;
   cfg.session.adapt.steps_per_round = 2;
-  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  Server server(&pl.predictor(), &pl.model(), cfg);
 
   SessionConfig plain;
   plain.adapt.enabled = false;
@@ -436,7 +449,7 @@ TEST(Serve, MixedBackendSchedulerTickServesEachSessionCorrectly) {
   cfg.max_batch = 8;
   cfg.session.queue_capacity = 64;
   cfg.backend = fuse::nn::Backend::kInt8;  // fleet default: quantized
-  SessionManager server(&pl.predictor(), &model, cfg);
+  Server server(&pl.predictor(), &model, cfg);
 
   SessionConfig fp32_cfg = cfg.session;
   fp32_cfg.backend = fuse::nn::Backend::kGemm;  // per-session override
@@ -530,7 +543,7 @@ TEST(Serve, StatsCountersAndLimits) {
   ServeConfig cfg;
   cfg.max_sessions = 2;
   cfg.max_batch = 4;
-  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  Server server(&pl.predictor(), &pl.model(), cfg);
   const auto a = server.open_session();
   const auto b = server.open_session();
   EXPECT_THROW(server.open_session(), std::runtime_error);
@@ -551,7 +564,8 @@ TEST(Serve, StatsCountersAndLimits) {
 
   // Unknown and closed sessions are rejected gracefully.
   server.close_session(b);
-  EXPECT_FALSE(server.submit_frame(b, sequence_frames(6, 1)[0]));
+  EXPECT_EQ(server.submit_frame(b, sequence_frames(6, 1)[0]),
+            SubmitResult::kUnknownSession);
   EXPECT_TRUE(server.poll_results(b).empty());
   EXPECT_EQ(server.session_count(), 1u);
 }
@@ -617,7 +631,7 @@ TEST(Serve, StageTelemetryConsistentUnderThreadedStress) {
   cfg.max_batch = 16;
   cfg.session.queue_capacity = 128;
   cfg.session.results_capacity = 256;
-  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  Server server(&pl.predictor(), &pl.model(), cfg);
 
   constexpr std::size_t kSessions = 4;
   constexpr std::size_t kFrames = 60;
@@ -655,7 +669,7 @@ TEST(Serve, StageTelemetryConsistentUnderThreadedStress) {
   for (std::size_t s = 0; s < kSessions; ++s)
     producers.emplace_back([&, s] {
       for (std::size_t i = 0; i < kFrames; ++i)
-        EXPECT_TRUE(server.submit_frame(ids[s], streams[s][i]));
+        EXPECT_TRUE(accepted(server.submit_frame(ids[s], streams[s][i])));
     });
   for (auto& t : producers) t.join();
   server.stop();
@@ -678,7 +692,7 @@ TEST(Serve, StatsIdleRecordsNoDetail) {
   auto& pl = world();
   ServeConfig cfg;
   cfg.detailed_stats = false;  // stats-idle: per-stage recording off
-  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  Server server(&pl.predictor(), &pl.model(), cfg);
   const auto id = server.open_session();
   for (const auto& f : sequence_frames(2, 8)) server.submit_frame(id, f);
   server.drain();
@@ -700,7 +714,7 @@ TEST(Serve, StatsIdleRecordsNoDetail) {
 
 TEST(Serve, StatsJsonCarriesSchema) {
   auto& pl = world();
-  SessionManager server(&pl.predictor(), &pl.model(), ServeConfig{});
+  Server server(&pl.predictor(), &pl.model(), ServeConfig{});
   const auto id = server.open_session();
   for (const auto& f : sequence_frames(3, 6)) server.submit_frame(id, f);
   server.drain();
@@ -721,7 +735,9 @@ TEST(Serve, StatsJsonCarriesSchema) {
         "\"quarantined_sessions\"", "\"shed_rate\"", "\"in_flight\"",
         "\"overload\"", "\"level_name\"", "\"transitions\"", "\"shed\"",
         "\"restore_skipped\"", "\"rehydrate_failures\"",
-        "\"checkpoint_failures\"", "\"quarantined\""})
+        "\"checkpoint_failures\"", "\"quarantined\"",
+        // PR 9 sharding schema: shard count and the per-shard rows.
+        "\"shards\"", "\"per_shard\""})
     EXPECT_NE(json.find(key), std::string::npos) << "missing key " << key;
 }
 
@@ -782,7 +798,7 @@ TEST(Serve, StatsJsonIsSyntacticallyValid) {
   auto& pl = world();
   ServeConfig cfg;
   cfg.overload.enabled = true;  // emit every block, including overload
-  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  Server server(&pl.predictor(), &pl.model(), cfg);
   const auto a = server.open_session();
   const auto b = server.open_session();
   for (const auto& f : sequence_frames(3, 6)) {
@@ -836,16 +852,16 @@ TEST(Serve, RawCubeIngestionMatchesPointCloudPath) {
   ServeConfig cfg;
   cfg.processor = &pl.processor();
   cfg.session.tracking = true;
-  SessionManager server(&pl.predictor(), &pl.model(), cfg);
+  Server server(&pl.predictor(), &pl.model(), cfg);
   const auto cube_session = server.open_session();
   const auto cloud_session = server.open_session();
 
   fuse::radar::FrameWorkspace ws;
   fuse::radar::ProcessedFrame frame;
   for (const auto& cube : cubes) {
-    ASSERT_TRUE(server.submit_cube(cube_session, cube));
+    ASSERT_TRUE(accepted(server.submit_cube(cube_session, cube)));
     pl.processor().process(cube, ws, frame);
-    ASSERT_TRUE(server.submit_frame(cloud_session, frame.cloud));
+    ASSERT_TRUE(accepted(server.submit_frame(cloud_session, frame.cloud)));
   }
   server.drain();
   const auto via_cube = server.poll_results(cube_session);
@@ -860,13 +876,302 @@ TEST(Serve, RawCubeIngestionMatchesPointCloudPath) {
 
 TEST(Serve, SubmitCubeRejectedWithoutProcessor) {
   auto& pl = world();
-  SessionManager server(&pl.predictor(), &pl.model(), ServeConfig{});
+  Server server(&pl.predictor(), &pl.model(), ServeConfig{});
   const auto id = server.open_session();
   const auto cubes = simulate_cubes(1, 99);
-  EXPECT_FALSE(server.submit_cube(id, cubes[0]));
+  EXPECT_EQ(server.submit_cube(id, cubes[0]), SubmitResult::kNoProcessor);
   // The ordinary point-cloud path still works on the same session.
-  EXPECT_TRUE(server.submit_frame(id, sequence_frames(0, 1)[0]));
+  EXPECT_EQ(server.submit_frame(id, sequence_frames(0, 1)[0]),
+            SubmitResult::kAccepted);
   EXPECT_EQ(server.drain(), 1u);
+}
+
+// -------------------------------------------------- sharded serving plane --
+
+TEST(Shard, FourShardServerMatchesSingleShardExactly) {
+  // The equivalence oracle: session ids are allocated identically on both
+  // servers, so every session runs the same frames through the same
+  // single-threaded scheduler maths — just on different shard threads —
+  // and the fp32 outputs must be bit-identical.
+  auto& pl = world();
+  constexpr std::size_t kSessions = 6;
+  constexpr std::size_t kFrames = 24;
+  ServeConfig one;
+  one.session.queue_capacity = 64;
+  ServeConfig four = one;
+  four.num_shards = 4;
+  Server s1(&pl.predictor(), &pl.model(), one);
+  Server s4(&pl.predictor(), &pl.model(), four);
+  EXPECT_EQ(s1.num_shards(), 1u);
+  EXPECT_EQ(s4.num_shards(), 4u);
+
+  std::vector<fuse::serve::SessionId> ids;
+  std::vector<std::vector<PointCloud>> streams;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const auto id1 = s1.open_session();
+    ASSERT_EQ(s4.open_session(), id1);  // sequential allocation from 1
+    ids.push_back(id1);
+    streams.push_back(sequence_frames(s, kFrames));
+  }
+  for (std::size_t i = 0; i < kFrames; ++i)
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      ASSERT_TRUE(accepted(s1.submit_frame(ids[s], streams[s][i])));
+      ASSERT_TRUE(accepted(s4.submit_frame(ids[s], streams[s][i])));
+    }
+  EXPECT_EQ(s1.drain(), s4.drain());
+
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const auto r1 = s1.poll_results(ids[s]);
+    const auto r4 = s4.poll_results(ids[s]);
+    ASSERT_EQ(r1.size(), kFrames);
+    ASSERT_EQ(r4.size(), kFrames);
+    for (std::size_t i = 0; i < kFrames; ++i) {
+      EXPECT_EQ(r1[i].seq, r4[i].seq);
+      expect_pose_eq(r4[i].raw, r1[i].raw);
+      expect_pose_eq(r4[i].tracked, r1[i].tracked);
+    }
+  }
+
+  // Merged stats span the shards and the per-shard rows partition them.
+  const auto m = s4.stats();
+  EXPECT_EQ(m.shards, 4u);
+  ASSERT_EQ(m.per_shard.size(), 4u);
+  std::size_t row_sessions = 0;
+  std::uint64_t row_out = 0;
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(m.per_shard[k].shard, k);
+    EXPECT_GT(m.per_shard[k].sessions, 0u);  // 6 sessions round-robin 4 ways
+    row_sessions += m.per_shard[k].sessions;
+    row_out += m.per_shard[k].frames_out;
+  }
+  EXPECT_EQ(row_sessions, kSessions);
+  EXPECT_EQ(row_out, m.frames_out);
+  EXPECT_EQ(m.frames_out, kSessions * kFrames);
+  // Single-shard snapshots carry exactly their own row...
+  const auto k0 = s4.stats(0);
+  ASSERT_EQ(k0.per_shard.size(), 1u);
+  EXPECT_EQ(k0.shards, 1u);
+  EXPECT_EQ(k0.per_shard[0].shard, 0u);
+  // ...and an out-of-range shard index is a caller bug, not a zero row.
+  EXPECT_THROW(s4.stats(4), std::out_of_range);
+}
+
+TEST(Shard, HashIsStableAcrossCloseAndRecycle) {
+  auto& pl = world();
+  ServeConfig cfg;
+  cfg.num_shards = 2;
+  Server server(&pl.predictor(), &pl.model(), cfg);
+  const auto a = server.open_session();  // id 1 -> shard 0
+  const auto b = server.open_session();  // id 2 -> shard 1
+  const auto c = server.open_session();  // id 3 -> shard 0
+  EXPECT_EQ(server.shard_of(a), 0u);
+  EXPECT_EQ(server.shard_of(b), 1u);
+  EXPECT_EQ(server.shard_of(c), 0u);
+
+  // shard_of is a pure function of the id: recycling the session or
+  // closing a neighbour must never remap anything.
+  server.recycle_session(b);
+  EXPECT_EQ(server.shard_of(b), 1u);
+  server.close_session(a);
+  EXPECT_EQ(server.shard_of(b), 1u);
+  EXPECT_EQ(server.shard_of(c), 0u);
+  // Ids keep counting up (never reused), continuing the round-robin.
+  const auto d = server.open_session();  // id 4 -> shard 1
+  EXPECT_GT(d, c);
+  EXPECT_EQ(server.shard_of(d), 1u);
+
+  // The recycled session still serves on its original shard: its frames
+  // land in shard 1's row, not shard 0's.
+  for (const auto& f : sequence_frames(1, 3))
+    ASSERT_TRUE(accepted(server.submit_frame(b, f)));
+  server.drain();
+  EXPECT_EQ(server.poll_results(b).size(), 3u);
+  EXPECT_EQ(server.stats(1).per_shard.at(0).frames_out, 3u);
+  EXPECT_EQ(server.stats(0).per_shard.at(0).frames_out, 0u);
+}
+
+TEST(Shard, ThreadedChurnStormAcrossShards) {
+  // Connect/disconnect storm: concurrent producers open, stream, recycle
+  // and close sessions across every shard while the shard threads serve.
+  auto& pl = world();
+  ServeConfig cfg;
+  cfg.num_shards = 4;
+  cfg.max_sessions = 64;
+  cfg.session.queue_capacity = 32;
+  Server server(&pl.predictor(), &pl.model(), cfg);
+  const auto frames = sequence_frames(0, 8);
+
+  server.start();
+  constexpr std::size_t kThreads = 6;
+  constexpr std::size_t kChurns = 10;
+  std::atomic<std::size_t> polled{0};
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (std::size_t c = 0; c < kChurns; ++c) {
+        const auto id = server.open_session();
+        for (const auto& f : frames)
+          EXPECT_TRUE(accepted(server.submit_frame(id, f)));
+        polled.fetch_add(server.poll_results(id).size());
+        if (c % 3 == 1) server.recycle_session(id);
+        server.close_session(id);
+        // A closed id stays closed even while its shard keeps serving.
+        EXPECT_EQ(server.submit_frame(id, frames[0]),
+                  SubmitResult::kUnknownSession);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  server.stop();
+
+  EXPECT_EQ(server.session_count(), 0u);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.sessions, 0u);
+  // Every closed session released its queued frames' admission slots.
+  EXPECT_EQ(stats.in_flight, 0u);
+  for (const auto& row : stats.per_shard) EXPECT_EQ(row.in_flight, 0u);
+}
+
+TEST(Shard, OverloadEngagesPerShardNotFleetWide) {
+  // The gauge/detector contract: detection is per-shard, so a hot shard
+  // climbs its ladder even when every neighbour is idle — and the idle
+  // neighbour stays at full fidelity.
+  auto& pl = world();
+  ServeConfig cfg;
+  cfg.num_shards = 2;
+  cfg.max_batch = 4;
+  cfg.session.queue_capacity = 64;
+  cfg.overload.enabled = true;
+  cfg.overload.queue_high_water = 8;
+  cfg.overload.engage_passes = 1;
+  Server server(&pl.predictor(), &pl.model(), cfg);
+  const auto hot = server.open_session();   // id 1 -> shard 0
+  const auto cold = server.open_session();  // id 2 -> shard 1
+
+  const auto frames = sequence_frames(0, 32);
+  for (const auto& f : frames)
+    ASSERT_TRUE(accepted(server.submit_frame(hot, f)));
+  ASSERT_TRUE(accepted(server.submit_frame(cold, frames[0])));
+  server.run_once();  // shard 0's backlog >> high water; shard 1 is clear
+
+  EXPECT_GT(server.stats(0).overload_level, 0);
+  EXPECT_EQ(server.stats(1).overload_level, 0);
+  // The merged view surfaces the worst rung, not an average over shards.
+  EXPECT_EQ(server.stats().overload_level, server.stats(0).overload_level);
+  EXPECT_GT(server.stats().overload_transitions, 0u);
+  server.drain();
+}
+
+TEST(Shard, AdmissionBudgetIsGlobalAcrossShards) {
+  // The other half of the contract: admission is GLOBAL, so the in-flight
+  // budget bounds total server memory no matter how a burst hashes.
+  auto& pl = world();
+  ServeConfig cfg;
+  cfg.num_shards = 2;
+  cfg.max_in_flight = 4;
+  cfg.session.queue_capacity = 64;
+  Server server(&pl.predictor(), &pl.model(), cfg);
+  const auto a = server.open_session();  // shard 0
+  const auto b = server.open_session();  // shard 1
+  const auto frames = sequence_frames(0, 6);
+
+  // Fill the whole budget from shard 0's session...
+  for (std::size_t i = 0; i < 4; ++i)
+    ASSERT_EQ(server.submit_frame(a, frames[i]), SubmitResult::kAccepted);
+  // ...and shard 1 is refused at the door despite its empty queue.
+  EXPECT_EQ(server.submit_frame(b, frames[4]),
+            SubmitResult::kAdmissionRejected);
+  EXPECT_EQ(server.stats().in_flight, 4u);
+
+  // Serving releases the slots; the previously refused shard admits again.
+  server.drain();
+  EXPECT_EQ(server.stats().in_flight, 0u);
+  EXPECT_EQ(server.submit_frame(b, frames[5]), SubmitResult::kAccepted);
+  server.drain();
+}
+
+TEST(Shard, SubmitReportsQuarantineAsAcceptedVariant) {
+  auto& pl = world();
+  ServeConfig cfg;
+  cfg.session.quarantine_after = 2;
+  Server server(&pl.predictor(), &pl.model(), cfg);
+  const auto id = server.open_session();
+
+  // Two NaN frames: accepted at the door (the scheduler's input guards,
+  // not the producer, validate payloads) and rejected at collection time,
+  // tripping the quarantine threshold.
+  PointCloud bad = sequence_frames(0, 1)[0];
+  ASSERT_FALSE(bad.points.empty());
+  bad.points[0].y = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(server.submit_frame(id, bad), SubmitResult::kAccepted);
+  EXPECT_EQ(server.submit_frame(id, bad), SubmitResult::kAccepted);
+  server.drain();
+  EXPECT_EQ(server.stats().non_finite_frames, 2u);
+  EXPECT_EQ(server.stats().quarantined_sessions, 1u);
+
+  // A quarantined session still serves (shared meta-init): the submit is
+  // accepted, but the code surfaces the sensor problem to the producer.
+  const auto good = sequence_frames(0, 1)[0];
+  const auto r = server.submit_frame(id, good);
+  EXPECT_EQ(r, SubmitResult::kQuarantined);
+  EXPECT_TRUE(accepted(r));
+  server.drain();
+  EXPECT_EQ(server.poll_results(id).size(), 1u);
+}
+
+TEST(Shard, ConfigValidationNamesTheBadField) {
+  auto& pl = world();
+  const auto make = [&](const ServeConfig& cfg) {
+    Server s(&pl.predictor(), &pl.model(), cfg);
+  };
+  ServeConfig bad;
+  bad.num_shards = 0;
+  EXPECT_THROW(make(bad), std::invalid_argument);
+  bad = ServeConfig{};
+  bad.num_shards = 8;
+  bad.max_sessions = 4;  // more shards than sessions can never fill
+  EXPECT_THROW(make(bad), std::invalid_argument);
+  bad = ServeConfig{};
+  bad.max_batch = 0;
+  EXPECT_THROW(make(bad), std::invalid_argument);
+  bad = ServeConfig{};
+  bad.session.queue_capacity = 0;
+  EXPECT_THROW(make(bad), std::invalid_argument);
+  bad = ServeConfig{};
+  bad.session.adapt.enabled = true;
+  bad.session.adapt.min_samples = 8;
+  bad.session.adapt.buffer_capacity = 4;  // buffer can never reach min
+  EXPECT_THROW(make(bad), std::invalid_argument);
+  // A disabled adapt block is not validated (the knobs are inert).
+  ServeConfig ok_cfg;
+  ok_cfg.session.adapt.enabled = false;
+  ok_cfg.session.adapt.buffer_capacity = 0;
+  make(ok_cfg);
+  // Per-session overrides revalidate at open_session.
+  Server ok(&pl.predictor(), &pl.model(), ServeConfig{});
+  SessionConfig scfg;
+  scfg.results_capacity = 0;
+  EXPECT_THROW(ok.open_session(scfg), std::invalid_argument);
+}
+
+TEST(Shard, DeprecatedSessionManagerShimStillServes) {
+  // The one-PR compatibility shim: the old name and the old bool submit
+  // surface keep working on top of serve::Server.
+  auto& pl = world();
+  fuse::serve::SessionManager legacy(&pl.predictor(), &pl.model(),
+                                     ServeConfig{});
+  const auto id = legacy.open_session();
+  const auto frames = sequence_frames(0, 4);
+  for (const auto& f : frames) EXPECT_TRUE(legacy.submit_frame(id, f));
+  EXPECT_EQ(legacy.drain(), 4u);
+  const auto results = legacy.poll_results(id);
+  const auto ref = reference_stream(frames, SessionConfig{});
+  ASSERT_EQ(results.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i)
+    expect_pose_eq(results[i].tracked, ref[i].tracked);
+  // The bool projection of the typed codes: rejections collapse to false.
+  legacy.close_session(id);
+  EXPECT_FALSE(legacy.submit_frame(id, frames[0]));
 }
 
 }  // namespace

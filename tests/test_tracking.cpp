@@ -158,7 +158,7 @@ TEST(PoseTracker, ResetMatchesFreshTrackerExactly) {
   // After reset() a tracker must be indistinguishable from a brand-new one:
   // Kalman filters, bone-length EMAs and the frame counter all re-init.
   // The serving runtime relies on this when recycling a session for a new
-  // subject (serve::SessionManager::recycle_session).
+  // subject (serve::Server::recycle_session).
   const auto subject = fuse::human::make_subject(3);
   fuse::human::MovementGenerator gen(subject, fuse::human::Movement::kSquat,
                                      fuse::util::Rng(21));
