@@ -55,6 +55,12 @@ on:
   * any *recovered* flag (keys containing "recovered") regressing at all
     — the ladder must return to full fidelity within one detector window
     of the load dropping; this is hard-gated like the bit-identity flags.
+  * any *leaked* counter (keys containing "leaked", e.g. the churn
+    storm's leaked_in_flight) reading anything but zero — the in-flight
+    gauge must return exactly to zero once every session is closed, so a
+    leak is an accounting bug (lost or double-counted frames), never
+    host noise.  Hard-gated with no tolerance, like the bit-identity
+    flags.
   * any *scaling_ok* flag (the shard sweep's tail-sanity bit) regressing
     at all — sharding the scheduler must not blow up the end-to-end p99.
     The bench emits it vacuously true on hosts that cannot run the
@@ -124,6 +130,10 @@ def is_degraded_ratio(key):
     return "over_steady" in key
 
 
+def is_leak_counter(key):
+    return "leaked" in key
+
+
 def compare(baseline, fresh, path, args, failures, checked):
     if isinstance(baseline, dict):
         if not isinstance(fresh, dict):
@@ -135,7 +145,8 @@ def compare(baseline, fresh, path, args, failures, checked):
                         is_detection_count(key) or is_equivalence_flag(key) or
                         is_p99(key) or is_drop_rate(key) or
                         is_overhead(key) or is_ram_budget(key) or
-                        is_shed_rate(key) or is_degraded_ratio(key)):
+                        is_shed_rate(key) or is_degraded_ratio(key) or
+                        is_leak_counter(key)):
                     failures.append(f"{path}.{key}: missing from fresh run")
                 continue
             compare(base_val, fresh[key], f"{path}.{key}", args, failures,
@@ -168,7 +179,14 @@ def compare(baseline, fresh, path, args, failures, checked):
                     f"to {fresh} (bit-identity regression)")
     elif isinstance(baseline, (int, float)):
         key = path.rsplit(".", 1)[-1]
-        if is_detection_count(key):
+        if is_leak_counter(key):
+            checked.append(path)
+            if fresh != 0:
+                failures.append(
+                    f"{path}: leak counter reads {fresh} (must be exactly "
+                    "0) — the in-flight accounting lost or double-counted "
+                    "frames across open/migrate/close")
+        elif is_detection_count(key):
             checked.append(path)
             allowance = max(2.0, args.det_tol * abs(baseline))
             if abs(fresh - baseline) > allowance:

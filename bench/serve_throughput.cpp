@@ -652,12 +652,88 @@ ShardSweep run_shard_sweep(fuse::core::FusePipeline& pl, bool smoke) {
   return sweep;
 }
 
+/// Session-churn storm (PR 10): sessions open, serve, migrate across the
+/// shards and close continuously while the server is under load, with the
+/// automatic rebalancer adding its own moves on top.  The survival
+/// contract is accounting-shaped: once the storm drains and every session
+/// is closed, the global in-flight gauge must read exactly zero (a leak
+/// means close/migrate dropped or double-counted frames — the gate hard-
+/// fails on any nonzero value), and the p99 of frames served mid-churn is
+/// regression-gated like every other tail.
+struct ChurnStorm {
+  std::size_t rounds = 0;
+  std::size_t opens = 0;
+  std::size_t closes = 0;
+  std::uint64_t frames = 0;  ///< accepted during the storm
+  std::uint64_t migrations = 0;
+  double churn_p99_ms = 0.0;
+  std::uint64_t leaked_in_flight = 0;  ///< gauge after full close-out
+  bool in_flight_gauge_recovered = false;
+};
+
+ChurnStorm run_churn_storm(fuse::core::FusePipeline& pl, bool smoke) {
+  ChurnStorm out;
+  out.rounds = smoke ? 80 : 250;
+  constexpr std::size_t kAliveCap = 12;  // live-population cap
+  fuse::serve::ServeConfig cfg;
+  cfg.num_shards = 2;
+  cfg.max_batch = 8;
+  cfg.rebalance_every = 8;  // the load balancer churns placements too
+  cfg.rebalance_ratio = 2.0;
+  cfg.session.queue_capacity = 64;
+  cfg.session.results_capacity = 64;
+  fuse::serve::Server server(&pl.predictor(), &pl.model(), cfg);
+
+  constexpr std::size_t kPool = 8;
+  constexpr std::size_t kStream = 16;
+  std::vector<std::vector<PointCloud>> pool;
+  for (std::size_t s = 0; s < kPool; ++s)
+    pool.push_back(stream_for(pl.dataset(), s, kStream));
+
+  std::deque<fuse::serve::SessionId> alive;
+  std::vector<double> lat_ms;
+  for (std::size_t round = 0; round < out.rounds; ++round) {
+    alive.push_back(server.open_session());
+    ++out.opens;
+    // Count acceptance directly: frames_in is summed over LIVE sessions,
+    // and by the end of the storm every session has been closed.
+    for (const auto id : alive)
+      out.frames += fuse::serve::accepted(
+          server.submit_frame(id, pool[id % kPool][round % kStream]));
+    // Ping-pong the oldest session across the shards mid-backlog; the
+    // round's scheduler tick executes the move.
+    (void)server.migrate_session(alive.front(), round % 2);
+    server.run_once();
+    for (const auto id : alive)
+      for (const auto& r : server.poll_results(id))
+        lat_ms.push_back(r.latency_s * 1e3);
+    if (alive.size() > kAliveCap) {
+      server.close_session(alive.front());
+      alive.pop_front();
+      ++out.closes;
+    }
+  }
+  server.drain();
+  for (const auto id : alive) {
+    (void)server.poll_results(id);
+    server.close_session(id);
+    ++out.closes;
+  }
+  const auto stats = server.stats();
+  out.migrations = stats.migrations;
+  out.churn_p99_ms = p99_of(lat_ms);
+  out.leaked_in_flight = stats.in_flight;
+  out.in_flight_gauge_recovered = stats.in_flight == 0;
+  return out;
+}
+
 void write_json(const std::string& path, std::size_t sessions,
                 std::size_t frames, const std::vector<BackendRow>& rows,
                 double int8_speedup, const AccuracyCheck& acc,
                 const RawCubeRun& raw, const fuse::serve::ServeStats& gemm,
                 const StatsOverhead& overhead, const CloneSweep& clones,
-                const OverloadSweep& ov, const ShardSweep& shard_sweep) {
+                const OverloadSweep& ov, const ShardSweep& shard_sweep,
+                const ChurnStorm& storm) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
@@ -796,6 +872,20 @@ void write_json(const std::string& path, std::size_t sessions,
                shard_sweep.fps_scaling_x());
   std::fprintf(f, "    \"shard_p99_scaling_ok\": %s\n  },\n",
                shard_sweep.p99_scaling_ok() ? "true" : "false");
+  // Churn storm (PR 10): churn_p99_ms rides the generic p99 rule,
+  // leaked_in_flight is hard-gated to zero (any leak is an accounting
+  // bug, not noise), and the recovered flag is an equivalence gate.
+  std::fprintf(f, "  \"open_close_storm\": {\n");
+  std::fprintf(f, "    \"rounds\": %zu, \"opens\": %zu, \"closes\": %zu,\n",
+               storm.rounds, storm.opens, storm.closes);
+  std::fprintf(f, "    \"frames\": %llu,\n    \"migrations\": %llu,\n",
+               static_cast<unsigned long long>(storm.frames),
+               static_cast<unsigned long long>(storm.migrations));
+  std::fprintf(f, "    \"churn_p99_ms\": %.4f,\n", storm.churn_p99_ms);
+  std::fprintf(f, "    \"leaked_in_flight\": %llu,\n",
+               static_cast<unsigned long long>(storm.leaked_in_flight));
+  std::fprintf(f, "    \"in_flight_gauge_recovered\": %s\n  },\n",
+               storm.in_flight_gauge_recovered ? "true" : "false");
   std::fprintf(f, "  \"query_loss_fp32\": %.6f,\n", acc.loss_fp32);
   std::fprintf(f, "  \"query_loss_int8\": %.6f,\n", acc.loss_int8);
   std::fprintf(f, "  \"query_loss_delta\": %.6f\n}\n", acc.delta);
@@ -1065,6 +1155,23 @@ int main(int argc, char** argv) {
                   : "",
               shard_sweep.p99_scaling_ok() ? "(ok)" : "(REGRESSED!)");
 
+  // ------------------------------------------- session-churn storm ----
+  // Continuous open/serve/migrate/close churn across 2 shards with the
+  // rebalancer live: the survival gate is the in-flight gauge reading
+  // exactly zero after full close-out, plus the mid-churn p99.
+  const auto storm = run_churn_storm(pl, smoke);
+  std::printf("\nsession-churn storm (2 shards, %zu rounds: %zu opens, "
+              "%zu closes, %llu cross-shard migrations under load):\n"
+              "  %llu frames accepted, churn p99 %.2f ms; in-flight gauge "
+              "after close-out: %llu %s\n",
+              storm.rounds, storm.opens, storm.closes,
+              static_cast<unsigned long long>(storm.migrations),
+              static_cast<unsigned long long>(storm.frames),
+              storm.churn_p99_ms,
+              static_cast<unsigned long long>(storm.leaked_in_flight),
+              storm.in_flight_gauge_recovered ? "(no leak)"
+                                              : "(LEAKED IN-FLIGHT!)");
+
   // ------------------------------------------- raw-cube ingestion mode --
   RawCubeRun raw;
   if (cli.has("raw-cubes")) {
@@ -1078,7 +1185,7 @@ int main(int argc, char** argv) {
 
   write_json(cli.out_dir() + "/BENCH_serve.json", kSweepSessions,
              sweep_frames, rows, int8_speedup, acc, raw, gemm_stats,
-             overhead, clones, ov, shard_sweep);
+             overhead, clones, ov, shard_sweep, storm);
 
   // Full structured snapshot of the gemm sweep run — the same payload
   // serve::Server::stats_json() serves live; uploaded as a CI artifact

@@ -7,7 +7,8 @@ copy (p99 latencies tripled, drop rate +0.5, telemetry overhead 25%,
 adapted-clone RAM per 10k sessions x10, overload shed rate +0.5,
 degraded-over-steady p99 ratio blown to 10x, recovered_within_window
 flipped to false, the shard sweep's shard_p99_scaling_ok flipped to
-false) and asserts the gate exits non-zero with a REGRESSION
+false, the churn storm's leaked_in_flight gauge set to a nonzero
+count) and asserts the gate exits non-zero with a REGRESSION
 line for each — then replays the baseline against itself and asserts a
 clean pass.  This is the "demonstrated gate" required by the
 observability and overload-hardening PRs: proof the CI step would
@@ -83,6 +84,12 @@ def inject_degraded_ratio(doc):
     mutate(doc, lambda k, v: 10.0 if "over_steady" in k else v)
 
 
+def inject_leak(doc):
+    # The churn storm leaves frames stuck on the in-flight gauge after
+    # every session closed — an open/migrate/close accounting leak.
+    mutate(doc, lambda k, v: 3 if "leaked" in k else v)
+
+
 def flip_flags(node, key_substr):
     """Flips boolean leaves whose key contains key_substr (mutate() skips
     bools by design, so equivalence-flag flips need their own walker)."""
@@ -155,6 +162,11 @@ def main():
     inject_degraded_ratio(doc)
     check("injected degraded-p99 blowout caught", doc, want_fail=True,
           want_text="degraded-mode p99")
+
+    doc = copy.deepcopy(baseline)
+    inject_leak(doc)
+    check("injected in-flight leak caught", doc, want_fail=True,
+          want_text="leak counter")
 
     doc = copy.deepcopy(baseline)
     flip_flags(doc, "recovered")

@@ -1,11 +1,18 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <limits>
 #include <stdexcept>
 #include <string>
+#include <unordered_set>
 
+#include "nn/delta.h"
 #include "serve/shard.h"
 #include "serve/telemetry.h"
+#include "util/atomic_file.h"
+#include "util/fault.h"
 #include "util/log.h"
 
 namespace fuse::serve {
@@ -18,6 +25,7 @@ const char* submit_result_name(SubmitResult r) {
     case SubmitResult::kAdmissionRejected: return "admission_rejected";
     case SubmitResult::kUnknownSession: return "unknown_session";
     case SubmitResult::kNoProcessor: return "no_processor";
+    case SubmitResult::kMigrating: return "migrating";
   }
   return "?";
 }
@@ -56,6 +64,10 @@ void ServeConfig::validate() const {
     throw std::invalid_argument(
         "ServeConfig: num_shards exceeds max_sessions (shards beyond the "
         "session cap can never receive a session)");
+  if (rebalance_every != 0 && rebalance_ratio < 1.0)
+    throw std::invalid_argument(
+        "ServeConfig: rebalance_ratio must be >= 1 when the rebalance "
+        "hook is armed");
   validate_session_config(session);
 }
 
@@ -91,6 +103,7 @@ SessionId Server::open_session(SessionConfig scfg) {
 
 void Server::close_session(SessionId id) {
   shards_[shard_of(id)]->close_session(id);
+  clear_shard_override(id);  // freed slot: the next tenant starts at home
 }
 
 void Server::recycle_session(SessionId id) {
@@ -122,16 +135,178 @@ std::vector<PoseResult> Server::poll_results(SessionId id) {
   return shards_[shard_of(id)]->poll_results(id);
 }
 
+// ------------------------------------------------- placement / migration --
+
+std::size_t Server::shard_of(SessionId id) const {
+  // Fast path: with no overrides the relaxed counter skips the lock, so
+  // the un-migrated server pays exactly the old pure-hash cost.
+  if (override_count_.load(std::memory_order_relaxed) != 0) {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    const auto it = shard_overrides_.find(id);
+    if (it != shard_overrides_.end()) return it->second;
+  }
+  return home_shard(id);
+}
+
+void Server::set_shard_override(SessionId id, std::size_t shard) {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  if (shard == home_shard(id))
+    shard_overrides_.erase(id);  // home placement needs no table entry
+  else
+    shard_overrides_[id] = shard;
+  override_count_.store(shard_overrides_.size(), std::memory_order_relaxed);
+}
+
+void Server::clear_shard_override(SessionId id) {
+  std::lock_guard<std::mutex> lock(map_mu_);
+  shard_overrides_.erase(id);
+  override_count_.store(shard_overrides_.size(), std::memory_order_relaxed);
+}
+
+bool Server::migrate_session(SessionId id, std::size_t target_shard) {
+  if (target_shard >= shards_.size()) return false;
+  const std::size_t src = shard_of(id);
+  auto s = shards_[src]->find(id);
+  if (!s) return false;
+  if (src == target_shard) return true;
+  if (running_.load(std::memory_order_relaxed)) {
+    // Threaded: execute inline under both shards' pass locks, taken in
+    // index order.  Shard threads only ever take their own pass lock, so
+    // this order cannot form a cycle.
+    auto lock_a = shards_[std::min(src, target_shard)]->lock_pass();
+    auto lock_b = shards_[std::max(src, target_shard)]->lock_pass();
+    // A concurrent migrate may have moved the session while we waited on
+    // the locks; only proceed when it still lives on a locked shard.
+    const std::size_t now_on = shard_of(id);
+    if (now_on != src && now_on != target_shard) return false;
+    return execute_migration(id, target_shard);
+  }
+  // Synchronous: mark now so submits bounce with kMigrating, execute at
+  // the start of the next run_once()/drain() (the tick owns session
+  // state, so the kMigrating window is deterministic and observable).
+  s->begin_migration();
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  pending_migrations_.emplace_back(id, target_shard);
+  return true;
+}
+
+bool Server::execute_migration(SessionId id, std::size_t target_shard) {
+  const std::size_t src = shard_of(id);
+  Shard& from = *shards_[src];
+  Shard& to = *shards_[target_shard];
+  auto s = from.find(id);
+  if (!s) return false;  // closed since the request
+  if (src == target_shard) {
+    s->end_migration();  // deferred no-op move: just unfreeze submits
+    return true;
+  }
+  const double t0 = mono_seconds();
+  s->begin_migration();
+  auto frames = s->drain_queue();
+  const auto rollback = [&]() {
+    // Crash mid-move: the session never left its source shard; put the
+    // drained frames back (order preserved) and unfreeze submits.
+    s->requeue(std::move(frames));
+    s->end_migration();
+    from.note_migration_failure();
+    from.record_migration(mono_seconds() - t0);
+  };
+  // An evicted clone must travel with the session: pull it resident
+  // before the codec round-trip.
+  if (from.store().enabled()) from.store().ensure_resident(*s);
+  if (s->adapted_model() != nullptr) {
+    // Checkpoint through the delta codec — the same format eviction and
+    // warm restart use — so the target adopts exactly the state a crash
+    // recovery would restore (bit-exact in fp32 mode).
+    if (fuse::util::fault_fire(fuse::util::FaultPoint::kMigrationKill)) {
+      rollback();
+      return false;
+    }
+    const auto delta = fuse::nn::extract_delta(*s->adapted_model(),
+                                               *shared_model_,
+                                               cfg_.clone_store.delta);
+    if (fuse::util::fault_fire(fuse::util::FaultPoint::kTargetShardCrash)) {
+      rollback();
+      return false;
+    }
+    s->adapted_slot() = fuse::nn::rehydrate_from_delta(*shared_model_, delta);
+  } else if (fuse::util::fault_fire(fuse::util::FaultPoint::kMigrationKill) ||
+             fuse::util::fault_fire(
+                 fuse::util::FaultPoint::kTargetShardCrash)) {
+    rollback();  // a bare (un-adapted) move can still be killed mid-flight
+    return false;
+  }
+  // Commit point: every step below is infallible, so the session can
+  // never be observed half-moved.
+  if (from.store().enabled()) from.store().forget(id);
+  to.attach_session(s);
+  set_shard_override(id, target_shard);  // route new submits to the target
+  from.detach_session(id);
+  s->rebind_shard_gauge(to.gauge());
+  s->requeue(std::move(frames));  // replay the drained backlog, in order
+  if (to.store().enabled() && s->adapted_model() != nullptr)
+    to.store().note_adapted(*s);
+  s->end_migration();
+  from.note_migration_out();
+  to.note_migration_in();
+  from.record_migration(mono_seconds() - t0);
+  return true;
+}
+
+void Server::run_pending_migrations() {
+  std::vector<std::pair<SessionId, std::size_t>> pending;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending.swap(pending_migrations_);
+  }
+  for (const auto& [id, target] : pending) execute_migration(id, target);
+}
+
+void Server::maybe_rebalance() {
+  if (cfg_.rebalance_every == 0 || shards_.size() < 2) return;
+  if (++ticks_ % cfg_.rebalance_every != 0) return;
+  std::size_t hot = 0, cold = 0;
+  std::size_t hot_depth = 0;
+  std::size_t cold_depth = std::numeric_limits<std::size_t>::max();
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    const std::size_t d =
+        shards_[k]->gauge()->load(std::memory_order_relaxed);
+    if (d > hot_depth) hot = k, hot_depth = d;
+    if (d < cold_depth) cold = k, cold_depth = d;
+  }
+  // Move only on a real imbalance: ratio over the (floored) cold depth
+  // AND at least one queue's worth of absolute gap, so near-idle noise
+  // never triggers churn.
+  if (hot == cold) return;
+  const auto floor_cold = std::max<std::size_t>(cold_depth, 1);
+  if (static_cast<double>(hot_depth) <
+          cfg_.rebalance_ratio * static_cast<double>(floor_cold) ||
+      hot_depth - cold_depth < cfg_.session.queue_capacity)
+    return;
+  const auto depths = shards_[hot]->session_depths();
+  SessionId pick = 0;
+  std::size_t pick_depth = 0;
+  for (const auto& [id, depth] : depths)
+    if (depth > pick_depth) pick = id, pick_depth = depth;
+  if (pick_depth == 0) return;
+  execute_migration(pick, cold);  // synchronous tick: safe inline
+}
+
 std::size_t Server::run_once() {
+  run_pending_migrations();
+  maybe_rebalance();
   std::size_t served = 0;
   for (auto& sh : shards_) served += sh->run_once();
   return served;
 }
 
 std::size_t Server::drain() {
+  // Deferred migrations move frames BETWEEN shards, so run them before
+  // the shard-by-shard drain; after that a shard's queues are only ever
+  // refilled from outside the server, and draining each until empty
+  // drains the whole plane.
+  run_pending_migrations();
   std::size_t total = 0;
-  // A shard's queues are only ever refilled from outside the server, so
-  // draining shard-by-shard (each until empty) drains the whole plane.
   for (auto& sh : shards_) total += sh->drain();
   return total;
 }
@@ -146,24 +321,185 @@ void Server::stop() {
   for (auto& sh : shards_) sh->stop();
 }
 
+namespace {
+
+/// Parsed `<dir>/shard_map` — the persisted placement table.  The file
+/// records the store's shard count plus every off-home (migrated)
+/// session's pinned shard:
+///
+///   FUSESHMAP1
+///   shards <N>
+///   <id> <shard>          (one line per migrated session)
+///
+/// kMissing = pre-migration store (pure-hash placement required);
+/// kInvalid = torn/corrupt write (the on-disk placement is the truth).
+struct ShardMapFile {
+  enum class Status { kMissing, kInvalid, kValid };
+  Status status = Status::kMissing;
+  std::size_t shards = 0;
+  std::unordered_map<SessionId, std::size_t> overrides;
+};
+
+std::string shard_map_path(const std::string& dir) {
+  return dir + "/shard_map";
+}
+
+ShardMapFile read_shard_map(const std::string& dir) {
+  ShardMapFile map;
+  std::ifstream in(shard_map_path(dir));
+  if (!in.is_open()) return map;  // kMissing
+  map.status = ShardMapFile::Status::kInvalid;  // until fully parsed
+  std::string magic;
+  if (!std::getline(in, magic) || magic != "FUSESHMAP1") return map;
+  std::string key;
+  std::size_t shards = 0;
+  if (!(in >> key >> shards) || key != "shards" || shards == 0) return map;
+  SessionId id = 0;
+  std::size_t shard = 0;
+  std::unordered_map<SessionId, std::size_t> overrides;
+  while (in >> id >> shard) {
+    if (shard >= shards) return map;  // torn/garbage tail
+    overrides.emplace(id, shard);
+  }
+  if (!in.eof()) return map;  // stopped on a malformed line, not EOF
+  map.status = ShardMapFile::Status::kValid;
+  map.shards = shards;
+  map.overrides = std::move(overrides);
+  return map;
+}
+
+/// True when `dir` directly holds clone-store data (a manifest or any
+/// checkpoint file) — used to detect a store laid out for a different
+/// shard count than this server's.
+bool dir_has_clone_data(const std::filesystem::path& dir) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) return false;
+  for (const auto& e : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = e.path().filename().string();
+    if (name == "clones.manifest") return true;
+    if (name.rfind("clone_", 0) == 0 &&
+        name.size() > 6 + 6 &&  // "clone_" + at least 1 digit + ".delta"
+        name.compare(name.size() - 6, 6, ".delta") == 0)
+      return true;
+  }
+  return false;
+}
+
+[[noreturn]] void throw_reshard_needed(const std::string& dir,
+                                       const std::string& detail) {
+  throw std::logic_error(
+      "serve::Server::restore_clones: the clone store at '" + dir +
+      "' was persisted under a different shard layout (" + detail +
+      ") — changing num_shards is an offline data migration: run "
+      "`tools/reshard --to <num_shards> " + dir + "` first");
+}
+
+}  // namespace
+
 void Server::persist_clones() {
   for (auto& sh : shards_) sh->persist_clones();
+  const std::string& dir = cfg_.clone_store.dir;
+  if (dir.empty() || shards_.size() < 2) return;
+  // Persist the placement table next to the per-shard stores so migrated
+  // sessions restore onto the shard that holds their checkpoint.  The
+  // `shards` header doubles as the topology stamp restore_clones checks.
+  std::string payload = "FUSESHMAP1\nshards " +
+                        std::to_string(shards_.size()) + "\n";
+  {
+    std::lock_guard<std::mutex> lock(map_mu_);
+    for (const auto& [id, shard] : shard_overrides_)
+      payload += std::to_string(id) + " " + std::to_string(shard) + "\n";
+  }
+  const std::string path = shard_map_path(dir);
+  if (fuse::util::fault_fire(fuse::util::FaultPoint::kTornShardMap)) {
+    // Simulated crash mid-write: only a prefix of the map reaches disk.
+    std::ofstream torn(path, std::ios::binary | std::ios::trunc);
+    torn.write(payload.data(),
+               static_cast<std::streamsize>(payload.size() / 2));
+    return;
+  }
+  try {
+    fuse::util::write_file_atomic(path, payload);
+  } catch (const std::exception& e) {
+    // Same best-effort contract as clone checkpoints: a failed map write
+    // leaves the previous generation in place (stale beats absent).
+    FUSE_LOG_DEBUG("serve: shard_map write failed: %s", e.what());
+  }
 }
 
 std::vector<SessionId> Server::restore_clones(const SessionConfig& scfg) {
   validate_session_config(scfg);
   std::vector<SessionId> out;
   std::lock_guard<std::mutex> lock(open_mu_);
+  const std::string& dir = cfg_.clone_store.dir;
+  ShardMapFile map;
+  if (!dir.empty()) {
+    map = read_shard_map(dir);
+    if (map.status == ShardMapFile::Status::kValid &&
+        map.shards != shards_.size())
+      throw_reshard_needed(dir, "shard_map says shards=" +
+                                    std::to_string(map.shards) +
+                                    ", this server runs " +
+                                    std::to_string(shards_.size()));
+    // Layout sanity independent of the map file (covers torn maps and
+    // pre-map stores): leftover shard dirs beyond our count, or a flat
+    // single-shard store under a multi-shard server (and vice versa),
+    // mean the data belongs to a different topology.
+    const std::filesystem::path root(dir);
+    for (std::size_t k = shards_.size(); ; ++k) {
+      const auto shard_dir = root / ("shard_" + std::to_string(k));
+      std::error_code ec;
+      if (!std::filesystem::is_directory(shard_dir, ec)) break;
+      if (dir_has_clone_data(shard_dir))
+        throw_reshard_needed(dir, "checkpoints present in shard_" +
+                                      std::to_string(k) + " beyond this "
+                                      "server's " +
+                                      std::to_string(shards_.size()) +
+                                      " shards");
+    }
+    if (shards_.size() > 1 && dir_has_clone_data(root))
+      throw_reshard_needed(dir, "flat single-shard checkpoints under a " +
+                                    std::to_string(shards_.size()) +
+                                    "-shard server");
+    if (shards_.size() == 1 && dir_has_clone_data(root / "shard_0"))
+      throw_reshard_needed(dir,
+                           "sharded checkpoints under a 1-shard server");
+  }
+  std::unordered_set<SessionId> seen;
   for (std::size_t k = 0; k < shards_.size(); ++k) {
     const auto ids = shards_[k]->restore_clones(scfg);
     for (const SessionId id : ids) {
-      if (shard_of(id) != k)
-        throw std::logic_error(
-            "serve::Server::restore_clones: checkpoint for session " +
-            std::to_string(id) + " found on shard " + std::to_string(k) +
-            " but hashes to shard " + std::to_string(shard_of(id)) +
-            " — the store was persisted with a different num_shards "
-            "(re-sharding is a data migration, not a restart)");
+      if (!seen.insert(id).second)
+        throw_reshard_needed(dir, "session " + std::to_string(id) +
+                                      " has checkpoints on two shards "
+                                      "(mixed layout)");
+      if (home_shard(id) != k) {
+        // Off-home checkpoint: legal only when the placement table pins
+        // it here (a migrated session) or the table was torn — then the
+        // on-disk placement is the best available truth.
+        bool pinned = false;
+        switch (map.status) {
+          case ShardMapFile::Status::kValid: {
+            const auto it = map.overrides.find(id);
+            pinned = it != map.overrides.end() && it->second == k;
+            break;
+          }
+          case ShardMapFile::Status::kInvalid:
+            pinned = true;
+            break;
+          case ShardMapFile::Status::kMissing:
+            pinned = false;
+            break;
+        }
+        if (!pinned)
+          throw_reshard_needed(
+              dir, "checkpoint for session " + std::to_string(id) +
+                       " found on shard " + std::to_string(k) +
+                       " but hashes to shard " +
+                       std::to_string(home_shard(id)) +
+                       " with no shard_map entry");
+        set_shard_override(id, k);
+      }
       // Fresh ids must never collide with a restored one.
       next_id_ = std::max(next_id_, id + 1);
       out.push_back(id);
@@ -201,6 +537,10 @@ ServeStats derive_stats(const std::vector<ShardRawStats>& raws,
     row.overload_level = raw.overload_level;
     row.overload_transitions = raw.overload_transitions;
     row.latency_p99_ms = raw.latency.p99() * 1e3;
+    row.migrations_in = raw.migrations_in;
+    row.migrations_out = raw.migrations_out;
+    row.migration_failures = raw.migration_failures;
+    row.queue_depth_series = raw.queue_depth_series;
     for (const auto& ss : raw.sessions) {
       row.frames_in += ss.frames_in;
       row.frames_out += ss.frames_out;
@@ -213,6 +553,9 @@ ServeStats derive_stats(const std::vector<ShardRawStats>& raws,
     out.batches += raw.batches;
     out.overload_level = std::max(out.overload_level, raw.overload_level);
     out.overload_transitions += raw.overload_transitions;
+    // Each completed move is one adoption, so Σ in = completed moves.
+    out.migrations += raw.migrations_in;
+    out.migration_failures += raw.migration_failures;
 
     out.clone_store.enabled |= raw.clone_store.enabled;
     out.clone_store.hits += raw.clone_store.hits;
@@ -251,6 +594,7 @@ ServeStats derive_stats(const std::vector<ShardRawStats>& raws,
     out.deadline_shed += ss.deadline_shed;
     out.non_finite_frames += ss.non_finite_frames;
     out.non_finite_labels += ss.non_finite_labels;
+    out.migration_rejected += ss.migration_rejected;
     if (ss.quarantined) ++out.quarantined_sessions;
   }
   // Queue drops over frames offered (accepted + rejected): the serving

@@ -1,18 +1,37 @@
 #pragma once
 // serve::Server — the sharded multi-session streaming serving runtime
-// (API v2; absorbs the former SessionManager surface, see
-// serve/session_manager.h for the one-PR compatibility shim and
-// DESIGN.md §10 for the old -> new migration table).
+// (API v2; DESIGN.md §10 has the old -> new migration table from the
+// retired SessionManager surface).
 //
-// Sessions are hashed across `ServeConfig::num_shards` independent
+// Sessions are placed across `ServeConfig::num_shards` independent
 // scheduler shards.  Each shard owns its own scheduler thread, frame
 // workspace, result queues, clone-store instance and overload detector,
 // so batching/adaptation work scales with cores instead of capping at
-// one.  `shard_of(id) == (id - 1) % num_shards` is a pure function of
-// the session id: assignment is deterministic, stable across
-// close_session/recycle_session, and the 1-shard configuration is
-// bit-compatible with the pre-shard scheduler (the equivalence oracle —
-// one shard runs exactly the old single-thread engine).
+// one.  Placement is an explicit shard-map table: every session starts
+// on its home shard `(id - 1) % num_shards` (deterministic, stable
+// across close_session/recycle_session), and migrate_session() — or the
+// load-balancer hook, see below — may later record an override moving it
+// elsewhere.  With no migrations the table is empty and shard_of() is
+// exactly the old pure hash; the 1-shard configuration is bit-compatible
+// with the pre-shard scheduler (the equivalence oracle — one shard runs
+// exactly the old single-thread engine).
+//
+// Cross-shard migration (PR 10): migrate_session(id, shard) drains the
+// session's queue, round-trips its adapted clone through the delta codec
+// (nn/delta.h — the same checkpoint format eviction uses), rebinds the
+// session and its gauges on the target shard and replays the drained
+// frames there.  In synchronous mode the move executes at the start of
+// the next run_once() tick (the scheduler tick owns session state);
+// until then — and for the duration of the move — submits to the session
+// return SubmitResult::kMigrating (retry-after semantics).  In threaded
+// mode the move executes inline under both shards' pass locks.  Setting
+// ServeConfig::rebalance_every arms the built-in load balancer: every N
+// synchronous ticks the deepest-backlog session on the hottest shard is
+// migrated to the coldest shard when the depth imbalance exceeds
+// rebalance_ratio.  Migrated placements persist with the clones (a
+// `shard_map` file next to the per-shard stores) and are re-installed by
+// restore_clones(); changing num_shards itself remains an offline
+// re-shard (tools/reshard, serve/reshard.h).
 //
 // In-flight gauge / overload-detector contract (multi-shard):
 //  * admission (`max_in_flight`) is GLOBAL — one shared atomic gauge of
@@ -39,6 +58,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/predictor.h"
@@ -68,6 +89,9 @@ enum class SubmitResult {
   kAdmissionRejected,  ///< global max_in_flight budget exhausted
   kUnknownSession,     ///< no session with that id
   kNoProcessor,        ///< submit_cube without a ServeConfig::processor
+  /// The session is mid-move to another shard (its queue is being drained
+  /// for replay there); retry after the move commits — one scheduler tick.
+  kMigrating,
 };
 
 /// True when the frame was enqueued and will produce a result.
@@ -80,10 +104,11 @@ const char* submit_result_name(SubmitResult r);
 struct ServeConfig {
   std::size_t max_sessions = 64;   ///< across all shards
   std::size_t max_batch = 16;      ///< frames per batched forward pass
-  /// Scheduler shards.  Sessions hash across them ((id - 1) % num_shards)
-  /// and each shard runs its own scheduler thread with private workspace,
-  /// clone store and overload detector.  1 (default) reproduces the
-  /// pre-shard single-thread engine bit-for-bit.
+  /// Scheduler shards.  Sessions start on their home shard
+  /// ((id - 1) % num_shards; migrate_session may move them) and each
+  /// shard runs its own scheduler thread with private workspace, clone
+  /// store and overload detector.  1 (default) reproduces the pre-shard
+  /// single-thread engine bit-for-bit.
   std::size_t num_shards = 1;
   /// Inference compute backend for batched forward passes.  The GEMM
   /// backend amortises the conv weight panel across the whole batch;
@@ -111,7 +136,8 @@ struct ServeConfig {
   /// served or adapted.  Empty dir (default) keeps every clone resident.
   /// With num_shards > 1 each shard keeps its own store instance under
   /// `<dir>/shard_<k>` (budgets apply per shard); a warm restart must use
-  /// the same num_shards the checkpoints were persisted with.
+  /// the same num_shards the checkpoints were persisted with — changing
+  /// the shard count is an offline re-shard (tools/reshard).
   CloneStoreConfig clone_store;
   /// Global admission budget: total queued frames across every session on
   /// every shard.  A submit over it is refused at the door
@@ -126,6 +152,15 @@ struct ServeConfig {
   /// shard's own queue depth (see the contract at the top of this
   /// header).  Disabled by default.
   OverloadConfig overload;
+  /// Load-balancer hook in the synchronous scheduler tick: every
+  /// `rebalance_every` run_once() calls the server compares per-shard
+  /// queue backlogs and migrates the deepest-backlog session from the
+  /// hottest shard to the coldest when hot exceeds cold by more than
+  /// `rebalance_ratio` (and by at least one whole queue's worth of
+  /// frames).  0 (default) disables the hook; threaded deployments drive
+  /// migrate_session() from their own balancer instead.
+  std::size_t rebalance_every = 0;
+  double rebalance_ratio = 2.0;
   SessionConfig session;           ///< defaults for open_session()
 
   /// Consolidated ServeConfig + nested SessionConfig validation; throws
@@ -152,12 +187,24 @@ class Server {
 
   // ------------------------------------------------------------- shards --
   std::size_t num_shards() const { return shards_.size(); }
-  /// The shard owning session `id` — a pure function of the id, so the
-  /// mapping is stable across close_session/recycle_session and across
-  /// warm restarts with the same num_shards.
-  std::size_t shard_of(SessionId id) const {
-    return id == 0 ? 0 : (id - 1) % shards_.size();
-  }
+  /// The shard owning session `id`: the explicit shard-map table when the
+  /// session has been migrated, else its home shard (id - 1) % num_shards.
+  /// Stable across close_session/recycle_session and across warm restarts
+  /// with the same num_shards (restore_clones re-installs migrated
+  /// placements from the persisted shard map).
+  std::size_t shard_of(SessionId id) const;
+
+  /// Moves the session to `target_shard`: drains its queue, round-trips
+  /// the adapted clone through the delta codec, rebinds session + gauges
+  /// on the target and replays the drained frames there.  Synchronous
+  /// mode defers execution to the start of the next run_once()/drain()
+  /// tick (submits return kMigrating until the move commits); threaded
+  /// mode executes inline under both shards' pass locks.  Returns false
+  /// when the session or target does not exist or the move was rolled
+  /// back (injected mid-migration faults; the session then still serves
+  /// intact on its source shard).  A same-shard target is a no-op
+  /// returning true.
+  bool migrate_session(SessionId id, std::size_t target_shard);
 
   // ------------------------------------------------------------ sessions --
   /// Opens a session with the server's default session config.
@@ -221,22 +268,39 @@ class Server {
 
   // -------------------------------------------------------- warm restart --
   /// Checkpoints every session's adapted clone to its shard's clone store
-  /// and writes per-shard manifests, so a new process pointed at the same
-  /// clone_store.dir (and the same num_shards) can restore_clones().
-  /// Requires a configured store and a stopped server (throws
-  /// std::logic_error otherwise); no-op when the store is disabled.
+  /// and writes per-shard manifests plus the `shard_map` file (migrated
+  /// placements), so a new process pointed at the same clone_store.dir
+  /// (and the same num_shards) can restore_clones().  Requires a
+  /// configured store and a stopped server (throws std::logic_error
+  /// otherwise); no-op when the store is disabled.
   void persist_clones();
-  /// Re-creates one session (with `scfg`, under its original id and
-  /// therefore on its original shard) per clone checkpoint in each
-  /// shard's manifest.  Call on a fresh server before start(); throws
-  /// std::logic_error while running, or when a checkpointed id does not
-  /// hash to the shard that holds it (the store was persisted with a
-  /// different num_shards — re-sharding is a data migration, not a
-  /// restart).  Returns the restored session ids, sorted.
+  /// Re-creates one session (with `scfg`, under its original id and on
+  /// the shard whose store holds its checkpoint) per clone checkpoint in
+  /// each shard's manifest, re-installing migrated placements from the
+  /// persisted shard map.  Call on a fresh server before start(); throws
+  /// std::logic_error while running, or when the layout on disk belongs
+  /// to a different num_shards (run tools/reshard first — re-sharding is
+  /// a data migration, not a restart).  A torn/corrupt shard-map file is
+  /// tolerated: the placement found on disk is the truth and off-home
+  /// ids are re-pinned where their checkpoints live.  Returns the
+  /// restored session ids, sorted.
   std::vector<SessionId> restore_clones(const SessionConfig& scfg);
 
  private:
   std::size_t session_count_unlocked() const;
+  std::size_t home_shard(SessionId id) const {
+    return id == 0 ? 0 : (id - 1) % shards_.size();
+  }
+  /// Executes one queued/requested move; see migrate_session.  Callers
+  /// either hold both shards' pass locks (threaded) or are the sole
+  /// scheduler thread (synchronous tick).
+  bool execute_migration(SessionId id, std::size_t target_shard);
+  /// Runs deferred migrations queued by migrate_session (sync mode only).
+  void run_pending_migrations();
+  /// The load-balancer hook (see ServeConfig::rebalance_every).
+  void maybe_rebalance();
+  void set_shard_override(SessionId id, std::size_t shard);
+  void clear_shard_override(SessionId id);
 
   const fuse::core::Predictor* predictor_;
   const fuse::nn::Module* shared_model_;
@@ -250,6 +314,21 @@ class Server {
   /// Guards id allocation and the max_sessions cap across shards.
   mutable std::mutex open_mu_;
   SessionId next_id_ = 1;
+
+  /// Explicit shard-map table: overrides for sessions migrated off their
+  /// home shard (absent id = home hash).  The submit hot path skips the
+  /// lock entirely while the table is empty (the common case), via the
+  /// relaxed override counter.
+  mutable std::mutex map_mu_;
+  std::unordered_map<SessionId, std::size_t> shard_overrides_;
+  std::atomic<std::size_t> override_count_{0};
+
+  /// Migrations requested while in synchronous mode, executed at the
+  /// start of the next run_once() tick.
+  std::mutex pending_mu_;
+  std::vector<std::pair<SessionId, std::size_t>> pending_migrations_;
+
+  std::size_t ticks_ = 0;  ///< run_once calls (drives the rebalance hook)
 
   std::atomic<bool> running_{false};
 };

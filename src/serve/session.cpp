@@ -144,6 +144,38 @@ void Session::reset_stream_state() {
   fresh_labeled_ = 0;
 }
 
+void Session::note_migration_rejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++migration_rejected_;
+}
+
+std::deque<Session::InFrame> Session::drain_queue() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sub_in_flight(queue_.size());
+  std::deque<InFrame> out;
+  out.swap(queue_);
+  return out;
+}
+
+void Session::requeue(std::deque<InFrame> frames) {
+  if (frames.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  add_in_flight(frames.size());
+  for (auto it = frames.rbegin(); it != frames.rend(); ++it)
+    queue_.push_front(std::move(*it));
+  queue_hwm_ = std::max(queue_hwm_, queue_.size());
+}
+
+void Session::rebind_shard_gauge(std::atomic<std::size_t>* shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t n = queue_.size();
+  if (n != 0 && shard_in_flight_ != nullptr)
+    shard_in_flight_->fetch_sub(n, std::memory_order_relaxed);
+  shard_in_flight_ = shard;
+  if (n != 0 && shard_in_flight_ != nullptr)
+    shard_in_flight_->fetch_add(n, std::memory_order_relaxed);
+}
+
 void Session::note_admission_rejected() {
   std::lock_guard<std::mutex> lock(mu_);
   ++admission_rejected_;
@@ -205,6 +237,7 @@ SessionStats Session::stats_snapshot() const {
   s.deadline_shed = deadline_shed_;
   s.non_finite_frames = non_finite_frames_;
   s.non_finite_labels = non_finite_labels_;
+  s.migration_rejected = migration_rejected_;
   s.quarantined = quarantined_;
   return s;
 }

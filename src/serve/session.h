@@ -231,6 +231,39 @@ class Session {
     return quarantined_;
   }
 
+  // ---------------------------------------- cross-shard migration (PR 10) --
+  /// While a session is mid-move the submit paths bounce new frames with
+  /// SubmitResult::kMigrating instead of enqueueing onto a queue that is
+  /// about to be drained.  Set/cleared by the migration driver only.
+  void begin_migration() {
+    std::lock_guard<std::mutex> lock(mu_);
+    migrating_ = true;
+  }
+  void end_migration() {
+    std::lock_guard<std::mutex> lock(mu_);
+    migrating_ = false;
+  }
+  bool migrating() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return migrating_;
+  }
+  /// Producer side: a submit arrived mid-move and was bounced.
+  void note_migration_rejected();
+
+  /// Migration driver: empties the queue and releases the queued frames'
+  /// gauge slots, returning the frames for replay on the target shard.
+  /// Enqueue stamps (t_enqueue/seq/epoch) are preserved.
+  std::deque<InFrame> drain_queue();
+  /// Migration driver: re-enqueues previously drained frames at the FRONT
+  /// of the queue (they predate anything submitted since), re-acquiring
+  /// their gauge slots.  Capacity is not re-checked: the frames held slots
+  /// moments ago and the queue was just drained.
+  void requeue(std::deque<InFrame> frames);
+  /// Migration driver: repoints the per-shard gauge at the target shard's,
+  /// moving any currently queued frames' counts from the old gauge to the
+  /// new.  The global admission gauge is unaffected.
+  void rebind_shard_gauge(std::atomic<std::size_t>* shard);
+
  private:
   /// Shared enqueue tail: stamps the frame and applies the drop policy.
   bool enqueue_frame(InFrame f, double now_s);
@@ -270,7 +303,9 @@ class Session {
   std::uint64_t deadline_shed_ = 0;
   std::uint64_t non_finite_frames_ = 0;
   std::uint64_t non_finite_labels_ = 0;
+  std::uint64_t migration_rejected_ = 0;
   bool quarantined_ = false;
+  bool migrating_ = false;
   /// Bound queued-frame gauges (see bind_in_flight): the server-global
   /// admission gauge and the owning shard's local gauge.
   std::atomic<std::size_t>* global_in_flight_ = nullptr;

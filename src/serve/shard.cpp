@@ -112,6 +112,13 @@ SubmitResult Shard::submit_frame(SessionId id,
                                  const fuse::human::Pose* label) {
   auto s = find(id);
   if (!s) return SubmitResult::kUnknownSession;
+  if (s->migrating()) {
+    // Mid-move: the queue is being drained for replay on the target shard;
+    // enqueueing here would strand the frame.  Retry-after semantics — the
+    // producer resubmits once the move commits (one scheduler tick).
+    s->note_migration_rejected();
+    return SubmitResult::kMigrating;
+  }
   if (!admit(*s)) return SubmitResult::kAdmissionRejected;
   fuse::human::Pose bad_label;
   if (label != nullptr &&
@@ -143,6 +150,10 @@ SubmitResult Shard::submit_cube(SessionId id, fuse::radar::RadarCube cube,
     return SubmitResult::kNoProcessor;
   auto s = find(id);
   if (!s) return SubmitResult::kUnknownSession;
+  if (s->migrating()) {
+    s->note_migration_rejected();
+    return SubmitResult::kMigrating;
+  }
   if (!admit(*s)) return SubmitResult::kAdmissionRejected;
   fuse::human::Pose bad_label;
   if (label != nullptr &&
@@ -179,6 +190,10 @@ std::vector<PoseResult> Shard::poll_results(SessionId id) {
 }
 
 std::size_t Shard::run_once() {
+  // The pass lock excludes the migration driver for the whole tick: a
+  // session is never moved out from under a running pass.  Uncontended in
+  // steady state (one lock/unlock per tick).
+  std::lock_guard<std::mutex> pass_lock(pass_mu_);
   const auto snapshot = snapshot_sessions();
   std::vector<Session*> sessions;
   sessions.reserve(snapshot.size());
@@ -209,6 +224,10 @@ std::size_t Shard::run_once() {
   telem_.merge(rec.telem);
   batches_ += pass.batches;
   batched_frames_ += pass.batched_frames;
+  // Queue depth over time: one post-pass gauge sample per tick into the
+  // bounded ring (ROADMAP item 5's leftover — the export shows the curve,
+  // not just the high-water mark).
+  depth_series_.record(shard_in_flight_.load(std::memory_order_relaxed));
   return pass.served;
 }
 
@@ -297,12 +316,45 @@ ShardRawStats Shard::raw_stats() const {
   out.overload_transitions =
       overload_transitions_.load(std::memory_order_relaxed);
   out.clone_store = clone_store_.stats_snapshot();
+  out.migrations_in = migrations_in_.load(std::memory_order_relaxed);
+  out.migrations_out = migrations_out_.load(std::memory_order_relaxed);
+  out.migration_failures =
+      migration_failures_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(stats_mu_);
   out.latency = latency_;
   out.telem = telem_;
   out.batches = batches_;
   out.batched_frames = batched_frames_;
+  out.queue_depth_series = depth_series_.snapshot();
   return out;
+}
+
+std::shared_ptr<Session> Shard::detach_session(SessionId id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return nullptr;
+  auto s = std::move(it->second);
+  sessions_.erase(it);
+  return s;
+}
+
+void Shard::attach_session(std::shared_ptr<Session> s) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.emplace(s->id(), std::move(s));
+}
+
+std::vector<std::pair<SessionId, std::size_t>> Shard::session_depths() const {
+  const auto snapshot = snapshot_sessions();
+  std::vector<std::pair<SessionId, std::size_t>> out;
+  out.reserve(snapshot.size());
+  for (const auto& s : snapshot) out.emplace_back(s->id(), s->queue_depth());
+  return out;
+}
+
+void Shard::record_migration(double seconds) {
+  if (!(kTelemetryCompiled && cfg_.detailed_stats)) return;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  telem_.stages.record(Stage::kMigrate, seconds);
 }
 
 }  // namespace fuse::serve

@@ -6,9 +6,9 @@
 // its slice of the session map, one Scheduler (and therefore one private
 // FrameWorkspace / featurize scratch), one clone-store instance, one
 // OverloadDetector, and — in threaded mode — one scheduler thread with
-// its own wake condition variable.  serve::Server hashes sessions across
-// N of these; with N == 1 the engine is bit-compatible with the old
-// SessionManager (the equivalence oracle).
+// its own wake condition variable.  serve::Server places sessions across
+// N of these (home hash + migration overrides); with N == 1 the engine is
+// bit-compatible with the pre-shard scheduler (the equivalence oracle).
 //
 // Gauge contract (see server.h): every accepted frame ticks TWO gauges —
 // the server-global admission gauge (bounds total queued frames for
@@ -50,6 +50,12 @@ struct ShardRawStats {
   int overload_level = 0;
   std::uint64_t overload_transitions = 0;
   CloneStoreSnapshot clone_store;
+  // Live cross-shard migration traffic (PR 10).
+  std::uint64_t migrations_in = 0;
+  std::uint64_t migrations_out = 0;
+  std::uint64_t migration_failures = 0;
+  /// Per-tick queue-depth samples, oldest -> newest (bounded ring).
+  std::vector<std::size_t> queue_depth_series;
 };
 
 class Shard {
@@ -99,11 +105,43 @@ class Shard {
   // ----------------------------------------------------------- telemetry --
   ShardRawStats raw_stats() const;
 
+  // -------------------------------------- cross-shard migration (PR 10) --
+  // Primitives the Server's migration driver composes.  All of them are
+  // only safe while the caller holds BOTH involved shards' pass locks (or
+  // no scheduler threads run): they touch scheduler-owned state.
+  /// Excludes this shard's scheduler pass: run_once holds this for the
+  /// whole tick, so a holder observes no mid-pass state.  External callers
+  /// (the migration driver) lock source and target ordered by index —
+  /// shard threads only ever take their own, so the order cannot deadlock.
+  std::unique_lock<std::mutex> lock_pass() {
+    return std::unique_lock<std::mutex>(pass_mu_);
+  }
+  std::shared_ptr<Session> find(SessionId id) const;
+  /// Removes the session from this shard's map WITHOUT queueing a
+  /// clone-store forget (the caller owns the clone handoff).
+  std::shared_ptr<Session> detach_session(SessionId id);
+  void attach_session(std::shared_ptr<Session> s);
+  CloneStore& store() { return clone_store_; }
+  std::atomic<std::size_t>* gauge() { return &shard_in_flight_; }
+  /// (id, queue depth) per session — the load balancer's pick input.
+  std::vector<std::pair<SessionId, std::size_t>> session_depths() const;
+  void note_migration_in() {
+    migrations_in_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_migration_out() {
+    migrations_out_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_migration_failure() {
+    migration_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Records one migrate-stage sample (drain -> rebind wall time) into
+  /// this shard's cumulative telemetry.
+  void record_migration(double seconds);
+
  private:
   /// Admission gate: false = the GLOBAL in-flight budget is full and the
   /// frame was refused (counted against `s`).
   bool admit(Session& s);
-  std::shared_ptr<Session> find(SessionId id) const;
   std::vector<std::shared_ptr<Session>> snapshot_sessions() const;
   void scheduler_loop();
   /// Flags pending work (under wake_mu_) and wakes the shard's scheduler
@@ -136,6 +174,13 @@ class Shard {
   Telemetry telem_;  ///< cumulative per-stage/per-backend detail
   std::uint64_t batches_ = 0;
   std::uint64_t batched_frames_ = 0;
+  QueueDepthSeries depth_series_;  ///< one gauge sample per pass
+
+  /// Held for the full run_once tick; see lock_pass().
+  std::mutex pass_mu_;
+  std::atomic<std::uint64_t> migrations_in_{0};
+  std::atomic<std::uint64_t> migrations_out_{0};
+  std::atomic<std::uint64_t> migration_failures_{0};
 
   std::thread thread_;
   std::mutex wake_mu_;

@@ -130,12 +130,17 @@ std::string stats_to_json(const ServeStats& s) {
   append(out,
          "  \"robustness\": {\"admission_rejected\": %llu, "
          "\"deadline_shed\": %llu, \"non_finite_frames\": %llu, "
-         "\"non_finite_labels\": %llu, \"quarantined_sessions\": %zu},\n",
+         "\"non_finite_labels\": %llu, \"quarantined_sessions\": %zu, "
+         "\"migrations\": %llu, \"migration_failures\": %llu, "
+         "\"migration_rejected\": %llu},\n",
          static_cast<unsigned long long>(s.admission_rejected),
          static_cast<unsigned long long>(s.deadline_shed),
          static_cast<unsigned long long>(s.non_finite_frames),
          static_cast<unsigned long long>(s.non_finite_labels),
-         s.quarantined_sessions);
+         s.quarantined_sessions,
+         static_cast<unsigned long long>(s.migrations),
+         static_cast<unsigned long long>(s.migration_failures),
+         static_cast<unsigned long long>(s.migration_rejected));
   append(out, "  \"shed_rate\": %.6f,\n", s.shed_rate);
   append(out, "  \"in_flight\": %zu,\n", s.in_flight);
   append(out,
@@ -151,13 +156,21 @@ std::string stats_to_json(const ServeStats& s) {
            "    {\"shard\": %zu, \"sessions\": %zu, \"frames_in\": %llu, "
            "\"frames_out\": %llu, \"in_flight\": %zu, \"batches\": %llu, "
            "\"overload_level\": %d, \"overload_transitions\": %llu, "
-           "\"latency_p99_ms\": %.4f}%s\n",
+           "\"latency_p99_ms\": %.4f, \"migrations_in\": %llu, "
+           "\"migrations_out\": %llu, \"migration_failures\": %llu, "
+           "\"queue_depth_series\": [",
            sh.shard, sh.sessions,
            static_cast<unsigned long long>(sh.frames_in),
            static_cast<unsigned long long>(sh.frames_out), sh.in_flight,
            static_cast<unsigned long long>(sh.batches), sh.overload_level,
            static_cast<unsigned long long>(sh.overload_transitions),
-           sh.latency_p99_ms, i + 1 < s.per_shard.size() ? "," : "");
+           sh.latency_p99_ms,
+           static_cast<unsigned long long>(sh.migrations_in),
+           static_cast<unsigned long long>(sh.migrations_out),
+           static_cast<unsigned long long>(sh.migration_failures));
+    for (std::size_t k = 0; k < sh.queue_depth_series.size(); ++k)
+      append(out, "%s%zu", k ? ", " : "", sh.queue_depth_series[k]);
+    append(out, "]}%s\n", i + 1 < s.per_shard.size() ? "," : "");
   }
   out += "  ],\n";
   append(out, "  \"batches\": %llu,\n",
@@ -232,11 +245,12 @@ std::string stats_to_json(const ServeStats& s) {
     append(out,
            " \"admission_rejected\": %llu, \"deadline_shed\": %llu, "
            "\"non_finite_frames\": %llu, \"non_finite_labels\": %llu, "
-           "\"quarantined\": %s,",
+           "\"migration_rejected\": %llu, \"quarantined\": %s,",
            static_cast<unsigned long long>(ps.admission_rejected),
            static_cast<unsigned long long>(ps.deadline_shed),
            static_cast<unsigned long long>(ps.non_finite_frames),
            static_cast<unsigned long long>(ps.non_finite_labels),
+           static_cast<unsigned long long>(ps.migration_rejected),
            ps.quarantined ? "true" : "false");
     append(out,
            " \"adapt_state\": \"%s\", \"adapt_rounds\": %llu, "

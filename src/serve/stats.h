@@ -66,6 +66,42 @@ class LatencyHistogram {
   double max_ = 0.0;
 };
 
+/// Fixed-capacity ring of per-tick queue-depth samples: each scheduler
+/// pass records its shard's in-flight gauge, so the export shows depth
+/// *over time* rather than only the high-water mark (ROADMAP item 5's
+/// leftover).  Capacity-bounded so a days-long soak cannot grow it; once
+/// full the oldest sample is overwritten.  Not thread-safe — callers
+/// record/merge under the shard stats mutex like every other snapshot.
+class QueueDepthSeries {
+ public:
+  static constexpr std::size_t kCapacity = 240;
+
+  void record(std::size_t depth) {
+    ring_[head_] = depth;
+    head_ = (head_ + 1) % kCapacity;
+    if (count_ < kCapacity) ++count_;
+  }
+  void reset() {
+    head_ = 0;
+    count_ = 0;
+  }
+  std::size_t size() const { return count_; }
+  /// Samples oldest -> newest.
+  std::vector<std::size_t> snapshot() const {
+    std::vector<std::size_t> out;
+    out.reserve(count_);
+    const std::size_t start = (head_ + kCapacity - count_) % kCapacity;
+    for (std::size_t i = 0; i < count_; ++i)
+      out.push_back(ring_[(start + i) % kCapacity]);
+    return out;
+  }
+
+ private:
+  std::array<std::size_t, kCapacity> ring_{};
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
 /// Per-user online-adaptation lifecycle of a session.
 enum class AdaptState {
   kShared,      ///< adaptation disabled; serves the shared meta-model
@@ -97,6 +133,7 @@ struct SessionStats {
   std::uint64_t deadline_shed = 0;       ///< stale frame shed pre-DSP/infer
   std::uint64_t non_finite_frames = 0;   ///< NaN/Inf input frames rejected
   std::uint64_t non_finite_labels = 0;   ///< NaN/Inf labels rejected
+  std::uint64_t migration_rejected = 0;  ///< submits bounced mid-migration
   bool quarantined = false;  ///< served from shared meta-init, no adaptation
 };
 
@@ -153,7 +190,7 @@ struct CloneStoreSnapshot {
 /// p99 (the merged quantiles come from histogram-level merging, so they
 /// are exact, not averages of these).
 struct ShardStatsRow {
-  std::size_t shard = 0;      ///< shard index (sessions: (id-1) % shards)
+  std::size_t shard = 0;      ///< shard index (home hash + migration map)
   std::size_t sessions = 0;   ///< sessions owned by this shard
   std::uint64_t frames_in = 0;
   std::uint64_t frames_out = 0;
@@ -162,6 +199,12 @@ struct ShardStatsRow {
   int overload_level = 0;     ///< this shard's ladder rung
   std::uint64_t overload_transitions = 0;
   double latency_p99_ms = 0.0;
+  // Live cross-shard migration traffic through this shard.
+  std::uint64_t migrations_in = 0;   ///< sessions adopted from other shards
+  std::uint64_t migrations_out = 0;  ///< sessions moved away
+  std::uint64_t migration_failures = 0;  ///< moves rolled back on this source
+  /// Per-tick queue-depth samples, oldest -> newest (bounded ring).
+  std::vector<std::size_t> queue_depth_series;
 };
 
 struct ServeStats {
@@ -194,6 +237,11 @@ struct ServeStats {
   std::uint64_t non_finite_frames = 0;   ///< NaN/Inf input frames rejected
   std::uint64_t non_finite_labels = 0;   ///< NaN/Inf labels rejected
   std::size_t quarantined_sessions = 0;  ///< sessions serving quarantined
+  // Live cross-shard migration (PR 10): completed moves, rolled-back
+  // moves, and submits bounced with SubmitResult::kMigrating mid-move.
+  std::uint64_t migrations = 0;
+  std::uint64_t migration_failures = 0;
+  std::uint64_t migration_rejected = 0;
   /// Deadline sheds / frames offered (accepted + rejected); distinct from
   /// drop_rate (producer-side queue policy) — this is scheduler-side.
   double shed_rate = 0.0;

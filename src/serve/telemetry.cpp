@@ -14,6 +14,7 @@ const char* stage_name(Stage s) {
     case Stage::kAdapt: return "adapt";
     case Stage::kResultPoll: return "result_poll";
     case Stage::kShed: return "shed";
+    case Stage::kMigrate: return "migrate";
   }
   return "?";
 }

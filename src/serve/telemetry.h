@@ -49,8 +49,9 @@ enum class Stage : std::size_t {
   kAdapt,          ///< online-adaptation SGD round (per round)
   kResultPoll,     ///< result ready -> polled by the consumer (per result)
   kShed,           ///< frame shed by deadline; records its age at shedding
+  kMigrate,        ///< cross-shard session move, drain -> rebind (per move)
 };
-inline constexpr std::size_t kNumStages = 8;
+inline constexpr std::size_t kNumStages = 9;
 
 const char* stage_name(Stage s);
 

@@ -39,18 +39,21 @@ inline constexpr bool kFaultCompiled = FUSE_FAULT_INJECT != 0;
 
 /// The injection-point taxonomy.  Sites live in nn/delta.cpp (disk I/O via
 /// util/atomic_file.h), serve/clone_store (checkpoint + manifest I/O),
-/// serve/session_manager (input corruption) and serve/scheduler (latency
-/// spikes).
+/// serve/shard (input corruption), serve/scheduler (latency spikes),
+/// serve/server (live migration) and serve/reshard (offline re-shard).
 enum class FaultPoint : std::size_t {
-  kDiskWrite = 0,  ///< checkpoint/manifest write throws (ENOSPC, EIO, ...)
-  kTornWrite,      ///< write persists only a prefix (crash mid-write)
-  kDiskRead,       ///< checkpoint/manifest read throws
-  kCorruptCloud,   ///< NaN/Inf poked into a submitted point cloud
-  kCorruptCube,    ///< NaN/Inf poked into a submitted raw radar cube
-  kCorruptLabel,   ///< NaN/Inf poked into a submitted ground-truth label
-  kLatencySpike,   ///< scheduler stage stalls for spike_ms
+  kDiskWrite = 0,    ///< checkpoint/manifest write throws (ENOSPC, EIO, ...)
+  kTornWrite,        ///< write persists only a prefix (crash mid-write)
+  kDiskRead,         ///< checkpoint/manifest read throws
+  kCorruptCloud,     ///< NaN/Inf poked into a submitted point cloud
+  kCorruptCube,      ///< NaN/Inf poked into a submitted raw radar cube
+  kCorruptLabel,     ///< NaN/Inf poked into a submitted ground-truth label
+  kLatencySpike,     ///< scheduler stage stalls for spike_ms
+  kMigrationKill,    ///< live migration / re-shard killed mid-move
+  kTornShardMap,     ///< re-shard journal (shard map) write torn on disk
+  kTargetShardCrash, ///< target shard crashes while adopting a session
 };
-inline constexpr std::size_t kNumFaultPoints = 7;
+inline constexpr std::size_t kNumFaultPoints = 10;
 
 const char* fault_point_name(FaultPoint p);
 

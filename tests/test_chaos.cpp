@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "serve/reshard.h"
 #include "serve/server.h"
 #include "util/fault.h"
 
@@ -126,11 +127,14 @@ TEST(Chaos, ThreadedSoakSurvivesFaultMatrixAcrossSeeds) {
     fc.p(FaultPoint::kTornWrite) = 0.05;
     fc.p(FaultPoint::kDiskRead) = 0.05;
     fc.p(FaultPoint::kLatencySpike) = 0.05;
+    fc.p(FaultPoint::kMigrationKill) = 0.10;  // some migrations die mid-move
+    fc.p(FaultPoint::kTargetShardCrash) = 0.10;
     fc.spike_ms = 0.5;
     ScopedFaults faults(fc);
 
     const std::string dir = fresh_dir("fuse_chaos_soak");
     ServeConfig cfg = adapting_cfg();
+    cfg.num_shards = 2;  // cross-shard migrations join the storm
     cfg.max_in_flight = 32;  // admission control live during the soak
     cfg.clone_store.dir = dir;
     cfg.clone_store.max_resident_clones = 1;  // evictions exercise disk I/O
@@ -155,16 +159,28 @@ TEST(Chaos, ThreadedSoakSurvivesFaultMatrixAcrossSeeds) {
           (void)server.submit_frame(ids[s], streams[s][i].cloud,
                                     &streams[s][i].label);
       });
+    // A migration storm rides the fault matrix: every session ping-pongs
+    // between the shards while the producers flood it, with kMigrationKill
+    // and kTargetShardCrash randomly aborting moves mid-flight.
+    std::thread migrator([&] {
+      for (std::size_t round = 0; round < 40; ++round)
+        for (std::size_t s = 0; s < kSessions; ++s)
+          (void)server.migrate_session(ids[s], round % 2);
+    });
     for (auto& t : producers) t.join();
+    migrator.join();
     server.stop();
     server.drain();  // flush whatever was still queued at stop()
 
     const auto stats = server.stats();
     // Conservation: accepted = served + rejected-as-non-finite (+ queue
     // evictions, impossible here with 128-deep queues and 30-frame streams).
+    // Holds across every migration — completed, rolled back, or rejected
+    // at the kMigrating door — because moves drain and requeue, never drop.
     EXPECT_EQ(stats.frames_in, stats.frames_out + stats.non_finite_frames +
                                    stats.queue_evicted + stats.deadline_shed);
     EXPECT_EQ(stats.in_flight, 0u);
+    EXPECT_GT(stats.migrations + stats.migration_failures, 0u);
     // The matrix actually fired where it statistically must (~4-5 expected
     // corruptions per point over ~90 submissions at p = 0.05).
     EXPECT_GT(stats.non_finite_frames + stats.non_finite_labels, 0u);
@@ -235,10 +251,11 @@ struct RestoreWorld {
   std::vector<LabeledFrame> probe;
   std::vector<std::vector<fuse::serve::PoseResult>> ref;
 
-  explicit RestoreWorld(const char* name) {
+  explicit RestoreWorld(const char* name, std::size_t num_shards = 1) {
     auto& pl = world();
     dir = fresh_dir(name);
     cfg = adapting_cfg();
+    cfg.num_shards = num_shards;
     cfg.clone_store.dir = dir;
     cfg.session.tracking = false;  // tracker state is not persisted
     probe = labeled_frames(3, kProbe);
@@ -472,6 +489,178 @@ TEST(Chaos, NanLabelsNeverPoisonAdaptation) {
   for (std::size_t i = 0; i < kFrames; ++i) {
     EXPECT_FALSE(rp[i].adapted_model);
     expect_pose_eq(rp[i].raw, rc[i].raw);
+  }
+}
+
+// ------------------------------------------------ re-shard crash matrix --
+
+// Tentpole acceptance: kill the offline re-shard at every fault point it
+// crosses — mid-copy kill, torn journal write, failed and torn destination
+// writes — across seeds.  Whatever state the crash left behind, (a) a
+// sharded server refuses a half-migrated store loudly instead of serving
+// from it, and (b) re-running the tool completes the migration, after
+// which every clone restores bit-exactly.
+TEST(Chaos, ReshardCrashAtEveryFaultPointIsRecoverable) {
+  auto& pl = world();
+  RestoreWorld w("fuse_chaos_reshard", 2);  // pristine 2-shard store
+  const struct {
+    FaultPoint point;
+    const char* name;
+    double p;
+  } kPoints[] = {
+      // p = 1.0 where the point has a single deterministic site (first
+      // copy / first journal write); 0.7 on the generic disk points so the
+      // seeds crash at different stages of the protocol.
+      {FaultPoint::kMigrationKill, "kMigrationKill", 1.0},
+      {FaultPoint::kTornShardMap, "kTornShardMap", 1.0},
+      {FaultPoint::kDiskWrite, "kDiskWrite", 0.7},
+      {FaultPoint::kTornWrite, "kTornWrite", 0.7},
+  };
+  for (const auto& [point, name, p] : kPoints) {
+    std::size_t crashes = 0;
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+      SCOPED_TRACE(std::string(name) + " seed " + std::to_string(seed));
+      const std::string dir = fresh_dir("fuse_chaos_reshard_run");
+      fs::copy(w.dir, dir, fs::copy_options::recursive);
+      fuse::serve::ReshardConfig rcfg;
+      rcfg.dir = dir;
+      rcfg.to = 4;
+      rcfg.base = &pl.model();
+      {
+        FaultConfig fc;
+        fc.seed = seed;
+        fc.p(point) = p;
+        ScopedFaults faults(fc);
+        try {
+          (void)fuse::serve::reshard(rcfg);
+        } catch (const std::exception&) {
+          ++crashes;  // the injected crash; the store must survive it
+        }
+      }
+      // If checkpoints already landed beyond the old layout, a 2-shard
+      // server must refuse the half-migrated store by name — restoring
+      // from it would silently split sessions across topologies.
+      const bool stale_new_shards = [&] {
+        for (std::size_t k = 2; k < 4; ++k) {
+          std::error_code ec;
+          for (const auto& e : fs::directory_iterator(
+                   fs::path(dir) / ("shard_" + std::to_string(k)), ec))
+            if (e.path().extension() == ".delta") return true;
+        }
+        return false;
+      }();
+      if (stale_new_shards) {
+        ServeConfig cfg2 = w.cfg;
+        cfg2.clone_store.dir = dir;
+        Server refuse(&pl.predictor(), &pl.model(), cfg2);
+        EXPECT_THROW(refuse.restore_clones(cfg2.session), std::logic_error);
+      }
+      // Faults cleared: one clean re-run always finishes the migration
+      // (resuming the journal when its plan or commit survived)...
+      const auto report = fuse::serve::reshard(rcfg);
+      EXPECT_EQ(report.to, 4u);
+      // ...and the 4-shard layout restores every clone bit-exactly.
+      ServeConfig cfg4 = w.cfg;
+      cfg4.num_shards = 4;
+      cfg4.clone_store.dir = dir;
+      Server server(&pl.predictor(), &pl.model(), cfg4);
+      std::vector<fuse::serve::SessionId> restored;
+      ASSERT_NO_THROW(restored = server.restore_clones(cfg4.session));
+      ASSERT_EQ(restored.size(), RestoreWorld::kSessions);
+      for (std::size_t s = 0; s < RestoreWorld::kSessions; ++s)
+        w.expect_recovered(server, s);
+      fs::remove_all(dir);
+    }
+    EXPECT_GT(crashes, 0u) << name << " never fired across the seed sweep";
+  }
+  fs::remove_all(w.dir);
+}
+
+// --------------------------------------------- live-migration rollback --
+
+// A migration killed mid-move (before or after the delta codec round-trip)
+// rolls back completely: the session never leaves its source shard, every
+// drained frame is requeued in order, the failure is counted, and the same
+// migration lands cleanly once the fault clears — bit-exact against a
+// server that never migrated at all.
+TEST(Chaos, LiveMigrationFaultsRollBackWithoutLosingFrames) {
+  auto& pl = world();
+  const struct {
+    FaultPoint point;
+    const char* name;
+  } kPoints[] = {
+      {FaultPoint::kMigrationKill, "kMigrationKill"},
+      {FaultPoint::kTargetShardCrash, "kTargetShardCrash"},
+  };
+  for (const auto& [point, name] : kPoints) {
+    SCOPED_TRACE(name);
+    ServeConfig cfg = adapting_cfg();
+    cfg.num_shards = 2;
+    cfg.session.tracking = false;
+    Server server(&pl.predictor(), &pl.model(), cfg);
+    Server control(&pl.predictor(), &pl.model(), cfg);
+    const auto id = server.open_session();  // id 1 -> home shard 0
+    const auto cid = control.open_session();
+    const auto stream = labeled_frames(0, 12);
+    for (const auto& f : stream) {
+      server.submit_frame(id, f.cloud, &f.label);
+      control.submit_frame(cid, f.cloud, &f.label);
+      server.drain();
+      control.drain();
+    }
+    ASSERT_EQ(server.stats().per_session[0].adapt_state,
+              AdaptState::kAdapted);
+    (void)server.poll_results(id);
+    (void)control.poll_results(cid);
+
+    // Queue a backlog, then kill the migration at `point`.
+    const auto probe = labeled_frames(3, 6);
+    for (const auto& f : probe) {
+      ASSERT_EQ(server.submit_frame(id, f.cloud), SubmitResult::kAccepted);
+      control.submit_frame(cid, f.cloud);
+    }
+    ASSERT_TRUE(server.migrate_session(id, 1));
+    {
+      FaultConfig fc;
+      fc.p(point) = 1.0;
+      ScopedFaults faults(fc);
+      server.run_once();  // the move dies; the tick keeps serving
+    }
+    auto stats = server.stats();
+    EXPECT_EQ(stats.migration_failures, 1u);
+    EXPECT_EQ(stats.migrations, 0u);
+    EXPECT_EQ(server.shard_of(id), 0u);  // never left the source shard
+    server.drain();
+    control.drain();
+
+    // Every queued frame survived the rollback, in order, bit-exactly.
+    const auto got = server.poll_results(id);
+    const auto want = control.poll_results(cid);
+    ASSERT_EQ(got.size(), probe.size());
+    ASSERT_EQ(want.size(), probe.size());
+    for (std::size_t i = 0; i < probe.size(); ++i) {
+      EXPECT_TRUE(got[i].adapted_model);
+      expect_pose_eq(got[i].raw, want[i].raw);
+    }
+    stats = server.stats();
+    EXPECT_EQ(stats.frames_in, stats.frames_out);  // nothing lost
+
+    // Fault cleared: the same migration now lands, still bit-exact.
+    ASSERT_TRUE(server.migrate_session(id, 1));
+    server.run_once();
+    EXPECT_EQ(server.shard_of(id), 1u);
+    EXPECT_EQ(server.stats().migrations, 1u);
+    for (const auto& f : probe) {
+      server.submit_frame(id, f.cloud);
+      control.submit_frame(cid, f.cloud);
+    }
+    server.drain();
+    control.drain();
+    const auto got2 = server.poll_results(id);
+    const auto want2 = control.poll_results(cid);
+    ASSERT_EQ(got2.size(), want2.size());
+    for (std::size_t i = 0; i < got2.size(); ++i)
+      expect_pose_eq(got2[i].raw, want2[i].raw);
   }
 }
 

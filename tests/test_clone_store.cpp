@@ -22,6 +22,7 @@
 #include "nn/delta.h"
 #include "nn/registry.h"
 #include "serve/clone_store/clone_store.h"
+#include "serve/reshard.h"
 #include "serve/server.h"
 #include "util/rng.h"
 
@@ -700,6 +701,213 @@ TEST(CloneStore, ColdStartRestoreIsEmptyAndBudgetlessStoreNeverEvicts) {
   EXPECT_EQ(stats.clone_store.evictions, 0u);
   EXPECT_EQ(stats.clone_store.resident_bytes,
             pl.model().num_params() * 2 * sizeof(float));
+  fs::remove_all(dir);
+}
+
+// --------------------------------------------------- offline re-shard ----
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Adapts `sessions` sessions on a store-backed server, records a probe
+/// reference per session, persists the store, and returns the refs.
+std::vector<std::vector<fuse::serve::PoseResult>> adapt_and_persist(
+    const ServeConfig& cfg, std::size_t sessions,
+    const std::vector<LabeledFrame>& probe,
+    std::vector<fuse::serve::SessionId>* ids) {
+  auto& pl = world();
+  Server server(&pl.predictor(), &pl.model(), cfg);
+  std::vector<std::vector<LabeledFrame>> streams;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    ids->push_back(server.open_session());
+    streams.push_back(labeled_frames(s, 12));
+  }
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t s = 0; s < sessions; ++s)
+      server.submit_frame((*ids)[s], streams[s][i].cloud,
+                          &streams[s][i].label);
+    server.drain();
+  }
+  for (std::size_t s = 0; s < sessions; ++s)
+    (void)server.poll_results((*ids)[s]);
+  std::vector<std::vector<fuse::serve::PoseResult>> ref(sessions);
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    for (std::size_t s = 0; s < sessions; ++s)
+      server.submit_frame((*ids)[s], probe[i].cloud);
+    server.drain();
+  }
+  for (std::size_t s = 0; s < sessions; ++s)
+    ref[s] = server.poll_results((*ids)[s]);
+  server.persist_clones();
+  return ref;
+}
+
+/// Restores `cfg`'s store, replays the probe, and asserts every session
+/// serves its adapted clone bit-exactly against `ref` (from probe index
+/// 2 on — the 3-frame fusion window refills first, as in the warm
+/// restart tests above).
+void expect_restore_bit_exact(
+    const ServeConfig& cfg, const std::vector<fuse::serve::SessionId>& ids,
+    const std::vector<LabeledFrame>& probe,
+    const std::vector<std::vector<fuse::serve::PoseResult>>& ref) {
+  auto& pl = world();
+  Server server(&pl.predictor(), &pl.model(), cfg);
+  const auto restored = server.restore_clones(cfg.session);
+  ASSERT_EQ(restored.size(), ids.size());
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    for (const auto id : ids) server.submit_frame(id, probe[i].cloud);
+    server.drain();
+  }
+  for (std::size_t s = 0; s < ids.size(); ++s) {
+    const auto results = server.poll_results(ids[s]);
+    ASSERT_EQ(results.size(), probe.size());
+    for (std::size_t i = 0; i < probe.size(); ++i)
+      EXPECT_TRUE(results[i].adapted_model) << "session " << s;
+    for (std::size_t i = 2; i < probe.size(); ++i)
+      expect_pose_eq(results[i].raw, ref[s][i].raw);
+  }
+}
+
+TEST(Reshard, FourToTwoToFourRoundTripIsBitIdentical) {
+  // The acceptance path: a 4-shard store re-sharded to 2 must serve
+  // bit-identical fp32 results after restore, and re-sharding back to 4
+  // must reproduce the original checkpoint files bit-for-bit.
+  auto& pl = world();
+  const std::string dir = fresh_dir("fuse_reshard_42");
+  ServeConfig cfg = adapting_cfg();
+  cfg.num_shards = 4;
+  cfg.clone_store.dir = dir;
+  cfg.session.tracking = false;
+
+  constexpr std::size_t kSessions = 5;  // ids 1..5 -> shards 0,1,2,3,0
+  const auto probe = labeled_frames(3, 5);
+  std::vector<fuse::serve::SessionId> ids;
+  const auto ref = adapt_and_persist(cfg, kSessions, probe, &ids);
+
+  // Snapshot every checkpoint's bytes in the original 4-shard layout.
+  std::vector<std::string> original(kSessions);
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const std::size_t home = ids[s] == 0 ? 0 : (ids[s] - 1) % 4;
+    original[s] = slurp(fs::path(dir) / ("shard_" + std::to_string(home)) /
+                        ("clone_" + std::to_string(ids[s]) + ".delta"));
+    ASSERT_FALSE(original[s].empty());
+  }
+
+  // Without the migration, a 2-shard server refuses the 4-shard store.
+  ServeConfig two = cfg;
+  two.num_shards = 2;
+  {
+    Server refuse(&pl.predictor(), &pl.model(), two);
+    EXPECT_THROW(refuse.restore_clones(two.session), std::logic_error);
+  }
+
+  // 4 -> 2: ids 3 and 4 move to their new homes, 1/2/5 stay put.
+  fuse::serve::ReshardConfig rcfg;
+  rcfg.dir = dir;
+  rcfg.to = 2;
+  rcfg.base = &pl.model();
+  const auto report = fuse::serve::reshard(rcfg);
+  EXPECT_EQ(report.from, 4u);
+  EXPECT_EQ(report.to, 2u);
+  EXPECT_EQ(report.clones_moved, 2u);
+  EXPECT_EQ(report.clones_kept, 3u);
+  EXPECT_EQ(report.skipped, 0u);
+  EXPECT_FALSE(report.resumed);
+  EXPECT_FALSE(fs::exists(dir + "/shard_2"));
+  EXPECT_FALSE(fs::exists(dir + "/shard_3"));
+  EXPECT_FALSE(fs::exists(dir + "/reshard.journal"));
+  EXPECT_TRUE(fs::exists(dir + "/shard_map"));
+
+  expect_restore_bit_exact(two, ids, probe, ref);
+
+  // 2 -> 4: back to the original topology; every checkpoint lands on its
+  // old shard with its exact original bytes (copies, never re-encoded).
+  rcfg.to = 4;
+  const auto back = fuse::serve::reshard(rcfg);
+  EXPECT_EQ(back.from, 2u);
+  EXPECT_EQ(back.to, 4u);
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const std::size_t home = ids[s] == 0 ? 0 : (ids[s] - 1) % 4;
+    EXPECT_EQ(slurp(fs::path(dir) / ("shard_" + std::to_string(home)) /
+                    ("clone_" + std::to_string(ids[s]) + ".delta")),
+              original[s])
+        << "session " << ids[s] << " bytes changed across the round trip";
+  }
+  expect_restore_bit_exact(cfg, ids, probe, ref);
+  fs::remove_all(dir);
+}
+
+TEST(Reshard, FlatAndMigratedPlacementTransitions) {
+  // Flat (1-shard) <-> sharded transitions, plus a live-migrated
+  // placement surviving persist / restore / re-shard.
+  auto& pl = world();
+  const std::string dir = fresh_dir("fuse_reshard_flat");
+  ServeConfig cfg = adapting_cfg();
+  cfg.clone_store.dir = dir;
+  cfg.session.tracking = false;
+
+  constexpr std::size_t kSessions = 2;  // ids 1,2
+  const auto probe = labeled_frames(3, 5);
+  std::vector<fuse::serve::SessionId> ids;
+  const auto ref = adapt_and_persist(cfg, kSessions, probe, &ids);
+  ASSERT_TRUE(fs::exists(dir + "/clones.manifest"));
+
+  // A 2-shard server refuses the flat store...
+  ServeConfig two = cfg;
+  two.num_shards = 2;
+  {
+    Server refuse(&pl.predictor(), &pl.model(), two);
+    EXPECT_THROW(refuse.restore_clones(two.session), std::logic_error);
+  }
+  // ...until reshard rewrites it (source count autodetected as 1).
+  fuse::serve::ReshardConfig rcfg;
+  rcfg.dir = dir;
+  rcfg.to = 2;
+  const auto up = fuse::serve::reshard(rcfg);
+  EXPECT_EQ(up.from, 1u);
+  EXPECT_EQ(up.clones_moved, kSessions);  // flat files always move
+  EXPECT_FALSE(fs::exists(dir + "/clones.manifest"));
+  expect_restore_bit_exact(two, ids, probe, ref);
+
+  // Live-migrate session 1 off its home shard and persist: the shard_map
+  // pins the placement, and a warm restart honours it.
+  {
+    Server server(&pl.predictor(), &pl.model(), two);
+    ASSERT_EQ(server.restore_clones(two.session).size(), kSessions);
+    ASSERT_EQ(server.shard_of(ids[0]), 0u);
+    // Touch the clone so it is resident, then move it across shards.
+    server.submit_frame(ids[0], probe[0].cloud);
+    server.drain();
+    ASSERT_TRUE(server.migrate_session(ids[0], 1));
+    server.run_once();
+    ASSERT_EQ(server.shard_of(ids[0]), 1u);
+    (void)server.poll_results(ids[0]);
+    server.persist_clones();
+  }
+  EXPECT_TRUE(
+      fs::exists(dir + "/shard_1/clone_" + std::to_string(ids[0]) +
+                 ".delta"));
+  {
+    Server server(&pl.predictor(), &pl.model(), two);
+    const auto restored = server.restore_clones(two.session);
+    ASSERT_EQ(restored.size(), kSessions);
+    EXPECT_EQ(server.shard_of(ids[0]), 1u);  // pinned by the map
+    EXPECT_EQ(server.shard_of(ids[1]), 1u);  // its home
+  }
+
+  // Re-shard back to flat: the pinned placement folds away (1 shard has
+  // no map) and the store serves bit-exactly as a plain 1-shard restore.
+  rcfg.to = 1;
+  const auto down = fuse::serve::reshard(rcfg);
+  EXPECT_EQ(down.from, 2u);
+  EXPECT_FALSE(fs::exists(dir + "/shard_0"));
+  EXPECT_FALSE(fs::exists(dir + "/shard_1"));
+  EXPECT_FALSE(fs::exists(dir + "/shard_map"));
+  expect_restore_bit_exact(cfg, ids, probe, ref);
   fs::remove_all(dir);
 }
 

@@ -1,13 +1,16 @@
 // Tests for the streaming serving runtime: batched-vs-single-path
 // equivalence, threaded stress with deterministic outputs, queue drop
 // policies, session recycling, per-user online adaptation, telemetry,
-// and the sharded serve::Server API (shard equivalence, shard-stable
-// hashing, per-shard overload engagement, SubmitResult semantics).
+// the sharded serve::Server API (shard equivalence, shard-stable
+// hashing, per-shard overload engagement, SubmitResult semantics), and
+// live cross-shard session migration (backlog replay, kMigrating
+// retry-after, clone bit-exactness, the rebalance hook).
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <deque>
 #include <limits>
 #include <thread>
@@ -17,7 +20,6 @@
 #include "core/tracking.h"
 #include "nn/quant.h"
 #include "serve/server.h"
-#include "serve/session_manager.h"  // deprecated shim (one PR) — shim test
 #include "serve/stats.h"
 #include "util/rng.h"
 
@@ -1142,6 +1144,10 @@ TEST(Shard, ConfigValidationNamesTheBadField) {
   bad.session.adapt.min_samples = 8;
   bad.session.adapt.buffer_capacity = 4;  // buffer can never reach min
   EXPECT_THROW(make(bad), std::invalid_argument);
+  bad = ServeConfig{};
+  bad.rebalance_every = 4;
+  bad.rebalance_ratio = 0.5;  // would migrate toward the hotter shard
+  EXPECT_THROW(make(bad), std::invalid_argument);
   // A disabled adapt block is not validated (the knobs are inert).
   ServeConfig ok_cfg;
   ok_cfg.session.adapt.enabled = false;
@@ -1154,24 +1160,320 @@ TEST(Shard, ConfigValidationNamesTheBadField) {
   EXPECT_THROW(ok.open_session(scfg), std::invalid_argument);
 }
 
-TEST(Shard, DeprecatedSessionManagerShimStillServes) {
-  // The one-PR compatibility shim: the old name and the old bool submit
-  // surface keep working on top of serve::Server.
+// -------------------------------------------- cross-shard migration --
+
+TEST(Migrate, MovesBacklogAndServesIdenticallyToUnmigratedServer) {
+  // Migrating a session mid-stream must be invisible in its outputs: the
+  // drained backlog replays in order on the target shard, and since every
+  // shard runs the same single-thread engine the fp32 results stay
+  // bit-identical to a server that never migrated.
   auto& pl = world();
-  fuse::serve::SessionManager legacy(&pl.predictor(), &pl.model(),
-                                     ServeConfig{});
-  const auto id = legacy.open_session();
-  const auto frames = sequence_frames(0, 4);
-  for (const auto& f : frames) EXPECT_TRUE(legacy.submit_frame(id, f));
-  EXPECT_EQ(legacy.drain(), 4u);
-  const auto results = legacy.poll_results(id);
-  const auto ref = reference_stream(frames, SessionConfig{});
-  ASSERT_EQ(results.size(), 4u);
-  for (std::size_t i = 0; i < 4; ++i)
-    expect_pose_eq(results[i].tracked, ref[i].tracked);
-  // The bool projection of the typed codes: rejections collapse to false.
-  legacy.close_session(id);
-  EXPECT_FALSE(legacy.submit_frame(id, frames[0]));
+  ServeConfig cfg;
+  cfg.num_shards = 2;
+  cfg.session.queue_capacity = 64;
+  Server moved(&pl.predictor(), &pl.model(), cfg);
+  Server control(&pl.predictor(), &pl.model(), cfg);
+  const auto id = moved.open_session();  // id 1 -> shard 0
+  ASSERT_EQ(control.open_session(), id);
+  const auto frames = sequence_frames(0, 24);
+
+  // Half the stream, served on the home shard.
+  for (std::size_t i = 0; i < 12; ++i) {
+    ASSERT_TRUE(accepted(moved.submit_frame(id, frames[i])));
+    ASSERT_TRUE(accepted(control.submit_frame(id, frames[i])));
+  }
+  moved.run_once();
+  control.run_once();
+
+  // Queue a backlog, then migrate with the frames still in flight.
+  for (std::size_t i = 12; i < 20; ++i) {
+    ASSERT_TRUE(accepted(moved.submit_frame(id, frames[i])));
+    ASSERT_TRUE(accepted(control.submit_frame(id, frames[i])));
+  }
+  ASSERT_EQ(moved.shard_of(id), 0u);
+  ASSERT_TRUE(moved.migrate_session(id, 1));
+  moved.run_once();  // executes the deferred move, then serves
+  control.run_once();
+  EXPECT_EQ(moved.shard_of(id), 1u);
+
+  // Rest of the stream lands on the target shard.
+  for (std::size_t i = 20; i < frames.size(); ++i) {
+    ASSERT_TRUE(accepted(moved.submit_frame(id, frames[i])));
+    ASSERT_TRUE(accepted(control.submit_frame(id, frames[i])));
+  }
+  moved.drain();
+  control.drain();
+
+  const auto got = moved.poll_results(id);
+  const auto want = control.poll_results(id);
+  ASSERT_EQ(got.size(), frames.size());
+  ASSERT_EQ(want.size(), frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(got[i].seq, want[i].seq);
+    expect_pose_eq(got[i].raw, want[i].raw);
+    expect_pose_eq(got[i].tracked, want[i].tracked);
+  }
+
+  // The move shows up in the stats surface: source out, target in, one
+  // completed migration in the merged robustness block, zero failures,
+  // and the session's frames split across both shard rows.
+  const auto stats = moved.stats();
+  EXPECT_EQ(stats.migrations, 1u);
+  EXPECT_EQ(stats.migration_failures, 0u);
+  EXPECT_EQ(stats.per_shard.at(0).migrations_out, 1u);
+  EXPECT_EQ(stats.per_shard.at(1).migrations_in, 1u);
+  // Both shards did serving work (batches are counted where the pass
+  // ran; session frame counters travel with the session to shard 1).
+  EXPECT_GT(stats.per_shard.at(0).batches, 0u);
+  EXPECT_GT(stats.per_shard.at(1).batches, 0u);
+  EXPECT_EQ(stats.per_shard.at(0).sessions, 0u);
+  EXPECT_EQ(stats.per_shard.at(1).frames_out, frames.size());
+  EXPECT_EQ(stats.frames_out, frames.size());
+  EXPECT_EQ(stats.in_flight, 0u);
+}
+
+TEST(Migrate, EverySubmitResultVariantReachableAroundMigration) {
+  auto& pl = world();
+  ServeConfig cfg;
+  cfg.num_shards = 2;
+  cfg.max_in_flight = 64;
+  cfg.session.queue_capacity = 4;
+  cfg.session.drop_policy = DropPolicy::kDropNewest;
+  cfg.session.quarantine_after = 2;
+  Server server(&pl.predictor(), &pl.model(), cfg);
+  const auto id = server.open_session();
+  const auto frames = sequence_frames(0, 8);
+
+  // kAccepted before any migration.
+  ASSERT_EQ(server.submit_frame(id, frames[0]), SubmitResult::kAccepted);
+
+  // kMigrating: from the synchronous migrate request until the next tick
+  // executes it, submits bounce with retry-after semantics (frames and
+  // cubes alike) and are counted, not enqueued.
+  ASSERT_TRUE(server.migrate_session(id, 1));
+  EXPECT_EQ(server.submit_frame(id, frames[1]), SubmitResult::kMigrating);
+  EXPECT_FALSE(accepted(SubmitResult::kMigrating));
+  EXPECT_STREQ(fuse::serve::submit_result_name(SubmitResult::kMigrating),
+               "migrating");
+  server.run_once();  // move executes; the window closes
+  EXPECT_EQ(server.shard_of(id), 1u);
+  EXPECT_EQ(server.submit_frame(id, frames[1]), SubmitResult::kAccepted);
+  EXPECT_EQ(server.stats().migration_rejected, 1u);
+
+  // kQueueFull on the migrated session (kDropNewest surfaces the drop).
+  std::size_t queued = 1;
+  while (server.submit_frame(id, frames[2]) == SubmitResult::kAccepted)
+    ++queued;
+  EXPECT_EQ(queued, cfg.session.queue_capacity);
+  EXPECT_EQ(server.submit_frame(id, frames[2]), SubmitResult::kQueueFull);
+  server.drain();
+
+  // kNoProcessor: raw-cube ingestion without a radar processor, still
+  // routed through the migrated placement.
+  EXPECT_EQ(server.submit_cube(id, simulate_cubes(1, 7)[0]),
+            SubmitResult::kNoProcessor);
+
+  // kQuarantined after two NaN frames.
+  PointCloud bad = frames[0];
+  ASSERT_FALSE(bad.points.empty());
+  bad.points[0].z = std::numeric_limits<float>::quiet_NaN();
+  ASSERT_EQ(server.submit_frame(id, bad), SubmitResult::kAccepted);
+  ASSERT_EQ(server.submit_frame(id, bad), SubmitResult::kAccepted);
+  server.drain();
+  EXPECT_EQ(server.submit_frame(id, frames[3]), SubmitResult::kQuarantined);
+  server.drain();
+
+  // kAdmissionRejected once the global budget is exhausted (second
+  // session, so the quarantined one stays out of the way).
+  const auto other = server.open_session();
+  ServeConfig tight = cfg;
+  tight.max_in_flight = 1;
+  Server tight_server(&pl.predictor(), &pl.model(), tight);
+  const auto t1 = tight_server.open_session();
+  ASSERT_EQ(tight_server.submit_frame(t1, frames[0]),
+            SubmitResult::kAccepted);
+  EXPECT_EQ(tight_server.submit_frame(t1, frames[1]),
+            SubmitResult::kAdmissionRejected);
+
+  // kUnknownSession: a closed id, and migrate_session mirrors the same
+  // contract by refusing unknown ids and out-of-range shards.
+  server.close_session(other);
+  EXPECT_EQ(server.submit_frame(other, frames[0]),
+            SubmitResult::kUnknownSession);
+  EXPECT_FALSE(server.migrate_session(other, 1));
+  EXPECT_FALSE(server.migrate_session(id, 99));
+  EXPECT_TRUE(server.migrate_session(id, server.shard_of(id)));  // no-op
+}
+
+TEST(Migrate, AdaptedClonePredictsBitExactlyAfterMigration) {
+  // The clone travels through the delta codec (fp32 = bit-exact), so an
+  // adapted session predicts identically on its new shard: same stream on
+  // a never-migrated control server, exact float equality.
+  auto& pl = world();
+  ServeConfig cfg;
+  cfg.num_shards = 2;
+  cfg.session.adapt.enabled = true;
+  cfg.session.adapt.min_samples = 8;
+  cfg.session.adapt.round_every = 4;
+  cfg.session.adapt.steps_per_round = 2;
+  Server moved(&pl.predictor(), &pl.model(), cfg);
+  Server control(&pl.predictor(), &pl.model(), cfg);
+  const auto id = moved.open_session();
+  ASSERT_EQ(control.open_session(), id);
+
+  const auto& ds = world().dataset();
+  const auto [start, len] = ds.sequences.at(5);
+  ASSERT_GE(len, 10u);
+  // Adapt on the home shard: 8 labeled frames trigger round 1.
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto& f = ds.frames[start + i];
+    ASSERT_TRUE(accepted(moved.submit_frame(id, f.cloud, &f.label)));
+    ASSERT_TRUE(accepted(control.submit_frame(id, f.cloud, &f.label)));
+  }
+  moved.drain();
+  control.drain();
+  ASSERT_EQ(moved.stats().per_session.at(0).adapt_state,
+            AdaptState::kAdapted);
+
+  ASSERT_TRUE(moved.migrate_session(id, 1));
+  moved.run_once();
+  ASSERT_EQ(moved.shard_of(id), 1u);
+
+  // Post-migration frames are served by the rehydrated clone.
+  for (std::size_t i = 8; i < 10; ++i) {
+    const auto& f = ds.frames[start + i];
+    ASSERT_TRUE(accepted(moved.submit_frame(id, f.cloud)));
+    ASSERT_TRUE(accepted(control.submit_frame(id, f.cloud)));
+  }
+  moved.drain();
+  control.drain();
+  const auto got = moved.poll_results(id);
+  const auto want = control.poll_results(id);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].adapted_model, want[i].adapted_model);
+    expect_pose_eq(got[i].raw, want[i].raw);
+    expect_pose_eq(got[i].tracked, want[i].tracked);
+  }
+  EXPECT_TRUE(got.back().adapted_model);
+  EXPECT_EQ(moved.stats().per_session.at(0).adapt_state,
+            AdaptState::kAdapted);
+}
+
+TEST(Migrate, RebalanceHookMovesDeepestSessionToColdestShard) {
+  auto& pl = world();
+  ServeConfig cfg;
+  cfg.num_shards = 2;
+  cfg.max_batch = 4;
+  cfg.rebalance_every = 1;
+  cfg.rebalance_ratio = 2.0;
+  cfg.session.queue_capacity = 16;
+  Server server(&pl.predictor(), &pl.model(), cfg);
+  const auto hot = server.open_session();   // id 1 -> shard 0
+  const auto cold = server.open_session();  // id 2 -> shard 1
+  const auto frames = sequence_frames(0, 16);
+  for (const auto& f : frames)
+    ASSERT_TRUE(accepted(server.submit_frame(hot, f)));
+
+  // Tick: the hook sees shard 0 at depth 16 vs shard 1 at 0 (>= 2x and
+  // >= one queue's worth) and migrates the deep session before serving.
+  server.run_once();
+  EXPECT_EQ(server.shard_of(hot), 1u);
+  EXPECT_EQ(server.shard_of(cold), 1u);  // its home; never moved
+  server.drain();
+  EXPECT_EQ(server.poll_results(hot).size(), frames.size());
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.migrations, 1u);
+  EXPECT_EQ(stats.per_shard.at(1).migrations_in, 1u);
+  EXPECT_EQ(stats.in_flight, 0u);
+
+  // Balanced load never triggers the hook.
+  ASSERT_TRUE(accepted(server.submit_frame(hot, frames[0])));
+  ASSERT_TRUE(accepted(server.submit_frame(cold, frames[0])));
+  server.drain();
+  EXPECT_EQ(server.stats().migrations, 1u);
+}
+
+TEST(Migrate, ThreadedMigrationKeepsServingAndConservesFrames) {
+  // Live migration while shard threads serve: the move runs inline under
+  // both pass locks; producers see kMigrating during the window and
+  // every accepted frame still comes out exactly once.
+  auto& pl = world();
+  ServeConfig cfg;
+  cfg.num_shards = 2;
+  cfg.session.queue_capacity = 256;
+  cfg.session.results_capacity = 4096;
+  Server server(&pl.predictor(), &pl.model(), cfg);
+  const auto id = server.open_session();
+  const auto frames = sequence_frames(0, 8);
+
+  server.start();
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> accepted_count{0};
+  std::thread producer([&] {
+    std::size_t i = 0;
+    while (!done.load()) {
+      const auto r = server.submit_frame(id, frames[i % frames.size()]);
+      if (r == SubmitResult::kAccepted) ++accepted_count;
+      // kMigrating is the only other legal code here: retry-after.
+      if (!accepted(r)) EXPECT_EQ(r, SubmitResult::kMigrating);
+      ++i;
+      if (i % 16 == 0) std::this_thread::yield();
+    }
+  });
+  for (std::size_t m = 0; m < 20; ++m) {
+    EXPECT_TRUE(server.migrate_session(id, m % 2 == 0 ? 1 : 0));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  done.store(true);
+  producer.join();
+  server.stop();
+  server.drain();  // serve whatever was still queued at stop
+
+  const std::size_t polled = server.poll_results(id).size();
+  const auto stats = server.stats();
+  // Frame-conservation ledger: every accepted frame is either served or
+  // accounted as a kDropOldest eviction (the producer outruns the
+  // scheduler by design); nothing leaks across the 20 moves.
+  EXPECT_EQ(stats.frames_in, accepted_count.load());
+  EXPECT_EQ(stats.frames_in, stats.frames_out + stats.queue_evicted);
+  EXPECT_EQ(polled, stats.frames_out - stats.results_evicted);
+  EXPECT_EQ(stats.in_flight, 0u);
+  for (const auto& row : stats.per_shard) EXPECT_EQ(row.in_flight, 0u);
+  EXPECT_EQ(stats.migrations + stats.migration_failures, 20u);
+  EXPECT_EQ(stats.migration_failures, 0u);
+}
+
+TEST(Migrate, QueueDepthSeriesTracksPerShardBacklog) {
+  auto& pl = world();
+  ServeConfig cfg;
+  cfg.num_shards = 2;
+  cfg.max_batch = 2;
+  cfg.session.queue_capacity = 64;
+  Server server(&pl.predictor(), &pl.model(), cfg);
+  const auto id = server.open_session();  // shard 0
+  server.open_session();                  // shard 1, idle
+  const auto frames = sequence_frames(0, 8);
+  for (const auto& f : frames)
+    ASSERT_TRUE(accepted(server.submit_frame(id, f)));
+
+  // Each tick serves one max_batch slice and samples the gauge after the
+  // pass, so the series records the backlog draining monotonically.
+  const std::size_t ticks = frames.size() / cfg.max_batch;
+  for (std::size_t t = 0; t < ticks; ++t) server.run_once();
+  const auto stats = server.stats();
+  const auto& hot = stats.per_shard.at(0).queue_depth_series;
+  const auto& idle = stats.per_shard.at(1).queue_depth_series;
+  ASSERT_EQ(hot.size(), ticks);
+  ASSERT_EQ(idle.size(), ticks);
+  for (std::size_t t = 0; t + 1 < ticks; ++t) {
+    EXPECT_GE(hot[t], hot[t + 1]);  // draining, never refilled
+    EXPECT_EQ(idle[t], 0u);
+  }
+  EXPECT_EQ(hot.back(), 0u);
+  // The series rides the JSON export for offline churn analysis.
+  const auto json = fuse::serve::stats_to_json(stats);
+  EXPECT_NE(json.find("\"queue_depth_series\""), std::string::npos);
 }
 
 }  // namespace
